@@ -1,0 +1,94 @@
+// Ablation: the paper's d.f.-resample grouping (BOOTSTRAP-ACCURACY-INFO,
+// Theorem 2) vs a classic single-sample percentile bootstrap applied to
+// the n de facto observations directly.
+//
+// Workload: route total-delay queries (20 segments, n = 20 per segment).
+// Both methods produce a 90% interval for the result mean; we compare
+// average lengths and coverage against population ground truth.
+
+#include <vector>
+
+#include "bench/figure_common.h"
+#include "src/bootstrap/bootstrap_accuracy.h"
+#include "src/dist/learner.h"
+#include "src/expr/evaluator.h"
+#include "src/stats/descriptive.h"
+#include "src/workload/cartel.h"
+
+using namespace ausdb;
+
+int main() {
+  bench::Banner("Ablation",
+                "d.f.-grouped bootstrap vs classic single-sample bootstrap");
+
+  constexpr size_t kN = 20;
+  constexpr size_t kM = 20 * kN;
+  constexpr int kTrials = 150;
+
+  workload::CartelOptions copts;
+  copts.num_segments = 120;
+  copts.observations_per_segment = 800;
+  copts.route_length = 20;
+  workload::CartelSimulator sim(copts);
+  Rng rng(61);
+
+  double grouped_len = 0.0, classic_len = 0.0;
+  size_t grouped_hits = 0, classic_hits = 0;
+
+  for (int t = 0; t < kTrials; ++t) {
+    const auto route = sim.MakeRoute(rng);
+    const double truth = sim.TrueRouteMean(route);
+
+    // The n de facto observations of the route delay (Definition 2).
+    auto df_obs = sim.RouteDelayObservations(route, kN, rng);
+
+    // Classic percentile bootstrap straight off the d.f. sample.
+    auto classic = bootstrap::ClassicPercentileBootstrap(
+        *df_obs, 1000, 0.9,
+        [](std::span<const double> s) { return stats::Mean(s); }, rng);
+    classic_len += classic->Length();
+    if (classic->Contains(truth)) ++classic_hits;
+
+    // The paper's method: Monte Carlo value sequence from the learned
+    // per-segment distributions, grouped into r = m/n d.f. resamples.
+    std::vector<std::string> names;
+    std::vector<expr::Value> row;
+    expr::ExprPtr sum;
+    for (size_t i = 0; i < route.size(); ++i) {
+      names.push_back("seg" + std::to_string(i));
+      auto sample = sim.DrawSample(route[i], kN, rng);
+      auto learned = dist::LearnEmpirical(*sample);
+      row.emplace_back(dist::RandomVar(*learned));
+      auto col = expr::Col(names.back());
+      sum = sum == nullptr ? col : expr::Add(sum, col);
+    }
+    expr::EvalOptions opts;
+    opts.prefer_closed_form = false;
+    opts.mc_samples = kM;
+    opts.seed = rng.NextUint64();
+    expr::Evaluator eval(opts);
+    auto value = eval.Evaluate(*sum, expr::Row{&names, &row});
+    const auto& mc_values = *value->random_var()->raw_sample();
+    auto grouped = bootstrap::BootstrapAccuracyInfo(mc_values, kN, 0.9);
+    grouped_len += grouped->mean_ci->Length();
+    if (grouped->mean_ci->Contains(truth)) ++grouped_hits;
+  }
+
+  bench::PrintRow({"method", "avg_mean_CI_len", "coverage"}, 20);
+  bench::PrintRow({"df_grouped(paper)",
+                   bench::Fmt(grouped_len / kTrials, 3),
+                   bench::Fmt(static_cast<double>(grouped_hits) / kTrials,
+                              3)},
+                  20);
+  bench::PrintRow({"classic_bootstrap",
+                   bench::Fmt(classic_len / kTrials, 3),
+                   bench::Fmt(static_cast<double>(classic_hits) / kTrials,
+                              3)},
+                  20);
+  std::printf(
+      "\nReading: both deliver comparable intervals; the paper's grouped "
+      "method\nneeds only the query processor's Monte Carlo output, "
+      "while the classic\nbootstrap needs the raw d.f. observations "
+      "(which query results rarely\nretain).\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Ablation: the evaluator's closed-form Gaussian fast path vs forced
+// Monte Carlo, on a linear expression over Gaussian columns
+// ((a + b) / 2 - c). Reports evaluations/second and the moment error of
+// the Monte Carlo path against the exact closed form.
+
+#include <cmath>
+#include <vector>
+
+#include "bench/figure_common.h"
+#include "src/dist/gaussian.h"
+#include "src/expr/evaluator.h"
+#include "src/stream/throughput.h"
+
+using namespace ausdb;
+
+int main() {
+  bench::Banner("Ablation", "closed-form Gaussian path vs Monte Carlo");
+
+  const std::vector<std::string> names = {"a", "b", "c"};
+  const std::vector<expr::Value> row = {
+      expr::Value(dist::RandomVar(
+          std::make_shared<dist::GaussianDist>(10.0, 4.0), 20)),
+      expr::Value(dist::RandomVar(
+          std::make_shared<dist::GaussianDist>(6.0, 1.0), 30)),
+      expr::Value(dist::RandomVar(
+          std::make_shared<dist::GaussianDist>(2.0, 9.0), 25)),
+  };
+  const auto e = expr::Sub(
+      expr::Div(expr::Add(expr::Col("a"), expr::Col("b")), expr::Lit(2.0)),
+      expr::Col("c"));
+  // Exact: mean (10+6)/2 - 2 = 6; var (4+1)/4 + 9 = 10.25.
+
+  const expr::Row r{&names, &row};
+
+  auto measure = [&](bool closed_form, size_t mc_samples, size_t reps,
+                     double* mean_err, double* var_err) {
+    expr::EvalOptions opts;
+    opts.prefer_closed_form = closed_form;
+    opts.mc_samples = mc_samples;
+    expr::Evaluator eval(opts);
+    stream::ThroughputMeter meter;
+    meter.Start();
+    double worst_mean = 0.0, worst_var = 0.0;
+    for (size_t i = 0; i < reps; ++i) {
+      auto v = eval.Evaluate(*e, r);
+      const auto rv = *v->random_var();
+      worst_mean = std::max(worst_mean, std::abs(rv.Mean() - 6.0));
+      worst_var = std::max(worst_var, std::abs(rv.Variance() - 10.25));
+      meter.Count();
+    }
+    meter.Stop();
+    *mean_err = worst_mean;
+    *var_err = worst_var;
+    return meter.TuplesPerSecond();
+  };
+
+  double mean_err = 0.0, var_err = 0.0;
+  const double closed = measure(true, 0, 200000, &mean_err, &var_err);
+  bench::PrintRow({"path", "evals_per_sec", "max_mean_err",
+                   "max_var_err"},
+                  16);
+  bench::PrintRow({"closed_form", bench::FmtInt(closed),
+                   bench::Fmt(mean_err, 6), bench::Fmt(var_err, 6)},
+                  16);
+  for (size_t m : {400, 2000, 10000}) {
+    const double mc = measure(false, m, 2000, &mean_err, &var_err);
+    bench::PrintRow({"mc_" + std::to_string(m), bench::FmtInt(mc),
+                     bench::Fmt(mean_err, 4), bench::Fmt(var_err, 4)},
+                    16);
+  }
+  std::printf(
+      "\nReading: the closed form is exact and orders of magnitude "
+      "faster; Monte\nCarlo error shrinks like 1/sqrt(m) at linear cost "
+      "in m. The evaluator\ntakes the closed form automatically for "
+      "linear Gaussian expressions.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation: Lemma 1's Wald/Wilson branch. The paper switches from the
+// normal-approximation (Wald) interval to the Wilson score interval when
+// np < 4 or n(1-p) < 4. This bench shows why: Wald coverage collapses
+// for small np while Wilson stays near nominal.
+
+#include "bench/figure_common.h"
+#include "src/accuracy/proportion_ci.h"
+#include "src/common/rng.h"
+#include "src/stats/random_variates.h"
+
+using namespace ausdb;
+
+int main() {
+  bench::Banner("Ablation", "Wald vs Wilson proportion intervals (90%)");
+
+  Rng rng(60);
+  constexpr int kTrials = 20000;
+
+  bench::PrintRow({"n", "true_p", "wald_cover", "wilson_cover",
+                   "wald_len", "wilson_len", "lemma1_branch"},
+                  14);
+  for (size_t n : {10, 20, 50}) {
+    for (double p : {0.05, 0.1, 0.2, 0.5}) {
+      size_t wald_hits = 0, wilson_hits = 0;
+      double wald_len = 0.0, wilson_len = 0.0;
+      for (int t = 0; t < kTrials; ++t) {
+        const double p_hat =
+            static_cast<double>(stats::SampleBinomial(rng, n, p)) /
+            static_cast<double>(n);
+        auto wald = accuracy::WaldProportionInterval(p_hat, n, 0.9);
+        auto wilson = accuracy::WilsonProportionInterval(p_hat, n, 0.9);
+        if (wald->Contains(p)) ++wald_hits;
+        if (wilson->Contains(p)) ++wilson_hits;
+        wald_len += wald->Length();
+        wilson_len += wilson->Length();
+      }
+      bench::PrintRow(
+          {std::to_string(n), bench::Fmt(p, 2),
+           bench::Fmt(static_cast<double>(wald_hits) / kTrials, 3),
+           bench::Fmt(static_cast<double>(wilson_hits) / kTrials, 3),
+           bench::Fmt(wald_len / kTrials, 3),
+           bench::Fmt(wilson_len / kTrials, 3),
+           accuracy::WaldConditionHolds(p, n) ? "wald" : "wilson"},
+          14);
+    }
+  }
+  std::printf(
+      "\nReading: where Lemma 1 selects Wilson (np < 4), Wald coverage "
+      "falls well\nbelow the nominal 90%%; Wilson holds it. Where Wald "
+      "is selected, the two\nagree and Wald is slightly shorter.\n");
+  return 0;
+}

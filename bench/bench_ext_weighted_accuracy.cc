@@ -1,0 +1,61 @@
+// Extension (paper Section VII future work): accuracy from weighted
+// samples. A sensor's true mean drifts; the window's observations are
+// weighted by recency (weight decay^age) and all Lemma 2 machinery runs
+// with Kish's effective sample size.
+//
+// Reported per decay factor: coverage of the CURRENT true mean by the
+// 90% weighted mean interval, the interval length, and n_eff. decay = 1
+// is the paper's unweighted baseline.
+
+#include <vector>
+
+#include "bench/figure_common.h"
+#include "src/accuracy/weighted_accuracy.h"
+#include "src/common/rng.h"
+#include "src/stats/random_variates.h"
+#include "src/stats/weighted.h"
+
+using namespace ausdb;
+
+int main() {
+  bench::Banner("Extension",
+                "weighted-sample accuracy under drift (Section VII)");
+
+  constexpr size_t kWindow = 60;
+  constexpr int kTrials = 3000;
+  constexpr double kDrift = 4.0;  // total mean drift across the window
+  Rng rng(62);
+
+  bench::PrintRow({"decay", "n_eff", "coverage", "avg_CI_len"}, 13);
+  for (double decay : {1.0, 0.95, 0.9, 0.85, 0.8, 0.7}) {
+    auto weights = stats::ExponentialDecayWeights(kWindow, decay);
+    const double n_eff = *stats::EffectiveSampleSize(*weights);
+    size_t hits = 0;
+    double total_len = 0.0;
+    for (int t = 0; t < kTrials; ++t) {
+      // newest_first[i] has age i; true mean falls by kDrift across the
+      // window, so the current (age 0) mean is kDrift.
+      std::vector<double> newest_first(kWindow);
+      for (size_t i = 0; i < kWindow; ++i) {
+        const double mean =
+            kDrift * (1.0 - static_cast<double>(i) / (kWindow - 1));
+        newest_first[i] = stats::SampleNormal(rng, mean, 1.0);
+      }
+      auto ci =
+          accuracy::WeightedMeanInterval(newest_first, *weights, 0.9);
+      if (ci->Contains(kDrift)) ++hits;
+      total_len += ci->Length();
+    }
+    bench::PrintRow({bench::Fmt(decay, 2), bench::Fmt(n_eff, 1),
+                     bench::Fmt(static_cast<double>(hits) / kTrials, 3),
+                     bench::Fmt(total_len / kTrials, 3)},
+                    13);
+  }
+  std::printf(
+      "\nReading: the unweighted window (decay=1.00) almost never covers "
+      "the\ncurrent mean under drift; recency weighting restores "
+      "coverage at the cost\nof wider intervals (smaller effective "
+      "sample size) — the trade-off the\npaper's future-work section "
+      "anticipates.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 4(a): sample size n vs 90% confidence-interval length of the
+// mean parameter mu, on the (simulated) road-delay dataset.
+//
+// Methodology (paper Section V-B): pick 100 road segments with large
+// populations (>= 600 observations); treat the full population as ground
+// truth; draw small samples without replacement and compute the Lemma 2
+// interval. The plotted series is the average interval length per n.
+
+#include "bench/figure_common.h"
+#include "src/accuracy/mean_variance_ci.h"
+#include "src/common/rng.h"
+#include "src/workload/cartel.h"
+
+using namespace ausdb;
+
+int main() {
+  bench::Banner("Figure 4(a)",
+                "sample size vs 90% CI length of mu (road delays)");
+
+  workload::CartelOptions opts;
+  opts.num_segments = 100;
+  opts.observations_per_segment = 800;
+  workload::CartelSimulator sim(opts);
+  Rng rng(41);
+
+  constexpr int kTrialsPerSegment = 20;
+  bench::PrintRow({"n", "avg_mu_CI_length"});
+  for (size_t n : {10, 20, 30, 40, 50, 60, 70, 80}) {
+    double total = 0.0;
+    size_t count = 0;
+    for (size_t seg = 0; seg < sim.num_segments(); ++seg) {
+      for (int trial = 0; trial < kTrialsPerSegment; ++trial) {
+        auto sample = sim.DrawSample(seg, n, rng);
+        auto ci = accuracy::MeanIntervalFromSample(*sample, 0.9);
+        total += ci->Length();
+        ++count;
+      }
+    }
+    bench::PrintRow({std::to_string(n),
+                     bench::Fmt(total / static_cast<double>(count), 3)});
+  }
+  std::printf(
+      "\nExpected shape (paper): monotone decrease, roughly proportional "
+      "to 1/sqrt(n).\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Figure 4(b): sample size n vs normalized confidence-interval length for
+// the three statistics — bin heights, mean, and variance — on the
+// simulated road-delay dataset. Each series is normalized by its length
+// at n = 10 so all three fit one plot (as in the paper).
+
+#include <map>
+
+#include "bench/figure_common.h"
+#include "src/accuracy/mean_variance_ci.h"
+#include "src/accuracy/proportion_ci.h"
+#include "src/common/rng.h"
+#include "src/dist/histogram.h"
+#include "src/dist/learner.h"
+#include "src/workload/cartel.h"
+
+using namespace ausdb;
+
+namespace {
+
+struct Lengths {
+  double bins = 0.0;
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  bench::Banner("Figure 4(b)",
+                "n vs normalized CI length (bin heights, mean, variance)");
+
+  workload::CartelOptions opts;
+  opts.num_segments = 100;
+  opts.observations_per_segment = 800;
+  workload::CartelSimulator sim(opts);
+  Rng rng(42);
+
+  constexpr int kTrialsPerSegment = 20;
+  const std::vector<size_t> ns = {10, 20, 30, 40, 50, 60, 70, 80};
+
+  std::map<size_t, Lengths> avg;
+  for (size_t n : ns) {
+    Lengths sum;
+    size_t count = 0;
+    for (size_t seg = 0; seg < sim.num_segments(); ++seg) {
+      // Shared bin edges from the population range, so bin-height CIs
+      // are comparable across n.
+      dist::HistogramLearnOptions hopts;
+      hopts.bin_count = 10;
+      auto edges = dist::ComputeBinEdges(sim.Population(seg), hopts);
+      dist::HistogramLearnOptions sample_opts;
+      sample_opts.policy = dist::BinningPolicy::kExplicitEdges;
+      sample_opts.edges = *edges;
+
+      for (int trial = 0; trial < kTrialsPerSegment; ++trial) {
+        auto sample = sim.DrawSample(seg, n, rng);
+        auto learned = dist::LearnHistogram(*sample, sample_opts);
+        const auto& hist = static_cast<const dist::HistogramDist&>(
+            *learned->distribution);
+        double bin_total = 0.0;
+        for (size_t b = 0; b < hist.bin_count(); ++b) {
+          auto ci = accuracy::ProportionInterval(hist.BinProb(b), n, 0.9);
+          bin_total += ci->Length();
+        }
+        sum.bins += bin_total / static_cast<double>(hist.bin_count());
+        sum.mean += accuracy::MeanIntervalFromSample(*sample, 0.9)->Length();
+        sum.variance +=
+            accuracy::VarianceIntervalFromSample(*sample, 0.9)->Length();
+        ++count;
+      }
+    }
+    avg[n] = {sum.bins / count, sum.mean / count, sum.variance / count};
+  }
+
+  const Lengths base = avg[ns.front()];
+  bench::PrintRow({"n", "bin_heights", "mean", "variance"});
+  for (size_t n : ns) {
+    bench::PrintRow({std::to_string(n),
+                     bench::Fmt(avg[n].bins / base.bins, 3),
+                     bench::Fmt(avg[n].mean / base.mean, 3),
+                     bench::Fmt(avg[n].variance / base.variance, 3)});
+  }
+  std::printf(
+      "\nExpected shape (paper): all three series decrease from 1.0 as n "
+      "grows, roughly like 1/sqrt(n).\n");
+  return 0;
+}

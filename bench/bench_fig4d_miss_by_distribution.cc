@@ -1,0 +1,63 @@
+// Figure 4(d): average miss rate of the 90% intervals at n = 20, per
+// synthetic distribution family (exponential, gamma, normal, uniform,
+// Weibull), averaged over the three statistics (bin heights, mean,
+// variance). Ground truth comes from the families' closed forms.
+
+#include "bench/figure_common.h"
+#include "src/accuracy/mean_variance_ci.h"
+#include "src/accuracy/proportion_ci.h"
+#include "src/common/rng.h"
+#include "src/dist/histogram.h"
+#include "src/dist/learner.h"
+#include "src/workload/synthetic.h"
+
+using namespace ausdb;
+
+int main() {
+  bench::Banner("Figure 4(d)",
+                "miss rates per distribution family (n=20, 90% CIs)");
+
+  Rng rng(44);
+  constexpr size_t kN = 20;
+  constexpr int kTrials = 3000;
+
+  bench::PrintRow({"family", "avg_miss", "bins", "mean", "variance"});
+  for (workload::Family family : workload::kAllFamilies) {
+    size_t bin_checks = 0, bin_misses = 0;
+    size_t mean_misses = 0, var_misses = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      const auto sample = workload::SampleFamilyMany(rng, family, kN);
+      auto learned = dist::LearnHistogram(sample, {});
+      const auto& hist =
+          static_cast<const dist::HistogramDist&>(*learned->distribution);
+      for (size_t b = 0; b < hist.bin_count(); ++b) {
+        auto ci = accuracy::ProportionInterval(hist.BinProb(b), kN, 0.9);
+        const double truth =
+            workload::FamilyCdf(family, hist.edges()[b + 1]) -
+            workload::FamilyCdf(family, hist.edges()[b]);
+        ++bin_checks;
+        if (!ci->Contains(truth)) ++bin_misses;
+      }
+      auto mean_ci = accuracy::MeanIntervalFromSample(sample, 0.9);
+      if (!mean_ci->Contains(workload::FamilyMean(family))) ++mean_misses;
+      auto var_ci = accuracy::VarianceIntervalFromSample(sample, 0.9);
+      if (!var_ci->Contains(workload::FamilyVariance(family)))
+        ++var_misses;
+    }
+    const double bins =
+        static_cast<double>(bin_misses) / static_cast<double>(bin_checks);
+    const double mean =
+        static_cast<double>(mean_misses) / static_cast<double>(kTrials);
+    const double variance =
+        static_cast<double>(var_misses) / static_cast<double>(kTrials);
+    bench::PrintRow({std::string(workload::FamilyToString(family)),
+                     bench::Fmt((bins + mean + variance) / 3.0, 4),
+                     bench::Fmt(bins, 4), bench::Fmt(mean, 4),
+                     bench::Fmt(variance, 4)});
+  }
+  std::printf(
+      "\nExpected shape (paper): all families stay at relatively low "
+      "miss rates (nominal 10%%); skewed families (exponential, gamma, "
+      "weibull) run higher on the variance statistic.\n");
+  return 0;
+}

@@ -1,0 +1,265 @@
+// Figure 5(a): bootstrap vs analytical accuracy information in query
+// results, on both workloads the paper uses:
+//  * route total-delay queries on the (simulated) road-delay data
+//    (~20 segments per route), and
+//  * random queries (six operators, five synthetic families).
+//
+// Reported per statistic (bin heights, mean, variance):
+//  * the average ratio of bootstrap to analytical CI length, and
+//  * the miss rates of both methods against ground truth.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "bench/figure_common.h"
+#include "src/accuracy/mean_variance_ci.h"
+#include "src/accuracy/proportion_ci.h"
+#include "src/bootstrap/bootstrap_accuracy.h"
+#include "src/dist/learner.h"
+#include "src/expr/evaluator.h"
+#include "src/stats/descriptive.h"
+#include "src/workload/cartel.h"
+#include "src/workload/family_distribution.h"
+#include "src/workload/random_query.h"
+
+using namespace ausdb;
+
+namespace {
+
+constexpr size_t kSourceSampleSize = 20;  // n per input field
+// m = 20n => r = 20 d.f. resamples, the proportions of the paper's
+// Example 7 (m = 300, n = 15).
+constexpr size_t kMcValues = 20 * kSourceSampleSize;
+constexpr size_t kTruthValues = 40000;
+constexpr double kConfidence = 0.9;
+// Coarse histograms, as in the paper's Example 2 (four buckets).
+constexpr size_t kBins = 4;
+
+struct Tally {
+  double ratio_sum = 0.0;
+  size_t ratio_count = 0;
+  size_t boot_checks = 0, boot_misses = 0;
+  size_t ana_checks = 0, ana_misses = 0;
+
+  void AddRatio(double boot_len, double ana_len) {
+    if (ana_len > 0.0 && std::isfinite(ana_len) &&
+        std::isfinite(boot_len)) {
+      ratio_sum += boot_len / ana_len;
+      ++ratio_count;
+    }
+  }
+  void AddMiss(bool boot_miss, bool ana_miss) {
+    ++boot_checks;
+    ++ana_checks;
+    boot_misses += boot_miss ? 1 : 0;
+    ana_misses += ana_miss ? 1 : 0;
+  }
+  double Ratio() const {
+    return ratio_count == 0 ? 0.0 : ratio_sum / ratio_count;
+  }
+  double BootMissRate() const {
+    return boot_checks == 0
+               ? 0.0
+               : static_cast<double>(boot_misses) / boot_checks;
+  }
+  double AnaMissRate() const {
+    return ana_checks == 0 ? 0.0
+                           : static_cast<double>(ana_misses) / ana_checks;
+  }
+};
+
+struct Tallies {
+  Tally bins, mean, variance;
+};
+
+// Runs one query case: `expression` over `learned_row` (inputs carrying
+// n=20 learned samples) with ground truth from `truth_row` (inputs
+// carrying the exact distributions). Returns false if the query was
+// numerically degenerate (division blow-ups) and should be redrawn.
+bool RunCase(const expr::Expr& expression,
+             const std::vector<std::string>& names,
+             const std::vector<expr::Value>& learned_row,
+             const std::vector<expr::Value>& truth_row, uint64_t seed,
+             double extreme_bound, Tallies* tallies) {
+  expr::EvalOptions mc_opts;
+  mc_opts.prefer_closed_form = false;  // always produce a value sequence
+  mc_opts.mc_samples = kMcValues;
+  mc_opts.seed = seed;
+  expr::Evaluator mc_eval(mc_opts);
+  auto learned_value = mc_eval.Evaluate(
+      expression, expr::Row{&names, &learned_row});
+  if (!learned_value.ok() || !learned_value->is_random_var()) return false;
+  const dist::RandomVar rv = *learned_value->random_var();
+  const auto& mc_values = *rv.raw_sample();
+
+  expr::EvalOptions truth_opts = mc_opts;
+  truth_opts.mc_samples = kTruthValues;
+  truth_opts.seed = seed ^ 0x5EEDull;
+  expr::Evaluator truth_eval(truth_opts);
+  auto truth_value =
+      truth_eval.Evaluate(expression, expr::Row{&names, &truth_row});
+  if (!truth_value.ok() || !truth_value->is_random_var()) return false;
+  const auto& truth_draws = *truth_value->random_var()->raw_sample();
+
+  // Degenerate-query guard: division blow-ups make every method's
+  // interval meaningless; the paper's queries are implicitly well
+  // behaved.
+  // Results whose draws stray beyond this are dominated by division
+  // blow-ups (effectively infinite variance) and are redrawn — the
+  // paper's random queries are implicitly well behaved.
+  const auto extreme = [extreme_bound](double v) {
+    return !std::isfinite(v) || std::abs(v) > extreme_bound;
+  };
+  if (std::any_of(mc_values.begin(), mc_values.end(), extreme) ||
+      std::any_of(truth_draws.begin(), truth_draws.end(), extreme)) {
+    return false;
+  }
+
+  const auto truth_stats = stats::Summarize(truth_draws);
+
+  // Shared histogram edges from the learned result sample.
+  dist::HistogramLearnOptions hopts;
+  hopts.bin_count = kBins;
+  auto edges = dist::ComputeBinEdges(mc_values, hopts);
+  if (!edges.ok()) return false;
+
+  const size_t n = rv.sample_size();
+
+  // --- Bootstrap path: the paper's algorithm on the MC value sequence.
+  auto boot =
+      bootstrap::BootstrapAccuracyInfo(mc_values, n, kConfidence, *edges);
+  if (!boot.ok()) return false;
+
+  // --- Analytical path: Theorem 1 on the result distribution.
+  auto ana_mean = accuracy::MeanInterval(rv.Mean(), rv.StdDev(), n,
+                                         kConfidence);
+  auto ana_var = accuracy::VarianceInterval(rv.StdDev(), n, kConfidence);
+  if (!ana_mean.ok() || !ana_var.ok()) return false;
+
+  const auto learned_counts = dist::CountBins(mc_values, *edges);
+  const auto truth_counts = dist::CountBins(truth_draws, *edges);
+  for (size_t b = 0; b < kBins; ++b) {
+    const double p_learned = static_cast<double>(learned_counts[b]) /
+                             static_cast<double>(mc_values.size());
+    auto ana_bin = accuracy::ProportionInterval(p_learned, n, kConfidence);
+    if (!ana_bin.ok()) return false;
+    const double truth_p = static_cast<double>(truth_counts[b]) /
+                           static_cast<double>(truth_draws.size());
+    tallies->bins.AddRatio(boot->bin_cis[b].Length(), ana_bin->Length());
+    tallies->bins.AddMiss(!boot->bin_cis[b].Contains(truth_p),
+                          !ana_bin->Contains(truth_p));
+  }
+
+  tallies->mean.AddRatio(boot->mean_ci->Length(), ana_mean->Length());
+  tallies->mean.AddMiss(!boot->mean_ci->Contains(truth_stats.mean),
+                        !ana_mean->Contains(truth_stats.mean));
+  tallies->variance.AddRatio(boot->variance_ci->Length(),
+                             ana_var->Length());
+  tallies->variance.AddMiss(
+      !boot->variance_ci->Contains(truth_stats.sample_variance),
+      !ana_var->Contains(truth_stats.sample_variance));
+  return true;
+}
+
+void PrintTallies(const char* label, const Tallies& tallies) {
+  std::printf("\n[%s]\n", label);
+  bench::PrintRow({"statistic", "len_ratio", "boot_miss", "ana_miss"},
+                  16);
+  bench::PrintRow({"bin_heights", bench::Fmt(tallies.bins.Ratio(), 3),
+                   bench::Fmt(tallies.bins.BootMissRate(), 3),
+                   bench::Fmt(tallies.bins.AnaMissRate(), 3)},
+                  16);
+  bench::PrintRow({"mean", bench::Fmt(tallies.mean.Ratio(), 3),
+                   bench::Fmt(tallies.mean.BootMissRate(), 3),
+                   bench::Fmt(tallies.mean.AnaMissRate(), 3)},
+                  16);
+  bench::PrintRow({"variance", bench::Fmt(tallies.variance.Ratio(), 3),
+                   bench::Fmt(tallies.variance.BootMissRate(), 3),
+                   bench::Fmt(tallies.variance.AnaMissRate(), 3)},
+                  16);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Figure 5(a)",
+                "bootstrap vs analytical accuracy of query results");
+
+  Tallies route_tallies, random_tallies;
+  Rng rng(51);
+
+  // --- Workload 1: route total-delay queries on simulated CarTel data.
+  {
+    workload::CartelOptions copts;
+    copts.num_segments = 120;
+    copts.observations_per_segment = 800;
+    copts.route_length = 20;
+    workload::CartelSimulator sim(copts);
+    int done = 0;
+    while (done < 40) {
+      const auto route = sim.MakeRoute(rng);
+      std::vector<std::string> names;
+      std::vector<expr::Value> learned_row, truth_row;
+      expr::ExprPtr sum;
+      for (size_t i = 0; i < route.size(); ++i) {
+        names.push_back("seg" + std::to_string(i));
+        auto sample = sim.DrawSample(route[i], kSourceSampleSize, rng);
+        auto learned = dist::LearnEmpirical(*sample);
+        learned_row.emplace_back(dist::RandomVar(*learned));
+        // Truth: resampling the full population is (approximately) the
+        // true per-segment delay distribution.
+        auto pop = dist::LearnEmpirical(sim.Population(route[i]));
+        truth_row.emplace_back(dist::RandomVar(*pop));
+        auto col = expr::Col(names.back());
+        sum = sum == nullptr ? col : expr::Add(sum, col);
+      }
+      if (RunCase(*sum, names, learned_row, truth_row, rng.NextUint64(),
+                  /*extreme_bound=*/1e7, &route_tallies)) {
+        ++done;
+      }
+    }
+  }
+
+  // --- Workload 2: random queries over the five synthetic families.
+  {
+    int done = 0;
+    while (done < 60) {
+      workload::RandomQueryOptions qopts;
+      qopts.num_columns = 3;
+      qopts.num_operators = 4;
+      const auto q = GenerateRandomQuery(rng, qopts);
+      std::vector<expr::Value> learned_row, truth_row;
+      bool ok = true;
+      for (workload::Family f : q.families) {
+        const auto sample =
+            workload::SampleFamilyMany(rng, f, kSourceSampleSize);
+        auto learned = dist::LearnEmpirical(sample);
+        if (!learned.ok()) {
+          ok = false;
+          break;
+        }
+        learned_row.emplace_back(dist::RandomVar(*learned));
+        truth_row.emplace_back(dist::RandomVar(
+            std::make_shared<workload::FamilyDist>(f), kSourceSampleSize));
+      }
+      if (!ok) continue;
+      if (RunCase(*q.expression, q.column_names, learned_row, truth_row,
+                  rng.NextUint64(), /*extreme_bound=*/1e3,
+                  &random_tallies)) {
+        ++done;
+      }
+    }
+  }
+
+  PrintTallies("route total-delay queries (CarTel sim)", route_tallies);
+  PrintTallies("random queries (synthetic families)", random_tallies);
+  std::printf(
+      "\nExpected shape (paper): bootstrap intervals shorter — slightly "
+      "for bin\nheights, substantially for mean and variance on the "
+      "near-normal route\nworkload; bootstrap miss rates stay low. "
+      "Heavy-tailed random queries\nstress the analytical normality "
+      "assumption hardest.\n");
+  return 0;
+}

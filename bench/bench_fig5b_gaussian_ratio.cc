@@ -1,0 +1,106 @@
+// Figure 5(b): bootstrap vs analytical CI lengths when the query result
+// is exactly normal — random queries restricted to normal input
+// distributions and the {+, -} operators (paper Section V-C). The gap
+// between the methods narrows because the analytical normality
+// assumption now holds.
+
+#include <cmath>
+#include <vector>
+
+#include "bench/figure_common.h"
+#include "src/accuracy/mean_variance_ci.h"
+#include "src/accuracy/proportion_ci.h"
+#include "src/bootstrap/bootstrap_accuracy.h"
+#include "src/dist/learner.h"
+#include "src/expr/evaluator.h"
+#include "src/workload/random_query.h"
+
+using namespace ausdb;
+
+int main() {
+  bench::Banner("Figure 5(b)",
+                "bootstrap/analytical CI length ratio, Gaussian results");
+
+  constexpr size_t kN = 20;
+  constexpr size_t kM = 20 * kN;  // r = 20 d.f. resamples
+  constexpr size_t kBins = 4;
+  constexpr double kConfidence = 0.9;
+  constexpr int kQueries = 150;
+
+  Rng rng(52);
+  double bin_ratio = 0.0, mean_ratio = 0.0, var_ratio = 0.0;
+  size_t bin_count = 0;
+  int done = 0;
+
+  while (done < kQueries) {
+    workload::RandomQueryOptions qopts;
+    qopts.num_columns = 3;
+    qopts.num_operators = 4;
+    qopts.normal_only_linear = true;
+    const auto q = GenerateRandomQuery(rng, qopts);
+
+    std::vector<expr::Value> row;
+    bool ok = true;
+    for (workload::Family f : q.families) {
+      const auto sample = workload::SampleFamilyMany(rng, f, kN);
+      auto learned = dist::LearnGaussian(sample);
+      if (!learned.ok()) {
+        ok = false;
+        break;
+      }
+      row.emplace_back(dist::RandomVar(*learned));
+    }
+    if (!ok) continue;
+
+    expr::EvalOptions opts;
+    opts.prefer_closed_form = false;  // need the MC value sequence
+    opts.mc_samples = kM;
+    opts.seed = rng.NextUint64();
+    expr::Evaluator eval(opts);
+    auto value =
+        eval.Evaluate(*q.expression, expr::Row{&q.column_names, &row});
+    if (!value.ok() || !value->is_random_var()) continue;
+    const dist::RandomVar rv = *value->random_var();
+    const auto& mc_values = *rv.raw_sample();
+
+    dist::HistogramLearnOptions hopts;
+    hopts.bin_count = kBins;
+    auto edges = dist::ComputeBinEdges(mc_values, hopts);
+    auto boot = bootstrap::BootstrapAccuracyInfo(mc_values, kN,
+                                                 kConfidence, *edges);
+    auto ana_mean =
+        accuracy::MeanInterval(rv.Mean(), rv.StdDev(), kN, kConfidence);
+    auto ana_var = accuracy::VarianceInterval(rv.StdDev(), kN, kConfidence);
+    if (!boot.ok() || !ana_mean.ok() || !ana_var.ok()) continue;
+
+    const auto counts = dist::CountBins(mc_values, *edges);
+    for (size_t b = 0; b < kBins; ++b) {
+      const double p = static_cast<double>(counts[b]) /
+                       static_cast<double>(mc_values.size());
+      auto ana_bin = accuracy::ProportionInterval(p, kN, kConfidence);
+      if (ana_bin.ok() && ana_bin->Length() > 0.0) {
+        bin_ratio += boot->bin_cis[b].Length() / ana_bin->Length();
+        ++bin_count;
+      }
+    }
+    mean_ratio += boot->mean_ci->Length() / ana_mean->Length();
+    var_ratio += boot->variance_ci->Length() / ana_var->Length();
+    ++done;
+  }
+
+  bench::PrintRow({"statistic", "len_ratio(boot/ana)"}, 18);
+  bench::PrintRow({"bin_heights",
+                   bench::Fmt(bin_ratio / static_cast<double>(bin_count),
+                              3)},
+                  18);
+  bench::PrintRow(
+      {"mean", bench::Fmt(mean_ratio / static_cast<double>(done), 3)}, 18);
+  bench::PrintRow(
+      {"variance", bench::Fmt(var_ratio / static_cast<double>(done), 3)},
+      18);
+  std::printf(
+      "\nExpected shape (paper): the bootstrap advantage shrinks to "
+      "~20%% on mean\nand variance when the result really is normal "
+      "(compare Figure 5(a)).\n");
+  return 0;
+}

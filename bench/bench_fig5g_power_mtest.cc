@@ -1,0 +1,55 @@
+// Figure 5(g): power of the coupled mTest vs the effect size delta, for
+// the five synthetic families (n = 20, alpha1 = alpha2 = 0.05).
+//
+// Per the paper's setup, the tested constant is c = (1 - delta) * mu so
+// that H1 ("E(X) > c") is true; the power is the rate of TRUE returns.
+// Uniform (tiny variance) and gamma (fast-decaying relative tail) gain
+// power fastest — the effect the paper calls out.
+
+#include <vector>
+
+#include "bench/figure_common.h"
+#include "src/dist/learner.h"
+#include "src/hypothesis/coupled_tests.h"
+#include "src/hypothesis/power.h"
+#include "src/workload/synthetic.h"
+
+using namespace ausdb;
+
+int main() {
+  bench::Banner("Figure 5(g)",
+                "power of coupled mTest vs delta (n=20, five families)");
+
+  constexpr size_t kN = 20;
+  constexpr size_t kTrials = 2000;
+  Rng rng(57);
+
+  std::vector<std::string> header = {"delta"};
+  for (workload::Family f : workload::kAllFamilies) {
+    header.emplace_back(workload::FamilyToString(f));
+  }
+  bench::PrintRow(header, 13);
+
+  for (double delta : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6}) {
+    std::vector<std::string> row = {bench::Fmt(delta, 1)};
+    for (workload::Family f : workload::kAllFamilies) {
+      const double mu = workload::FamilyMean(f);
+      const double c = (1.0 - delta) * mu;
+      auto run_once = [&]() {
+        const auto sample = workload::SampleFamilyMany(rng, f, kN);
+        auto learned = dist::LearnGaussian(sample);
+        dist::RandomVar x(*learned);
+        auto outcome = hypothesis::CoupledMTest(
+            x, hypothesis::TestOp::kGreater, c, 0.05, 0.05);
+        return outcome.ok() ? *outcome : hypothesis::TestOutcome::kUnsure;
+      };
+      const auto est = hypothesis::EstimatePower(kTrials, run_once);
+      row.push_back(bench::Fmt(est.Power(), 3));
+    }
+    bench::PrintRow(row, 13);
+  }
+  std::printf(
+      "\nExpected shape (paper): power rises with delta for every "
+      "family; uniform\n(variance 1/12) and gamma rise fastest.\n");
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Microbenchmarks (google-benchmark) of the accuracy-engine primitives:
+// quantile functions, interval construction, hypothesis tests, bootstrap
+// and distribution learning. These are the per-tuple costs behind the
+// throughput figures 5(c)/5(f).
+
+#include <benchmark/benchmark.h>
+
+#include "src/accuracy/accuracy_info.h"
+#include "src/accuracy/mean_variance_ci.h"
+#include "src/accuracy/proportion_ci.h"
+#include "src/bootstrap/bootstrap_accuracy.h"
+#include "src/dist/gaussian.h"
+#include "src/dist/learner.h"
+#include "src/expr/evaluator.h"
+#include "src/hypothesis/coupled_tests.h"
+#include "src/stats/quantiles.h"
+#include "src/stats/random_variates.h"
+
+using namespace ausdb;
+
+namespace {
+
+void BM_NormalQuantile(benchmark::State& state) {
+  double p = 0.0123;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::NormalQuantile(p));
+    p = p < 0.99 ? p + 1e-4 : 0.0123;
+  }
+}
+BENCHMARK(BM_NormalQuantile);
+
+void BM_StudentTQuantile(benchmark::State& state) {
+  double p = 0.0123;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::StudentTQuantile(p, 19.0));
+    p = p < 0.99 ? p + 1e-4 : 0.0123;
+  }
+}
+BENCHMARK(BM_StudentTQuantile);
+
+void BM_ChiSquareQuantile(benchmark::State& state) {
+  double p = 0.0123;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::ChiSquareQuantile(p, 19.0));
+    p = p < 0.99 ? p + 1e-4 : 0.0123;
+  }
+}
+BENCHMARK(BM_ChiSquareQuantile);
+
+void BM_MeanInterval(benchmark::State& state) {
+  // Cached-percentile fast path: same (n, confidence) every call, as in
+  // the streaming pipeline.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(accuracy::MeanInterval(10.0, 2.0, 20, 0.9));
+  }
+}
+BENCHMARK(BM_MeanInterval);
+
+void BM_ProportionInterval(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(accuracy::ProportionInterval(0.3, 20, 0.9));
+  }
+}
+BENCHMARK(BM_ProportionInterval);
+
+void BM_AnalyticalAccuracyGaussian(benchmark::State& state) {
+  dist::GaussianDist g(10.0, 4.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(accuracy::AnalyticalAccuracy(g, 20, 0.9));
+  }
+}
+BENCHMARK(BM_AnalyticalAccuracyGaussian);
+
+void BM_BootstrapFromDistribution(benchmark::State& state) {
+  dist::GaussianDist g(10.0, 4.0);
+  Rng rng(1);
+  const size_t r = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bootstrap::BootstrapAccuracyFromDistribution(g, 20, r, 0.9, rng));
+  }
+}
+BENCHMARK(BM_BootstrapFromDistribution)->Arg(10)->Arg(20)->Arg(50);
+
+void BM_CoupledMTest(benchmark::State& state) {
+  hypothesis::SampleStatistics s{10.2, 2.0, 20};
+  for (auto _ : state) {
+    auto outcome = hypothesis::CoupledTests(
+        [&s](hypothesis::TestOp op, double alpha) {
+          return hypothesis::MeanTest(s, op, 10.0, alpha);
+        },
+        hypothesis::TestOp::kGreater, 0.05, 0.05);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_CoupledMTest);
+
+void BM_LearnGaussian20(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<double> sample(20);
+  for (auto _ : state) {
+    for (double& v : sample) v = stats::SampleNormal(rng, 10.0, 2.0);
+    benchmark::DoNotOptimize(dist::LearnGaussian(sample));
+  }
+}
+BENCHMARK(BM_LearnGaussian20);
+
+void BM_LearnHistogram(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> sample(static_cast<size_t>(state.range(0)));
+  for (double& v : sample) v = stats::SampleNormal(rng, 10.0, 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist::LearnHistogram(sample, {}));
+  }
+}
+BENCHMARK(BM_LearnHistogram)->Arg(20)->Arg(100)->Arg(1000);
+
+void BM_PredicateColumnVsConstant(benchmark::State& state) {
+  const std::vector<std::string> names = {"x"};
+  const std::vector<expr::Value> values = {expr::Value(dist::RandomVar(
+      std::make_shared<dist::GaussianDist>(10.0, 4.0), 20))};
+  const expr::Row row{&names, &values};
+  const auto pred = expr::Gt(expr::Col("x"), expr::Lit(9.0));
+  expr::Evaluator eval;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.EvaluatePredicate(*pred, row));
+  }
+}
+BENCHMARK(BM_PredicateColumnVsConstant);
+
+void BM_MonteCarloExpression(benchmark::State& state) {
+  const std::vector<std::string> names = {"x", "y"};
+  const std::vector<expr::Value> values = {
+      expr::Value(dist::RandomVar(
+          std::make_shared<dist::GaussianDist>(10.0, 4.0), 20)),
+      expr::Value(dist::RandomVar(
+          std::make_shared<dist::GaussianDist>(5.0, 1.0), 20))};
+  const expr::Row row{&names, &values};
+  const auto e = expr::Square(expr::Add(expr::Col("x"), expr::Col("y")));
+  expr::EvalOptions opts;
+  opts.mc_samples = static_cast<size_t>(state.range(0));
+  expr::Evaluator eval(opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.Evaluate(*e, row));
+  }
+}
+BENCHMARK(BM_MonteCarloExpression)->Arg(400)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

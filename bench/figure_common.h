@@ -1,0 +1,44 @@
+// Shared helpers for the per-figure reproduction harnesses.
+//
+// Each bench_fig* binary regenerates one panel of the paper's evaluation
+// (Figures 4(a)-(d) and 5(a)-(h)) and prints the series the paper plots.
+// Absolute values depend on the simulated substrate; EXPERIMENTS.md
+// records the paper-vs-measured shape comparison.
+
+#ifndef AUSDB_BENCH_FIGURE_COMMON_H_
+#define AUSDB_BENCH_FIGURE_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ausdb {
+namespace bench {
+
+/// Prints a header banner naming the figure.
+inline void Banner(const std::string& figure, const std::string& title) {
+  std::printf("=== %s: %s ===\n", figure.c_str(), title.c_str());
+}
+
+/// Prints one row of a fixed-width table.
+inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, int precision = 4) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string FmtInt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f", v);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace ausdb
+
+#endif  // AUSDB_BENCH_FIGURE_COMMON_H_

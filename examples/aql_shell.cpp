@@ -1,0 +1,89 @@
+// aql_shell: run AQL queries over raw observation CSVs from the command
+// line — the "database front door" for AUSDB.
+//
+// Usage:
+//   example_aql_shell <csv-file> <key-column> <value-column> [query]
+//
+// The CSV holds raw observation records (as in the paper's Figure 1,
+// e.g. road_id,delay rows); one distribution-valued tuple is learned per
+// key. With a query argument the shell runs it and exits; without, it
+// reads queries from stdin (one per line; empty line or EOF quits).
+//
+// Try (from the repository root, after generating a demo file):
+//   build/examples/example_aql_shell /tmp/delays.csv road_id delay
+//     "SELECT road_id FROM t WHERE PTEST(delay > 50, 0.66, 0.05)"
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "src/engine/executor.h"
+#include "src/engine/scan.h"
+#include "src/io/observation_loader.h"
+#include "src/query/planner.h"
+#include "src/serde/json_writer.h"
+#include "src/serde/table_printer.h"
+
+using namespace ausdb;
+
+namespace {
+
+int RunQuery(const io::LoadedObservations& data,
+             const std::string& sql) {
+  auto plan = query::PlanQuery(
+      sql, std::make_unique<engine::VectorScan>(data.schema, data.tuples));
+  if (!plan.ok()) {
+    std::fprintf(stderr, "error: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  auto result = engine::Collect(**plan);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  serde::PrintTable(std::cout, (*plan)->schema(), *result);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: %s <csv-file> <key-column> <value-column> "
+                 "[query]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  io::ObservationLoadOptions opts;
+  opts.key_column = argv[2];
+  opts.value_column = argv[3];
+  opts.learn_as = io::LearnAs::kEmpirical;
+  auto data = io::LoadObservationsFromFile(argv[1], opts);
+  if (!data.ok()) {
+    std::fprintf(stderr, "load error: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu keys from %s", data->tuples.size(), argv[1]);
+  if (!data->skipped_keys.empty()) {
+    std::printf(" (%zu skipped for too few observations)",
+                data->skipped_keys.size());
+  }
+  std::printf("\n");
+
+  if (argc >= 5) {
+    return RunQuery(*data, argv[4]);
+  }
+
+  std::printf("enter AQL queries (empty line to quit):\n");
+  std::string line;
+  while (std::printf("ausdb> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    if (line.empty()) break;
+    RunQuery(*data, line);
+  }
+  return 0;
+}

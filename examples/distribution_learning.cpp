@@ -1,0 +1,90 @@
+// Tour of the distribution learners and their accuracy information:
+// histogram, Gaussian MLE, empirical, kernel density, Gaussian mixture
+// (EM), and recency-weighted learning — all from the same raw sample,
+// all carrying the provenance the accuracy engine needs.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/accuracy/accuracy_info.h"
+#include "src/dist/gmm_learner.h"
+#include "src/dist/kde_learner.h"
+#include "src/dist/learner.h"
+#include "src/dist/weighted_learner.h"
+#include "src/stats/random_variates.h"
+#include "src/stats/weighted.h"
+
+using namespace ausdb;
+
+namespace {
+
+void Report(const char* name, const dist::LearnedDistribution& learned) {
+  auto info = accuracy::AnalyticalAccuracy(*learned.distribution,
+                                           learned.sample_size, 0.9);
+  std::printf("%-10s %-34s", name,
+              learned.distribution->ToString().c_str());
+  if (info.ok()) {
+    std::printf(" mean=%.2f %s", learned.distribution->Mean(),
+                info->mean_ci->ToString().c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  // A bimodal sensor: a machine that idles near 40 and runs hot near 80.
+  Rng rng(2026);
+  std::vector<double> sample;
+  for (int i = 0; i < 60; ++i) {
+    sample.push_back(rng.NextDouble() < 0.5
+                         ? stats::SampleNormal(rng, 40.0, 3.0)
+                         : stats::SampleNormal(rng, 80.0, 5.0));
+  }
+
+  std::printf("learning from %zu observations of a bimodal sensor\n\n",
+              sample.size());
+
+  auto hist = dist::LearnHistogram(sample, {});
+  Report("histogram", *hist);
+
+  auto gauss = dist::LearnGaussian(sample);
+  Report("gaussian", *gauss);
+
+  auto emp = dist::LearnEmpirical(sample);
+  Report("empirical", *emp);
+
+  auto kde = dist::LearnKde(sample);
+  Report("kde", *kde);
+
+  dist::GmmFitInfo fit;
+  auto gmm = dist::LearnGaussianMixture(sample, {}, &fit);
+  Report("gmm(EM)", *gmm);
+  std::printf("           EM: %zu iterations, converged=%s\n",
+              fit.iterations, fit.converged ? "yes" : "no");
+
+  // The Gaussian unimodal fit hides the bimodality; the mixture finds
+  // both modes:
+  const auto& mix =
+      static_cast<const dist::MixtureDist&>(*gmm->distribution);
+  for (size_t j = 0; j < mix.components().size(); ++j) {
+    std::printf("           component %zu: %s (weight %.2f)\n", j,
+                mix.components()[j]->ToString().c_str(),
+                mix.weights()[j]);
+  }
+
+  // Recency weighting (paper Section VII future work): same data viewed
+  // as a drifting stream — newest first with exponential decay.
+  auto weights = stats::ExponentialDecayWeights(sample.size(), 0.9);
+  auto weighted = dist::LearnWeightedGaussian(sample, *weights);
+  if (weighted.ok()) {
+    std::printf(
+        "\nweighted   gaussian with decay 0.9: n_raw=%zu but "
+        "n_eff=%.1f\n",
+        weighted->raw_count, weighted->effective_sample_size);
+    std::printf(
+        "           (accuracy machinery uses the smaller n_eff, so the\n"
+        "            intervals honestly widen)\n");
+  }
+  return 0;
+}

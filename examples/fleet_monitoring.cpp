@@ -1,0 +1,106 @@
+// Fleet monitoring: per-vehicle sliding windows via GROUP BY, and a
+// time-based RANGE window over the merged feed — the streaming-SQL
+// surface of AUSDB on a multi-entity workload.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "src/dist/learner.h"
+#include "src/engine/executor.h"
+#include "src/engine/scan.h"
+#include "src/query/planner.h"
+#include "src/serde/table_printer.h"
+#include "src/stats/random_variates.h"
+
+using namespace ausdb;
+
+namespace {
+
+// A fleet of trucks reporting engine temperature; each report is a
+// distribution learned from a burst of 12 raw sensor readings. Truck T2
+// runs hot and drifts hotter.
+std::vector<engine::Tuple> FleetReports(engine::Schema* schema) {
+  (void)schema->AddField({"truck", engine::FieldType::kString});
+  (void)schema->AddField({"ts", engine::FieldType::kDouble});
+  (void)schema->AddField({"temp", engine::FieldType::kUncertain});
+
+  Rng rng(77);
+  std::vector<engine::Tuple> tuples;
+  double ts = 0.0;
+  for (int round = 0; round < 30; ++round) {
+    for (const char* truck : {"T1", "T2", "T3"}) {
+      ts += 1.0;
+      double mu = 80.0;
+      if (std::string(truck) == "T2") {
+        mu = 88.0 + 0.2 * round;  // hot and drifting
+      }
+      std::vector<double> burst;
+      for (int i = 0; i < 12; ++i) {
+        burst.push_back(stats::SampleNormal(rng, mu, 3.0));
+      }
+      auto learned = dist::LearnGaussian(burst);
+      tuples.emplace_back(std::vector<expr::Value>{
+          expr::Value(std::string(truck)), expr::Value(ts),
+          expr::Value(dist::RandomVar(*learned))});
+    }
+  }
+  return tuples;
+}
+
+int Run(const char* title, const char* sql, const engine::Schema& schema,
+        const std::vector<engine::Tuple>& tuples, size_t show_last) {
+  std::printf("\n-- %s\n> %s\n", title, sql);
+  auto plan = query::PlanQuery(
+      sql, std::make_unique<engine::VectorScan>(schema, tuples));
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  auto out = engine::Collect(**plan);
+  if (!out.ok()) {
+    std::fprintf(stderr, "%s\n", out.status().ToString().c_str());
+    return 1;
+  }
+  const size_t start = out->size() > show_last ? out->size() - show_last
+                                               : 0;
+  std::vector<engine::Tuple> tail(out->begin() + start, out->end());
+  serde::PrintTable(std::cout, (*plan)->schema(), tail);
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  engine::Schema schema;
+  const auto tuples = FleetReports(&schema);
+  std::printf("fleet stream: %zu reports from 3 trucks\n", tuples.size());
+
+  // Per-truck sliding average (GROUP BY): the last emission per truck.
+  if (Run("per-truck 5-report average",
+          "SELECT AVG(temp) OVER (ROWS 5) FROM fleet GROUP BY truck "
+          "WITH ACCURACY ANALYTICAL CONFIDENCE 0.9",
+          schema, tuples, 3)) {
+    return 1;
+  }
+
+  // Fleet-wide time window over the merged feed.
+  if (Run("fleet-wide 10s window",
+          "SELECT AVG(temp) OVER (RANGE 10 ON ts) AS fleet_avg "
+          "FROM fleet",
+          schema, tuples, 2)) {
+    return 1;
+  }
+
+  // Which trucks' mean temperature significantly exceeds 85?
+  if (Run("significance screening",
+          "SELECT truck, MEAN_CI(temp, 0.9) FROM fleet "
+          "WHERE MTEST(temp, '>', 85, 0.05, 0.05) LIMIT 5",
+          schema, tuples, 5)) {
+    return 1;
+  }
+  std::printf(
+      "\nonly the genuinely hot truck passes the significance screen;\n"
+      "cool trucks with noisy bursts do not false-alarm.\n");
+  return 0;
+}

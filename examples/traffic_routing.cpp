@@ -1,0 +1,70 @@
+// Traffic-aware routing (the paper's Example 1 / CarTel scenario).
+//
+// A simulated vehicular network reports road-segment delays. Two candidate
+// routes are compared by total expected delay using the coupled mdTest:
+// with few probe vehicles the system answers UNSURE rather than guessing;
+// as more reports arrive the decision becomes significant.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/dist/learner.h"
+#include "src/hypothesis/coupled_tests.h"
+#include "src/workload/cartel.h"
+
+using namespace ausdb;
+
+namespace {
+
+// Learn each route's total-delay distribution from n de facto
+// observations and run the coupled mdTest "E(route_a) > E(route_b)?".
+hypothesis::TestOutcome CompareRoutes(
+    const workload::CartelSimulator& sim,
+    const std::vector<size_t>& route_a, const std::vector<size_t>& route_b,
+    size_t n, Rng& rng) {
+  auto obs_a = sim.RouteDelayObservations(route_a, n, rng);
+  auto obs_b = sim.RouteDelayObservations(route_b, n, rng);
+  auto learned_a = dist::LearnGaussian(*obs_a);
+  auto learned_b = dist::LearnGaussian(*obs_b);
+  dist::RandomVar a(*learned_a);
+  dist::RandomVar b(*learned_b);
+  auto outcome = hypothesis::CoupledMdTest(
+      a, b, hypothesis::TestOp::kGreater, 0.0, 0.05, 0.05);
+  return outcome.ok() ? *outcome : hypothesis::TestOutcome::kUnsure;
+}
+
+}  // namespace
+
+int main() {
+  workload::CartelOptions opts;
+  opts.num_segments = 150;
+  opts.observations_per_segment = 800;
+  opts.route_length = 20;
+  workload::CartelSimulator sim(opts);
+  Rng rng(60025);
+
+  // Two routes through greater Boston with intentionally close true mean
+  // delays (the hard case for decision making).
+  const auto pair = sim.MakeRoutePairWithRankGap(rng, 60);
+  std::printf("route A true mean delay: %.1f s\n",
+              sim.TrueRouteMean(pair.greater));
+  std::printf("route B true mean delay: %.1f s (gap %.2f s)\n",
+              sim.TrueRouteMean(pair.lesser), pair.mean_gap);
+
+  std::printf("\n%-28s %-10s\n", "probe reports per segment",
+              "decision: is A slower than B?");
+  for (size_t n : {5, 10, 20, 40, 80, 160, 320, 640}) {
+    const auto outcome =
+        CompareRoutes(sim, pair.greater, pair.lesser, n, rng);
+    std::printf("%-28zu %s\n", n,
+                std::string(hypothesis::TestOutcomeToString(outcome))
+                    .c_str());
+  }
+
+  std::printf(
+      "\nWith few reports the system refuses to route blindly (UNSURE);\n"
+      "once the distributions are accurate enough, it commits -- with\n"
+      "both false positive and false negative rates under 5%%\n"
+      "(COUPLED-TESTS, Theorem 3).\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "src/accuracy/accuracy_info.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/accuracy/mean_variance_ci.h"
+#include "src/accuracy/proportion_ci.h"
+#include "src/dist/histogram.h"
+
+namespace ausdb {
+namespace accuracy {
+
+std::string AccuracyInfo::ToString() const {
+  std::ostringstream os;
+  os << "AccuracyInfo(n=" << sample_size << ", method="
+     << (method == AccuracyMethod::kAnalytical ? "analytical" : "bootstrap");
+  if (mean_ci) os << ", mean=" << mean_ci->ToString();
+  if (variance_ci) os << ", var=" << variance_ci->ToString();
+  if (!bin_cis.empty()) os << ", bins=" << bin_cis.size();
+  os << ")";
+  return os.str();
+}
+
+Result<AccuracyInfo> AnalyticalAccuracy(const dist::Distribution& d,
+                                        size_t n, double confidence) {
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    return Status::InvalidArgument("confidence must be in (0,1)");
+  }
+  AccuracyInfo info;
+  info.sample_size = n;
+  info.method = AccuracyMethod::kAnalytical;
+
+  if (d.kind() == dist::DistributionKind::kPoint) {
+    // Deterministic value: intervals of length zero at full confidence.
+    const double v = d.Mean();
+    info.mean_ci = ConfidenceInterval{v, v, confidence};
+    info.variance_ci = ConfidenceInterval{0.0, 0.0, confidence};
+    return info;
+  }
+
+  if (n < 2) {
+    return Status::InsufficientData(
+        "analytical accuracy requires sample size >= 2; got " +
+        std::to_string(n));
+  }
+
+  // Lemma 2 for mean and variance, using the distribution's moments as
+  // the sample statistics ybar and s (Theorem 1).
+  AUSDB_ASSIGN_OR_RETURN(ConfidenceInterval mean_ci,
+                         MeanInterval(d.Mean(), d.StdDev(), n, confidence));
+  AUSDB_ASSIGN_OR_RETURN(ConfidenceInterval var_ci,
+                         VarianceInterval(d.StdDev(), n, confidence));
+  info.mean_ci = mean_ci;
+  info.variance_ci = var_ci;
+
+  // Lemma 1 per-bin intervals for histogram distributions.
+  if (d.kind() == dist::DistributionKind::kHistogram) {
+    const auto& hist = static_cast<const dist::HistogramDist&>(d);
+    info.bin_cis.reserve(hist.bin_count());
+    for (size_t i = 0; i < hist.bin_count(); ++i) {
+      AUSDB_ASSIGN_OR_RETURN(
+          ConfidenceInterval bin_ci,
+          ProportionInterval(hist.BinProb(i), n, confidence));
+      info.bin_cis.push_back(bin_ci);
+    }
+  }
+  return info;
+}
+
+Result<AccuracyInfo> AnalyticalAccuracy(const dist::RandomVar& rv,
+                                        double confidence) {
+  if (rv.is_certain()) {
+    return AnalyticalAccuracy(*rv.distribution(), 0, confidence);
+  }
+  return AnalyticalAccuracy(*rv.distribution(), rv.sample_size(),
+                            confidence);
+}
+
+Result<ConfidenceInterval> TupleProbabilityInterval(double tuple_prob,
+                                                    size_t n,
+                                                    double confidence) {
+  return ProportionInterval(tuple_prob, n, confidence);
+}
+
+}  // namespace accuracy
+}  // namespace ausdb

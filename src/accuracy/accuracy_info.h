@@ -1,0 +1,70 @@
+#ifndef AUSDB_ACCURACY_ACCURACY_INFO_H_
+#define AUSDB_ACCURACY_ACCURACY_INFO_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/accuracy/confidence_interval.h"
+#include "src/common/result.h"
+#include "src/dist/random_var.h"
+
+namespace ausdb {
+namespace accuracy {
+
+/// How a piece of accuracy information was derived.
+enum class AccuracyMethod {
+  kAnalytical,  ///< Lemmas 1-2 closed forms (Section II).
+  kBootstrap,   ///< BOOTSTRAP-ACCURACY-INFO (Section III).
+};
+
+/// \brief The accuracy information attached to a distribution in a query
+/// result (paper Section II-B).
+///
+/// For a histogram distribution, `bin_cis` holds one confidence interval
+/// per bin height (Lemma 1's generalized representation
+/// {(b_i, p_i1, p_i2, c_i)}). For any distribution, `mean_ci` and
+/// `variance_ci` hold the intervals on mu and sigma^2 (Lemma 2).
+struct AccuracyInfo {
+  /// The (de facto) sample size n the intervals are based on.
+  size_t sample_size = 0;
+
+  AccuracyMethod method = AccuracyMethod::kAnalytical;
+
+  std::optional<ConfidenceInterval> mean_ci;
+  std::optional<ConfidenceInterval> variance_ci;
+
+  /// One interval per histogram bin; empty for non-histogram
+  /// distributions.
+  std::vector<ConfidenceInterval> bin_cis;
+
+  std::string ToString() const;
+};
+
+/// \brief Theorem 1 analytical path: derives AccuracyInfo for a
+/// distribution learned from (or carrying) a sample of size n.
+///
+/// Histogram distributions get per-bin Lemma 1 intervals plus Lemma 2
+/// mean/variance intervals (using the distribution's mean and standard
+/// deviation as ybar and s); all other distributions get the Lemma 2
+/// intervals only.
+Result<AccuracyInfo> AnalyticalAccuracy(const dist::Distribution& d,
+                                        size_t n, double confidence);
+
+/// Convenience overload for a RandomVar (uses its d.f. sample size).
+/// Deterministic variables yield degenerate zero-length intervals.
+Result<AccuracyInfo> AnalyticalAccuracy(const dist::RandomVar& rv,
+                                        double confidence);
+
+/// \brief Theorem 1's rule for a result tuple's membership probability:
+/// treat it as a one-bin histogram whose bin probability is the tuple
+/// probability, and apply Lemma 1 with the boolean variable's d.f. sample
+/// size.
+Result<ConfidenceInterval> TupleProbabilityInterval(double tuple_prob,
+                                                    size_t n,
+                                                    double confidence);
+
+}  // namespace accuracy
+}  // namespace ausdb
+
+#endif  // AUSDB_ACCURACY_ACCURACY_INFO_H_

@@ -1,0 +1,26 @@
+#include "src/accuracy/confidence_interval.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ausdb {
+namespace accuracy {
+
+std::string ConfidenceInterval::ToString() const {
+  std::ostringstream os;
+  os << "[" << lo << ", " << hi << "] @" << confidence * 100.0 << "%";
+  return os.str();
+}
+
+ConfidenceInterval Intersect(const ConfidenceInterval& a,
+                             const ConfidenceInterval& b) {
+  ConfidenceInterval out;
+  out.lo = std::max(a.lo, b.lo);
+  out.hi = std::min(a.hi, b.hi);
+  if (out.hi < out.lo) out.hi = out.lo;
+  out.confidence = std::min(a.confidence, b.confidence);
+  return out;
+}
+
+}  // namespace accuracy
+}  // namespace ausdb

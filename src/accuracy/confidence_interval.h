@@ -1,0 +1,40 @@
+#ifndef AUSDB_ACCURACY_CONFIDENCE_INTERVAL_H_
+#define AUSDB_ACCURACY_CONFIDENCE_INTERVAL_H_
+
+#include <string>
+
+namespace ausdb {
+namespace accuracy {
+
+/// \brief A confidence interval [lo, hi] for a distribution parameter,
+/// with the confidence level it was built at.
+///
+/// The paper's accuracy information is exactly a collection of these: one
+/// per histogram bin height, one for the mean, one for the variance, and
+/// one for a result tuple's membership probability.
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  /// Confidence level in (0, 1), e.g. 0.95.
+  double confidence = 0.0;
+
+  double Length() const { return hi - lo; }
+  double Midpoint() const { return 0.5 * (lo + hi); }
+
+  /// True iff `value` lies in [lo, hi]. The complement is a "miss" in the
+  /// paper's Figure 4(c)/(d) metric.
+  bool Contains(double value) const { return value >= lo && value <= hi; }
+
+  std::string ToString() const;
+};
+
+/// \brief Intersection of two intervals; empty result collapses to a
+/// zero-length interval at the overlap boundary. Confidence is the min of
+/// the two (Bonferroni-conservative).
+ConfidenceInterval Intersect(const ConfidenceInterval& a,
+                             const ConfidenceInterval& b);
+
+}  // namespace accuracy
+}  // namespace ausdb
+
+#endif  // AUSDB_ACCURACY_CONFIDENCE_INTERVAL_H_

@@ -1,0 +1,138 @@
+#include "src/accuracy/mean_variance_ci.h"
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "src/common/math_util.h"
+#include "src/stats/descriptive.h"
+#include "src/stats/quantiles.h"
+
+namespace ausdb {
+namespace accuracy {
+
+namespace {
+
+// Streams recompute intervals for the same (n, confidence) on every
+// tuple; the t/z/chi-square percentiles only depend on that pair, so they
+// are memoized here. Keyed by n in the low bits and the confidence bits
+// above; collisions are impossible for distinct inputs because the key
+// embeds both exactly.
+struct PercentileKey {
+  size_t n;
+  double confidence;
+  bool operator==(const PercentileKey& other) const {
+    return n == other.n && confidence == other.confidence;
+  }
+};
+
+struct PercentileKeyHash {
+  size_t operator()(const PercentileKey& k) const {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(k.confidence));
+    __builtin_memcpy(&bits, &k.confidence, sizeof(bits));
+    return std::hash<uint64_t>()(bits * 0x9E3779B97F4A7C15ULL ^ k.n);
+  }
+};
+
+// Cached multiplier of the Lemma 2 mean interval: t_{(1-c)/2, n-1} for
+// n < 30, z_{(1-c)/2} otherwise.
+double CachedMeanMultiplier(size_t n, double confidence) {
+  thread_local std::unordered_map<PercentileKey, double, PercentileKeyHash>
+      cache;
+  const PercentileKey key{n, confidence};
+  const auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  const double q = (1.0 - confidence) / 2.0;
+  const double value =
+      n < kSmallSampleThreshold
+          ? stats::StudentTUpperPercentile(q, static_cast<double>(n) - 1.0)
+          : stats::NormalUpperPercentile(q);
+  cache.emplace(key, value);
+  return value;
+}
+
+// Cached chi-square divisors of the Lemma 2 variance interval.
+struct ChiPair {
+  double chi_hi;
+  double chi_lo;
+};
+
+ChiPair CachedChiPair(size_t n, double confidence) {
+  thread_local std::unordered_map<PercentileKey, ChiPair,
+                                  PercentileKeyHash>
+      cache;
+  const PercentileKey key{n, confidence};
+  const auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  const double dof = static_cast<double>(n) - 1.0;
+  const ChiPair value{
+      stats::ChiSquareUpperPercentile((1.0 - confidence) / 2.0, dof),
+      stats::ChiSquareUpperPercentile((1.0 + confidence) / 2.0, dof)};
+  cache.emplace(key, value);
+  return value;
+}
+
+Status ValidateMeanVarianceArgs(double sample_stddev, size_t n,
+                                double confidence) {
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    return Status::InvalidArgument("confidence must be in (0,1)");
+  }
+  if (n < 2) {
+    return Status::InsufficientData(
+        "mean/variance intervals require sample size >= 2");
+  }
+  if (!(sample_stddev >= 0.0) || !std::isfinite(sample_stddev)) {
+    return Status::InvalidArgument(
+        "sample standard deviation must be finite and >= 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ConfidenceInterval> MeanInterval(double sample_mean,
+                                        double sample_stddev, size_t n,
+                                        double confidence) {
+  AUSDB_RETURN_NOT_OK(ValidateMeanVarianceArgs(sample_stddev, n, confidence));
+  const double nn = static_cast<double>(n);
+  const double multiplier = CachedMeanMultiplier(n, confidence);
+  const double half = multiplier * sample_stddev / std::sqrt(nn);
+  ConfidenceInterval ci;
+  ci.lo = sample_mean - half;
+  ci.hi = sample_mean + half;
+  ci.confidence = confidence;
+  return ci;
+}
+
+Result<ConfidenceInterval> VarianceInterval(double sample_stddev, size_t n,
+                                            double confidence) {
+  AUSDB_RETURN_NOT_OK(ValidateMeanVarianceArgs(sample_stddev, n, confidence));
+  const double dof = static_cast<double>(n) - 1.0;
+  const double s2 = Sq(sample_stddev);
+  const auto [chi_hi, chi_lo] = CachedChiPair(n, confidence);
+  ConfidenceInterval ci;
+  // chi_hi > chi_lo, so dividing by it gives the lower endpoint.
+  ci.lo = dof * s2 / chi_hi;
+  ci.hi = chi_lo > 0.0 ? dof * s2 / chi_lo
+                       : std::numeric_limits<double>::infinity();
+  ci.confidence = confidence;
+  return ci;
+}
+
+Result<ConfidenceInterval> MeanIntervalFromSample(
+    std::span<const double> sample, double confidence) {
+  const auto summary = stats::Summarize(sample);
+  return MeanInterval(summary.mean, summary.SampleStdDev(), summary.count,
+                      confidence);
+}
+
+Result<ConfidenceInterval> VarianceIntervalFromSample(
+    std::span<const double> sample, double confidence) {
+  const auto summary = stats::Summarize(sample);
+  return VarianceInterval(summary.SampleStdDev(), summary.count,
+                          confidence);
+}
+
+}  // namespace accuracy
+}  // namespace ausdb

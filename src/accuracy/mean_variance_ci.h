@@ -1,0 +1,44 @@
+#ifndef AUSDB_ACCURACY_MEAN_VARIANCE_CI_H_
+#define AUSDB_ACCURACY_MEAN_VARIANCE_CI_H_
+
+#include <cstddef>
+#include <span>
+
+#include "src/accuracy/confidence_interval.h"
+#include "src/common/result.h"
+
+namespace ausdb {
+namespace accuracy {
+
+/// Sample size below which Lemma 2 uses Student's t instead of z.
+inline constexpr size_t kSmallSampleThreshold = 30;
+
+/// \brief Lemma 2 confidence interval for the mean:
+///   ybar ± t_{(1-c)/2, n-1} * s/sqrt(n)   for n < 30,
+///   ybar ± z_{(1-c)/2}      * s/sqrt(n)   for n >= 30.
+///
+/// `sample_mean` and `sample_stddev` are the statistics ybar and s of the
+/// size-n sample. Requires n >= 2 (s needs n-1 > 0 degrees of freedom).
+Result<ConfidenceInterval> MeanInterval(double sample_mean,
+                                        double sample_stddev, size_t n,
+                                        double confidence);
+
+/// \brief Lemma 2 confidence interval for the variance:
+///   [ (n-1) s^2 / chi2_{(1-c)/2},  (n-1) s^2 / chi2_{(1+c)/2} ]
+/// with chi-square upper percentiles at n-1 degrees of freedom.
+/// Requires n >= 2.
+Result<ConfidenceInterval> VarianceInterval(double sample_stddev, size_t n,
+                                            double confidence);
+
+/// MeanInterval computed from a raw sample.
+Result<ConfidenceInterval> MeanIntervalFromSample(
+    std::span<const double> sample, double confidence);
+
+/// VarianceInterval computed from a raw sample.
+Result<ConfidenceInterval> VarianceIntervalFromSample(
+    std::span<const double> sample, double confidence);
+
+}  // namespace accuracy
+}  // namespace ausdb
+
+#endif  // AUSDB_ACCURACY_MEAN_VARIANCE_CI_H_

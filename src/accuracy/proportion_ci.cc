@@ -1,0 +1,84 @@
+#include "src/accuracy/proportion_ci.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "src/common/math_util.h"
+#include "src/stats/quantiles.h"
+
+namespace ausdb {
+namespace accuracy {
+
+namespace {
+
+// The z percentile depends only on the confidence level, which streams
+// reuse for every tuple and bin; memoized.
+double CachedZ(double confidence) {
+  thread_local std::unordered_map<double, double> cache;
+  const auto it = cache.find(confidence);
+  if (it != cache.end()) return it->second;
+  const double z = stats::NormalUpperPercentile((1.0 - confidence) / 2.0);
+  cache.emplace(confidence, z);
+  return z;
+}
+
+Status ValidateProportionArgs(double p, size_t n, double confidence) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    return Status::InvalidArgument("proportion must be in [0,1]");
+  }
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    return Status::InvalidArgument("confidence must be in (0,1)");
+  }
+  if (n == 0) {
+    return Status::InsufficientData(
+        "proportion interval requires a non-empty sample");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+bool WaldConditionHolds(double p, size_t n) {
+  const double nn = static_cast<double>(n);
+  return nn * p >= 4.0 && nn * (1.0 - p) >= 4.0;
+}
+
+Result<ConfidenceInterval> WaldProportionInterval(double p, size_t n,
+                                                  double confidence) {
+  AUSDB_RETURN_NOT_OK(ValidateProportionArgs(p, n, confidence));
+  const double z = CachedZ(confidence);
+  const double half = z * std::sqrt(p * (1.0 - p) / static_cast<double>(n));
+  ConfidenceInterval ci;
+  ci.lo = Clamp(p - half, 0.0, 1.0);
+  ci.hi = Clamp(p + half, 0.0, 1.0);
+  ci.confidence = confidence;
+  return ci;
+}
+
+Result<ConfidenceInterval> WilsonProportionInterval(double p, size_t n,
+                                                    double confidence) {
+  AUSDB_RETURN_NOT_OK(ValidateProportionArgs(p, n, confidence));
+  const double z = CachedZ(confidence);
+  const double nn = static_cast<double>(n);
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nn;
+  const double center = p + z2 / (2.0 * nn);
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn));
+  ConfidenceInterval ci;
+  ci.lo = Clamp((center - half) / denom, 0.0, 1.0);
+  ci.hi = Clamp((center + half) / denom, 0.0, 1.0);
+  ci.confidence = confidence;
+  return ci;
+}
+
+Result<ConfidenceInterval> ProportionInterval(double p, size_t n,
+                                              double confidence) {
+  if (WaldConditionHolds(p, n)) {
+    return WaldProportionInterval(p, n, confidence);
+  }
+  return WilsonProportionInterval(p, n, confidence);
+}
+
+}  // namespace accuracy
+}  // namespace ausdb

@@ -1,0 +1,42 @@
+#ifndef AUSDB_ACCURACY_PROPORTION_CI_H_
+#define AUSDB_ACCURACY_PROPORTION_CI_H_
+
+#include <cstddef>
+
+#include "src/accuracy/confidence_interval.h"
+#include "src/common/result.h"
+
+namespace ausdb {
+namespace accuracy {
+
+/// \brief Wald (normal-approximation) interval for a population proportion
+/// — the paper's Equation (1):
+///   p ± z_{(1-c)/2} * sqrt(p (1-p) / n), clamped into [0, 1].
+///
+/// Valid when n*p >= 4 and n*(1-p) >= 4; callers should normally use
+/// ProportionInterval which applies that rule.
+Result<ConfidenceInterval> WaldProportionInterval(double p, size_t n,
+                                                  double confidence);
+
+/// \brief Wilson score interval for a population proportion — the paper's
+/// Equation (2) — robust for small n*p.
+Result<ConfidenceInterval> WilsonProportionInterval(double p, size_t n,
+                                                    double confidence);
+
+/// \brief Lemma 1 dispatch: Wald when n*p >= 4 and n*(1-p) >= 4, Wilson
+/// score otherwise.
+///
+/// `p` is the observed bin height (fraction of the n observations in the
+/// bin); the returned interval covers the true bin probability with the
+/// requested confidence. Fails with InvalidArgument on p outside [0,1] or
+/// confidence outside (0,1), and InsufficientData when n == 0.
+Result<ConfidenceInterval> ProportionInterval(double p, size_t n,
+                                              double confidence);
+
+/// True iff the Lemma 1 normal-approximation condition holds.
+bool WaldConditionHolds(double p, size_t n);
+
+}  // namespace accuracy
+}  // namespace ausdb
+
+#endif  // AUSDB_ACCURACY_PROPORTION_CI_H_

@@ -1,0 +1,109 @@
+#include "src/accuracy/weighted_accuracy.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/math_util.h"
+#include "src/stats/quantiles.h"
+#include "src/stats/weighted.h"
+
+namespace ausdb {
+namespace accuracy {
+
+namespace {
+
+constexpr double kSmallSampleThresholdReal = 30.0;
+
+Status ValidateConfidence(double confidence) {
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    return Status::InvalidArgument("confidence must be in (0,1)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ConfidenceInterval> WeightedMeanInterval(
+    std::span<const double> values, std::span<const double> weights,
+    double confidence) {
+  AUSDB_RETURN_NOT_OK(ValidateConfidence(confidence));
+  AUSDB_ASSIGN_OR_RETURN(stats::WeightedSummary s,
+                         stats::SummarizeWeighted(values, weights));
+  if (s.effective_sample_size <= 1.0) {
+    return Status::InsufficientData(
+        "weighted mean interval requires effective sample size > 1");
+  }
+  const double q = (1.0 - confidence) / 2.0;
+  const double n_eff = s.effective_sample_size;
+  const double multiplier =
+      n_eff < kSmallSampleThresholdReal
+          ? stats::StudentTUpperPercentile(q, n_eff - 1.0)
+          : stats::NormalUpperPercentile(q);
+  const double half =
+      multiplier * std::sqrt(s.sample_variance) / std::sqrt(n_eff);
+  ConfidenceInterval ci;
+  ci.lo = s.mean - half;
+  ci.hi = s.mean + half;
+  ci.confidence = confidence;
+  return ci;
+}
+
+Result<ConfidenceInterval> WeightedVarianceInterval(
+    std::span<const double> values, std::span<const double> weights,
+    double confidence) {
+  AUSDB_RETURN_NOT_OK(ValidateConfidence(confidence));
+  AUSDB_ASSIGN_OR_RETURN(stats::WeightedSummary s,
+                         stats::SummarizeWeighted(values, weights));
+  if (s.effective_sample_size <= 1.0) {
+    return Status::InsufficientData(
+        "weighted variance interval requires effective sample size > 1");
+  }
+  const double dof = s.effective_sample_size - 1.0;
+  const double chi_hi =
+      stats::ChiSquareUpperPercentile((1.0 - confidence) / 2.0, dof);
+  const double chi_lo =
+      stats::ChiSquareUpperPercentile((1.0 + confidence) / 2.0, dof);
+  ConfidenceInterval ci;
+  ci.lo = dof * s.sample_variance / chi_hi;
+  ci.hi = chi_lo > 0.0 ? dof * s.sample_variance / chi_lo
+                       : std::numeric_limits<double>::infinity();
+  ci.confidence = confidence;
+  return ci;
+}
+
+Result<ConfidenceInterval> WeightedProportionInterval(double weighted_p,
+                                                      double effective_n,
+                                                      double confidence) {
+  AUSDB_RETURN_NOT_OK(ValidateConfidence(confidence));
+  if (!(weighted_p >= 0.0 && weighted_p <= 1.0)) {
+    return Status::InvalidArgument("proportion must be in [0,1]");
+  }
+  if (!(effective_n > 0.0) || !std::isfinite(effective_n)) {
+    return Status::InvalidArgument("effective sample size must be > 0");
+  }
+  const double z = stats::NormalUpperPercentile((1.0 - confidence) / 2.0);
+  ConfidenceInterval ci;
+  ci.confidence = confidence;
+  if (effective_n * weighted_p >= 4.0 &&
+      effective_n * (1.0 - weighted_p) >= 4.0) {
+    // Wald branch of Lemma 1 with real-valued n_eff.
+    const double half =
+        z * std::sqrt(weighted_p * (1.0 - weighted_p) / effective_n);
+    ci.lo = Clamp(weighted_p - half, 0.0, 1.0);
+    ci.hi = Clamp(weighted_p + half, 0.0, 1.0);
+    return ci;
+  }
+  // Wilson branch with real-valued n_eff.
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / effective_n;
+  const double center = weighted_p + z2 / (2.0 * effective_n);
+  const double half =
+      z * std::sqrt(weighted_p * (1.0 - weighted_p) / effective_n +
+                    z2 / (4.0 * effective_n * effective_n));
+  ci.lo = Clamp((center - half) / denom, 0.0, 1.0);
+  ci.hi = Clamp((center + half) / denom, 0.0, 1.0);
+  return ci;
+}
+
+}  // namespace accuracy
+}  // namespace ausdb

@@ -1,0 +1,41 @@
+#ifndef AUSDB_ACCURACY_WEIGHTED_ACCURACY_H_
+#define AUSDB_ACCURACY_WEIGHTED_ACCURACY_H_
+
+#include <span>
+
+#include "src/accuracy/confidence_interval.h"
+#include "src/common/result.h"
+
+namespace ausdb {
+namespace accuracy {
+
+/// \brief Accuracy from weighted samples — the paper's future-work
+/// extension (Section VII): observations carry weights (e.g. recency
+/// decay), and every Lemma 1/2 formula runs with Kish's effective sample
+/// size n_eff in place of n. Equal weights reduce exactly to the
+/// unweighted lemmas.
+
+/// Lemma 2 mean interval from a weighted sample: weighted mean ±
+/// t_{(1-c)/2, n_eff - 1} * s_w / sqrt(n_eff) (z for n_eff >= 30).
+/// Requires n_eff > 1.
+Result<ConfidenceInterval> WeightedMeanInterval(
+    std::span<const double> values, std::span<const double> weights,
+    double confidence);
+
+/// Lemma 2 variance interval with n_eff - 1 (possibly fractional)
+/// chi-square degrees of freedom.
+Result<ConfidenceInterval> WeightedVarianceInterval(
+    std::span<const double> values, std::span<const double> weights,
+    double confidence);
+
+/// Lemma 1 interval for a weighted proportion: `weighted_p` is the
+/// weighted fraction of successes and `effective_n` the weights' Kish
+/// size. Dispatches Wald/Wilson on the n_eff * p rule like Lemma 1.
+Result<ConfidenceInterval> WeightedProportionInterval(double weighted_p,
+                                                      double effective_n,
+                                                      double confidence);
+
+}  // namespace accuracy
+}  // namespace ausdb
+
+#endif  // AUSDB_ACCURACY_WEIGHTED_ACCURACY_H_

@@ -1,0 +1,131 @@
+#include "src/bootstrap/bootstrap_accuracy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/bootstrap/resampler.h"
+#include "src/dist/learner.h"
+#include "src/stats/descriptive.h"
+#include "src/stats/percentile.h"
+
+namespace ausdb {
+namespace bootstrap {
+
+namespace {
+
+// The alpha-level percentile interval of a vector of statistic values:
+// between the 100(1-alpha)/2 and 100(1+alpha)/2 percentiles (lines 12-15
+// of the paper's algorithm).
+accuracy::ConfidenceInterval PercentileInterval(std::vector<double> values,
+                                                double confidence) {
+  std::sort(values.begin(), values.end());
+  accuracy::ConfidenceInterval ci;
+  ci.lo = stats::QuantileOfSorted(values, (1.0 - confidence) / 2.0);
+  ci.hi = stats::QuantileOfSorted(values, (1.0 + confidence) / 2.0);
+  ci.confidence = confidence;
+  return ci;
+}
+
+}  // namespace
+
+Result<accuracy::AccuracyInfo> BootstrapAccuracyInfo(
+    std::span<const double> values, size_t n, double confidence,
+    std::span<const double> bin_edges) {
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    return Status::InvalidArgument("confidence must be in (0,1)");
+  }
+  if (n == 0) {
+    return Status::InvalidArgument("d.f. sample size must be >= 1");
+  }
+  const size_t m = values.size();
+  const size_t r = m / n;  // line 1: number of d.f. resamples
+  if (r < 2) {
+    return Status::InsufficientData(
+        "BOOTSTRAP-ACCURACY-INFO needs at least 2 complete d.f. "
+        "resamples; got m=" +
+        std::to_string(m) + " for n=" + std::to_string(n));
+  }
+
+  const size_t b = bin_edges.empty() ? 0 : bin_edges.size() - 1;
+  std::vector<std::vector<double>> bin_heights(b);
+  for (auto& v : bin_heights) v.reserve(r);
+  std::vector<double> means;
+  std::vector<double> variances;
+  means.reserve(r);
+  variances.reserve(r);
+
+  for (size_t i = 0; i < r; ++i) {  // lines 2-11: each resample
+    const std::span<const double> group = values.subspan(i * n, n);
+
+    if (b > 0) {  // lines 6-8: per-bin frequency within the resample
+      const std::vector<size_t> counts = dist::CountBins(group, bin_edges);
+      for (size_t k = 0; k < b; ++k) {
+        bin_heights[k].push_back(static_cast<double>(counts[k]) /
+                                 static_cast<double>(n));
+      }
+    }
+
+    // Lines 9-10: sample mean and (unbiased) sample variance. Computed
+    // with a lean two-pass loop — this runs once per window result in
+    // the streaming hot path, so the full higher-moment accumulator is
+    // deliberately avoided.
+    double mean = 0.0;
+    for (double v : group) mean += v;
+    mean /= static_cast<double>(n);
+    double ss = 0.0;
+    for (double v : group) ss += (v - mean) * (v - mean);
+    means.push_back(mean);
+    variances.push_back(n > 1 ? ss / static_cast<double>(n - 1) : 0.0);
+  }
+
+  accuracy::AccuracyInfo info;
+  info.sample_size = n;
+  info.method = accuracy::AccuracyMethod::kBootstrap;
+  info.bin_cis.reserve(b);
+  for (size_t k = 0; k < b; ++k) {  // lines 12-14
+    info.bin_cis.push_back(
+        PercentileInterval(std::move(bin_heights[k]), confidence));
+  }
+  // Line 15.
+  info.mean_ci = PercentileInterval(std::move(means), confidence);
+  info.variance_ci = PercentileInterval(std::move(variances), confidence);
+  return info;
+}
+
+Result<accuracy::AccuracyInfo> BootstrapAccuracyFromDistribution(
+    const dist::Distribution& d, size_t n, size_t num_resamples,
+    double confidence, Rng& rng, std::span<const double> bin_edges) {
+  if (n == 0 || num_resamples < 2) {
+    return Status::InvalidArgument(
+        "need n >= 1 and num_resamples >= 2 to bootstrap a distribution");
+  }
+  std::vector<double> values(n * num_resamples);
+  for (double& v : values) v = d.Sample(rng);
+  return BootstrapAccuracyInfo(values, n, confidence, bin_edges);
+}
+
+Result<accuracy::ConfidenceInterval> ClassicPercentileBootstrap(
+    std::span<const double> sample, size_t num_resamples, double confidence,
+    const std::function<double(std::span<const double>)>& statistic,
+    Rng& rng) {
+  if (sample.empty()) {
+    return Status::InsufficientData("cannot bootstrap an empty sample");
+  }
+  if (num_resamples < 2) {
+    return Status::InvalidArgument("need at least 2 resamples");
+  }
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    return Status::InvalidArgument("confidence must be in (0,1)");
+  }
+  std::vector<double> stat_values;
+  stat_values.reserve(num_resamples);
+  std::vector<double> buffer(sample.size());
+  for (size_t i = 0; i < num_resamples; ++i) {
+    ResampleInto(sample, buffer, rng);
+    stat_values.push_back(statistic(buffer));
+  }
+  return PercentileInterval(std::move(stat_values), confidence);
+}
+
+}  // namespace bootstrap
+}  // namespace ausdb

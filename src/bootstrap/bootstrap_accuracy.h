@@ -1,0 +1,53 @@
+#ifndef AUSDB_BOOTSTRAP_BOOTSTRAP_ACCURACY_H_
+#define AUSDB_BOOTSTRAP_BOOTSTRAP_ACCURACY_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/accuracy/accuracy_info.h"
+#include "src/accuracy/confidence_interval.h"
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/dist/distribution.h"
+
+namespace ausdb {
+namespace bootstrap {
+
+/// \brief The paper's Algorithm BOOTSTRAP-ACCURACY-INFO (Section III-B).
+///
+/// `values` is the sequence of m values of an output random variable Y —
+/// either produced directly by a Monte Carlo query processor or sampled
+/// from a result distribution. `n` is Y's de facto sample size (Lemma 3).
+/// The m values are grouped into r = floor(m/n) d.f. resamples of size n;
+/// within each resample the statistics (bin heights over `bin_edges` if
+/// provided, sample mean, sample variance) are computed, and the
+/// `confidence`-level interval of each statistic is taken between the
+/// (1-alpha)/2 and (1+alpha)/2 percentiles over the r resamples.
+///
+/// Fails with InsufficientData when fewer than 2 complete resamples fit
+/// (m < 2n) and InvalidArgument on a bad confidence or n == 0.
+Result<accuracy::AccuracyInfo> BootstrapAccuracyInfo(
+    std::span<const double> values, size_t n, double confidence,
+    std::span<const double> bin_edges = {});
+
+/// \brief Convenience wrapper for the paper's "second category" of query
+/// processing (operators that produce a distribution, not samples): draws
+/// m = n * num_resamples values from `d` and runs BootstrapAccuracyInfo.
+Result<accuracy::AccuracyInfo> BootstrapAccuracyFromDistribution(
+    const dist::Distribution& d, size_t n, size_t num_resamples,
+    double confidence, Rng& rng, std::span<const double> bin_edges = {});
+
+/// \brief Classic single-sample percentile bootstrap of an arbitrary
+/// statistic, for source-data accuracy and for the grouping ablation:
+/// resamples `sample` (same size, with replacement) `num_resamples` times
+/// and returns the percentile interval of `statistic` over the resamples.
+Result<accuracy::ConfidenceInterval> ClassicPercentileBootstrap(
+    std::span<const double> sample, size_t num_resamples, double confidence,
+    const std::function<double(std::span<const double>)>& statistic,
+    Rng& rng);
+
+}  // namespace bootstrap
+}  // namespace ausdb
+
+#endif  // AUSDB_BOOTSTRAP_BOOTSTRAP_ACCURACY_H_

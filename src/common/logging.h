@@ -1,0 +1,63 @@
+#ifndef AUSDB_COMMON_LOGGING_H_
+#define AUSDB_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace ausdb {
+namespace internal {
+
+/// \brief Terminates the process after streaming a fatal diagnostic.
+///
+/// Used by the AUSDB_CHECK family; the destructor aborts, so a
+/// FatalLogMessage must never be constructed on a path that should survive.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line) {
+    stream_ << "[FATAL] " << file << ":" << line << ": ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ausdb
+
+/// \brief Aborts with a diagnostic if `condition` is false.
+///
+/// These are invariant checks (programming errors), not data validation;
+/// recoverable conditions must go through Status/Result instead.
+#define AUSDB_CHECK(condition)                                     \
+  if (!(condition))                                                \
+  ::ausdb::internal::FatalLogMessage(__FILE__, __LINE__).stream()  \
+      << "Check failed: " #condition " "
+
+#define AUSDB_CHECK_OK(expr)                                       \
+  do {                                                             \
+    ::ausdb::Status _st = (expr);                                  \
+    AUSDB_CHECK(_st.ok()) << _st.ToString();                       \
+  } while (false)
+
+#define AUSDB_CHECK_EQ(a, b) AUSDB_CHECK((a) == (b))
+#define AUSDB_CHECK_NE(a, b) AUSDB_CHECK((a) != (b))
+#define AUSDB_CHECK_LT(a, b) AUSDB_CHECK((a) < (b))
+#define AUSDB_CHECK_LE(a, b) AUSDB_CHECK((a) <= (b))
+#define AUSDB_CHECK_GT(a, b) AUSDB_CHECK((a) > (b))
+#define AUSDB_CHECK_GE(a, b) AUSDB_CHECK((a) >= (b))
+
+/// Marks debug-only checks; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define AUSDB_DCHECK(condition) \
+  if (false) AUSDB_CHECK(condition)
+#else
+#define AUSDB_DCHECK(condition) AUSDB_CHECK(condition)
+#endif
+
+#endif  // AUSDB_COMMON_LOGGING_H_

@@ -1,0 +1,20 @@
+#include "src/common/math_util.h"
+
+#include <algorithm>
+
+namespace ausdb {
+
+bool AlmostEqual(double a, double b, double rel_tol, double abs_tol) {
+  if (a == b) return true;
+  const double diff = std::abs(a - b);
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return diff <= abs_tol + rel_tol * scale;
+}
+
+double StableSum(const std::vector<double>& values) {
+  KahanSum sum;
+  for (double v : values) sum.Add(v);
+  return sum.Get();
+}
+
+}  // namespace ausdb

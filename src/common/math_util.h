@@ -1,0 +1,55 @@
+#ifndef AUSDB_COMMON_MATH_UTIL_H_
+#define AUSDB_COMMON_MATH_UTIL_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace ausdb {
+
+/// x squared.
+inline double Sq(double x) { return x * x; }
+
+/// True if |a-b| <= abs_tol + rel_tol*max(|a|,|b|). The default tolerances
+/// suit unit-scale statistical quantities.
+bool AlmostEqual(double a, double b, double rel_tol = 1e-9,
+                 double abs_tol = 1e-12);
+
+/// \brief Numerically stable summation (Kahan-Babuska / Neumaier).
+///
+/// Accumulates doubles with a running compensation term so that long,
+/// mixed-magnitude streams (e.g. millions of window updates) do not drift.
+class KahanSum {
+ public:
+  void Add(double x) {
+    double t = sum_ + x;
+    if (std::abs(sum_) >= std::abs(x)) {
+      comp_ += (sum_ - t) + x;
+    } else {
+      comp_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
+  void Subtract(double x) { Add(-x); }
+  double Get() const { return sum_ + comp_; }
+  void Reset() { sum_ = comp_ = 0.0; }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
+
+/// Kahan-compensated sum of a vector.
+double StableSum(const std::vector<double>& values);
+
+/// Linear interpolation between a and b at fraction t in [0,1].
+inline double Lerp(double a, double b, double t) { return a + t * (b - a); }
+
+/// Clamps x into [lo, hi].
+inline double Clamp(double x, double lo, double hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+}  // namespace ausdb
+
+#endif  // AUSDB_COMMON_MATH_UTIL_H_

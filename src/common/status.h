@@ -1,0 +1,126 @@
+#ifndef AUSDB_COMMON_STATUS_H_
+#define AUSDB_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ausdb {
+
+/// \brief Category of an operation outcome.
+///
+/// Follows the RocksDB/Arrow idiom: functions that can fail return a Status
+/// (or a Result<T>, see result.h) rather than throwing. StatusCode::kOk is
+/// the success value; everything else describes the failure class.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kNotImplemented = 5,
+  kInternal = 6,
+  kParseError = 7,
+  kTypeError = 8,
+  kInsufficientData = 9,
+};
+
+/// \brief Returns a human-readable name for a status code ("OK",
+/// "Invalid argument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: a code plus an optional message.
+///
+/// Status is cheap to copy in the success case (no allocation). Use the
+/// static factories (Status::OK(), Status::InvalidArgument(...)) to build
+/// one, and ok() / code() / message() to inspect it.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  /// \brief The success value.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status InsufficientData(std::string msg) {
+    return Status(StatusCode::kInsufficientData, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+
+  /// The failure message; empty for OK statuses.
+  const std::string& message() const { return msg_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const {
+    return code_ == StatusCode::kAlreadyExists;
+  }
+  bool IsNotImplemented() const {
+    return code_ == StatusCode::kNotImplemented;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsTypeError() const { return code_ == StatusCode::kTypeError; }
+  bool IsInsufficientData() const {
+    return code_ == StatusCode::kInsufficientData;
+  }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Propagates a non-OK Status to the caller.
+///
+/// Usage: `AUSDB_RETURN_NOT_OK(DoThing());` inside a function returning
+/// Status or Result<T>.
+#define AUSDB_RETURN_NOT_OK(expr)                 \
+  do {                                            \
+    ::ausdb::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+}  // namespace ausdb
+
+#endif  // AUSDB_COMMON_STATUS_H_

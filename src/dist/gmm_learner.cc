@@ -1,0 +1,178 @@
+#include "src/dist/gmm_learner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "src/dist/gaussian.h"
+#include "src/stats/descriptive.h"
+
+namespace ausdb {
+namespace dist {
+
+namespace {
+
+constexpr double kLogTwoPi = 1.8378770664093453;
+
+double LogGaussianPdf(double x, double mean, double variance) {
+  const double d = x - mean;
+  return -0.5 * (kLogTwoPi + std::log(variance) + d * d / variance);
+}
+
+// log(sum exp(v)) with the usual max shift.
+double LogSumExp(std::span<const double> v) {
+  const double mx = *std::max_element(v.begin(), v.end());
+  if (!std::isfinite(mx)) return mx;
+  double sum = 0.0;
+  for (double x : v) sum += std::exp(x - mx);
+  return mx + std::log(sum);
+}
+
+// k-means++-style seeding: first seed uniform, then each next seed drawn
+// with probability proportional to squared distance from the nearest
+// chosen seed.
+std::vector<double> SpreadSeeds(std::span<const double> data, size_t k,
+                                Rng& rng) {
+  std::vector<double> seeds;
+  seeds.push_back(data[rng.NextBelow(data.size())]);
+  std::vector<double> d2(data.size());
+  while (seeds.size() < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < data.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (double s : seeds) {
+        best = std::min(best, (data[i] - s) * (data[i] - s));
+      }
+      d2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      // All points coincide with existing seeds; duplicate one.
+      seeds.push_back(seeds.back());
+      continue;
+    }
+    double u = rng.NextDouble() * total;
+    size_t pick = data.size() - 1;
+    for (size_t i = 0; i < data.size(); ++i) {
+      u -= d2[i];
+      if (u <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    seeds.push_back(data[pick]);
+  }
+  return seeds;
+}
+
+}  // namespace
+
+Result<LearnedDistribution> LearnGaussianMixture(
+    std::span<const double> observations, const GmmLearnOptions& options,
+    GmmFitInfo* fit_info) {
+  const size_t n = observations.size();
+  const size_t k = options.components;
+  if (k == 0) {
+    return Status::InvalidArgument("GMM needs at least one component");
+  }
+  if (n < 2 * k) {
+    return Status::InsufficientData(
+        "GMM with " + std::to_string(k) + " components needs at least " +
+        std::to_string(2 * k) + " observations; got " + std::to_string(n));
+  }
+
+  const auto summary = stats::Summarize(observations);
+  const double var_floor = std::max(
+      options.variance_floor_fraction * summary.sample_variance, 1e-12);
+
+  Rng rng(options.seed);
+  std::vector<double> means = SpreadSeeds(observations, k, rng);
+  std::vector<double> variances(k,
+                                std::max(summary.sample_variance,
+                                         var_floor));
+  std::vector<double> weights(k, 1.0 / static_cast<double>(k));
+
+  std::vector<double> log_terms(k);
+  // Responsibilities, stored flat [i * k + j].
+  std::vector<double> resp(n * k);
+
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  GmmFitInfo info;
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // E step.
+    double ll = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < k; ++j) {
+        log_terms[j] = std::log(weights[j]) +
+                       LogGaussianPdf(observations[i], means[j],
+                                      variances[j]);
+      }
+      const double lse = LogSumExp(log_terms);
+      ll += lse;
+      for (size_t j = 0; j < k; ++j) {
+        resp[i * k + j] = std::exp(log_terms[j] - lse);
+      }
+    }
+
+    // M step.
+    for (size_t j = 0; j < k; ++j) {
+      double nj = 0.0, sum = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        nj += resp[i * k + j];
+        sum += resp[i * k + j] * observations[i];
+      }
+      if (nj < 1e-10) {
+        // Dead component: re-seed it at a random observation.
+        means[j] = observations[rng.NextBelow(n)];
+        variances[j] = std::max(summary.sample_variance, var_floor);
+        weights[j] = 1.0 / static_cast<double>(n);
+        continue;
+      }
+      means[j] = sum / nj;
+      double ss = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const double d = observations[i] - means[j];
+        ss += resp[i * k + j] * d * d;
+      }
+      variances[j] = std::max(ss / nj, var_floor);
+      weights[j] = nj / static_cast<double>(n);
+    }
+    // Renormalize the weights (re-seeded components perturb the sum).
+    double wsum = 0.0;
+    for (double w : weights) wsum += w;
+    for (double& w : weights) w /= wsum;
+
+    info.iterations = iter + 1;
+    info.log_likelihood = ll;
+    if (std::abs(ll - prev_ll) <
+        options.tolerance * static_cast<double>(n) *
+            std::max(1.0, std::abs(ll) / static_cast<double>(n))) {
+      info.converged = true;
+      break;
+    }
+    prev_ll = ll;
+  }
+
+  std::vector<DistributionPtr> components;
+  components.reserve(k);
+  for (size_t j = 0; j < k; ++j) {
+    components.push_back(
+        std::make_shared<GaussianDist>(means[j], variances[j]));
+  }
+  AUSDB_ASSIGN_OR_RETURN(
+      MixtureDist mixture,
+      MixtureDist::Make(std::move(components), std::move(weights)));
+
+  if (fit_info != nullptr) *fit_info = info;
+  LearnedDistribution out;
+  out.distribution = std::make_shared<MixtureDist>(std::move(mixture));
+  out.sample_size = n;
+  out.raw_sample = std::make_shared<const std::vector<double>>(
+      observations.begin(), observations.end());
+  return out;
+}
+
+}  // namespace dist
+}  // namespace ausdb

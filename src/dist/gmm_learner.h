@@ -1,0 +1,56 @@
+#ifndef AUSDB_DIST_GMM_LEARNER_H_
+#define AUSDB_DIST_GMM_LEARNER_H_
+
+#include <span>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/dist/learner.h"
+#include "src/dist/mixture.h"
+
+namespace ausdb {
+namespace dist {
+
+/// Options of the EM Gaussian-mixture learner.
+struct GmmLearnOptions {
+  /// Number of mixture components.
+  size_t components = 2;
+
+  /// EM iteration cap.
+  size_t max_iterations = 200;
+
+  /// Convergence threshold on the mean log-likelihood improvement.
+  double tolerance = 1e-7;
+
+  /// Variance floor, as a fraction of the sample variance, protecting
+  /// against component collapse onto a single point.
+  double variance_floor_fraction = 1e-3;
+
+  /// Seed of the k-means++-style initialization.
+  uint64_t seed = 0x6E11ull;
+};
+
+/// Diagnostics of an EM fit.
+struct GmmFitInfo {
+  size_t iterations = 0;
+  double log_likelihood = 0.0;
+  bool converged = false;
+};
+
+/// \brief Learns a Gaussian mixture model by expectation-maximization —
+/// the representation used by model-based uncertain stream processing
+/// (the paper's "second category", e.g. PODS-style GMM streams).
+///
+/// Initialization picks spread-out seeds (k-means++ style); component
+/// variances are floored to avoid singularities. Requires at least
+/// 2 * components observations. The learned MixtureDist of GaussianDist
+/// components flows through the engine like any other distribution, with
+/// sample-size provenance for the accuracy machinery.
+Result<LearnedDistribution> LearnGaussianMixture(
+    std::span<const double> observations,
+    const GmmLearnOptions& options = {}, GmmFitInfo* fit_info = nullptr);
+
+}  // namespace dist
+}  // namespace ausdb
+
+#endif  // AUSDB_DIST_GMM_LEARNER_H_

@@ -1,0 +1,60 @@
+#include "src/dist/kde_learner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/dist/gaussian.h"
+#include "src/dist/mixture.h"
+#include "src/stats/descriptive.h"
+#include "src/stats/percentile.h"
+
+namespace ausdb {
+namespace dist {
+
+Result<double> SilvermanBandwidth(std::span<const double> observations) {
+  if (observations.size() < 2) {
+    return Status::InsufficientData(
+        "Silverman bandwidth requires at least 2 observations");
+  }
+  const auto summary = stats::Summarize(observations);
+  const double s = summary.SampleStdDev();
+  const double iqr = stats::Quantile(observations, 0.75) -
+                     stats::Quantile(observations, 0.25);
+  double spread = s;
+  if (iqr > 0.0) spread = std::min(spread, iqr / 1.34);
+  if (spread <= 0.0) {
+    // Degenerate sample: fall back to a nominal unit-scale bandwidth.
+    spread = 1.0;
+  }
+  return 0.9 * spread *
+         std::pow(static_cast<double>(observations.size()), -0.2);
+}
+
+Result<LearnedDistribution> LearnKde(std::span<const double> observations,
+                                     const KdeLearnOptions& options) {
+  if (observations.size() < 2) {
+    return Status::InsufficientData(
+        "KDE learning requires at least 2 observations");
+  }
+  double h = options.bandwidth;
+  if (h <= 0.0) {
+    AUSDB_ASSIGN_OR_RETURN(h, SilvermanBandwidth(observations));
+  }
+  const double h2 = h * h;
+  std::vector<DistributionPtr> kernels;
+  kernels.reserve(observations.size());
+  for (double x : observations) {
+    kernels.push_back(std::make_shared<GaussianDist>(x, h2));
+  }
+  AUSDB_ASSIGN_OR_RETURN(MixtureDist mix,
+                         MixtureDist::MakeUniform(std::move(kernels)));
+  LearnedDistribution out;
+  out.distribution = std::make_shared<MixtureDist>(std::move(mix));
+  out.sample_size = observations.size();
+  out.raw_sample = std::make_shared<const std::vector<double>>(
+      observations.begin(), observations.end());
+  return out;
+}
+
+}  // namespace dist
+}  // namespace ausdb

@@ -1,0 +1,36 @@
+#ifndef AUSDB_DIST_KDE_LEARNER_H_
+#define AUSDB_DIST_KDE_LEARNER_H_
+
+#include <span>
+
+#include "src/common/result.h"
+#include "src/dist/learner.h"
+
+namespace ausdb {
+namespace dist {
+
+/// Options of the kernel density learner.
+struct KdeLearnOptions {
+  /// Bandwidth; <= 0 selects Silverman's rule of thumb
+  /// h = 0.9 * min(s, IQR/1.34) * n^(-1/5).
+  double bandwidth = 0.0;
+};
+
+/// \brief Learns a Gaussian kernel density estimate — one of the
+/// "complex" learning techniques the paper lists alongside histograms
+/// (Section I cites kernel methods via Bishop).
+///
+/// The KDE is represented exactly as a MixtureDist of n equal-weight
+/// Gaussians centered on the observations with variance h^2, so it flows
+/// through the engine (CDF, moments, sampling) like any other
+/// distribution. Requires at least 2 observations.
+Result<LearnedDistribution> LearnKde(std::span<const double> observations,
+                                     const KdeLearnOptions& options = {});
+
+/// Silverman's rule-of-thumb bandwidth for a sample.
+Result<double> SilvermanBandwidth(std::span<const double> observations);
+
+}  // namespace dist
+}  // namespace ausdb
+
+#endif  // AUSDB_DIST_KDE_LEARNER_H_

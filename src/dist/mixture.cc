@@ -1,0 +1,109 @@
+#include "src/dist/mixture.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/math_util.h"
+
+namespace ausdb {
+namespace dist {
+
+Result<MixtureDist> MixtureDist::Make(
+    std::vector<DistributionPtr> components, std::vector<double> weights) {
+  if (components.empty()) {
+    return Status::InvalidArgument("mixture needs at least one component");
+  }
+  if (components.size() != weights.size()) {
+    return Status::InvalidArgument(
+        "mixture needs matching components/weights sizes");
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < components.size(); ++i) {
+    if (components[i] == nullptr) {
+      return Status::InvalidArgument("mixture component is null");
+    }
+    if (weights[i] < 0.0 || !std::isfinite(weights[i])) {
+      return Status::InvalidArgument(
+          "mixture weights must be finite and >= 0");
+    }
+    total += weights[i];
+  }
+  if (std::abs(total - 1.0) > 1e-9) {
+    return Status::InvalidArgument("mixture weights must sum to 1; got " +
+                                   std::to_string(total));
+  }
+  for (double& w : weights) w /= total;
+  return MixtureDist(std::move(components), std::move(weights));
+}
+
+Result<MixtureDist> MixtureDist::MakeUniform(
+    std::vector<DistributionPtr> components) {
+  if (components.empty()) {
+    return Status::InvalidArgument("mixture needs at least one component");
+  }
+  std::vector<double> weights(
+      components.size(), 1.0 / static_cast<double>(components.size()));
+  return Make(std::move(components), std::move(weights));
+}
+
+MixtureDist::MixtureDist(std::vector<DistributionPtr> components,
+                         std::vector<double> weights)
+    : components_(std::move(components)), weights_(std::move(weights)) {
+  cum_.resize(weights_.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    acc += weights_[i];
+    cum_[i] = acc;
+  }
+  cum_.back() = 1.0;
+}
+
+double MixtureDist::Mean() const {
+  double m = 0.0;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    m += weights_[i] * components_[i]->Mean();
+  }
+  return m;
+}
+
+double MixtureDist::Variance() const {
+  // Law of total variance: E[Var] + Var[E].
+  const double mean = Mean();
+  double v = 0.0;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    v += weights_[i] *
+         (components_[i]->Variance() + Sq(components_[i]->Mean() - mean));
+  }
+  return v;
+}
+
+double MixtureDist::Cdf(double x) const {
+  double c = 0.0;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    c += weights_[i] * components_[i]->Cdf(x);
+  }
+  return c;
+}
+
+double MixtureDist::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cum_.begin(), cum_.end(), u);
+  const size_t idx = std::min(static_cast<size_t>(it - cum_.begin()),
+                              components_.size() - 1);
+  return components_[idx]->Sample(rng);
+}
+
+std::string MixtureDist::ToString() const {
+  std::ostringstream os;
+  os << "Mixture(" << components_.size() << " components)";
+  return os.str();
+}
+
+std::shared_ptr<Distribution> MixtureDist::Clone() const {
+  return std::shared_ptr<Distribution>(
+      new MixtureDist(components_, weights_));
+}
+
+}  // namespace dist
+}  // namespace ausdb

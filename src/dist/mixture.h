@@ -1,0 +1,57 @@
+#ifndef AUSDB_DIST_MIXTURE_H_
+#define AUSDB_DIST_MIXTURE_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/dist/distribution.h"
+
+namespace ausdb {
+namespace dist {
+
+/// \brief Weighted mixture of component distributions.
+///
+/// Used for multi-modal learned distributions (e.g. a Gaussian mixture as
+/// in PODS-style uncertain streams, which the paper cites as a query
+/// processing substrate) and by the bootstrap correctness argument
+/// (Theorem 2: the concurrent bootstrap distribution is a mixture of
+/// simple bootstrap distributions).
+class MixtureDist final : public Distribution {
+ public:
+  /// Validates and builds. Weights must be >= 0 and sum to 1 (within 1e-9;
+  /// renormalized); components must be non-null and match weights in size.
+  static Result<MixtureDist> Make(std::vector<DistributionPtr> components,
+                                  std::vector<double> weights);
+
+  /// Equal-weight convenience factory.
+  static Result<MixtureDist> MakeUniform(
+      std::vector<DistributionPtr> components);
+
+  DistributionKind kind() const override {
+    return DistributionKind::kMixture;
+  }
+  double Mean() const override;
+  double Variance() const override;
+  double Cdf(double x) const override;
+  double Sample(Rng& rng) const override;
+  std::string ToString() const override;
+  std::shared_ptr<Distribution> Clone() const override;
+
+  const std::vector<DistributionPtr>& components() const {
+    return components_;
+  }
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  MixtureDist(std::vector<DistributionPtr> components,
+              std::vector<double> weights);
+
+  std::vector<DistributionPtr> components_;
+  std::vector<double> weights_;
+  std::vector<double> cum_;
+};
+
+}  // namespace dist
+}  // namespace ausdb
+
+#endif  // AUSDB_DIST_MIXTURE_H_

@@ -1,0 +1,58 @@
+#include "src/dist/random_var.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace ausdb {
+namespace dist {
+
+RandomVar::RandomVar()
+    : dist_(MakePoint(0.0)), sample_size_(0) {}
+
+RandomVar::RandomVar(DistributionPtr distribution, size_t sample_size)
+    : dist_(std::move(distribution)), sample_size_(sample_size) {
+  AUSDB_CHECK(dist_ != nullptr) << "RandomVar distribution must not be null";
+}
+
+RandomVar::RandomVar(const LearnedDistribution& learned)
+    : dist_(learned.distribution),
+      sample_size_(learned.sample_size),
+      raw_(learned.raw_sample) {
+  AUSDB_CHECK(dist_ != nullptr) << "RandomVar distribution must not be null";
+}
+
+RandomVar RandomVar::Certain(double value) {
+  return RandomVar(MakePoint(value), kCertainSampleSize);
+}
+
+bool RandomVar::is_certain() const {
+  return dist_->kind() == DistributionKind::kPoint;
+}
+
+Result<double> RandomVar::certain_value() const {
+  if (!is_certain()) {
+    return Status::TypeError("random variable is not deterministic: " +
+                             dist_->ToString());
+  }
+  return static_cast<const PointDist&>(*dist_).value();
+}
+
+std::string RandomVar::ToString() const {
+  std::ostringstream os;
+  os << dist_->ToString();
+  if (sample_size_ == kCertainSampleSize) {
+    os << " [certain]";
+  } else {
+    os << " [n=" << sample_size_ << "]";
+  }
+  return os.str();
+}
+
+size_t RandomVar::CombineSampleSizes(size_t a, size_t b) {
+  return std::min(a, b);
+}
+
+}  // namespace dist
+}  // namespace ausdb

@@ -1,0 +1,88 @@
+#ifndef AUSDB_DIST_RANDOM_VAR_H_
+#define AUSDB_DIST_RANDOM_VAR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/dist/distribution.h"
+#include "src/dist/learner.h"
+
+namespace ausdb {
+namespace dist {
+
+/// \brief An uncertain attribute value: a probability distribution plus
+/// the provenance that accuracy derivation requires.
+///
+/// A RandomVar remembers the (de facto) sample size n it was learned from
+/// — the key quantity in Lemmas 1-3 — and optionally the raw observations
+/// themselves, which the bootstrap path (Section III) resamples. Query
+/// processing combines RandomVars and propagates n with Lemma 3
+/// (n_out = min over inputs).
+class RandomVar {
+ public:
+  /// An unknown/default variable: point mass at 0 with sample size 0.
+  RandomVar();
+
+  /// Wraps a distribution with an explicit (de facto) sample size.
+  RandomVar(DistributionPtr distribution, size_t sample_size);
+
+  /// Wraps a learner output, keeping its raw sample.
+  explicit RandomVar(const LearnedDistribution& learned);
+
+  /// A deterministic value. Deterministic fields are "infinitely
+  /// accurate": their sample size is treated as unbounded for Lemma 3.
+  static RandomVar Certain(double value);
+
+  const DistributionPtr& distribution() const { return dist_; }
+
+  /// The (de facto) sample size n this variable's distribution carries.
+  /// kCertainSampleSize for deterministic values.
+  size_t sample_size() const { return sample_size_; }
+
+  /// Sentinel sample size for deterministic values so that min-propagation
+  /// ignores them.
+  static constexpr size_t kCertainSampleSize =
+      static_cast<size_t>(-1);
+
+  /// True if this variable is deterministic (a PointDist).
+  bool is_certain() const;
+
+  /// The deterministic value; Status::TypeError if not certain.
+  Result<double> certain_value() const;
+
+  /// Raw observations, if retained; nullptr otherwise.
+  const std::shared_ptr<const std::vector<double>>& raw_sample() const {
+    return raw_;
+  }
+
+  /// Attaches (or replaces) the retained raw sample.
+  void set_raw_sample(std::shared_ptr<const std::vector<double>> raw) {
+    raw_ = std::move(raw);
+  }
+
+  double Mean() const { return dist_->Mean(); }
+  double Variance() const { return dist_->Variance(); }
+  double StdDev() const { return dist_->StdDev(); }
+  double Cdf(double x) const { return dist_->Cdf(x); }
+  double ProbGreater(double c) const { return dist_->ProbGreater(c); }
+  double ProbLess(double c) const { return dist_->ProbLess(c); }
+  double Sample(Rng& rng) const { return dist_->Sample(rng); }
+
+  std::string ToString() const;
+
+  /// Lemma 3: the de facto sample size of a function of several inputs is
+  /// the minimum of their sample sizes (deterministic inputs excluded).
+  static size_t CombineSampleSizes(size_t a, size_t b);
+
+ private:
+  DistributionPtr dist_;
+  size_t sample_size_;
+  std::shared_ptr<const std::vector<double>> raw_;
+};
+
+}  // namespace dist
+}  // namespace ausdb
+
+#endif  // AUSDB_DIST_RANDOM_VAR_H_

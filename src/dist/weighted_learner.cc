@@ -1,0 +1,78 @@
+#include "src/dist/weighted_learner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/dist/gaussian.h"
+#include "src/dist/histogram.h"
+#include "src/stats/weighted.h"
+
+namespace ausdb {
+namespace dist {
+
+RandomVar WeightedLearnedDistribution::ToRandomVar() const {
+  const size_t n = static_cast<size_t>(
+      std::max(2.0, std::floor(effective_sample_size)));
+  return RandomVar(distribution, n);
+}
+
+Result<WeightedLearnedDistribution> LearnWeightedGaussian(
+    std::span<const double> observations,
+    std::span<const double> weights) {
+  AUSDB_ASSIGN_OR_RETURN(
+      stats::WeightedSummary s,
+      stats::SummarizeWeighted(observations, weights));
+  if (s.effective_sample_size <= 1.0) {
+    return Status::InsufficientData(
+        "learning a weighted Gaussian requires effective sample size > 1");
+  }
+  WeightedLearnedDistribution out;
+  out.distribution =
+      std::make_shared<GaussianDist>(s.mean, s.sample_variance);
+  out.raw_count = observations.size();
+  out.effective_sample_size = s.effective_sample_size;
+  return out;
+}
+
+Result<WeightedLearnedDistribution> LearnWeightedHistogram(
+    std::span<const double> observations, std::span<const double> weights,
+    const HistogramLearnOptions& options) {
+  if (observations.size() != weights.size()) {
+    return Status::InvalidArgument(
+        "observations and weights must have the same size");
+  }
+  AUSDB_ASSIGN_OR_RETURN(double n_eff,
+                         stats::EffectiveSampleSize(weights));
+  AUSDB_ASSIGN_OR_RETURN(std::vector<double> edges,
+                         ComputeBinEdges(observations, options));
+
+  std::vector<double> bin_weight(edges.size() - 1, 0.0);
+  double total = 0.0;
+  for (size_t i = 0; i < observations.size(); ++i) {
+    const double x = observations[i];
+    size_t bin;
+    if (x < edges.front()) {
+      bin = 0;
+    } else if (x >= edges.back()) {
+      bin = bin_weight.size() - 1;
+    } else {
+      const auto it = std::upper_bound(edges.begin(), edges.end(), x);
+      bin = static_cast<size_t>(it - edges.begin()) - 1;
+    }
+    bin_weight[bin] += weights[i];
+    total += weights[i];
+  }
+  for (double& w : bin_weight) w /= total;
+
+  AUSDB_ASSIGN_OR_RETURN(
+      HistogramDist hist,
+      HistogramDist::Make(std::move(edges), std::move(bin_weight)));
+  WeightedLearnedDistribution out;
+  out.distribution = std::make_shared<HistogramDist>(std::move(hist));
+  out.raw_count = observations.size();
+  out.effective_sample_size = n_eff;
+  return out;
+}
+
+}  // namespace dist
+}  // namespace ausdb

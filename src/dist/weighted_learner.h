@@ -1,0 +1,44 @@
+#ifndef AUSDB_DIST_WEIGHTED_LEARNER_H_
+#define AUSDB_DIST_WEIGHTED_LEARNER_H_
+
+#include <span>
+
+#include "src/common/result.h"
+#include "src/dist/learner.h"
+#include "src/dist/random_var.h"
+
+namespace ausdb {
+namespace dist {
+
+/// \brief A distribution learned from a *weighted* sample (the paper's
+/// Section VII future work): recent observations may weigh more, and the
+/// accuracy provenance is the Kish effective sample size rather than the
+/// raw count.
+struct WeightedLearnedDistribution {
+  DistributionPtr distribution;
+  /// Raw observation count.
+  size_t raw_count = 0;
+  /// Kish effective sample size; the n that accuracy derivation uses.
+  double effective_sample_size = 0.0;
+
+  /// Wraps as a RandomVar; the (integral) d.f. sample size is
+  /// floor(effective_sample_size), a conservative rounding.
+  RandomVar ToRandomVar() const;
+};
+
+/// Learns a Gaussian from a weighted sample (weighted MLE: weighted mean
+/// and frequency-corrected weighted variance). Requires effective sample
+/// size > 1.
+Result<WeightedLearnedDistribution> LearnWeightedGaussian(
+    std::span<const double> observations, std::span<const double> weights);
+
+/// Learns a histogram whose bin heights are weighted frequencies
+/// sum(w in bin)/sum(w). Binning options as in LearnHistogram.
+Result<WeightedLearnedDistribution> LearnWeightedHistogram(
+    std::span<const double> observations, std::span<const double> weights,
+    const HistogramLearnOptions& options = {});
+
+}  // namespace dist
+}  // namespace ausdb
+
+#endif  // AUSDB_DIST_WEIGHTED_LEARNER_H_

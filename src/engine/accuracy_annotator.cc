@@ -1,0 +1,90 @@
+#include "src/engine/accuracy_annotator.h"
+
+#include "src/bootstrap/bootstrap_accuracy.h"
+#include "src/dist/histogram.h"
+
+namespace ausdb {
+namespace engine {
+
+AccuracyAnnotator::AccuracyAnnotator(OperatorPtr child,
+                                     AccuracyAnnotatorOptions options)
+    : child_(std::move(child)),
+      options_(std::move(options)),
+      rng_(options_.seed) {}
+
+Result<accuracy::AccuracyInfo> AccuracyAnnotator::Annotate(
+    const dist::RandomVar& rv) {
+  if (options_.method == accuracy::AccuracyMethod::kAnalytical) {
+    return accuracy::AnalyticalAccuracy(rv, options_.confidence);
+  }
+
+  // Bootstrap path. Histogram fields get per-bin intervals over their own
+  // bin edges.
+  std::span<const double> edges;
+  if (rv.distribution()->kind() == dist::DistributionKind::kHistogram) {
+    edges = static_cast<const dist::HistogramDist&>(*rv.distribution())
+                .edges();
+  }
+  const size_t n = rv.sample_size();
+  if (n == dist::RandomVar::kCertainSampleSize) {
+    return Status::InsufficientData(
+        "cannot bootstrap a deterministic field");
+  }
+  const auto& raw = rv.raw_sample();
+  if (raw != nullptr && raw->size() >= 2 * n) {
+    // The evaluator retained the Monte Carlo value sequence: feed it to
+    // the algorithm directly (Section III-B, first category).
+    return bootstrap::BootstrapAccuracyInfo(*raw, n, options_.confidence,
+                                            edges);
+  }
+  // Second category: sample a fresh sequence from the distribution.
+  return bootstrap::BootstrapAccuracyFromDistribution(
+      *rv.distribution(), n, options_.bootstrap_resamples,
+      options_.confidence, rng_, edges);
+}
+
+Result<std::optional<Tuple>> AccuracyAnnotator::Next() {
+  if (!resolved_) {
+    if (options_.columns.empty()) {
+      for (size_t i = 0; i < schema().num_fields(); ++i) {
+        if (schema().field(i).type == FieldType::kUncertain) {
+          column_indices_.push_back(i);
+        }
+      }
+    } else {
+      for (const auto& name : options_.columns) {
+        AUSDB_ASSIGN_OR_RETURN(size_t idx, schema().IndexOf(name));
+        column_indices_.push_back(idx);
+      }
+    }
+    resolved_ = true;
+  }
+
+  AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> t, child_->Next());
+  if (!t.has_value()) return std::optional<Tuple>(std::nullopt);
+
+  for (size_t idx : column_indices_) {
+    const expr::Value& v = t->value(idx);
+    if (!v.is_random_var()) continue;
+    AUSDB_ASSIGN_OR_RETURN(dist::RandomVar rv, v.random_var());
+    if (rv.is_certain()) continue;
+    AUSDB_ASSIGN_OR_RETURN(accuracy::AccuracyInfo info, Annotate(rv));
+    t->set_accuracy(idx, std::move(info));
+  }
+
+  if (options_.annotate_membership &&
+      t->membership_df_n() != dist::RandomVar::kCertainSampleSize) {
+    AUSDB_ASSIGN_OR_RETURN(
+        accuracy::ConfidenceInterval ci,
+        accuracy::TupleProbabilityInterval(
+            t->membership_prob(), t->membership_df_n(),
+            options_.confidence));
+    t->set_membership_ci(ci);
+  }
+  return t;
+}
+
+Status AccuracyAnnotator::Reset() { return child_->Reset(); }
+
+}  // namespace engine
+}  // namespace ausdb

@@ -1,0 +1,35 @@
+#include "src/engine/executor.h"
+
+namespace ausdb {
+namespace engine {
+
+Result<std::vector<Tuple>> Collect(Operator& root) {
+  std::vector<Tuple> out;
+  for (;;) {
+    AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> t, root.Next());
+    if (!t.has_value()) return out;
+    out.push_back(std::move(*t));
+  }
+}
+
+Result<size_t> Drain(Operator& root) {
+  size_t count = 0;
+  for (;;) {
+    AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> t, root.Next());
+    if (!t.has_value()) return count;
+    ++count;
+  }
+}
+
+Result<std::vector<Tuple>> CollectLimit(Operator& root, size_t limit) {
+  std::vector<Tuple> out;
+  while (out.size() < limit) {
+    AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> t, root.Next());
+    if (!t.has_value()) break;
+    out.push_back(std::move(*t));
+  }
+  return out;
+}
+
+}  // namespace engine
+}  // namespace ausdb

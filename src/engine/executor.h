@@ -1,0 +1,25 @@
+#ifndef AUSDB_ENGINE_EXECUTOR_H_
+#define AUSDB_ENGINE_EXECUTOR_H_
+
+#include <vector>
+
+#include "src/engine/operator.h"
+
+namespace ausdb {
+namespace engine {
+
+/// \brief Pulls every tuple out of `root` into a vector (batch
+/// execution / tests).
+Result<std::vector<Tuple>> Collect(Operator& root);
+
+/// \brief Pulls and discards every tuple, returning the count — the
+/// throughput-measurement path (no materialization cost).
+Result<size_t> Drain(Operator& root);
+
+/// \brief Pulls at most `limit` tuples.
+Result<std::vector<Tuple>> CollectLimit(Operator& root, size_t limit);
+
+}  // namespace engine
+}  // namespace ausdb
+
+#endif  // AUSDB_ENGINE_EXECUTOR_H_

@@ -1,0 +1,67 @@
+#ifndef AUSDB_ENGINE_FILTER_H_
+#define AUSDB_ENGINE_FILTER_H_
+
+#include <memory>
+
+#include "src/engine/operator.h"
+#include "src/expr/evaluator.h"
+#include "src/expr/expr.h"
+
+namespace ausdb {
+namespace engine {
+
+/// Policy knobs for the Filter operator.
+struct FilterOptions {
+  /// Tuples whose predicate probability is <= this are dropped outright
+  /// (their possible-world contribution is negligible). 0 keeps every
+  /// tuple with positive probability, as in the paper's semantics.
+  double min_probability = 0.0;
+
+  /// For significance predicates with coupled tests: keep UNSURE tuples
+  /// (flagged via Tuple::significance) instead of dropping them.
+  bool keep_unsure = false;
+
+  /// Orion-style conditioning: when the predicate is a simple range
+  /// comparison `column cmp constant` over an uncertain column, replace
+  /// that column's distribution in surviving tuples with its conditional
+  /// (truncated, renormalized) version — the distribution of the
+  /// attribute in the possible worlds where the tuple survived. The d.f.
+  /// sample size is unchanged (same underlying observations).
+  bool condition_distributions = false;
+
+  /// Evaluator tuning (Monte Carlo sample count etc.).
+  expr::EvalOptions eval;
+};
+
+/// \brief Possible-world filter (the WHERE clause).
+///
+/// For an ordinary predicate, each surviving tuple's membership
+/// probability is multiplied by the predicate probability and its d.f.
+/// sample size is combined by Lemma 3 — this is how result tuples acquire
+/// tuple uncertainty with accuracy provenance. For probability-threshold
+/// and significance predicates the decision is boolean; significance
+/// outcomes are recorded on the tuple.
+class Filter final : public Operator {
+ public:
+  Filter(OperatorPtr child, expr::ExprPtr predicate,
+         FilterOptions options = {});
+
+  const Schema& schema() const override { return child_->schema(); }
+  Result<std::optional<Tuple>> Next() override;
+  Status Reset() override;
+
+  /// Number of UNSURE outcomes seen so far (kept or dropped).
+  size_t unsure_count() const { return unsure_count_; }
+
+ private:
+  OperatorPtr child_;
+  expr::ExprPtr predicate_;
+  FilterOptions options_;
+  expr::Evaluator evaluator_;
+  size_t unsure_count_ = 0;
+};
+
+}  // namespace engine
+}  // namespace ausdb
+
+#endif  // AUSDB_ENGINE_FILTER_H_

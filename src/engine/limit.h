@@ -1,0 +1,39 @@
+#ifndef AUSDB_ENGINE_LIMIT_H_
+#define AUSDB_ENGINE_LIMIT_H_
+
+#include "src/engine/operator.h"
+
+namespace ausdb {
+namespace engine {
+
+/// \brief Limit: passes at most `limit` tuples through, then reports end
+/// of stream (useful to cap unbounded sources in ad hoc queries).
+class Limit final : public Operator {
+ public:
+  Limit(OperatorPtr child, size_t limit)
+      : child_(std::move(child)), limit_(limit) {}
+
+  const Schema& schema() const override { return child_->schema(); }
+
+  Result<std::optional<Tuple>> Next() override {
+    if (produced_ >= limit_) return std::optional<Tuple>(std::nullopt);
+    AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> t, child_->Next());
+    if (t.has_value()) ++produced_;
+    return t;
+  }
+
+  Status Reset() override {
+    produced_ = 0;
+    return child_->Reset();
+  }
+
+ private:
+  OperatorPtr child_;
+  size_t limit_;
+  size_t produced_ = 0;
+};
+
+}  // namespace engine
+}  // namespace ausdb
+
+#endif  // AUSDB_ENGINE_LIMIT_H_

@@ -1,0 +1,41 @@
+#ifndef AUSDB_ENGINE_OPERATOR_H_
+#define AUSDB_ENGINE_OPERATOR_H_
+
+#include <memory>
+#include <optional>
+
+#include "src/common/result.h"
+#include "src/engine/schema.h"
+#include "src/engine/tuple.h"
+
+namespace ausdb {
+namespace engine {
+
+/// \brief Pull-based (Volcano-style) stream operator.
+///
+/// Next() produces the next output tuple, std::nullopt at end of stream,
+/// or a failure Status. Operators own their children; a query plan is a
+/// tree of operators rooted at the one the executor pulls from.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Schema of the tuples this operator produces.
+  virtual const Schema& schema() const = 0;
+
+  /// Produces the next tuple, or nullopt when the stream is exhausted.
+  virtual Result<std::optional<Tuple>> Next() = 0;
+
+  /// Rewinds the operator (and its children) for a fresh pass, where
+  /// supported. Default: NotImplemented.
+  virtual Status Reset() {
+    return Status::NotImplemented("operator does not support Reset");
+  }
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+}  // namespace engine
+}  // namespace ausdb
+
+#endif  // AUSDB_ENGINE_OPERATOR_H_

@@ -1,0 +1,142 @@
+#include "src/engine/partitioned_window.h"
+
+#include <algorithm>
+
+#include "src/dist/gaussian.h"
+
+namespace ausdb {
+namespace engine {
+
+Result<std::unique_ptr<PartitionedWindowAggregate>>
+PartitionedWindowAggregate::Make(OperatorPtr child, std::string key_column,
+                                 std::string agg_column,
+                                 std::string output_name,
+                                 WindowAggregateOptions options) {
+  if (options.window_size == 0) {
+    return Status::InvalidArgument("window size must be >= 1");
+  }
+  AUSDB_ASSIGN_OR_RETURN(size_t key_idx,
+                         child->schema().IndexOf(key_column));
+  const FieldType key_type = child->schema().field(key_idx).type;
+  if (key_type != FieldType::kString && key_type != FieldType::kDouble) {
+    return Status::TypeError("group-by key '" + key_column +
+                             "' must be a deterministic string or double");
+  }
+  AUSDB_ASSIGN_OR_RETURN(size_t agg_idx,
+                         child->schema().IndexOf(agg_column));
+  const FieldType agg_type = child->schema().field(agg_idx).type;
+  if (agg_type != FieldType::kUncertain &&
+      agg_type != FieldType::kDouble) {
+    return Status::TypeError("window aggregate column '" + agg_column +
+                             "' must be numeric");
+  }
+  Schema out_schema;
+  AUSDB_RETURN_NOT_OK(out_schema.AddField({std::move(key_column), key_type}));
+  AUSDB_RETURN_NOT_OK(
+      out_schema.AddField({std::move(output_name), FieldType::kUncertain}));
+  return std::unique_ptr<PartitionedWindowAggregate>(
+      new PartitionedWindowAggregate(std::move(child), key_idx, agg_idx,
+                                     std::move(out_schema), options));
+}
+
+PartitionedWindowAggregate::PartitionedWindowAggregate(
+    OperatorPtr child, size_t key_index, size_t agg_index,
+    Schema out_schema, WindowAggregateOptions options)
+    : child_(std::move(child)),
+      key_index_(key_index),
+      agg_index_(agg_index),
+      schema_(std::move(out_schema)),
+      options_(options) {}
+
+Result<std::optional<Tuple>> PartitionedWindowAggregate::Next() {
+  for (;;) {
+    AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> t, child_->Next());
+    if (!t.has_value()) return std::optional<Tuple>(std::nullopt);
+
+    const expr::Value& key_value = t->value(key_index_);
+    std::string key;
+    if (key_value.is_string()) {
+      key = *key_value.string_value();
+    } else {
+      AUSDB_ASSIGN_OR_RETURN(double kd, key_value.AsDouble());
+      key = std::to_string(kd);
+    }
+
+    const expr::Value& v = t->value(agg_index_);
+    Entry e;
+    if (v.is_random_var()) {
+      AUSDB_ASSIGN_OR_RETURN(dist::RandomVar rv, v.random_var());
+      if (!rv.is_certain() &&
+          rv.distribution()->kind() != dist::DistributionKind::kGaussian &&
+          !options_.allow_clt_approximation) {
+        return Status::NotImplemented(
+            "closed-form window aggregation requires Gaussian or "
+            "deterministic inputs; got " + rv.distribution()->ToString());
+      }
+      e.mean = rv.Mean();
+      e.variance = rv.Variance();
+      e.sample_size = rv.sample_size();
+    } else {
+      AUSDB_ASSIGN_OR_RETURN(double d, v.AsDouble());
+      e.mean = d;
+      e.variance = 0.0;
+      e.sample_size = dist::RandomVar::kCertainSampleSize;
+    }
+
+    PartitionState& state = partitions_[key];
+    state.window.push_back(e);
+    state.sum_mean += e.mean;
+    state.sum_variance += e.variance;
+
+    if (options_.kind == WindowKind::kTumbling) {
+      if (state.window.size() < options_.window_size) continue;
+    } else {
+      if (state.window.size() > options_.window_size) {
+        const Entry& old = state.window.front();
+        state.sum_mean -= old.mean;
+        state.sum_variance -= old.variance;
+        state.window.pop_front();
+      }
+      if (state.window.size() < options_.window_size &&
+          !options_.emit_partial) {
+        continue;
+      }
+    }
+
+    const double w = static_cast<double>(state.window.size());
+    double mean = state.sum_mean;
+    double variance = state.sum_variance;
+    if (options_.fn == WindowAggFn::kAvg) {
+      mean /= w;
+      variance /= w * w;
+    }
+    // Per-key windows are small-to-moderate; a linear scan for the
+    // minimum sample size keeps the per-partition state simple.
+    size_t df = dist::RandomVar::kCertainSampleSize;
+    for (const Entry& entry : state.window) {
+      df = std::min(df, entry.sample_size);
+    }
+
+    dist::RandomVar agg(
+        std::make_shared<dist::GaussianDist>(mean,
+                                             std::max(0.0, variance)),
+        df);
+    Tuple out({key_value, expr::Value(std::move(agg))});
+    out.set_sequence(t->sequence());
+    out.set_membership_prob(t->membership_prob());
+    out.set_membership_df_n(t->membership_df_n());
+    if (options_.kind == WindowKind::kTumbling) {
+      state.window.clear();
+      state.sum_mean = state.sum_variance = 0.0;
+    }
+    return std::optional<Tuple>(std::move(out));
+  }
+}
+
+Status PartitionedWindowAggregate::Reset() {
+  partitions_.clear();
+  return child_->Reset();
+}
+
+}  // namespace engine
+}  // namespace ausdb

@@ -1,0 +1,62 @@
+#ifndef AUSDB_ENGINE_PARTITIONED_WINDOW_H_
+#define AUSDB_ENGINE_PARTITIONED_WINDOW_H_
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "src/engine/operator.h"
+#include "src/engine/window_aggregate.h"
+
+namespace ausdb {
+namespace engine {
+
+/// \brief Per-key sliding/tumbling window aggregate — the GROUP BY form
+/// of WindowAggregate.
+///
+/// Each distinct value of the key column (string or double, e.g. the
+/// Road_ID of the paper's Example 1) maintains its own count-based
+/// window; an output tuple (key, aggregate) is produced whenever some
+/// key's window emits. Schema: (key:<key type>, <output_name>:uncertain).
+class PartitionedWindowAggregate final : public Operator {
+ public:
+  static Result<std::unique_ptr<PartitionedWindowAggregate>> Make(
+      OperatorPtr child, std::string key_column, std::string agg_column,
+      std::string output_name, WindowAggregateOptions options = {});
+
+  const Schema& schema() const override { return schema_; }
+  Result<std::optional<Tuple>> Next() override;
+  Status Reset() override;
+
+  /// Number of distinct keys currently holding window state.
+  size_t partition_count() const { return partitions_.size(); }
+
+ private:
+  struct Entry {
+    double mean;
+    double variance;
+    size_t sample_size;
+  };
+
+  struct PartitionState {
+    std::deque<Entry> window;
+    double sum_mean = 0.0;
+    double sum_variance = 0.0;
+  };
+
+  PartitionedWindowAggregate(OperatorPtr child, size_t key_index,
+                             size_t agg_index, Schema out_schema,
+                             WindowAggregateOptions options);
+
+  OperatorPtr child_;
+  size_t key_index_;
+  size_t agg_index_;
+  Schema schema_;
+  WindowAggregateOptions options_;
+  std::unordered_map<std::string, PartitionState> partitions_;
+};
+
+}  // namespace engine
+}  // namespace ausdb
+
+#endif  // AUSDB_ENGINE_PARTITIONED_WINDOW_H_

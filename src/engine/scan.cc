@@ -1,0 +1,35 @@
+#include "src/engine/scan.h"
+
+namespace ausdb {
+namespace engine {
+
+VectorScan::VectorScan(Schema schema, std::vector<Tuple> tuples)
+    : schema_(std::move(schema)), tuples_(std::move(tuples)) {
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    tuples_[i].set_sequence(i);
+  }
+}
+
+Result<std::optional<Tuple>> VectorScan::Next() {
+  if (pos_ >= tuples_.size()) return std::optional<Tuple>(std::nullopt);
+  return std::optional<Tuple>(tuples_[pos_++]);
+}
+
+Status VectorScan::Reset() {
+  pos_ = 0;
+  return Status::OK();
+}
+
+StreamScan::StreamScan(Schema schema, TupleGenerator generator)
+    : schema_(std::move(schema)), generator_(std::move(generator)) {}
+
+Result<std::optional<Tuple>> StreamScan::Next() {
+  AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> t, generator_());
+  if (t.has_value()) {
+    t->set_sequence(next_sequence_++);
+  }
+  return t;
+}
+
+}  // namespace engine
+}  // namespace ausdb

@@ -1,0 +1,49 @@
+#ifndef AUSDB_ENGINE_SCAN_H_
+#define AUSDB_ENGINE_SCAN_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/engine/operator.h"
+
+namespace ausdb {
+namespace engine {
+
+/// \brief Scan over an in-memory vector of tuples (the batch/test path).
+class VectorScan final : public Operator {
+ public:
+  VectorScan(Schema schema, std::vector<Tuple> tuples);
+
+  const Schema& schema() const override { return schema_; }
+  Result<std::optional<Tuple>> Next() override;
+  Status Reset() override;
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+  size_t pos_ = 0;
+};
+
+/// A pull source producing tuples until it returns nullopt.
+using TupleGenerator = std::function<Result<std::optional<Tuple>>()>;
+
+/// \brief Scan over a generator callback (the streaming path): adapts any
+/// unbounded or bounded source — simulator, socket, file reader — into an
+/// operator. Assigns arrival sequence numbers.
+class StreamScan final : public Operator {
+ public:
+  StreamScan(Schema schema, TupleGenerator generator);
+
+  const Schema& schema() const override { return schema_; }
+  Result<std::optional<Tuple>> Next() override;
+
+ private:
+  Schema schema_;
+  TupleGenerator generator_;
+  uint64_t next_sequence_ = 0;
+};
+
+}  // namespace engine
+}  // namespace ausdb
+
+#endif  // AUSDB_ENGINE_SCAN_H_

@@ -1,0 +1,68 @@
+#include "src/engine/schema.h"
+
+#include <sstream>
+
+namespace ausdb {
+namespace engine {
+
+std::string_view FieldTypeToString(FieldType type) {
+  switch (type) {
+    case FieldType::kDouble:
+      return "double";
+    case FieldType::kString:
+      return "string";
+    case FieldType::kBool:
+      return "bool";
+    case FieldType::kUncertain:
+      return "uncertain";
+  }
+  return "unknown";
+}
+
+Schema::Schema(std::vector<Field> fields) {
+  for (auto& f : fields) {
+    // Duplicates in a constructor argument are a programming error; the
+    // incremental AddField path reports them as Status instead.
+    names_.push_back(f.name);
+    fields_.push_back(std::move(f));
+  }
+}
+
+Status Schema::AddField(Field field) {
+  if (Contains(field.name)) {
+    return Status::AlreadyExists("field '" + field.name +
+                                 "' already in schema");
+  }
+  names_.push_back(field.name);
+  fields_.push_back(std::move(field));
+  return Status::OK();
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("field '" + name + "' not in schema " +
+                          ToString());
+}
+
+bool Schema::Contains(const std::string& name) const {
+  for (const auto& f : fields_) {
+    if (f.name == name) return true;
+  }
+  return false;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << fields_[i].name << ":" << FieldTypeToString(fields_[i].type);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace engine
+}  // namespace ausdb

@@ -1,0 +1,67 @@
+#ifndef AUSDB_ENGINE_SCHEMA_H_
+#define AUSDB_ENGINE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace ausdb {
+namespace engine {
+
+/// Static type of a tuple field.
+enum class FieldType {
+  kDouble,     ///< Deterministic numeric value.
+  kString,     ///< Deterministic string (identifiers, labels).
+  kBool,       ///< Deterministic boolean.
+  kUncertain,  ///< A random variable (distribution + accuracy provenance).
+};
+
+std::string_view FieldTypeToString(FieldType type);
+
+/// A named, typed column.
+struct Field {
+  std::string name;
+  FieldType type = FieldType::kDouble;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// \brief Ordered collection of fields describing a stream's tuples.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  /// Appends a field; fails with AlreadyExists on a duplicate name.
+  Status AddField(Field field);
+
+  size_t num_fields() const { return fields_.size(); }
+  const std::vector<Field>& fields() const { return fields_; }
+  const Field& field(size_t i) const { return fields_[i]; }
+
+  /// Index of the field named `name`; NotFound if absent.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// The field names in order (shared with expr::Row).
+  const std::vector<std::string>& names() const { return names_; }
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace engine
+}  // namespace ausdb
+
+#endif  // AUSDB_ENGINE_SCHEMA_H_

@@ -1,0 +1,84 @@
+#include "src/engine/sort.h"
+
+#include <algorithm>
+
+namespace ausdb {
+namespace engine {
+
+Result<std::unique_ptr<Sort>> Sort::Make(OperatorPtr child,
+                                         std::string column,
+                                         SortOrder order) {
+  AUSDB_ASSIGN_OR_RETURN(size_t idx, child->schema().IndexOf(column));
+  const FieldType type = child->schema().field(idx).type;
+  if (type == FieldType::kBool) {
+    return Status::TypeError("cannot ORDER BY a boolean column");
+  }
+  return std::unique_ptr<Sort>(new Sort(std::move(child), idx, order));
+}
+
+Status Sort::Materialize() {
+  sorted_.clear();
+  for (;;) {
+    AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> t, child_->Next());
+    if (!t.has_value()) break;
+    sorted_.push_back(std::move(*t));
+  }
+
+  // Sort key per tuple: strings compare lexicographically, numerics by
+  // value, uncertain fields by expectation.
+  const size_t idx = column_index_;
+  const bool is_string =
+      !sorted_.empty() && sorted_.front().value(idx).is_string();
+
+  Status failure = Status::OK();
+  const auto numeric_key = [idx, &failure](const Tuple& t) -> double {
+    const expr::Value& v = t.value(idx);
+    if (v.is_random_var()) {
+      return v.random_var()->Mean();
+    }
+    auto d = v.AsDouble();
+    if (!d.ok()) {
+      if (failure.ok()) failure = d.status();
+      return 0.0;
+    }
+    return *d;
+  };
+
+  if (is_string) {
+    std::stable_sort(sorted_.begin(), sorted_.end(),
+                     [idx](const Tuple& a, const Tuple& b) {
+                       return *a.value(idx).string_value() <
+                              *b.value(idx).string_value();
+                     });
+  } else {
+    std::stable_sort(sorted_.begin(), sorted_.end(),
+                     [&](const Tuple& a, const Tuple& b) {
+                       return numeric_key(a) < numeric_key(b);
+                     });
+  }
+  AUSDB_RETURN_NOT_OK(failure);
+  if (order_ == SortOrder::kDescending) {
+    std::reverse(sorted_.begin(), sorted_.end());
+  }
+  materialized_ = true;
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<std::optional<Tuple>> Sort::Next() {
+  if (!materialized_) {
+    AUSDB_RETURN_NOT_OK(Materialize());
+  }
+  if (pos_ >= sorted_.size()) return std::optional<Tuple>(std::nullopt);
+  return std::optional<Tuple>(sorted_[pos_++]);
+}
+
+Status Sort::Reset() {
+  materialized_ = false;
+  sorted_.clear();
+  pos_ = 0;
+  return child_->Reset();
+}
+
+}  // namespace engine
+}  // namespace ausdb

@@ -1,0 +1,132 @@
+#include "src/engine/time_window_aggregate.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/dist/gaussian.h"
+
+namespace ausdb {
+namespace engine {
+
+Result<std::unique_ptr<TimeWindowAggregate>> TimeWindowAggregate::Make(
+    OperatorPtr child, std::string timestamp_column,
+    std::string value_column, std::string output_name,
+    TimeWindowOptions options) {
+  if (!(options.duration > 0.0)) {
+    return Status::InvalidArgument("window duration must be > 0");
+  }
+  AUSDB_ASSIGN_OR_RETURN(size_t ts_idx,
+                         child->schema().IndexOf(timestamp_column));
+  if (child->schema().field(ts_idx).type != FieldType::kDouble) {
+    return Status::TypeError("timestamp column '" + timestamp_column +
+                             "' must be a deterministic double");
+  }
+  AUSDB_ASSIGN_OR_RETURN(size_t value_idx,
+                         child->schema().IndexOf(value_column));
+  const FieldType value_type = child->schema().field(value_idx).type;
+  if (value_type != FieldType::kUncertain &&
+      value_type != FieldType::kDouble) {
+    return Status::TypeError("window aggregate column '" + value_column +
+                             "' must be numeric");
+  }
+  Schema out_schema;
+  AUSDB_RETURN_NOT_OK(
+      out_schema.AddField({std::move(output_name), FieldType::kUncertain}));
+  return std::unique_ptr<TimeWindowAggregate>(
+      new TimeWindowAggregate(std::move(child), ts_idx, value_idx,
+                              std::move(out_schema), options));
+}
+
+TimeWindowAggregate::TimeWindowAggregate(OperatorPtr child,
+                                         size_t ts_index,
+                                         size_t value_index,
+                                         Schema out_schema,
+                                         TimeWindowOptions options)
+    : child_(std::move(child)),
+      ts_index_(ts_index),
+      value_index_(value_index),
+      schema_(std::move(out_schema)),
+      options_(options) {}
+
+Result<std::optional<Tuple>> TimeWindowAggregate::Next() {
+  AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> t, child_->Next());
+  if (!t.has_value()) return std::optional<Tuple>(std::nullopt);
+
+  AUSDB_ASSIGN_OR_RETURN(double ts, t->value(ts_index_).AsDouble());
+  if (options_.require_ordered && ts < last_timestamp_) {
+    return Status::InvalidArgument(
+        "out-of-order timestamp " + std::to_string(ts) + " after " +
+        std::to_string(last_timestamp_) +
+        " (set require_ordered=false to accept)");
+  }
+  last_timestamp_ = std::max(last_timestamp_, ts);
+
+  const expr::Value& v = t->value(value_index_);
+  Entry e;
+  e.timestamp = ts;
+  if (v.is_random_var()) {
+    AUSDB_ASSIGN_OR_RETURN(dist::RandomVar rv, v.random_var());
+    if (!rv.is_certain() &&
+        rv.distribution()->kind() != dist::DistributionKind::kGaussian &&
+        !options_.allow_clt_approximation) {
+      return Status::NotImplemented(
+          "closed-form window aggregation requires Gaussian or "
+          "deterministic inputs; got " + rv.distribution()->ToString());
+    }
+    e.mean = rv.Mean();
+    e.variance = rv.Variance();
+    e.sample_size = rv.sample_size();
+  } else {
+    AUSDB_ASSIGN_OR_RETURN(double d, v.AsDouble());
+    e.mean = d;
+    e.variance = 0.0;
+    e.sample_size = dist::RandomVar::kCertainSampleSize;
+  }
+
+  // Insert keeping the deque ordered by timestamp (out-of-order inputs
+  // land near the back).
+  auto pos = window_.end();
+  while (pos != window_.begin() && (pos - 1)->timestamp > e.timestamp) {
+    --pos;
+  }
+  window_.insert(pos, e);
+
+  // Evict everything older than the current watermark minus duration.
+  const double cutoff = last_timestamp_ - options_.duration;
+  while (!window_.empty() && window_.front().timestamp <= cutoff) {
+    window_.pop_front();
+  }
+
+  double sum_mean = 0.0, sum_variance = 0.0;
+  size_t df = dist::RandomVar::kCertainSampleSize;
+  for (const Entry& entry : window_) {
+    sum_mean += entry.mean;
+    sum_variance += entry.variance;
+    df = std::min(df, entry.sample_size);
+  }
+  const double w = static_cast<double>(window_.size());
+  double mean = sum_mean;
+  double variance = sum_variance;
+  if (options_.fn == WindowAggFn::kAvg) {
+    mean /= w;
+    variance /= w * w;
+  }
+
+  dist::RandomVar agg(
+      std::make_shared<dist::GaussianDist>(mean, std::max(0.0, variance)),
+      df);
+  Tuple out({expr::Value(std::move(agg))});
+  out.set_sequence(t->sequence());
+  out.set_membership_prob(t->membership_prob());
+  out.set_membership_df_n(t->membership_df_n());
+  return std::optional<Tuple>(std::move(out));
+}
+
+Status TimeWindowAggregate::Reset() {
+  window_.clear();
+  last_timestamp_ = -std::numeric_limits<double>::infinity();
+  return child_->Reset();
+}
+
+}  // namespace engine
+}  // namespace ausdb

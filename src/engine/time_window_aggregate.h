@@ -1,0 +1,72 @@
+#ifndef AUSDB_ENGINE_TIME_WINDOW_AGGREGATE_H_
+#define AUSDB_ENGINE_TIME_WINDOW_AGGREGATE_H_
+
+#include <deque>
+#include <limits>
+#include <string>
+
+#include "src/engine/operator.h"
+#include "src/engine/window_aggregate.h"
+
+namespace ausdb {
+namespace engine {
+
+/// Options of the TimeWindowAggregate operator.
+struct TimeWindowOptions {
+  /// Window duration, in the timestamp column's units: an arriving tuple
+  /// with timestamp t aggregates all tuples with timestamp in
+  /// (t - duration, t].
+  double duration = 60.0;
+
+  WindowAggFn fn = WindowAggFn::kAvg;
+
+  /// As in WindowAggregateOptions: approximate non-Gaussian uncertain
+  /// inputs by the CLT instead of failing.
+  bool allow_clt_approximation = false;
+
+  /// Require non-decreasing timestamps (stream order). When false,
+  /// out-of-order tuples are accepted and evicted by value.
+  bool require_ordered = true;
+};
+
+/// \brief Time-based (RANGE) sliding-window aggregate over one uncertain
+/// column: the duration-based sibling of the count-based WindowAggregate.
+///
+/// The timestamp column must be a deterministic double. One output tuple
+/// is produced per input, with schema (<output_name>:uncertain).
+class TimeWindowAggregate final : public Operator {
+ public:
+  static Result<std::unique_ptr<TimeWindowAggregate>> Make(
+      OperatorPtr child, std::string timestamp_column,
+      std::string value_column, std::string output_name,
+      TimeWindowOptions options = {});
+
+  const Schema& schema() const override { return schema_; }
+  Result<std::optional<Tuple>> Next() override;
+  Status Reset() override;
+
+ private:
+  struct Entry {
+    double timestamp;
+    double mean;
+    double variance;
+    size_t sample_size;
+  };
+
+  TimeWindowAggregate(OperatorPtr child, size_t ts_index,
+                      size_t value_index, Schema out_schema,
+                      TimeWindowOptions options);
+
+  OperatorPtr child_;
+  size_t ts_index_;
+  size_t value_index_;
+  Schema schema_;
+  TimeWindowOptions options_;
+  std::deque<Entry> window_;
+  double last_timestamp_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace engine
+}  // namespace ausdb
+
+#endif  // AUSDB_ENGINE_TIME_WINDOW_AGGREGATE_H_

@@ -1,0 +1,36 @@
+#include "src/engine/tuple.h"
+
+#include <sstream>
+
+namespace ausdb {
+namespace engine {
+
+void Tuple::set_accuracy(size_t i, accuracy::AccuracyInfo info) {
+  if (accuracy_.size() < values_.size()) {
+    accuracy_.resize(values_.size());
+  }
+  accuracy_[i] = std::move(info);
+}
+
+std::string Tuple::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << values_[i].ToString();
+  }
+  os << "]";
+  if (membership_prob_ != 1.0) {
+    os << " p=" << membership_prob_;
+  }
+  if (membership_ci_) {
+    os << " p_ci=" << membership_ci_->ToString();
+  }
+  if (significance_) {
+    os << " sig=" << hypothesis::TestOutcomeToString(*significance_);
+  }
+  return os.str();
+}
+
+}  // namespace engine
+}  // namespace ausdb

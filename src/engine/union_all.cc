@@ -1,0 +1,44 @@
+#include "src/engine/union_all.h"
+
+namespace ausdb {
+namespace engine {
+
+Result<std::unique_ptr<UnionAll>> UnionAll::Make(
+    std::vector<OperatorPtr> children) {
+  if (children.empty()) {
+    return Status::InvalidArgument("UNION ALL needs at least one input");
+  }
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (children[i] == nullptr) {
+      return Status::InvalidArgument("UNION ALL input is null");
+    }
+    if (!(children[i]->schema() == children[0]->schema())) {
+      return Status::TypeError(
+          "UNION ALL inputs must share a schema; input " +
+          std::to_string(i) + " has " + children[i]->schema().ToString() +
+          " vs " + children[0]->schema().ToString());
+    }
+  }
+  return std::unique_ptr<UnionAll>(new UnionAll(std::move(children)));
+}
+
+Result<std::optional<Tuple>> UnionAll::Next() {
+  while (current_ < children_.size()) {
+    AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> t,
+                           children_[current_]->Next());
+    if (t.has_value()) return t;
+    ++current_;
+  }
+  return std::optional<Tuple>(std::nullopt);
+}
+
+Status UnionAll::Reset() {
+  for (auto& child : children_) {
+    AUSDB_RETURN_NOT_OK(child->Reset());
+  }
+  current_ = 0;
+  return Status::OK();
+}
+
+}  // namespace engine
+}  // namespace ausdb

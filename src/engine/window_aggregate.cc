@@ -1,0 +1,134 @@
+#include "src/engine/window_aggregate.h"
+
+#include <algorithm>
+
+#include "src/dist/gaussian.h"
+
+namespace ausdb {
+namespace engine {
+
+Result<std::unique_ptr<WindowAggregate>> WindowAggregate::Make(
+    OperatorPtr child, std::string column, std::string output_name,
+    WindowAggregateOptions options) {
+  if (options.window_size == 0) {
+    return Status::InvalidArgument("window size must be >= 1");
+  }
+  AUSDB_ASSIGN_OR_RETURN(size_t idx, child->schema().IndexOf(column));
+  const FieldType type = child->schema().field(idx).type;
+  if (type != FieldType::kUncertain && type != FieldType::kDouble) {
+    return Status::TypeError("window aggregate column '" + column +
+                             "' must be numeric");
+  }
+  Schema out_schema;
+  AUSDB_RETURN_NOT_OK(
+      out_schema.AddField({std::move(output_name), FieldType::kUncertain}));
+  return std::unique_ptr<WindowAggregate>(new WindowAggregate(
+      std::move(child), idx, std::move(out_schema), options));
+}
+
+WindowAggregate::WindowAggregate(OperatorPtr child, size_t column_index,
+                                 Schema out_schema,
+                                 WindowAggregateOptions options)
+    : child_(std::move(child)),
+      column_index_(column_index),
+      schema_(std::move(out_schema)),
+      options_(options) {}
+
+void WindowAggregate::Push(const Entry& e) {
+  window_.push_back(e);
+  sum_mean_ += e.mean;
+  sum_variance_ += e.variance;
+  while (!min_deque_.empty() &&
+         min_deque_.back().sample_size >= e.sample_size) {
+    min_deque_.pop_back();
+  }
+  min_deque_.push_back(e);
+}
+
+void WindowAggregate::PopFront() {
+  const Entry& e = window_.front();
+  sum_mean_ -= e.mean;
+  sum_variance_ -= e.variance;
+  if (!min_deque_.empty() &&
+      min_deque_.front().sequence == e.sequence) {
+    min_deque_.pop_front();
+  }
+  window_.pop_front();
+}
+
+Result<std::optional<Tuple>> WindowAggregate::Next() {
+  for (;;) {
+    AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> t, child_->Next());
+    if (!t.has_value()) return std::optional<Tuple>(std::nullopt);
+
+    const expr::Value& v = t->value(column_index_);
+    Entry e;
+    e.sequence = t->sequence();
+    if (v.is_random_var()) {
+      AUSDB_ASSIGN_OR_RETURN(dist::RandomVar rv, v.random_var());
+      if (!rv.is_certain() &&
+          rv.distribution()->kind() != dist::DistributionKind::kGaussian &&
+          !options_.allow_clt_approximation) {
+        return Status::NotImplemented(
+            "closed-form window aggregation requires Gaussian or "
+            "deterministic inputs; got " + rv.distribution()->ToString() +
+            " (set allow_clt_approximation for a CLT-based Gaussian "
+            "approximation)");
+      }
+      e.mean = rv.Mean();
+      e.variance = rv.Variance();
+      e.sample_size = rv.sample_size();
+    } else {
+      AUSDB_ASSIGN_OR_RETURN(double d, v.AsDouble());
+      e.mean = d;
+      e.variance = 0.0;
+      e.sample_size = dist::RandomVar::kCertainSampleSize;
+    }
+
+    Push(e);
+    if (options_.kind == WindowKind::kTumbling) {
+      // Tumbling: emit only when the window fills, then start over.
+      if (window_.size() < options_.window_size) continue;
+    } else {
+      if (window_.size() > options_.window_size) PopFront();
+      if (window_.size() < options_.window_size &&
+          !options_.emit_partial) {
+        continue;
+      }
+    }
+
+    const double w = static_cast<double>(window_.size());
+    double mean = sum_mean_;
+    double variance = sum_variance_;
+    if (options_.fn == WindowAggFn::kAvg) {
+      mean /= w;
+      variance /= w * w;
+    }
+    const size_t df = min_deque_.front().sample_size;
+
+    dist::RandomVar agg(
+        std::make_shared<dist::GaussianDist>(mean,
+                                             std::max(0.0, variance)),
+        df);
+    Tuple out({expr::Value(std::move(agg))});
+    out.set_sequence(t->sequence());
+    out.set_membership_prob(t->membership_prob());
+    out.set_membership_df_n(t->membership_df_n());
+    if (options_.kind == WindowKind::kTumbling) {
+      window_.clear();
+      min_deque_.clear();
+      sum_mean_ = sum_variance_ = 0.0;
+    }
+    return std::optional<Tuple>(std::move(out));
+  }
+}
+
+Status WindowAggregate::Reset() {
+  window_.clear();
+  min_deque_.clear();
+  sum_mean_ = sum_variance_ = 0.0;
+  return child_->Reset();
+}
+
+}  // namespace engine
+}  // namespace ausdb

@@ -1,0 +1,98 @@
+#ifndef AUSDB_ENGINE_WINDOW_AGGREGATE_H_
+#define AUSDB_ENGINE_WINDOW_AGGREGATE_H_
+
+#include <deque>
+#include <string>
+
+#include "src/engine/operator.h"
+
+namespace ausdb {
+namespace engine {
+
+/// Aggregate function of a sliding window.
+enum class WindowAggFn {
+  kAvg,
+  kSum,
+};
+
+/// How the window advances.
+enum class WindowKind {
+  /// Slide by one tuple: one output per input once the window is full.
+  kSliding,
+  /// Tumble: one output per `window_size` inputs, then the window resets.
+  kTumbling,
+};
+
+/// Options of the WindowAggregate operator.
+struct WindowAggregateOptions {
+  /// Count-based window size (the paper's Section V-C uses 1000).
+  size_t window_size = 1000;
+
+  WindowAggFn fn = WindowAggFn::kAvg;
+
+  WindowKind kind = WindowKind::kSliding;
+
+  /// Emit an output per input even before the window has filled (running
+  /// aggregate over the partial window). When false, output starts with
+  /// the window_size-th tuple. Sliding windows only.
+  bool emit_partial = false;
+
+  /// Accept non-Gaussian uncertain inputs by the central limit theorem:
+  /// the aggregate's mean and variance propagate exactly, and the result
+  /// is approximated as Gaussian — a good approximation for the window
+  /// sizes streams use. When false (the default), non-Gaussian inputs
+  /// are a NotImplemented error.
+  bool allow_clt_approximation = false;
+};
+
+/// \brief Count-based sliding-window aggregate over one uncertain column
+/// (the paper's streaming AVG query).
+///
+/// Inputs must be Gaussian or deterministic: the aggregate of independent
+/// Gaussians is computed in closed form — AVG of w Gaussians is
+/// N(sum mu_i / w, sum sigma_i^2 / w^2) — and the output's d.f. sample
+/// size is the window minimum (Lemma 3). One output tuple is produced per
+/// input tuple once the window is full, with schema (agg:uncertain).
+class WindowAggregate final : public Operator {
+ public:
+  /// `column` must exist in the child schema and be kUncertain or
+  /// kDouble. `output_name` names the single output field.
+  static Result<std::unique_ptr<WindowAggregate>> Make(
+      OperatorPtr child, std::string column, std::string output_name,
+      WindowAggregateOptions options = {});
+
+  const Schema& schema() const override { return schema_; }
+  Result<std::optional<Tuple>> Next() override;
+  Status Reset() override;
+
+ private:
+  WindowAggregate(OperatorPtr child, size_t column_index,
+                  Schema out_schema, WindowAggregateOptions options);
+
+  struct Entry {
+    double mean;
+    double variance;
+    size_t sample_size;
+    uint64_t sequence;
+  };
+
+  void Push(const Entry& e);
+  void PopFront();
+
+  OperatorPtr child_;
+  size_t column_index_;
+  Schema schema_;
+  WindowAggregateOptions options_;
+
+  std::deque<Entry> window_;
+  double sum_mean_ = 0.0;
+  double sum_variance_ = 0.0;
+  /// Monotonic (non-decreasing sample_size) deque of window entries used
+  /// to answer "min sample size in window" in O(1) amortized.
+  std::deque<Entry> min_deque_;
+};
+
+}  // namespace engine
+}  // namespace ausdb
+
+#endif  // AUSDB_ENGINE_WINDOW_AGGREGATE_H_

@@ -1,0 +1,111 @@
+#include "src/expr/analyzer.h"
+
+#include <unordered_set>
+
+namespace ausdb {
+namespace expr {
+
+namespace {
+
+void CollectColumnsInto(const Expr& e, std::vector<std::string>* out,
+                        std::unordered_set<std::string>* seen) {
+  if (e.kind() == ExprKind::kColumnRef) {
+    const auto& name = static_cast<const ColumnRefExpr&>(e).name();
+    if (seen->insert(name).second) out->push_back(name);
+    return;
+  }
+  for (const ExprPtr& child : e.children()) {
+    CollectColumnsInto(*child, out, seen);
+  }
+}
+
+// Scales every coefficient and the constant by `factor`.
+LinearForm Scale(LinearForm form, double factor) {
+  for (auto& [name, coeff] : form.coefficients) coeff *= factor;
+  form.constant *= factor;
+  return form;
+}
+
+// form_a + sign * form_b.
+LinearForm Combine(LinearForm a, const LinearForm& b, double sign) {
+  for (const auto& [name, coeff] : b.coefficients) {
+    a.coefficients[name] += sign * coeff;
+  }
+  a.constant += sign * b.constant;
+  return a;
+}
+
+// A form with no column terms is a constant.
+std::optional<double> AsConstant(const LinearForm& form) {
+  for (const auto& [name, coeff] : form.coefficients) {
+    if (coeff != 0.0) return std::nullopt;
+  }
+  return form.constant;
+}
+
+}  // namespace
+
+std::vector<std::string> CollectColumns(const Expr& e) {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  CollectColumnsInto(e, &out, &seen);
+  return out;
+}
+
+std::optional<LinearForm> ExtractLinear(const Expr& e) {
+  switch (e.kind()) {
+    case ExprKind::kLiteral: {
+      const Value& v = static_cast<const LiteralExpr&>(e).value();
+      if (!v.is_double()) return std::nullopt;
+      LinearForm form;
+      form.constant = *v.double_value();
+      return form;
+    }
+    case ExprKind::kColumnRef: {
+      LinearForm form;
+      form.coefficients[static_cast<const ColumnRefExpr&>(e).name()] = 1.0;
+      return form;
+    }
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      if (u.op() != UnaryOp::kNegate) return std::nullopt;
+      auto inner = ExtractLinear(*u.operand());
+      if (!inner) return std::nullopt;
+      return Scale(std::move(*inner), -1.0);
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      auto lhs = ExtractLinear(*b.lhs());
+      auto rhs = ExtractLinear(*b.rhs());
+      if (!lhs || !rhs) return std::nullopt;
+      switch (b.op()) {
+        case BinaryOp::kAdd:
+          return Combine(std::move(*lhs), *rhs, 1.0);
+        case BinaryOp::kSub:
+          return Combine(std::move(*lhs), *rhs, -1.0);
+        case BinaryOp::kMul: {
+          if (auto k = AsConstant(*lhs)) {
+            return Scale(std::move(*rhs), *k);
+          }
+          if (auto k = AsConstant(*rhs)) {
+            return Scale(std::move(*lhs), *k);
+          }
+          return std::nullopt;  // column * column is nonlinear
+        }
+        case BinaryOp::kDiv: {
+          const auto k = AsConstant(*rhs);
+          if (!k || *k == 0.0) return std::nullopt;
+          return Scale(std::move(*lhs), 1.0 / *k);
+        }
+      }
+      return std::nullopt;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+bool IsConstant(const Expr& e) { return CollectColumns(e).empty(); }
+
+}  // namespace expr
+}  // namespace ausdb

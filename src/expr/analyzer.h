@@ -1,0 +1,43 @@
+#ifndef AUSDB_EXPR_ANALYZER_H_
+#define AUSDB_EXPR_ANALYZER_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/expr/expr.h"
+
+namespace ausdb {
+namespace expr {
+
+/// Distinct column names referenced anywhere in `e`, in first-seen order.
+std::vector<std::string> CollectColumns(const Expr& e);
+
+/// \brief A numeric expression reduced to linear form:
+/// sum_i coefficients[name_i] * X_{name_i} + constant.
+///
+/// The evaluator uses this to take the closed-form Gaussian path: a linear
+/// combination of independent Gaussian columns is Gaussian with mean
+/// sum c_i mu_i + k and variance sum c_i^2 sigma_i^2 — exactly the
+/// arithmetic the sliding-window AVG query of Section V-C needs.
+struct LinearForm {
+  std::map<std::string, double> coefficients;
+  double constant = 0.0;
+};
+
+/// \brief Attempts to reduce `e` to a LinearForm.
+///
+/// Handles literals, column references, negation, +, -, and */ where the
+/// non-column side folds to a constant. Returns nullopt for anything
+/// nonlinear (SQUARE, SQRT_ABS, column*column, division by a column, ...).
+std::optional<LinearForm> ExtractLinear(const Expr& e);
+
+/// True iff the expression contains no column references (it folds to a
+/// constant independent of the input tuple).
+bool IsConstant(const Expr& e);
+
+}  // namespace expr
+}  // namespace ausdb
+
+#endif  // AUSDB_EXPR_ANALYZER_H_

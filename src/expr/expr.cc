@@ -1,0 +1,236 @@
+#include "src/expr/expr.h"
+
+#include <sstream>
+
+namespace ausdb {
+namespace expr {
+
+std::string_view UnaryOpToString(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNegate:
+      return "-";
+    case UnaryOp::kSqrtAbs:
+      return "SQRT_ABS";
+    case UnaryOp::kSquare:
+      return "SQUARE";
+    case UnaryOp::kAbs:
+      return "ABS";
+    case UnaryOp::kNot:
+      return "NOT";
+  }
+  return "?";
+}
+
+std::string_view BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+std::string_view CmpOpToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "<>";
+  }
+  return "?";
+}
+
+std::string_view LogicalOpToString(LogicalOp op) {
+  return op == LogicalOp::kAnd ? "AND" : "OR";
+}
+
+std::string UnaryExpr::ToString() const {
+  std::ostringstream os;
+  if (op_ == UnaryOp::kNegate) {
+    os << "(-" << operand_->ToString() << ")";
+  } else {
+    os << UnaryOpToString(op_) << "(" << operand_->ToString() << ")";
+  }
+  return os.str();
+}
+
+std::string BinaryExpr::ToString() const {
+  std::ostringstream os;
+  os << "(" << lhs_->ToString() << " " << BinaryOpToString(op_) << " "
+     << rhs_->ToString() << ")";
+  return os.str();
+}
+
+std::string CompareExpr::ToString() const {
+  std::ostringstream os;
+  os << "(" << lhs_->ToString() << " " << CmpOpToString(op_) << " "
+     << rhs_->ToString() << ")";
+  return os.str();
+}
+
+std::string LogicalExpr::ToString() const {
+  std::ostringstream os;
+  os << "(" << lhs_->ToString() << " " << LogicalOpToString(op_) << " "
+     << rhs_->ToString() << ")";
+  return os.str();
+}
+
+std::string ProbOfExpr::ToString() const {
+  return "PROB(" + pred_->ToString() + ")";
+}
+
+std::string ProbThresholdExpr::ToString() const {
+  std::ostringstream os;
+  os << pred_->ToString() << " PROB >= " << threshold_;
+  return os.str();
+}
+
+std::string MTestExpr::ToString() const {
+  std::ostringstream os;
+  os << "MTEST(" << operand_->ToString() << ", '"
+     << hypothesis::TestOpToString(op_) << "', " << c_ << ", " << alpha_;
+  if (alpha2_) os << ", " << *alpha2_;
+  os << ")";
+  return os.str();
+}
+
+std::string MdTestExpr::ToString() const {
+  std::ostringstream os;
+  os << "MDTEST(" << x_->ToString() << ", " << y_->ToString() << ", '"
+     << hypothesis::TestOpToString(op_) << "', " << c_ << ", " << alpha_;
+  if (alpha2_) os << ", " << *alpha2_;
+  os << ")";
+  return os.str();
+}
+
+std::string PTestExpr::ToString() const {
+  std::ostringstream os;
+  os << "PTEST(" << pred_->ToString() << ", " << tau_ << ", " << alpha_;
+  if (alpha2_) os << ", " << *alpha2_;
+  os << ")";
+  return os.str();
+}
+
+std::string AccuracyOfExpr::ToString() const {
+  std::ostringstream os;
+  switch (stat_) {
+    case AccuracyStat::kMeanCi:
+      os << "MEAN_CI(" << operand_->ToString() << ", " << confidence_
+         << ")";
+      break;
+    case AccuracyStat::kVarianceCi:
+      os << "VAR_CI(" << operand_->ToString() << ", " << confidence_
+         << ")";
+      break;
+    case AccuracyStat::kBinCi:
+      os << "BIN_CI(" << operand_->ToString() << ", " << bin_index_ << ", "
+         << confidence_ << ")";
+      break;
+  }
+  return os.str();
+}
+
+ExprPtr Lit(double v) { return std::make_shared<LiteralExpr>(Value(v)); }
+ExprPtr Lit(std::string v) {
+  return std::make_shared<LiteralExpr>(Value(std::move(v)));
+}
+ExprPtr LitBool(bool v) { return std::make_shared<LiteralExpr>(Value(v)); }
+ExprPtr Col(std::string name) {
+  return std::make_shared<ColumnRefExpr>(std::move(name));
+}
+ExprPtr Neg(ExprPtr e) {
+  return std::make_shared<UnaryExpr>(UnaryOp::kNegate, std::move(e));
+}
+ExprPtr SqrtAbs(ExprPtr e) {
+  return std::make_shared<UnaryExpr>(UnaryOp::kSqrtAbs, std::move(e));
+}
+ExprPtr Square(ExprPtr e) {
+  return std::make_shared<UnaryExpr>(UnaryOp::kSquare, std::move(e));
+}
+ExprPtr Abs(ExprPtr e) {
+  return std::make_shared<UnaryExpr>(UnaryOp::kAbs, std::move(e));
+}
+ExprPtr Not(ExprPtr e) {
+  return std::make_shared<UnaryExpr>(UnaryOp::kNot, std::move(e));
+}
+ExprPtr Add(ExprPtr a, ExprPtr b) {
+  return std::make_shared<BinaryExpr>(BinaryOp::kAdd, std::move(a),
+                                      std::move(b));
+}
+ExprPtr Sub(ExprPtr a, ExprPtr b) {
+  return std::make_shared<BinaryExpr>(BinaryOp::kSub, std::move(a),
+                                      std::move(b));
+}
+ExprPtr Mul(ExprPtr a, ExprPtr b) {
+  return std::make_shared<BinaryExpr>(BinaryOp::kMul, std::move(a),
+                                      std::move(b));
+}
+ExprPtr Div(ExprPtr a, ExprPtr b) {
+  return std::make_shared<BinaryExpr>(BinaryOp::kDiv, std::move(a),
+                                      std::move(b));
+}
+ExprPtr Cmp(CmpOp op, ExprPtr a, ExprPtr b) {
+  return std::make_shared<CompareExpr>(op, std::move(a), std::move(b));
+}
+ExprPtr Gt(ExprPtr a, ExprPtr b) {
+  return Cmp(CmpOp::kGt, std::move(a), std::move(b));
+}
+ExprPtr Lt(ExprPtr a, ExprPtr b) {
+  return Cmp(CmpOp::kLt, std::move(a), std::move(b));
+}
+ExprPtr And(ExprPtr a, ExprPtr b) {
+  return std::make_shared<LogicalExpr>(LogicalOp::kAnd, std::move(a),
+                                       std::move(b));
+}
+ExprPtr Or(ExprPtr a, ExprPtr b) {
+  return std::make_shared<LogicalExpr>(LogicalOp::kOr, std::move(a),
+                                       std::move(b));
+}
+ExprPtr ProbOf(ExprPtr pred) {
+  return std::make_shared<ProbOfExpr>(std::move(pred));
+}
+ExprPtr ProbThreshold(ExprPtr pred, double tau) {
+  return std::make_shared<ProbThresholdExpr>(std::move(pred), tau);
+}
+ExprPtr MTest(ExprPtr x, hypothesis::TestOp op, double c, double alpha,
+              std::optional<double> alpha2) {
+  return std::make_shared<MTestExpr>(std::move(x), op, c, alpha, alpha2);
+}
+ExprPtr MdTest(ExprPtr x, ExprPtr y, hypothesis::TestOp op, double c,
+               double alpha, std::optional<double> alpha2) {
+  return std::make_shared<MdTestExpr>(std::move(x), std::move(y), op, c,
+                                      alpha, alpha2);
+}
+ExprPtr PTest(ExprPtr pred, double tau, double alpha,
+              std::optional<double> alpha2) {
+  return std::make_shared<PTestExpr>(std::move(pred), tau, alpha, alpha2);
+}
+ExprPtr MeanCi(ExprPtr x, double confidence) {
+  return std::make_shared<AccuracyOfExpr>(AccuracyStat::kMeanCi,
+                                          std::move(x), confidence);
+}
+ExprPtr VarCi(ExprPtr x, double confidence) {
+  return std::make_shared<AccuracyOfExpr>(AccuracyStat::kVarianceCi,
+                                          std::move(x), confidence);
+}
+ExprPtr BinCi(ExprPtr x, size_t bin_index, double confidence) {
+  return std::make_shared<AccuracyOfExpr>(AccuracyStat::kBinCi,
+                                          std::move(x), confidence,
+                                          bin_index);
+}
+
+}  // namespace expr
+}  // namespace ausdb

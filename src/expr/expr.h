@@ -1,0 +1,331 @@
+#ifndef AUSDB_EXPR_EXPR_H_
+#define AUSDB_EXPR_EXPR_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/expr/value.h"
+#include "src/hypothesis/test_types.h"
+
+namespace ausdb {
+namespace expr {
+
+/// Node discriminator of the expression AST.
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kUnary,
+  kBinary,
+  kCompare,
+  kLogical,
+  kProbOf,          ///< PROB(pred): probability of a predicate.
+  kProbThreshold,   ///< pred PROB >= tau — probabilistic threshold.
+  kMTest,           ///< significance predicate on a mean.
+  kMdTest,          ///< significance predicate on a mean difference.
+  kPTest,           ///< significance predicate on a probability.
+  kAccuracyOf,      ///< MEAN_CI/VAR_CI/BIN_CI projections.
+};
+
+enum class UnaryOp {
+  kNegate,   ///< -x
+  kSqrtAbs,  ///< SQRT(ABS(x)) — one of the paper's six random operators.
+  kSquare,   ///< SQUARE(x)
+  kAbs,      ///< ABS(x)
+  kNot,      ///< NOT p
+};
+
+enum class BinaryOp { kAdd, kSub, kMul, kDiv };
+
+enum class CmpOp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+enum class LogicalOp { kAnd, kOr };
+
+/// Which accuracy projection an AccuracyOfExpr computes.
+enum class AccuracyStat { kMeanCi, kVarianceCi, kBinCi };
+
+std::string_view UnaryOpToString(UnaryOp op);
+std::string_view BinaryOpToString(BinaryOp op);
+std::string_view CmpOpToString(CmpOp op);
+std::string_view LogicalOpToString(LogicalOp op);
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// \brief Immutable expression tree node.
+///
+/// Built either programmatically with the factory functions below or by
+/// the AQL parser (src/query). Column references start unbound; the
+/// evaluator binds them against a schema before execution.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  virtual ExprKind kind() const = 0;
+  virtual std::string ToString() const = 0;
+  /// Child expressions, for generic tree walks.
+  virtual std::vector<ExprPtr> children() const { return {}; }
+};
+
+/// A literal constant (double, string or bool).
+class LiteralExpr final : public Expr {
+ public:
+  explicit LiteralExpr(Value value) : value_(std::move(value)) {}
+  ExprKind kind() const override { return ExprKind::kLiteral; }
+  std::string ToString() const override { return value_.ToString(); }
+  const Value& value() const { return value_; }
+
+ private:
+  Value value_;
+};
+
+/// A reference to a named column of the input stream.
+class ColumnRefExpr final : public Expr {
+ public:
+  explicit ColumnRefExpr(std::string name) : name_(std::move(name)) {}
+  ExprKind kind() const override { return ExprKind::kColumnRef; }
+  std::string ToString() const override { return name_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+class UnaryExpr final : public Expr {
+ public:
+  UnaryExpr(UnaryOp op, ExprPtr operand)
+      : op_(op), operand_(std::move(operand)) {}
+  ExprKind kind() const override { return ExprKind::kUnary; }
+  std::string ToString() const override;
+  std::vector<ExprPtr> children() const override { return {operand_}; }
+  UnaryOp op() const { return op_; }
+  const ExprPtr& operand() const { return operand_; }
+
+ private:
+  UnaryOp op_;
+  ExprPtr operand_;
+};
+
+class BinaryExpr final : public Expr {
+ public:
+  BinaryExpr(BinaryOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  ExprKind kind() const override { return ExprKind::kBinary; }
+  std::string ToString() const override;
+  std::vector<ExprPtr> children() const override { return {lhs_, rhs_}; }
+  BinaryOp op() const { return op_; }
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
+
+ private:
+  BinaryOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class CompareExpr final : public Expr {
+ public:
+  CompareExpr(CmpOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  ExprKind kind() const override { return ExprKind::kCompare; }
+  std::string ToString() const override;
+  std::vector<ExprPtr> children() const override { return {lhs_, rhs_}; }
+  CmpOp op() const { return op_; }
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
+
+ private:
+  CmpOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class LogicalExpr final : public Expr {
+ public:
+  LogicalExpr(LogicalOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  ExprKind kind() const override { return ExprKind::kLogical; }
+  std::string ToString() const override;
+  std::vector<ExprPtr> children() const override { return {lhs_, rhs_}; }
+  LogicalOp op() const { return op_; }
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
+
+ private:
+  LogicalOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+/// PROB(pred): evaluates to the probability (a double) that `pred` holds
+/// under the possible-world semantics of the current tuple.
+class ProbOfExpr final : public Expr {
+ public:
+  explicit ProbOfExpr(ExprPtr pred) : pred_(std::move(pred)) {}
+  ExprKind kind() const override { return ExprKind::kProbOf; }
+  std::string ToString() const override;
+  std::vector<ExprPtr> children() const override { return {pred_}; }
+  const ExprPtr& pred() const { return pred_; }
+
+ private:
+  ExprPtr pred_;
+};
+
+/// pred PROB >= tau: the probabilistic threshold predicate (the paper's
+/// `Delay >_{2/3} 50`). Evaluates to a boolean.
+class ProbThresholdExpr final : public Expr {
+ public:
+  ProbThresholdExpr(ExprPtr pred, double threshold)
+      : pred_(std::move(pred)), threshold_(threshold) {}
+  ExprKind kind() const override { return ExprKind::kProbThreshold; }
+  std::string ToString() const override;
+  std::vector<ExprPtr> children() const override { return {pred_}; }
+  const ExprPtr& pred() const { return pred_; }
+  double threshold() const { return threshold_; }
+
+ private:
+  ExprPtr pred_;
+  double threshold_;
+};
+
+/// mTest(X, op, c, alpha [, alpha2]): significance predicate on a mean.
+/// With alpha2 set it runs COUPLED-TESTS (three-state outcome).
+class MTestExpr final : public Expr {
+ public:
+  MTestExpr(ExprPtr operand, hypothesis::TestOp op, double c, double alpha,
+            std::optional<double> alpha2 = std::nullopt)
+      : operand_(std::move(operand)),
+        op_(op),
+        c_(c),
+        alpha_(alpha),
+        alpha2_(alpha2) {}
+  ExprKind kind() const override { return ExprKind::kMTest; }
+  std::string ToString() const override;
+  std::vector<ExprPtr> children() const override { return {operand_}; }
+  const ExprPtr& operand() const { return operand_; }
+  hypothesis::TestOp op() const { return op_; }
+  double c() const { return c_; }
+  double alpha() const { return alpha_; }
+  const std::optional<double>& alpha2() const { return alpha2_; }
+
+ private:
+  ExprPtr operand_;
+  hypothesis::TestOp op_;
+  double c_;
+  double alpha_;
+  std::optional<double> alpha2_;
+};
+
+/// mdTest(X, Y, op, c, alpha [, alpha2]).
+class MdTestExpr final : public Expr {
+ public:
+  MdTestExpr(ExprPtr x, ExprPtr y, hypothesis::TestOp op, double c,
+             double alpha, std::optional<double> alpha2 = std::nullopt)
+      : x_(std::move(x)),
+        y_(std::move(y)),
+        op_(op),
+        c_(c),
+        alpha_(alpha),
+        alpha2_(alpha2) {}
+  ExprKind kind() const override { return ExprKind::kMdTest; }
+  std::string ToString() const override;
+  std::vector<ExprPtr> children() const override { return {x_, y_}; }
+  const ExprPtr& x() const { return x_; }
+  const ExprPtr& y() const { return y_; }
+  hypothesis::TestOp op() const { return op_; }
+  double c() const { return c_; }
+  double alpha() const { return alpha_; }
+  const std::optional<double>& alpha2() const { return alpha2_; }
+
+ private:
+  ExprPtr x_;
+  ExprPtr y_;
+  hypothesis::TestOp op_;
+  double c_;
+  double alpha_;
+  std::optional<double> alpha2_;
+};
+
+/// pTest(pred, tau, alpha [, alpha2]).
+class PTestExpr final : public Expr {
+ public:
+  PTestExpr(ExprPtr pred, double tau, double alpha,
+            std::optional<double> alpha2 = std::nullopt)
+      : pred_(std::move(pred)), tau_(tau), alpha_(alpha), alpha2_(alpha2) {}
+  ExprKind kind() const override { return ExprKind::kPTest; }
+  std::string ToString() const override;
+  std::vector<ExprPtr> children() const override { return {pred_}; }
+  const ExprPtr& pred() const { return pred_; }
+  double tau() const { return tau_; }
+  double alpha() const { return alpha_; }
+  const std::optional<double>& alpha2() const { return alpha2_; }
+
+ private:
+  ExprPtr pred_;
+  double tau_;
+  double alpha_;
+  std::optional<double> alpha2_;
+};
+
+/// MEAN_CI(x, conf) / VAR_CI(x, conf) / BIN_CI(x, i, conf): projects a
+/// piece of accuracy information out of an uncertain field; evaluates to
+/// a string rendering of the interval (for SELECT lists).
+class AccuracyOfExpr final : public Expr {
+ public:
+  AccuracyOfExpr(AccuracyStat stat, ExprPtr operand, double confidence,
+                 size_t bin_index = 0)
+      : stat_(stat),
+        operand_(std::move(operand)),
+        confidence_(confidence),
+        bin_index_(bin_index) {}
+  ExprKind kind() const override { return ExprKind::kAccuracyOf; }
+  std::string ToString() const override;
+  std::vector<ExprPtr> children() const override { return {operand_}; }
+  AccuracyStat stat() const { return stat_; }
+  const ExprPtr& operand() const { return operand_; }
+  double confidence() const { return confidence_; }
+  size_t bin_index() const { return bin_index_; }
+
+ private:
+  AccuracyStat stat_;
+  ExprPtr operand_;
+  double confidence_;
+  size_t bin_index_;
+};
+
+// ---- Factory helpers for programmatic construction ----
+
+ExprPtr Lit(double v);
+ExprPtr Lit(std::string v);
+ExprPtr LitBool(bool v);
+ExprPtr Col(std::string name);
+ExprPtr Neg(ExprPtr e);
+ExprPtr SqrtAbs(ExprPtr e);
+ExprPtr Square(ExprPtr e);
+ExprPtr Abs(ExprPtr e);
+ExprPtr Not(ExprPtr e);
+ExprPtr Add(ExprPtr a, ExprPtr b);
+ExprPtr Sub(ExprPtr a, ExprPtr b);
+ExprPtr Mul(ExprPtr a, ExprPtr b);
+ExprPtr Div(ExprPtr a, ExprPtr b);
+ExprPtr Cmp(CmpOp op, ExprPtr a, ExprPtr b);
+ExprPtr Gt(ExprPtr a, ExprPtr b);
+ExprPtr Lt(ExprPtr a, ExprPtr b);
+ExprPtr And(ExprPtr a, ExprPtr b);
+ExprPtr Or(ExprPtr a, ExprPtr b);
+ExprPtr ProbOf(ExprPtr pred);
+ExprPtr ProbThreshold(ExprPtr pred, double tau);
+ExprPtr MTest(ExprPtr x, hypothesis::TestOp op, double c, double alpha,
+              std::optional<double> alpha2 = std::nullopt);
+ExprPtr MdTest(ExprPtr x, ExprPtr y, hypothesis::TestOp op, double c,
+               double alpha, std::optional<double> alpha2 = std::nullopt);
+ExprPtr PTest(ExprPtr pred, double tau, double alpha,
+              std::optional<double> alpha2 = std::nullopt);
+ExprPtr MeanCi(ExprPtr x, double confidence);
+ExprPtr VarCi(ExprPtr x, double confidence);
+ExprPtr BinCi(ExprPtr x, size_t bin_index, double confidence);
+
+}  // namespace expr
+}  // namespace ausdb
+
+#endif  // AUSDB_EXPR_EXPR_H_

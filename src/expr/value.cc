@@ -1,0 +1,112 @@
+#include "src/expr/value.h"
+
+#include <sstream>
+
+namespace ausdb {
+namespace expr {
+
+std::string_view ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kRandomVar:
+      return "random_var";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Status TypeMismatch(ValueType want, ValueType got) {
+  return Status::TypeError(std::string("expected ") +
+                           std::string(ValueTypeToString(want)) + ", got " +
+                           std::string(ValueTypeToString(got)));
+}
+
+}  // namespace
+
+Result<bool> Value::bool_value() const {
+  if (!is_bool()) return TypeMismatch(ValueType::kBool, type());
+  return std::get<bool>(v_);
+}
+
+Result<double> Value::double_value() const {
+  if (!is_double()) return TypeMismatch(ValueType::kDouble, type());
+  return std::get<double>(v_);
+}
+
+Result<std::string> Value::string_value() const {
+  if (!is_string()) return TypeMismatch(ValueType::kString, type());
+  return std::get<std::string>(v_);
+}
+
+Result<dist::RandomVar> Value::random_var() const {
+  if (!is_random_var()) return TypeMismatch(ValueType::kRandomVar, type());
+  return std::get<dist::RandomVar>(v_);
+}
+
+Result<double> Value::AsDouble() const {
+  if (is_double()) return std::get<double>(v_);
+  if (is_bool()) return std::get<bool>(v_) ? 1.0 : 0.0;
+  return Status::TypeError("value of type " +
+                           std::string(ValueTypeToString(type())) +
+                           " is not convertible to double");
+}
+
+Result<dist::RandomVar> Value::AsRandomVar() const {
+  if (is_random_var()) return std::get<dist::RandomVar>(v_);
+  if (is_double()) {
+    return dist::RandomVar::Certain(std::get<double>(v_));
+  }
+  return Status::TypeError("value of type " +
+                           std::string(ValueTypeToString(type())) +
+                           " is not convertible to a random variable");
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return std::get<bool>(v_) ? "true" : "false";
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << std::get<double>(v_);
+      return os.str();
+    }
+    case ValueType::kString:
+      return "'" + std::get<std::string>(v_) + "'";
+    case ValueType::kRandomVar:
+      return std::get<dist::RandomVar>(v_).ToString();
+  }
+  return "?";
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type() != other.type()) return false;
+  switch (type()) {
+    case ValueType::kNull:
+      return true;
+    case ValueType::kBool:
+      return std::get<bool>(v_) == std::get<bool>(other.v_);
+    case ValueType::kDouble:
+      return std::get<double>(v_) == std::get<double>(other.v_);
+    case ValueType::kString:
+      return std::get<std::string>(v_) == std::get<std::string>(other.v_);
+    case ValueType::kRandomVar:
+      // Random variables compare by identity of their distribution
+      // object; content equality is not meaningful.
+      return std::get<dist::RandomVar>(v_).distribution() ==
+             std::get<dist::RandomVar>(other.v_).distribution();
+  }
+  return false;
+}
+
+}  // namespace expr
+}  // namespace ausdb

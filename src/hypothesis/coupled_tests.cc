@@ -1,0 +1,82 @@
+#include "src/hypothesis/coupled_tests.h"
+
+namespace ausdb {
+namespace hypothesis {
+
+Result<TestOutcome> CoupledTests(const TestRunner& test, TestOp op,
+                                 double alpha1, double alpha2) {
+  if (!(alpha1 > 0.0 && alpha1 < 1.0) || !(alpha2 > 0.0 && alpha2 < 1.0)) {
+    return Status::InvalidArgument(
+        "coupled-tests error rates must be in (0,1)");
+  }
+
+  TestOp op1, op2;
+  double a1, a2;
+  if (op == TestOp::kNotEqual) {
+    // Lines 3-7: split the two-sided alternative into two one-sided tests
+    // sharing the alpha1 budget; the union bound gives Theorem 3's FP
+    // bound, and no FALSE is returned so the FN rate is 0.
+    op1 = TestOp::kLess;
+    op2 = TestOp::kGreater;
+    a1 = alpha1 / 2.0;
+    a2 = alpha1 / 2.0;
+  } else {
+    // Lines 9-11: T2 is the inverse test; its false positives are the
+    // original predicate's false negatives.
+    op1 = op;
+    op2 = InverseOp(op);
+    a1 = alpha1;
+    a2 = alpha2;
+  }
+
+  AUSDB_ASSIGN_OR_RETURN(bool t1, test(op1, a1));  // line 13
+  if (t1) return TestOutcome::kTrue;               // lines 14-15
+  AUSDB_ASSIGN_OR_RETURN(bool t2, test(op2, a2));  // line 17
+  if (t2) {
+    // Line 19: for '<>' the other side accepting still confirms H1.
+    return op == TestOp::kNotEqual ? TestOutcome::kTrue
+                                   : TestOutcome::kFalse;
+  }
+  return TestOutcome::kUnsure;  // line 21
+}
+
+Result<TestOutcome> CoupledMTest(const dist::RandomVar& x, TestOp op,
+                                 double c, double alpha1, double alpha2) {
+  AUSDB_ASSIGN_OR_RETURN(SampleStatistics s, StatisticsOf(x));
+  return CoupledTests(
+      [&s, c](TestOp test_op, double alpha) {
+        return MeanTest(s, test_op, c, alpha);
+      },
+      op, alpha1, alpha2);
+}
+
+Result<TestOutcome> CoupledMdTest(const dist::RandomVar& x,
+                                  const dist::RandomVar& y, TestOp op,
+                                  double c, double alpha1, double alpha2) {
+  AUSDB_ASSIGN_OR_RETURN(SampleStatistics sx, StatisticsOf(x));
+  AUSDB_ASSIGN_OR_RETURN(SampleStatistics sy, StatisticsOf(y));
+  return CoupledTests(
+      [&sx, &sy, c](TestOp test_op, double alpha) {
+        return MeanDifferenceTest(sx, sy, test_op, c, alpha);
+      },
+      op, alpha1, alpha2);
+}
+
+Result<TestOutcome> CoupledPTest(const dist::RandomVar& x,
+                                 const ValuePredicate& pred, double tau,
+                                 double alpha1, double alpha2) {
+  if (x.is_certain()) {
+    return Status::InsufficientData(
+        "pTest needs an uncertain field with sample provenance");
+  }
+  const double p_hat = PredicateProbability(*x.distribution(), pred);
+  const size_t n = x.sample_size();
+  return CoupledTests(
+      [p_hat, n, tau](TestOp test_op, double alpha) {
+        return ProportionTest(p_hat, n, test_op, tau, alpha);
+      },
+      TestOp::kGreater, alpha1, alpha2);
+}
+
+}  // namespace hypothesis
+}  // namespace ausdb

@@ -1,0 +1,50 @@
+#ifndef AUSDB_HYPOTHESIS_COUPLED_TESTS_H_
+#define AUSDB_HYPOTHESIS_COUPLED_TESTS_H_
+
+#include <functional>
+
+#include "src/common/result.h"
+#include "src/dist/random_var.h"
+#include "src/hypothesis/significance_predicates.h"
+#include "src/hypothesis/test_types.h"
+
+namespace ausdb {
+namespace hypothesis {
+
+/// A hypothesis test parameterized by the alternative's operator and the
+/// significance level; returns true iff H0 is rejected (H1 accepted).
+/// This is the `P.test` of the paper's COUPLED-TESTS algorithm.
+using TestRunner = std::function<Result<bool>(TestOp op, double alpha)>;
+
+/// \brief The paper's Algorithm COUPLED-TESTS (Section IV-C).
+///
+/// Runs the original test T1 and its inverse T2 so that both error rates
+/// are controlled (Theorem 3): false positives by `alpha1`, false
+/// negatives by `alpha2`. When the original operator is '<>', both
+/// one-sided tests run at alpha1/2, no FALSE is ever returned, and
+/// accepting either side yields TRUE. Otherwise T1 keeps `op` at alpha1
+/// and T2 uses the inverse operator at alpha2; T1 accepting yields TRUE,
+/// T2 accepting yields FALSE, and neither yields UNSURE.
+Result<TestOutcome> CoupledTests(const TestRunner& test, TestOp op,
+                                 double alpha1, double alpha2);
+
+/// mTest with coupled tests: mTest(X, op, c, alpha1, alpha2).
+Result<TestOutcome> CoupledMTest(const dist::RandomVar& x, TestOp op,
+                                 double c, double alpha1, double alpha2);
+
+/// mdTest with coupled tests.
+Result<TestOutcome> CoupledMdTest(const dist::RandomVar& x,
+                                  const dist::RandomVar& y, TestOp op,
+                                  double c, double alpha1, double alpha2);
+
+/// pTest with coupled tests: pTest(pred, tau, alpha1, alpha2). The
+/// original alternative is Pr[pred] > tau (as in the paper); the coupled
+/// inverse is Pr[pred] < tau.
+Result<TestOutcome> CoupledPTest(const dist::RandomVar& x,
+                                 const ValuePredicate& pred, double tau,
+                                 double alpha1, double alpha2);
+
+}  // namespace hypothesis
+}  // namespace ausdb
+
+#endif  // AUSDB_HYPOTHESIS_COUPLED_TESTS_H_

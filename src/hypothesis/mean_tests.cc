@@ -1,0 +1,114 @@
+#include "src/hypothesis/mean_tests.h"
+
+#include <cmath>
+
+#include "src/accuracy/mean_variance_ci.h"
+#include "src/common/math_util.h"
+#include "src/stats/quantiles.h"
+
+namespace ausdb {
+namespace hypothesis {
+
+namespace {
+
+Status ValidateAlpha(double alpha) {
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    return Status::InvalidArgument("significance level must be in (0,1)");
+  }
+  return Status::OK();
+}
+
+Status ValidateStats(const SampleStatistics& s) {
+  if (s.n < 2) {
+    return Status::InsufficientData(
+        "mean tests require sample size >= 2; got " + std::to_string(s.n));
+  }
+  if (!(s.stddev >= 0.0) || !std::isfinite(s.stddev)) {
+    return Status::InvalidArgument("sample stddev must be finite and >= 0");
+  }
+  return Status::OK();
+}
+
+// One-sided upper-tail p-value for a statistic referred to t(dof) when
+// small-sample, else the normal. dof <= 0 selects the normal reference.
+double UpperTailP(double statistic, double dof) {
+  if (dof > 0.0) return 1.0 - stats::StudentTCdf(statistic, dof);
+  return 1.0 - stats::NormalCdf(statistic);
+}
+
+double PValueFor(TestOp op, double statistic, double dof) {
+  switch (op) {
+    case TestOp::kGreater:
+      return UpperTailP(statistic, dof);
+    case TestOp::kLess:
+      return UpperTailP(-statistic, dof);
+    case TestOp::kNotEqual:
+      return 2.0 * UpperTailP(std::abs(statistic), dof);
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+Result<double> MeanTestPValue(const SampleStatistics& x, TestOp op,
+                              double c) {
+  AUSDB_RETURN_NOT_OK(ValidateStats(x));
+  const double nn = static_cast<double>(x.n);
+  if (x.stddev == 0.0) {
+    // Degenerate sample: the mean is known exactly.
+    const bool h1_holds = (op == TestOp::kGreater && x.mean > c) ||
+                          (op == TestOp::kLess && x.mean < c) ||
+                          (op == TestOp::kNotEqual && x.mean != c);
+    return h1_holds ? 0.0 : 1.0;
+  }
+  const double statistic = (x.mean - c) / (x.stddev / std::sqrt(nn));
+  const double dof =
+      x.n < accuracy::kSmallSampleThreshold ? nn - 1.0 : 0.0;
+  return PValueFor(op, statistic, dof);
+}
+
+Result<bool> MeanTest(const SampleStatistics& x, TestOp op, double c,
+                      double alpha) {
+  AUSDB_RETURN_NOT_OK(ValidateAlpha(alpha));
+  AUSDB_ASSIGN_OR_RETURN(double p, MeanTestPValue(x, op, c));
+  return p <= alpha;
+}
+
+Result<double> MeanDifferenceTestPValue(const SampleStatistics& x,
+                                        const SampleStatistics& y,
+                                        TestOp op, double c) {
+  AUSDB_RETURN_NOT_OK(ValidateStats(x));
+  AUSDB_RETURN_NOT_OK(ValidateStats(y));
+  const double nx = static_cast<double>(x.n);
+  const double ny = static_cast<double>(y.n);
+  const double vx = Sq(x.stddev) / nx;
+  const double vy = Sq(y.stddev) / ny;
+  const double se = std::sqrt(vx + vy);
+  if (se == 0.0) {
+    const double diff = x.mean - y.mean;
+    const bool h1_holds = (op == TestOp::kGreater && diff > c) ||
+                          (op == TestOp::kLess && diff < c) ||
+                          (op == TestOp::kNotEqual && diff != c);
+    return h1_holds ? 0.0 : 1.0;
+  }
+  const double statistic = (x.mean - y.mean - c) / se;
+  double dof = 0.0;
+  if (x.n < accuracy::kSmallSampleThreshold ||
+      y.n < accuracy::kSmallSampleThreshold) {
+    // Welch-Satterthwaite approximation.
+    dof = Sq(vx + vy) /
+          (Sq(vx) / (nx - 1.0) + Sq(vy) / (ny - 1.0));
+  }
+  return PValueFor(op, statistic, dof);
+}
+
+Result<bool> MeanDifferenceTest(const SampleStatistics& x,
+                                const SampleStatistics& y, TestOp op,
+                                double c, double alpha) {
+  AUSDB_RETURN_NOT_OK(ValidateAlpha(alpha));
+  AUSDB_ASSIGN_OR_RETURN(double p, MeanDifferenceTestPValue(x, y, op, c));
+  return p <= alpha;
+}
+
+}  // namespace hypothesis
+}  // namespace ausdb

@@ -1,0 +1,92 @@
+#include "src/hypothesis/power.h"
+
+#include <cmath>
+
+#include "src/stats/quantiles.h"
+
+namespace ausdb {
+namespace hypothesis {
+
+PowerEstimate EstimatePower(size_t trials,
+                            const std::function<TestOutcome()>& run_once) {
+  PowerEstimate est;
+  est.trials = trials;
+  for (size_t i = 0; i < trials; ++i) {
+    switch (run_once()) {
+      case TestOutcome::kTrue:
+        ++est.true_count;
+        break;
+      case TestOutcome::kFalse:
+        ++est.false_count;
+        break;
+      case TestOutcome::kUnsure:
+        ++est.unsure_count;
+        break;
+    }
+  }
+  return est;
+}
+
+Result<double> AnalyticalMeanTestPower(double mu_true, double sigma,
+                                       size_t n, double c, double alpha,
+                                       TestOp op) {
+  if (!(sigma > 0.0) || !std::isfinite(sigma)) {
+    return Status::InvalidArgument("sigma must be finite and > 0");
+  }
+  if (n == 0) {
+    return Status::InvalidArgument("sample size must be >= 1");
+  }
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0,1)");
+  }
+  const double shift =
+      (mu_true - c) / (sigma / std::sqrt(static_cast<double>(n)));
+  switch (op) {
+    case TestOp::kGreater: {
+      const double z = stats::NormalUpperPercentile(alpha);
+      return 1.0 - stats::NormalCdf(z - shift);
+    }
+    case TestOp::kLess: {
+      const double z = stats::NormalUpperPercentile(alpha);
+      return stats::NormalCdf(-z - shift);
+    }
+    case TestOp::kNotEqual: {
+      const double z = stats::NormalUpperPercentile(alpha / 2.0);
+      return stats::NormalCdf(-z - shift) +
+             (1.0 - stats::NormalCdf(z - shift));
+    }
+  }
+  return Status::Internal("unhandled test op");
+}
+
+Result<size_t> RequiredSampleSize(double mu_true, double sigma, double c,
+                                  double alpha, TestOp op,
+                                  double target_power, size_t max_n) {
+  if (!(target_power > 0.0 && target_power < 1.0)) {
+    return Status::InvalidArgument("target power must be in (0,1)");
+  }
+  AUSDB_ASSIGN_OR_RETURN(double at_max, AnalyticalMeanTestPower(
+                                            mu_true, sigma, max_n, c,
+                                            alpha, op));
+  if (at_max < target_power) {
+    return Status::OutOfRange(
+        "target power unreachable: even n=" + std::to_string(max_n) +
+        " gives " + std::to_string(at_max));
+  }
+  size_t lo = 1, hi = max_n;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    AUSDB_ASSIGN_OR_RETURN(
+        double p, AnalyticalMeanTestPower(mu_true, sigma, mid, c, alpha,
+                                          op));
+    if (p >= target_power) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace hypothesis
+}  // namespace ausdb

@@ -1,0 +1,73 @@
+#ifndef AUSDB_HYPOTHESIS_POWER_H_
+#define AUSDB_HYPOTHESIS_POWER_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "src/common/result.h"
+#include "src/hypothesis/test_types.h"
+
+namespace ausdb {
+namespace hypothesis {
+
+/// \brief Empirical estimate of the power (and companion rates) of a
+/// three-state significance predicate.
+///
+/// Power gamma = Pr[return TRUE | H1 true] (paper Section IV-C, "Power of
+/// Coupled Tests"); for coupled tests the UNSURE rate is its complement's
+/// main component, so both are reported.
+struct PowerEstimate {
+  size_t trials = 0;
+  size_t true_count = 0;
+  size_t false_count = 0;
+  size_t unsure_count = 0;
+
+  double Power() const {
+    return trials == 0
+               ? 0.0
+               : static_cast<double>(true_count) /
+                     static_cast<double>(trials);
+  }
+  double FalseRate() const {
+    return trials == 0
+               ? 0.0
+               : static_cast<double>(false_count) /
+                     static_cast<double>(trials);
+  }
+  double UnsureRate() const {
+    return trials == 0
+               ? 0.0
+               : static_cast<double>(unsure_count) /
+                     static_cast<double>(trials);
+  }
+};
+
+/// \brief Runs `run_once` (one fresh-sample predicate evaluation) `trials`
+/// times and tallies the outcomes.
+PowerEstimate EstimatePower(size_t trials,
+                            const std::function<TestOutcome()>& run_once);
+
+/// \brief Closed-form power function gamma(mu) of the single mean test
+/// (normal approximation with known sigma): the probability the test
+/// accepts H1 "E(X) op c" when the true mean is `mu_true`.
+///
+/// For op = '>' this is 1 - Phi(z_alpha - (mu - c) / (sigma/sqrt(n)));
+/// '<' mirrors it and '<>' sums both tails at alpha/2. Used to sanity-
+/// check the empirical power sweeps (Figures 5(g)/(h)) and for sample-
+/// size planning. Requires sigma > 0, n >= 1, alpha in (0,1).
+Result<double> AnalyticalMeanTestPower(double mu_true, double sigma,
+                                       size_t n, double c, double alpha,
+                                       TestOp op);
+
+/// \brief Smallest sample size whose analytical power reaches
+/// `target_power` for the given effect, by bisection over n. Fails with
+/// OutOfRange if even n = max_n falls short.
+Result<size_t> RequiredSampleSize(double mu_true, double sigma, double c,
+                                  double alpha, TestOp op,
+                                  double target_power,
+                                  size_t max_n = 1u << 24);
+
+}  // namespace hypothesis
+}  // namespace ausdb
+
+#endif  // AUSDB_HYPOTHESIS_POWER_H_

@@ -1,0 +1,53 @@
+#include "src/hypothesis/proportion_test.h"
+
+#include <cmath>
+
+#include "src/stats/quantiles.h"
+
+namespace ausdb {
+namespace hypothesis {
+
+Result<double> ProportionTestPValue(double p_hat, size_t n, TestOp op,
+                                    double tau) {
+  if (!(p_hat >= 0.0 && p_hat <= 1.0)) {
+    return Status::InvalidArgument("observed proportion must be in [0,1]");
+  }
+  if (!(tau >= 0.0 && tau <= 1.0)) {
+    return Status::InvalidArgument("threshold tau must be in [0,1]");
+  }
+  if (n == 0) {
+    return Status::InsufficientData(
+        "proportion test requires a non-empty sample");
+  }
+  if (tau == 0.0 || tau == 1.0) {
+    // Degenerate null: the sampling distribution under H0 is a point
+    // mass, so the decision is exact.
+    const bool h1_holds = (op == TestOp::kGreater && p_hat > tau) ||
+                          (op == TestOp::kLess && p_hat < tau) ||
+                          (op == TestOp::kNotEqual && p_hat != tau);
+    return h1_holds ? 0.0 : 1.0;
+  }
+  const double se = std::sqrt(tau * (1.0 - tau) / static_cast<double>(n));
+  const double z = (p_hat - tau) / se;
+  switch (op) {
+    case TestOp::kGreater:
+      return 1.0 - stats::NormalCdf(z);
+    case TestOp::kLess:
+      return stats::NormalCdf(z);
+    case TestOp::kNotEqual:
+      return 2.0 * (1.0 - stats::NormalCdf(std::abs(z)));
+  }
+  return 1.0;
+}
+
+Result<bool> ProportionTest(double p_hat, size_t n, TestOp op, double tau,
+                            double alpha) {
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    return Status::InvalidArgument("significance level must be in (0,1)");
+  }
+  AUSDB_ASSIGN_OR_RETURN(double p, ProportionTestPValue(p_hat, n, op, tau));
+  return p <= alpha;
+}
+
+}  // namespace hypothesis
+}  // namespace ausdb

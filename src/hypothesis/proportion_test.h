@@ -1,0 +1,32 @@
+#ifndef AUSDB_HYPOTHESIS_PROPORTION_TEST_H_
+#define AUSDB_HYPOTHESIS_PROPORTION_TEST_H_
+
+#include <cstddef>
+
+#include "src/common/result.h"
+#include "src/hypothesis/test_types.h"
+
+namespace ausdb {
+namespace hypothesis {
+
+/// \brief Population-proportion test (the evaluation behind pTest).
+///
+/// H0: Pr[pred] = tau; H1: Pr[pred] op tau. `p_hat` is the observed
+/// probability of the predicate (computed from the distribution in the
+/// field), `n` the d.f. sample size behind it. The test statistic is
+/// (p_hat - tau) / sqrt(tau (1-tau) / n) referred to the standard normal.
+/// Returns true iff H0 is rejected at significance `alpha`.
+///
+/// Degenerate thresholds (tau == 0 or tau == 1) are decided exactly:
+/// e.g. H1: Pr > 1 can never be accepted.
+Result<bool> ProportionTest(double p_hat, size_t n, TestOp op, double tau,
+                            double alpha);
+
+/// p-value of the proportion test.
+Result<double> ProportionTestPValue(double p_hat, size_t n, TestOp op,
+                                    double tau);
+
+}  // namespace hypothesis
+}  // namespace ausdb
+
+#endif  // AUSDB_HYPOTHESIS_PROPORTION_TEST_H_

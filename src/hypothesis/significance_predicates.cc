@@ -1,0 +1,63 @@
+#include "src/hypothesis/significance_predicates.h"
+
+namespace ausdb {
+namespace hypothesis {
+
+double PredicateProbability(const dist::Distribution& d,
+                            const ValuePredicate& pred) {
+  switch (pred.cmp) {
+    case CompareOp::kLt:
+      return d.ProbLess(pred.value);
+    case CompareOp::kLe:
+      return d.Cdf(pred.value);
+    case CompareOp::kGt:
+      return d.ProbGreater(pred.value);
+    case CompareOp::kGe:
+      return 1.0 - d.ProbLess(pred.value);
+  }
+  return 0.0;
+}
+
+Result<SampleStatistics> StatisticsOf(const dist::RandomVar& x) {
+  if (x.is_certain()) {
+    return Status::InsufficientData(
+        "significance predicates need an uncertain field with sample "
+        "provenance; got a deterministic value");
+  }
+  SampleStatistics s;
+  s.mean = x.Mean();
+  s.stddev = x.StdDev();
+  s.n = x.sample_size();
+  if (s.n < 2) {
+    return Status::InsufficientData(
+        "significance predicates require d.f. sample size >= 2; got " +
+        std::to_string(s.n));
+  }
+  return s;
+}
+
+Result<bool> MTest(const dist::RandomVar& x, TestOp op, double c,
+                   double alpha) {
+  AUSDB_ASSIGN_OR_RETURN(SampleStatistics s, StatisticsOf(x));
+  return MeanTest(s, op, c, alpha);
+}
+
+Result<bool> MdTest(const dist::RandomVar& x, const dist::RandomVar& y,
+                    TestOp op, double c, double alpha) {
+  AUSDB_ASSIGN_OR_RETURN(SampleStatistics sx, StatisticsOf(x));
+  AUSDB_ASSIGN_OR_RETURN(SampleStatistics sy, StatisticsOf(y));
+  return MeanDifferenceTest(sx, sy, op, c, alpha);
+}
+
+Result<bool> PTest(const dist::RandomVar& x, const ValuePredicate& pred,
+                   double tau, double alpha, TestOp op) {
+  if (x.is_certain()) {
+    return Status::InsufficientData(
+        "pTest needs an uncertain field with sample provenance");
+  }
+  const double p_hat = PredicateProbability(*x.distribution(), pred);
+  return ProportionTest(p_hat, x.sample_size(), op, tau, alpha);
+}
+
+}  // namespace hypothesis
+}  // namespace ausdb

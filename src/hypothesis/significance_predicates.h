@@ -1,0 +1,64 @@
+#ifndef AUSDB_HYPOTHESIS_SIGNIFICANCE_PREDICATES_H_
+#define AUSDB_HYPOTHESIS_SIGNIFICANCE_PREDICATES_H_
+
+#include "src/common/result.h"
+#include "src/dist/random_var.h"
+#include "src/hypothesis/mean_tests.h"
+#include "src/hypothesis/proportion_test.h"
+#include "src/hypothesis/test_types.h"
+
+namespace ausdb {
+namespace hypothesis {
+
+/// Comparison operator of a deterministic-style value predicate `X cmp v`
+/// inside a pTest.
+enum class CompareOp {
+  kLt,  ///< X <  v
+  kLe,  ///< X <= v
+  kGt,  ///< X >  v
+  kGe,  ///< X >= v
+};
+
+/// A value predicate `X cmp value` — the `pred` argument of pTest.
+struct ValuePredicate {
+  CompareOp cmp = CompareOp::kGt;
+  double value = 0.0;
+};
+
+/// Probability of `pred` under distribution `d` (exact, via the CDF).
+double PredicateProbability(const dist::Distribution& d,
+                            const ValuePredicate& pred);
+
+/// Extracts the SampleStatistics (mean, stddev, d.f. sample size) a mean
+/// test needs from a random variable. Fails with InsufficientData for
+/// deterministic variables or n < 2.
+Result<SampleStatistics> StatisticsOf(const dist::RandomVar& x);
+
+/// \brief mTest(X, op, c, alpha) — paper Section IV-B.
+///
+/// Determines whether "E(X) op c" is statistically significant at level
+/// alpha: H0: E(X) = c vs H1: E(X) op c, evaluated directly on X's
+/// distribution and accuracy information (no raw data access).
+Result<bool> MTest(const dist::RandomVar& x, TestOp op, double c,
+                   double alpha);
+
+/// \brief mdTest(X, Y, op, c, alpha): H0: E(X)-E(Y) = c vs
+/// H1: E(X)-E(Y) op c. The most common usage is c = 0, comparing E(X)
+/// with E(Y).
+Result<bool> MdTest(const dist::RandomVar& x, const dist::RandomVar& y,
+                    TestOp op, double c, double alpha);
+
+/// \brief pTest(pred, tau, alpha): H0: Pr[pred] = tau vs
+/// H1: Pr[pred] op tau (the paper's pTest fixes op = '>'; the parameter
+/// generalizes it, which COUPLED-TESTS needs for the inverse test).
+///
+/// The observed Pr[pred] is computed exactly from X's distribution; the
+/// d.f. sample size behind that distribution calibrates the test.
+Result<bool> PTest(const dist::RandomVar& x, const ValuePredicate& pred,
+                   double tau, double alpha,
+                   TestOp op = TestOp::kGreater);
+
+}  // namespace hypothesis
+}  // namespace ausdb
+
+#endif  // AUSDB_HYPOTHESIS_SIGNIFICANCE_PREDICATES_H_

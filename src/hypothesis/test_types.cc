@@ -1,0 +1,43 @@
+#include "src/hypothesis/test_types.h"
+
+namespace ausdb {
+namespace hypothesis {
+
+std::string_view TestOpToString(TestOp op) {
+  switch (op) {
+    case TestOp::kLess:
+      return "<";
+    case TestOp::kGreater:
+      return ">";
+    case TestOp::kNotEqual:
+      return "<>";
+  }
+  return "?";
+}
+
+std::string_view TestOutcomeToString(TestOutcome outcome) {
+  switch (outcome) {
+    case TestOutcome::kTrue:
+      return "TRUE";
+    case TestOutcome::kFalse:
+      return "FALSE";
+    case TestOutcome::kUnsure:
+      return "UNSURE";
+  }
+  return "?";
+}
+
+TestOp InverseOp(TestOp op) {
+  switch (op) {
+    case TestOp::kLess:
+      return TestOp::kGreater;
+    case TestOp::kGreater:
+      return TestOp::kLess;
+    case TestOp::kNotEqual:
+      return TestOp::kNotEqual;
+  }
+  return TestOp::kNotEqual;
+}
+
+}  // namespace hypothesis
+}  // namespace ausdb

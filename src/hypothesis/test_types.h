@@ -1,0 +1,36 @@
+#ifndef AUSDB_HYPOTHESIS_TEST_TYPES_H_
+#define AUSDB_HYPOTHESIS_TEST_TYPES_H_
+
+#include <string_view>
+
+namespace ausdb {
+namespace hypothesis {
+
+/// Relational operator of an alternative hypothesis H1 (paper Section
+/// IV-B): E(X) op c, E(X)-E(Y) op c, or Pr[pred] op tau.
+enum class TestOp {
+  kLess,      ///< '<'
+  kGreater,   ///< '>'
+  kNotEqual,  ///< '<>' (two-sided)
+};
+
+/// Three-state result of a significance predicate with coupled tests
+/// (Section IV-C). Basic (single-test) predicates only produce kTrue /
+/// kFalse.
+enum class TestOutcome {
+  kTrue,
+  kFalse,
+  kUnsure,
+};
+
+std::string_view TestOpToString(TestOp op);
+std::string_view TestOutcomeToString(TestOutcome outcome);
+
+/// '>' <-> '<'; '<>' is its own inverse (only used by COUPLED-TESTS in the
+/// one-sided branch, which never passes '<>').
+TestOp InverseOp(TestOp op);
+
+}  // namespace hypothesis
+}  // namespace ausdb
+
+#endif  // AUSDB_HYPOTHESIS_TEST_TYPES_H_

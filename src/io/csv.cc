@@ -1,0 +1,121 @@
+#include "src/io/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace ausdb {
+namespace io {
+
+Result<size_t> CsvTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  return Status::NotFound("CSV column '" + name + "' not found");
+}
+
+Result<CsvTable> ParseCsv(std::string_view text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> current;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_started = false;
+
+  const auto end_cell = [&] {
+    current.push_back(std::move(cell));
+    cell.clear();
+    cell_started = false;
+  };
+  const auto end_record = [&]() -> Status {
+    end_cell();
+    // Skip fully empty trailing lines.
+    if (current.size() == 1 && current[0].empty()) {
+      current.clear();
+      return Status::OK();
+    }
+    if (!records.empty() && current.size() != records[0].size()) {
+      return Status::ParseError(
+          "ragged CSV: record " + std::to_string(records.size() + 1) +
+          " has " + std::to_string(current.size()) + " fields, expected " +
+          std::to_string(records[0].size()));
+    }
+    records.push_back(std::move(current));
+    current.clear();
+    return Status::OK();
+  };
+
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          cell.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      cell.push_back(c);
+      ++i;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!cell_started && cell.empty()) {
+          in_quotes = true;
+          cell_started = true;
+        } else {
+          cell.push_back(c);
+        }
+        ++i;
+        break;
+      case ',':
+        end_cell();
+        ++i;
+        break;
+      case '\r':
+        ++i;
+        break;
+      case '\n':
+        AUSDB_RETURN_NOT_OK(end_record());
+        ++i;
+        break;
+      default:
+        cell.push_back(c);
+        cell_started = true;
+        ++i;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted CSV field");
+  }
+  if (cell_started || !cell.empty() || !current.empty()) {
+    AUSDB_RETURN_NOT_OK(end_record());
+  }
+
+  if (records.empty()) {
+    return Status::ParseError("CSV has no header record");
+  }
+  CsvTable table;
+  table.header = std::move(records[0]);
+  table.rows.assign(std::make_move_iterator(records.begin() + 1),
+                    std::make_move_iterator(records.end()));
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open CSV file '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+}  // namespace io
+}  // namespace ausdb

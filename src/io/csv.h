@@ -1,0 +1,34 @@
+#ifndef AUSDB_IO_CSV_H_
+#define AUSDB_IO_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace ausdb {
+namespace io {
+
+/// A parsed CSV table: header names plus rows of string cells.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column; NotFound if absent.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+};
+
+/// \brief Parses CSV text (RFC-4180 subset: quoted fields with embedded
+/// commas/newlines and doubled quotes; both \n and \r\n row endings).
+/// The first record is the header. Fails with ParseError on ragged rows
+/// or unterminated quotes.
+Result<CsvTable> ParseCsv(std::string_view text);
+
+/// Reads and parses a CSV file.
+Result<CsvTable> ReadCsvFile(const std::string& path);
+
+}  // namespace io
+}  // namespace ausdb
+
+#endif  // AUSDB_IO_CSV_H_

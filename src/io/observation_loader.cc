@@ -1,0 +1,76 @@
+#include "src/io/observation_loader.h"
+
+#include <cstdlib>
+#include <unordered_map>
+
+namespace ausdb {
+namespace io {
+
+Result<LoadedObservations> LoadObservations(
+    const CsvTable& table, const ObservationLoadOptions& options) {
+  AUSDB_ASSIGN_OR_RETURN(size_t key_idx,
+                         table.ColumnIndex(options.key_column));
+  AUSDB_ASSIGN_OR_RETURN(size_t value_idx,
+                         table.ColumnIndex(options.value_column));
+
+  // Group values per key, preserving first-appearance order of keys.
+  std::vector<std::string> key_order;
+  std::unordered_map<std::string, std::vector<double>> groups;
+  for (size_t r = 0; r < table.rows.size(); ++r) {
+    const auto& row = table.rows[r];
+    const std::string& key = row[key_idx];
+    const std::string& raw = row[value_idx];
+    char* end = nullptr;
+    const double value = std::strtod(raw.c_str(), &end);
+    if (end == raw.c_str() || *end != '\0') {
+      return Status::ParseError("row " + std::to_string(r + 2) +
+                                ": value '" + raw + "' is not numeric");
+    }
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) key_order.push_back(key);
+    it->second.push_back(value);
+  }
+
+  LoadedObservations out;
+  AUSDB_RETURN_NOT_OK(out.schema.AddField(
+      {options.key_column, engine::FieldType::kString}));
+  AUSDB_RETURN_NOT_OK(out.schema.AddField(
+      {options.value_column, engine::FieldType::kUncertain}));
+
+  for (const std::string& key : key_order) {
+    const auto& values = groups[key];
+    const size_t required =
+        std::max<size_t>(options.min_observations,
+                         options.learn_as == LearnAs::kGaussian ? 2 : 1);
+    if (values.size() < required) {
+      out.skipped_keys.push_back(key);
+      continue;
+    }
+    Result<dist::LearnedDistribution> learned =
+        Status::Internal("unset");
+    switch (options.learn_as) {
+      case LearnAs::kHistogram:
+        learned = dist::LearnHistogram(values, options.histogram);
+        break;
+      case LearnAs::kGaussian:
+        learned = dist::LearnGaussian(values);
+        break;
+      case LearnAs::kEmpirical:
+        learned = dist::LearnEmpirical(values);
+        break;
+    }
+    AUSDB_RETURN_NOT_OK(learned.status());
+    out.tuples.emplace_back(std::vector<expr::Value>{
+        expr::Value(key), expr::Value(dist::RandomVar(*learned))});
+  }
+  return out;
+}
+
+Result<LoadedObservations> LoadObservationsFromFile(
+    const std::string& path, const ObservationLoadOptions& options) {
+  AUSDB_ASSIGN_OR_RETURN(CsvTable table, ReadCsvFile(path));
+  return LoadObservations(table, options);
+}
+
+}  // namespace io
+}  // namespace ausdb

@@ -1,0 +1,62 @@
+#ifndef AUSDB_IO_OBSERVATION_LOADER_H_
+#define AUSDB_IO_OBSERVATION_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/dist/learner.h"
+#include "src/engine/schema.h"
+#include "src/engine/tuple.h"
+#include "src/io/csv.h"
+
+namespace ausdb {
+namespace io {
+
+/// Which distribution family LoadObservations learns per key.
+enum class LearnAs {
+  kHistogram,
+  kGaussian,
+  kEmpirical,
+};
+
+/// Options of LoadObservations.
+struct ObservationLoadOptions {
+  /// Column holding the entity id (the paper's Road_ID).
+  std::string key_column;
+  /// Column holding the numeric observation (the paper's Delay).
+  std::string value_column;
+
+  LearnAs learn_as = LearnAs::kHistogram;
+  dist::HistogramLearnOptions histogram;
+
+  /// Keys with fewer observations than this are skipped (they cannot
+  /// support the chosen learner, e.g. a Gaussian needs 2).
+  size_t min_observations = 1;
+};
+
+/// A loaded uncertain stream: one tuple per key, in first-appearance
+/// order, with schema (key:string, value:uncertain).
+struct LoadedObservations {
+  engine::Schema schema;
+  std::vector<engine::Tuple> tuples;
+  /// Keys skipped for having fewer than min_observations rows.
+  std::vector<std::string> skipped_keys;
+};
+
+/// \brief The paper's Figure 1 transformation: raw observation records
+/// (key, value) are grouped per key and each group is learned into a
+/// single distribution-valued tuple carrying its sample-size provenance.
+///
+/// Non-numeric values fail with ParseError naming the offending row.
+Result<LoadedObservations> LoadObservations(
+    const CsvTable& table, const ObservationLoadOptions& options);
+
+/// Convenience: read the CSV file then LoadObservations.
+Result<LoadedObservations> LoadObservationsFromFile(
+    const std::string& path, const ObservationLoadOptions& options);
+
+}  // namespace io
+}  // namespace ausdb
+
+#endif  // AUSDB_IO_OBSERVATION_LOADER_H_

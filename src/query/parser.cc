@@ -1,0 +1,588 @@
+#include "src/query/parser.h"
+
+#include <sstream>
+
+#include "src/query/token.h"
+
+namespace ausdb {
+namespace query {
+
+namespace {
+
+using expr::ExprPtr;
+using hypothesis::TestOp;
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedQuery> ParseQuery();
+  Result<ExprPtr> ParsePredicateOnly();
+  Result<ExprPtr> ParseExpressionOnly();
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  Token Consume() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool AcceptKeyword(std::string_view kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(std::string_view sym) {
+    if (Peek().IsSymbol(sym)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (AcceptKeyword(kw)) return Status::OK();
+    return Error("expected " + std::string(kw));
+  }
+  Status ExpectSymbol(std::string_view sym) {
+    if (AcceptSymbol(sym)) return Status::OK();
+    return Error("expected '" + std::string(sym) + "'");
+  }
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + ", got " + Peek().ToString() +
+                              " at offset " +
+                              std::to_string(Peek().offset));
+  }
+
+  Result<double> ExpectNumber() {
+    if (Peek().type != TokenType::kNumber) {
+      return Error("expected a number");
+    }
+    return Consume().number;
+  }
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error("expected an identifier");
+    }
+    return Consume().text;
+  }
+
+  Result<TestOp> ExpectTestOpString() {
+    if (Peek().type != TokenType::kString) {
+      return Error("expected a test operator string ('<', '>' or '<>')");
+    }
+    const Token token = Consume();
+    const std::string& op = token.text;
+    if (op == "<") return TestOp::kLess;
+    if (op == ">") return TestOp::kGreater;
+    if (op == "<>") return TestOp::kNotEqual;
+    return Status::ParseError("bad test operator '" + op +
+                              "'; use '<', '>' or '<>'");
+  }
+
+  // expr grammar
+  Result<ExprPtr> ParseExpr() { return ParseAdditive(); }
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+
+  // predicate grammar
+  Result<ExprPtr> ParsePred() { return ParseOrPred(); }
+  Result<ExprPtr> ParseOrPred();
+  Result<ExprPtr> ParseAndPred();
+  Result<ExprPtr> ParseNotPred();
+  Result<ExprPtr> ParsePredAtom();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseSignificanceTest();
+
+  Result<std::optional<expr::CmpOp>> AcceptCmpOp();
+
+  Result<SelectItem> ParseSelectItem(ParsedQuery* q, size_t index);
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<std::optional<expr::CmpOp>> Parser::AcceptCmpOp() {
+  const Token& t = Peek();
+  if (t.type != TokenType::kSymbol) {
+    return std::optional<expr::CmpOp>(std::nullopt);
+  }
+  expr::CmpOp op;
+  if (t.text == "<") {
+    op = expr::CmpOp::kLt;
+  } else if (t.text == "<=") {
+    op = expr::CmpOp::kLe;
+  } else if (t.text == ">") {
+    op = expr::CmpOp::kGt;
+  } else if (t.text == ">=") {
+    op = expr::CmpOp::kGe;
+  } else if (t.text == "=") {
+    op = expr::CmpOp::kEq;
+  } else if (t.text == "<>") {
+    op = expr::CmpOp::kNe;
+  } else {
+    return std::optional<expr::CmpOp>(std::nullopt);
+  }
+  ++pos_;
+  return std::optional<expr::CmpOp>(op);
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  AUSDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+  for (;;) {
+    if (AcceptSymbol("+")) {
+      AUSDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = expr::Add(std::move(lhs), std::move(rhs));
+    } else if (AcceptSymbol("-")) {
+      AUSDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = expr::Sub(std::move(lhs), std::move(rhs));
+    } else {
+      return lhs;
+    }
+  }
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  AUSDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+  for (;;) {
+    if (AcceptSymbol("*")) {
+      AUSDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = expr::Mul(std::move(lhs), std::move(rhs));
+    } else if (AcceptSymbol("/")) {
+      AUSDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = expr::Div(std::move(lhs), std::move(rhs));
+    } else {
+      return lhs;
+    }
+  }
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (AcceptSymbol("-")) {
+    AUSDB_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+    return expr::Neg(std::move(inner));
+  }
+  return ParsePrimary();
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  switch (t.type) {
+    case TokenType::kNumber: {
+      return expr::Lit(Consume().number);
+    }
+    case TokenType::kString: {
+      return expr::Lit(Consume().text);
+    }
+    case TokenType::kIdentifier: {
+      return expr::Col(Consume().text);
+    }
+    case TokenType::kSymbol: {
+      if (t.text == "(") {
+        Consume();
+        AUSDB_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        AUSDB_RETURN_NOT_OK(ExpectSymbol(")"));
+        return inner;
+      }
+      return Error("unexpected symbol in expression");
+    }
+    case TokenType::kKeyword: {
+      const std::string kw = t.text;
+      if (kw == "SQRT" || kw == "ABS" || kw == "SQUARE" ||
+          kw == "SQRT_ABS") {
+        Consume();
+        AUSDB_RETURN_NOT_OK(ExpectSymbol("("));
+        AUSDB_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        ExprPtr out;
+        if (kw == "SQRT" || kw == "SQRT_ABS") {
+          // SQRT is evaluated as SQRT(ABS(.)), the paper's operator.
+          out = expr::SqrtAbs(std::move(inner));
+        } else if (kw == "ABS") {
+          out = expr::Abs(std::move(inner));
+        } else {
+          out = expr::Square(std::move(inner));
+        }
+        AUSDB_RETURN_NOT_OK(ExpectSymbol(")"));
+        return out;
+      }
+      if (kw == "PROB") {
+        Consume();
+        AUSDB_RETURN_NOT_OK(ExpectSymbol("("));
+        AUSDB_ASSIGN_OR_RETURN(ExprPtr pred, ParsePred());
+        AUSDB_RETURN_NOT_OK(ExpectSymbol(")"));
+        return expr::ProbOf(std::move(pred));
+      }
+      if (kw == "MEAN_CI" || kw == "VAR_CI") {
+        Consume();
+        AUSDB_RETURN_NOT_OK(ExpectSymbol("("));
+        AUSDB_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        AUSDB_RETURN_NOT_OK(ExpectSymbol(","));
+        AUSDB_ASSIGN_OR_RETURN(double conf, ExpectNumber());
+        AUSDB_RETURN_NOT_OK(ExpectSymbol(")"));
+        return kw == "MEAN_CI" ? expr::MeanCi(std::move(inner), conf)
+                               : expr::VarCi(std::move(inner), conf);
+      }
+      if (kw == "BIN_CI") {
+        Consume();
+        AUSDB_RETURN_NOT_OK(ExpectSymbol("("));
+        AUSDB_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        AUSDB_RETURN_NOT_OK(ExpectSymbol(","));
+        AUSDB_ASSIGN_OR_RETURN(double index, ExpectNumber());
+        AUSDB_RETURN_NOT_OK(ExpectSymbol(","));
+        AUSDB_ASSIGN_OR_RETURN(double conf, ExpectNumber());
+        AUSDB_RETURN_NOT_OK(ExpectSymbol(")"));
+        if (index < 0 || index != static_cast<size_t>(index)) {
+          return Status::ParseError("BIN_CI index must be a non-negative "
+                                    "integer");
+        }
+        return expr::BinCi(std::move(inner),
+                           static_cast<size_t>(index), conf);
+      }
+      if (kw == "MTEST" || kw == "MDTEST" || kw == "PTEST") {
+        return ParseSignificanceTest();
+      }
+      if (kw == "TRUE" || kw == "FALSE") {
+        Consume();
+        return expr::LitBool(kw == "TRUE");
+      }
+      return Error("unexpected keyword in expression");
+    }
+    case TokenType::kEnd:
+      return Error("unexpected end of query in expression");
+  }
+  return Error("unexpected token");
+}
+
+Result<ExprPtr> Parser::ParseSignificanceTest() {
+  const std::string kw = Consume().text;  // MTEST / MDTEST / PTEST
+  AUSDB_RETURN_NOT_OK(ExpectSymbol("("));
+  if (kw == "MTEST") {
+    AUSDB_ASSIGN_OR_RETURN(ExprPtr x, ParseExpr());
+    AUSDB_RETURN_NOT_OK(ExpectSymbol(","));
+    AUSDB_ASSIGN_OR_RETURN(TestOp op, ExpectTestOpString());
+    AUSDB_RETURN_NOT_OK(ExpectSymbol(","));
+    AUSDB_ASSIGN_OR_RETURN(double c, ExpectNumber());
+    AUSDB_RETURN_NOT_OK(ExpectSymbol(","));
+    AUSDB_ASSIGN_OR_RETURN(double alpha, ExpectNumber());
+    std::optional<double> alpha2;
+    if (AcceptSymbol(",")) {
+      AUSDB_ASSIGN_OR_RETURN(double a2, ExpectNumber());
+      alpha2 = a2;
+    }
+    AUSDB_RETURN_NOT_OK(ExpectSymbol(")"));
+    return expr::MTest(std::move(x), op, c, alpha, alpha2);
+  }
+  if (kw == "MDTEST") {
+    AUSDB_ASSIGN_OR_RETURN(ExprPtr x, ParseExpr());
+    AUSDB_RETURN_NOT_OK(ExpectSymbol(","));
+    AUSDB_ASSIGN_OR_RETURN(ExprPtr y, ParseExpr());
+    AUSDB_RETURN_NOT_OK(ExpectSymbol(","));
+    AUSDB_ASSIGN_OR_RETURN(TestOp op, ExpectTestOpString());
+    AUSDB_RETURN_NOT_OK(ExpectSymbol(","));
+    AUSDB_ASSIGN_OR_RETURN(double c, ExpectNumber());
+    AUSDB_RETURN_NOT_OK(ExpectSymbol(","));
+    AUSDB_ASSIGN_OR_RETURN(double alpha, ExpectNumber());
+    std::optional<double> alpha2;
+    if (AcceptSymbol(",")) {
+      AUSDB_ASSIGN_OR_RETURN(double a2, ExpectNumber());
+      alpha2 = a2;
+    }
+    AUSDB_RETURN_NOT_OK(ExpectSymbol(")"));
+    return expr::MdTest(std::move(x), std::move(y), op, c, alpha, alpha2);
+  }
+  // PTEST(pred, tau, alpha [, alpha2])
+  AUSDB_ASSIGN_OR_RETURN(ExprPtr pred, ParsePred());
+  AUSDB_RETURN_NOT_OK(ExpectSymbol(","));
+  AUSDB_ASSIGN_OR_RETURN(double tau, ExpectNumber());
+  AUSDB_RETURN_NOT_OK(ExpectSymbol(","));
+  AUSDB_ASSIGN_OR_RETURN(double alpha, ExpectNumber());
+  std::optional<double> alpha2;
+  if (AcceptSymbol(",")) {
+    AUSDB_ASSIGN_OR_RETURN(double a2, ExpectNumber());
+    alpha2 = a2;
+  }
+  AUSDB_RETURN_NOT_OK(ExpectSymbol(")"));
+  return expr::PTest(std::move(pred), tau, alpha, alpha2);
+}
+
+Result<ExprPtr> Parser::ParseOrPred() {
+  AUSDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAndPred());
+  while (AcceptKeyword("OR")) {
+    AUSDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAndPred());
+    lhs = expr::Or(std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAndPred() {
+  AUSDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNotPred());
+  while (AcceptKeyword("AND")) {
+    AUSDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNotPred());
+    lhs = expr::And(std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseNotPred() {
+  if (AcceptKeyword("NOT")) {
+    AUSDB_ASSIGN_OR_RETURN(ExprPtr inner, ParseNotPred());
+    return expr::Not(std::move(inner));
+  }
+  return ParsePredAtom();
+}
+
+Result<ExprPtr> Parser::ParsePredAtom() {
+  const Token& t = Peek();
+  if (t.IsKeyword("MTEST") || t.IsKeyword("MDTEST") || t.IsKeyword("PTEST")) {
+    return ParseSignificanceTest();
+  }
+  if (t.IsKeyword("TRUE") || t.IsKeyword("FALSE")) {
+    Consume();
+    return expr::LitBool(t.text == "TRUE");
+  }
+  if (t.IsSymbol("(")) {
+    // Could be '(' pred ')' or a parenthesized expression beginning a
+    // comparison; try the predicate first with backtracking.
+    const size_t saved = pos_;
+    Consume();
+    auto inner = ParsePred();
+    if (inner.ok() && AcceptSymbol(")")) {
+      // Did the parenthesized thing turn out to be a full predicate, or
+      // is a comparison operator waiting (e.g. "(a + b) > c")?
+      const Token& after = Peek();
+      const bool comparison_follows =
+          after.type == TokenType::kSymbol &&
+          (after.text == "<" || after.text == "<=" || after.text == ">" ||
+           after.text == ">=" || after.text == "=" || after.text == "<>");
+      if (!comparison_follows) {
+        // "(pred) PROB [>=] tau" — the rendered threshold form.
+        if (AcceptKeyword("PROB")) {
+          (void)AcceptSymbol(">=");
+          AUSDB_ASSIGN_OR_RETURN(double tau, ExpectNumber());
+          return expr::ProbThreshold(*inner, tau);
+        }
+        return *inner;
+      }
+    }
+    pos_ = saved;
+    return ParseComparison();
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  AUSDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseExpr());
+  AUSDB_ASSIGN_OR_RETURN(std::optional<expr::CmpOp> op, AcceptCmpOp());
+  if (!op.has_value()) {
+    return Error("expected a comparison operator");
+  }
+  AUSDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseExpr());
+
+  // PROB(pred) >= tau rewrites to a probability-threshold predicate.
+  if (lhs->kind() == expr::ExprKind::kProbOf &&
+      rhs->kind() == expr::ExprKind::kLiteral) {
+    const auto& lit = static_cast<const expr::LiteralExpr&>(*rhs);
+    if (lit.value().is_double()) {
+      const double tau = *lit.value().double_value();
+      const auto& prob_of = static_cast<const expr::ProbOfExpr&>(*lhs);
+      switch (*op) {
+        case expr::CmpOp::kGe:
+        case expr::CmpOp::kGt:
+          return expr::ProbThreshold(prob_of.pred(), tau);
+        case expr::CmpOp::kLt:
+        case expr::CmpOp::kLe:
+          return expr::Not(expr::ProbThreshold(prob_of.pred(), tau));
+        default:
+          return Status::ParseError(
+              "PROB(...) supports <, <=, > and >= comparisons");
+      }
+    }
+  }
+
+  ExprPtr cmp = expr::Cmp(*op, std::move(lhs), std::move(rhs));
+
+  // The paper's probabilistic threshold form: "X > 50 PROB 0.66" (an
+  // optional ">=" before the threshold is accepted, matching the
+  // ToString rendering).
+  if (AcceptKeyword("PROB")) {
+    (void)AcceptSymbol(">=");
+    AUSDB_ASSIGN_OR_RETURN(double tau, ExpectNumber());
+    return expr::ProbThreshold(std::move(cmp), tau);
+  }
+  return cmp;
+}
+
+Result<SelectItem> Parser::ParseSelectItem(ParsedQuery* q, size_t index) {
+  // Window aggregate item?
+  if ((Peek().IsKeyword("AVG") || Peek().IsKeyword("SUM")) &&
+      Peek(1).IsSymbol("(")) {
+    if (q->window_agg.has_value()) {
+      return Status::ParseError(
+          "only one window aggregate per query is supported");
+    }
+    WindowSpec spec;
+    spec.fn = Peek().IsKeyword("AVG") ? engine::WindowAggFn::kAvg
+                                      : engine::WindowAggFn::kSum;
+    Consume();
+    Consume();  // '('
+    AUSDB_ASSIGN_OR_RETURN(spec.column, ExpectIdentifier());
+    AUSDB_RETURN_NOT_OK(ExpectSymbol(")"));
+    AUSDB_RETURN_NOT_OK(ExpectKeyword("OVER"));
+    AUSDB_RETURN_NOT_OK(ExpectSymbol("("));
+    if (AcceptKeyword("RANGE")) {
+      AUSDB_ASSIGN_OR_RETURN(spec.range_duration, ExpectNumber());
+      if (!(spec.range_duration > 0.0)) {
+        return Status::ParseError("window RANGE duration must be > 0");
+      }
+      AUSDB_RETURN_NOT_OK(ExpectKeyword("ON"));
+      AUSDB_ASSIGN_OR_RETURN(spec.range_column, ExpectIdentifier());
+      AUSDB_RETURN_NOT_OK(ExpectSymbol(")"));
+    } else {
+      AUSDB_RETURN_NOT_OK(ExpectKeyword("ROWS"));
+      AUSDB_ASSIGN_OR_RETURN(double rows, ExpectNumber());
+      if (AcceptKeyword("TUMBLE")) {
+        spec.kind = engine::WindowKind::kTumbling;
+      }
+      AUSDB_RETURN_NOT_OK(ExpectSymbol(")"));
+      if (rows < 1 || rows != static_cast<size_t>(rows)) {
+        return Status::ParseError(
+            "window ROWS must be a positive integer");
+      }
+      spec.rows = static_cast<size_t>(rows);
+    }
+    spec.alias = (spec.fn == engine::WindowAggFn::kAvg ? "avg_" : "sum_") +
+                 spec.column;
+    if (AcceptKeyword("AS")) {
+      AUSDB_ASSIGN_OR_RETURN(spec.alias, ExpectIdentifier());
+    }
+    q->window_agg = std::move(spec);
+    SelectItem item;
+    item.is_star = false;
+    item.expression = nullptr;  // marker: handled by the window operator
+    return item;
+  }
+
+  SelectItem item;
+  AUSDB_ASSIGN_OR_RETURN(item.expression, ParseExpr());
+  if (AcceptKeyword("AS")) {
+    AUSDB_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+  } else if (item.expression->kind() == expr::ExprKind::kColumnRef) {
+    item.alias =
+        static_cast<const expr::ColumnRefExpr&>(*item.expression).name();
+  } else {
+    item.alias = "col" + std::to_string(index);
+  }
+  return item;
+}
+
+Result<ParsedQuery> Parser::ParseQuery() {
+  ParsedQuery q;
+  AUSDB_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+
+  if (AcceptSymbol("*")) {
+    SelectItem star;
+    star.is_star = true;
+    q.select.push_back(std::move(star));
+  } else {
+    size_t index = 0;
+    do {
+      AUSDB_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem(&q, index));
+      if (item.expression != nullptr || item.is_star) {
+        q.select.push_back(std::move(item));
+      }
+      ++index;
+    } while (AcceptSymbol(","));
+  }
+
+  AUSDB_RETURN_NOT_OK(ExpectKeyword("FROM"));
+  AUSDB_ASSIGN_OR_RETURN(q.from, ExpectIdentifier());
+
+  if (AcceptKeyword("WHERE")) {
+    AUSDB_ASSIGN_OR_RETURN(q.where, ParsePred());
+  }
+
+  if (AcceptKeyword("GROUP")) {
+    AUSDB_RETURN_NOT_OK(ExpectKeyword("BY"));
+    AUSDB_ASSIGN_OR_RETURN(q.group_by, ExpectIdentifier());
+  }
+
+  if (AcceptKeyword("ORDER")) {
+    AUSDB_RETURN_NOT_OK(ExpectKeyword("BY"));
+    OrderBySpec spec;
+    AUSDB_ASSIGN_OR_RETURN(spec.column, ExpectIdentifier());
+    if (AcceptKeyword("DESC")) {
+      spec.order = engine::SortOrder::kDescending;
+    } else {
+      (void)AcceptKeyword("ASC");
+    }
+    q.order_by = std::move(spec);
+  }
+
+  if (AcceptKeyword("LIMIT")) {
+    AUSDB_ASSIGN_OR_RETURN(double n, ExpectNumber());
+    if (n < 0 || n != static_cast<size_t>(n)) {
+      return Status::ParseError("LIMIT must be a non-negative integer");
+    }
+    q.limit = static_cast<size_t>(n);
+  }
+
+  if (AcceptKeyword("WITH")) {
+    AUSDB_RETURN_NOT_OK(ExpectKeyword("ACCURACY"));
+    AccuracyClause clause;
+    if (AcceptKeyword("BOOTSTRAP")) {
+      clause.method = accuracy::AccuracyMethod::kBootstrap;
+    } else if (AcceptKeyword("ANALYTICAL")) {
+      clause.method = accuracy::AccuracyMethod::kAnalytical;
+    }
+    if (AcceptKeyword("CONFIDENCE")) {
+      AUSDB_ASSIGN_OR_RETURN(clause.confidence, ExpectNumber());
+    }
+    q.accuracy = clause;
+  }
+
+  if (Peek().type != TokenType::kEnd) {
+    return Error("unexpected trailing input");
+  }
+  return q;
+}
+
+Result<ExprPtr> Parser::ParsePredicateOnly() {
+  AUSDB_ASSIGN_OR_RETURN(ExprPtr p, ParsePred());
+  if (Peek().type != TokenType::kEnd) {
+    return Error("unexpected trailing input after predicate");
+  }
+  return p;
+}
+
+Result<ExprPtr> Parser::ParseExpressionOnly() {
+  AUSDB_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+  if (Peek().type != TokenType::kEnd) {
+    return Error("unexpected trailing input after expression");
+  }
+  return e;
+}
+
+}  // namespace
+
+Result<ParsedQuery> Parse(std::string_view input) {
+  AUSDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+Result<expr::ExprPtr> ParsePredicate(std::string_view input) {
+  AUSDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParsePredicateOnly();
+}
+
+Result<expr::ExprPtr> ParseExpression(std::string_view input) {
+  AUSDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseExpressionOnly();
+}
+
+}  // namespace query
+}  // namespace ausdb

@@ -1,0 +1,56 @@
+#ifndef AUSDB_QUERY_PARSER_H_
+#define AUSDB_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/query/plan.h"
+
+namespace ausdb {
+namespace query {
+
+/// \brief Parses one AQL query.
+///
+/// Grammar sketch (keywords case-insensitive):
+///
+///   query      : SELECT items FROM ident [WHERE pred] [with_accuracy]
+///   items      : item (',' item)*  |  '*'
+///   item       : expr [AS ident]
+///              | (AVG|SUM) '(' ident ')' OVER '(' ROWS number ')'
+///                [AS ident]
+///   pred       : or_pred
+///   or_pred    : and_pred (OR and_pred)*
+///   and_pred   : not_pred (AND not_pred)*
+///   not_pred   : NOT not_pred | pred_atom
+///   pred_atom  : '(' pred ')'
+///              | MTEST '(' expr ',' string ',' number ',' number
+///                       [',' number] ')'
+///              | MDTEST '(' expr ',' expr ',' string ',' number ','
+///                        number [',' number] ')'
+///              | PTEST '(' pred ',' number ',' number [',' number] ')'
+///              | TRUE | FALSE
+///              | comparison
+///   comparison : expr cmp expr [PROB number]      -- X > 50 PROB 0.66
+///              | PROB '(' pred ')' cmp number     -- PROB(X>50) >= 0.66
+///   expr       : additive with + - * / unary - and functions
+///                SQRT(x) ABS(x) SQUARE(x) SQRT_ABS(x)
+///                E(x) (alias of x's mean is not materialized; use MTEST)
+///                MEAN_CI(x, c) VAR_CI(x, c) BIN_CI(x, i, c)
+///                PROB '(' pred ')'
+///   cmp        : < <= > >= = <>
+///   with_accuracy : WITH ACCURACY (ANALYTICAL|BOOTSTRAP)
+///                   [CONFIDENCE number]
+///
+/// The significance-test operator strings are '<', '>' and '<>'.
+Result<ParsedQuery> Parse(std::string_view input);
+
+/// Parses a standalone predicate (for programmatic WHERE construction).
+Result<expr::ExprPtr> ParsePredicate(std::string_view input);
+
+/// Parses a standalone scalar expression.
+Result<expr::ExprPtr> ParseExpression(std::string_view input);
+
+}  // namespace query
+}  // namespace ausdb
+
+#endif  // AUSDB_QUERY_PARSER_H_

@@ -1,0 +1,63 @@
+#include "src/query/plan.h"
+
+#include <sstream>
+
+namespace ausdb {
+namespace query {
+
+std::string ParsedQuery::ToString() const {
+  std::ostringstream os;
+  os << "SELECT ";
+  bool first = true;
+  for (const auto& item : select) {
+    if (!first) os << ", ";
+    first = false;
+    if (item.is_star) {
+      os << "*";
+    } else {
+      os << item.expression->ToString();
+      if (!item.alias.empty()) os << " AS " << item.alias;
+    }
+  }
+  if (window_agg.has_value()) {
+    if (!first) os << ", ";
+    os << (window_agg->fn == engine::WindowAggFn::kAvg ? "AVG(" : "SUM(")
+       << window_agg->column << ") OVER (";
+    if (window_agg->is_time_based()) {
+      os << "RANGE " << window_agg->range_duration << " ON "
+         << window_agg->range_column;
+    } else {
+      os << "ROWS " << window_agg->rows
+         << (window_agg->kind == engine::WindowKind::kTumbling
+                 ? " TUMBLE"
+                 : "");
+    }
+    os << ") AS " << window_agg->alias;
+  }
+  os << " FROM " << from;
+  if (where != nullptr) {
+    os << " WHERE " << where->ToString();
+  }
+  if (!group_by.empty()) {
+    os << " GROUP BY " << group_by;
+  }
+  if (order_by.has_value()) {
+    os << " ORDER BY " << order_by->column
+       << (order_by->order == engine::SortOrder::kDescending ? " DESC"
+                                                             : "");
+  }
+  if (limit.has_value()) {
+    os << " LIMIT " << *limit;
+  }
+  if (accuracy.has_value()) {
+    os << " WITH ACCURACY "
+       << (accuracy->method == accuracy::AccuracyMethod::kAnalytical
+               ? "ANALYTICAL"
+               : "BOOTSTRAP")
+       << " CONFIDENCE " << accuracy->confidence;
+  }
+  return os.str();
+}
+
+}  // namespace query
+}  // namespace ausdb

@@ -1,0 +1,75 @@
+#ifndef AUSDB_QUERY_PLAN_H_
+#define AUSDB_QUERY_PLAN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/accuracy/accuracy_info.h"
+#include "src/engine/sort.h"
+#include "src/engine/window_aggregate.h"
+#include "src/expr/expr.h"
+
+namespace ausdb {
+namespace query {
+
+/// One SELECT-list item.
+struct SelectItem {
+  expr::ExprPtr expression;  ///< null when is_star
+  std::string alias;         ///< output column name (auto-derived if empty)
+  bool is_star = false;      ///< SELECT *
+};
+
+/// A window aggregate in the SELECT list:
+///   AVG(col) OVER (ROWS n [TUMBLE])        -- count-based
+///   AVG(col) OVER (RANGE d ON ts_col)      -- time-based
+/// (and likewise for SUM).
+struct WindowSpec {
+  engine::WindowAggFn fn = engine::WindowAggFn::kAvg;
+  std::string column;
+  /// Count-based form; 0 when the range form is used.
+  size_t rows = 0;
+  engine::WindowKind kind = engine::WindowKind::kSliding;
+  /// Time-based form: duration > 0 with the ordering column.
+  double range_duration = 0.0;
+  std::string range_column;
+  std::string alias;
+
+  bool is_time_based() const { return range_duration > 0.0; }
+};
+
+/// WITH ACCURACY [ANALYTICAL | BOOTSTRAP] [CONFIDENCE c].
+struct AccuracyClause {
+  accuracy::AccuracyMethod method = accuracy::AccuracyMethod::kAnalytical;
+  double confidence = 0.9;
+};
+
+/// ORDER BY column [ASC|DESC].
+struct OrderBySpec {
+  std::string column;
+  engine::SortOrder order = engine::SortOrder::kAscending;
+};
+
+/// \brief Parsed logical form of an AQL query:
+///   SELECT items FROM stream [WHERE pred] [GROUP BY key]
+///   [ORDER BY col [ASC|DESC]] [LIMIT n]
+///   [WITH ACCURACY method [CONFIDENCE c]]
+/// where one item may be a sliding/tumbling window aggregate; GROUP BY
+/// partitions the window per key value.
+struct ParsedQuery {
+  std::vector<SelectItem> select;
+  std::optional<WindowSpec> window_agg;
+  std::string from;
+  expr::ExprPtr where;   ///< null when absent
+  std::string group_by;  ///< empty when absent
+  std::optional<OrderBySpec> order_by;
+  std::optional<size_t> limit;
+  std::optional<AccuracyClause> accuracy;
+
+  std::string ToString() const;
+};
+
+}  // namespace query
+}  // namespace ausdb
+
+#endif  // AUSDB_QUERY_PLAN_H_

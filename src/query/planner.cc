@@ -1,0 +1,123 @@
+#include "src/query/planner.h"
+
+#include "src/engine/limit.h"
+#include "src/engine/partitioned_window.h"
+#include "src/engine/project.h"
+#include "src/engine/sort.h"
+#include "src/engine/time_window_aggregate.h"
+#include "src/engine/window_aggregate.h"
+#include "src/query/parser.h"
+
+namespace ausdb {
+namespace query {
+
+Result<engine::OperatorPtr> BuildPlan(const ParsedQuery& query,
+                                      engine::OperatorPtr source,
+                                      const PlannerOptions& options) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("plan needs a source operator");
+  }
+  engine::OperatorPtr plan = std::move(source);
+
+  if (query.where != nullptr) {
+    engine::FilterOptions fo = options.filter;
+    fo.eval = options.eval;
+    plan = std::make_unique<engine::Filter>(std::move(plan), query.where,
+                                            fo);
+  }
+
+  const bool star =
+      query.select.size() == 1 && query.select.front().is_star;
+  const bool has_items = !query.select.empty() && !star;
+
+  if (query.window_agg.has_value()) {
+    if (has_items) {
+      return Status::NotImplemented(
+          "a window aggregate cannot be combined with other SELECT items");
+    }
+    const WindowSpec& spec = *query.window_agg;
+    if (spec.is_time_based()) {
+      if (!query.group_by.empty()) {
+        return Status::NotImplemented(
+            "GROUP BY with RANGE windows is not supported yet");
+      }
+      engine::TimeWindowOptions two;
+      two.duration = spec.range_duration;
+      two.fn = spec.fn;
+      AUSDB_ASSIGN_OR_RETURN(
+          std::unique_ptr<engine::TimeWindowAggregate> agg,
+          engine::TimeWindowAggregate::Make(std::move(plan),
+                                            spec.range_column, spec.column,
+                                            spec.alias, two));
+      plan = std::move(agg);
+    } else {
+      engine::WindowAggregateOptions wo;
+      wo.window_size = spec.rows;
+      wo.fn = spec.fn;
+      wo.kind = spec.kind;
+      if (!query.group_by.empty()) {
+        AUSDB_ASSIGN_OR_RETURN(
+            std::unique_ptr<engine::PartitionedWindowAggregate> agg,
+            engine::PartitionedWindowAggregate::Make(
+                std::move(plan), query.group_by, spec.column, spec.alias,
+                wo));
+        plan = std::move(agg);
+      } else {
+        AUSDB_ASSIGN_OR_RETURN(
+            std::unique_ptr<engine::WindowAggregate> agg,
+            engine::WindowAggregate::Make(std::move(plan), spec.column,
+                                          spec.alias, wo));
+        plan = std::move(agg);
+      }
+    }
+  } else if (!query.group_by.empty()) {
+    return Status::NotImplemented(
+        "GROUP BY currently requires a window aggregate in the SELECT "
+        "list");
+  } else if (has_items) {
+    std::vector<engine::ProjectionItem> items;
+    items.reserve(query.select.size());
+    for (const auto& item : query.select) {
+      if (item.is_star) {
+        return Status::NotImplemented(
+            "SELECT * cannot be combined with other items");
+      }
+      items.push_back({item.alias, item.expression});
+    }
+    AUSDB_ASSIGN_OR_RETURN(
+        std::unique_ptr<engine::Project> project,
+        engine::Project::Make(std::move(plan), std::move(items),
+                              options.eval));
+    plan = std::move(project);
+  }
+
+  if (query.order_by.has_value()) {
+    AUSDB_ASSIGN_OR_RETURN(
+        std::unique_ptr<engine::Sort> sort,
+        engine::Sort::Make(std::move(plan), query.order_by->column,
+                           query.order_by->order));
+    plan = std::move(sort);
+  }
+
+  if (query.limit.has_value()) {
+    plan = std::make_unique<engine::Limit>(std::move(plan), *query.limit);
+  }
+
+  if (query.accuracy.has_value()) {
+    engine::AccuracyAnnotatorOptions ao = options.annotator;
+    ao.method = query.accuracy->method;
+    ao.confidence = query.accuracy->confidence;
+    plan = std::make_unique<engine::AccuracyAnnotator>(std::move(plan), ao);
+  }
+  return plan;
+}
+
+Result<engine::OperatorPtr> PlanQuery(std::string_view sql,
+                                      engine::OperatorPtr source,
+                                      const PlannerOptions& options) {
+  AUSDB_ASSIGN_OR_RETURN(ParsedQuery query, Parse(sql));
+  return BuildPlan(query, std::move(source), options);
+}
+
+}  // namespace query
+}  // namespace ausdb

@@ -1,0 +1,43 @@
+#ifndef AUSDB_QUERY_PLANNER_H_
+#define AUSDB_QUERY_PLANNER_H_
+
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/engine/accuracy_annotator.h"
+#include "src/engine/filter.h"
+#include "src/engine/operator.h"
+#include "src/query/plan.h"
+
+namespace ausdb {
+namespace query {
+
+/// Plan-construction knobs.
+struct PlannerOptions {
+  engine::FilterOptions filter;
+  engine::AccuracyAnnotatorOptions annotator;
+  expr::EvalOptions eval;
+};
+
+/// \brief Turns a parsed query plus its input stream into an executable
+/// operator tree:
+///
+///   source -> [Filter (WHERE)] -> [WindowAggregate] -> [Project]
+///          -> [AccuracyAnnotator (WITH ACCURACY)]
+///
+/// SELECT * skips the projection. A window aggregate consumes the source
+/// column stream and outputs a single uncertain column, so combining it
+/// with other SELECT items is rejected.
+Result<engine::OperatorPtr> BuildPlan(const ParsedQuery& query,
+                                      engine::OperatorPtr source,
+                                      const PlannerOptions& options = {});
+
+/// Parses `sql` and builds the plan over `source` in one step.
+Result<engine::OperatorPtr> PlanQuery(std::string_view sql,
+                                      engine::OperatorPtr source,
+                                      const PlannerOptions& options = {});
+
+}  // namespace query
+}  // namespace ausdb
+
+#endif  // AUSDB_QUERY_PLANNER_H_

@@ -1,0 +1,167 @@
+#include "src/query/token.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <unordered_set>
+
+namespace ausdb {
+namespace query {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "SELECT", "FROM",    "WHERE",  "AS",        "AND",     "OR",
+      "NOT",    "PROB",    "MTEST",  "MDTEST",    "PTEST",   "AVG",
+      "SUM",    "OVER",    "ROWS",   "WITH",      "ACCURACY",
+      "ANALYTICAL",        "BOOTSTRAP",           "CONFIDENCE",
+      "SQRT",   "ABS",     "SQUARE", "SQRT_ABS",  "MEAN_CI", "VAR_CI",
+      "BIN_CI", "TRUE",    "FALSE",  "GROUP",     "BY",      "TUMBLE",
+      "ORDER",  "ASC",     "DESC",   "LIMIT",     "RANGE",   "ON"};
+  return *kKeywords;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::toupper(c));
+  });
+  return out;
+}
+
+}  // namespace
+
+std::string Token::ToString() const {
+  switch (type) {
+    case TokenType::kIdentifier:
+      return "identifier '" + text + "'";
+    case TokenType::kKeyword:
+      return "keyword " + text;
+    case TokenType::kNumber:
+      return "number " + std::to_string(number);
+    case TokenType::kString:
+      return "string '" + text + "'";
+    case TokenType::kSymbol:
+      return "'" + text + "'";
+    case TokenType::kEnd:
+      return "end of query";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    Token t;
+    t.offset = i;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_')) {
+        ++j;
+      }
+      const std::string word(input.substr(i, j - i));
+      const std::string upper = ToUpper(word);
+      if (Keywords().count(upper) > 0) {
+        t.type = TokenType::kKeyword;
+        t.text = upper;
+      } else {
+        t.type = TokenType::kIdentifier;
+        t.text = word;
+      }
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t j = i;
+      bool saw_dot = false;
+      bool saw_exp = false;
+      while (j < n) {
+        const char d = input[j];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++j;
+        } else if (d == '.' && !saw_dot && !saw_exp) {
+          saw_dot = true;
+          ++j;
+        } else if ((d == 'e' || d == 'E') && !saw_exp && j > i) {
+          saw_exp = true;
+          ++j;
+          if (j < n && (input[j] == '+' || input[j] == '-')) ++j;
+        } else {
+          break;
+        }
+      }
+      const std::string num(input.substr(i, j - i));
+      t.type = TokenType::kNumber;
+      try {
+        t.number = std::stod(num);
+      } catch (...) {
+        return Status::ParseError("bad numeric literal '" + num +
+                                  "' at offset " + std::to_string(i));
+      }
+      t.text = num;
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+
+    if (c == '\'') {
+      size_t j = i + 1;
+      std::string content;
+      while (j < n && input[j] != '\'') {
+        content.push_back(input[j]);
+        ++j;
+      }
+      if (j >= n) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(i));
+      }
+      t.type = TokenType::kString;
+      t.text = std::move(content);
+      tokens.push_back(std::move(t));
+      i = j + 1;
+      continue;
+    }
+
+    // Multi-character symbols first.
+    const std::string_view rest = input.substr(i);
+    t.type = TokenType::kSymbol;
+    if (rest.starts_with("<=") || rest.starts_with(">=") ||
+        rest.starts_with("<>") || rest.starts_with("!=")) {
+      t.text = std::string(rest.substr(0, 2));
+      if (t.text == "!=") t.text = "<>";
+      i += 2;
+    } else if (std::string("+-*/(),<>=").find(c) != std::string::npos) {
+      t.text = std::string(1, c);
+      ++i;
+    } else {
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' at offset " + std::to_string(i));
+    }
+    tokens.push_back(std::move(t));
+  }
+
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace query
+}  // namespace ausdb

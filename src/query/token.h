@@ -1,0 +1,49 @@
+#ifndef AUSDB_QUERY_TOKEN_H_
+#define AUSDB_QUERY_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace ausdb {
+namespace query {
+
+/// Lexical token categories of AQL.
+enum class TokenType {
+  kIdentifier,  ///< bare word that is not a keyword
+  kKeyword,     ///< SELECT, FROM, WHERE, ... (uppercased in `text`)
+  kNumber,      ///< numeric literal (value in `number`)
+  kString,      ///< '...' literal (unquoted content in `text`)
+  kSymbol,      ///< punctuation / operator (text holds it, e.g. "<=")
+  kEnd,         ///< end of input
+};
+
+/// One lexical token with its source offset (for error messages).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  double number = 0.0;
+  size_t offset = 0;
+
+  bool IsKeyword(std::string_view kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(std::string_view sym) const {
+    return type == TokenType::kSymbol && text == sym;
+  }
+
+  std::string ToString() const;
+};
+
+/// \brief Splits an AQL query string into tokens.
+///
+/// Keywords are recognized case-insensitively and reported uppercased;
+/// identifiers keep their original spelling. Fails with ParseError on
+/// unterminated strings or unexpected characters.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace query
+}  // namespace ausdb
+
+#endif  // AUSDB_QUERY_TOKEN_H_

@@ -1,0 +1,103 @@
+#include "src/serde/table_printer.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace ausdb {
+namespace serde {
+
+namespace {
+
+std::string Truncate(std::string s, size_t max_width) {
+  if (s.size() <= max_width) return s;
+  if (max_width <= 3) return s.substr(0, max_width);
+  return s.substr(0, max_width - 3) + "...";
+}
+
+}  // namespace
+
+void PrintTable(std::ostream& os, const engine::Schema& schema,
+                const std::vector<engine::Tuple>& tuples,
+                const TablePrintOptions& options) {
+  const bool any_membership =
+      options.show_membership &&
+      std::any_of(tuples.begin(), tuples.end(), [](const auto& t) {
+        return t.membership_prob() != 1.0 ||
+               t.membership_ci().has_value();
+      });
+  const bool any_significance =
+      std::any_of(tuples.begin(), tuples.end(), [](const auto& t) {
+        return t.significance().has_value();
+      });
+
+  std::vector<std::string> headers;
+  for (const auto& f : schema.fields()) headers.push_back(f.name);
+  if (any_membership) headers.push_back("prob");
+  if (any_significance) headers.push_back("significance");
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& t : tuples) {
+    std::vector<std::string> row;
+    for (size_t i = 0; i < schema.num_fields(); ++i) {
+      std::string cell =
+          i < t.num_values() ? t.value(i).ToString() : "";
+      if (options.show_accuracy && i < t.accuracy().size() &&
+          t.accuracy()[i].has_value() &&
+          t.accuracy()[i]->mean_ci.has_value()) {
+        cell += " mu" + t.accuracy()[i]->mean_ci->ToString();
+      }
+      row.push_back(Truncate(std::move(cell), options.max_cell_width));
+    }
+    if (any_membership) {
+      std::ostringstream cell;
+      cell.precision(4);
+      cell << t.membership_prob();
+      if (t.membership_ci().has_value()) {
+        cell << " " << t.membership_ci()->ToString();
+      }
+      row.push_back(Truncate(cell.str(), options.max_cell_width));
+    }
+    if (any_significance) {
+      row.push_back(
+          t.significance().has_value()
+              ? std::string(
+                    hypothesis::TestOutcomeToString(*t.significance()))
+              : "");
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::vector<size_t> widths(headers.size());
+  for (size_t c = 0; c < headers.size(); ++c) {
+    widths[c] = headers[c].size();
+    for (const auto& row : rows) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << "| " << cells[c]
+         << std::string(widths[c] - cells[c].size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+  const auto print_rule = [&] {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      os << "+" << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+
+  print_rule();
+  print_row(headers);
+  print_rule();
+  for (const auto& row : rows) print_row(row);
+  print_rule();
+  os << rows.size() << " row(s)\n";
+}
+
+}  // namespace serde
+}  // namespace ausdb

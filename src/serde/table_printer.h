@@ -1,0 +1,33 @@
+#ifndef AUSDB_SERDE_TABLE_PRINTER_H_
+#define AUSDB_SERDE_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "src/engine/schema.h"
+#include "src/engine/tuple.h"
+
+namespace ausdb {
+namespace serde {
+
+/// Presentation knobs for PrintTable.
+struct TablePrintOptions {
+  /// Include the membership-probability column when any tuple has one.
+  bool show_membership = true;
+  /// Include per-field accuracy columns when annotated.
+  bool show_accuracy = true;
+  /// Maximum rendered width per cell (longer cells are truncated with
+  /// an ellipsis).
+  size_t max_cell_width = 40;
+};
+
+/// \brief Renders a query result as an aligned text table (the CLI /
+/// example output path).
+void PrintTable(std::ostream& os, const engine::Schema& schema,
+                const std::vector<engine::Tuple>& tuples,
+                const TablePrintOptions& options = {});
+
+}  // namespace serde
+}  // namespace ausdb
+
+#endif  // AUSDB_SERDE_TABLE_PRINTER_H_

@@ -1,0 +1,90 @@
+#include "src/stats/ks_test.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace ausdb {
+namespace stats {
+
+double KolmogorovSurvival(double x) {
+  if (x <= 0.0) return 1.0;
+  // The alternating series converges extremely fast for x >= ~0.5; for
+  // small x the dual (theta-function) form is used.
+  if (x < 0.5) {
+    // Q(x) = 1 - sqrt(2 pi)/x * sum_{k odd} exp(-k^2 pi^2 / (8 x^2)).
+    const double t = M_PI * M_PI / (8.0 * x * x);
+    double sum = 0.0;
+    for (int k = 1; k <= 7; k += 2) {
+      sum += std::exp(-static_cast<double>(k) * k * t);
+    }
+    return 1.0 - std::sqrt(2.0 * M_PI) / x * sum;
+  }
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * x * x);
+    sum += sign * term;
+    sign = -sign;
+    if (term < 1e-16) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+Result<KsResult> KsTestAgainstCdf(
+    std::span<const double> sample,
+    const std::function<double(double)>& cdf) {
+  if (sample.empty()) {
+    return Status::InsufficientData("KS test needs a non-empty sample");
+  }
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    const double f = cdf(sorted[i]);
+    d = std::max({d, std::abs(f - static_cast<double>(i) / n),
+                  std::abs(static_cast<double>(i + 1) / n - f)});
+  }
+  KsResult result;
+  result.statistic = d;
+  // Asymptotic p-value with the standard finite-n adjustment.
+  const double sqrt_n = std::sqrt(n);
+  result.p_value =
+      KolmogorovSurvival((sqrt_n + 0.12 + 0.11 / sqrt_n) * d);
+  return result;
+}
+
+Result<KsResult> KsTestTwoSample(std::span<const double> a,
+                                 std::span<const double> b) {
+  if (a.empty() || b.empty()) {
+    return Status::InsufficientData(
+        "two-sample KS test needs two non-empty samples");
+  }
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  size_t i = 0, j = 0;
+  double d = 0.0;
+  while (i < sa.size() && j < sb.size()) {
+    const double x = std::min(sa[i], sb[j]);
+    while (i < sa.size() && sa[i] <= x) ++i;
+    while (j < sb.size() && sb[j] <= x) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / na -
+                             static_cast<double>(j) / nb));
+  }
+  KsResult result;
+  result.statistic = d;
+  const double ne = na * nb / (na + nb);
+  const double sqrt_ne = std::sqrt(ne);
+  result.p_value =
+      KolmogorovSurvival((sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d);
+  return result;
+}
+
+}  // namespace stats
+}  // namespace ausdb

@@ -1,0 +1,45 @@
+#ifndef AUSDB_STATS_KS_TEST_H_
+#define AUSDB_STATS_KS_TEST_H_
+
+#include <functional>
+#include <span>
+
+#include "src/common/result.h"
+
+namespace ausdb {
+namespace stats {
+
+/// Result of a Kolmogorov-Smirnov test.
+struct KsResult {
+  /// The KS statistic: the max absolute ECDF deviation.
+  double statistic = 0.0;
+  /// Asymptotic p-value (Kolmogorov distribution with the effective
+  /// sample size correction).
+  double p_value = 1.0;
+};
+
+/// \brief One-sample KS test of a sample against a reference CDF — the
+/// goodness-of-fit check a stream system runs to decide whether a
+/// learned distribution still matches fresh observations (model
+/// staleness detection).
+///
+/// `cdf` must be the continuous reference distribution's CDF. Fails with
+/// InsufficientData on an empty sample.
+Result<KsResult> KsTestAgainstCdf(
+    std::span<const double> sample,
+    const std::function<double(double)>& cdf);
+
+/// \brief Two-sample KS test: are two samples drawn from the same
+/// (continuous) distribution?
+Result<KsResult> KsTestTwoSample(std::span<const double> a,
+                                 std::span<const double> b);
+
+/// \brief Survival function of the Kolmogorov distribution:
+/// Q(x) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 x^2); the asymptotic
+/// p-value of a scaled KS statistic.
+double KolmogorovSurvival(double x);
+
+}  // namespace stats
+}  // namespace ausdb
+
+#endif  // AUSDB_STATS_KS_TEST_H_

@@ -1,0 +1,94 @@
+#include "src/stats/quantiles.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/stats/special_functions.h"
+
+namespace ausdb {
+namespace stats {
+
+double NormalCdf(double x) {
+  return 0.5 * Erfc(-x / std::sqrt(2.0));
+}
+
+double NormalQuantile(double p) {
+  AUSDB_CHECK(p > 0.0 && p < 1.0)
+      << "NormalQuantile requires p in (0,1), got " << p;
+  return -std::sqrt(2.0) * ErfInv(1.0 - 2.0 * p);
+}
+
+double NormalUpperPercentile(double q) {
+  AUSDB_CHECK(q > 0.0 && q < 1.0)
+      << "NormalUpperPercentile requires q in (0,1), got " << q;
+  return NormalQuantile(1.0 - q);
+}
+
+double StudentTCdf(double t, double dof) {
+  AUSDB_CHECK(dof > 0.0) << "StudentTCdf requires dof > 0, got " << dof;
+  if (t == 0.0) return 0.5;
+  // CDF via the regularized incomplete beta function:
+  //   F(t) = 1 - I_{v/(v+t^2)}(v/2, 1/2) / 2   for t > 0, symmetric below.
+  const double x = dof / (dof + t * t);
+  const double tail =
+      0.5 * RegularizedIncompleteBeta(0.5 * dof, 0.5, x);
+  return t > 0.0 ? 1.0 - tail : tail;
+}
+
+double StudentTQuantile(double p, double dof) {
+  AUSDB_CHECK(p > 0.0 && p < 1.0)
+      << "StudentTQuantile requires p in (0,1), got " << p;
+  AUSDB_CHECK(dof > 0.0) << "StudentTQuantile requires dof > 0";
+  if (p == 0.5) return 0.0;
+  // Invert via the incomplete beta inverse on the appropriate tail.
+  const bool upper = p > 0.5;
+  const double tail = upper ? 2.0 * (1.0 - p) : 2.0 * p;
+  const double x = InverseRegularizedIncompleteBeta(0.5 * dof, 0.5, tail);
+  double t = std::sqrt(dof * (1.0 - x) / x);
+  return upper ? t : -t;
+}
+
+double StudentTUpperPercentile(double q, double dof) {
+  AUSDB_CHECK(q > 0.0 && q < 1.0)
+      << "StudentTUpperPercentile requires q in (0,1), got " << q;
+  return StudentTQuantile(1.0 - q, dof);
+}
+
+double ChiSquareCdf(double x, double dof) {
+  AUSDB_CHECK(dof > 0.0) << "ChiSquareCdf requires dof > 0";
+  if (x <= 0.0) return 0.0;
+  return RegularizedGammaP(0.5 * dof, 0.5 * x);
+}
+
+double ChiSquareQuantile(double p, double dof) {
+  AUSDB_CHECK(p >= 0.0 && p < 1.0)
+      << "ChiSquareQuantile requires p in [0,1), got " << p;
+  AUSDB_CHECK(dof > 0.0) << "ChiSquareQuantile requires dof > 0";
+  return 2.0 * InverseRegularizedGammaP(0.5 * dof, p);
+}
+
+double ChiSquareUpperPercentile(double q, double dof) {
+  AUSDB_CHECK(q > 0.0 && q <= 1.0)
+      << "ChiSquareUpperPercentile requires q in (0,1], got " << q;
+  if (q == 1.0) return 0.0;
+  return ChiSquareQuantile(1.0 - q, dof);
+}
+
+double FCdf(double x, double d1, double d2) {
+  AUSDB_CHECK(d1 > 0.0 && d2 > 0.0) << "FCdf requires d1, d2 > 0";
+  if (x <= 0.0) return 0.0;
+  const double z = d1 * x / (d1 * x + d2);
+  return RegularizedIncompleteBeta(0.5 * d1, 0.5 * d2, z);
+}
+
+double FQuantile(double p, double d1, double d2) {
+  AUSDB_CHECK(p >= 0.0 && p < 1.0)
+      << "FQuantile requires p in [0,1), got " << p;
+  AUSDB_CHECK(d1 > 0.0 && d2 > 0.0) << "FQuantile requires d1, d2 > 0";
+  if (p == 0.0) return 0.0;
+  const double z = InverseRegularizedIncompleteBeta(0.5 * d1, 0.5 * d2, p);
+  return d2 * z / (d1 * (1.0 - z));
+}
+
+}  // namespace stats
+}  // namespace ausdb

@@ -1,0 +1,52 @@
+#ifndef AUSDB_STATS_QUANTILES_H_
+#define AUSDB_STATS_QUANTILES_H_
+
+namespace ausdb {
+namespace stats {
+
+/// \brief CDF of the standard normal distribution, Φ(x).
+double NormalCdf(double x);
+
+/// \brief Quantile (inverse CDF) of the standard normal: x with Φ(x) = p.
+/// Requires p in (0, 1).
+double NormalQuantile(double p);
+
+/// \brief Upper percentile z_q of the standard normal: the value with
+/// probability q to its right, i.e. NormalQuantile(1 - q).
+///
+/// This is the z_{(1-c)/2} appearing in the paper's Lemmas 1 and 2.
+double NormalUpperPercentile(double q);
+
+/// \brief CDF of Student's t distribution with `dof` degrees of freedom.
+double StudentTCdf(double t, double dof);
+
+/// \brief Quantile of Student's t distribution: t with CDF(t) = p.
+/// Requires p in (0, 1) and dof > 0.
+double StudentTQuantile(double p, double dof);
+
+/// \brief Upper percentile t_q with `dof` degrees of freedom (the
+/// t_{(1-c)/2} of Lemma 2): the value with probability q to its right.
+double StudentTUpperPercentile(double q, double dof);
+
+/// \brief CDF of the chi-square distribution with `dof` degrees of freedom.
+double ChiSquareCdf(double x, double dof);
+
+/// \brief Quantile of the chi-square distribution: x with CDF(x) = p.
+/// Requires p in [0, 1) and dof > 0.
+double ChiSquareQuantile(double p, double dof);
+
+/// \brief Upper percentile χ²_q with `dof` degrees of freedom (the
+/// χ²_{(1-c)/2} / χ²_{(1+c)/2} of Lemma 2): the value with probability q to
+/// its right.
+double ChiSquareUpperPercentile(double q, double dof);
+
+/// \brief CDF of the F distribution with (d1, d2) degrees of freedom.
+double FCdf(double x, double d1, double d2);
+
+/// \brief Quantile of the F distribution.
+double FQuantile(double p, double d1, double d2);
+
+}  // namespace stats
+}  // namespace ausdb
+
+#endif  // AUSDB_STATS_QUANTILES_H_

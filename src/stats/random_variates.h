@@ -1,0 +1,55 @@
+#ifndef AUSDB_STATS_RANDOM_VARIATES_H_
+#define AUSDB_STATS_RANDOM_VARIATES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace ausdb {
+namespace stats {
+
+/// \brief Variate generators for the distribution families used by the
+/// paper's synthetic workloads (Section V-A) and by the CarTel simulator.
+///
+/// These replace the paper's use of the R statistical package; each
+/// generator is exact (inverse-CDF or accept-reject), not approximate.
+
+/// Exponential with rate lambda (mean 1/lambda). Requires lambda > 0.
+double SampleExponential(Rng& rng, double lambda);
+
+/// Gamma with shape k and scale theta (mean k*theta). Marsaglia-Tsang
+/// squeeze method; the k < 1 case uses the boosting transform. Requires
+/// k > 0, theta > 0.
+double SampleGamma(Rng& rng, double k, double theta);
+
+/// Normal with mean mu and standard deviation sigma. Requires sigma >= 0.
+double SampleNormal(Rng& rng, double mu, double sigma);
+
+/// Uniform on [lo, hi).
+double SampleUniform(Rng& rng, double lo, double hi);
+
+/// Weibull with scale lambda and shape k (inverse-CDF). Requires
+/// lambda > 0, k > 0.
+double SampleWeibull(Rng& rng, double lambda, double k);
+
+/// Lognormal: exp(Normal(mu_log, sigma_log)).
+double SampleLognormal(Rng& rng, double mu_log, double sigma_log);
+
+/// Binomial(n, p) count by summation of Bernoulli draws for small n and a
+/// normal approximation with continuity correction beyond n = 1000.
+size_t SampleBinomial(Rng& rng, size_t n, double p);
+
+/// n iid draws from any of the above via a callable.
+template <typename F>
+std::vector<double> SampleMany(size_t n, F&& draw) {
+  std::vector<double> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(draw());
+  return out;
+}
+
+}  // namespace stats
+}  // namespace ausdb
+
+#endif  // AUSDB_STATS_RANDOM_VARIATES_H_

@@ -1,0 +1,95 @@
+#include "src/stats/weighted.h"
+
+#include <cmath>
+
+#include "src/common/math_util.h"
+
+namespace ausdb {
+namespace stats {
+
+namespace {
+
+Status ValidateWeights(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (!(w >= 0.0) || !std::isfinite(w)) {
+      return Status::InvalidArgument(
+          "weights must be finite and >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("weights must not all be zero");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> EffectiveSampleSize(std::span<const double> weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("effective sample size of no weights");
+  }
+  AUSDB_RETURN_NOT_OK(ValidateWeights(weights));
+  KahanSum sum, sum_sq;
+  for (double w : weights) {
+    sum.Add(w);
+    sum_sq.Add(w * w);
+  }
+  return Sq(sum.Get()) / sum_sq.Get();
+}
+
+Result<WeightedSummary> SummarizeWeighted(std::span<const double> values,
+                                          std::span<const double> weights) {
+  if (values.size() != weights.size()) {
+    return Status::InvalidArgument(
+        "values and weights must have the same size");
+  }
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot summarize an empty sample");
+  }
+  AUSDB_RETURN_NOT_OK(ValidateWeights(weights));
+
+  KahanSum w_sum, wx_sum, w2_sum;
+  for (size_t i = 0; i < values.size(); ++i) {
+    w_sum.Add(weights[i]);
+    wx_sum.Add(weights[i] * values[i]);
+    w2_sum.Add(weights[i] * weights[i]);
+  }
+  WeightedSummary s;
+  s.count = values.size();
+  s.weight_sum = w_sum.Get();
+  s.effective_sample_size = Sq(s.weight_sum) / w2_sum.Get();
+  s.mean = wx_sum.Get() / s.weight_sum;
+
+  KahanSum wd2_sum;
+  for (size_t i = 0; i < values.size(); ++i) {
+    wd2_sum.Add(weights[i] * Sq(values[i] - s.mean));
+  }
+  s.population_variance = wd2_sum.Get() / s.weight_sum;
+  if (s.effective_sample_size > 1.0) {
+    s.sample_variance = s.population_variance * s.effective_sample_size /
+                        (s.effective_sample_size - 1.0);
+  }
+  return s;
+}
+
+Result<std::vector<double>> ExponentialDecayWeights(size_t n,
+                                                    double decay) {
+  if (n == 0) {
+    return Status::InvalidArgument("need at least one weight");
+  }
+  if (!(decay > 0.0 && decay <= 1.0)) {
+    return Status::InvalidArgument("decay must be in (0, 1]");
+  }
+  std::vector<double> weights(n);
+  double w = 1.0;
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = w;
+    w *= decay;
+  }
+  return weights;
+}
+
+}  // namespace stats
+}  // namespace ausdb

@@ -1,0 +1,52 @@
+#ifndef AUSDB_STATS_WEIGHTED_H_
+#define AUSDB_STATS_WEIGHTED_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace ausdb {
+namespace stats {
+
+/// \brief Summary of a weighted sample.
+///
+/// Implements the paper's future-work direction (Section VII): samples of
+/// different weights — e.g. recent observations weighing more — with the
+/// *effective sample size* quantifying how much independent information
+/// the weighted sample carries. Kish's formula
+///   n_eff = (sum w)^2 / sum w^2
+/// equals n for equal weights and shrinks as weights skew; accuracy
+/// derivation then uses n_eff wherever the paper's lemmas use n.
+struct WeightedSummary {
+  size_t count = 0;
+  double weight_sum = 0.0;
+  /// Kish effective sample size.
+  double effective_sample_size = 0.0;
+  /// Weighted mean sum(w x)/sum(w).
+  double mean = 0.0;
+  /// Weighted population variance sum(w (x-mean)^2)/sum(w).
+  double population_variance = 0.0;
+  /// Unbiased (frequency-interpretation) weighted sample variance, scaled
+  /// by n_eff/(n_eff - 1); 0 when n_eff <= 1.
+  double sample_variance = 0.0;
+};
+
+/// Summarizes a weighted sample. Fails with InvalidArgument on size
+/// mismatch, negative/non-finite weights, or all-zero weights.
+Result<WeightedSummary> SummarizeWeighted(std::span<const double> values,
+                                          std::span<const double> weights);
+
+/// Kish effective sample size of a weight vector.
+Result<double> EffectiveSampleSize(std::span<const double> weights);
+
+/// \brief Exponential recency weights for a stream window: the i-th most
+/// recent of `n` observations gets weight decay^i (decay in (0, 1]).
+/// decay = 1 reproduces the unweighted case.
+Result<std::vector<double>> ExponentialDecayWeights(size_t n, double decay);
+
+}  // namespace stats
+}  // namespace ausdb
+
+#endif  // AUSDB_STATS_WEIGHTED_H_

@@ -1,0 +1,38 @@
+#include "src/stream/acquisition.h"
+
+#include "src/accuracy/mean_variance_ci.h"
+
+namespace ausdb {
+namespace stream {
+
+AcquisitionController::AcquisitionController(AcquisitionOptions options)
+    : options_(options) {}
+
+Result<accuracy::ConfidenceInterval>
+AcquisitionController::CurrentMeanInterval() const {
+  return accuracy::MeanIntervalFromSample(values_, options_.confidence);
+}
+
+AcquisitionDecision AcquisitionController::Observe(double value) {
+  values_.push_back(value);
+  if (values_.size() < options_.min_observations) {
+    decision_ = AcquisitionDecision::kNeedMore;
+    return decision_;
+  }
+  auto ci = CurrentMeanInterval();
+  if (ci.ok() &&
+      ci->Length() <= options_.target_mean_interval_length) {
+    decision_ = AcquisitionDecision::kTargetReached;
+    return decision_;
+  }
+  if (options_.max_observations > 0 &&
+      values_.size() >= options_.max_observations) {
+    decision_ = AcquisitionDecision::kBudgetExhausted;
+    return decision_;
+  }
+  decision_ = AcquisitionDecision::kNeedMore;
+  return decision_;
+}
+
+}  // namespace stream
+}  // namespace ausdb

@@ -1,0 +1,70 @@
+#ifndef AUSDB_STREAM_ACQUISITION_H_
+#define AUSDB_STREAM_ACQUISITION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/accuracy/confidence_interval.h"
+#include "src/common/result.h"
+
+namespace ausdb {
+namespace stream {
+
+/// Options of the online acquisition controller.
+struct AcquisitionOptions {
+  /// Confidence level of the monitored interval.
+  double confidence = 0.9;
+
+  /// Stop when the mean interval is at most this long.
+  double target_mean_interval_length = 1.0;
+
+  /// Never decide before this many observations (the intervals are
+  /// meaningless for tiny n).
+  size_t min_observations = 5;
+
+  /// Give up after this many observations even if the target was not
+  /// reached (0 = no cap).
+  size_t max_observations = 0;
+};
+
+/// Current state of an acquisition session.
+enum class AcquisitionDecision {
+  kNeedMore,        ///< interval still too wide; keep acquiring
+  kTargetReached,   ///< interval narrow enough; stop acquiring
+  kBudgetExhausted, ///< max_observations hit without reaching the target
+};
+
+/// \brief Online acquisition controller: the paper's "online computation"
+/// use case (Section I) — stop acquiring raw samples, which is slow or
+/// expensive, as soon as the accuracy intervals are narrow enough to
+/// decide with enough confidence.
+///
+/// Feed observations one at a time with Observe(); it maintains the
+/// Lemma 2 mean interval incrementally and reports whether more data is
+/// needed.
+class AcquisitionController {
+ public:
+  explicit AcquisitionController(AcquisitionOptions options = {});
+
+  /// Ingests one observation and returns the updated decision.
+  AcquisitionDecision Observe(double value);
+
+  AcquisitionDecision decision() const { return decision_; }
+  size_t observation_count() const { return values_.size(); }
+
+  /// The current Lemma 2 mean interval; InsufficientData before
+  /// min_observations.
+  Result<accuracy::ConfidenceInterval> CurrentMeanInterval() const;
+
+  const std::vector<double>& observations() const { return values_; }
+
+ private:
+  AcquisitionOptions options_;
+  std::vector<double> values_;
+  AcquisitionDecision decision_ = AcquisitionDecision::kNeedMore;
+};
+
+}  // namespace stream
+}  // namespace ausdb
+
+#endif  // AUSDB_STREAM_ACQUISITION_H_

@@ -1,0 +1,52 @@
+#include "src/stream/sources.h"
+
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/dist/learner.h"
+#include "src/stats/random_variates.h"
+
+namespace ausdb {
+namespace stream {
+
+engine::OperatorPtr MakeLearnedGaussianSource(std::string column_name,
+                                              size_t count,
+                                              size_t points_per_item,
+                                              double mu, double sigma,
+                                              uint64_t seed) {
+  engine::Schema schema;
+  AUSDB_CHECK_OK(
+      schema.AddField({std::move(column_name), engine::FieldType::kUncertain}));
+
+  auto rng = std::make_shared<Rng>(seed);
+  auto produced = std::make_shared<size_t>(0);
+  auto buffer = std::make_shared<std::vector<double>>();
+
+  engine::TupleGenerator gen =
+      [rng, produced, buffer, count,
+       points_per_item, mu, sigma]() -> Result<std::optional<engine::Tuple>> {
+    if (count != 0 && *produced >= count) {
+      return std::optional<engine::Tuple>(std::nullopt);
+    }
+    ++*produced;
+    buffer->clear();
+    for (size_t i = 0; i < points_per_item; ++i) {
+      buffer->push_back(stats::SampleNormal(*rng, mu, sigma));
+    }
+    AUSDB_ASSIGN_OR_RETURN(dist::LearnedDistribution learned,
+                           dist::LearnGaussian(*buffer));
+    engine::Tuple t({expr::Value(dist::RandomVar(learned))});
+    return std::optional<engine::Tuple>(std::move(t));
+  };
+  return std::make_unique<engine::StreamScan>(std::move(schema),
+                                              std::move(gen));
+}
+
+engine::OperatorPtr MakeCallbackSource(engine::Schema schema,
+                                       engine::TupleGenerator generator) {
+  return std::make_unique<engine::StreamScan>(std::move(schema),
+                                              std::move(generator));
+}
+
+}  // namespace stream
+}  // namespace ausdb

@@ -1,0 +1,34 @@
+#ifndef AUSDB_STREAM_SOURCES_H_
+#define AUSDB_STREAM_SOURCES_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/engine/scan.h"
+
+namespace ausdb {
+namespace stream {
+
+/// \brief Builds the Section V-C synthetic stream: each tuple carries one
+/// uncertain field whose Gaussian distribution was learned from
+/// `points_per_item` raw data points drawn from N(mu, sigma^2).
+///
+/// `count` tuples are produced (0 = unbounded). This is the input of the
+/// throughput experiments (Figures 5(c) and 5(f)).
+engine::OperatorPtr MakeLearnedGaussianSource(std::string column_name,
+                                              size_t count,
+                                              size_t points_per_item,
+                                              double mu, double sigma,
+                                              uint64_t seed);
+
+/// \brief Generic generator-backed stream with a single uncertain column:
+/// `make_tuple` is invoked per tuple until it returns nullopt.
+engine::OperatorPtr MakeCallbackSource(engine::Schema schema,
+                                       engine::TupleGenerator generator);
+
+}  // namespace stream
+}  // namespace ausdb
+
+#endif  // AUSDB_STREAM_SOURCES_H_

@@ -1,0 +1,51 @@
+#ifndef AUSDB_STREAM_THROUGHPUT_H_
+#define AUSDB_STREAM_THROUGHPUT_H_
+
+#include <chrono>
+#include <cstddef>
+
+namespace ausdb {
+namespace stream {
+
+/// \brief Wall-clock throughput meter for stream experiments
+/// (tuples/second, paper Figures 5(c) and 5(f)).
+class ThroughputMeter {
+ public:
+  void Start() {
+    start_ = Clock::now();
+    count_ = 0;
+    running_ = true;
+  }
+
+  void Count(size_t tuples = 1) { count_ += tuples; }
+
+  /// Stops the meter; Elapsed/TuplesPerSecond refer to the stopped span.
+  void Stop() {
+    end_ = Clock::now();
+    running_ = false;
+  }
+
+  double ElapsedSeconds() const {
+    const auto end = running_ ? Clock::now() : end_;
+    return std::chrono::duration<double>(end - start_).count();
+  }
+
+  size_t count() const { return count_; }
+
+  double TuplesPerSecond() const {
+    const double s = ElapsedSeconds();
+    return s > 0.0 ? static_cast<double>(count_) / s : 0.0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_{};
+  Clock::time_point end_{};
+  size_t count_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace stream
+}  // namespace ausdb
+
+#endif  // AUSDB_STREAM_THROUGHPUT_H_

@@ -1,0 +1,163 @@
+#include "src/workload/cartel.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/logging.h"
+#include "src/stats/descriptive.h"
+#include "src/stats/random_variates.h"
+
+namespace ausdb {
+namespace workload {
+
+CartelSimulator::CartelSimulator(CartelOptions options)
+    : options_(options) {
+  AUSDB_CHECK(options_.num_segments >= 2)
+      << "CarTel simulator needs at least 2 segments";
+  AUSDB_CHECK(options_.route_length >= 1 &&
+              options_.route_length <= options_.num_segments)
+      << "route length must be in [1, num_segments]";
+
+  Rng rng(options_.seed);
+  populations_.resize(options_.num_segments);
+  true_means_.resize(options_.num_segments);
+  true_variances_.resize(options_.num_segments);
+
+  for (size_t s = 0; s < options_.num_segments; ++s) {
+    // Segment-specific lognormal parameters: median delay exp(mu_log) in
+    // roughly [20s, 90s], dispersion sigma_log in [0.2, 0.6].
+    const double mu_log = rng.NextDouble(3.0, 4.5);
+    const double sigma_log = rng.NextDouble(0.2, 0.6);
+    auto& pop = populations_[s];
+    pop.reserve(options_.observations_per_segment);
+    for (size_t i = 0; i < options_.observations_per_segment; ++i) {
+      pop.push_back(stats::SampleLognormal(rng, mu_log, sigma_log));
+    }
+    const auto summary = stats::Summarize(pop);
+    true_means_[s] = summary.mean;
+    true_variances_[s] = summary.population_variance;
+  }
+
+  by_mean_.resize(options_.num_segments);
+  std::iota(by_mean_.begin(), by_mean_.end(), size_t{0});
+  std::sort(by_mean_.begin(), by_mean_.end(), [this](size_t a, size_t b) {
+    return true_means_[a] < true_means_[b];
+  });
+}
+
+const std::vector<double>& CartelSimulator::Population(
+    size_t segment) const {
+  AUSDB_CHECK(segment < populations_.size()) << "segment out of range";
+  return populations_[segment];
+}
+
+double CartelSimulator::TrueMean(size_t segment) const {
+  AUSDB_CHECK(segment < true_means_.size()) << "segment out of range";
+  return true_means_[segment];
+}
+
+double CartelSimulator::TrueVariance(size_t segment) const {
+  AUSDB_CHECK(segment < true_variances_.size()) << "segment out of range";
+  return true_variances_[segment];
+}
+
+Result<std::vector<double>> CartelSimulator::DrawSample(size_t segment,
+                                                        size_t n,
+                                                        Rng& rng) const {
+  if (segment >= populations_.size()) {
+    return Status::InvalidArgument("segment out of range");
+  }
+  const auto& pop = populations_[segment];
+  if (n > pop.size()) {
+    return Status::InvalidArgument(
+        "sample size exceeds the segment population");
+  }
+  // Partial Fisher-Yates over an index array: without replacement.
+  std::vector<size_t> idx(pop.size());
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  std::vector<double> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t j = i + rng.NextBelow(idx.size() - i);
+    std::swap(idx[i], idx[j]);
+    out.push_back(pop[idx[i]]);
+  }
+  return out;
+}
+
+std::vector<size_t> CartelSimulator::MakeRoute(Rng& rng) const {
+  std::vector<size_t> idx(populations_.size());
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  std::vector<size_t> route;
+  route.reserve(options_.route_length);
+  for (size_t i = 0; i < options_.route_length; ++i) {
+    const size_t j = i + rng.NextBelow(idx.size() - i);
+    std::swap(idx[i], idx[j]);
+    route.push_back(idx[i]);
+  }
+  return route;
+}
+
+Result<std::vector<double>> CartelSimulator::RouteDelayObservations(
+    const std::vector<size_t>& route, size_t n, Rng& rng) const {
+  if (route.empty()) {
+    return Status::InvalidArgument("route must not be empty");
+  }
+  std::vector<double> totals(n, 0.0);
+  for (size_t segment : route) {
+    AUSDB_ASSIGN_OR_RETURN(std::vector<double> sample,
+                           DrawSample(segment, n, rng));
+    for (size_t j = 0; j < n; ++j) totals[j] += sample[j];
+  }
+  return totals;
+}
+
+double CartelSimulator::TrueRouteMean(
+    const std::vector<size_t>& route) const {
+  double total = 0.0;
+  for (size_t segment : route) total += TrueMean(segment);
+  return total;
+}
+
+CartelSimulator::RoutePair CartelSimulator::MakeCloseRoutePair(
+    Rng& rng) const {
+  return MakeRoutePairWithRankGap(rng, 1);
+}
+
+CartelSimulator::RoutePair CartelSimulator::MakeRoutePairWithRankGap(
+    Rng& rng, size_t rank_gap) const {
+  AUSDB_CHECK(rank_gap >= 1 && rank_gap < by_mean_.size())
+      << "rank_gap must be in [1, num_segments)";
+  // Two segments `rank_gap` apart in the true-mean ordering differ by a
+  // controlled amount; routes sharing every other segment then have that
+  // same gap in total mean delay.
+  const size_t pos = rng.NextBelow(by_mean_.size() - rank_gap);
+  const size_t seg_lo = by_mean_[pos];
+  const size_t seg_hi = by_mean_[pos + rank_gap];
+
+  // Shared remainder of the route, avoiding both special segments.
+  std::vector<size_t> idx;
+  idx.reserve(populations_.size());
+  for (size_t s = 0; s < populations_.size(); ++s) {
+    if (s != seg_lo && s != seg_hi) idx.push_back(s);
+  }
+  std::vector<size_t> shared;
+  const size_t shared_len =
+      options_.route_length > 0 ? options_.route_length - 1 : 0;
+  for (size_t i = 0; i < shared_len && i < idx.size(); ++i) {
+    const size_t j = i + rng.NextBelow(idx.size() - i);
+    std::swap(idx[i], idx[j]);
+    shared.push_back(idx[i]);
+  }
+
+  RoutePair pair;
+  pair.lesser = shared;
+  pair.lesser.push_back(seg_lo);
+  pair.greater = shared;
+  pair.greater.push_back(seg_hi);
+  pair.mean_gap = TrueMean(seg_hi) - TrueMean(seg_lo);
+  return pair;
+}
+
+}  // namespace workload
+}  // namespace ausdb

@@ -1,0 +1,101 @@
+#ifndef AUSDB_WORKLOAD_CARTEL_H_
+#define AUSDB_WORKLOAD_CARTEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+
+namespace ausdb {
+namespace workload {
+
+/// Options of the CarTel road-delay simulator.
+struct CartelOptions {
+  /// Number of road segments in the simulated network.
+  size_t num_segments = 200;
+
+  /// Observations per segment in the full population pool; the paper's
+  /// experiments require at least 600 per chosen segment.
+  size_t observations_per_segment = 800;
+
+  /// Segments per route (the paper reports ~20 on average).
+  size_t route_length = 20;
+
+  uint64_t seed = 0xCA47E1ull;
+};
+
+/// \brief Synthetic substitute for the proprietary MIT CarTel road-delay
+/// trace (see DESIGN.md Section 3).
+///
+/// Each segment's delay population is lognormal with segment-specific
+/// parameters — right-skewed and positive like real traffic delays, which
+/// is exactly the non-normality regime the paper's experiments probe. The
+/// full per-segment pool acts as ground truth ("we consider the
+/// distribution from the complete sample as the true distribution"); the
+/// experiments subsample it without replacement.
+class CartelSimulator {
+ public:
+  explicit CartelSimulator(CartelOptions options = {});
+
+  size_t num_segments() const { return populations_.size(); }
+  size_t population_size() const {
+    return options_.observations_per_segment;
+  }
+
+  /// Full observation pool of a segment (the "true" sample).
+  const std::vector<double>& Population(size_t segment) const;
+
+  /// Ground-truth mean of a segment (over the full pool).
+  double TrueMean(size_t segment) const;
+
+  /// Ground-truth (population) variance of a segment.
+  double TrueVariance(size_t segment) const;
+
+  /// A size-n sample drawn uniformly at random WITHOUT replacement from
+  /// the segment's pool — the paper's Section V-B methodology. Fails with
+  /// InvalidArgument if n exceeds the pool.
+  Result<std::vector<double>> DrawSample(size_t segment, size_t n,
+                                         Rng& rng) const;
+
+  /// A random route: route_length distinct segments.
+  std::vector<size_t> MakeRoute(Rng& rng) const;
+
+  /// n de facto observations of a route's total delay: observation j is
+  /// the sum over the route's segments of the j-th element of an
+  /// independently drawn size-n per-segment sample (Definition 2).
+  Result<std::vector<double>> RouteDelayObservations(
+      const std::vector<size_t>& route, size_t n, Rng& rng) const;
+
+  /// Ground-truth mean total delay of a route.
+  double TrueRouteMean(const std::vector<size_t>& route) const;
+
+  /// A pair of routes sharing all but one segment, where the differing
+  /// segments have adjacent true means — so the routes' true mean total
+  /// delays are intentionally close (the paper's Section V-D setup).
+  /// first has the smaller true mean.
+  struct RoutePair {
+    std::vector<size_t> lesser;
+    std::vector<size_t> greater;
+    double mean_gap;  ///< TrueRouteMean(greater) - TrueRouteMean(lesser)
+  };
+  RoutePair MakeCloseRoutePair(Rng& rng) const;
+
+  /// Like MakeCloseRoutePair, but the differing segments are `rank_gap`
+  /// positions apart in the true-mean ordering — larger rank_gap gives an
+  /// easier comparison. rank_gap=1 is MakeCloseRoutePair.
+  RoutePair MakeRoutePairWithRankGap(Rng& rng, size_t rank_gap) const;
+
+ private:
+  CartelOptions options_;
+  std::vector<std::vector<double>> populations_;
+  std::vector<double> true_means_;
+  std::vector<double> true_variances_;
+  /// Segment ids sorted by true mean (for close-pair construction).
+  std::vector<size_t> by_mean_;
+};
+
+}  // namespace workload
+}  // namespace ausdb
+
+#endif  // AUSDB_WORKLOAD_CARTEL_H_

@@ -1,0 +1,50 @@
+#ifndef AUSDB_WORKLOAD_RANDOM_QUERY_H_
+#define AUSDB_WORKLOAD_RANDOM_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/expr/expr.h"
+#include "src/workload/synthetic.h"
+
+namespace ausdb {
+namespace workload {
+
+/// Options of the random query generator (paper Section V-C).
+struct RandomQueryOptions {
+  /// Number of uncertain input columns (each assigned a random family).
+  size_t num_columns = 3;
+
+  /// Number of operator applications in the expression tree.
+  size_t num_operators = 4;
+
+  /// When true, restrict to normal distributions and the {+, -}
+  /// operators — the Figure 5(b) setting where the query result is
+  /// exactly Gaussian.
+  bool normal_only_linear = false;
+};
+
+/// A generated random query: the expression plus its input columns.
+struct RandomQuery {
+  expr::ExprPtr expression;
+  /// Column i is named column_names[i] and carries family families[i].
+  std::vector<std::string> column_names;
+  std::vector<Family> families;
+
+  std::string ToString() const;
+};
+
+/// \brief Generates a random query expression by assigning equal
+/// probabilities to the six operators +, -, *, /, SQRT(ABS(.)), SQUARE
+/// over uncertain columns drawn from the five synthetic families
+/// (Section V-C's workload).
+///
+/// Every column is referenced at least once.
+RandomQuery GenerateRandomQuery(Rng& rng,
+                                const RandomQueryOptions& options = {});
+
+}  // namespace workload
+}  // namespace ausdb
+
+#endif  // AUSDB_WORKLOAD_RANDOM_QUERY_H_

@@ -1,0 +1,117 @@
+#include "src/workload/synthetic.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/stats/quantiles.h"
+#include "src/stats/random_variates.h"
+#include "src/stats/special_functions.h"
+
+namespace ausdb {
+namespace workload {
+
+std::string_view FamilyToString(Family family) {
+  switch (family) {
+    case Family::kExponential:
+      return "exponential";
+    case Family::kGamma:
+      return "gamma";
+    case Family::kNormal:
+      return "normal";
+    case Family::kUniform:
+      return "uniform";
+    case Family::kWeibull:
+      return "weibull";
+  }
+  return "unknown";
+}
+
+double SampleFamily(Rng& rng, Family family) {
+  switch (family) {
+    case Family::kExponential:
+      return stats::SampleExponential(rng, 1.0);
+    case Family::kGamma:
+      return stats::SampleGamma(rng, 2.0, 2.0);
+    case Family::kNormal:
+      return stats::SampleNormal(rng, 1.0, 1.0);
+    case Family::kUniform:
+      return stats::SampleUniform(rng, 0.0, 1.0);
+    case Family::kWeibull:
+      return stats::SampleWeibull(rng, 1.0, 1.0);
+  }
+  return 0.0;
+}
+
+std::vector<double> SampleFamilyMany(Rng& rng, Family family, size_t n) {
+  std::vector<double> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(SampleFamily(rng, family));
+  return out;
+}
+
+double FamilyMean(Family family) {
+  switch (family) {
+    case Family::kExponential:
+      return 1.0;
+    case Family::kGamma:
+      return 4.0;  // k * theta
+    case Family::kNormal:
+      return 1.0;
+    case Family::kUniform:
+      return 0.5;
+    case Family::kWeibull:
+      return 1.0;  // lambda * Gamma(1 + 1/k) = 1 * Gamma(2) = 1
+  }
+  return 0.0;
+}
+
+double FamilyVariance(Family family) {
+  switch (family) {
+    case Family::kExponential:
+      return 1.0;
+    case Family::kGamma:
+      return 8.0;  // k * theta^2
+    case Family::kNormal:
+      return 1.0;
+    case Family::kUniform:
+      return 1.0 / 12.0;
+    case Family::kWeibull:
+      return 1.0;  // exponential(1)
+  }
+  return 0.0;
+}
+
+double FamilyCdf(Family family, double x) {
+  switch (family) {
+    case Family::kExponential:
+    case Family::kWeibull:  // Weibull(1, 1) == exponential(1)
+      return x <= 0.0 ? 0.0 : 1.0 - std::exp(-x);
+    case Family::kGamma:
+      // Gamma(k=2, theta=2): P(2, x/2).
+      return x <= 0.0 ? 0.0 : stats::RegularizedGammaP(2.0, x / 2.0);
+    case Family::kNormal:
+      return stats::NormalCdf(x - 1.0);
+    case Family::kUniform:
+      return x < 0.0 ? 0.0 : (x > 1.0 ? 1.0 : x);
+  }
+  return 0.0;
+}
+
+double FamilyQuantile(Family family, double p) {
+  AUSDB_CHECK(p > 0.0 && p < 1.0) << "quantile requires p in (0,1)";
+  switch (family) {
+    case Family::kExponential:
+    case Family::kWeibull:
+      return -std::log(1.0 - p);
+    case Family::kGamma:
+      return 2.0 * stats::InverseRegularizedGammaP(2.0, p);
+    case Family::kNormal:
+      return 1.0 + stats::NormalQuantile(p);
+    case Family::kUniform:
+      return p;
+  }
+  return 0.0;
+}
+
+}  // namespace workload
+}  // namespace ausdb

@@ -1,0 +1,51 @@
+#ifndef AUSDB_WORKLOAD_SYNTHETIC_H_
+#define AUSDB_WORKLOAD_SYNTHETIC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace ausdb {
+namespace workload {
+
+/// The paper's five synthetic distribution families (Section V-A), with
+/// its exact parameters: exponential(lambda=1), Gamma(k=2, theta=2.0),
+/// normal(mu=1, sigma^2=1), uniform(0,1), Weibull(lambda=1, k=1).
+enum class Family {
+  kExponential,
+  kGamma,
+  kNormal,
+  kUniform,
+  kWeibull,
+};
+
+inline constexpr Family kAllFamilies[] = {
+    Family::kExponential, Family::kGamma, Family::kNormal,
+    Family::kUniform, Family::kWeibull};
+
+std::string_view FamilyToString(Family family);
+
+/// One draw from the family with the paper's parameters.
+double SampleFamily(Rng& rng, Family family);
+
+/// n iid draws.
+std::vector<double> SampleFamilyMany(Rng& rng, Family family, size_t n);
+
+/// True expectation of the family.
+double FamilyMean(Family family);
+
+/// True variance of the family.
+double FamilyVariance(Family family);
+
+/// Exact CDF of the family (for ground truth in power experiments).
+double FamilyCdf(Family family, double x);
+
+/// Exact quantile of the family: x with CDF(x) = p. Used by the pTest
+/// power experiment to pick v with Pr(X > v) = target.
+double FamilyQuantile(Family family, double p);
+
+}  // namespace workload
+}  // namespace ausdb
+
+#endif  // AUSDB_WORKLOAD_SYNTHETIC_H_

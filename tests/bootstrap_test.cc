@@ -1,0 +1,181 @@
+#include "src/bootstrap/bootstrap_accuracy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/bootstrap/resampler.h"
+#include "src/dist/gaussian.h"
+#include "src/stats/descriptive.h"
+#include "src/stats/random_variates.h"
+
+namespace ausdb {
+namespace bootstrap {
+namespace {
+
+TEST(ResamplerTest, SizeAndMembership) {
+  const std::vector<double> sample = {1.0, 2.0, 3.0};
+  Rng rng(1);
+  const auto re = Resample(sample, rng);
+  EXPECT_EQ(re.size(), 3u);
+  for (double v : re) {
+    EXPECT_TRUE(std::find(sample.begin(), sample.end(), v) != sample.end());
+  }
+  const auto big = Resample(sample, 100, rng);
+  EXPECT_EQ(big.size(), 100u);
+}
+
+TEST(ResamplerTest, WithReplacementProducesDuplicates) {
+  std::vector<double> sample(50);
+  std::iota(sample.begin(), sample.end(), 0.0);
+  Rng rng(2);
+  const auto re = Resample(sample, rng);
+  std::vector<double> sorted = re;
+  std::sort(sorted.begin(), sorted.end());
+  const auto uniq = std::unique(sorted.begin(), sorted.end());
+  // With replacement, ~63% unique in expectation; all-unique is
+  // astronomically unlikely.
+  EXPECT_LT(static_cast<size_t>(uniq - sorted.begin()), sample.size());
+}
+
+TEST(BootstrapAccuracyTest, PaperExample7Grouping) {
+  // Example 7: n = 15, m = 300 -> r = 20 resamples. We verify the
+  // algorithm accepts this shape and produces intervals.
+  Rng rng(3);
+  std::vector<double> values = stats::SampleMany(
+      300, [&] { return stats::SampleNormal(rng, 10.0, 2.0); });
+  auto info = BootstrapAccuracyInfo(values, 15, 0.9);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->sample_size, 15u);
+  EXPECT_EQ(info->method, accuracy::AccuracyMethod::kBootstrap);
+  ASSERT_TRUE(info->mean_ci.has_value());
+  ASSERT_TRUE(info->variance_ci.has_value());
+  EXPECT_TRUE(info->mean_ci->Contains(10.0));
+  // Variance of the population is 4; the bootstrap interval should be in
+  // a plausible neighborhood.
+  EXPECT_GT(info->variance_ci->hi, 1.0);
+  EXPECT_LT(info->variance_ci->lo, 10.0);
+}
+
+TEST(BootstrapAccuracyTest, BinHeightIntervalsWhenEdgesGiven) {
+  Rng rng(4);
+  std::vector<double> values = stats::SampleMany(
+      400, [&] { return stats::SampleUniform(rng, 0.0, 1.0); });
+  const std::vector<double> edges = {0.0, 0.25, 0.5, 0.75, 1.0};
+  auto info = BootstrapAccuracyInfo(values, 20, 0.9, edges);
+  ASSERT_TRUE(info.ok());
+  ASSERT_EQ(info->bin_cis.size(), 4u);
+  for (const auto& ci : info->bin_cis) {
+    // True bin height is 0.25 for uniform(0,1).
+    EXPECT_LT(ci.lo, 0.25 + 0.35);
+    EXPECT_GT(ci.hi, 0.25 - 0.35);
+    EXPECT_LE(ci.lo, ci.hi);
+  }
+}
+
+TEST(BootstrapAccuracyTest, RequiresTwoCompleteResamples) {
+  std::vector<double> values(25, 1.0);
+  EXPECT_TRUE(BootstrapAccuracyInfo(values, 20, 0.9)
+                  .status()
+                  .IsInsufficientData());
+  EXPECT_TRUE(BootstrapAccuracyInfo(values, 0, 0.9)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(BootstrapAccuracyInfo(values, 5, 1.5)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(BootstrapAccuracyTest, LeftoverValuesIgnored) {
+  // m = 47, n = 10 -> r = 4 complete resamples; the last 7 values are
+  // never touched. Poison them to prove it.
+  Rng rng(5);
+  std::vector<double> values = stats::SampleMany(
+      40, [&] { return stats::SampleNormal(rng, 0.0, 1.0); });
+  std::vector<double> poisoned = values;
+  for (int i = 0; i < 7; ++i) poisoned.push_back(1e18);
+  auto a = BootstrapAccuracyInfo(values, 10, 0.9);
+  auto b = BootstrapAccuracyInfo(poisoned, 10, 0.9);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->mean_ci->lo, b->mean_ci->lo);
+  EXPECT_DOUBLE_EQ(a->mean_ci->hi, b->mean_ci->hi);
+}
+
+TEST(BootstrapAccuracyTest, FromDistributionMatchesDirectSampling) {
+  dist::GaussianDist g(3.0, 1.0);
+  Rng rng(6);
+  auto info = BootstrapAccuracyFromDistribution(g, 20, 50, 0.9, rng);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->mean_ci->Contains(3.0));
+}
+
+TEST(BootstrapAccuracyTest, IntervalNarrowsWithLargerN) {
+  Rng rng(7);
+  std::vector<double> values = stats::SampleMany(
+      8000, [&] { return stats::SampleNormal(rng, 0.0, 1.0); });
+  auto narrow = BootstrapAccuracyInfo(values, 100, 0.9);
+  auto wide = BootstrapAccuracyInfo(
+      std::span<const double>(values.data(), 800), 10, 0.9);
+  ASSERT_TRUE(narrow.ok() && wide.ok());
+  EXPECT_LT(narrow->mean_ci->Length(), wide->mean_ci->Length());
+}
+
+TEST(ClassicBootstrapTest, MeanIntervalCoversTruth) {
+  Rng rng(8);
+  constexpr int kTrials = 300;
+  int hits = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<double> sample = stats::SampleMany(
+        30, [&] { return stats::SampleExponential(rng, 1.0); });
+    auto ci = ClassicPercentileBootstrap(
+        sample, 400, 0.9,
+        [](std::span<const double> s) { return stats::Mean(s); }, rng);
+    ASSERT_TRUE(ci.ok());
+    if (ci->Contains(1.0)) ++hits;
+  }
+  const double coverage = static_cast<double>(hits) / kTrials;
+  // Percentile bootstrap is approximate; accept a generous band.
+  EXPECT_GT(coverage, 0.80);
+  EXPECT_LT(coverage, 0.97);
+}
+
+TEST(ClassicBootstrapTest, InvalidInputs) {
+  Rng rng(9);
+  auto stat = [](std::span<const double> s) { return stats::Mean(s); };
+  EXPECT_TRUE(ClassicPercentileBootstrap({}, 10, 0.9, stat, rng)
+                  .status()
+                  .IsInsufficientData());
+  const std::vector<double> s = {1.0, 2.0};
+  EXPECT_TRUE(ClassicPercentileBootstrap(s, 1, 0.9, stat, rng)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ClassicPercentileBootstrap(s, 10, 0.0, stat, rng)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// Property: bootstrap mean intervals achieve near-nominal coverage even
+// for a skewed population, the regime where Lemma 2's normality
+// assumption degrades (paper Section III's motivation).
+TEST(BootstrapCoverageProperty, SkewedPopulationCoverage) {
+  Rng rng(10);
+  constexpr int kTrials = 400;
+  int hits = 0;
+  constexpr double kTrueMean = 4.0;  // Gamma(2, 2)
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<double> values = stats::SampleMany(
+        600, [&] { return stats::SampleGamma(rng, 2.0, 2.0); });
+    auto info = BootstrapAccuracyInfo(values, 20, 0.9);
+    ASSERT_TRUE(info.ok());
+    if (info->mean_ci->Contains(kTrueMean)) ++hits;
+  }
+  const double coverage = static_cast<double>(hits) / kTrials;
+  EXPECT_GT(coverage, 0.80);
+}
+
+}  // namespace
+}  // namespace bootstrap
+}  // namespace ausdb

@@ -1,0 +1,163 @@
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/common/math_util.h"
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace ausdb {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad n");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "bad n");
+  EXPECT_EQ(st.ToString(), "Invalid argument: bad n");
+}
+
+TEST(StatusTest, EveryCodeHasDistinctName) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kParseError), "Parse error");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInsufficientData),
+            "Insufficient data");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kTypeError), "Type error");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status { return Status::NotFound("x"); };
+  auto wrapper = [&]() -> Status {
+    AUSDB_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsNotFound());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = Status::OutOfRange("too big");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsOutOfRange());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto producer = [](bool succeed) -> Result<std::string> {
+    if (succeed) return std::string("value");
+    return Status::Internal("boom");
+  };
+  auto consumer = [&](bool succeed) -> Result<size_t> {
+    AUSDB_ASSIGN_OR_RETURN(std::string s, producer(succeed));
+    return s.size();
+  };
+  EXPECT_EQ(*consumer(true), 5u);
+  EXPECT_TRUE(consumer(false).status().IsInternal());
+}
+
+TEST(ResultTest, MoveOnlyValueWorks) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(3);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 3);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowIsUnbiasedEnough) {
+  Rng rng(11);
+  constexpr uint64_t kBound = 7;
+  size_t counts[kBound] = {0};
+  constexpr size_t kDraws = 70000;
+  for (size_t i = 0; i < kDraws; ++i) ++counts[rng.NextBelow(kBound)];
+  for (size_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kDraws / double{kBound},
+                5.0 * std::sqrt(kDraws / double{kBound}));
+  }
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(42);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / kDraws, 1.0, 0.02);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(5);
+  Rng child = parent.Split();
+  EXPECT_NE(parent.NextUint64(), child.NextUint64());
+}
+
+TEST(MathUtilTest, AlmostEqual) {
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0));
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(AlmostEqual(1.0, 1.001));
+  EXPECT_TRUE(AlmostEqual(0.0, 1e-13));
+}
+
+TEST(MathUtilTest, KahanSumHandlesMixedMagnitudes) {
+  KahanSum sum;
+  sum.Add(1e16);
+  for (int i = 0; i < 10000; ++i) sum.Add(1.0);
+  sum.Add(-1e16);
+  EXPECT_DOUBLE_EQ(sum.Get(), 10000.0);
+}
+
+TEST(MathUtilTest, StableSum) {
+  std::vector<double> vals(1000, 0.1);
+  EXPECT_NEAR(StableSum(vals), 100.0, 1e-12);
+}
+
+TEST(MathUtilTest, ClampAndLerp) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(Lerp(10.0, 20.0, 0.25), 12.5);
+}
+
+}  // namespace
+}  // namespace ausdb

@@ -1,0 +1,178 @@
+#include "src/dist/conditioning.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/dist/discrete.h"
+#include "src/dist/empirical.h"
+#include "src/dist/gaussian.h"
+#include "src/dist/histogram.h"
+#include "src/dist/mixture.h"
+#include "src/engine/executor.h"
+#include "src/engine/filter.h"
+#include "src/engine/scan.h"
+#include "src/stats/descriptive.h"
+
+namespace ausdb {
+namespace dist {
+namespace {
+
+TEST(ConditioningTest, TruncatedGaussianMoments) {
+  GaussianDist g(0.0, 1.0);
+  // Standard normal conditioned on X > 0: mean = sqrt(2/pi),
+  // variance = 1 - 2/pi.
+  auto cond = ConditionGreater(g, 0.0);
+  ASSERT_TRUE(cond.ok()) << cond.status().ToString();
+  EXPECT_NEAR((*cond)->Mean(), std::sqrt(2.0 / M_PI), 1e-9);
+  EXPECT_NEAR((*cond)->Variance(), 1.0 - 2.0 / M_PI, 1e-9);
+  EXPECT_DOUBLE_EQ((*cond)->Cdf(0.0), 0.0);
+  EXPECT_NEAR((*cond)->Cdf(1e9), 1.0, 1e-12);
+}
+
+TEST(ConditioningTest, TruncatedGaussianSamplesInRange) {
+  GaussianDist g(10.0, 4.0);
+  auto cond = ConditionBetween(g, 9.0, 12.0);
+  ASSERT_TRUE(cond.ok());
+  Rng rng(1);
+  stats::MomentAccumulator acc;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = (*cond)->Sample(rng);
+    ASSERT_GT(x, 9.0 - 1e-9);
+    ASSERT_LE(x, 12.0 + 1e-9);
+    acc.Add(x);
+  }
+  EXPECT_NEAR(acc.mean(), (*cond)->Mean(), 0.02);
+  EXPECT_NEAR(acc.SampleVariance(), (*cond)->Variance(), 0.02);
+}
+
+TEST(ConditioningTest, HistogramClipsAndRenormalizes) {
+  auto h = HistogramDist::Make({0.0, 1.0, 2.0, 3.0}, {0.2, 0.3, 0.5});
+  ASSERT_TRUE(h.ok());
+  // Condition on X > 1.5: keeps half of bin 2 (0.15) and bin 3 (0.5).
+  auto cond = ConditionGreater(*h, 1.5);
+  ASSERT_TRUE(cond.ok()) << cond.status().ToString();
+  const auto& ch = static_cast<const HistogramDist&>(**cond);
+  ASSERT_EQ(ch.bin_count(), 2u);
+  EXPECT_DOUBLE_EQ(ch.edges().front(), 1.5);
+  EXPECT_NEAR(ch.BinProb(0), 0.15 / 0.65, 1e-12);
+  EXPECT_NEAR(ch.BinProb(1), 0.5 / 0.65, 1e-12);
+  EXPECT_DOUBLE_EQ(ch.Cdf(1.5), 0.0);
+}
+
+TEST(ConditioningTest, EmpiricalAndDiscreteFilterSupport) {
+  auto e = EmpiricalDist::Make({1.0, 2.0, 3.0, 4.0});
+  ASSERT_TRUE(e.ok());
+  auto cond = ConditionBetween(*e, 1.5, 3.5);
+  ASSERT_TRUE(cond.ok());
+  EXPECT_DOUBLE_EQ((*cond)->Mean(), 2.5);
+
+  auto d = DiscreteDist::Make({1.0, 2.0, 3.0}, {0.2, 0.3, 0.5});
+  ASSERT_TRUE(d.ok());
+  auto cond_d = ConditionGreater(*d, 1.0);
+  ASSERT_TRUE(cond_d.ok());
+  EXPECT_NEAR((*cond_d)->Mean(), (2.0 * 0.3 + 3.0 * 0.5) / 0.8, 1e-12);
+}
+
+TEST(ConditioningTest, MixtureReweightsComponents) {
+  auto mix = MixtureDist::Make(
+      {std::make_shared<GaussianDist>(-10.0, 1.0),
+       std::make_shared<GaussianDist>(10.0, 1.0)},
+      {0.5, 0.5});
+  ASSERT_TRUE(mix.ok());
+  // Conditioning on X > 0 effectively removes the left component.
+  auto cond = ConditionGreater(*mix, 0.0);
+  ASSERT_TRUE(cond.ok()) << cond.status().ToString();
+  EXPECT_NEAR((*cond)->Mean(), 10.0, 0.01);
+}
+
+TEST(ConditioningTest, PointAndDegenerate) {
+  PointDist p(5.0);
+  auto ok = ConditionGreater(p, 4.0);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_DOUBLE_EQ((*ok)->Mean(), 5.0);
+  // Impossible event.
+  EXPECT_TRUE(ConditionGreater(p, 6.0).status().IsInvalidArgument());
+  GaussianDist g(0.0, 1.0);
+  EXPECT_TRUE(ConditionGreater(g, 50.0).status().IsInvalidArgument());
+  EXPECT_TRUE(ConditionBetween(g, 2.0, 1.0).status().IsInvalidArgument());
+}
+
+TEST(ConditioningTest, CdfIsProperlyNormalized) {
+  GaussianDist g(3.0, 4.0);
+  auto cond = ConditionBetween(g, 2.0, 6.0);
+  ASSERT_TRUE(cond.ok());
+  EXPECT_NEAR((*cond)->Cdf(6.0), 1.0, 1e-12);
+  EXPECT_NEAR((*cond)->Cdf(2.0), 0.0, 1e-12);
+  // Median-ish midpoint lies strictly inside (0, 1).
+  const double mid = (*cond)->Cdf(4.0);
+  EXPECT_GT(mid, 0.0);
+  EXPECT_LT(mid, 1.0);
+}
+
+}  // namespace
+}  // namespace dist
+
+namespace engine {
+namespace {
+
+TEST(FilterConditioningTest, ConditionsSurvivingDistributions) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddField({"delay", FieldType::kUncertain}).ok());
+  std::vector<Tuple> tuples = {Tuple({expr::Value(dist::RandomVar(
+      std::make_shared<dist::GaussianDist>(50.0, 100.0), 20))})};
+  auto scan = std::make_unique<VectorScan>(schema, tuples);
+  FilterOptions opts;
+  opts.condition_distributions = true;
+  Filter filter(std::move(scan),
+                expr::Gt(expr::Col("delay"), expr::Lit(50.0)), opts);
+  auto out = Collect(filter);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 1u);
+  const auto rv = *(*out)[0].value(0).random_var();
+  // Conditioned on delay > 50 the mean moves up and mass below 50 is 0.
+  EXPECT_GT(rv.Mean(), 50.0);
+  EXPECT_NEAR(rv.Cdf(50.0), 0.0, 1e-12);
+  EXPECT_EQ(rv.sample_size(), 20u);  // provenance unchanged
+  // Membership probability still reflects the original event.
+  EXPECT_NEAR((*out)[0].membership_prob(), 0.5, 1e-9);
+}
+
+TEST(FilterConditioningTest, OffByDefault) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddField({"delay", FieldType::kUncertain}).ok());
+  std::vector<Tuple> tuples = {Tuple({expr::Value(dist::RandomVar(
+      std::make_shared<dist::GaussianDist>(50.0, 100.0), 20))})};
+  auto scan = std::make_unique<VectorScan>(schema, tuples);
+  Filter filter(std::move(scan),
+                expr::Gt(expr::Col("delay"), expr::Lit(50.0)));
+  auto out = Collect(filter);
+  ASSERT_TRUE(out.ok());
+  const auto rv = *(*out)[0].value(0).random_var();
+  EXPECT_DOUBLE_EQ(rv.Mean(), 50.0);  // untouched
+}
+
+TEST(FilterConditioningTest, NonRangePredicatesLeftAlone) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddField({"a", FieldType::kUncertain}).ok());
+  ASSERT_TRUE(schema.AddField({"b", FieldType::kUncertain}).ok());
+  std::vector<Tuple> tuples = {Tuple(
+      {expr::Value(dist::RandomVar(
+           std::make_shared<dist::GaussianDist>(5.0, 1.0), 10)),
+       expr::Value(dist::RandomVar(
+           std::make_shared<dist::GaussianDist>(4.0, 1.0), 10))})};
+  auto scan = std::make_unique<VectorScan>(schema, tuples);
+  FilterOptions opts;
+  opts.condition_distributions = true;
+  // column vs column: no conditioning possible, but must not error.
+  Filter filter(std::move(scan), expr::Gt(expr::Col("a"), expr::Col("b")),
+                opts);
+  auto out = Collect(filter);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_DOUBLE_EQ((*out)[0].value(0).random_var()->Mean(), 5.0);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace ausdb

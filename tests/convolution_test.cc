@@ -1,0 +1,98 @@
+#include "src/dist/convolution.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/dist/learner.h"
+#include "src/stats/descriptive.h"
+#include "src/stats/random_variates.h"
+
+namespace ausdb {
+namespace dist {
+namespace {
+
+TEST(ConvolutionTest, UniformPlusUniformIsTriangular) {
+  auto u = HistogramDist::Make({0.0, 1.0}, {1.0});
+  ASSERT_TRUE(u.ok());
+  ConvolveOptions opts;
+  opts.output_bins = 40;
+  opts.subdivisions = 32;
+  auto sum = ConvolveHistograms(*u, *u, opts);
+  ASSERT_TRUE(sum.ok()) << sum.status().ToString();
+  // Triangular on [0, 2]: mean 1, variance 1/6, Cdf(1) = 0.5,
+  // Cdf(0.5) = 0.125.
+  EXPECT_NEAR(sum->Mean(), 1.0, 1e-9);
+  EXPECT_NEAR(sum->Variance(), 1.0 / 6.0, 2e-3);
+  EXPECT_NEAR(sum->Cdf(1.0), 0.5, 5e-3);
+  EXPECT_NEAR(sum->Cdf(0.5), 0.125, 5e-3);
+  EXPECT_NEAR(sum->Cdf(1.5), 0.875, 5e-3);
+}
+
+TEST(ConvolutionTest, MeanIsExactVarianceNearExact) {
+  // Learned histograms of two different shapes.
+  Rng rng(1);
+  auto a_sample = stats::SampleMany(
+      5000, [&] { return stats::SampleGamma(rng, 2.0, 2.0); });
+  auto b_sample = stats::SampleMany(
+      5000, [&] { return stats::SampleNormal(rng, 10.0, 2.0); });
+  dist::HistogramLearnOptions hopts;
+  hopts.bin_count = 24;
+  auto a = LearnHistogram(a_sample, hopts);
+  auto b = LearnHistogram(b_sample, hopts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  const auto& ha = static_cast<const HistogramDist&>(*a->distribution);
+  const auto& hb = static_cast<const HistogramDist&>(*b->distribution);
+
+  auto sum = ConvolveHistograms(ha, hb);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_NEAR(sum->Mean(), ha.Mean() + hb.Mean(), 1e-6);
+  EXPECT_NEAR(sum->Variance(), ha.Variance() + hb.Variance(),
+              0.05 * (ha.Variance() + hb.Variance()));
+}
+
+TEST(ConvolutionTest, MatchesMonteCarloCdf) {
+  Rng rng(2);
+  auto a = HistogramDist::Make({0.0, 1.0, 3.0}, {0.7, 0.3});
+  auto b = HistogramDist::Make({-1.0, 0.0, 2.0}, {0.5, 0.5});
+  ASSERT_TRUE(a.ok() && b.ok());
+  ConvolveOptions opts;
+  opts.output_bins = 60;
+  opts.subdivisions = 16;
+  auto sum = ConvolveHistograms(*a, *b, opts);
+  ASSERT_TRUE(sum.ok());
+
+  constexpr int kDraws = 200000;
+  std::vector<double> mc;
+  mc.reserve(kDraws);
+  for (int i = 0; i < kDraws; ++i) {
+    mc.push_back(a->Sample(rng) + b->Sample(rng));
+  }
+  std::sort(mc.begin(), mc.end());
+  for (double q : {-0.5, 0.5, 1.5, 2.5, 3.5, 4.5}) {
+    const double mc_cdf =
+        static_cast<double>(std::upper_bound(mc.begin(), mc.end(), q) -
+                            mc.begin()) /
+        kDraws;
+    EXPECT_NEAR(sum->Cdf(q), mc_cdf, 0.02) << "q=" << q;
+  }
+}
+
+TEST(ConvolutionTest, Options) {
+  auto u = HistogramDist::Make({0.0, 1.0}, {1.0});
+  ASSERT_TRUE(u.ok());
+  ConvolveOptions bad;
+  bad.subdivisions = 0;
+  EXPECT_TRUE(
+      ConvolveHistograms(*u, *u, bad).status().IsInvalidArgument());
+  ConvolveOptions fixed;
+  fixed.output_bins = 7;
+  auto sum = ConvolveHistograms(*u, *u, fixed);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum->bin_count(), 7u);
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace ausdb

@@ -1,0 +1,126 @@
+#include "src/dist/gmm_learner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/bootstrap/bootstrap_accuracy.h"
+#include "src/dist/mixture.h"
+#include "src/stats/random_variates.h"
+
+namespace ausdb {
+namespace dist {
+namespace {
+
+std::vector<double> TwoModeSample(Rng& rng, size_t n) {
+  std::vector<double> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextDouble() < 0.4) {
+      out.push_back(stats::SampleNormal(rng, -5.0, 1.0));
+    } else {
+      out.push_back(stats::SampleNormal(rng, 5.0, 1.5));
+    }
+  }
+  return out;
+}
+
+TEST(GmmLearnerTest, RecoversTwoWellSeparatedModes) {
+  Rng rng(1);
+  const auto sample = TwoModeSample(rng, 2000);
+  GmmFitInfo info;
+  auto learned = LearnGaussianMixture(sample, {}, &info);
+  ASSERT_TRUE(learned.ok()) << learned.status().ToString();
+  EXPECT_TRUE(info.converged);
+  EXPECT_EQ(learned->sample_size, 2000u);
+
+  const auto& mix =
+      static_cast<const MixtureDist&>(*learned->distribution);
+  ASSERT_EQ(mix.components().size(), 2u);
+  std::vector<std::pair<double, double>> comps;  // (mean, weight)
+  for (size_t j = 0; j < 2; ++j) {
+    comps.emplace_back(mix.components()[j]->Mean(), mix.weights()[j]);
+  }
+  std::sort(comps.begin(), comps.end());
+  EXPECT_NEAR(comps[0].first, -5.0, 0.3);
+  EXPECT_NEAR(comps[0].second, 0.4, 0.05);
+  EXPECT_NEAR(comps[1].first, 5.0, 0.3);
+  EXPECT_NEAR(comps[1].second, 0.6, 0.05);
+}
+
+TEST(GmmLearnerTest, SingleComponentMatchesGaussianMle) {
+  Rng rng(2);
+  const auto sample = stats::SampleMany(
+      500, [&] { return stats::SampleNormal(rng, 3.0, 2.0); });
+  GmmLearnOptions opts;
+  opts.components = 1;
+  auto learned = LearnGaussianMixture(sample, opts);
+  ASSERT_TRUE(learned.ok());
+  EXPECT_NEAR(learned->distribution->Mean(), 3.0, 0.3);
+  EXPECT_NEAR(learned->distribution->Variance(), 4.0, 0.8);
+}
+
+TEST(GmmLearnerTest, LikelihoodNeverDecreasesToConvergence) {
+  Rng rng(3);
+  const auto sample = TwoModeSample(rng, 400);
+  GmmLearnOptions opts;
+  opts.max_iterations = 1;
+  GmmFitInfo one_step;
+  ASSERT_TRUE(LearnGaussianMixture(sample, opts, &one_step).ok());
+  opts.max_iterations = 50;
+  GmmFitInfo many_steps;
+  ASSERT_TRUE(LearnGaussianMixture(sample, opts, &many_steps).ok());
+  EXPECT_GE(many_steps.log_likelihood, one_step.log_likelihood - 1e-6);
+}
+
+TEST(GmmLearnerTest, DegenerateDataGetsVarianceFloor) {
+  const std::vector<double> constant(20, 7.0);
+  auto learned = LearnGaussianMixture(constant, {});
+  ASSERT_TRUE(learned.ok()) << learned.status().ToString();
+  EXPECT_NEAR(learned->distribution->Mean(), 7.0, 1e-6);
+  EXPECT_GE(learned->distribution->Variance(), 0.0);
+  EXPECT_TRUE(std::isfinite(learned->distribution->Variance()));
+}
+
+TEST(GmmLearnerTest, InvalidInputs) {
+  const std::vector<double> tiny = {1.0, 2.0, 3.0};
+  GmmLearnOptions opts;
+  opts.components = 2;
+  EXPECT_TRUE(LearnGaussianMixture(tiny, opts)
+                  .status()
+                  .IsInsufficientData());
+  opts.components = 0;
+  EXPECT_TRUE(LearnGaussianMixture(tiny, opts)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(GmmLearnerTest, DeterministicForSameSeed) {
+  Rng rng(4);
+  const auto sample = TwoModeSample(rng, 300);
+  auto a = LearnGaussianMixture(sample, {});
+  auto b = LearnGaussianMixture(sample, {});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->distribution->Mean(), b->distribution->Mean());
+  EXPECT_DOUBLE_EQ(a->distribution->Variance(),
+                   b->distribution->Variance());
+}
+
+TEST(GmmLearnerTest, FeedsBootstrapAccuracyPipeline) {
+  // The "second category" path: a model-based distribution is sampled
+  // and fed to BOOTSTRAP-ACCURACY-INFO.
+  Rng rng(5);
+  const auto sample = TwoModeSample(rng, 600);
+  auto learned = LearnGaussianMixture(sample, {});
+  ASSERT_TRUE(learned.ok());
+  Rng boot_rng(6);
+  auto info = bootstrap::BootstrapAccuracyFromDistribution(
+      *learned->distribution, 30, 20, 0.9, boot_rng);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_TRUE(info->mean_ci->Contains(learned->distribution->Mean()));
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace ausdb

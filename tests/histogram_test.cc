@@ -1,0 +1,214 @@
+#include "src/dist/histogram.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/dist/learner.h"
+#include "src/stats/descriptive.h"
+#include "src/stats/random_variates.h"
+
+namespace ausdb {
+namespace dist {
+namespace {
+
+Result<HistogramDist> UnitHistogram() {
+  // Four bins over [0, 4) with probabilities 0.1, 0.2, 0.3, 0.4.
+  return HistogramDist::Make({0.0, 1.0, 2.0, 3.0, 4.0},
+                             {0.1, 0.2, 0.3, 0.4});
+}
+
+TEST(HistogramDistTest, Validation) {
+  EXPECT_FALSE(HistogramDist::Make({0.0, 1.0}, {}).ok());
+  EXPECT_FALSE(HistogramDist::Make({0.0}, {1.0}).ok());
+  EXPECT_FALSE(HistogramDist::Make({1.0, 0.0}, {1.0}).ok());
+  EXPECT_FALSE(HistogramDist::Make({0.0, 1.0, 1.0}, {0.5, 0.5}).ok());
+  EXPECT_FALSE(HistogramDist::Make({0.0, 1.0, 2.0}, {0.7, 0.7}).ok());
+  EXPECT_FALSE(HistogramDist::Make({0.0, 1.0, 2.0}, {-0.2, 1.2}).ok());
+  EXPECT_TRUE(HistogramDist::Make({0.0, 1.0}, {1.0}).ok());
+}
+
+TEST(HistogramDistTest, MeanUsesMidpoints) {
+  auto h = UnitHistogram();
+  ASSERT_TRUE(h.ok());
+  // 0.1*0.5 + 0.2*1.5 + 0.3*2.5 + 0.4*3.5 = 2.5
+  EXPECT_DOUBLE_EQ(h->Mean(), 2.5);
+}
+
+TEST(HistogramDistTest, VarianceIncludesWithinBinTerm) {
+  // Single bin [0,1): uniform(0,1), variance 1/12.
+  auto h = HistogramDist::Make({0.0, 1.0}, {1.0});
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(h->Variance(), 1.0 / 12.0, 1e-12);
+}
+
+TEST(HistogramDistTest, CdfPiecewiseLinear) {
+  auto h = UnitHistogram();
+  ASSERT_TRUE(h.ok());
+  EXPECT_DOUBLE_EQ(h->Cdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h->Cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h->Cdf(0.5), 0.05);
+  EXPECT_DOUBLE_EQ(h->Cdf(1.0), 0.1);
+  EXPECT_NEAR(h->Cdf(2.5), 0.45, 1e-12);
+  EXPECT_DOUBLE_EQ(h->Cdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(h->Cdf(9.0), 1.0);
+}
+
+TEST(HistogramDistTest, BinIndexClampsOutOfRange) {
+  auto h = UnitHistogram();
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->BinIndex(-5.0), 0u);
+  EXPECT_EQ(h->BinIndex(0.5), 0u);
+  EXPECT_EQ(h->BinIndex(1.0), 1u);
+  EXPECT_EQ(h->BinIndex(3.999), 3u);
+  EXPECT_EQ(h->BinIndex(100.0), 3u);
+}
+
+TEST(HistogramDistTest, SampleFrequenciesMatchBinProbs) {
+  auto h = UnitHistogram();
+  ASSERT_TRUE(h.ok());
+  Rng rng(31);
+  std::vector<int> counts(4, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[h->BinIndex(h->Sample(rng))];
+  }
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(counts[i] / double{kDraws}, h->BinProb(i), 0.01);
+  }
+}
+
+TEST(HistogramDistTest, WithProbsKeepsEdges) {
+  auto h = UnitHistogram();
+  ASSERT_TRUE(h.ok());
+  auto h2 = h->WithProbs({0.25, 0.25, 0.25, 0.25});
+  ASSERT_TRUE(h2.ok());
+  EXPECT_EQ(h2->edges(), h->edges());
+  EXPECT_DOUBLE_EQ(h2->Mean(), 2.0);
+}
+
+TEST(HistogramLearnerTest, RecoversBinFrequencies) {
+  // 20 observations: 3, 4, 8, 5 per bin — the paper's Example 2 setup.
+  std::vector<double> obs;
+  auto put = [&obs](double lo, int count) {
+    for (int i = 0; i < count; ++i) {
+      obs.push_back(lo + 0.1 + 0.05 * static_cast<double>(i));
+    }
+  };
+  put(0.0, 3);
+  put(1.0, 4);
+  put(2.0, 8);
+  put(3.0, 5);
+  HistogramLearnOptions opts;
+  opts.policy = BinningPolicy::kExplicitEdges;
+  opts.edges = {0.0, 1.0, 2.0, 3.0, 4.0};
+  auto learned = LearnHistogram(obs, opts);
+  ASSERT_TRUE(learned.ok()) << learned.status().ToString();
+  EXPECT_EQ(learned->sample_size, 20u);
+  const auto& h =
+      static_cast<const HistogramDist&>(*learned->distribution);
+  ASSERT_EQ(h.bin_count(), 4u);
+  EXPECT_DOUBLE_EQ(h.BinProb(0), 0.15);
+  EXPECT_DOUBLE_EQ(h.BinProb(1), 0.20);
+  EXPECT_DOUBLE_EQ(h.BinProb(2), 0.40);
+  EXPECT_DOUBLE_EQ(h.BinProb(3), 0.25);
+  ASSERT_NE(learned->raw_sample, nullptr);
+  EXPECT_EQ(learned->raw_sample->size(), 20u);
+}
+
+TEST(HistogramLearnerTest, EqualWidthCoversRange) {
+  Rng rng(5);
+  std::vector<double> obs =
+      stats::SampleMany(500, [&] { return stats::SampleNormal(rng, 0, 1); });
+  HistogramLearnOptions opts;
+  opts.bin_count = 8;
+  auto learned = LearnHistogram(obs, opts);
+  ASSERT_TRUE(learned.ok());
+  const auto& h =
+      static_cast<const HistogramDist&>(*learned->distribution);
+  EXPECT_EQ(h.bin_count(), 8u);
+  const auto [mn, mx] = std::minmax_element(obs.begin(), obs.end());
+  EXPECT_LE(h.edges().front(), *mn);
+  EXPECT_GE(h.edges().back(), *mx);
+  double total = 0.0;
+  for (double p : h.probs()) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(HistogramLearnerTest, SturgesBinCount) {
+  std::vector<double> obs(64);
+  for (size_t i = 0; i < obs.size(); ++i) {
+    obs[i] = static_cast<double>(i);
+  }
+  HistogramLearnOptions opts;
+  opts.policy = BinningPolicy::kSturges;
+  auto learned = LearnHistogram(obs, opts);
+  ASSERT_TRUE(learned.ok());
+  const auto& h =
+      static_cast<const HistogramDist&>(*learned->distribution);
+  EXPECT_EQ(h.bin_count(), 7u);  // ceil(log2 64) + 1
+}
+
+TEST(HistogramLearnerTest, FreedmanDiaconisProducesReasonableBins) {
+  Rng rng(17);
+  std::vector<double> obs = stats::SampleMany(
+      1000, [&] { return stats::SampleUniform(rng, 0, 10); });
+  HistogramLearnOptions opts;
+  opts.policy = BinningPolicy::kFreedmanDiaconis;
+  auto learned = LearnHistogram(obs, opts);
+  ASSERT_TRUE(learned.ok());
+  const auto& h =
+      static_cast<const HistogramDist&>(*learned->distribution);
+  EXPECT_GT(h.bin_count(), 3u);
+  EXPECT_LT(h.bin_count(), 50u);
+}
+
+TEST(HistogramLearnerTest, DegenerateConstantSample) {
+  std::vector<double> obs(10, 5.0);
+  auto learned = LearnHistogram(obs, {});
+  ASSERT_TRUE(learned.ok());
+  // All mass lands in one of the ten 0.1-wide bins spanning [4.5, 5.5];
+  // the histogram mean is that bin's midpoint, within a bin width of 5.
+  EXPECT_NEAR(learned->distribution->Mean(), 5.0, 0.1);
+}
+
+TEST(HistogramLearnerTest, EmptySampleFails) {
+  EXPECT_TRUE(
+      LearnHistogram({}, {}).status().IsInsufficientData());
+}
+
+TEST(GaussianLearnerTest, MleMatchesSampleStats) {
+  const std::vector<double> obs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  auto learned = LearnGaussian(obs);
+  ASSERT_TRUE(learned.ok());
+  EXPECT_DOUBLE_EQ(learned->distribution->Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(learned->distribution->Variance(), 2.5);
+  EXPECT_EQ(learned->sample_size, 5u);
+}
+
+TEST(GaussianLearnerTest, NeedsTwoObservations) {
+  EXPECT_TRUE(LearnGaussian(std::vector<double>{1.0})
+                  .status()
+                  .IsInsufficientData());
+}
+
+TEST(EmpiricalLearnerTest, KeepsAllObservations) {
+  const std::vector<double> obs = {5.0, 1.0, 3.0};
+  auto learned = LearnEmpirical(obs);
+  ASSERT_TRUE(learned.ok());
+  EXPECT_EQ(learned->sample_size, 3u);
+  EXPECT_DOUBLE_EQ(learned->distribution->Mean(), 3.0);
+}
+
+TEST(CountBinsTest, ClampsAndCounts) {
+  const std::vector<double> edges = {0.0, 1.0, 2.0};
+  const std::vector<double> obs = {-1.0, 0.5, 1.5, 2.5, 1.0};
+  const auto counts = CountBins(obs, edges);
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 2u);  // -1 clamped in, 0.5
+  EXPECT_EQ(counts[1], 3u);  // 1.5, 2.5 clamped in, 1.0
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace ausdb

@@ -1,0 +1,164 @@
+// End-to-end integration tests: the complete paper scenario from raw
+// observation records through learning, query processing, accuracy
+// annotation and result export.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/engine/executor.h"
+#include "src/engine/scan.h"
+#include "src/io/observation_loader.h"
+#include "src/query/planner.h"
+#include "src/serde/json_writer.h"
+#include "src/serde/table_printer.h"
+#include "src/stats/random_variates.h"
+#include "src/workload/cartel.h"
+
+namespace ausdb {
+namespace {
+
+// Builds the paper's Figure 1 situation as CSV: few observations for
+// road 19, many for road 20, with both roads' true delay distributions
+// straddling the 50-second threshold similarly.
+std::string Figure1Csv() {
+  std::ostringstream csv;
+  csv << "road_id,delay\n";
+  Rng rng(819);
+  for (int i = 0; i < 3; ++i) {
+    csv << "19," << 40.0 + 40.0 * rng.NextDouble() << "\n";
+  }
+  for (int i = 0; i < 50; ++i) {
+    csv << "20," << 40.0 + 40.0 * rng.NextDouble() << "\n";
+  }
+  return csv.str();
+}
+
+class PaperScenarioTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto table = io::ParseCsv(Figure1Csv());
+    ASSERT_TRUE(table.ok());
+    io::ObservationLoadOptions opts;
+    opts.key_column = "road_id";
+    opts.value_column = "delay";
+    opts.learn_as = io::LearnAs::kEmpirical;
+    auto loaded = io::LoadObservations(*table, opts);
+    ASSERT_TRUE(loaded.ok());
+    data_ = std::move(*loaded);
+  }
+
+  engine::OperatorPtr Scan() const {
+    return std::make_unique<engine::VectorScan>(data_.schema,
+                                                data_.tuples);
+  }
+
+  io::LoadedObservations data_;
+};
+
+TEST_F(PaperScenarioTest, ThresholdQueryIsAccuracyOblivious) {
+  // The paper's Section I query: both roads pass the threshold
+  // predicate even though road 19's distribution rests on 3 samples.
+  auto plan = query::PlanQuery(
+      "SELECT road_id FROM t WHERE delay > 50 PROB 0.5", Scan());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto rows = engine::Collect(**plan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST_F(PaperScenarioTest, SignificancePredicateScreensTheNoisyRoad) {
+  // The accuracy-aware version: pTest keeps only the road whose
+  // distribution carries enough evidence.
+  auto plan = query::PlanQuery(
+      "SELECT road_id FROM t WHERE PTEST(delay > 50, 0.5, 0.05)", Scan());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto rows = engine::Collect(**plan);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ(*(*rows)[0].value(0).string_value(), "20");
+  EXPECT_EQ(*(*rows)[0].significance(), hypothesis::TestOutcome::kTrue);
+}
+
+TEST_F(PaperScenarioTest, AnnotatedResultsExportAsJson) {
+  auto plan = query::PlanQuery(
+      "SELECT * FROM t WHERE delay > 50 "
+      "WITH ACCURACY BOOTSTRAP CONFIDENCE 0.9",
+      Scan());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto rows = engine::Collect(**plan);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 2u);
+  for (const auto& t : *rows) {
+    const std::string json = serde::ToJson(t, (*plan)->schema());
+    EXPECT_NE(json.find("\"road_id\":"), std::string::npos);
+    EXPECT_NE(json.find("\"delay_accuracy\":"), std::string::npos);
+    EXPECT_NE(json.find("\"method\":\"bootstrap\""), std::string::npos);
+    EXPECT_NE(json.find("\"_prob\":"), std::string::npos);
+    EXPECT_NE(json.find("\"_prob_ci\":"), std::string::npos);
+  }
+  // Road 19's tuple-probability interval must be wider than road 20's:
+  // that is the whole point of accuracy awareness.
+  const double len19 = (*rows)[0].membership_ci()->Length();
+  const double len20 = (*rows)[1].membership_ci()->Length();
+  EXPECT_GT(len19, len20);
+}
+
+TEST_F(PaperScenarioTest, TableExportRendersAll) {
+  auto plan = query::PlanQuery(
+      "SELECT road_id, PROB(delay > 50) AS p FROM t ORDER BY p DESC",
+      Scan());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto rows = engine::Collect(**plan);
+  ASSERT_TRUE(rows.ok());
+  std::ostringstream os;
+  serde::PrintTable(os, (*plan)->schema(), *rows);
+  EXPECT_NE(os.str().find("2 row(s)"), std::string::npos);
+}
+
+TEST(CartelIntegrationTest, RouteComparisonPipeline) {
+  // Simulator -> route d.f. observations -> learned stream -> AQL mdTest.
+  workload::CartelOptions copts;
+  copts.num_segments = 60;
+  copts.observations_per_segment = 650;
+  copts.route_length = 10;
+  workload::CartelSimulator sim(copts);
+  Rng rng(7);
+  const auto pair = sim.MakeRoutePairWithRankGap(rng, 50);
+
+  engine::Schema schema;
+  ASSERT_TRUE(
+      schema.AddField({"which", engine::FieldType::kString}).ok());
+  ASSERT_TRUE(
+      schema.AddField({"total", engine::FieldType::kUncertain}).ok());
+  std::vector<engine::Tuple> tuples;
+  for (const auto& [name, route] :
+       {std::pair{"greater", &pair.greater}, {"lesser", &pair.lesser}}) {
+    auto obs = sim.RouteDelayObservations(*route, 200, rng);
+    ASSERT_TRUE(obs.ok());
+    auto learned = dist::LearnGaussian(*obs);
+    ASSERT_TRUE(learned.ok());
+    tuples.emplace_back(std::vector<expr::Value>{
+        expr::Value(std::string(name)),
+        expr::Value(dist::RandomVar(*learned))});
+  }
+
+  // Keep routes whose mean total delay significantly exceeds the lesser
+  // route's true mean plus half the gap — only "greater" should pass.
+  const double threshold =
+      sim.TrueRouteMean(pair.lesser) + pair.mean_gap / 2.0;
+  std::ostringstream sql;
+  sql << "SELECT which FROM r WHERE MTEST(total, '>', " << threshold
+      << ", 0.05)";
+  auto plan = query::PlanQuery(
+      sql.str(),
+      std::make_unique<engine::VectorScan>(schema, tuples));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto rows = engine::Collect(**plan);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ(*(*rows)[0].value(0).string_value(), "greater");
+}
+
+}  // namespace
+}  // namespace ausdb

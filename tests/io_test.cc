@@ -1,0 +1,156 @@
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "src/io/csv.h"
+#include "src/io/observation_loader.h"
+
+namespace ausdb {
+namespace io {
+namespace {
+
+TEST(CsvTest, BasicParsing) {
+  auto t = ParseCsv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(t->rows.size(), 2u);
+  EXPECT_EQ(t->rows[1][2], "6");
+  EXPECT_EQ(*t->ColumnIndex("b"), 1u);
+  EXPECT_TRUE(t->ColumnIndex("z").status().IsNotFound());
+}
+
+TEST(CsvTest, QuotedFields) {
+  auto t = ParseCsv(
+      "name,note\n\"Doe, John\",\"said \"\"hi\"\"\"\nplain,\"multi\nline\"\n");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->rows.size(), 2u);
+  EXPECT_EQ(t->rows[0][0], "Doe, John");
+  EXPECT_EQ(t->rows[0][1], "said \"hi\"");
+  EXPECT_EQ(t->rows[1][1], "multi\nline");
+}
+
+TEST(CsvTest, CrlfAndMissingTrailingNewline) {
+  auto t = ParseCsv("a,b\r\n1,2\r\n3,4");
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->rows.size(), 2u);
+  EXPECT_EQ(t->rows[1][1], "4");
+}
+
+TEST(CsvTest, Errors) {
+  EXPECT_TRUE(ParseCsv("a,b\n1\n").status().IsParseError());   // ragged
+  EXPECT_TRUE(ParseCsv("a,b\n\"open,2\n").status().IsParseError());
+  EXPECT_TRUE(ParseCsv("").status().IsParseError());           // no header
+  EXPECT_TRUE(ReadCsvFile("/no/such/file.csv").status().IsNotFound());
+}
+
+TEST(CsvTest, EmptyCellsAndBlankLines) {
+  auto t = ParseCsv("a,b\n,2\n\n3,\n");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->rows.size(), 2u);
+  EXPECT_EQ(t->rows[0][0], "");
+  EXPECT_EQ(t->rows[1][1], "");
+}
+
+class ObservationLoaderTest : public ::testing::Test {
+ protected:
+  // The paper's Figure 1 snippet: 3 observations for road 19, several
+  // for road 20.
+  static constexpr const char* kCsv =
+      "road_id,delay\n"
+      "19,56\n19,38\n19,97\n"
+      "20,72\n20,59\n20,66\n20,81\n20,63\n";
+};
+
+TEST_F(ObservationLoaderTest, GroupsAndLearns) {
+  auto table = ParseCsv(kCsv);
+  ASSERT_TRUE(table.ok());
+  ObservationLoadOptions opts;
+  opts.key_column = "road_id";
+  opts.value_column = "delay";
+  opts.learn_as = LearnAs::kEmpirical;
+  auto loaded = LoadObservations(*table, opts);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->tuples.size(), 2u);
+  EXPECT_EQ(loaded->schema.ToString(),
+            "(road_id:string, delay:uncertain)");
+
+  const auto& road19 = loaded->tuples[0];
+  EXPECT_EQ(*road19.value(0).string_value(), "19");
+  const auto rv19 = *road19.value(1).random_var();
+  EXPECT_EQ(rv19.sample_size(), 3u);
+  EXPECT_NEAR(rv19.Mean(), (56 + 38 + 97) / 3.0, 1e-9);
+
+  const auto rv20 = *loaded->tuples[1].value(1).random_var();
+  EXPECT_EQ(rv20.sample_size(), 5u);
+}
+
+TEST_F(ObservationLoaderTest, GaussianRequiresTwoObservations) {
+  auto table = ParseCsv("k,v\nonly,1\npair,1\npair,2\n");
+  ASSERT_TRUE(table.ok());
+  ObservationLoadOptions opts;
+  opts.key_column = "k";
+  opts.value_column = "v";
+  opts.learn_as = LearnAs::kGaussian;
+  auto loaded = LoadObservations(*table, opts);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->tuples.size(), 1u);
+  EXPECT_EQ(*loaded->tuples[0].value(0).string_value(), "pair");
+  ASSERT_EQ(loaded->skipped_keys.size(), 1u);
+  EXPECT_EQ(loaded->skipped_keys[0], "only");
+}
+
+TEST_F(ObservationLoaderTest, MinObservationsFilter) {
+  auto table = ParseCsv(kCsv);
+  ASSERT_TRUE(table.ok());
+  ObservationLoadOptions opts;
+  opts.key_column = "road_id";
+  opts.value_column = "delay";
+  opts.learn_as = LearnAs::kEmpirical;
+  opts.min_observations = 5;
+  auto loaded = LoadObservations(*table, opts);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->tuples.size(), 1u);  // road 19 has only 3
+  EXPECT_EQ(loaded->skipped_keys, (std::vector<std::string>{"19"}));
+}
+
+TEST_F(ObservationLoaderTest, NonNumericValueNamesRow) {
+  auto table = ParseCsv("k,v\na,12\nb,oops\n");
+  ASSERT_TRUE(table.ok());
+  ObservationLoadOptions opts;
+  opts.key_column = "k";
+  opts.value_column = "v";
+  auto loaded = LoadObservations(*table, opts);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsParseError());
+  EXPECT_NE(loaded.status().message().find("row 3"), std::string::npos);
+}
+
+TEST_F(ObservationLoaderTest, MissingColumnsFail) {
+  auto table = ParseCsv(kCsv);
+  ASSERT_TRUE(table.ok());
+  ObservationLoadOptions opts;
+  opts.key_column = "nope";
+  opts.value_column = "delay";
+  EXPECT_TRUE(LoadObservations(*table, opts).status().IsNotFound());
+}
+
+TEST_F(ObservationLoaderTest, RoundTripThroughFile) {
+  const std::string path = ::testing::TempDir() + "/ausdb_io_test.csv";
+  {
+    std::ofstream out(path);
+    out << kCsv;
+  }
+  ObservationLoadOptions opts;
+  opts.key_column = "road_id";
+  opts.value_column = "delay";
+  opts.learn_as = LearnAs::kHistogram;
+  auto loaded = LoadObservationsFromFile(path, opts);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->tuples.size(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace ausdb

@@ -1,0 +1,169 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/dist/kde_learner.h"
+#include "src/dist/mixture.h"
+#include "src/hypothesis/mean_tests.h"
+#include "src/hypothesis/power.h"
+#include "src/stats/descriptive.h"
+#include "src/stats/random_variates.h"
+
+namespace ausdb {
+namespace dist {
+namespace {
+
+TEST(KdeLearnerTest, MomentsMatchSamplePlusBandwidth) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  KdeLearnOptions opts;
+  opts.bandwidth = 0.5;
+  auto learned = LearnKde(x, opts);
+  ASSERT_TRUE(learned.ok());
+  // KDE mean = sample mean; variance = population variance + h^2.
+  EXPECT_NEAR(learned->distribution->Mean(), 3.0, 1e-12);
+  EXPECT_NEAR(learned->distribution->Variance(), 2.0 + 0.25, 1e-12);
+  EXPECT_EQ(learned->sample_size, 5u);
+  EXPECT_EQ(learned->distribution->kind(), DistributionKind::kMixture);
+}
+
+TEST(KdeLearnerTest, SilvermanBandwidthShrinksWithN) {
+  Rng rng(1);
+  const auto small = stats::SampleMany(
+      20, [&] { return stats::SampleNormal(rng, 0, 1); });
+  const auto large = stats::SampleMany(
+      2000, [&] { return stats::SampleNormal(rng, 0, 1); });
+  auto h_small = SilvermanBandwidth(small);
+  auto h_large = SilvermanBandwidth(large);
+  ASSERT_TRUE(h_small.ok() && h_large.ok());
+  EXPECT_GT(*h_small, *h_large);
+  EXPECT_GT(*h_large, 0.0);
+}
+
+TEST(KdeLearnerTest, CdfApproximatesTruthForLargeSamples) {
+  Rng rng(2);
+  const auto sample = stats::SampleMany(
+      3000, [&] { return stats::SampleNormal(rng, 2.0, 1.5); });
+  auto learned = LearnKde(sample);
+  ASSERT_TRUE(learned.ok());
+  for (double x : {0.0, 1.0, 2.0, 3.0, 4.0}) {
+    const double truth = 0.5 * std::erfc(-(x - 2.0) / (1.5 * M_SQRT2));
+    EXPECT_NEAR(learned->distribution->Cdf(x), truth, 0.03) << "x=" << x;
+  }
+}
+
+TEST(KdeLearnerTest, DegenerateAndInvalid) {
+  EXPECT_TRUE(LearnKde(std::vector<double>{1.0})
+                  .status()
+                  .IsInsufficientData());
+  // Constant sample: Silverman falls back to a nominal bandwidth.
+  const std::vector<double> flat(10, 4.0);
+  auto learned = LearnKde(flat);
+  ASSERT_TRUE(learned.ok());
+  EXPECT_NEAR(learned->distribution->Mean(), 4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dist
+
+namespace hypothesis {
+namespace {
+
+TEST(AnalyticalPowerTest, AtNullEqualsAlpha) {
+  auto p = AnalyticalMeanTestPower(5.0, 2.0, 25, 5.0, 0.05,
+                                   TestOp::kGreater);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, 0.05, 1e-10);
+  auto p2 = AnalyticalMeanTestPower(5.0, 2.0, 25, 5.0, 0.05,
+                                    TestOp::kNotEqual);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_NEAR(*p2, 0.05, 1e-10);
+}
+
+TEST(AnalyticalPowerTest, MonotoneInEffectAndN) {
+  auto weak = AnalyticalMeanTestPower(5.5, 2.0, 25, 5.0, 0.05,
+                                      TestOp::kGreater);
+  auto strong = AnalyticalMeanTestPower(6.5, 2.0, 25, 5.0, 0.05,
+                                        TestOp::kGreater);
+  auto more_n = AnalyticalMeanTestPower(5.5, 2.0, 100, 5.0, 0.05,
+                                        TestOp::kGreater);
+  ASSERT_TRUE(weak.ok() && strong.ok() && more_n.ok());
+  EXPECT_GT(*strong, *weak);
+  EXPECT_GT(*more_n, *weak);
+}
+
+TEST(AnalyticalPowerTest, LessOpMirrors) {
+  auto above = AnalyticalMeanTestPower(6.0, 2.0, 25, 5.0, 0.05,
+                                       TestOp::kGreater);
+  auto below = AnalyticalMeanTestPower(4.0, 2.0, 25, 5.0, 0.05,
+                                       TestOp::kLess);
+  ASSERT_TRUE(above.ok() && below.ok());
+  EXPECT_NEAR(*above, *below, 1e-12);
+}
+
+TEST(AnalyticalPowerTest, MatchesEmpiricalSingleTest) {
+  // Empirical power of the single mTest vs the closed form (sigma
+  // treated as known in the formula; n = 40 keeps the t/z gap small).
+  Rng rng(3);
+  constexpr double kMu = 5.6, kSigma = 2.0, kC = 5.0;
+  constexpr size_t kN = 40;
+  int accepts = 0;
+  constexpr int kTrials = 4000;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto obs = stats::SampleMany(
+        kN, [&] { return stats::SampleNormal(rng, kMu, kSigma); });
+    const auto s = stats::Summarize(obs);
+    auto r = MeanTest({s.mean, s.SampleStdDev(), kN}, TestOp::kGreater,
+                      kC, 0.05);
+    ASSERT_TRUE(r.ok());
+    if (*r) ++accepts;
+  }
+  const double empirical = static_cast<double>(accepts) / kTrials;
+  auto analytical = AnalyticalMeanTestPower(kMu, kSigma, kN, kC, 0.05,
+                                            TestOp::kGreater);
+  ASSERT_TRUE(analytical.ok());
+  EXPECT_NEAR(empirical, *analytical, 0.04);
+}
+
+TEST(RequiredSampleSizeTest, FindsThreshold) {
+  auto n = RequiredSampleSize(5.5, 2.0, 5.0, 0.05, TestOp::kGreater,
+                              0.9);
+  ASSERT_TRUE(n.ok());
+  // Standard formula: n = ((z_a + z_b) * sigma / delta)^2
+  //                     = ((1.645+1.282)*2/0.5)^2 = 137.1 -> 138.
+  EXPECT_NEAR(static_cast<double>(*n), 138.0, 2.0);
+  // Power just below n is insufficient; at n it suffices.
+  auto at = AnalyticalMeanTestPower(5.5, 2.0, *n, 5.0, 0.05,
+                                    TestOp::kGreater);
+  auto below = AnalyticalMeanTestPower(5.5, 2.0, *n - 1, 5.0, 0.05,
+                                       TestOp::kGreater);
+  EXPECT_GE(*at, 0.9);
+  EXPECT_LT(*below, 0.9);
+}
+
+TEST(RequiredSampleSizeTest, UnreachableTargetFails) {
+  // Zero effect: power never exceeds alpha.
+  EXPECT_TRUE(RequiredSampleSize(5.0, 2.0, 5.0, 0.05, TestOp::kGreater,
+                                 0.9, 1u << 12)
+                  .status()
+                  .IsOutOfRange());
+}
+
+TEST(AnalyticalPowerTest, InvalidInputs) {
+  EXPECT_TRUE(AnalyticalMeanTestPower(5, 0.0, 10, 4, 0.05,
+                                      TestOp::kGreater)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(AnalyticalMeanTestPower(5, 1.0, 0, 4, 0.05,
+                                      TestOp::kGreater)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(AnalyticalMeanTestPower(5, 1.0, 10, 4, 1.0,
+                                      TestOp::kGreater)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace hypothesis
+}  // namespace ausdb

@@ -1,0 +1,103 @@
+#include "src/stats/ks_test.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/stats/quantiles.h"
+#include "src/stats/random_variates.h"
+
+namespace ausdb {
+namespace stats {
+namespace {
+
+TEST(KolmogorovSurvivalTest, KnownValues) {
+  // Classic critical values: Q(1.36) ~ 0.049, Q(1.63) ~ 0.010.
+  EXPECT_NEAR(KolmogorovSurvival(1.36), 0.049, 2e-3);
+  EXPECT_NEAR(KolmogorovSurvival(1.63), 0.010, 1e-3);
+  EXPECT_DOUBLE_EQ(KolmogorovSurvival(0.0), 1.0);
+  EXPECT_NEAR(KolmogorovSurvival(0.3), 1.0, 1e-4);  // tiny statistic
+  EXPECT_LT(KolmogorovSurvival(3.0), 1e-7);
+}
+
+TEST(KolmogorovSurvivalTest, SmallAndLargeBranchesAgree) {
+  // Reference values across the branch crossover at x = 0.5 (the two
+  // series forms must agree): Q(0.45), Q(0.5), Q(0.55).
+  EXPECT_NEAR(KolmogorovSurvival(0.45), 0.9874, 5e-4);
+  EXPECT_NEAR(KolmogorovSurvival(0.50), 0.9639, 5e-4);
+  EXPECT_NEAR(KolmogorovSurvival(0.55), 0.9228, 5e-4);
+}
+
+TEST(KsTestTest, CorrectModelYieldsUniformPValues) {
+  Rng rng(1);
+  int rejections = 0;
+  constexpr int kTrials = 500;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto sample = SampleMany(
+        50, [&] { return SampleNormal(rng, 2.0, 3.0); });
+    auto r = KsTestAgainstCdf(sample, [](double x) {
+      return NormalCdf((x - 2.0) / 3.0);
+    });
+    ASSERT_TRUE(r.ok());
+    if (r->p_value < 0.05) ++rejections;
+  }
+  // ~5% nominal rejection rate.
+  EXPECT_NEAR(static_cast<double>(rejections) / kTrials, 0.05, 0.03);
+}
+
+TEST(KsTestTest, WrongModelIsRejected) {
+  Rng rng(2);
+  const auto sample = SampleMany(
+      200, [&] { return SampleExponential(rng, 1.0); });
+  // Test against a normal with matching moments: clearly wrong shape.
+  auto r = KsTestAgainstCdf(sample, [](double x) {
+    return NormalCdf(x - 1.0);
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->p_value, 0.01);
+}
+
+TEST(KsTestTest, TwoSampleSameAndDifferent) {
+  Rng rng(3);
+  const auto a = SampleMany(
+      1500, [&] { return SampleGamma(rng, 2.0, 2.0); });
+  const auto b = SampleMany(
+      1500, [&] { return SampleGamma(rng, 2.0, 2.0); });
+  auto same = KsTestTwoSample(a, b);
+  ASSERT_TRUE(same.ok());
+  EXPECT_GT(same->p_value, 0.01);
+
+  // Moment-matched normal: same mean/variance, different shape — only
+  // detectable with enough data.
+  const auto c = SampleMany(
+      1500, [&] { return SampleNormal(rng, 4.0, std::sqrt(8.0)); });
+  auto diff = KsTestTwoSample(a, c);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_LT(diff->p_value, 0.01);
+}
+
+TEST(KsTestTest, StalenessDetectionScenario) {
+  // The stream use case: distribution learned yesterday, fresh data has
+  // drifted; the KS check flags the stale model.
+  Rng rng(4);
+  const auto fresh = SampleMany(
+      100, [&] { return SampleNormal(rng, 11.0, 2.0); });  // drifted
+  auto r = KsTestAgainstCdf(fresh, [](double x) {
+    return NormalCdf((x - 10.0) / 2.0);  // yesterday's model
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->p_value, 0.05);
+}
+
+TEST(KsTestTest, InvalidInputs) {
+  EXPECT_TRUE(KsTestAgainstCdf({}, [](double) { return 0.5; })
+                  .status()
+                  .IsInsufficientData());
+  const std::vector<double> one = {1.0};
+  EXPECT_TRUE(KsTestTwoSample(one, {}).status().IsInsufficientData());
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace ausdb

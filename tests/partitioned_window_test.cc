@@ -1,0 +1,190 @@
+#include "src/engine/partitioned_window.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/logging.h"
+#include "src/dist/gaussian.h"
+#include "src/dist/learner.h"
+#include "src/engine/executor.h"
+#include "src/engine/scan.h"
+#include "src/query/parser.h"
+#include "src/query/planner.h"
+
+namespace ausdb {
+namespace engine {
+namespace {
+
+using dist::RandomVar;
+
+Schema KeyedSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddField({"road", FieldType::kString}).ok());
+  EXPECT_TRUE(s.AddField({"delay", FieldType::kUncertain}).ok());
+  return s;
+}
+
+Tuple KeyedTuple(const std::string& key, double mean, double var,
+                 size_t n) {
+  return Tuple({expr::Value(key),
+                expr::Value(RandomVar(
+                    std::make_shared<dist::GaussianDist>(mean, var), n))});
+}
+
+TEST(PartitionedWindowTest, PerKeyWindows) {
+  // Interleaved keys; window size 2 per key.
+  std::vector<Tuple> tuples = {
+      KeyedTuple("a", 10, 1, 20), KeyedTuple("b", 100, 4, 30),
+      KeyedTuple("a", 20, 1, 10), KeyedTuple("b", 200, 4, 40),
+      KeyedTuple("a", 30, 1, 50),
+  };
+  auto scan = std::make_unique<VectorScan>(KeyedSchema(), tuples);
+  auto agg = PartitionedWindowAggregate::Make(std::move(scan), "road",
+                                              "delay", "avg_delay",
+                                              {.window_size = 2});
+  ASSERT_TRUE(agg.ok()) << agg.status().ToString();
+  auto out = Collect(**agg);
+  ASSERT_TRUE(out.ok());
+  // Emissions: a@20 (10,20), b@200 (100,200), a@30 (20,30).
+  ASSERT_EQ(out->size(), 3u);
+
+  EXPECT_EQ(*(*out)[0].value(0).string_value(), "a");
+  EXPECT_DOUBLE_EQ((*out)[0].value(1).random_var()->Mean(), 15.0);
+  EXPECT_EQ((*out)[0].value(1).random_var()->sample_size(), 10u);
+
+  EXPECT_EQ(*(*out)[1].value(0).string_value(), "b");
+  EXPECT_DOUBLE_EQ((*out)[1].value(1).random_var()->Mean(), 150.0);
+  EXPECT_EQ((*out)[1].value(1).random_var()->sample_size(), 30u);
+
+  EXPECT_EQ(*(*out)[2].value(0).string_value(), "a");
+  EXPECT_DOUBLE_EQ((*out)[2].value(1).random_var()->Mean(), 25.0);
+  EXPECT_EQ((*out)[2].value(1).random_var()->sample_size(), 10u);
+
+  EXPECT_EQ((*agg)->partition_count(), 2u);
+}
+
+TEST(PartitionedWindowTest, TumblingResetsPerKey) {
+  std::vector<Tuple> tuples = {
+      KeyedTuple("a", 10, 0, 5), KeyedTuple("a", 20, 0, 5),
+      KeyedTuple("a", 30, 0, 5), KeyedTuple("a", 40, 0, 5),
+  };
+  auto scan = std::make_unique<VectorScan>(KeyedSchema(), tuples);
+  WindowAggregateOptions opts;
+  opts.window_size = 2;
+  opts.kind = WindowKind::kTumbling;
+  auto agg = PartitionedWindowAggregate::Make(std::move(scan), "road",
+                                              "delay", "avg", opts);
+  ASSERT_TRUE(agg.ok());
+  auto out = Collect(**agg);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);  // (10,20) and (30,40)
+  EXPECT_DOUBLE_EQ((*out)[0].value(1).random_var()->Mean(), 15.0);
+  EXPECT_DOUBLE_EQ((*out)[1].value(1).random_var()->Mean(), 35.0);
+}
+
+TEST(PartitionedWindowTest, RejectsBadColumns) {
+  auto scan = std::make_unique<VectorScan>(KeyedSchema(),
+                                           std::vector<Tuple>{});
+  EXPECT_TRUE(PartitionedWindowAggregate::Make(std::move(scan), "delay",
+                                               "delay", "o", {})
+                  .status()
+                  .IsTypeError());  // uncertain key
+  auto scan2 = std::make_unique<VectorScan>(KeyedSchema(),
+                                            std::vector<Tuple>{});
+  EXPECT_TRUE(PartitionedWindowAggregate::Make(std::move(scan2), "road",
+                                               "road", "o", {})
+                  .status()
+                  .IsTypeError());  // string aggregate
+}
+
+TEST(WindowKindTest, TumblingUnpartitioned) {
+  Schema s;
+  ASSERT_TRUE(s.AddField({"x", FieldType::kUncertain}).ok());
+  std::vector<Tuple> tuples;
+  for (int i = 1; i <= 6; ++i) {
+    tuples.emplace_back(std::vector<expr::Value>{expr::Value(RandomVar(
+        std::make_shared<dist::GaussianDist>(i * 10.0, 0.0), 5))});
+  }
+  auto scan = std::make_unique<VectorScan>(s, tuples);
+  WindowAggregateOptions opts;
+  opts.window_size = 3;
+  opts.kind = WindowKind::kTumbling;
+  auto agg = WindowAggregate::Make(std::move(scan), "x", "avg", opts);
+  ASSERT_TRUE(agg.ok());
+  auto out = Collect(**agg);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);
+  EXPECT_DOUBLE_EQ((*out)[0].value(0).random_var()->Mean(), 20.0);
+  EXPECT_DOUBLE_EQ((*out)[1].value(0).random_var()->Mean(), 50.0);
+}
+
+TEST(WindowCltTest, HistogramInputsViaClt) {
+  Schema s;
+  ASSERT_TRUE(s.AddField({"x", FieldType::kUncertain}).ok());
+  auto learned = dist::LearnHistogram(
+      std::vector<double>{1, 2, 3, 4, 5, 6, 7, 8}, {});
+  ASSERT_TRUE(learned.ok());
+  std::vector<Tuple> tuples(
+      4, Tuple({expr::Value(RandomVar(*learned))}));
+  auto scan = std::make_unique<VectorScan>(s, tuples);
+  WindowAggregateOptions opts;
+  opts.window_size = 4;
+  opts.allow_clt_approximation = true;
+  auto agg = WindowAggregate::Make(std::move(scan), "x", "avg", opts);
+  ASSERT_TRUE(agg.ok());
+  auto out = Collect(**agg);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 1u);
+  const RandomVar rv = *(*out)[0].value(0).random_var();
+  EXPECT_EQ(rv.distribution()->kind(), dist::DistributionKind::kGaussian);
+  EXPECT_NEAR(rv.Mean(), learned->distribution->Mean(), 1e-9);
+  EXPECT_NEAR(rv.Variance(), learned->distribution->Variance() / 4.0,
+              1e-9);
+}
+
+TEST(GroupByQueryTest, EndToEndSql) {
+  std::vector<Tuple> tuples = {
+      KeyedTuple("r19", 50, 4, 3),  KeyedTuple("r20", 60, 4, 50),
+      KeyedTuple("r19", 54, 4, 5),  KeyedTuple("r20", 62, 4, 50),
+      KeyedTuple("r19", 58, 4, 4),  KeyedTuple("r20", 64, 4, 50),
+  };
+  auto scan = std::make_unique<VectorScan>(KeyedSchema(), tuples);
+  auto plan = query::PlanQuery(
+      "SELECT AVG(delay) OVER (ROWS 2) FROM roads GROUP BY road "
+      "WITH ACCURACY ANALYTICAL CONFIDENCE 0.9",
+      std::move(scan));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto out = engine::Collect(**plan);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 4u);  // two emissions per key
+  // First emission for r19 averages (50, 54) with df = min(3,5) = 3.
+  EXPECT_EQ(*(*out)[0].value(0).string_value(), "r19");
+  EXPECT_DOUBLE_EQ((*out)[0].value(1).random_var()->Mean(), 52.0);
+  EXPECT_EQ((*out)[0].value(1).random_var()->sample_size(), 3u);
+  // Accuracy annotation covers the uncertain column.
+  ASSERT_TRUE((*out)[0].accuracy()[1].has_value());
+}
+
+TEST(GroupByQueryTest, ParserRendersGroupByAndTumble) {
+  auto q = query::Parse(
+      "SELECT SUM(delay) OVER (ROWS 10 TUMBLE) FROM s GROUP BY road");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->group_by, "road");
+  EXPECT_EQ(q->window_agg->kind, engine::WindowKind::kTumbling);
+  auto q2 = query::Parse(q->ToString());
+  ASSERT_TRUE(q2.ok()) << "rendered: " << q->ToString();
+  EXPECT_EQ(q->ToString(), q2->ToString());
+}
+
+TEST(GroupByQueryTest, GroupByWithoutWindowRejected) {
+  auto scan = std::make_unique<VectorScan>(KeyedSchema(),
+                                           std::vector<Tuple>{});
+  auto plan = query::PlanQuery("SELECT road FROM s GROUP BY road",
+                               std::move(scan));
+  EXPECT_TRUE(plan.status().IsNotImplemented());
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace ausdb

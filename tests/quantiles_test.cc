@@ -1,0 +1,117 @@
+#include "src/stats/quantiles.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ausdb {
+namespace stats {
+namespace {
+
+TEST(NormalCdfTest, StandardValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(NormalCdf(-1.0), 1.0 - 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-12);
+}
+
+TEST(NormalQuantileTest, TableValues) {
+  // Classic z-table entries.
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.95), 1.6448536269514722, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.959963984540054, 1e-9);
+}
+
+TEST(NormalQuantileTest, RoundTrips) {
+  for (double p : {1e-8, 1e-4, 0.01, 0.2, 0.5, 0.8, 0.99, 1.0 - 1e-6}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(NormalUpperPercentileTest, MatchesPaperUsage) {
+  // The paper's z_{(1-c)/2} for c=0.9 is z_{0.05} = 1.645.
+  EXPECT_NEAR(NormalUpperPercentile(0.05), 1.645, 5e-4);
+  // And for c=0.95: z_{0.025} = 1.96.
+  EXPECT_NEAR(NormalUpperPercentile(0.025), 1.96, 5e-4);
+}
+
+TEST(StudentTCdfTest, SymmetryAndCenter) {
+  EXPECT_NEAR(StudentTCdf(0.0, 5.0), 0.5, 1e-12);
+  for (double t : {0.5, 1.0, 2.5}) {
+    for (double dof : {1.0, 4.0, 30.0}) {
+      EXPECT_NEAR(StudentTCdf(t, dof) + StudentTCdf(-t, dof), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(StudentTCdfTest, CauchySpecialCase) {
+  // t with 1 dof is Cauchy: CDF(1) = 3/4.
+  EXPECT_NEAR(StudentTCdf(1.0, 1.0), 0.75, 1e-10);
+}
+
+TEST(StudentTQuantileTest, TableValues) {
+  // t_{0.05} with 9 dof = 1.833 (used in the paper's Example 3).
+  EXPECT_NEAR(StudentTUpperPercentile(0.05, 9.0), 1.833, 5e-4);
+  // t_{0.025} with 10 dof = 2.228.
+  EXPECT_NEAR(StudentTUpperPercentile(0.025, 10.0), 2.228, 5e-4);
+  // t_{0.05} with 19 dof = 1.729.
+  EXPECT_NEAR(StudentTUpperPercentile(0.05, 19.0), 1.729, 5e-4);
+}
+
+TEST(StudentTQuantileTest, RoundTrips) {
+  for (double dof : {1.0, 3.0, 9.0, 29.0, 100.0}) {
+    for (double p : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+      EXPECT_NEAR(StudentTCdf(StudentTQuantile(p, dof), dof), p, 1e-9)
+          << "dof=" << dof << " p=" << p;
+    }
+  }
+}
+
+TEST(StudentTQuantileTest, ConvergesToNormalForLargeDof) {
+  EXPECT_NEAR(StudentTQuantile(0.975, 1e6), NormalQuantile(0.975), 1e-4);
+}
+
+TEST(ChiSquareCdfTest, KnownValues) {
+  // Median of chi-square(2) is 2 ln 2.
+  EXPECT_NEAR(ChiSquareCdf(2.0 * std::log(2.0), 2.0), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(ChiSquareCdf(0.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(ChiSquareCdf(-1.0, 3.0), 0.0);
+}
+
+TEST(ChiSquareQuantileTest, TableValues) {
+  // Values used in the paper's Example 3: chi2 upper percentiles, 9 dof.
+  EXPECT_NEAR(ChiSquareUpperPercentile(0.05, 9.0), 16.919, 1e-3);
+  EXPECT_NEAR(ChiSquareUpperPercentile(0.95, 9.0), 3.325, 1e-3);
+  // Common table entries at 10 dof.
+  EXPECT_NEAR(ChiSquareUpperPercentile(0.025, 10.0), 20.483, 1e-3);
+  EXPECT_NEAR(ChiSquareUpperPercentile(0.975, 10.0), 3.247, 1e-3);
+}
+
+TEST(ChiSquareQuantileTest, RoundTrips) {
+  for (double dof : {1.0, 2.0, 9.0, 19.0, 99.0}) {
+    for (double p : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+      EXPECT_NEAR(ChiSquareCdf(ChiSquareQuantile(p, dof), dof), p, 1e-9)
+          << "dof=" << dof << " p=" << p;
+    }
+  }
+}
+
+TEST(FDistributionTest, QuantileRoundTrips) {
+  for (double d1 : {1.0, 5.0, 10.0}) {
+    for (double d2 : {2.0, 8.0, 20.0}) {
+      for (double p : {0.05, 0.5, 0.95}) {
+        EXPECT_NEAR(FCdf(FQuantile(p, d1, d2), d1, d2), p, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(FDistributionTest, TableValue) {
+  // F_{0.95}(5, 10) = 3.3258.
+  EXPECT_NEAR(FQuantile(0.95, 5.0, 10.0), 3.3258, 1e-3);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace ausdb

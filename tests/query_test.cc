@@ -1,0 +1,312 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/logging.h"
+#include "src/dist/gaussian.h"
+#include "src/engine/executor.h"
+#include "src/engine/scan.h"
+#include "src/query/parser.h"
+#include "src/query/planner.h"
+#include "src/query/token.h"
+#include "src/stream/sources.h"
+
+namespace ausdb {
+namespace query {
+namespace {
+
+TEST(TokenizerTest, BasicTokens) {
+  auto r = Tokenize("SELECT delay FROM s WHERE delay > 50.5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& t = *r;
+  ASSERT_EQ(t.size(), 9u);  // 8 tokens + end
+  EXPECT_TRUE(t[0].IsKeyword("SELECT"));
+  EXPECT_EQ(t[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(t[1].text, "delay");
+  EXPECT_TRUE(t[2].IsKeyword("FROM"));
+  EXPECT_TRUE(t[4].IsKeyword("WHERE"));
+  EXPECT_TRUE(t[6].IsSymbol(">"));
+  EXPECT_EQ(t[7].type, TokenType::kNumber);
+  EXPECT_DOUBLE_EQ(t[7].number, 50.5);
+  EXPECT_EQ(t[8].type, TokenType::kEnd);
+}
+
+TEST(TokenizerTest, CaseInsensitiveKeywords) {
+  auto r = Tokenize("select Delay from S");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE((*r)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*r)[1].text, "Delay");  // identifiers keep their case
+}
+
+TEST(TokenizerTest, MultiCharSymbolsAndStrings) {
+  auto r = Tokenize("a <= b <> 'hi there' >= != 1e-3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE((*r)[1].IsSymbol("<="));
+  EXPECT_TRUE((*r)[3].IsSymbol("<>"));
+  EXPECT_EQ((*r)[4].type, TokenType::kString);
+  EXPECT_EQ((*r)[4].text, "hi there");
+  EXPECT_TRUE((*r)[5].IsSymbol(">="));
+  EXPECT_TRUE((*r)[6].IsSymbol("<>"));  // != normalizes
+  EXPECT_DOUBLE_EQ((*r)[7].number, 1e-3);
+}
+
+TEST(TokenizerTest, Errors) {
+  EXPECT_TRUE(Tokenize("SELECT 'unterminated").status().IsParseError());
+  EXPECT_TRUE(Tokenize("a # b").status().IsParseError());
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto q = Parse("SELECT road_id, delay FROM roads WHERE delay > 50");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->select.size(), 2u);
+  EXPECT_EQ(q->select[0].alias, "road_id");
+  EXPECT_EQ(q->from, "roads");
+  ASSERT_NE(q->where, nullptr);
+  EXPECT_EQ(q->where->ToString(), "(delay > 50)");
+}
+
+TEST(ParserTest, SelectStar) {
+  auto q = Parse("SELECT * FROM s");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->select.size(), 1u);
+  EXPECT_TRUE(q->select[0].is_star);
+}
+
+TEST(ParserTest, PaperProbabilisticThreshold) {
+  // The paper's "SELECT Road_ID FROM t WHERE Delay >_{2/3} 50".
+  auto q = Parse(
+      "SELECT Road_ID FROM t WHERE Delay > 50 PROB 0.667");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->where->kind(), expr::ExprKind::kProbThreshold);
+  EXPECT_EQ(q->where->ToString(), "(Delay > 50) PROB >= 0.667");
+}
+
+TEST(ParserTest, ProbFunctionComparisonRewrites) {
+  auto q = Parse("SELECT a FROM s WHERE PROB(a > 5) >= 0.9");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->where->kind(), expr::ExprKind::kProbThreshold);
+
+  auto q2 = Parse("SELECT a FROM s WHERE PROB(a > 5) < 0.9");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2->where->kind(), expr::ExprKind::kUnary);  // NOT(...)
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto e = ParseExpression("a + b * c - d / 2");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(), "((a + (b * c)) - (d / 2))");
+}
+
+TEST(ParserTest, ParenthesizedComparison) {
+  auto p = ParsePredicate("(a + b) / 2 > c");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ((*p)->ToString(), "(((a + b) / 2) > c)");
+}
+
+TEST(ParserTest, LogicalPrecedence) {
+  auto p = ParsePredicate("a > 1 AND b < 2 OR NOT c >= 3");
+  ASSERT_TRUE(p.ok());
+  // AND binds tighter than OR.
+  EXPECT_EQ((*p)->ToString(),
+            "(((a > 1) AND (b < 2)) OR NOT((c >= 3)))");
+}
+
+TEST(ParserTest, ParenthesizedPredicate) {
+  auto p = ParsePredicate("a > 1 AND (b < 2 OR c > 3)");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->ToString(), "((a > 1) AND ((b < 2) OR (c > 3)))");
+}
+
+TEST(ParserTest, MTestSyntax) {
+  auto q = Parse(
+      "SELECT temp FROM s WHERE MTEST(temp, '>', 97, 0.05)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->where->kind(), expr::ExprKind::kMTest);
+  EXPECT_EQ(q->where->ToString(), "MTEST(temp, '>', 97, 0.05)");
+
+  auto coupled = Parse(
+      "SELECT temp FROM s WHERE MTEST(temp, '<>', 97, 0.05, 0.1)");
+  ASSERT_TRUE(coupled.ok());
+  const auto& m = static_cast<const expr::MTestExpr&>(*coupled->where);
+  EXPECT_EQ(m.op(), hypothesis::TestOp::kNotEqual);
+  ASSERT_TRUE(m.alpha2().has_value());
+  EXPECT_DOUBLE_EQ(*m.alpha2(), 0.1);
+}
+
+TEST(ParserTest, MdTestAndPTestSyntax) {
+  auto q = Parse(
+      "SELECT a FROM s WHERE MDTEST(a, b, '>', 0, 0.05, 0.05)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->where->kind(), expr::ExprKind::kMdTest);
+
+  auto p = Parse(
+      "SELECT a FROM s WHERE PTEST(temperature > 100, 0.5, 0.05)");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->where->kind(), expr::ExprKind::kPTest);
+  EXPECT_EQ(p->where->ToString(),
+            "PTEST((temperature > 100), 0.5, 0.05)");
+}
+
+TEST(ParserTest, WindowAggregate) {
+  auto q = Parse("SELECT AVG(x) OVER (ROWS 1000) FROM s");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_TRUE(q->window_agg.has_value());
+  EXPECT_EQ(q->window_agg->column, "x");
+  EXPECT_EQ(q->window_agg->rows, 1000u);
+  EXPECT_EQ(q->window_agg->fn, engine::WindowAggFn::kAvg);
+  EXPECT_EQ(q->window_agg->alias, "avg_x");
+
+  auto named =
+      Parse("SELECT SUM(x) OVER (ROWS 5) AS total FROM s");
+  ASSERT_TRUE(named.ok());
+  EXPECT_EQ(named->window_agg->alias, "total");
+  EXPECT_EQ(named->window_agg->fn, engine::WindowAggFn::kSum);
+}
+
+TEST(ParserTest, AccuracyClause) {
+  auto q = Parse(
+      "SELECT x FROM s WITH ACCURACY BOOTSTRAP CONFIDENCE 0.95");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_TRUE(q->accuracy.has_value());
+  EXPECT_EQ(q->accuracy->method, accuracy::AccuracyMethod::kBootstrap);
+  EXPECT_DOUBLE_EQ(q->accuracy->confidence, 0.95);
+
+  auto q2 = Parse("SELECT x FROM s WITH ACCURACY ANALYTICAL");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2->accuracy->method, accuracy::AccuracyMethod::kAnalytical);
+  EXPECT_DOUBLE_EQ(q2->accuracy->confidence, 0.9);
+}
+
+TEST(ParserTest, AccuracyProjections) {
+  auto q = Parse(
+      "SELECT MEAN_CI(delay, 0.9), VAR_CI(delay, 0.9), "
+      "BIN_CI(delay, 2, 0.95) FROM s");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->select.size(), 3u);
+  EXPECT_EQ(q->select[0].expression->kind(), expr::ExprKind::kAccuracyOf);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_TRUE(Parse("delay FROM s").status().IsParseError());
+  EXPECT_TRUE(Parse("SELECT FROM s").status().IsParseError());
+  EXPECT_TRUE(Parse("SELECT a FROM").status().IsParseError());
+  EXPECT_TRUE(Parse("SELECT a FROM s WHERE").status().IsParseError());
+  EXPECT_TRUE(Parse("SELECT a FROM s trailing").status().IsParseError());
+  EXPECT_TRUE(Parse("SELECT MTEST(a, 'bogus', 1, 0.05) FROM s")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(
+      Parse("SELECT AVG(x) OVER (ROWS 0) FROM s").status().IsParseError());
+}
+
+TEST(ParserTest, QueryToStringRoundTrip) {
+  const std::string sql =
+      "SELECT road_id FROM roads WHERE MTEST(delay, '>', 50, 0.05) "
+      "WITH ACCURACY BOOTSTRAP CONFIDENCE 0.9";
+  auto q = Parse(sql);
+  ASSERT_TRUE(q.ok());
+  // Re-parse the rendering; it should produce the same rendering again.
+  auto q2 = Parse(q->ToString());
+  ASSERT_TRUE(q2.ok()) << "rendered: " << q->ToString();
+  EXPECT_EQ(q->ToString(), q2->ToString());
+}
+
+// --- End-to-end: parse, plan, execute ---
+
+engine::OperatorPtr RoadSource() {
+  engine::Schema schema;
+  AUSDB_CHECK_OK(schema.AddField({"road_id", engine::FieldType::kString}));
+  AUSDB_CHECK_OK(schema.AddField({"delay", engine::FieldType::kUncertain}));
+  std::vector<engine::Tuple> tuples;
+  auto add = [&](const std::string& id, double mean, double var, size_t n) {
+    tuples.emplace_back(std::vector<expr::Value>{
+        expr::Value(id),
+        expr::Value(dist::RandomVar(
+            std::make_shared<dist::GaussianDist>(mean, var), n))});
+  };
+  add("r_fast", 30.0, 16.0, 50);
+  add("r_slow", 70.0, 16.0, 40);
+  add("r_mid", 52.0, 100.0, 8);
+  return std::make_unique<engine::VectorScan>(std::move(schema),
+                                              std::move(tuples));
+}
+
+TEST(EndToEndQueryTest, ProbabilisticThresholdQuery) {
+  auto plan = PlanQuery(
+      "SELECT road_id FROM roads WHERE delay > 50 PROB 0.66", RoadSource());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto out = engine::Collect(**plan);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ(*(*out)[0].value(0).string_value(), "r_slow");
+}
+
+TEST(EndToEndQueryTest, SignificanceQueryScreensOutNoisyRoad) {
+  // r_mid has mean 52 > 50 but only n=8 with high variance: mTest must
+  // not accept it, while plain threshold would.
+  auto plan = PlanQuery(
+      "SELECT road_id FROM roads WHERE MTEST(delay, '>', 50, 0.05)",
+      RoadSource());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto out = engine::Collect(**plan);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ(*(*out)[0].value(0).string_value(), "r_slow");
+}
+
+TEST(EndToEndQueryTest, SelectStarWithAccuracy) {
+  auto plan = PlanQuery(
+      "SELECT * FROM roads WHERE delay > 50 WITH ACCURACY ANALYTICAL "
+      "CONFIDENCE 0.9",
+      RoadSource());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto out = engine::Collect(**plan);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 3u);  // all roads have positive probability
+  for (const auto& t : *out) {
+    ASSERT_TRUE(t.membership_ci().has_value());
+    ASSERT_TRUE(t.accuracy()[1].has_value());
+    EXPECT_TRUE(t.accuracy()[1]->mean_ci.has_value());
+  }
+}
+
+TEST(EndToEndQueryTest, WindowedAvgOverStream) {
+  auto source = stream::MakeLearnedGaussianSource("x", 200, 20, 10.0, 2.0,
+                                                  99);
+  auto plan = PlanQuery(
+      "SELECT AVG(x) OVER (ROWS 100) FROM s WITH ACCURACY ANALYTICAL",
+      std::move(source));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto out = engine::Collect(**plan);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->size(), 101u);  // 200 - 100 + 1
+  const auto& last = out->back();
+  const dist::RandomVar rv = *last.value(0).random_var();
+  EXPECT_NEAR(rv.Mean(), 10.0, 0.5);
+  EXPECT_EQ(rv.sample_size(), 20u);
+  ASSERT_TRUE(last.accuracy()[0].has_value());
+}
+
+TEST(EndToEndQueryTest, ProjectionExpressions) {
+  auto plan = PlanQuery(
+      "SELECT road_id AS id, delay / 60 AS delay_minutes, "
+      "PROB(delay > 50) AS p FROM roads",
+      RoadSource());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto out = engine::Collect(**plan);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 3u);
+  EXPECT_EQ((*plan)->schema().names()[1], "delay_minutes");
+  const dist::RandomVar rv = *(*out)[0].value(1).random_var();
+  EXPECT_NEAR(rv.Mean(), 0.5, 1e-9);
+}
+
+TEST(EndToEndQueryTest, WindowAggregatePlusItemsRejected) {
+  auto plan = PlanQuery(
+      "SELECT road_id, AVG(delay) OVER (ROWS 2) FROM roads", RoadSource());
+  EXPECT_TRUE(plan.status().IsNotImplemented());
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace ausdb

@@ -1,0 +1,160 @@
+#include "src/stats/random_variates.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/stats/descriptive.h"
+#include "src/stats/percentile.h"
+
+namespace ausdb {
+namespace stats {
+namespace {
+
+struct FamilyCase {
+  std::string name;
+  std::function<double(Rng&)> draw;
+  double expected_mean;
+  double expected_variance;
+  // Exact CDF, for the Kolmogorov-Smirnov check.
+  std::function<double(double)> cdf;
+};
+
+// The paper's five synthetic families with its exact parameters
+// (Section V-A): exponential(lambda=1), Gamma(k=2, theta=2), normal(1,1),
+// uniform(0,1), Weibull(lambda=1, k=1).
+std::vector<FamilyCase> PaperFamilies() {
+  return {
+      {"exponential",
+       [](Rng& r) { return SampleExponential(r, 1.0); },
+       1.0,
+       1.0,
+       [](double x) { return x <= 0 ? 0.0 : 1.0 - std::exp(-x); }},
+      {"gamma",
+       [](Rng& r) { return SampleGamma(r, 2.0, 2.0); },
+       4.0,
+       8.0,
+       [](double x) {
+         // Gamma(2, 2) CDF = 1 - e^{-x/2}(1 + x/2).
+         return x <= 0 ? 0.0
+                       : 1.0 - std::exp(-x / 2.0) * (1.0 + x / 2.0);
+       }},
+      {"normal",
+       [](Rng& r) { return SampleNormal(r, 1.0, 1.0); },
+       1.0,
+       1.0,
+       [](double x) { return 0.5 * std::erfc(-(x - 1.0) / std::sqrt(2.0)); }},
+      {"uniform",
+       [](Rng& r) { return SampleUniform(r, 0.0, 1.0); },
+       0.5,
+       1.0 / 12.0,
+       [](double x) { return x < 0 ? 0.0 : (x > 1 ? 1.0 : x); }},
+      {"weibull",
+       [](Rng& r) { return SampleWeibull(r, 1.0, 1.0); },
+       1.0,
+       1.0,
+       [](double x) { return x <= 0 ? 0.0 : 1.0 - std::exp(-x); }},
+  };
+}
+
+class VariateFamilyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(VariateFamilyTest, MomentsMatchTheory) {
+  const FamilyCase fam = PaperFamilies()[GetParam()];
+  Rng rng(1000 + GetParam());
+  constexpr int kDraws = 200000;
+  MomentAccumulator acc;
+  for (int i = 0; i < kDraws; ++i) acc.Add(fam.draw(rng));
+  const double mean_se =
+      std::sqrt(fam.expected_variance / static_cast<double>(kDraws));
+  EXPECT_NEAR(acc.mean(), fam.expected_mean, 6.0 * mean_se) << fam.name;
+  EXPECT_NEAR(acc.SampleVariance(), fam.expected_variance,
+              0.05 * std::max(1.0, fam.expected_variance))
+      << fam.name;
+}
+
+TEST_P(VariateFamilyTest, KolmogorovSmirnovAgainstExactCdf) {
+  const FamilyCase fam = PaperFamilies()[GetParam()];
+  Rng rng(2000 + GetParam());
+  constexpr size_t kDraws = 20000;
+  std::vector<double> xs;
+  xs.reserve(kDraws);
+  for (size_t i = 0; i < kDraws; ++i) xs.push_back(fam.draw(rng));
+  std::sort(xs.begin(), xs.end());
+  double d = 0.0;
+  for (size_t i = 0; i < kDraws; ++i) {
+    const double f = fam.cdf(xs[i]);
+    const double lo = static_cast<double>(i) / kDraws;
+    const double hi = static_cast<double>(i + 1) / kDraws;
+    d = std::max({d, std::abs(f - lo), std::abs(f - hi)});
+  }
+  // K-S critical value at alpha = 0.001 is ~1.95/sqrt(n).
+  EXPECT_LT(d, 1.95 / std::sqrt(static_cast<double>(kDraws))) << fam.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperFamilies, VariateFamilyTest,
+                         ::testing::Range<size_t>(0, 5),
+                         [](const auto& info) {
+                           return PaperFamilies()[info.param].name;
+                         });
+
+TEST(VariateTest, GammaShapeBelowOne) {
+  Rng rng(3);
+  MomentAccumulator acc;
+  for (int i = 0; i < 200000; ++i) acc.Add(SampleGamma(rng, 0.5, 1.0));
+  EXPECT_NEAR(acc.mean(), 0.5, 0.02);
+  EXPECT_NEAR(acc.SampleVariance(), 0.5, 0.05);
+}
+
+TEST(VariateTest, LognormalMoments) {
+  Rng rng(4);
+  MomentAccumulator acc;
+  for (int i = 0; i < 200000; ++i) acc.Add(SampleLognormal(rng, 0.0, 0.5));
+  // E = exp(mu + sigma^2/2); Var = (exp(sigma^2)-1) exp(2mu+sigma^2).
+  EXPECT_NEAR(acc.mean(), std::exp(0.125), 0.02);
+  EXPECT_NEAR(acc.SampleVariance(),
+              (std::exp(0.25) - 1.0) * std::exp(0.25), 0.05);
+}
+
+TEST(VariateTest, BinomialSmallN) {
+  Rng rng(5);
+  double total = 0.0;
+  constexpr int kTrials = 50000;
+  for (int i = 0; i < kTrials; ++i) {
+    total += static_cast<double>(SampleBinomial(rng, 10, 0.3));
+  }
+  EXPECT_NEAR(total / kTrials, 3.0, 0.05);
+}
+
+TEST(VariateTest, BinomialLargeNUsesApproximation) {
+  Rng rng(6);
+  double total = 0.0;
+  constexpr int kTrials = 2000;
+  for (int i = 0; i < kTrials; ++i) {
+    total += static_cast<double>(SampleBinomial(rng, 100000, 0.5));
+  }
+  EXPECT_NEAR(total / kTrials / 100000.0, 0.5, 0.001);
+}
+
+TEST(VariateTest, BinomialEdgeCases) {
+  Rng rng(7);
+  EXPECT_EQ(SampleBinomial(rng, 0, 0.5), 0u);
+  EXPECT_EQ(SampleBinomial(rng, 10, 0.0), 0u);
+  EXPECT_EQ(SampleBinomial(rng, 10, 1.0), 10u);
+}
+
+TEST(VariateTest, SampleManyProducesRequestedCount) {
+  Rng rng(8);
+  const auto v =
+      SampleMany(100, [&] { return SampleExponential(rng, 2.0); });
+  EXPECT_EQ(v.size(), 100u);
+  for (double x : v) EXPECT_GE(x, 0.0);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace ausdb

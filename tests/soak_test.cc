@@ -1,0 +1,111 @@
+// Soak tests: larger volumes through full pipelines, checking invariants
+// rather than point values — guards against state corruption in window
+// bookkeeping, partition maps and the annotator over long runs.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/engine/accuracy_annotator.h"
+#include "src/engine/executor.h"
+#include "src/engine/partitioned_window.h"
+#include "src/engine/window_aggregate.h"
+#include "src/serde/json_writer.h"
+#include "src/stream/sources.h"
+
+namespace ausdb {
+namespace engine {
+namespace {
+
+TEST(SoakTest, LongWindowedStreamKeepsInvariants) {
+  constexpr size_t kTuples = 30000;
+  constexpr size_t kWindow = 500;
+  auto source = stream::MakeLearnedGaussianSource("x", kTuples, 20, 10.0,
+                                                  2.0, 99);
+  auto agg = WindowAggregate::Make(std::move(source), "x", "avg",
+                                   {.window_size = kWindow});
+  ASSERT_TRUE(agg.ok());
+  AccuracyAnnotatorOptions aopts;
+  aopts.confidence = 0.9;
+  AccuracyAnnotator annotator(std::move(*agg), aopts);
+
+  size_t count = 0;
+  for (;;) {
+    auto t = annotator.Next();
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    if (!t->has_value()) break;
+    ++count;
+    const auto rv = *(*t)->value(0).random_var();
+    // The window average of N(10, 4)-learned items stays near 10 with
+    // tiny variance; any drift indicates broken eviction bookkeeping.
+    ASSERT_NEAR(rv.Mean(), 10.0, 1.0);
+    ASSERT_GT(rv.Variance(), 0.0);
+    ASSERT_LT(rv.Variance(), 4.0);
+    ASSERT_EQ(rv.sample_size(), 20u);
+    const auto& acc = (*t)->accuracy()[0];
+    ASSERT_TRUE(acc.has_value());
+    ASSERT_LE(acc->mean_ci->lo, rv.Mean());
+    ASSERT_GE(acc->mean_ci->hi, rv.Mean());
+  }
+  EXPECT_EQ(count, kTuples - kWindow + 1);
+}
+
+TEST(SoakTest, ManyPartitionsStayIndependent) {
+  // 200 keys interleaved; each key's window must only see its own data.
+  constexpr size_t kKeys = 200;
+  constexpr size_t kRounds = 50;
+  Schema schema;
+  ASSERT_TRUE(schema.AddField({"key", FieldType::kString}).ok());
+  ASSERT_TRUE(schema.AddField({"x", FieldType::kUncertain}).ok());
+
+  std::vector<Tuple> tuples;
+  tuples.reserve(kKeys * kRounds);
+  for (size_t r = 0; r < kRounds; ++r) {
+    for (size_t k = 0; k < kKeys; ++k) {
+      // Key k's values are exactly k (zero variance): any cross-key
+      // contamination shifts a mean detectably.
+      tuples.emplace_back(std::vector<expr::Value>{
+          expr::Value("k" + std::to_string(k)),
+          expr::Value(dist::RandomVar(
+              std::make_shared<dist::GaussianDist>(
+                  static_cast<double>(k), 0.0),
+              10))});
+    }
+  }
+  auto scan = std::make_unique<VectorScan>(schema, std::move(tuples));
+  auto agg = PartitionedWindowAggregate::Make(std::move(scan), "key", "x",
+                                              "avg", {.window_size = 8});
+  ASSERT_TRUE(agg.ok());
+  size_t count = 0;
+  for (;;) {
+    auto t = (*agg)->Next();
+    ASSERT_TRUE(t.ok());
+    if (!t->has_value()) break;
+    ++count;
+    const std::string key = *(*t)->value(0).string_value();
+    const double expected = std::stod(key.substr(1));
+    ASSERT_DOUBLE_EQ((*t)->value(1).random_var()->Mean(), expected);
+  }
+  EXPECT_EQ(count, kKeys * (kRounds - 8 + 1));
+  EXPECT_EQ((*agg)->partition_count(), kKeys);
+}
+
+TEST(SoakTest, JsonExportSurvivesVolume) {
+  auto source = stream::MakeLearnedGaussianSource("x", 2000, 10, 0.0, 1.0,
+                                                  5);
+  size_t total_bytes = 0;
+  for (;;) {
+    auto t = source->Next();
+    ASSERT_TRUE(t.ok());
+    if (!t->has_value()) break;
+    const std::string json = serde::ToJson(**t, source->schema());
+    ASSERT_EQ(json.front(), '{');
+    ASSERT_EQ(json.back(), '}');
+    total_bytes += json.size();
+  }
+  EXPECT_GT(total_bytes, 2000u * 40u);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace ausdb

@@ -1,0 +1,135 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/dist/gaussian.h"
+#include "src/engine/executor.h"
+#include "src/engine/limit.h"
+#include "src/engine/scan.h"
+#include "src/engine/sort.h"
+#include "src/query/parser.h"
+#include "src/query/planner.h"
+
+namespace ausdb {
+namespace engine {
+namespace {
+
+using dist::RandomVar;
+
+Schema MakeSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddField({"name", FieldType::kString}).ok());
+  EXPECT_TRUE(s.AddField({"score", FieldType::kDouble}).ok());
+  EXPECT_TRUE(s.AddField({"delay", FieldType::kUncertain}).ok());
+  return s;
+}
+
+std::vector<Tuple> MakeTuples() {
+  auto make = [](const std::string& name, double score, double mean) {
+    return Tuple({expr::Value(name), expr::Value(score),
+                  expr::Value(RandomVar(
+                      std::make_shared<dist::GaussianDist>(mean, 1.0),
+                      10))});
+  };
+  return {make("charlie", 3.0, 30.0), make("alice", 1.0, 50.0),
+          make("bob", 2.0, 10.0)};
+}
+
+TEST(LimitTest, CapsOutput) {
+  auto scan = std::make_unique<VectorScan>(MakeSchema(), MakeTuples());
+  Limit limit(std::move(scan), 2);
+  auto out = Collect(limit);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);
+  ASSERT_TRUE(limit.Reset().ok());
+  EXPECT_EQ(Collect(limit)->size(), 2u);
+}
+
+TEST(LimitTest, ZeroAndOversized) {
+  auto scan = std::make_unique<VectorScan>(MakeSchema(), MakeTuples());
+  Limit zero(std::move(scan), 0);
+  EXPECT_TRUE(Collect(zero)->empty());
+  auto scan2 = std::make_unique<VectorScan>(MakeSchema(), MakeTuples());
+  Limit big(std::move(scan2), 100);
+  EXPECT_EQ(Collect(big)->size(), 3u);
+}
+
+TEST(SortTest, NumericAscending) {
+  auto scan = std::make_unique<VectorScan>(MakeSchema(), MakeTuples());
+  auto sort = Sort::Make(std::move(scan), "score");
+  ASSERT_TRUE(sort.ok());
+  auto out = Collect(**sort);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 3u);
+  EXPECT_EQ(*(*out)[0].value(0).string_value(), "alice");
+  EXPECT_EQ(*(*out)[1].value(0).string_value(), "bob");
+  EXPECT_EQ(*(*out)[2].value(0).string_value(), "charlie");
+}
+
+TEST(SortTest, StringDescending) {
+  auto scan = std::make_unique<VectorScan>(MakeSchema(), MakeTuples());
+  auto sort =
+      Sort::Make(std::move(scan), "name", SortOrder::kDescending);
+  ASSERT_TRUE(sort.ok());
+  auto out = Collect(**sort);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*(*out)[0].value(0).string_value(), "charlie");
+  EXPECT_EQ(*(*out)[2].value(0).string_value(), "alice");
+}
+
+TEST(SortTest, UncertainColumnSortsByExpectation) {
+  auto scan = std::make_unique<VectorScan>(MakeSchema(), MakeTuples());
+  auto sort = Sort::Make(std::move(scan), "delay");
+  ASSERT_TRUE(sort.ok());
+  auto out = Collect(**sort);
+  ASSERT_TRUE(out.ok());
+  // Means: bob 10, charlie 30, alice 50.
+  EXPECT_EQ(*(*out)[0].value(0).string_value(), "bob");
+  EXPECT_EQ(*(*out)[1].value(0).string_value(), "charlie");
+  EXPECT_EQ(*(*out)[2].value(0).string_value(), "alice");
+}
+
+TEST(SortTest, MissingColumnFails) {
+  auto scan = std::make_unique<VectorScan>(MakeSchema(), MakeTuples());
+  EXPECT_TRUE(
+      Sort::Make(std::move(scan), "nope").status().IsNotFound());
+}
+
+TEST(OrderLimitQueryTest, EndToEnd) {
+  auto scan = std::make_unique<VectorScan>(MakeSchema(), MakeTuples());
+  auto plan = query::PlanQuery(
+      "SELECT name, delay FROM t ORDER BY delay DESC LIMIT 2",
+      std::move(scan));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto out = Collect(**plan);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);
+  EXPECT_EQ(*(*out)[0].value(0).string_value(), "alice");   // mean 50
+  EXPECT_EQ(*(*out)[1].value(0).string_value(), "charlie"); // mean 30
+}
+
+TEST(OrderLimitQueryTest, ParserRendersRoundTrip) {
+  const char* sql =
+      "SELECT name FROM t WHERE delay > 50 PROB 0.66 ORDER BY name "
+      "LIMIT 5";
+  auto q = query::Parse(sql);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_TRUE(q->order_by.has_value());
+  EXPECT_EQ(q->order_by->column, "name");
+  ASSERT_TRUE(q->limit.has_value());
+  EXPECT_EQ(*q->limit, 5u);
+  auto q2 = query::Parse(q->ToString());
+  ASSERT_TRUE(q2.ok()) << "rendered: " << q->ToString();
+  EXPECT_EQ(q->ToString(), q2->ToString());
+}
+
+TEST(OrderLimitQueryTest, BadLimitRejected) {
+  EXPECT_TRUE(
+      query::Parse("SELECT a FROM t LIMIT 1.5").status().IsParseError());
+  EXPECT_TRUE(
+      query::Parse("SELECT a FROM t LIMIT -1").status().IsParseError());
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace ausdb

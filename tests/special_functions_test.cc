@@ -1,0 +1,140 @@
+#include "src/stats/special_functions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ausdb {
+namespace stats {
+namespace {
+
+TEST(LogGammaTest, MatchesFactorials) {
+  // Gamma(n) = (n-1)!
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(3.0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-12);
+  EXPECT_NEAR(LogGamma(11.0), std::log(3628800.0), 1e-10);
+}
+
+TEST(LogGammaTest, HalfIntegerValues) {
+  // Gamma(1/2) = sqrt(pi); Gamma(3/2) = sqrt(pi)/2.
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-12);
+  EXPECT_NEAR(LogGamma(1.5), std::log(std::sqrt(M_PI) / 2.0), 1e-12);
+}
+
+TEST(LogGammaTest, AgreesWithStdLgammaOverWideRange) {
+  for (double x : {0.1, 0.3, 0.9, 1.1, 2.5, 7.7, 42.0, 123.456, 1000.0}) {
+    EXPECT_NEAR(LogGamma(x), std::lgamma(x),
+                1e-10 * std::max(1.0, std::abs(std::lgamma(x))))
+        << "x=" << x;
+  }
+}
+
+TEST(RegularizedGammaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedGammaQ(2.0, 0.0), 1.0);
+  EXPECT_NEAR(RegularizedGammaP(1.0, 700.0), 1.0, 1e-12);
+}
+
+TEST(RegularizedGammaTest, ExponentialSpecialCase) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12)
+        << "x=" << x;
+  }
+}
+
+TEST(RegularizedGammaTest, PAndQSumToOne) {
+  for (double a : {0.5, 1.0, 2.5, 10.0, 50.0}) {
+    for (double x : {0.1, 1.0, 3.0, 10.0, 60.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0,
+                  1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(RegularizedGammaTest, KnownChiSquareValue) {
+  // Chi-square CDF with 9 dof at 16.919 is 0.95 (classic table value).
+  EXPECT_NEAR(RegularizedGammaP(4.5, 16.919 / 2.0), 0.95, 1e-4);
+}
+
+TEST(InverseRegularizedGammaTest, RoundTrips) {
+  for (double a : {0.3, 0.7, 1.0, 2.0, 4.5, 15.0, 100.0}) {
+    for (double p : {0.001, 0.01, 0.1, 0.5, 0.9, 0.99, 0.999}) {
+      const double x = InverseRegularizedGammaP(a, p);
+      EXPECT_NEAR(RegularizedGammaP(a, x), p, 1e-8)
+          << "a=" << a << " p=" << p;
+    }
+  }
+}
+
+TEST(InverseRegularizedGammaTest, ZeroAtPZero) {
+  EXPECT_DOUBLE_EQ(InverseRegularizedGammaP(3.0, 0.0), 0.0);
+}
+
+TEST(IncompleteBetaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(IncompleteBetaTest, SymmetryIdentity) {
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  for (double a : {0.5, 2.0, 7.0}) {
+    for (double b : {0.5, 3.0, 11.0}) {
+      for (double x : {0.2, 0.5, 0.8}) {
+        EXPECT_NEAR(RegularizedIncompleteBeta(a, b, x),
+                    1.0 - RegularizedIncompleteBeta(b, a, 1.0 - x), 1e-12)
+            << "a=" << a << " b=" << b << " x=" << x;
+      }
+    }
+  }
+}
+
+TEST(IncompleteBetaTest, KnownBinomialValue) {
+  // P(Bin(10, 0.5) >= 6) = I_{0.5}(6, 5) = 0.376953125 exactly.
+  EXPECT_NEAR(RegularizedIncompleteBeta(6.0, 5.0, 0.5), 0.376953125,
+              1e-10);
+}
+
+TEST(InverseIncompleteBetaTest, RoundTrips) {
+  for (double a : {0.5, 1.0, 2.0, 5.0, 20.0}) {
+    for (double b : {0.5, 1.0, 3.0, 8.0, 30.0}) {
+      for (double p : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+        const double x = InverseRegularizedIncompleteBeta(a, b, p);
+        EXPECT_NEAR(RegularizedIncompleteBeta(a, b, x), p, 1e-8)
+            << "a=" << a << " b=" << b << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(ErfTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(Erf(0.0), 0.0);
+  EXPECT_NEAR(Erf(1.0), 0.8427007929497149, 1e-12);
+  EXPECT_NEAR(Erfc(1.0), 1.0 - 0.8427007929497149, 1e-12);
+}
+
+TEST(ErfInvTest, RoundTrips) {
+  for (double x : {-0.999, -0.9, -0.5, -0.1, 0.0, 0.1, 0.5, 0.9, 0.999,
+                   0.9999999}) {
+    EXPECT_NEAR(Erf(ErfInv(x)), x, 1e-12) << "x=" << x;
+  }
+}
+
+TEST(ErfInvTest, KnownValue) {
+  // erfinv(0.5) = 0.47693627620446987...
+  EXPECT_NEAR(ErfInv(0.5), 0.47693627620446987, 1e-12);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace ausdb

@@ -1,0 +1,279 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/expr/analyzer.h"
+#include "src/expr/evaluator.h"
+#include "src/stats/descriptive.h"
+#include "src/stats/random_variates.h"
+#include "src/stream/acquisition.h"
+#include "src/stream/throughput.h"
+#include "src/workload/cartel.h"
+#include "src/workload/random_query.h"
+#include "src/workload/synthetic.h"
+
+namespace ausdb {
+namespace workload {
+namespace {
+
+TEST(SyntheticFamilyTest, NamesAndMoments) {
+  EXPECT_EQ(FamilyToString(Family::kGamma), "gamma");
+  EXPECT_DOUBLE_EQ(FamilyMean(Family::kGamma), 4.0);
+  EXPECT_DOUBLE_EQ(FamilyVariance(Family::kGamma), 8.0);
+  EXPECT_DOUBLE_EQ(FamilyMean(Family::kUniform), 0.5);
+  EXPECT_NEAR(FamilyVariance(Family::kUniform), 1.0 / 12.0, 1e-12);
+}
+
+class FamilyParamTest : public ::testing::TestWithParam<Family> {};
+
+TEST_P(FamilyParamTest, SampleMomentsMatchDeclared) {
+  Rng rng(500 + static_cast<int>(GetParam()));
+  const auto sample = SampleFamilyMany(rng, GetParam(), 100000);
+  const auto s = stats::Summarize(sample);
+  EXPECT_NEAR(s.mean, FamilyMean(GetParam()),
+              0.05 * std::max(1.0, FamilyMean(GetParam())));
+  EXPECT_NEAR(s.sample_variance, FamilyVariance(GetParam()),
+              0.1 * std::max(1.0, FamilyVariance(GetParam())));
+}
+
+TEST_P(FamilyParamTest, QuantileInvertsCdf) {
+  for (double p : {0.05, 0.3, 0.5, 0.7, 0.95}) {
+    const double x = FamilyQuantile(GetParam(), p);
+    EXPECT_NEAR(FamilyCdf(GetParam(), x), p, 1e-8)
+        << FamilyToString(GetParam()) << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilyParamTest,
+                         ::testing::ValuesIn(kAllFamilies),
+                         [](const auto& info) {
+                           return std::string(FamilyToString(info.param));
+                         });
+
+TEST(RandomQueryTest, UsesAllColumnsAndParses) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    RandomQueryOptions opts;
+    opts.num_columns = 3;
+    opts.num_operators = 5;
+    const RandomQuery q = GenerateRandomQuery(rng, opts);
+    ASSERT_NE(q.expression, nullptr);
+    const auto cols = expr::CollectColumns(*q.expression);
+    std::set<std::string> seen(cols.begin(), cols.end());
+    for (const auto& name : q.column_names) {
+      EXPECT_TRUE(seen.count(name) > 0)
+          << "column " << name << " unused in " << q.ToString();
+    }
+  }
+}
+
+TEST(RandomQueryTest, NormalOnlyLinearStaysLinear) {
+  Rng rng(8);
+  for (int i = 0; i < 50; ++i) {
+    RandomQueryOptions opts;
+    opts.num_columns = 2;
+    opts.num_operators = 4;
+    opts.normal_only_linear = true;
+    const RandomQuery q = GenerateRandomQuery(rng, opts);
+    EXPECT_TRUE(expr::ExtractLinear(*q.expression).has_value())
+        << q.expression->ToString();
+    for (Family f : q.families) EXPECT_EQ(f, Family::kNormal);
+  }
+}
+
+TEST(RandomQueryTest, GeneratedQueriesEvaluate) {
+  Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    RandomQueryOptions opts;
+    opts.num_columns = 2;
+    opts.num_operators = 3;
+    const RandomQuery q = GenerateRandomQuery(rng, opts);
+
+    // Build a row binding each column to a learned empirical variable.
+    std::vector<std::string> names = q.column_names;
+    std::vector<expr::Value> values;
+    for (Family f : q.families) {
+      auto sample = SampleFamilyMany(rng, f, 20);
+      auto learned = dist::LearnEmpirical(sample);
+      ASSERT_TRUE(learned.ok());
+      values.emplace_back(dist::RandomVar(*learned));
+    }
+    expr::EvalOptions eopts;
+    eopts.mc_samples = 500;
+    expr::Evaluator eval(eopts);
+    auto v = eval.Evaluate(*q.expression,
+                           expr::Row{&names, &values});
+    ASSERT_TRUE(v.ok()) << q.expression->ToString() << ": "
+                        << v.status().ToString();
+    ASSERT_TRUE(v->is_random_var());
+    EXPECT_EQ(v->random_var()->sample_size(), 20u);
+  }
+}
+
+TEST(CartelTest, PopulationsAndGroundTruth) {
+  CartelOptions opts;
+  opts.num_segments = 20;
+  opts.observations_per_segment = 700;
+  CartelSimulator sim(opts);
+  EXPECT_EQ(sim.num_segments(), 20u);
+  for (size_t s = 0; s < sim.num_segments(); ++s) {
+    EXPECT_EQ(sim.Population(s).size(), 700u);
+    EXPECT_GT(sim.TrueMean(s), 0.0);
+    EXPECT_GT(sim.TrueVariance(s), 0.0);
+    // Delays are positive.
+    EXPECT_GT(*std::min_element(sim.Population(s).begin(),
+                                sim.Population(s).end()),
+              0.0);
+  }
+}
+
+TEST(CartelTest, PopulationsAreSkewed) {
+  // Lognormal delay populations should be right-skewed — that is the
+  // point of the substitution (DESIGN.md Section 3).
+  CartelSimulator sim({.num_segments = 10,
+                       .observations_per_segment = 2000,
+                       .route_length = 5,
+                       .seed = 42});
+  double avg_skew = 0.0;
+  for (size_t s = 0; s < sim.num_segments(); ++s) {
+    stats::MomentAccumulator acc;
+    for (double v : sim.Population(s)) acc.Add(v);
+    avg_skew += acc.Skewness();
+  }
+  avg_skew /= static_cast<double>(sim.num_segments());
+  EXPECT_GT(avg_skew, 0.3);
+}
+
+TEST(CartelTest, SampleWithoutReplacement) {
+  CartelSimulator sim({.num_segments = 3,
+                       .observations_per_segment = 650,
+                       .route_length = 2,
+                       .seed = 1});
+  Rng rng(5);
+  auto sample = sim.DrawSample(0, 650, rng);  // the whole population
+  ASSERT_TRUE(sample.ok());
+  auto sorted_sample = *sample;
+  std::sort(sorted_sample.begin(), sorted_sample.end());
+  auto sorted_pop = sim.Population(0);
+  std::sort(sorted_pop.begin(), sorted_pop.end());
+  EXPECT_EQ(sorted_sample, sorted_pop);  // exactly the population
+
+  EXPECT_TRUE(sim.DrawSample(0, 651, rng).status().IsInvalidArgument());
+  EXPECT_TRUE(sim.DrawSample(99, 5, rng).status().IsInvalidArgument());
+}
+
+TEST(CartelTest, SampleMeanApproachesTruth) {
+  CartelSimulator sim({.num_segments = 5,
+                       .observations_per_segment = 800,
+                       .route_length = 3,
+                       .seed = 2});
+  Rng rng(6);
+  auto sample = sim.DrawSample(2, 400, rng);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_NEAR(stats::Mean(*sample), sim.TrueMean(2),
+              0.15 * sim.TrueMean(2));
+}
+
+TEST(CartelTest, RoutesAndObservations) {
+  CartelSimulator sim({.num_segments = 50,
+                       .observations_per_segment = 700,
+                       .route_length = 20,
+                       .seed = 3});
+  Rng rng(7);
+  const auto route = sim.MakeRoute(rng);
+  ASSERT_EQ(route.size(), 20u);
+  std::set<size_t> distinct(route.begin(), route.end());
+  EXPECT_EQ(distinct.size(), 20u);
+
+  auto obs = sim.RouteDelayObservations(route, 30, rng);
+  ASSERT_TRUE(obs.ok());
+  ASSERT_EQ(obs->size(), 30u);
+  // Route totals should be near the route's true mean.
+  EXPECT_NEAR(stats::Mean(*obs), sim.TrueRouteMean(route),
+              0.2 * sim.TrueRouteMean(route));
+}
+
+TEST(CartelTest, CloseRoutePairsAreClose) {
+  CartelSimulator sim({.num_segments = 100,
+                       .observations_per_segment = 650,
+                       .route_length = 20,
+                       .seed = 4});
+  Rng rng(8);
+  for (int i = 0; i < 20; ++i) {
+    const auto pair = sim.MakeCloseRoutePair(rng);
+    EXPECT_EQ(pair.lesser.size(), 20u);
+    EXPECT_EQ(pair.greater.size(), 20u);
+    EXPECT_GT(pair.mean_gap, 0.0);
+    EXPECT_NEAR(sim.TrueRouteMean(pair.greater) -
+                    sim.TrueRouteMean(pair.lesser),
+                pair.mean_gap, 1e-9);
+    // Adjacent-by-mean segments out of 100: gap should be small relative
+    // to the total route delay.
+    EXPECT_LT(pair.mean_gap / sim.TrueRouteMean(pair.lesser), 0.2);
+  }
+}
+
+TEST(ThroughputMeterTest, CountsAndRates) {
+  stream::ThroughputMeter meter;
+  meter.Start();
+  meter.Count(500);
+  meter.Count();
+  meter.Stop();
+  EXPECT_EQ(meter.count(), 501u);
+  EXPECT_GT(meter.ElapsedSeconds(), 0.0);
+  EXPECT_GT(meter.TuplesPerSecond(), 0.0);
+}
+
+TEST(AcquisitionControllerTest, StopsWhenIntervalNarrow) {
+  Rng rng(11);
+  stream::AcquisitionOptions opts;
+  opts.confidence = 0.9;
+  opts.target_mean_interval_length = 0.5;
+  opts.min_observations = 5;
+  stream::AcquisitionController ctl(opts);
+  size_t taken = 0;
+  while (ctl.Observe(stats::SampleNormal(rng, 10.0, 1.0)) ==
+         stream::AcquisitionDecision::kNeedMore) {
+    ++taken;
+    ASSERT_LT(taken, 1000u);
+  }
+  EXPECT_EQ(ctl.decision(),
+            stream::AcquisitionDecision::kTargetReached);
+  auto ci = ctl.CurrentMeanInterval();
+  ASSERT_TRUE(ci.ok());
+  EXPECT_LE(ci->Length(), 0.5);
+  // With sigma=1 and 90% confidence, roughly (2*1.645/0.5)^2 = 43 obs.
+  EXPECT_GT(ctl.observation_count(), 15u);
+  EXPECT_LT(ctl.observation_count(), 200u);
+}
+
+TEST(AcquisitionControllerTest, BudgetExhaustion) {
+  Rng rng(12);
+  stream::AcquisitionOptions opts;
+  opts.target_mean_interval_length = 1e-6;  // unreachable
+  opts.max_observations = 50;
+  stream::AcquisitionController ctl(opts);
+  stream::AcquisitionDecision d = stream::AcquisitionDecision::kNeedMore;
+  for (int i = 0; i < 50; ++i) {
+    d = ctl.Observe(stats::SampleNormal(rng, 0.0, 1.0));
+  }
+  EXPECT_EQ(d, stream::AcquisitionDecision::kBudgetExhausted);
+}
+
+TEST(AcquisitionControllerTest, RespectsMinObservations) {
+  stream::AcquisitionOptions opts;
+  opts.min_observations = 10;
+  opts.target_mean_interval_length = 1e9;  // trivially reachable
+  stream::AcquisitionController ctl(opts);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(ctl.Observe(1.0), stream::AcquisitionDecision::kNeedMore);
+  }
+  EXPECT_EQ(ctl.Observe(2.0),
+            stream::AcquisitionDecision::kTargetReached);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace ausdb
