@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_convolution.dir/bench_ablation_convolution.cc.o"
+  "CMakeFiles/bench_ablation_convolution.dir/bench_ablation_convolution.cc.o.d"
+  "bench_ablation_convolution"
+  "bench_ablation_convolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_convolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wilson.dir/bench_ablation_wilson.cc.o"
+  "CMakeFiles/bench_ablation_wilson.dir/bench_ablation_wilson.cc.o.d"
+  "bench_ablation_wilson"
+  "bench_ablation_wilson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wilson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4b_normalized_intervals.dir/bench_fig4b_normalized_intervals.cc.o"
+  "CMakeFiles/bench_fig4b_normalized_intervals.dir/bench_fig4b_normalized_intervals.cc.o.d"
+  "bench_fig4b_normalized_intervals"
+  "bench_fig4b_normalized_intervals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4b_normalized_intervals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

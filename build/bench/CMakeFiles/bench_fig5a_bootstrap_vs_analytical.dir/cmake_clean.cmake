@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5a_bootstrap_vs_analytical.dir/bench_fig5a_bootstrap_vs_analytical.cc.o"
+  "CMakeFiles/bench_fig5a_bootstrap_vs_analytical.dir/bench_fig5a_bootstrap_vs_analytical.cc.o.d"
+  "bench_fig5a_bootstrap_vs_analytical"
+  "bench_fig5a_bootstrap_vs_analytical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5a_bootstrap_vs_analytical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5e_coupled_tests.dir/bench_fig5e_coupled_tests.cc.o"
+  "CMakeFiles/bench_fig5e_coupled_tests.dir/bench_fig5e_coupled_tests.cc.o.d"
+  "bench_fig5e_coupled_tests"
+  "bench_fig5e_coupled_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5e_coupled_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig5e_coupled_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5f_throughput_predicates.dir/bench_fig5f_throughput_predicates.cc.o"
+  "CMakeFiles/bench_fig5f_throughput_predicates.dir/bench_fig5f_throughput_predicates.cc.o.d"
+  "bench_fig5f_throughput_predicates"
+  "bench_fig5f_throughput_predicates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5f_throughput_predicates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

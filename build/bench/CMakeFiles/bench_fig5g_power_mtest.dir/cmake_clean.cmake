@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5g_power_mtest.dir/bench_fig5g_power_mtest.cc.o"
+  "CMakeFiles/bench_fig5g_power_mtest.dir/bench_fig5g_power_mtest.cc.o.d"
+  "bench_fig5g_power_mtest"
+  "bench_fig5g_power_mtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5g_power_mtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

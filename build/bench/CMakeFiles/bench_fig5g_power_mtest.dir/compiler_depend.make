@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig5g_power_mtest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig5g_power_mtest.
+# This may be replaced when dependencies are built.

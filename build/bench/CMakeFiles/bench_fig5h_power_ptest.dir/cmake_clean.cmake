@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5h_power_ptest.dir/bench_fig5h_power_ptest.cc.o"
+  "CMakeFiles/bench_fig5h_power_ptest.dir/bench_fig5h_power_ptest.cc.o.d"
+  "bench_fig5h_power_ptest"
+  "bench_fig5h_power_ptest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5h_power_ptest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

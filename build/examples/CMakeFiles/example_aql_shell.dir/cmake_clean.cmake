@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_aql_shell.dir/aql_shell.cpp.o"
+  "CMakeFiles/example_aql_shell.dir/aql_shell.cpp.o.d"
+  "example_aql_shell"
+  "example_aql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_aql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

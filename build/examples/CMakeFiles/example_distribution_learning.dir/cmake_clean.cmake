@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_distribution_learning.dir/distribution_learning.cpp.o"
+  "CMakeFiles/example_distribution_learning.dir/distribution_learning.cpp.o.d"
+  "example_distribution_learning"
+  "example_distribution_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_distribution_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fleet_monitoring.dir/fleet_monitoring.cpp.o"
+  "CMakeFiles/example_fleet_monitoring.dir/fleet_monitoring.cpp.o.d"
+  "example_fleet_monitoring"
+  "example_fleet_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fleet_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_online_acquisition.dir/online_acquisition.cpp.o"
+  "CMakeFiles/example_online_acquisition.dir/online_acquisition.cpp.o.d"
+  "example_online_acquisition"
+  "example_online_acquisition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_online_acquisition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sensor_monitoring.dir/sensor_monitoring.cpp.o"
+  "CMakeFiles/example_sensor_monitoring.dir/sensor_monitoring.cpp.o.d"
+  "example_sensor_monitoring"
+  "example_sensor_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sensor_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_traffic_routing.dir/traffic_routing.cpp.o"
+  "CMakeFiles/example_traffic_routing.dir/traffic_routing.cpp.o.d"
+  "example_traffic_routing"
+  "example_traffic_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_traffic_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

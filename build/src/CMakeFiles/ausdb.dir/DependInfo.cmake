@@ -1,0 +1,84 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accuracy/accuracy_info.cc" "src/CMakeFiles/ausdb.dir/accuracy/accuracy_info.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/accuracy/accuracy_info.cc.o.d"
+  "/root/repo/src/accuracy/confidence_interval.cc" "src/CMakeFiles/ausdb.dir/accuracy/confidence_interval.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/accuracy/confidence_interval.cc.o.d"
+  "/root/repo/src/accuracy/defacto.cc" "src/CMakeFiles/ausdb.dir/accuracy/defacto.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/accuracy/defacto.cc.o.d"
+  "/root/repo/src/accuracy/mean_variance_ci.cc" "src/CMakeFiles/ausdb.dir/accuracy/mean_variance_ci.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/accuracy/mean_variance_ci.cc.o.d"
+  "/root/repo/src/accuracy/proportion_ci.cc" "src/CMakeFiles/ausdb.dir/accuracy/proportion_ci.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/accuracy/proportion_ci.cc.o.d"
+  "/root/repo/src/accuracy/weighted_accuracy.cc" "src/CMakeFiles/ausdb.dir/accuracy/weighted_accuracy.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/accuracy/weighted_accuracy.cc.o.d"
+  "/root/repo/src/bootstrap/bootstrap_accuracy.cc" "src/CMakeFiles/ausdb.dir/bootstrap/bootstrap_accuracy.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/bootstrap/bootstrap_accuracy.cc.o.d"
+  "/root/repo/src/bootstrap/resampler.cc" "src/CMakeFiles/ausdb.dir/bootstrap/resampler.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/bootstrap/resampler.cc.o.d"
+  "/root/repo/src/common/math_util.cc" "src/CMakeFiles/ausdb.dir/common/math_util.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/common/math_util.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/ausdb.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/ausdb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/common/status.cc.o.d"
+  "/root/repo/src/dist/conditioning.cc" "src/CMakeFiles/ausdb.dir/dist/conditioning.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/dist/conditioning.cc.o.d"
+  "/root/repo/src/dist/convolution.cc" "src/CMakeFiles/ausdb.dir/dist/convolution.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/dist/convolution.cc.o.d"
+  "/root/repo/src/dist/discrete.cc" "src/CMakeFiles/ausdb.dir/dist/discrete.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/dist/discrete.cc.o.d"
+  "/root/repo/src/dist/distribution.cc" "src/CMakeFiles/ausdb.dir/dist/distribution.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/dist/distribution.cc.o.d"
+  "/root/repo/src/dist/empirical.cc" "src/CMakeFiles/ausdb.dir/dist/empirical.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/dist/empirical.cc.o.d"
+  "/root/repo/src/dist/gaussian.cc" "src/CMakeFiles/ausdb.dir/dist/gaussian.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/dist/gaussian.cc.o.d"
+  "/root/repo/src/dist/gmm_learner.cc" "src/CMakeFiles/ausdb.dir/dist/gmm_learner.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/dist/gmm_learner.cc.o.d"
+  "/root/repo/src/dist/histogram.cc" "src/CMakeFiles/ausdb.dir/dist/histogram.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/dist/histogram.cc.o.d"
+  "/root/repo/src/dist/kde_learner.cc" "src/CMakeFiles/ausdb.dir/dist/kde_learner.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/dist/kde_learner.cc.o.d"
+  "/root/repo/src/dist/learner.cc" "src/CMakeFiles/ausdb.dir/dist/learner.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/dist/learner.cc.o.d"
+  "/root/repo/src/dist/mixture.cc" "src/CMakeFiles/ausdb.dir/dist/mixture.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/dist/mixture.cc.o.d"
+  "/root/repo/src/dist/random_var.cc" "src/CMakeFiles/ausdb.dir/dist/random_var.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/dist/random_var.cc.o.d"
+  "/root/repo/src/dist/weighted_learner.cc" "src/CMakeFiles/ausdb.dir/dist/weighted_learner.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/dist/weighted_learner.cc.o.d"
+  "/root/repo/src/engine/accuracy_annotator.cc" "src/CMakeFiles/ausdb.dir/engine/accuracy_annotator.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/engine/accuracy_annotator.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/CMakeFiles/ausdb.dir/engine/executor.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/engine/executor.cc.o.d"
+  "/root/repo/src/engine/filter.cc" "src/CMakeFiles/ausdb.dir/engine/filter.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/engine/filter.cc.o.d"
+  "/root/repo/src/engine/partitioned_window.cc" "src/CMakeFiles/ausdb.dir/engine/partitioned_window.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/engine/partitioned_window.cc.o.d"
+  "/root/repo/src/engine/project.cc" "src/CMakeFiles/ausdb.dir/engine/project.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/engine/project.cc.o.d"
+  "/root/repo/src/engine/scan.cc" "src/CMakeFiles/ausdb.dir/engine/scan.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/engine/scan.cc.o.d"
+  "/root/repo/src/engine/schema.cc" "src/CMakeFiles/ausdb.dir/engine/schema.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/engine/schema.cc.o.d"
+  "/root/repo/src/engine/sort.cc" "src/CMakeFiles/ausdb.dir/engine/sort.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/engine/sort.cc.o.d"
+  "/root/repo/src/engine/time_window_aggregate.cc" "src/CMakeFiles/ausdb.dir/engine/time_window_aggregate.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/engine/time_window_aggregate.cc.o.d"
+  "/root/repo/src/engine/tuple.cc" "src/CMakeFiles/ausdb.dir/engine/tuple.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/engine/tuple.cc.o.d"
+  "/root/repo/src/engine/union_all.cc" "src/CMakeFiles/ausdb.dir/engine/union_all.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/engine/union_all.cc.o.d"
+  "/root/repo/src/engine/window_aggregate.cc" "src/CMakeFiles/ausdb.dir/engine/window_aggregate.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/engine/window_aggregate.cc.o.d"
+  "/root/repo/src/expr/analyzer.cc" "src/CMakeFiles/ausdb.dir/expr/analyzer.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/expr/analyzer.cc.o.d"
+  "/root/repo/src/expr/evaluator.cc" "src/CMakeFiles/ausdb.dir/expr/evaluator.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/expr/evaluator.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/ausdb.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/expr/expr.cc.o.d"
+  "/root/repo/src/expr/value.cc" "src/CMakeFiles/ausdb.dir/expr/value.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/expr/value.cc.o.d"
+  "/root/repo/src/hypothesis/coupled_tests.cc" "src/CMakeFiles/ausdb.dir/hypothesis/coupled_tests.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/hypothesis/coupled_tests.cc.o.d"
+  "/root/repo/src/hypothesis/mean_tests.cc" "src/CMakeFiles/ausdb.dir/hypothesis/mean_tests.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/hypothesis/mean_tests.cc.o.d"
+  "/root/repo/src/hypothesis/power.cc" "src/CMakeFiles/ausdb.dir/hypothesis/power.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/hypothesis/power.cc.o.d"
+  "/root/repo/src/hypothesis/proportion_test.cc" "src/CMakeFiles/ausdb.dir/hypothesis/proportion_test.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/hypothesis/proportion_test.cc.o.d"
+  "/root/repo/src/hypothesis/significance_predicates.cc" "src/CMakeFiles/ausdb.dir/hypothesis/significance_predicates.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/hypothesis/significance_predicates.cc.o.d"
+  "/root/repo/src/hypothesis/test_types.cc" "src/CMakeFiles/ausdb.dir/hypothesis/test_types.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/hypothesis/test_types.cc.o.d"
+  "/root/repo/src/io/csv.cc" "src/CMakeFiles/ausdb.dir/io/csv.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/io/csv.cc.o.d"
+  "/root/repo/src/io/observation_loader.cc" "src/CMakeFiles/ausdb.dir/io/observation_loader.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/io/observation_loader.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/ausdb.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/plan.cc" "src/CMakeFiles/ausdb.dir/query/plan.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/query/plan.cc.o.d"
+  "/root/repo/src/query/planner.cc" "src/CMakeFiles/ausdb.dir/query/planner.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/query/planner.cc.o.d"
+  "/root/repo/src/query/token.cc" "src/CMakeFiles/ausdb.dir/query/token.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/query/token.cc.o.d"
+  "/root/repo/src/serde/json_writer.cc" "src/CMakeFiles/ausdb.dir/serde/json_writer.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/serde/json_writer.cc.o.d"
+  "/root/repo/src/serde/table_printer.cc" "src/CMakeFiles/ausdb.dir/serde/table_printer.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/serde/table_printer.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/CMakeFiles/ausdb.dir/stats/descriptive.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/stats/descriptive.cc.o.d"
+  "/root/repo/src/stats/ks_test.cc" "src/CMakeFiles/ausdb.dir/stats/ks_test.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/stats/ks_test.cc.o.d"
+  "/root/repo/src/stats/percentile.cc" "src/CMakeFiles/ausdb.dir/stats/percentile.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/stats/percentile.cc.o.d"
+  "/root/repo/src/stats/quantiles.cc" "src/CMakeFiles/ausdb.dir/stats/quantiles.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/stats/quantiles.cc.o.d"
+  "/root/repo/src/stats/random_variates.cc" "src/CMakeFiles/ausdb.dir/stats/random_variates.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/stats/random_variates.cc.o.d"
+  "/root/repo/src/stats/special_functions.cc" "src/CMakeFiles/ausdb.dir/stats/special_functions.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/stats/special_functions.cc.o.d"
+  "/root/repo/src/stats/weighted.cc" "src/CMakeFiles/ausdb.dir/stats/weighted.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/stats/weighted.cc.o.d"
+  "/root/repo/src/stream/acquisition.cc" "src/CMakeFiles/ausdb.dir/stream/acquisition.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/stream/acquisition.cc.o.d"
+  "/root/repo/src/stream/sources.cc" "src/CMakeFiles/ausdb.dir/stream/sources.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/stream/sources.cc.o.d"
+  "/root/repo/src/workload/cartel.cc" "src/CMakeFiles/ausdb.dir/workload/cartel.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/workload/cartel.cc.o.d"
+  "/root/repo/src/workload/random_query.cc" "src/CMakeFiles/ausdb.dir/workload/random_query.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/workload/random_query.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/CMakeFiles/ausdb.dir/workload/synthetic.cc.o" "gcc" "src/CMakeFiles/ausdb.dir/workload/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/accuracy_test.cc" "tests/CMakeFiles/ausdb_tests.dir/accuracy_test.cc.o" "gcc" "tests/CMakeFiles/ausdb_tests.dir/accuracy_test.cc.o.d"
+  "/root/repo/tests/bootstrap_test.cc" "tests/CMakeFiles/ausdb_tests.dir/bootstrap_test.cc.o" "gcc" "tests/CMakeFiles/ausdb_tests.dir/bootstrap_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/ausdb_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/ausdb_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/conditioning_test.cc" "tests/CMakeFiles/ausdb_tests.dir/conditioning_test.cc.o" "gcc" "tests/CMakeFiles/ausdb_tests.dir/conditioning_test.cc.o.d"
+  "/root/repo/tests/convolution_test.cc" "tests/CMakeFiles/ausdb_tests.dir/convolution_test.cc.o" "gcc" "tests/CMakeFiles/ausdb_tests.dir/convolution_test.cc.o.d"
+  "/root/repo/tests/descriptive_test.cc" "tests/CMakeFiles/ausdb_tests.dir/descriptive_test.cc.o" "gcc" "tests/CMakeFiles/ausdb_tests.dir/descriptive_test.cc.o.d"
+  "/root/repo/tests/distribution_test.cc" "tests/CMakeFiles/ausdb_tests.dir/distribution_test.cc.o" "gcc" "tests/CMakeFiles/ausdb_tests.dir/distribution_test.cc.o.d"
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/ausdb_tests.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/ausdb_tests.dir/engine_test.cc.o.d"
+  "/root/repo/tests/expr_test.cc" "tests/CMakeFiles/ausdb_tests.dir/expr_test.cc.o" "gcc" "tests/CMakeFiles/ausdb_tests.dir/expr_test.cc.o.d"
+  "/root/repo/tests/failure_injection_test.cc" "tests/CMakeFiles/ausdb_tests.dir/failure_injection_test.cc.o" "gcc" "tests/CMakeFiles/ausdb_tests.dir/failure_injection_test.cc.o.d"
+  "/root/repo/tests/gmm_test.cc" "tests/CMakeFiles/ausdb_tests.dir/gmm_test.cc.o" "gcc" "tests/CMakeFiles/ausdb_tests.dir/gmm_test.cc.o.d"
+  "/root/repo/tests/histogram_test.cc" "tests/CMakeFiles/ausdb_tests.dir/histogram_test.cc.o" "gcc" "tests/CMakeFiles/ausdb_tests.dir/histogram_test.cc.o.d"
+  "/root/repo/tests/hypothesis_test.cc" "tests/CMakeFiles/ausdb_tests.dir/hypothesis_test.cc.o" "gcc" "tests/CMakeFiles/ausdb_tests.dir/hypothesis_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/ausdb_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/ausdb_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/io_test.cc" "tests/CMakeFiles/ausdb_tests.dir/io_test.cc.o" "gcc" "tests/CMakeFiles/ausdb_tests.dir/io_test.cc.o.d"
+  "/root/repo/tests/kde_power_test.cc" "tests/CMakeFiles/ausdb_tests.dir/kde_power_test.cc.o" "gcc" "tests/CMakeFiles/ausdb_tests.dir/kde_power_test.cc.o.d"
+  "/root/repo/tests/ks_test_test.cc" "tests/CMakeFiles/ausdb_tests.dir/ks_test_test.cc.o" "gcc" "tests/CMakeFiles/ausdb_tests.dir/ks_test_test.cc.o.d"
+  "/root/repo/tests/partitioned_window_test.cc" "tests/CMakeFiles/ausdb_tests.dir/partitioned_window_test.cc.o" "gcc" "tests/CMakeFiles/ausdb_tests.dir/partitioned_window_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/ausdb_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/ausdb_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/quantiles_test.cc" "tests/CMakeFiles/ausdb_tests.dir/quantiles_test.cc.o" "gcc" "tests/CMakeFiles/ausdb_tests.dir/quantiles_test.cc.o.d"
+  "/root/repo/tests/query_test.cc" "tests/CMakeFiles/ausdb_tests.dir/query_test.cc.o" "gcc" "tests/CMakeFiles/ausdb_tests.dir/query_test.cc.o.d"
+  "/root/repo/tests/random_variates_test.cc" "tests/CMakeFiles/ausdb_tests.dir/random_variates_test.cc.o" "gcc" "tests/CMakeFiles/ausdb_tests.dir/random_variates_test.cc.o.d"
+  "/root/repo/tests/serde_test.cc" "tests/CMakeFiles/ausdb_tests.dir/serde_test.cc.o" "gcc" "tests/CMakeFiles/ausdb_tests.dir/serde_test.cc.o.d"
+  "/root/repo/tests/soak_test.cc" "tests/CMakeFiles/ausdb_tests.dir/soak_test.cc.o" "gcc" "tests/CMakeFiles/ausdb_tests.dir/soak_test.cc.o.d"
+  "/root/repo/tests/sort_limit_test.cc" "tests/CMakeFiles/ausdb_tests.dir/sort_limit_test.cc.o" "gcc" "tests/CMakeFiles/ausdb_tests.dir/sort_limit_test.cc.o.d"
+  "/root/repo/tests/special_functions_test.cc" "tests/CMakeFiles/ausdb_tests.dir/special_functions_test.cc.o" "gcc" "tests/CMakeFiles/ausdb_tests.dir/special_functions_test.cc.o.d"
+  "/root/repo/tests/union_timewindow_test.cc" "tests/CMakeFiles/ausdb_tests.dir/union_timewindow_test.cc.o" "gcc" "tests/CMakeFiles/ausdb_tests.dir/union_timewindow_test.cc.o.d"
+  "/root/repo/tests/weighted_test.cc" "tests/CMakeFiles/ausdb_tests.dir/weighted_test.cc.o" "gcc" "tests/CMakeFiles/ausdb_tests.dir/weighted_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/ausdb_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/ausdb_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ausdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
