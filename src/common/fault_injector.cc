@@ -1,0 +1,39 @@
+#include "src/common/fault_injector.h"
+
+namespace ausdb {
+
+FaultInjector::FaultInjector(FaultSpec spec, uint64_t seed)
+    : spec_(std::move(spec)), seed_(seed), rng_(seed) {}
+
+Status FaultInjector::Tick() {
+  ++calls_;
+  if (spec_.max_failures != 0 && injected_ >= spec_.max_failures) {
+    return Status::OK();
+  }
+  bool fail = false;
+  switch (spec_.mode) {
+    case FaultMode::kNone:
+      break;
+    case FaultMode::kEveryKth:
+      fail = spec_.every_k >= 1 && calls_ % spec_.every_k == 0;
+      break;
+    case FaultMode::kProbability:
+      fail = rng_.NextDouble() < spec_.probability;
+      break;
+    case FaultMode::kAfterN:
+      fail = calls_ > spec_.after_n;
+      break;
+  }
+  if (!fail) return Status::OK();
+  ++injected_;
+  return Status(spec_.code,
+                spec_.message + " (call " + std::to_string(calls_) + ")");
+}
+
+void FaultInjector::Reset() {
+  calls_ = 0;
+  injected_ = 0;
+  rng_.Seed(seed_);
+}
+
+}  // namespace ausdb

@@ -1,0 +1,85 @@
+#ifndef AUSDB_COMMON_FAULT_INJECTOR_H_
+#define AUSDB_COMMON_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace ausdb {
+
+/// When FaultInjector::Tick() injects a failure.
+enum class FaultMode {
+  /// Never inject (the fault-free control in benchmarks).
+  kNone,
+  /// Fail every k-th call (calls 1-based: k, 2k, 3k, ...).
+  kEveryKth,
+  /// Fail each call independently with probability p, drawn from the
+  /// injector's seeded Rng — deterministic for a fixed seed.
+  kProbability,
+  /// Fail every call after the first n calls succeeded.
+  kAfterN,
+};
+
+/// Configuration of a FaultInjector.
+struct FaultSpec {
+  FaultMode mode = FaultMode::kNone;
+
+  /// kEveryKth: the k. Must be >= 1.
+  size_t every_k = 10;
+
+  /// kProbability: per-call failure probability in [0, 1].
+  double probability = 0.01;
+
+  /// kAfterN: number of initial calls that succeed.
+  size_t after_n = 0;
+
+  /// Status injected on failure. The default is transient
+  /// (kUnavailable) so supervised pipelines retry it; set a fatal code
+  /// to exercise fail-fast paths.
+  StatusCode code = StatusCode::kUnavailable;
+  std::string message = "injected fault";
+
+  /// Stop injecting after this many failures (0 = unlimited). With
+  /// kAfterN this turns a permanent outage into a finite glitch, which
+  /// is what retry-until-success tests need.
+  size_t max_failures = 0;
+};
+
+/// \brief Seeded, deterministic failure source for tests and benchmarks.
+///
+/// Call Tick() wherever the real system could fail (inside a tuple
+/// generator, before an I/O call): it returns OK or the configured
+/// failure Status per the FaultSpec schedule. All randomness comes from
+/// the fixed-seed Rng, so a failing run replays exactly.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec, uint64_t seed = 42);
+
+  /// Advances the schedule one call and returns OK or the injected
+  /// failure.
+  Status Tick();
+
+  /// Total Tick() calls so far.
+  size_t calls() const { return calls_; }
+
+  /// Number of those that failed.
+  size_t injected() const { return injected_; }
+
+  /// Resets call/failure counters and re-seeds the Rng, replaying the
+  /// schedule from the start.
+  void Reset();
+
+ private:
+  FaultSpec spec_;
+  uint64_t seed_;
+  Rng rng_;
+  size_t calls_ = 0;
+  size_t injected_ = 0;
+};
+
+}  // namespace ausdb
+
+#endif  // AUSDB_COMMON_FAULT_INJECTOR_H_

@@ -1,0 +1,37 @@
+#include "src/common/retry.h"
+
+#include <algorithm>
+
+namespace ausdb {
+
+FailureClass ClassifyStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kInternal:
+      return FailureClass::kTransient;
+    default:
+      return FailureClass::kFatal;
+  }
+}
+
+double RetryPolicy::BackoffFor(size_t retry, Rng& rng) const {
+  double base = initial_backoff_seconds;
+  for (size_t i = 0; i < retry; ++i) {
+    base *= backoff_multiplier;
+    if (base >= max_backoff_seconds) break;
+  }
+  base = std::min(base, max_backoff_seconds);
+  if (jitter_fraction <= 0.0) return base;
+  const double lo = base * (1.0 - jitter_fraction);
+  const double hi = base * (1.0 + jitter_fraction);
+  return rng.NextDouble(lo, hi);
+}
+
+bool RetryPolicy::ShouldRetry(const Status& status,
+                              size_t attempts_so_far) const {
+  if (status.ok()) return false;
+  if (attempts_so_far >= max_attempts) return false;
+  return ClassifyStatus(status) == FailureClass::kTransient;
+}
+
+}  // namespace ausdb

@@ -1,0 +1,69 @@
+#ifndef AUSDB_COMMON_RETRY_H_
+#define AUSDB_COMMON_RETRY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace ausdb {
+
+/// \brief How a failure Status should be handled by a supervisor.
+enum class FailureClass {
+  /// Worth retrying: the operation may succeed on a later attempt
+  /// (dropped sensor link, stalled feed).
+  kTransient,
+  /// Retrying cannot help: a bug, a type mismatch, bad configuration.
+  kFatal,
+};
+
+/// \brief Default transient/fatal classification of a Status.
+///
+/// kUnavailable and kInternal are transient — they are what flaky
+/// infrastructure raises (the seed failure-injection tests use
+/// Status::Internal("sensor link dropped") for exactly this). Everything
+/// else (invalid argument, type error, parse error, ...) describes the
+/// request or the data, not the channel, and is fatal. OK statuses must
+/// not be classified.
+FailureClass ClassifyStatus(const Status& status);
+
+/// \brief Retry schedule: bounded attempts with exponential backoff and
+/// deterministic jitter.
+///
+/// Backoff is computed, not slept, by this class: BackoffFor() returns the
+/// delay in seconds for a given attempt, with jitter drawn from an
+/// explicitly passed Rng so that a fixed seed reproduces the exact
+/// schedule. The caller (SupervisedScan, or any connector) decides how to
+/// wait — tests pass a recording sleep function instead of blocking.
+struct RetryPolicy {
+  /// Total tries per operation, including the first. 1 disables retry.
+  size_t max_attempts = 4;
+
+  /// Delay before the first retry, in seconds.
+  double initial_backoff_seconds = 0.010;
+
+  /// Multiplier applied per further retry (2.0 = classic doubling).
+  double backoff_multiplier = 2.0;
+
+  /// Upper bound of the un-jittered delay, in seconds.
+  double max_backoff_seconds = 1.0;
+
+  /// Fraction of the delay randomized: the returned delay is uniform in
+  /// [base * (1 - jitter_fraction), base * (1 + jitter_fraction)].
+  /// 0 disables jitter.
+  double jitter_fraction = 0.25;
+
+  /// Delay in seconds before retry number `retry` (0-based: the delay
+  /// after the first failure is BackoffFor(0, rng)). Deterministic given
+  /// the rng state.
+  double BackoffFor(size_t retry, Rng& rng) const;
+
+  /// True if `status` should be retried under this policy given that
+  /// `attempts_so_far` attempts (>= 1) have already failed.
+  bool ShouldRetry(const Status& status, size_t attempts_so_far) const;
+};
+
+}  // namespace ausdb
+
+#endif  // AUSDB_COMMON_RETRY_H_

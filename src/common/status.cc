@@ -24,6 +24,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Type error";
     case StatusCode::kInsufficientData:
       return "Insufficient data";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -23,6 +23,10 @@ enum class StatusCode : int {
   kParseError = 7,
   kTypeError = 8,
   kInsufficientData = 9,
+  /// A dependency (sensor link, socket, remote feed) is temporarily
+  /// unreachable; the operation may succeed if retried. The retry layer
+  /// (src/common/retry.h) treats this code as transient by default.
+  kUnavailable = 10,
 };
 
 /// \brief Returns a human-readable name for a status code ("OK",
@@ -72,6 +76,9 @@ class Status {
   static Status InsufficientData(std::string msg) {
     return Status(StatusCode::kInsufficientData, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -98,6 +105,7 @@ class Status {
   bool IsInsufficientData() const {
     return code_ == StatusCode::kInsufficientData;
   }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -21,6 +21,46 @@ Result<size_t> Drain(Operator& root) {
   }
 }
 
+namespace {
+
+Status MaybeCheckpoint(Operator& root, size_t every_n, size_t emitted,
+                       CheckpointSink& sink) {
+  if (every_n == 0 || emitted % every_n != 0) return Status::OK();
+  AUSDB_ASSIGN_OR_RETURN(std::string blob, root.SaveCheckpoint());
+  return sink.Write(emitted, blob);
+}
+
+}  // namespace
+
+Result<std::vector<Tuple>> CollectWithCheckpoints(Operator& root,
+                                                  size_t every_n,
+                                                  CheckpointSink& sink) {
+  if (every_n == 0) {
+    return Status::InvalidArgument("checkpoint interval must be >= 1");
+  }
+  std::vector<Tuple> out;
+  for (;;) {
+    AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> t, root.Next());
+    if (!t.has_value()) return out;
+    out.push_back(std::move(*t));
+    AUSDB_RETURN_NOT_OK(MaybeCheckpoint(root, every_n, out.size(), sink));
+  }
+}
+
+Result<size_t> DrainWithCheckpoints(Operator& root, size_t every_n,
+                                    CheckpointSink& sink) {
+  if (every_n == 0) {
+    return Status::InvalidArgument("checkpoint interval must be >= 1");
+  }
+  size_t count = 0;
+  for (;;) {
+    AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> t, root.Next());
+    if (!t.has_value()) return count;
+    ++count;
+    AUSDB_RETURN_NOT_OK(MaybeCheckpoint(root, every_n, count, sink));
+  }
+}
+
 Result<std::vector<Tuple>> CollectLimit(Operator& root, size_t limit) {
   std::vector<Tuple> out;
   while (out.size() < limit) {

@@ -1,6 +1,7 @@
 #ifndef AUSDB_ENGINE_EXECUTOR_H_
 #define AUSDB_ENGINE_EXECUTOR_H_
 
+#include <string>
 #include <vector>
 
 #include "src/engine/operator.h"
@@ -18,6 +19,51 @@ Result<size_t> Drain(Operator& root);
 
 /// \brief Pulls at most `limit` tuples.
 Result<std::vector<Tuple>> CollectLimit(Operator& root, size_t limit);
+
+/// \brief Destination of periodic operator checkpoints: a durable store
+/// in production (file, replicated log), an in-memory slot in tests.
+class CheckpointSink {
+ public:
+  virtual ~CheckpointSink() = default;
+
+  /// Persists one checkpoint. `tuples_emitted` is how many output tuples
+  /// `root` had produced when the snapshot was taken — the restore
+  /// position a re-seeked source must resume after.
+  virtual Status Write(uint64_t tuples_emitted, const std::string& blob) = 0;
+};
+
+/// \brief Keeps only the latest checkpoint, in memory.
+class InMemoryCheckpointSink final : public CheckpointSink {
+ public:
+  Status Write(uint64_t tuples_emitted, const std::string& blob) override {
+    last_tuples_emitted_ = tuples_emitted;
+    last_blob_ = blob;
+    ++writes_;
+    return Status::OK();
+  }
+
+  bool has_checkpoint() const { return writes_ > 0; }
+  uint64_t last_tuples_emitted() const { return last_tuples_emitted_; }
+  const std::string& last_blob() const { return last_blob_; }
+  size_t writes() const { return writes_; }
+
+ private:
+  uint64_t last_tuples_emitted_ = 0;
+  std::string last_blob_;
+  size_t writes_ = 0;
+};
+
+/// \brief Like Collect, but snapshots `root`'s state (SaveCheckpoint)
+/// into `sink` after every `every_n` output tuples. `root` must support
+/// checkpointing; a sink write failure aborts execution (a checkpoint
+/// the operator cannot durably record is not a checkpoint).
+Result<std::vector<Tuple>> CollectWithCheckpoints(Operator& root,
+                                                  size_t every_n,
+                                                  CheckpointSink& sink);
+
+/// \brief Drain variant of CollectWithCheckpoints.
+Result<size_t> DrainWithCheckpoints(Operator& root, size_t every_n,
+                                    CheckpointSink& sink);
 
 }  // namespace engine
 }  // namespace ausdb

@@ -3,6 +3,8 @@
 
 #include <memory>
 #include <optional>
+#include <string>
+#include <string_view>
 
 #include "src/common/result.h"
 #include "src/engine/schema.h"
@@ -30,6 +32,25 @@ class Operator {
   /// supported. Default: NotImplemented.
   virtual Status Reset() {
     return Status::NotImplemented("operator does not support Reset");
+  }
+
+  /// \brief Serializes this operator's mutable state (open-window
+  /// accumulators, partition maps) into an opaque blob a fresh instance
+  /// of the same shape can RestoreCheckpoint() from. Child operators are
+  /// NOT included: a checkpointed pipeline must re-seek its sources to
+  /// the recorded input position. Default: NotImplemented (stateless
+  /// operators need no checkpoint).
+  virtual Result<std::string> SaveCheckpoint() const {
+    return Status::NotImplemented("operator does not support checkpoints");
+  }
+
+  /// Replaces this operator's mutable state with a SaveCheckpoint()
+  /// blob taken from an identically configured operator. Restoring is
+  /// bit-exact: subsequent output matches what the checkpointed
+  /// instance would have produced.
+  virtual Status RestoreCheckpoint(std::string_view blob) {
+    (void)blob;
+    return Status::NotImplemented("operator does not support checkpoints");
   }
 };
 

@@ -1,8 +1,10 @@
 #include "src/engine/partitioned_window.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "src/dist/gaussian.h"
+#include "src/serde/checkpoint.h"
 
 namespace ausdb {
 namespace engine {
@@ -136,6 +138,70 @@ Result<std::optional<Tuple>> PartitionedWindowAggregate::Next() {
 Status PartitionedWindowAggregate::Reset() {
   partitions_.clear();
   return child_->Reset();
+}
+
+Result<std::string> PartitionedWindowAggregate::SaveCheckpoint() const {
+  serde::CheckpointWriter w;
+  w.Token("pwagg.v1");
+  w.Uint(static_cast<uint64_t>(options_.kind));
+  w.Uint(static_cast<uint64_t>(options_.fn));
+  w.Uint(options_.window_size);
+  w.Uint(partitions_.size());
+  std::vector<const std::string*> keys;
+  keys.reserve(partitions_.size());
+  for (const auto& kv : partitions_) keys.push_back(&kv.first);
+  std::sort(keys.begin(), keys.end(),
+            [](const std::string* a, const std::string* b) {
+              return *a < *b;
+            });
+  for (const std::string* key : keys) {
+    const PartitionState& state = partitions_.at(*key);
+    w.Bytes(*key);
+    w.Double(state.sum_mean);
+    w.Double(state.sum_variance);
+    w.Uint(state.window.size());
+    for (const Entry& e : state.window) {
+      w.Double(e.mean);
+      w.Double(e.variance);
+      w.Uint(e.sample_size);
+    }
+  }
+  return std::move(w).Finish();
+}
+
+Status PartitionedWindowAggregate::RestoreCheckpoint(std::string_view blob) {
+  serde::CheckpointReader r(blob);
+  AUSDB_RETURN_NOT_OK(r.ExpectToken("pwagg.v1"));
+  AUSDB_ASSIGN_OR_RETURN(uint64_t kind, r.NextUint());
+  AUSDB_ASSIGN_OR_RETURN(uint64_t fn, r.NextUint());
+  AUSDB_ASSIGN_OR_RETURN(uint64_t window_size, r.NextUint());
+  if (kind != static_cast<uint64_t>(options_.kind) ||
+      fn != static_cast<uint64_t>(options_.fn) ||
+      window_size != options_.window_size) {
+    return Status::InvalidArgument(
+        "checkpoint was taken from a differently configured "
+        "PartitionedWindowAggregate");
+  }
+  AUSDB_ASSIGN_OR_RETURN(uint64_t npartitions, r.NextUint());
+  std::unordered_map<std::string, PartitionState> restored;
+  restored.reserve(npartitions);
+  for (uint64_t p = 0; p < npartitions; ++p) {
+    AUSDB_ASSIGN_OR_RETURN(std::string key, r.NextBytes());
+    PartitionState state;
+    AUSDB_ASSIGN_OR_RETURN(state.sum_mean, r.NextDouble());
+    AUSDB_ASSIGN_OR_RETURN(state.sum_variance, r.NextDouble());
+    AUSDB_ASSIGN_OR_RETURN(uint64_t count, r.NextUint());
+    for (uint64_t i = 0; i < count; ++i) {
+      Entry e;
+      AUSDB_ASSIGN_OR_RETURN(e.mean, r.NextDouble());
+      AUSDB_ASSIGN_OR_RETURN(e.variance, r.NextDouble());
+      AUSDB_ASSIGN_OR_RETURN(e.sample_size, r.NextUint());
+      state.window.push_back(e);
+    }
+    restored.emplace(std::move(key), std::move(state));
+  }
+  partitions_ = std::move(restored);
+  return Status::OK();
 }
 
 }  // namespace engine

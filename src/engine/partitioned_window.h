@@ -28,6 +28,11 @@ class PartitionedWindowAggregate final : public Operator {
   Result<std::optional<Tuple>> Next() override;
   Status Reset() override;
 
+  /// Checkpointing serializes every partition's open window and exact
+  /// running sums (keys sorted, so equal states produce equal blobs).
+  Result<std::string> SaveCheckpoint() const override;
+  Status RestoreCheckpoint(std::string_view blob) override;
+
   /// Number of distinct keys currently holding window state.
   size_t partition_count() const { return partitions_.size(); }
 

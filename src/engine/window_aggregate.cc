@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/dist/gaussian.h"
+#include "src/serde/checkpoint.h"
 
 namespace ausdb {
 namespace engine {
@@ -128,6 +129,58 @@ Status WindowAggregate::Reset() {
   min_deque_.clear();
   sum_mean_ = sum_variance_ = 0.0;
   return child_->Reset();
+}
+
+Result<std::string> WindowAggregate::SaveCheckpoint() const {
+  serde::CheckpointWriter w;
+  w.Token("wagg.v1");
+  w.Uint(static_cast<uint64_t>(options_.kind));
+  w.Uint(static_cast<uint64_t>(options_.fn));
+  w.Uint(options_.window_size);
+  w.Double(sum_mean_);
+  w.Double(sum_variance_);
+  w.Uint(window_.size());
+  for (const Entry& e : window_) {
+    w.Double(e.mean);
+    w.Double(e.variance);
+    w.Uint(e.sample_size);
+    w.Uint(e.sequence);
+  }
+  return std::move(w).Finish();
+}
+
+Status WindowAggregate::RestoreCheckpoint(std::string_view blob) {
+  serde::CheckpointReader r(blob);
+  AUSDB_RETURN_NOT_OK(r.ExpectToken("wagg.v1"));
+  AUSDB_ASSIGN_OR_RETURN(uint64_t kind, r.NextUint());
+  AUSDB_ASSIGN_OR_RETURN(uint64_t fn, r.NextUint());
+  AUSDB_ASSIGN_OR_RETURN(uint64_t window_size, r.NextUint());
+  if (kind != static_cast<uint64_t>(options_.kind) ||
+      fn != static_cast<uint64_t>(options_.fn) ||
+      window_size != options_.window_size) {
+    return Status::InvalidArgument(
+        "checkpoint was taken from a differently configured "
+        "WindowAggregate");
+  }
+  AUSDB_ASSIGN_OR_RETURN(double sum_mean, r.NextDouble());
+  AUSDB_ASSIGN_OR_RETURN(double sum_variance, r.NextDouble());
+  AUSDB_ASSIGN_OR_RETURN(uint64_t count, r.NextUint());
+  window_.clear();
+  min_deque_.clear();
+  sum_mean_ = sum_variance_ = 0.0;
+  for (uint64_t i = 0; i < count; ++i) {
+    Entry e;
+    AUSDB_ASSIGN_OR_RETURN(e.mean, r.NextDouble());
+    AUSDB_ASSIGN_OR_RETURN(e.variance, r.NextDouble());
+    AUSDB_ASSIGN_OR_RETURN(e.sample_size, r.NextUint());
+    AUSDB_ASSIGN_OR_RETURN(e.sequence, r.NextUint());
+    Push(e);  // rebuilds min_deque_
+  }
+  // Push() resummed the entries; overwrite with the checkpointed sums so
+  // the accumulators keep their exact floating-point history.
+  sum_mean_ = sum_mean;
+  sum_variance_ = sum_variance;
+  return Status::OK();
 }
 
 }  // namespace engine

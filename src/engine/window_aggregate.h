@@ -65,6 +65,12 @@ class WindowAggregate final : public Operator {
   Result<std::optional<Tuple>> Next() override;
   Status Reset() override;
 
+  /// Checkpointing serializes the open window (entries plus the exact
+  /// running sums, preserving their floating-point accumulation history)
+  /// so a restarted pipeline resumes mid-window bit-for-bit.
+  Result<std::string> SaveCheckpoint() const override;
+  Status RestoreCheckpoint(std::string_view blob) override;
+
  private:
   WindowAggregate(OperatorPtr child, size_t column_index,
                   Schema out_schema, WindowAggregateOptions options);

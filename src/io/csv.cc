@@ -13,12 +13,15 @@ Result<size_t> CsvTable::ColumnIndex(const std::string& name) const {
   return Status::NotFound("CSV column '" + name + "' not found");
 }
 
-Result<CsvTable> ParseCsv(std::string_view text) {
+Result<CsvTable> ParseCsv(std::string_view text,
+                          const CsvParseOptions& options) {
   std::vector<std::vector<std::string>> records;
+  std::vector<CsvError> errors;
   std::vector<std::string> current;
   std::string cell;
   bool in_quotes = false;
   bool cell_started = false;
+  size_t record_number = 0;  // 1-based over non-empty records
 
   const auto end_cell = [&] {
     current.push_back(std::move(cell));
@@ -32,11 +35,16 @@ Result<CsvTable> ParseCsv(std::string_view text) {
       current.clear();
       return Status::OK();
     }
+    ++record_number;
     if (!records.empty() && current.size() != records[0].size()) {
-      return Status::ParseError(
-          "ragged CSV: record " + std::to_string(records.size() + 1) +
-          " has " + std::to_string(current.size()) + " fields, expected " +
-          std::to_string(records[0].size()));
+      const std::string reason =
+          "ragged CSV: record " + std::to_string(record_number) + " has " +
+          std::to_string(current.size()) + " fields, expected " +
+          std::to_string(records[0].size());
+      if (options.strict) return Status::ParseError(reason);
+      errors.push_back({record_number, reason});
+      current.clear();
+      return Status::OK();
     }
     records.push_back(std::move(current));
     current.clear();
@@ -104,17 +112,19 @@ Result<CsvTable> ParseCsv(std::string_view text) {
   table.header = std::move(records[0]);
   table.rows.assign(std::make_move_iterator(records.begin() + 1),
                     std::make_move_iterator(records.end()));
+  table.errors = std::move(errors);
   return table;
 }
 
-Result<CsvTable> ReadCsvFile(const std::string& path) {
+Result<CsvTable> ReadCsvFile(const std::string& path,
+                             const CsvParseOptions& options) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::NotFound("cannot open CSV file '" + path + "'");
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return ParseCsv(buffer.str());
+  return ParseCsv(buffer.str(), options);
 }
 
 }  // namespace io

@@ -10,10 +10,30 @@
 namespace ausdb {
 namespace io {
 
+/// A row the lenient parser skipped, with its 1-based record number
+/// (the header is record 1) and the reason.
+struct CsvError {
+  size_t record;
+  std::string reason;
+};
+
+/// Options of ParseCsv / ReadCsvFile.
+struct CsvParseOptions {
+  /// Strict (the default, and the historical behavior): any malformed
+  /// record fails the whole parse. Lenient: structurally recoverable
+  /// defects (ragged rows) are skipped and recorded in CsvTable::errors;
+  /// defects that make record boundaries ambiguous (unterminated quote,
+  /// missing header) still fail.
+  bool strict = true;
+};
+
 /// A parsed CSV table: header names plus rows of string cells.
 struct CsvTable {
   std::vector<std::string> header;
   std::vector<std::vector<std::string>> rows;
+
+  /// Records skipped by the lenient parser; empty in strict mode.
+  std::vector<CsvError> errors;
 
   /// Index of a header column; NotFound if absent.
   Result<size_t> ColumnIndex(const std::string& name) const;
@@ -21,12 +41,14 @@ struct CsvTable {
 
 /// \brief Parses CSV text (RFC-4180 subset: quoted fields with embedded
 /// commas/newlines and doubled quotes; both \n and \r\n row endings).
-/// The first record is the header. Fails with ParseError on ragged rows
-/// or unterminated quotes.
-Result<CsvTable> ParseCsv(std::string_view text);
+/// The first record is the header. In strict mode, fails with ParseError
+/// on ragged rows or unterminated quotes.
+Result<CsvTable> ParseCsv(std::string_view text,
+                          const CsvParseOptions& options = {});
 
 /// Reads and parses a CSV file.
-Result<CsvTable> ReadCsvFile(const std::string& path);
+Result<CsvTable> ReadCsvFile(const std::string& path,
+                             const CsvParseOptions& options = {});
 
 }  // namespace io
 }  // namespace ausdb

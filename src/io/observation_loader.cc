@@ -1,5 +1,6 @@
 #include "src/io/observation_loader.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <unordered_map>
 
@@ -13,6 +14,8 @@ Result<LoadedObservations> LoadObservations(
   AUSDB_ASSIGN_OR_RETURN(size_t value_idx,
                          table.ColumnIndex(options.value_column));
 
+  LoadedObservations out;
+
   // Group values per key, preserving first-appearance order of keys.
   std::vector<std::string> key_order;
   std::unordered_map<std::string, std::vector<double>> groups;
@@ -22,16 +25,26 @@ Result<LoadedObservations> LoadObservations(
     const std::string& raw = row[value_idx];
     char* end = nullptr;
     const double value = std::strtod(raw.c_str(), &end);
+    Status row_status = Status::OK();
     if (end == raw.c_str() || *end != '\0') {
-      return Status::ParseError("row " + std::to_string(r + 2) +
-                                ": value '" + raw + "' is not numeric");
+      row_status = Status::ParseError("row " + std::to_string(r + 2) +
+                                      ": value '" + raw +
+                                      "' is not numeric");
+    } else if (!std::isfinite(value)) {
+      row_status = Status::ParseError("row " + std::to_string(r + 2) +
+                                      ": value '" + raw +
+                                      "' is not finite");
+    }
+    if (!row_status.ok()) {
+      if (options.strict) return row_status;
+      out.quarantined.push_back({r + 2, raw, std::move(row_status)});
+      continue;
     }
     auto [it, inserted] = groups.try_emplace(key);
     if (inserted) key_order.push_back(key);
     it->second.push_back(value);
   }
 
-  LoadedObservations out;
   AUSDB_RETURN_NOT_OK(out.schema.AddField(
       {options.key_column, engine::FieldType::kString}));
   AUSDB_RETURN_NOT_OK(out.schema.AddField(
@@ -68,8 +81,17 @@ Result<LoadedObservations> LoadObservations(
 
 Result<LoadedObservations> LoadObservationsFromFile(
     const std::string& path, const ObservationLoadOptions& options) {
-  AUSDB_ASSIGN_OR_RETURN(CsvTable table, ReadCsvFile(path));
-  return LoadObservations(table, options);
+  CsvParseOptions csv_options;
+  csv_options.strict = options.strict;
+  AUSDB_ASSIGN_OR_RETURN(CsvTable table, ReadCsvFile(path, csv_options));
+  AUSDB_ASSIGN_OR_RETURN(LoadedObservations out,
+                         LoadObservations(table, options));
+  // Rows the lenient CSV parser skipped are part of the accounting too.
+  for (const CsvError& e : table.errors) {
+    out.quarantined.push_back(
+        {e.record, std::string(), Status::ParseError(e.reason)});
+  }
+  return out;
 }
 
 }  // namespace io

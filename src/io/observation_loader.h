@@ -33,6 +33,23 @@ struct ObservationLoadOptions {
   /// Keys with fewer observations than this are skipped (they cannot
   /// support the chosen learner, e.g. a Gaussian needs 2).
   size_t min_observations = 1;
+
+  /// Strict (the default, and the historical behavior): a malformed row
+  /// (non-numeric or non-finite value) fails the whole load. Lenient:
+  /// malformed rows are diverted to LoadedObservations::quarantined —
+  /// with their row number and reason — and the load continues; no row
+  /// is ever silently dropped.
+  bool strict = true;
+};
+
+/// A malformed input row diverted by the lenient loader.
+struct QuarantinedRow {
+  /// 1-based CSV record number (the header is row 1).
+  size_t row;
+  /// The offending raw cell (empty for rows the CSV parser skipped).
+  std::string raw_value;
+  /// Why the row was rejected.
+  Status status;
 };
 
 /// A loaded uncertain stream: one tuple per key, in first-appearance
@@ -42,17 +59,23 @@ struct LoadedObservations {
   std::vector<engine::Tuple> tuples;
   /// Keys skipped for having fewer than min_observations rows.
   std::vector<std::string> skipped_keys;
+  /// Malformed rows diverted by the lenient loader (strict=false);
+  /// always empty in strict mode.
+  std::vector<QuarantinedRow> quarantined;
 };
 
 /// \brief The paper's Figure 1 transformation: raw observation records
 /// (key, value) are grouped per key and each group is learned into a
 /// single distribution-valued tuple carrying its sample-size provenance.
 ///
-/// Non-numeric values fail with ParseError naming the offending row.
+/// In strict mode, non-numeric values fail with ParseError naming the
+/// offending row; in lenient mode they are quarantined instead.
 Result<LoadedObservations> LoadObservations(
     const CsvTable& table, const ObservationLoadOptions& options);
 
-/// Convenience: read the CSV file then LoadObservations.
+/// Convenience: read the CSV file then LoadObservations. In lenient
+/// mode the CSV parse is lenient too: structurally ragged records are
+/// quarantined alongside unparseable values.
 Result<LoadedObservations> LoadObservationsFromFile(
     const std::string& path, const ObservationLoadOptions& options);
 

@@ -1,0 +1,132 @@
+#include "src/serde/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace ausdb {
+namespace serde {
+
+namespace {
+
+bool IsSpace(char c) { return c == ' ' || c == '\n' || c == '\t'; }
+
+}  // namespace
+
+void CheckpointWriter::Token(std::string_view token) {
+  if (!out_.empty()) out_.push_back(' ');
+  out_.append(token);
+}
+
+void CheckpointWriter::Uint(uint64_t v) { Token(std::to_string(v)); }
+
+void CheckpointWriter::Double(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(bits));
+  Token(buf);
+}
+
+void CheckpointWriter::Bytes(std::string_view bytes) {
+  if (!out_.empty()) out_.push_back(' ');
+  out_.append(std::to_string(bytes.size()));
+  out_.push_back(':');
+  out_.append(bytes);
+}
+
+void CheckpointReader::SkipWhitespace() {
+  while (pos_ < blob_.size() && IsSpace(blob_[pos_])) ++pos_;
+}
+
+bool CheckpointReader::AtEnd() {
+  SkipWhitespace();
+  return pos_ >= blob_.size();
+}
+
+Result<std::string> CheckpointReader::NextToken() {
+  SkipWhitespace();
+  if (pos_ >= blob_.size()) {
+    return Status::ParseError("checkpoint truncated: expected token");
+  }
+  const size_t start = pos_;
+  while (pos_ < blob_.size() && !IsSpace(blob_[pos_])) ++pos_;
+  return std::string(blob_.substr(start, pos_ - start));
+}
+
+Result<uint64_t> CheckpointReader::NextUint() {
+  AUSDB_ASSIGN_OR_RETURN(std::string tok, NextToken());
+  uint64_t v = 0;
+  for (char c : tok) {
+    if (c < '0' || c > '9') {
+      return Status::ParseError("checkpoint: '" + tok +
+                                "' is not an unsigned integer");
+    }
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  if (tok.empty()) {
+    return Status::ParseError("checkpoint: empty integer token");
+  }
+  return v;
+}
+
+Result<double> CheckpointReader::NextDouble() {
+  AUSDB_ASSIGN_OR_RETURN(std::string tok, NextToken());
+  if (tok.size() != 16) {
+    return Status::ParseError("checkpoint: '" + tok +
+                              "' is not a 16-digit hex double");
+  }
+  uint64_t bits = 0;
+  for (char c : tok) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return Status::ParseError("checkpoint: '" + tok +
+                                "' is not a 16-digit hex double");
+    }
+    bits = (bits << 4) | static_cast<uint64_t>(digit);
+  }
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> CheckpointReader::NextBytes() {
+  SkipWhitespace();
+  size_t len = 0;
+  bool any_digit = false;
+  while (pos_ < blob_.size() && blob_[pos_] >= '0' && blob_[pos_] <= '9') {
+    len = len * 10 + static_cast<size_t>(blob_[pos_] - '0');
+    ++pos_;
+    any_digit = true;
+  }
+  if (!any_digit || pos_ >= blob_.size() || blob_[pos_] != ':') {
+    return Status::ParseError(
+        "checkpoint: expected length-prefixed byte string");
+  }
+  ++pos_;  // ':'
+  if (blob_.size() - pos_ < len) {
+    return Status::ParseError("checkpoint truncated: byte string of " +
+                              std::to_string(len) + " bytes");
+  }
+  std::string bytes(blob_.substr(pos_, len));
+  pos_ += len;
+  return bytes;
+}
+
+Status CheckpointReader::ExpectToken(std::string_view expected) {
+  AUSDB_ASSIGN_OR_RETURN(std::string tok, NextToken());
+  if (tok != expected) {
+    return Status::ParseError("checkpoint: expected '" +
+                              std::string(expected) + "', got '" + tok +
+                              "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace serde
+}  // namespace ausdb

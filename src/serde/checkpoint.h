@@ -1,0 +1,69 @@
+#ifndef AUSDB_SERDE_CHECKPOINT_H_
+#define AUSDB_SERDE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+
+namespace ausdb {
+namespace serde {
+
+/// \brief Token-stream (de)serialization for operator checkpoints.
+///
+/// Checkpoints must restore window accumulators *bit-for-bit* — the
+/// acceptance test compares a resumed aggregate against an uninterrupted
+/// run exactly — so doubles are encoded as the hex of their IEEE-754 bit
+/// pattern, never through decimal formatting. The format is
+/// whitespace-separated tokens plus length-prefixed byte strings (for
+/// partition keys, which may contain anything).
+
+/// \brief Accumulates tokens into a checkpoint blob.
+class CheckpointWriter {
+ public:
+  /// A bare token (tag or enum); must not contain whitespace or ':'.
+  void Token(std::string_view token);
+  /// An unsigned integer token.
+  void Uint(uint64_t v);
+  /// A double, encoded losslessly via its bit pattern.
+  void Double(double v);
+  /// Arbitrary bytes, length-prefixed (`<len>:<raw>`).
+  void Bytes(std::string_view bytes);
+
+  /// The finished blob.
+  std::string Finish() && { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// \brief Sequential reader over a CheckpointWriter blob. Every accessor
+/// fails with ParseError on malformed or truncated input.
+class CheckpointReader {
+ public:
+  explicit CheckpointReader(std::string_view blob) : blob_(blob) {}
+
+  Result<std::string> NextToken();
+  Result<uint64_t> NextUint();
+  Result<double> NextDouble();
+  Result<std::string> NextBytes();
+
+  /// Fails with ParseError unless the next token equals `expected` —
+  /// the format/version tag check.
+  Status ExpectToken(std::string_view expected);
+
+  /// True when all tokens have been consumed.
+  bool AtEnd();
+
+ private:
+  void SkipWhitespace();
+
+  std::string_view blob_;
+  size_t pos_ = 0;
+};
+
+}  // namespace serde
+}  // namespace ausdb
+
+#endif  // AUSDB_SERDE_CHECKPOINT_H_

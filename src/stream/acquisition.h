@@ -23,7 +23,12 @@ struct AcquisitionOptions {
   size_t min_observations = 5;
 
   /// Give up after this many observations even if the target was not
-  /// reached (0 = no cap).
+  /// reached. 0 = no cap: the controller never reports
+  /// kBudgetExhausted, however long the stream runs. When
+  /// 0 < max_observations < min_observations, min_observations wins:
+  /// the controller always ingests at least min_observations values
+  /// and reports exhaustion at the min_observations-th (the budget is
+  /// effectively max(min_observations, max_observations)).
   size_t max_observations = 0;
 };
 

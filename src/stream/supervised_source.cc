@@ -1,0 +1,135 @@
+#include "src/stream/supervised_source.h"
+
+#include <cmath>
+#include <utility>
+
+#include "src/dist/gaussian.h"
+
+namespace ausdb {
+namespace stream {
+
+namespace {
+
+/// Validity of one uncertain field; OK for deterministic values.
+Status ValidateValue(const expr::Value& v, const std::string& field_name) {
+  if (!v.is_random_var()) return Status::OK();
+  AUSDB_ASSIGN_OR_RETURN(dist::RandomVar rv, v.random_var());
+  const double mean = rv.Mean();
+  const double variance = rv.Variance();
+  if (!std::isfinite(mean) || !std::isfinite(variance) || variance < 0.0) {
+    return Status::InvalidArgument(
+        "field '" + field_name + "': non-finite distribution parameters (" +
+        rv.ToString() + ")");
+  }
+  if (rv.sample_size() == 0) {
+    return Status::InsufficientData("field '" + field_name +
+                                    "': zero-sample distribution");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateTupleDistributions(const engine::Tuple& tuple,
+                                  const engine::Schema& schema) {
+  for (size_t i = 0; i < tuple.num_values(); ++i) {
+    const std::string& name =
+        i < schema.names().size() ? schema.names()[i] : std::to_string(i);
+    AUSDB_RETURN_NOT_OK(ValidateValue(tuple.value(i), name));
+  }
+  return Status::OK();
+}
+
+DegradationPolicy MakeWideGaussianDegradation(double mean, double variance,
+                                              size_t sample_size) {
+  return [mean, variance, sample_size](
+             const engine::Tuple& bad,
+             const Status&) -> std::optional<engine::Tuple> {
+    engine::Tuple repaired = bad;
+    for (size_t i = 0; i < repaired.num_values(); ++i) {
+      if (ValidateValue(repaired.value(i), "").ok()) continue;
+      repaired.values()[i] = expr::Value(dist::RandomVar(
+          std::make_shared<dist::GaussianDist>(mean, variance),
+          sample_size));
+    }
+    return repaired;
+  };
+}
+
+SupervisedScan::SupervisedScan(engine::OperatorPtr child,
+                               SupervisedScanOptions options)
+    : child_(std::move(child)),
+      options_(std::move(options)),
+      jitter_rng_(options_.jitter_seed) {}
+
+Result<std::optional<engine::Tuple>> SupervisedScan::PullWithRetry() {
+  size_t attempts = 0;
+  bool restarted = false;
+  for (;;) {
+    Result<std::optional<engine::Tuple>> r = child_->Next();
+    if (r.ok()) return r;
+    ++attempts;
+    if (!options_.retry.ShouldRetry(r.status(), attempts)) {
+      if (ClassifyStatus(r.status()) == FailureClass::kTransient) {
+        ++counters_.gave_up;
+      }
+      return r.status();
+    }
+    if (!restarted && options_.restart &&
+        attempts >= options_.restart_after_attempts) {
+      AUSDB_RETURN_NOT_OK(options_.restart());
+      restarted = true;
+      ++counters_.restarts;
+    }
+    const double delay =
+        options_.retry.BackoffFor(attempts - 1, jitter_rng_);
+    counters_.backoff_seconds += delay;
+    if (options_.sleep) options_.sleep(delay);
+    ++counters_.retries;
+  }
+}
+
+void SupervisedScan::Quarantine(engine::Tuple tuple, Status status) {
+  ++counters_.quarantined;
+  if (options_.quarantine_capacity == 0) return;
+  if (quarantine_.size() >= options_.quarantine_capacity) {
+    quarantine_.pop_front();
+  }
+  quarantine_.push_back({std::move(tuple), std::move(status)});
+}
+
+Result<std::optional<engine::Tuple>> SupervisedScan::Next() {
+  for (;;) {
+    AUSDB_ASSIGN_OR_RETURN(std::optional<engine::Tuple> t, PullWithRetry());
+    if (!t.has_value()) return std::optional<engine::Tuple>(std::nullopt);
+
+    const Status valid =
+        options_.validator
+            ? options_.validator(*t, child_->schema())
+            : ValidateTupleDistributions(*t, child_->schema());
+    if (valid.ok()) {
+      ++counters_.emitted;
+      return t;
+    }
+    if (options_.degradation) {
+      std::optional<engine::Tuple> repaired =
+          options_.degradation(*t, valid);
+      if (repaired.has_value()) {
+        ++counters_.degraded;
+        repaired->set_sequence(t->sequence());
+        return std::optional<engine::Tuple>(std::move(*repaired));
+      }
+    }
+    Quarantine(std::move(*t), valid);
+  }
+}
+
+Status SupervisedScan::Reset() {
+  counters_ = SupervisionCounters{};
+  quarantine_.clear();
+  jitter_rng_.Seed(options_.jitter_seed);
+  return child_->Reset();
+}
+
+}  // namespace stream
+}  // namespace ausdb

@@ -11,9 +11,12 @@
 #include "src/engine/executor.h"
 #include "src/engine/filter.h"
 #include "src/engine/limit.h"
+#include "src/engine/partitioned_window.h"
 #include "src/engine/project.h"
 #include "src/engine/scan.h"
 #include "src/engine/sort.h"
+#include "src/engine/time_window_aggregate.h"
+#include "src/engine/union_all.h"
 #include "src/engine/window_aggregate.h"
 
 namespace ausdb {
@@ -124,6 +127,118 @@ TEST(FailureInjectionTest, AnnotatorRejectsTinySamples) {
   auto scan = std::make_unique<VectorScan>(s, tuples);
   AccuracyAnnotator annotator(std::move(scan));
   EXPECT_TRUE(Collect(annotator).status().IsInsufficientData());
+}
+
+// A (key, x) source producing `good` tuples round-robin over `keys`
+// keys, then failing.
+OperatorPtr FailingKeyedSource(size_t good, size_t keys) {
+  Schema s;
+  EXPECT_TRUE(s.AddField({"key", FieldType::kString}).ok());
+  EXPECT_TRUE(s.AddField({"x", FieldType::kUncertain}).ok());
+  auto produced = std::make_shared<size_t>(0);
+  return std::make_unique<StreamScan>(
+      s, [produced, good, keys]() -> Result<std::optional<Tuple>> {
+        if (*produced >= good) {
+          return Status::Internal("gateway feed dropped");
+        }
+        const size_t i = (*produced)++;
+        return std::optional<Tuple>(Tuple({
+            expr::Value("k" + std::to_string(i % keys)),
+            expr::Value(RandomVar(
+                std::make_shared<dist::GaussianDist>(1.0, 1.0), 10)),
+        }));
+      });
+}
+
+TEST(FailureInjectionTest, ScanFailurePropagatesThroughPartitionedWindow) {
+  auto agg = PartitionedWindowAggregate::Make(FailingKeyedSource(10, 2),
+                                              "key", "x", "avg",
+                                              {.window_size = 3});
+  ASSERT_TRUE(agg.ok());
+  auto out = Collect(**agg);
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsInternal());
+  EXPECT_NE(out.status().message().find("gateway feed dropped"),
+            std::string::npos);
+}
+
+TEST(FailureInjectionTest, UnionAllPropagatesFromAnyBranch) {
+  // The failing branch is second: the first drains cleanly, then the
+  // union must surface the second branch's Status unchanged.
+  std::vector<Tuple> clean = {XTuple(1.0), XTuple(2.0)};
+  std::vector<OperatorPtr> children;
+  children.push_back(
+      std::make_unique<VectorScan>(XSchema(), std::move(clean)));
+  children.push_back(FailingSource(1));
+  auto u = UnionAll::Make(std::move(children));
+  ASSERT_TRUE(u.ok());
+  auto out = Collect(**u);
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsInternal());
+  EXPECT_NE(out.status().message().find("sensor link dropped"),
+            std::string::npos);
+}
+
+TEST(FailureInjectionTest, ScanFailurePropagatesThroughTimeWindow) {
+  Schema s;
+  ASSERT_TRUE(s.AddField({"ts", FieldType::kDouble}).ok());
+  ASSERT_TRUE(s.AddField({"x", FieldType::kUncertain}).ok());
+  auto produced = std::make_shared<size_t>(0);
+  auto source = std::make_unique<StreamScan>(
+      s, [produced]() -> Result<std::optional<Tuple>> {
+        if (*produced >= 4) {
+          return Status::Internal("clock source lost");
+        }
+        const double ts = static_cast<double>((*produced)++);
+        return std::optional<Tuple>(Tuple({
+            expr::Value(ts),
+            expr::Value(RandomVar(
+                std::make_shared<dist::GaussianDist>(2.0, 1.0), 10)),
+        }));
+      });
+  auto agg = TimeWindowAggregate::Make(std::move(source), "ts", "x",
+                                       "avg", {.duration = 2.0});
+  ASSERT_TRUE(agg.ok());
+  auto out = Collect(**agg);
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsInternal());
+  EXPECT_NE(out.status().message().find("clock source lost"),
+            std::string::npos);
+}
+
+TEST(FailureInjectionTest, ClosedWindowsEmitThenFailureStopsCleanly) {
+  // Tumbling windows of 2 over 5 good tuples: two windows close (and
+  // must be retrievable), but the third is open when the source dies —
+  // the failure must surface rather than the partial window being
+  // silently emitted as complete.
+  auto agg = WindowAggregate::Make(
+      FailingSource(5), "x", "avg",
+      {.window_size = 2, .kind = WindowKind::kTumbling});
+  ASSERT_TRUE(agg.ok());
+
+  auto first = (*agg)->Next();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->has_value());
+  auto second = (*agg)->Next();
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second->has_value());
+
+  // The fifth tuple opens a third window; the source then fails before
+  // it can close. No tuple may be emitted for it.
+  auto third = (*agg)->Next();
+  ASSERT_FALSE(third.ok());
+  EXPECT_TRUE(third.status().IsInternal());
+
+  // Collecting from scratch over the same shape sees exactly the two
+  // closed windows before the error.
+  auto whole = WindowAggregate::Make(
+      FailingSource(5), "x", "avg",
+      {.window_size = 2, .kind = WindowKind::kTumbling});
+  ASSERT_TRUE(whole.ok());
+  auto limited = CollectLimit(**whole, 2);
+  ASSERT_TRUE(limited.ok()) << limited.status().ToString();
+  EXPECT_EQ(limited->size(), 2u);
+  EXPECT_FALSE(Collect(**whole).ok());
 }
 
 TEST(FailureInjectionTest, ResetRestoresAfterPartialConsumption) {

@@ -135,6 +135,87 @@ TEST_F(ObservationLoaderTest, MissingColumnsFail) {
   EXPECT_TRUE(LoadObservations(*table, opts).status().IsNotFound());
 }
 
+TEST(CsvTest, LenientModeQuarantinesRaggedRows) {
+  CsvParseOptions lenient{.strict = false};
+  auto t = ParseCsv("a,b\n1,2\nbad\n3,4\n5,6,7\n8,9\n", lenient);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->rows.size(), 3u);  // good rows survive
+  EXPECT_EQ(t->rows[2][1], "9");
+  ASSERT_EQ(t->errors.size(), 2u);
+  EXPECT_EQ(t->errors[0].record, 3u);  // "bad" (header is record 1)
+  EXPECT_NE(t->errors[0].reason.find("ragged"), std::string::npos);
+  EXPECT_EQ(t->errors[1].record, 5u);  // "5,6,7"
+}
+
+TEST(CsvTest, LenientModeStillFailsOnStructuralDefects) {
+  CsvParseOptions lenient{.strict = false};
+  // Unterminated quote: record boundaries are unknowable.
+  EXPECT_TRUE(ParseCsv("a,b\n\"open,2\n", lenient).status().IsParseError());
+  EXPECT_TRUE(ParseCsv("", lenient).status().IsParseError());
+}
+
+TEST(CsvTest, StrictModeUnchangedByDefault) {
+  EXPECT_TRUE(ParseCsv("a,b\n1\n").status().IsParseError());
+  EXPECT_TRUE(ParseCsv("a,b\n1\n", CsvParseOptions{.strict = true})
+                  .status()
+                  .IsParseError());
+}
+
+TEST_F(ObservationLoaderTest, LenientModeQuarantinesMalformedRows) {
+  auto table = ParseCsv("k,v\na,12\nb,oops\na,13\nc,nan\na,14\n");
+  ASSERT_TRUE(table.ok());
+  ObservationLoadOptions opts;
+  opts.key_column = "k";
+  opts.value_column = "v";
+  opts.learn_as = LearnAs::kEmpirical;
+  opts.strict = false;
+  auto loaded = LoadObservations(*table, opts);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // 'a' keeps its three good rows; 'b' and 'c' never materialize.
+  ASSERT_EQ(loaded->tuples.size(), 1u);
+  EXPECT_EQ(*loaded->tuples[0].value(0).string_value(), "a");
+  EXPECT_EQ(loaded->tuples[0].value(1).random_var()->sample_size(), 3u);
+  ASSERT_EQ(loaded->quarantined.size(), 2u);
+  EXPECT_EQ(loaded->quarantined[0].row, 3u);
+  EXPECT_EQ(loaded->quarantined[0].raw_value, "oops");
+  EXPECT_TRUE(loaded->quarantined[0].status.IsParseError());
+  EXPECT_EQ(loaded->quarantined[1].row, 5u);
+  EXPECT_NE(loaded->quarantined[1].status.message().find("not finite"),
+            std::string::npos);
+}
+
+TEST_F(ObservationLoaderTest, StrictModeStillAbortsOnMalformedRows) {
+  auto table = ParseCsv("k,v\na,12\nb,oops\n");
+  ASSERT_TRUE(table.ok());
+  ObservationLoadOptions opts;
+  opts.key_column = "k";
+  opts.value_column = "v";
+  ASSERT_TRUE(opts.strict);  // the default preserves seed behavior
+  EXPECT_TRUE(LoadObservations(*table, opts).status().IsParseError());
+}
+
+TEST_F(ObservationLoaderTest, LenientFileLoadAccountsForEveryRow) {
+  const std::string path =
+      ::testing::TempDir() + "/ausdb_io_lenient_test.csv";
+  {
+    std::ofstream out(path);
+    out << "k,v\na,1\na,2\nragged_row\na,3\nb,garbage\n";
+  }
+  ObservationLoadOptions opts;
+  opts.key_column = "k";
+  opts.value_column = "v";
+  opts.learn_as = LearnAs::kEmpirical;
+  opts.strict = false;
+  auto loaded = LoadObservationsFromFile(path, opts);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->tuples.size(), 1u);
+  EXPECT_EQ(loaded->tuples[0].value(1).random_var()->sample_size(), 3u);
+  // Both the unparseable value and the structurally ragged record are
+  // accounted for — nothing silently dropped.
+  ASSERT_EQ(loaded->quarantined.size(), 2u);
+  std::remove(path.c_str());
+}
+
 TEST_F(ObservationLoaderTest, RoundTripThroughFile) {
   const std::string path = ::testing::TempDir() + "/ausdb_io_test.csv";
   {

@@ -3,15 +3,18 @@
 // bookkeeping, partition maps and the annotator over long runs.
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
+#include "src/common/fault_injector.h"
 #include "src/engine/accuracy_annotator.h"
 #include "src/engine/executor.h"
 #include "src/engine/partitioned_window.h"
 #include "src/engine/window_aggregate.h"
 #include "src/serde/json_writer.h"
 #include "src/stream/sources.h"
+#include "src/stream/supervised_source.h"
 
 namespace ausdb {
 namespace engine {
@@ -88,6 +91,96 @@ TEST(SoakTest, ManyPartitionsStayIndependent) {
   }
   EXPECT_EQ(count, kKeys * (kRounds - 8 + 1));
   EXPECT_EQ((*agg)->partition_count(), kKeys);
+}
+
+TEST(SoakTest, SupervisedPipelineAccountsForEveryTuple) {
+  // A long run through SupervisedScan with ~1% transient pull failures
+  // and a sprinkling of invalid (NaN-mean / zero-sample) tuples. The
+  // invariant is exact accounting: every tuple the source fed either
+  // came out, was degraded, or sits in the quarantine counters —
+  // emitted + degraded + quarantined == fed, with zero silent loss.
+  constexpr size_t kTuples = 50000;
+
+  FaultSpec spec;
+  spec.mode = FaultMode::kProbability;
+  spec.probability = 0.01;
+  auto transient = std::make_shared<FaultInjector>(spec, /*seed=*/21);
+
+  auto rng = std::make_shared<Rng>(77);
+  auto fed = std::make_shared<size_t>(0);
+  Schema schema;
+  ASSERT_TRUE(schema.AddField({"x", FieldType::kUncertain}).ok());
+  engine::TupleGenerator gen =
+      [transient, rng, fed]() -> Result<std::optional<Tuple>> {
+    if (*fed >= kTuples) return std::optional<Tuple>(std::nullopt);
+    // Transient link glitch before the tuple is produced: a retry pull
+    // gets the tuple, so nothing is lost.
+    AUSDB_RETURN_NOT_OK(transient->Tick());
+    ++*fed;
+    const double roll = rng->NextDouble();
+    double mean = rng->NextDouble(0.0, 20.0);
+    size_t n = 10;
+    if (roll < 0.005) {
+      mean = std::numeric_limits<double>::quiet_NaN();  // garbage reading
+    } else if (roll < 0.01) {
+      n = 0;  // zero-sample distribution
+    }
+    return std::optional<Tuple>(Tuple({expr::Value(dist::RandomVar(
+        std::make_shared<dist::GaussianDist>(mean, 1.0), n))}));
+  };
+
+  stream::SupervisedScanOptions opts;
+  opts.retry.max_attempts = 10;
+  auto source = std::make_unique<engine::StreamScan>(schema, std::move(gen));
+  stream::SupervisedScan scan(std::move(source), std::move(opts));
+
+  auto out = Collect(scan);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  const auto& c = scan.counters();
+  EXPECT_EQ(*fed, kTuples);
+  EXPECT_GT(c.retries, 200u);  // ~1% of 50k pulls glitched
+  EXPECT_GT(c.quarantined, 100u);
+  EXPECT_EQ(c.degraded, 0u);  // no degradation policy configured
+  EXPECT_EQ(c.gave_up, 0u);
+  // Exact accounting, the headline invariant.
+  EXPECT_EQ(c.emitted + c.degraded + c.quarantined, *fed);
+  EXPECT_EQ(out->size(), c.emitted);
+}
+
+TEST(SoakTest, SupervisedDegradationKeepsAvailability) {
+  // Same dirty stream, but with a degradation policy: nothing is
+  // quarantined, every fed tuple reaches the query — at degraded
+  // accuracy for the dirty ones.
+  constexpr size_t kTuples = 20000;
+  auto rng = std::make_shared<Rng>(78);
+  auto fed = std::make_shared<size_t>(0);
+  Schema schema;
+  ASSERT_TRUE(schema.AddField({"x", FieldType::kUncertain}).ok());
+  engine::TupleGenerator gen =
+      [rng, fed]() -> Result<std::optional<Tuple>> {
+    if (*fed >= kTuples) return std::optional<Tuple>(std::nullopt);
+    ++*fed;
+    const bool dirty = rng->NextDouble() < 0.01;
+    const double mean =
+        dirty ? std::numeric_limits<double>::quiet_NaN()
+              : rng->NextDouble(0.0, 20.0);
+    return std::optional<Tuple>(Tuple({expr::Value(dist::RandomVar(
+        std::make_shared<dist::GaussianDist>(mean, 1.0), 10))}));
+  };
+
+  stream::SupervisedScanOptions opts;
+  opts.degradation =
+      stream::MakeWideGaussianDegradation(10.0, 400.0, /*n=*/2);
+  stream::SupervisedScan scan(
+      std::make_unique<engine::StreamScan>(schema, std::move(gen)),
+      std::move(opts));
+  auto out = Collect(scan);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  const auto& c = scan.counters();
+  EXPECT_EQ(out->size(), kTuples);  // full availability
+  EXPECT_GT(c.degraded, 100u);
+  EXPECT_EQ(c.quarantined, 0u);
+  EXPECT_EQ(c.emitted + c.degraded, *fed);
 }
 
 TEST(SoakTest, JsonExportSurvivesVolume) {

@@ -274,6 +274,41 @@ TEST(AcquisitionControllerTest, RespectsMinObservations) {
             stream::AcquisitionDecision::kTargetReached);
 }
 
+TEST(AcquisitionControllerTest, NoCapNeverReportsBudgetExhausted) {
+  // max_observations == 0 is documented as "no cap": the controller
+  // must keep answering kNeedMore forever, never kBudgetExhausted.
+  Rng rng(13);
+  stream::AcquisitionOptions opts;
+  opts.target_mean_interval_length = 1e-9;  // unreachable
+  opts.max_observations = 0;
+  stream::AcquisitionController ctl(opts);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_EQ(ctl.Observe(stats::SampleNormal(rng, 0.0, 1.0)),
+              stream::AcquisitionDecision::kNeedMore)
+        << "at observation " << i + 1;
+  }
+  EXPECT_EQ(ctl.observation_count(), 5000u);
+}
+
+TEST(AcquisitionControllerTest, MaxBelowMinIsWellDefined) {
+  // 0 < max_observations < min_observations: min wins. No decision
+  // before min_observations, and exhaustion is reported exactly at the
+  // min_observations-th value (budget = max(min, max)).
+  Rng rng(14);
+  stream::AcquisitionOptions opts;
+  opts.min_observations = 20;
+  opts.max_observations = 5;
+  opts.target_mean_interval_length = 1e-9;  // unreachable
+  stream::AcquisitionController ctl(opts);
+  for (int i = 0; i < 19; ++i) {
+    ASSERT_EQ(ctl.Observe(stats::SampleNormal(rng, 0.0, 1.0)),
+              stream::AcquisitionDecision::kNeedMore);
+  }
+  EXPECT_EQ(ctl.Observe(stats::SampleNormal(rng, 0.0, 1.0)),
+            stream::AcquisitionDecision::kBudgetExhausted);
+  EXPECT_EQ(ctl.observation_count(), 20u);
+}
+
 }  // namespace
 }  // namespace workload
 }  // namespace ausdb
