@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/bootstrap/resampler.h"
+#include "src/common/thread_pool.h"
 #include "src/dist/learner.h"
 #include "src/stats/descriptive.h"
 #include "src/stats/percentile.h"
@@ -124,6 +125,37 @@ Result<accuracy::ConfidenceInterval> ClassicPercentileBootstrap(
     ResampleInto(sample, buffer, rng);
     stat_values.push_back(statistic(buffer));
   }
+  return PercentileInterval(std::move(stat_values), confidence);
+}
+
+Result<accuracy::ConfidenceInterval> ParallelPercentileBootstrap(
+    std::span<const double> sample, size_t num_resamples, double confidence,
+    const std::function<double(std::span<const double>)>& statistic,
+    Rng& rng, ThreadPool* pool) {
+  if (sample.empty()) {
+    return Status::InsufficientData("cannot bootstrap an empty sample");
+  }
+  if (num_resamples < 2) {
+    return Status::InvalidArgument("need at least 2 resamples");
+  }
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    return Status::InvalidArgument("confidence must be in (0,1)");
+  }
+  // Per-resample seeds drawn serially so the fan-out cannot influence
+  // the draws; statistic values land in per-resample slots, making the
+  // interval identical at any thread count.
+  std::vector<uint64_t> seeds(num_resamples);
+  for (uint64_t& s : seeds) s = rng.NextUint64();
+  std::vector<double> stat_values(num_resamples);
+  RunChunked(pool, num_resamples, DeterministicChunkCount(num_resamples),
+             [&](size_t, size_t begin, size_t end) {
+               std::vector<double> buffer(sample.size());
+               for (size_t i = begin; i < end; ++i) {
+                 Rng child(seeds[i]);
+                 ResampleInto(sample, buffer, child);
+                 stat_values[i] = statistic(buffer);
+               }
+             });
   return PercentileInterval(std::move(stat_values), confidence);
 }
 

@@ -12,6 +12,9 @@
 #include "src/dist/distribution.h"
 
 namespace ausdb {
+
+class ThreadPool;
+
 namespace bootstrap {
 
 /// \brief The paper's Algorithm BOOTSTRAP-ACCURACY-INFO (Section III-B).
@@ -46,6 +49,19 @@ Result<accuracy::ConfidenceInterval> ClassicPercentileBootstrap(
     std::span<const double> sample, size_t num_resamples, double confidence,
     const std::function<double(std::span<const double>)>& statistic,
     Rng& rng);
+
+/// \brief Parallel percentile bootstrap: the B resamples run across
+/// `pool`'s workers, each on its own Rng stream seeded from a
+/// per-resample seed drawn serially from `rng`.
+///
+/// Deterministic at any thread count — same seed, same interval, with
+/// or without a pool — though the resample draws differ from
+/// ClassicPercentileBootstrap's single shared stream (both are valid
+/// bootstrap sequences). `statistic` must be thread-safe (pure).
+Result<accuracy::ConfidenceInterval> ParallelPercentileBootstrap(
+    std::span<const double> sample, size_t num_resamples, double confidence,
+    const std::function<double(std::span<const double>)>& statistic,
+    Rng& rng, ThreadPool* pool = nullptr);
 
 }  // namespace bootstrap
 }  // namespace ausdb

@@ -34,6 +34,16 @@ class KahanSum {
   double Get() const { return sum_ + comp_; }
   void Reset() { sum_ = comp_ = 0.0; }
 
+  /// The raw running sum and its compensation term, exposed so operator
+  /// checkpoints can persist the accumulator's exact floating-point
+  /// history and restore it bit-for-bit.
+  double raw_sum() const { return sum_; }
+  double compensation() const { return comp_; }
+  void Restore(double sum, double comp) {
+    sum_ = sum;
+    comp_ = comp;
+  }
+
  private:
   double sum_ = 0.0;
   double comp_ = 0.0;

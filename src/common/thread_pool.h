@@ -1,0 +1,73 @@
+#ifndef AUSDB_COMMON_THREAD_POOL_H_
+#define AUSDB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ausdb {
+
+/// \brief Fixed-size worker pool for deterministic data parallelism.
+///
+/// AUSDB's accuracy guarantees only survive parallelization if a parallel
+/// run is bit-identical to a serial one, so the pool is used exclusively
+/// through *static chunking*: work is split into a fixed number of
+/// contiguous chunks whose boundaries depend only on the problem size
+/// (never on the thread count), each chunk accumulates into private
+/// state, and the caller merges chunk results in chunk-index order.
+/// Under that discipline the floating-point operation tree is invariant
+/// across thread counts, including the no-pool serial fallback.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t thread_count() const { return workers_.size(); }
+
+  /// \brief Runs `fn(chunk_index, begin, end)` for every chunk of [0, n)
+  /// split into `num_chunks` contiguous ranges of near-equal size, and
+  /// blocks until all chunks have finished. Chunk boundaries are a pure
+  /// function of (n, num_chunks). `fn` must not touch shared mutable
+  /// state except through per-chunk slots.
+  void ParallelFor(size_t n, size_t num_chunks,
+                   const std::function<void(size_t chunk_index,
+                                            size_t begin, size_t end)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable work_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// \brief Deterministic chunk count for a problem of size n: a pure
+/// function of n (never of the machine), so the merge tree — and hence
+/// the floating-point result — is reproducible everywhere.
+size_t DeterministicChunkCount(size_t n);
+
+/// \brief Runs the statically chunked loop on `pool`, or inline in chunk
+/// order when `pool` is null (the serial engine). Both paths execute the
+/// identical chunk decomposition, which is what makes the serial and
+/// parallel results bit-identical.
+void RunChunked(ThreadPool* pool, size_t n, size_t num_chunks,
+                const std::function<void(size_t chunk_index, size_t begin,
+                                         size_t end)>& fn);
+
+}  // namespace ausdb
+
+#endif  // AUSDB_COMMON_THREAD_POOL_H_

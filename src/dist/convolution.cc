@@ -1,7 +1,10 @@
 #include "src/dist/convolution.h"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
+
+#include "src/common/thread_pool.h"
 
 namespace ausdb {
 namespace dist {
@@ -32,6 +35,13 @@ std::vector<PointMass> Discretize(const HistogramDist& h, size_t s) {
   return points;
 }
 
+bool AllEdgesFinite(const HistogramDist& h) {
+  for (double e : h.edges()) {
+    if (!std::isfinite(e)) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 Result<HistogramDist> ConvolveHistograms(const HistogramDist& x,
@@ -39,6 +49,10 @@ Result<HistogramDist> ConvolveHistograms(const HistogramDist& x,
                                          const ConvolveOptions& options) {
   if (options.subdivisions == 0) {
     return Status::InvalidArgument("subdivisions must be >= 1");
+  }
+  if (!AllEdgesFinite(x) || !AllEdgesFinite(y)) {
+    return Status::InvalidArgument(
+        "convolution inputs must have finite support edges");
   }
   size_t bins = options.output_bins;
   if (bins == 0) {
@@ -50,41 +64,64 @@ Result<HistogramDist> ConvolveHistograms(const HistogramDist& x,
   if (!(hi > lo)) {
     return Status::InvalidArgument("degenerate convolution support");
   }
+  if (bins == 1) {
+    // A single bin can only hold all the mass; its (midpoint) mean is
+    // the best one bin can represent.
+    return HistogramDist::Make({lo, hi}, {1.0});
+  }
 
+  // The grid places the first and last bin *midpoints* on lo and hi, so
+  // every point mass v in [lo, hi] lies within the midpoint hull and the
+  // cloud-in-cell split below is exact — the old grid clamped boundary
+  // mass into the edge bins, which biased the mean near the support
+  // edges. The support stretches half a bin beyond [lo, hi] on each side
+  // to make room for the edge midpoints.
+  const double step = (hi - lo) / static_cast<double>(bins - 1);
   std::vector<double> edges(bins + 1);
   for (size_t i = 0; i <= bins; ++i) {
-    edges[i] = lo + (hi - lo) * static_cast<double>(i) /
-                        static_cast<double>(bins);
+    edges[i] = lo + (static_cast<double>(i) - 0.5) * step;
   }
-  std::vector<double> probs(bins, 0.0);
-  const double inv_width = static_cast<double>(bins) / (hi - lo);
-
-  // Cloud-in-cell assignment: each point mass is split linearly between
-  // the two output bins whose midpoints bracket it, which keeps the
-  // result's mean exact (up to boundary clamping) and halves the CDF
-  // discretization bias of nearest-bin assignment.
-  const auto deposit = [&](double v, double mass) {
-    const double p = (v - lo) * inv_width - 0.5;
-    if (p <= 0.0) {
-      probs[0] += mass;
-      return;
-    }
-    if (p >= static_cast<double>(bins - 1)) {
-      probs[bins - 1] += mass;
-      return;
-    }
-    const size_t i0 = static_cast<size_t>(p);
-    const double frac = p - static_cast<double>(i0);
-    probs[i0] += mass * (1.0 - frac);
-    probs[i0 + 1] += mass * frac;
-  };
+  const double inv_step = 1.0 / step;
 
   const auto px = Discretize(x, options.subdivisions);
   const auto py = Discretize(y, options.subdivisions);
-  for (const PointMass& a : px) {
-    for (const PointMass& b : py) {
-      deposit(a.value + b.value, a.mass * b.mass);
-    }
+
+  // Cloud-in-cell assignment: each point mass splits linearly between
+  // the two output bins whose midpoints bracket it, which keeps the
+  // result's mean exact and halves the CDF discretization bias of
+  // nearest-bin assignment. The outer-point loop is tiled into chunks
+  // whose boundaries depend only on the input size; each chunk deposits
+  // into a private accumulator and the partials are merged in chunk
+  // order, so the result is bit-identical at any thread count
+  // (including the no-pool serial path).
+  const size_t num_chunks = DeterministicChunkCount(px.size());
+  std::vector<std::vector<double>> partials(num_chunks);
+  RunChunked(options.pool, px.size(), num_chunks,
+             [&](size_t chunk, size_t begin, size_t end) {
+               std::vector<double>& probs = partials[chunk];
+               probs.assign(bins, 0.0);
+               for (size_t ai = begin; ai < end; ++ai) {
+                 const PointMass& a = px[ai];
+                 for (const PointMass& b : py) {
+                   const double v = a.value + b.value;
+                   const double m = a.mass * b.mass;
+                   // p in [0, bins-1] up to rounding; clamp the spill.
+                   const double p = std::clamp(
+                       (v - lo) * inv_step, 0.0,
+                       static_cast<double>(bins - 1));
+                   const size_t i0 =
+                       std::min(static_cast<size_t>(p), bins - 2);
+                   const double frac = p - static_cast<double>(i0);
+                   probs[i0] += m * (1.0 - frac);
+                   probs[i0 + 1] += m * frac;
+                 }
+               }
+             });
+
+  std::vector<double> probs(bins, 0.0);
+  for (size_t c = 0; c < num_chunks; ++c) {
+    if (partials[c].empty()) continue;  // chunk count exceeded px size
+    for (size_t i = 0; i < bins; ++i) probs[i] += partials[c][i];
   }
   return HistogramDist::Make(std::move(edges), std::move(probs));
 }

@@ -5,6 +5,9 @@
 #include "src/dist/histogram.h"
 
 namespace ausdb {
+
+class ThreadPool;
+
 namespace dist {
 
 /// Options of ConvolveHistograms.
@@ -16,6 +19,12 @@ struct ConvolveOptions {
   /// uniform mass. Higher = closer to the exact piecewise-quadratic
   /// convolution at quadratic cost in the subdivision count.
   size_t subdivisions = 4;
+
+  /// Optional worker pool: the point-mass deposit loop is tiled into
+  /// statically sized chunks with per-chunk accumulators merged in chunk
+  /// order, so the result is bit-identical with or without a pool, at
+  /// any thread count.
+  ThreadPool* pool = nullptr;
 };
 
 /// \brief Distribution of X + Y for independent histogram-distributed X
@@ -24,10 +33,16 @@ struct ConvolveOptions {
 ///
 /// Each input bin's uniform mass is subdivided into `subdivisions` point
 /// masses at subcell midpoints; the point masses are convolved and
-/// deposited onto the output grid over [lo_x + lo_y, hi_x + hi_y] with
-/// linear (cloud-in-cell) assignment, which keeps the mean exact up to
-/// boundary clamping; variance error is O(width^2) in the subcell and
-/// output-bin widths.
+/// deposited with linear (cloud-in-cell) assignment onto an output grid
+/// whose first and last bin *midpoints* sit on lo_x + lo_y and
+/// hi_x + hi_y. Every deposit therefore falls inside the midpoint hull
+/// and splits between two bins with exact linear weights — no boundary
+/// clamping — which keeps the result's mean exactly mean(X) + mean(Y);
+/// variance error is O(width^2) in the subcell and output-bin widths.
+/// The grid extends half an output bin beyond the exact support on each
+/// side to make room for the edge midpoints.
+///
+/// Fails with InvalidArgument when either input has non-finite edges.
 Result<HistogramDist> ConvolveHistograms(const HistogramDist& x,
                                          const HistogramDist& y,
                                          const ConvolveOptions& options = {});

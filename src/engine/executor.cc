@@ -1,7 +1,37 @@
 #include "src/engine/executor.h"
 
+#include "src/common/thread_pool.h"
+
 namespace ausdb {
 namespace engine {
+
+namespace {
+
+/// Binds a pool to the plan for one drain and unbinds on scope exit, so
+/// a failed Collect never leaves a dangling pool pointer in the tree.
+class ScopedPoolBinding {
+ public:
+  ScopedPoolBinding(Operator& root, ThreadPool& pool) : root_(root) {
+    root_.BindThreadPool(&pool);
+  }
+  ~ScopedPoolBinding() { root_.BindThreadPool(nullptr); }
+
+ private:
+  Operator& root_;
+};
+
+}  // namespace
+
+Result<std::vector<Tuple>> ParallelCollect(Operator& root,
+                                           ThreadPool& pool) {
+  ScopedPoolBinding binding(root, pool);
+  return Collect(root);
+}
+
+Result<size_t> ParallelDrain(Operator& root, ThreadPool& pool) {
+  ScopedPoolBinding binding(root, pool);
+  return Drain(root);
+}
 
 Result<std::vector<Tuple>> Collect(Operator& root) {
   std::vector<Tuple> out;

@@ -20,6 +20,17 @@ Result<size_t> Drain(Operator& root);
 /// \brief Pulls at most `limit` tuples.
 Result<std::vector<Tuple>> CollectLimit(Operator& root, size_t limit);
 
+/// \brief Collect with `pool` bound to the plan for the duration of the
+/// drain: parallel-aware operators (e.g.
+/// ShardedPartitionedWindowAggregate) fan their work across the pool's
+/// workers. Under the determinism contract the result is bit-identical
+/// to plain Collect at any pool size. The binding is removed before
+/// returning.
+Result<std::vector<Tuple>> ParallelCollect(Operator& root, ThreadPool& pool);
+
+/// \brief Drain variant of ParallelCollect.
+Result<size_t> ParallelDrain(Operator& root, ThreadPool& pool);
+
 /// \brief Destination of periodic operator checkpoints: a durable store
 /// in production (file, replicated log), an in-memory slot in tests.
 class CheckpointSink {

@@ -49,6 +49,9 @@ class Filter final : public Operator {
   const Schema& schema() const override { return child_->schema(); }
   Result<std::optional<Tuple>> Next() override;
   Status Reset() override;
+  void BindThreadPool(ThreadPool* pool) override {
+    child_->BindThreadPool(pool);
+  }
 
   /// Number of UNSURE outcomes seen so far (kept or dropped).
   size_t unsure_count() const { return unsure_count_; }

@@ -27,6 +27,10 @@ class Limit final : public Operator {
     return child_->Reset();
   }
 
+  void BindThreadPool(ThreadPool* pool) override {
+    child_->BindThreadPool(pool);
+  }
+
  private:
   OperatorPtr child_;
   size_t limit_;

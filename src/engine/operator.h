@@ -11,6 +11,9 @@
 #include "src/engine/tuple.h"
 
 namespace ausdb {
+
+class ThreadPool;
+
 namespace engine {
 
 /// \brief Pull-based (Volcano-style) stream operator.
@@ -52,6 +55,14 @@ class Operator {
     (void)blob;
     return Status::NotImplemented("operator does not support checkpoints");
   }
+
+  /// \brief Offers a worker pool to this operator and its subtree
+  /// (`nullptr` unbinds). Parallel-aware operators use the pool for
+  /// intra-operator data parallelism under the determinism contract —
+  /// output is bit-identical with or without a pool, at any thread
+  /// count. Operators with children must forward the binding; leaves
+  /// may ignore it. The pool must outlive the binding.
+  virtual void BindThreadPool(ThreadPool* pool) { (void)pool; }
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;

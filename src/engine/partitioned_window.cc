@@ -56,81 +56,24 @@ Result<std::optional<Tuple>> PartitionedWindowAggregate::Next() {
     if (!t.has_value()) return std::optional<Tuple>(std::nullopt);
 
     const expr::Value& key_value = t->value(key_index_);
-    std::string key;
-    if (key_value.is_string()) {
-      key = *key_value.string_value();
-    } else {
-      AUSDB_ASSIGN_OR_RETURN(double kd, key_value.AsDouble());
-      key = std::to_string(kd);
-    }
+    AUSDB_ASSIGN_OR_RETURN(std::string key,
+                           PartitionKeyFromValue(key_value));
+    AUSDB_ASSIGN_OR_RETURN(
+        WindowEntry e, WindowEntryFromValue(t->value(agg_index_), options_));
 
-    const expr::Value& v = t->value(agg_index_);
-    Entry e;
-    if (v.is_random_var()) {
-      AUSDB_ASSIGN_OR_RETURN(dist::RandomVar rv, v.random_var());
-      if (!rv.is_certain() &&
-          rv.distribution()->kind() != dist::DistributionKind::kGaussian &&
-          !options_.allow_clt_approximation) {
-        return Status::NotImplemented(
-            "closed-form window aggregation requires Gaussian or "
-            "deterministic inputs; got " + rv.distribution()->ToString());
-      }
-      e.mean = rv.Mean();
-      e.variance = rv.Variance();
-      e.sample_size = rv.sample_size();
-    } else {
-      AUSDB_ASSIGN_OR_RETURN(double d, v.AsDouble());
-      e.mean = d;
-      e.variance = 0.0;
-      e.sample_size = dist::RandomVar::kCertainSampleSize;
-    }
+    KeyWindowState& state = partitions_[key];
+    std::optional<KeyWindowState::Aggregate> agg =
+        state.Observe(e, options_);
+    if (!agg.has_value()) continue;
 
-    PartitionState& state = partitions_[key];
-    state.window.push_back(e);
-    state.sum_mean += e.mean;
-    state.sum_variance += e.variance;
-
-    if (options_.kind == WindowKind::kTumbling) {
-      if (state.window.size() < options_.window_size) continue;
-    } else {
-      if (state.window.size() > options_.window_size) {
-        const Entry& old = state.window.front();
-        state.sum_mean -= old.mean;
-        state.sum_variance -= old.variance;
-        state.window.pop_front();
-      }
-      if (state.window.size() < options_.window_size &&
-          !options_.emit_partial) {
-        continue;
-      }
-    }
-
-    const double w = static_cast<double>(state.window.size());
-    double mean = state.sum_mean;
-    double variance = state.sum_variance;
-    if (options_.fn == WindowAggFn::kAvg) {
-      mean /= w;
-      variance /= w * w;
-    }
-    // Per-key windows are small-to-moderate; a linear scan for the
-    // minimum sample size keeps the per-partition state simple.
-    size_t df = dist::RandomVar::kCertainSampleSize;
-    for (const Entry& entry : state.window) {
-      df = std::min(df, entry.sample_size);
-    }
-
-    dist::RandomVar agg(
-        std::make_shared<dist::GaussianDist>(mean,
-                                             std::max(0.0, variance)),
-        df);
-    Tuple out({key_value, expr::Value(std::move(agg))});
+    dist::RandomVar rv(
+        std::make_shared<dist::GaussianDist>(agg->mean,
+                                             std::max(0.0, agg->variance)),
+        agg->df);
+    Tuple out({key_value, expr::Value(std::move(rv))});
     out.set_sequence(t->sequence());
     out.set_membership_prob(t->membership_prob());
     out.set_membership_df_n(t->membership_df_n());
-    if (options_.kind == WindowKind::kTumbling) {
-      state.window.clear();
-      state.sum_mean = state.sum_variance = 0.0;
-    }
     return std::optional<Tuple>(std::move(out));
   }
 }
@@ -142,7 +85,7 @@ Status PartitionedWindowAggregate::Reset() {
 
 Result<std::string> PartitionedWindowAggregate::SaveCheckpoint() const {
   serde::CheckpointWriter w;
-  w.Token("pwagg.v1");
+  w.Token("pwagg.v2");
   w.Uint(static_cast<uint64_t>(options_.kind));
   w.Uint(static_cast<uint64_t>(options_.fn));
   w.Uint(options_.window_size);
@@ -155,12 +98,14 @@ Result<std::string> PartitionedWindowAggregate::SaveCheckpoint() const {
               return *a < *b;
             });
   for (const std::string* key : keys) {
-    const PartitionState& state = partitions_.at(*key);
+    const KeyWindowState& state = partitions_.at(*key);
     w.Bytes(*key);
-    w.Double(state.sum_mean);
-    w.Double(state.sum_variance);
+    w.Double(state.sum_mean.raw_sum());
+    w.Double(state.sum_mean.compensation());
+    w.Double(state.sum_variance.raw_sum());
+    w.Double(state.sum_variance.compensation());
     w.Uint(state.window.size());
-    for (const Entry& e : state.window) {
+    for (const WindowEntry& e : state.window) {
       w.Double(e.mean);
       w.Double(e.variance);
       w.Uint(e.sample_size);
@@ -171,7 +116,14 @@ Result<std::string> PartitionedWindowAggregate::SaveCheckpoint() const {
 
 Status PartitionedWindowAggregate::RestoreCheckpoint(std::string_view blob) {
   serde::CheckpointReader r(blob);
-  AUSDB_RETURN_NOT_OK(r.ExpectToken("pwagg.v1"));
+  AUSDB_ASSIGN_OR_RETURN(std::string version, r.NextToken());
+  // v1 blobs predate compensated summation and carry plain sums; they
+  // restore with zero compensation.
+  const bool v1 = version == "pwagg.v1";
+  if (!v1 && version != "pwagg.v2") {
+    return Status::ParseError("unknown PartitionedWindowAggregate "
+                              "checkpoint version '" + version + "'");
+  }
   AUSDB_ASSIGN_OR_RETURN(uint64_t kind, r.NextUint());
   AUSDB_ASSIGN_OR_RETURN(uint64_t fn, r.NextUint());
   AUSDB_ASSIGN_OR_RETURN(uint64_t window_size, r.NextUint());
@@ -183,16 +135,26 @@ Status PartitionedWindowAggregate::RestoreCheckpoint(std::string_view blob) {
         "PartitionedWindowAggregate");
   }
   AUSDB_ASSIGN_OR_RETURN(uint64_t npartitions, r.NextUint());
-  std::unordered_map<std::string, PartitionState> restored;
+  std::unordered_map<std::string, KeyWindowState> restored;
   restored.reserve(npartitions);
   for (uint64_t p = 0; p < npartitions; ++p) {
     AUSDB_ASSIGN_OR_RETURN(std::string key, r.NextBytes());
-    PartitionState state;
-    AUSDB_ASSIGN_OR_RETURN(state.sum_mean, r.NextDouble());
-    AUSDB_ASSIGN_OR_RETURN(state.sum_variance, r.NextDouble());
+    KeyWindowState state;
+    AUSDB_ASSIGN_OR_RETURN(double sum_mean, r.NextDouble());
+    double comp_mean = 0.0;
+    if (!v1) {
+      AUSDB_ASSIGN_OR_RETURN(comp_mean, r.NextDouble());
+    }
+    AUSDB_ASSIGN_OR_RETURN(double sum_variance, r.NextDouble());
+    double comp_variance = 0.0;
+    if (!v1) {
+      AUSDB_ASSIGN_OR_RETURN(comp_variance, r.NextDouble());
+    }
+    state.sum_mean.Restore(sum_mean, comp_mean);
+    state.sum_variance.Restore(sum_variance, comp_variance);
     AUSDB_ASSIGN_OR_RETURN(uint64_t count, r.NextUint());
     for (uint64_t i = 0; i < count; ++i) {
-      Entry e;
+      WindowEntry e;
       AUSDB_ASSIGN_OR_RETURN(e.mean, r.NextDouble());
       AUSDB_ASSIGN_OR_RETURN(e.variance, r.NextDouble());
       AUSDB_ASSIGN_OR_RETURN(e.sample_size, r.NextUint());

@@ -1,12 +1,12 @@
 #ifndef AUSDB_ENGINE_PARTITIONED_WINDOW_H_
 #define AUSDB_ENGINE_PARTITIONED_WINDOW_H_
 
-#include <deque>
 #include <string>
 #include <unordered_map>
 
 #include "src/engine/operator.h"
 #include "src/engine/window_aggregate.h"
+#include "src/engine/window_state.h"
 
 namespace ausdb {
 namespace engine {
@@ -18,6 +18,9 @@ namespace engine {
 /// Road_ID of the paper's Example 1) maintains its own count-based
 /// window; an output tuple (key, aggregate) is produced whenever some
 /// key's window emits. Schema: (key:<key type>, <output_name>:uncertain).
+///
+/// Running sums are Neumaier-compensated (see KeyWindowState), so the
+/// evict-subtract update does not drift on long streams.
 class PartitionedWindowAggregate final : public Operator {
  public:
   static Result<std::unique_ptr<PartitionedWindowAggregate>> Make(
@@ -27,9 +30,15 @@ class PartitionedWindowAggregate final : public Operator {
   const Schema& schema() const override { return schema_; }
   Result<std::optional<Tuple>> Next() override;
   Status Reset() override;
+  void BindThreadPool(ThreadPool* pool) override {
+    child_->BindThreadPool(pool);
+  }
 
   /// Checkpointing serializes every partition's open window and exact
-  /// running sums (keys sorted, so equal states produce equal blobs).
+  /// running sums including the Neumaier compensation terms (keys
+  /// sorted, so equal states produce equal blobs). Writes the v2 format;
+  /// restores both v2 and legacy v1 blobs (which carried no compensation
+  /// terms — those restore with zero compensation).
   Result<std::string> SaveCheckpoint() const override;
   Status RestoreCheckpoint(std::string_view blob) override;
 
@@ -37,18 +46,6 @@ class PartitionedWindowAggregate final : public Operator {
   size_t partition_count() const { return partitions_.size(); }
 
  private:
-  struct Entry {
-    double mean;
-    double variance;
-    size_t sample_size;
-  };
-
-  struct PartitionState {
-    std::deque<Entry> window;
-    double sum_mean = 0.0;
-    double sum_variance = 0.0;
-  };
-
   PartitionedWindowAggregate(OperatorPtr child, size_t key_index,
                              size_t agg_index, Schema out_schema,
                              WindowAggregateOptions options);
@@ -58,7 +55,7 @@ class PartitionedWindowAggregate final : public Operator {
   size_t agg_index_;
   Schema schema_;
   WindowAggregateOptions options_;
-  std::unordered_map<std::string, PartitionState> partitions_;
+  std::unordered_map<std::string, KeyWindowState> partitions_;
 };
 
 }  // namespace engine

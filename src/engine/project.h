@@ -41,6 +41,9 @@ class Project final : public Operator {
   const Schema& schema() const override { return schema_; }
   Result<std::optional<Tuple>> Next() override;
   Status Reset() override;
+  void BindThreadPool(ThreadPool* pool) override {
+    child_->BindThreadPool(pool);
+  }
 
  private:
   Project(OperatorPtr child, std::vector<ProjectionItem> items,

@@ -1,0 +1,298 @@
+#include "src/engine/sharded_partitioned_window.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "src/common/thread_pool.h"
+#include "src/dist/gaussian.h"
+#include "src/serde/checkpoint.h"
+
+namespace ausdb {
+namespace engine {
+
+namespace {
+
+// Platform-independent key hash (FNV-1a, 64-bit): shard assignment must
+// be identical across runs and machines for checkpoints to restore into
+// the same shard layout.
+uint64_t Fnv1a64(const std::string& key) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardedPartitionedWindowAggregate>>
+ShardedPartitionedWindowAggregate::Make(OperatorPtr child,
+                                        std::string key_column,
+                                        std::string agg_column,
+                                        std::string output_name,
+                                        ShardedWindowOptions options) {
+  if (options.window.window_size == 0) {
+    return Status::InvalidArgument("window size must be >= 1");
+  }
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (options.batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
+  AUSDB_ASSIGN_OR_RETURN(size_t key_idx,
+                         child->schema().IndexOf(key_column));
+  const FieldType key_type = child->schema().field(key_idx).type;
+  if (key_type != FieldType::kString && key_type != FieldType::kDouble) {
+    return Status::TypeError("group-by key '" + key_column +
+                             "' must be a deterministic string or double");
+  }
+  AUSDB_ASSIGN_OR_RETURN(size_t agg_idx,
+                         child->schema().IndexOf(agg_column));
+  const FieldType agg_type = child->schema().field(agg_idx).type;
+  if (agg_type != FieldType::kUncertain &&
+      agg_type != FieldType::kDouble) {
+    return Status::TypeError("window aggregate column '" + agg_column +
+                             "' must be numeric");
+  }
+  Schema out_schema;
+  AUSDB_RETURN_NOT_OK(out_schema.AddField({std::move(key_column), key_type}));
+  AUSDB_RETURN_NOT_OK(
+      out_schema.AddField({std::move(output_name), FieldType::kUncertain}));
+  return std::unique_ptr<ShardedPartitionedWindowAggregate>(
+      new ShardedPartitionedWindowAggregate(std::move(child), key_idx,
+                                            agg_idx, std::move(out_schema),
+                                            options));
+}
+
+ShardedPartitionedWindowAggregate::ShardedPartitionedWindowAggregate(
+    OperatorPtr child, size_t key_index, size_t agg_index,
+    Schema out_schema, ShardedWindowOptions options)
+    : child_(std::move(child)),
+      key_index_(key_index),
+      agg_index_(agg_index),
+      schema_(std::move(out_schema)),
+      options_(options),
+      shards_(options.num_shards) {}
+
+Status ShardedPartitionedWindowAggregate::FillBatch() {
+  // Phase 1 (serial): pull the batch and extract keys/entries. Extraction
+  // is cheap relative to window maintenance and keeps error handling and
+  // input accounting on one thread.
+  std::vector<Tuple> tuples;
+  std::vector<std::string> keys;
+  std::vector<WindowEntry> entries;
+  tuples.reserve(options_.batch_size);
+  while (tuples.size() < options_.batch_size) {
+    AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> t, child_->Next());
+    if (!t.has_value()) {
+      exhausted_ = true;
+      break;
+    }
+    ++input_consumed_;
+    AUSDB_ASSIGN_OR_RETURN(std::string key,
+                           PartitionKeyFromValue(t->value(key_index_)));
+    AUSDB_ASSIGN_OR_RETURN(
+        WindowEntry e,
+        WindowEntryFromValue(t->value(agg_index_), options_.window));
+    tuples.push_back(std::move(*t));
+    keys.push_back(std::move(key));
+    entries.push_back(e);
+  }
+  if (tuples.empty()) return Status::OK();
+
+  const size_t num_shards = shards_.size();
+  std::vector<std::vector<size_t>> shard_items(num_shards);
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    shard_items[Fnv1a64(keys[i]) % num_shards].push_back(i);
+  }
+
+  // Phase 2 (parallel): each shard replays its items in input order
+  // against its private states. Emission slots are per input index, so
+  // workers never write shared locations. One chunk per shard — the
+  // chunk decomposition depends only on the shard count, never on the
+  // thread count, which keeps the result bit-identical at any
+  // parallelism (the per-key arithmetic is KeyWindowState's, the same
+  // code the serial PartitionedWindowAggregate runs).
+  std::vector<std::optional<KeyWindowState::Aggregate>> emissions(
+      tuples.size());
+  RunChunked(pool_, num_shards, num_shards,
+             [&](size_t, size_t begin, size_t end) {
+               for (size_t s = begin; s < end; ++s) {
+                 for (size_t i : shard_items[s]) {
+                   KeyWindowState& state = shards_[s][keys[i]];
+                   emissions[i] = state.Observe(entries[i], options_.window);
+                 }
+               }
+             });
+
+  // Phase 3 (serial): merge emissions back in input-sequence order.
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    if (!emissions[i].has_value()) continue;
+    const KeyWindowState::Aggregate& agg = *emissions[i];
+    dist::RandomVar rv(
+        std::make_shared<dist::GaussianDist>(agg.mean,
+                                             std::max(0.0, agg.variance)),
+        agg.df);
+    Tuple out({tuples[i].value(key_index_), expr::Value(std::move(rv))});
+    out.set_sequence(tuples[i].sequence());
+    out.set_membership_prob(tuples[i].membership_prob());
+    out.set_membership_df_n(tuples[i].membership_df_n());
+    out_queue_.push_back(std::move(out));
+  }
+  return Status::OK();
+}
+
+Result<std::optional<Tuple>> ShardedPartitionedWindowAggregate::Next() {
+  while (out_queue_.empty()) {
+    if (exhausted_) return std::optional<Tuple>(std::nullopt);
+    AUSDB_RETURN_NOT_OK(FillBatch());
+  }
+  Tuple t = std::move(out_queue_.front());
+  out_queue_.pop_front();
+  return std::optional<Tuple>(std::move(t));
+}
+
+Status ShardedPartitionedWindowAggregate::Reset() {
+  for (auto& shard : shards_) shard.clear();
+  out_queue_.clear();
+  input_consumed_ = 0;
+  exhausted_ = false;
+  return child_->Reset();
+}
+
+size_t ShardedPartitionedWindowAggregate::partition_count() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) n += shard.size();
+  return n;
+}
+
+Result<std::string> ShardedPartitionedWindowAggregate::SaveCheckpoint()
+    const {
+  serde::CheckpointWriter w;
+  w.Token("spwagg.v1");
+  w.Uint(static_cast<uint64_t>(options_.window.kind));
+  w.Uint(static_cast<uint64_t>(options_.window.fn));
+  w.Uint(options_.window.window_size);
+  w.Uint(input_consumed_);
+  // Keys sorted globally (shard assignment is recomputed on restore), so
+  // equal states produce equal blobs regardless of shard count.
+  std::map<std::string, const KeyWindowState*> sorted;
+  for (const auto& shard : shards_) {
+    for (const auto& kv : shard) sorted.emplace(kv.first, &kv.second);
+  }
+  w.Uint(sorted.size());
+  for (const auto& [key, state] : sorted) {
+    w.Bytes(key);
+    w.Double(state->sum_mean.raw_sum());
+    w.Double(state->sum_mean.compensation());
+    w.Double(state->sum_variance.raw_sum());
+    w.Double(state->sum_variance.compensation());
+    w.Uint(state->window.size());
+    for (const WindowEntry& e : state->window) {
+      w.Double(e.mean);
+      w.Double(e.variance);
+      w.Uint(e.sample_size);
+    }
+  }
+  // Pending emissions: computed from already-consumed input but not yet
+  // pulled; without them a mid-batch restore would drop outputs.
+  w.Uint(out_queue_.size());
+  for (const Tuple& t : out_queue_) {
+    const expr::Value& key = t.value(0);
+    if (key.is_string()) {
+      w.Uint(0);
+      w.Bytes(*key.string_value());
+    } else {
+      w.Uint(1);
+      AUSDB_ASSIGN_OR_RETURN(double kd, key.AsDouble());
+      w.Double(kd);
+    }
+    AUSDB_ASSIGN_OR_RETURN(dist::RandomVar rv, t.value(1).random_var());
+    w.Double(rv.Mean());
+    w.Double(rv.Variance());
+    w.Uint(rv.sample_size());
+    w.Uint(t.sequence());
+    w.Double(t.membership_prob());
+    w.Uint(t.membership_df_n());
+  }
+  return std::move(w).Finish();
+}
+
+Status ShardedPartitionedWindowAggregate::RestoreCheckpoint(
+    std::string_view blob) {
+  serde::CheckpointReader r(blob);
+  AUSDB_RETURN_NOT_OK(r.ExpectToken("spwagg.v1"));
+  AUSDB_ASSIGN_OR_RETURN(uint64_t kind, r.NextUint());
+  AUSDB_ASSIGN_OR_RETURN(uint64_t fn, r.NextUint());
+  AUSDB_ASSIGN_OR_RETURN(uint64_t window_size, r.NextUint());
+  if (kind != static_cast<uint64_t>(options_.window.kind) ||
+      fn != static_cast<uint64_t>(options_.window.fn) ||
+      window_size != options_.window.window_size) {
+    return Status::InvalidArgument(
+        "checkpoint was taken from a differently configured "
+        "ShardedPartitionedWindowAggregate");
+  }
+  AUSDB_ASSIGN_OR_RETURN(uint64_t input_consumed, r.NextUint());
+  AUSDB_ASSIGN_OR_RETURN(uint64_t npartitions, r.NextUint());
+  std::vector<std::unordered_map<std::string, KeyWindowState>> shards(
+      shards_.size());
+  for (uint64_t p = 0; p < npartitions; ++p) {
+    AUSDB_ASSIGN_OR_RETURN(std::string key, r.NextBytes());
+    KeyWindowState state;
+    AUSDB_ASSIGN_OR_RETURN(double sum_mean, r.NextDouble());
+    AUSDB_ASSIGN_OR_RETURN(double comp_mean, r.NextDouble());
+    AUSDB_ASSIGN_OR_RETURN(double sum_variance, r.NextDouble());
+    AUSDB_ASSIGN_OR_RETURN(double comp_variance, r.NextDouble());
+    state.sum_mean.Restore(sum_mean, comp_mean);
+    state.sum_variance.Restore(sum_variance, comp_variance);
+    AUSDB_ASSIGN_OR_RETURN(uint64_t count, r.NextUint());
+    for (uint64_t i = 0; i < count; ++i) {
+      WindowEntry e;
+      AUSDB_ASSIGN_OR_RETURN(e.mean, r.NextDouble());
+      AUSDB_ASSIGN_OR_RETURN(e.variance, r.NextDouble());
+      AUSDB_ASSIGN_OR_RETURN(e.sample_size, r.NextUint());
+      state.window.push_back(e);
+    }
+    shards[Fnv1a64(key) % shards.size()].emplace(std::move(key),
+                                                 std::move(state));
+  }
+  AUSDB_ASSIGN_OR_RETURN(uint64_t npending, r.NextUint());
+  std::deque<Tuple> pending;
+  for (uint64_t i = 0; i < npending; ++i) {
+    AUSDB_ASSIGN_OR_RETURN(uint64_t key_tag, r.NextUint());
+    expr::Value key_value;
+    if (key_tag == 0) {
+      AUSDB_ASSIGN_OR_RETURN(std::string key, r.NextBytes());
+      key_value = expr::Value(std::move(key));
+    } else if (key_tag == 1) {
+      AUSDB_ASSIGN_OR_RETURN(double kd, r.NextDouble());
+      key_value = expr::Value(kd);
+    } else {
+      return Status::ParseError("bad pending-emission key tag");
+    }
+    AUSDB_ASSIGN_OR_RETURN(double mean, r.NextDouble());
+    AUSDB_ASSIGN_OR_RETURN(double variance, r.NextDouble());
+    AUSDB_ASSIGN_OR_RETURN(uint64_t df, r.NextUint());
+    AUSDB_ASSIGN_OR_RETURN(uint64_t sequence, r.NextUint());
+    AUSDB_ASSIGN_OR_RETURN(double membership_prob, r.NextDouble());
+    AUSDB_ASSIGN_OR_RETURN(uint64_t membership_df_n, r.NextUint());
+    dist::RandomVar rv(std::make_shared<dist::GaussianDist>(mean, variance),
+                       df);
+    Tuple out({std::move(key_value), expr::Value(std::move(rv))});
+    out.set_sequence(sequence);
+    out.set_membership_prob(membership_prob);
+    out.set_membership_df_n(membership_df_n);
+    pending.push_back(std::move(out));
+  }
+  shards_ = std::move(shards);
+  out_queue_ = std::move(pending);
+  input_consumed_ = input_consumed;
+  exhausted_ = false;
+  return Status::OK();
+}
+
+}  // namespace engine
+}  // namespace ausdb

@@ -1,0 +1,98 @@
+#ifndef AUSDB_ENGINE_SHARDED_PARTITIONED_WINDOW_H_
+#define AUSDB_ENGINE_SHARDED_PARTITIONED_WINDOW_H_
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/engine/operator.h"
+#include "src/engine/window_aggregate.h"
+#include "src/engine/window_state.h"
+
+namespace ausdb {
+namespace engine {
+
+/// Options of ShardedPartitionedWindowAggregate.
+struct ShardedWindowOptions {
+  /// The per-key window configuration (shared with the serial operator).
+  WindowAggregateOptions window;
+
+  /// Number of key shards. Partition keys are hash-assigned to shards
+  /// with a platform-independent FNV-1a hash; each shard's states are
+  /// touched by exactly one worker per batch, so shards never contend.
+  /// The output is independent of the shard count (per-key arithmetic
+  /// does not cross shards).
+  size_t num_shards = 8;
+
+  /// Input tuples pulled per processing batch. Larger batches amortize
+  /// the fan-out/join cost per batch; emissions are re-merged in input
+  /// order regardless.
+  size_t batch_size = 1024;
+};
+
+/// \brief Parallel drop-in for PartitionedWindowAggregate: hash-shards
+/// partition keys across worker-private state maps and merges emissions
+/// in input-sequence order.
+///
+/// Determinism contract: output is bit-identical to the serial
+/// PartitionedWindowAggregate for every thread count (including no bound
+/// pool), because each key's window executes the identical
+/// KeyWindowState arithmetic in input order and emissions are re-merged
+/// by input position. Bind a pool via BindThreadPool (or
+/// engine::ParallelCollect) to actually fan batches out.
+class ShardedPartitionedWindowAggregate final : public Operator {
+ public:
+  static Result<std::unique_ptr<ShardedPartitionedWindowAggregate>> Make(
+      OperatorPtr child, std::string key_column, std::string agg_column,
+      std::string output_name, ShardedWindowOptions options = {});
+
+  const Schema& schema() const override { return schema_; }
+  Result<std::optional<Tuple>> Next() override;
+  Status Reset() override;
+  void BindThreadPool(ThreadPool* pool) override {
+    pool_ = pool;
+    child_->BindThreadPool(pool);
+  }
+
+  /// Checkpointing covers every shard's partition states (keys globally
+  /// sorted, Neumaier compensation terms included) plus the emissions
+  /// already computed but not yet pulled, so a restore mid-batch resumes
+  /// bit-for-bit. `input_consumed()` is the re-seek position for the
+  /// source.
+  Result<std::string> SaveCheckpoint() const override;
+  Status RestoreCheckpoint(std::string_view blob) override;
+
+  /// Number of distinct keys currently holding window state.
+  size_t partition_count() const;
+
+  /// Child tuples pulled so far — the input position a re-seeked source
+  /// must resume after when restoring this operator's checkpoint.
+  uint64_t input_consumed() const { return input_consumed_; }
+
+ private:
+  ShardedPartitionedWindowAggregate(OperatorPtr child, size_t key_index,
+                                    size_t agg_index, Schema out_schema,
+                                    ShardedWindowOptions options);
+
+  /// Pulls one batch from the child, fans it across shards, and appends
+  /// the batch's emissions to out_queue_ in input order.
+  Status FillBatch();
+
+  OperatorPtr child_;
+  size_t key_index_;
+  size_t agg_index_;
+  Schema schema_;
+  ShardedWindowOptions options_;
+  ThreadPool* pool_ = nullptr;
+
+  std::vector<std::unordered_map<std::string, KeyWindowState>> shards_;
+  std::deque<Tuple> out_queue_;
+  uint64_t input_consumed_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace engine
+}  // namespace ausdb
+
+#endif  // AUSDB_ENGINE_SHARDED_PARTITIONED_WINDOW_H_

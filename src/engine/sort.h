@@ -30,6 +30,9 @@ class Sort final : public Operator {
   const Schema& schema() const override { return child_->schema(); }
   Result<std::optional<Tuple>> Next() override;
   Status Reset() override;
+  void BindThreadPool(ThreadPool* pool) override {
+    child_->BindThreadPool(pool);
+  }
 
  private:
   Sort(OperatorPtr child, size_t column_index, SortOrder order)

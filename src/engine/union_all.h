@@ -21,6 +21,9 @@ class UnionAll final : public Operator {
   }
   Result<std::optional<Tuple>> Next() override;
   Status Reset() override;
+  void BindThreadPool(ThreadPool* pool) override {
+    for (auto& child : children_) child->BindThreadPool(pool);
+  }
 
  private:
   explicit UnionAll(std::vector<OperatorPtr> children)

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/dist/gaussian.h"
+#include "src/engine/window_state.h"
 #include "src/serde/checkpoint.h"
 
 namespace ausdb {
@@ -37,8 +38,8 @@ WindowAggregate::WindowAggregate(OperatorPtr child, size_t column_index,
 
 void WindowAggregate::Push(const Entry& e) {
   window_.push_back(e);
-  sum_mean_ += e.mean;
-  sum_variance_ += e.variance;
+  sum_mean_.Add(e.mean);
+  sum_variance_.Add(e.variance);
   while (!min_deque_.empty() &&
          min_deque_.back().sample_size >= e.sample_size) {
     min_deque_.pop_back();
@@ -48,8 +49,8 @@ void WindowAggregate::Push(const Entry& e) {
 
 void WindowAggregate::PopFront() {
   const Entry& e = window_.front();
-  sum_mean_ -= e.mean;
-  sum_variance_ -= e.variance;
+  sum_mean_.Subtract(e.mean);
+  sum_variance_.Subtract(e.variance);
   if (!min_deque_.empty() &&
       min_deque_.front().sequence == e.sequence) {
     min_deque_.pop_front();
@@ -62,29 +63,14 @@ Result<std::optional<Tuple>> WindowAggregate::Next() {
     AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> t, child_->Next());
     if (!t.has_value()) return std::optional<Tuple>(std::nullopt);
 
-    const expr::Value& v = t->value(column_index_);
+    AUSDB_ASSIGN_OR_RETURN(
+        WindowEntry we, WindowEntryFromValue(t->value(column_index_),
+                                             options_));
     Entry e;
     e.sequence = t->sequence();
-    if (v.is_random_var()) {
-      AUSDB_ASSIGN_OR_RETURN(dist::RandomVar rv, v.random_var());
-      if (!rv.is_certain() &&
-          rv.distribution()->kind() != dist::DistributionKind::kGaussian &&
-          !options_.allow_clt_approximation) {
-        return Status::NotImplemented(
-            "closed-form window aggregation requires Gaussian or "
-            "deterministic inputs; got " + rv.distribution()->ToString() +
-            " (set allow_clt_approximation for a CLT-based Gaussian "
-            "approximation)");
-      }
-      e.mean = rv.Mean();
-      e.variance = rv.Variance();
-      e.sample_size = rv.sample_size();
-    } else {
-      AUSDB_ASSIGN_OR_RETURN(double d, v.AsDouble());
-      e.mean = d;
-      e.variance = 0.0;
-      e.sample_size = dist::RandomVar::kCertainSampleSize;
-    }
+    e.mean = we.mean;
+    e.variance = we.variance;
+    e.sample_size = we.sample_size;
 
     Push(e);
     if (options_.kind == WindowKind::kTumbling) {
@@ -99,8 +85,8 @@ Result<std::optional<Tuple>> WindowAggregate::Next() {
     }
 
     const double w = static_cast<double>(window_.size());
-    double mean = sum_mean_;
-    double variance = sum_variance_;
+    double mean = sum_mean_.Get();
+    double variance = sum_variance_.Get();
     if (options_.fn == WindowAggFn::kAvg) {
       mean /= w;
       variance /= w * w;
@@ -118,7 +104,8 @@ Result<std::optional<Tuple>> WindowAggregate::Next() {
     if (options_.kind == WindowKind::kTumbling) {
       window_.clear();
       min_deque_.clear();
-      sum_mean_ = sum_variance_ = 0.0;
+      sum_mean_.Reset();
+      sum_variance_.Reset();
     }
     return std::optional<Tuple>(std::move(out));
   }
@@ -127,18 +114,21 @@ Result<std::optional<Tuple>> WindowAggregate::Next() {
 Status WindowAggregate::Reset() {
   window_.clear();
   min_deque_.clear();
-  sum_mean_ = sum_variance_ = 0.0;
+  sum_mean_.Reset();
+  sum_variance_.Reset();
   return child_->Reset();
 }
 
 Result<std::string> WindowAggregate::SaveCheckpoint() const {
   serde::CheckpointWriter w;
-  w.Token("wagg.v1");
+  w.Token("wagg.v2");
   w.Uint(static_cast<uint64_t>(options_.kind));
   w.Uint(static_cast<uint64_t>(options_.fn));
   w.Uint(options_.window_size);
-  w.Double(sum_mean_);
-  w.Double(sum_variance_);
+  w.Double(sum_mean_.raw_sum());
+  w.Double(sum_mean_.compensation());
+  w.Double(sum_variance_.raw_sum());
+  w.Double(sum_variance_.compensation());
   w.Uint(window_.size());
   for (const Entry& e : window_) {
     w.Double(e.mean);
@@ -151,7 +141,14 @@ Result<std::string> WindowAggregate::SaveCheckpoint() const {
 
 Status WindowAggregate::RestoreCheckpoint(std::string_view blob) {
   serde::CheckpointReader r(blob);
-  AUSDB_RETURN_NOT_OK(r.ExpectToken("wagg.v1"));
+  AUSDB_ASSIGN_OR_RETURN(std::string version, r.NextToken());
+  // v1 blobs predate compensated summation and carry plain sums; they
+  // restore with zero compensation.
+  const bool v1 = version == "wagg.v1";
+  if (!v1 && version != "wagg.v2") {
+    return Status::ParseError("unknown WindowAggregate checkpoint "
+                              "version '" + version + "'");
+  }
   AUSDB_ASSIGN_OR_RETURN(uint64_t kind, r.NextUint());
   AUSDB_ASSIGN_OR_RETURN(uint64_t fn, r.NextUint());
   AUSDB_ASSIGN_OR_RETURN(uint64_t window_size, r.NextUint());
@@ -163,11 +160,20 @@ Status WindowAggregate::RestoreCheckpoint(std::string_view blob) {
         "WindowAggregate");
   }
   AUSDB_ASSIGN_OR_RETURN(double sum_mean, r.NextDouble());
+  double comp_mean = 0.0;
+  if (!v1) {
+    AUSDB_ASSIGN_OR_RETURN(comp_mean, r.NextDouble());
+  }
   AUSDB_ASSIGN_OR_RETURN(double sum_variance, r.NextDouble());
+  double comp_variance = 0.0;
+  if (!v1) {
+    AUSDB_ASSIGN_OR_RETURN(comp_variance, r.NextDouble());
+  }
   AUSDB_ASSIGN_OR_RETURN(uint64_t count, r.NextUint());
   window_.clear();
   min_deque_.clear();
-  sum_mean_ = sum_variance_ = 0.0;
+  sum_mean_.Reset();
+  sum_variance_.Reset();
   for (uint64_t i = 0; i < count; ++i) {
     Entry e;
     AUSDB_ASSIGN_OR_RETURN(e.mean, r.NextDouble());
@@ -176,10 +182,10 @@ Status WindowAggregate::RestoreCheckpoint(std::string_view blob) {
     AUSDB_ASSIGN_OR_RETURN(e.sequence, r.NextUint());
     Push(e);  // rebuilds min_deque_
   }
-  // Push() resummed the entries; overwrite with the checkpointed sums so
-  // the accumulators keep their exact floating-point history.
-  sum_mean_ = sum_mean;
-  sum_variance_ = sum_variance;
+  // Push() resummed the entries; overwrite with the checkpointed
+  // accumulators so they keep their exact floating-point history.
+  sum_mean_.Restore(sum_mean, comp_mean);
+  sum_variance_.Restore(sum_variance, comp_variance);
   return Status::OK();
 }
 

@@ -4,6 +4,7 @@
 #include <deque>
 #include <string>
 
+#include "src/common/math_util.h"
 #include "src/engine/operator.h"
 
 namespace ausdb {
@@ -64,10 +65,15 @@ class WindowAggregate final : public Operator {
   const Schema& schema() const override { return schema_; }
   Result<std::optional<Tuple>> Next() override;
   Status Reset() override;
+  void BindThreadPool(ThreadPool* pool) override {
+    child_->BindThreadPool(pool);
+  }
 
   /// Checkpointing serializes the open window (entries plus the exact
-  /// running sums, preserving their floating-point accumulation history)
-  /// so a restarted pipeline resumes mid-window bit-for-bit.
+  /// running sums and their Neumaier compensation terms, preserving the
+  /// accumulators' floating-point history) so a restarted pipeline
+  /// resumes mid-window bit-for-bit. Writes the v2 format; restores v2
+  /// and legacy v1 blobs (no compensation terms; restored as zero).
   Result<std::string> SaveCheckpoint() const override;
   Status RestoreCheckpoint(std::string_view blob) override;
 
@@ -91,8 +97,10 @@ class WindowAggregate final : public Operator {
   WindowAggregateOptions options_;
 
   std::deque<Entry> window_;
-  double sum_mean_ = 0.0;
-  double sum_variance_ = 0.0;
+  /// Neumaier-compensated running sums: the evict-subtract update drifts
+  /// on long mixed-magnitude streams with plain double accumulators.
+  KahanSum sum_mean_;
+  KahanSum sum_variance_;
   /// Monotonic (non-decreasing sample_size) deque of window entries used
   /// to answer "min sample size in window" in O(1) amortized.
   std::deque<Entry> min_deque_;

@@ -1,0 +1,86 @@
+#include "src/engine/window_state.h"
+
+#include <algorithm>
+
+#include "src/dist/random_var.h"
+
+namespace ausdb {
+namespace engine {
+
+Result<WindowEntry> WindowEntryFromValue(
+    const expr::Value& v, const WindowAggregateOptions& options) {
+  WindowEntry e;
+  if (v.is_random_var()) {
+    AUSDB_ASSIGN_OR_RETURN(dist::RandomVar rv, v.random_var());
+    if (!rv.is_certain() &&
+        rv.distribution()->kind() != dist::DistributionKind::kGaussian &&
+        !options.allow_clt_approximation) {
+      return Status::NotImplemented(
+          "closed-form window aggregation requires Gaussian or "
+          "deterministic inputs; got " + rv.distribution()->ToString() +
+          " (set allow_clt_approximation for a CLT-based Gaussian "
+          "approximation)");
+    }
+    e.mean = rv.Mean();
+    e.variance = rv.Variance();
+    e.sample_size = rv.sample_size();
+  } else {
+    AUSDB_ASSIGN_OR_RETURN(double d, v.AsDouble());
+    e.mean = d;
+    e.variance = 0.0;
+    e.sample_size = dist::RandomVar::kCertainSampleSize;
+  }
+  return e;
+}
+
+Result<std::string> PartitionKeyFromValue(const expr::Value& v) {
+  if (v.is_string()) return *v.string_value();
+  AUSDB_ASSIGN_OR_RETURN(double kd, v.AsDouble());
+  return std::to_string(kd);
+}
+
+std::optional<KeyWindowState::Aggregate> KeyWindowState::Observe(
+    const WindowEntry& e, const WindowAggregateOptions& options) {
+  window.push_back(e);
+  sum_mean.Add(e.mean);
+  sum_variance.Add(e.variance);
+
+  if (options.kind == WindowKind::kTumbling) {
+    if (window.size() < options.window_size) return std::nullopt;
+  } else {
+    if (window.size() > options.window_size) {
+      const WindowEntry& old = window.front();
+      sum_mean.Subtract(old.mean);
+      sum_variance.Subtract(old.variance);
+      window.pop_front();
+    }
+    if (window.size() < options.window_size && !options.emit_partial) {
+      return std::nullopt;
+    }
+  }
+
+  const double w = static_cast<double>(window.size());
+  Aggregate agg;
+  agg.mean = sum_mean.Get();
+  agg.variance = sum_variance.Get();
+  if (options.fn == WindowAggFn::kAvg) {
+    agg.mean /= w;
+    agg.variance /= w * w;
+  }
+  // Per-key windows are small-to-moderate; a linear scan for the
+  // minimum sample size keeps the per-partition state simple.
+  agg.df = dist::RandomVar::kCertainSampleSize;
+  for (const WindowEntry& entry : window) {
+    agg.df = std::min(agg.df, entry.sample_size);
+  }
+
+  if (options.kind == WindowKind::kTumbling) {
+    window.clear();
+    sum_mean.Reset();
+    sum_variance.Reset();
+  }
+  return agg;
+}
+
+}  // namespace engine
+}  // namespace ausdb

@@ -1,0 +1,72 @@
+#ifndef AUSDB_ENGINE_WINDOW_STATE_H_
+#define AUSDB_ENGINE_WINDOW_STATE_H_
+
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "src/common/math_util.h"
+#include "src/common/result.h"
+#include "src/engine/tuple.h"
+#include "src/engine/window_aggregate.h"
+
+namespace ausdb {
+namespace engine {
+
+/// One window element: the moments and d.f. sample size extracted from an
+/// input value (paper Lemma 3 propagates the minimum sample size).
+struct WindowEntry {
+  double mean = 0.0;
+  double variance = 0.0;
+  size_t sample_size = 0;
+};
+
+/// \brief Extracts a WindowEntry from an aggregate-column value.
+///
+/// Deterministic doubles become zero-variance entries with the certain
+/// sample size; uncertain values must be Gaussian or deterministic unless
+/// `options.allow_clt_approximation` accepts arbitrary distributions via
+/// their first two moments.
+Result<WindowEntry> WindowEntryFromValue(const expr::Value& v,
+                                         const WindowAggregateOptions& options);
+
+/// \brief Renders a deterministic group-by key value (string or double)
+/// as the partition-map key, identically for every partitioned-window
+/// implementation.
+Result<std::string> PartitionKeyFromValue(const expr::Value& v);
+
+/// \brief The count-based window state of one partition key.
+///
+/// Shared by PartitionedWindowAggregate and its sharded parallel variant
+/// so both execute the *identical* floating-point update sequence — the
+/// determinism contract (parallel output bit-identical to serial) depends
+/// on this being the single implementation.
+///
+/// Running sums use Neumaier-compensated accumulation: the evict-subtract
+/// update otherwise drifts on long streams with mixed magnitudes (a
+/// window holding 1e12-scale and 1e-3-scale means loses the small
+/// entries entirely after ~1M evictions with plain doubles).
+struct KeyWindowState {
+  std::deque<WindowEntry> window;
+  KahanSum sum_mean;
+  KahanSum sum_variance;
+
+  /// The emitted aggregate: closed-form Gaussian moments plus the window
+  /// minimum d.f. sample size.
+  struct Aggregate {
+    double mean;
+    double variance;
+    size_t df;
+  };
+
+  /// Feeds one entry through the window (push, evict when sliding past
+  /// `options.window_size`, reset when a tumbling window fires) and
+  /// returns the aggregate when this arrival produces an emission.
+  std::optional<Aggregate> Observe(const WindowEntry& e,
+                                   const WindowAggregateOptions& options);
+};
+
+}  // namespace engine
+}  // namespace ausdb
+
+#endif  // AUSDB_ENGINE_WINDOW_STATE_H_

@@ -1,6 +1,7 @@
 #include "src/dist/convolution.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -91,6 +92,39 @@ TEST(ConvolutionTest, Options) {
   auto sum = ConvolveHistograms(*u, *u, fixed);
   ASSERT_TRUE(sum.ok());
   EXPECT_EQ(sum->bin_count(), 7u);
+}
+
+TEST(ConvolutionTest, MeanExactEvenWithMassAtSupportEdges) {
+  // Regression for the boundary clamp: out-of-hull deposits used to be
+  // dumped whole into the edge bins, shifting the mean inward. Mass
+  // concentrated in narrow edge bins maximizes the old error; on the
+  // midpoint-spanning grid the mean stays exact to rounding.
+  auto a = HistogramDist::Make({0.0, 0.01, 9.99, 10.0}, {0.5, 0.0, 0.5});
+  auto b = HistogramDist::Make({-5.0, -4.99, 4.99, 5.0}, {0.4, 0.2, 0.4});
+  ASSERT_TRUE(a.ok() && b.ok());
+  ConvolveOptions opts;
+  opts.output_bins = 32;
+  opts.subdivisions = 8;
+  auto sum = ConvolveHistograms(*a, *b, opts);
+  ASSERT_TRUE(sum.ok()) << sum.status().ToString();
+  EXPECT_NEAR(sum->Mean(), a->Mean() + b->Mean(), 1e-9);
+  // All mass accounted for (nothing clamped away).
+  double total = 0.0;
+  for (double p : sum->probs()) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ConvolutionTest, RejectsNonFiniteSupportEdges) {
+  const double inf = std::numeric_limits<double>::infinity();
+  auto finite = HistogramDist::Make({0.0, 1.0}, {1.0});
+  auto open = HistogramDist::Make({0.0, 1.0, inf}, {0.5, 0.5});
+  ASSERT_TRUE(finite.ok() && open.ok());
+  EXPECT_TRUE(ConvolveHistograms(*open, *finite)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ConvolveHistograms(*finite, *open)
+                  .status()
+                  .IsInvalidArgument());
 }
 
 }  // namespace

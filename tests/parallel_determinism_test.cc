@@ -1,0 +1,271 @@
+// The parallel execution layer's determinism contract: for any thread
+// count (including the serial no-pool engine), parallel plans produce
+// bit-identical output. These tests compare byte-for-byte — doubles via
+// their IEEE-754 bit patterns, never via tolerances.
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/bootstrap/bootstrap_accuracy.h"
+#include "src/bootstrap/resampler.h"
+#include "src/common/thread_pool.h"
+#include "src/dist/convolution.h"
+#include "src/dist/gaussian.h"
+#include "src/dist/learner.h"
+#include "src/engine/executor.h"
+#include "src/engine/partitioned_window.h"
+#include "src/engine/scan.h"
+#include "src/engine/sharded_partitioned_window.h"
+
+namespace ausdb {
+namespace engine {
+namespace {
+
+using dist::RandomVar;
+
+uint64_t Bits(double d) { return std::bit_cast<uint64_t>(d); }
+
+Schema KeyedSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddField({"k", FieldType::kString}).ok());
+  EXPECT_TRUE(s.AddField({"x", FieldType::kUncertain}).ok());
+  return s;
+}
+
+// Mixed-magnitude Gaussian inputs over a couple dozen keys: any
+// reordering of the floating-point reductions would show up in the bits.
+std::vector<Tuple> KeyedInput(size_t n) {
+  std::vector<Tuple> tuples;
+  tuples.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const std::string key = "key" + std::to_string((i * 7) % 23);
+    const double mean =
+        (i % 2 == 0 ? 1e6 : 1e-2) * (1.0 + static_cast<double>(i % 13));
+    const double var = 1.0 + static_cast<double>(i % 5);
+    const size_t df = 10 + i % 50;
+    tuples.push_back(Tuple(
+        {expr::Value(key),
+         expr::Value(RandomVar(
+             std::make_shared<dist::GaussianDist>(mean, var), df))}));
+  }
+  return tuples;
+}
+
+void ExpectBitIdentical(const std::vector<Tuple>& a,
+                        const std::vector<Tuple>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(*a[i].value(0).string_value(), *b[i].value(0).string_value());
+    const RandomVar ra = *a[i].value(1).random_var();
+    const RandomVar rb = *b[i].value(1).random_var();
+    EXPECT_EQ(Bits(ra.Mean()), Bits(rb.Mean())) << "tuple " << i;
+    EXPECT_EQ(Bits(ra.Variance()), Bits(rb.Variance())) << "tuple " << i;
+    EXPECT_EQ(ra.sample_size(), rb.sample_size());
+    EXPECT_EQ(a[i].sequence(), b[i].sequence());
+    EXPECT_EQ(Bits(a[i].membership_prob()), Bits(b[i].membership_prob()));
+    EXPECT_EQ(a[i].membership_df_n(), b[i].membership_df_n());
+  }
+}
+
+ShardedWindowOptions ShardedOpts(size_t num_shards) {
+  ShardedWindowOptions opts;
+  opts.window.window_size = 8;
+  opts.window.fn = WindowAggFn::kAvg;
+  opts.num_shards = num_shards;
+  opts.batch_size = 64;
+  return opts;
+}
+
+Result<std::vector<Tuple>> RunSharded(const std::vector<Tuple>& input,
+                                      size_t num_shards,
+                                      ThreadPool* pool) {
+  auto scan = std::make_unique<VectorScan>(KeyedSchema(), input);
+  AUSDB_ASSIGN_OR_RETURN(
+      auto agg, ShardedPartitionedWindowAggregate::Make(
+                    std::move(scan), "k", "x", "agg",
+                    ShardedOpts(num_shards)));
+  if (pool == nullptr) return Collect(*agg);
+  return ParallelCollect(*agg, *pool);
+}
+
+TEST(ParallelDeterminismTest, ShardedWindowMatchesSerialOperatorBitwise) {
+  const std::vector<Tuple> input = KeyedInput(2000);
+
+  // The serial reference operator.
+  auto scan = std::make_unique<VectorScan>(KeyedSchema(), input);
+  WindowAggregateOptions wopts;
+  wopts.window_size = 8;
+  wopts.fn = WindowAggFn::kAvg;
+  auto serial_op = PartitionedWindowAggregate::Make(std::move(scan), "k",
+                                                    "x", "agg", wopts);
+  ASSERT_TRUE(serial_op.ok()) << serial_op.status().ToString();
+  auto reference = Collect(**serial_op);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_FALSE(reference->empty());
+
+  // Sharded, at thread counts {1, 2, 8} plus the no-pool fallback, and
+  // at several shard counts: all byte-identical to the reference.
+  auto no_pool = RunSharded(input, 4, nullptr);
+  ASSERT_TRUE(no_pool.ok()) << no_pool.status().ToString();
+  ExpectBitIdentical(*no_pool, *reference);
+  for (size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    for (size_t shards : {1u, 3u, 8u}) {
+      auto out = RunSharded(input, shards, &pool);
+      ASSERT_TRUE(out.ok()) << out.status().ToString();
+      ExpectBitIdentical(*out, *reference);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, BootstrapCiIdenticalAcrossThreadCounts) {
+  std::vector<double> sample(300);
+  for (size_t i = 0; i < sample.size(); ++i) {
+    sample[i] = (i % 3 == 0 ? 1e9 : 1.0) * (1.0 + static_cast<double>(i));
+  }
+  const auto stat = [](std::span<const double> s) {
+    double m = 0.0;
+    for (double v : s) m += v;
+    return m / static_cast<double>(s.size());
+  };
+  auto run = [&](ThreadPool* pool) {
+    Rng rng(777);
+    auto ci = bootstrap::ParallelPercentileBootstrap(sample, 400, 0.95,
+                                                     stat, rng, pool);
+    EXPECT_TRUE(ci.ok()) << ci.status().ToString();
+    return *ci;
+  };
+  const auto reference = run(nullptr);
+  for (size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    const auto ci = run(&pool);
+    EXPECT_EQ(Bits(ci.lo), Bits(reference.lo));
+    EXPECT_EQ(Bits(ci.hi), Bits(reference.hi));
+    EXPECT_EQ(ci.confidence, reference.confidence);
+  }
+}
+
+TEST(ParallelDeterminismTest, ResampleManyIdenticalAcrossThreadCounts) {
+  std::vector<double> sample(64);
+  for (size_t i = 0; i < sample.size(); ++i) {
+    sample[i] = static_cast<double>(i) * 1.25;
+  }
+  auto run = [&](ThreadPool* pool) {
+    Rng parent(99);
+    return bootstrap::ResampleMany(sample, 40, parent, pool);
+  };
+  const auto reference = run(nullptr);
+  for (size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    const auto out = run(&pool);
+    ASSERT_EQ(out.size(), reference.size());
+    for (size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i].size(), reference[i].size());
+      for (size_t j = 0; j < out[i].size(); ++j) {
+        EXPECT_EQ(Bits(out[i][j]), Bits(reference[i][j]));
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, ConvolutionIdenticalAcrossThreadCounts) {
+  auto a = dist::HistogramDist::Make({0.0, 1.0, 3.0}, {0.7, 0.3});
+  auto b = dist::HistogramDist::Make({-1.0, 0.0, 2.0}, {0.5, 0.5});
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto run = [&](ThreadPool* pool) {
+    dist::ConvolveOptions opts;
+    opts.output_bins = 512;
+    opts.subdivisions = 4;
+    opts.pool = pool;
+    auto sum = dist::ConvolveHistograms(*a, *b, opts);
+    EXPECT_TRUE(sum.ok()) << sum.status().ToString();
+    return *sum;
+  };
+  const auto reference = run(nullptr);
+  for (size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    const auto out = run(&pool);
+    ASSERT_EQ(out.probs().size(), reference.probs().size());
+    for (size_t i = 0; i < out.probs().size(); ++i) {
+      EXPECT_EQ(Bits(out.probs()[i]), Bits(reference.probs()[i]));
+      EXPECT_EQ(Bits(out.edges()[i]), Bits(reference.edges()[i]));
+    }
+  }
+}
+
+// A scan that serves a shared input vector starting at an offset with
+// globally consistent sequence numbers — the "re-seeked source" of the
+// checkpoint/restore protocol.
+class SuffixScan final : public Operator {
+ public:
+  SuffixScan(Schema schema, std::vector<Tuple> tuples, size_t offset)
+      : schema_(std::move(schema)),
+        tuples_(std::move(tuples)),
+        pos_(offset) {
+    for (size_t i = 0; i < tuples_.size(); ++i) {
+      tuples_[i].set_sequence(i);
+    }
+  }
+
+  const Schema& schema() const override { return schema_; }
+  Result<std::optional<Tuple>> Next() override {
+    if (pos_ >= tuples_.size()) return std::optional<Tuple>(std::nullopt);
+    return std::optional<Tuple>(tuples_[pos_++]);
+  }
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+  size_t pos_;
+};
+
+TEST(ParallelDeterminismTest, ShardedCheckpointRestoreResumesMidStream) {
+  const std::vector<Tuple> input = KeyedInput(1500);
+
+  // Reference: one uninterrupted serial run.
+  auto reference = RunSharded(input, 4, nullptr);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_GT(reference->size(), 400u);
+
+  // Interrupted run: pull 150 emissions, checkpoint (mid-batch — with
+  // batch_size 64 the out-queue holds computed-but-unpulled emissions).
+  auto scan = std::make_unique<VectorScan>(KeyedSchema(), input);
+  auto agg = ShardedPartitionedWindowAggregate::Make(
+      std::move(scan), "k", "x", "agg", ShardedOpts(4));
+  ASSERT_TRUE(agg.ok());
+  std::vector<Tuple> before;
+  for (size_t i = 0; i < 150; ++i) {
+    auto next = (*agg)->Next();
+    ASSERT_TRUE(next.ok());
+    ASSERT_TRUE(next->has_value());
+    before.push_back(std::move(**next));
+  }
+  auto blob = (*agg)->SaveCheckpoint();
+  ASSERT_TRUE(blob.ok()) << blob.status().ToString();
+  const uint64_t consumed = (*agg)->input_consumed();
+  ASSERT_GT(consumed, 150u);
+  ASSERT_LT(consumed, input.size());
+
+  // Restore into a fresh operator over a re-seeked source, resume with a
+  // pool of 8 (restore must be thread-count-independent too).
+  auto restored = ShardedPartitionedWindowAggregate::Make(
+      std::make_unique<SuffixScan>(KeyedSchema(), input, consumed), "k",
+      "x", "agg", ShardedOpts(4));
+  ASSERT_TRUE(restored.ok());
+  ASSERT_TRUE((*restored)->RestoreCheckpoint(*blob).ok());
+  ThreadPool pool(8);
+  auto after = ParallelCollect(**restored, pool);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+
+  std::vector<Tuple> stitched = std::move(before);
+  stitched.insert(stitched.end(), after->begin(), after->end());
+  ExpectBitIdentical(stitched, *reference);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace ausdb
