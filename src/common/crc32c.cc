@@ -1,0 +1,75 @@
+#include "src/common/crc32c.h"
+
+#include <array>
+
+namespace ausdb {
+
+namespace {
+
+constexpr uint32_t kPolyReflected = 0x82F63B78u;
+
+struct Crc32cTables {
+  // tables[0] is the classic byte-at-a-time table; tables[k] gives the
+  // contribution of a byte that still has k more bytes of zero padding
+  // behind it, which is what lets the kernel fold eight bytes at once.
+  std::array<std::array<uint32_t, 256>, 8> t;
+
+  constexpr Crc32cTables() : t{} {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int b = 0; b < 8; ++b) {
+        crc = (crc & 1u) ? (crc >> 1) ^ kPolyReflected : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t k = 1; k < 8; ++k) {
+      for (uint32_t i = 0; i < 256; ++i) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFFu];
+      }
+    }
+  }
+};
+
+constexpr Crc32cTables kTables{};
+
+inline uint32_t Load32(const unsigned char* p) {
+  // Byte-wise assembly keeps the kernel endian-independent; compilers
+  // fold this into a single load on little-endian targets.
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 |
+         static_cast<uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  const auto& t = kTables.t;
+  crc = ~crc;
+  // Align to 8 bytes so the sliced loop reads naturally aligned words.
+  while (size > 0 && (reinterpret_cast<uintptr_t>(p) & 7u) != 0) {
+    crc = t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+    --size;
+  }
+  while (size >= 8) {
+    const uint32_t lo = crc ^ Load32(p);
+    const uint32_t hi = Load32(p + 4);
+    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+          t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^
+          t[2][(hi >> 8) & 0xFFu] ^ t[1][(hi >> 16) & 0xFFu] ^
+          t[0][hi >> 24];
+    p += 8;
+    size -= 8;
+  }
+  while (size > 0) {
+    crc = t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+    --size;
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(const void* data, size_t size) {
+  return Crc32cExtend(kCrc32cInit, data, size);
+}
+
+}  // namespace ausdb

@@ -1,0 +1,39 @@
+#ifndef AUSDB_COMMON_CRC32C_H_
+#define AUSDB_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ausdb {
+
+/// \brief CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected form
+/// 0x82F63B78) over a byte range.
+///
+/// This is the checksum that guards durable checkpoint files: unlike the
+/// IEEE CRC32, Castagnoli detects all 1- and 2-bit errors over the block
+/// lengths checkpoints use, and it is what production storage engines
+/// (RocksDB, LevelDB, ext4 metadata) standardize on. The kernel is
+/// slice-by-8: eight 256-entry tables consume eight input bytes per
+/// iteration, an order of magnitude faster than the byte-at-a-time loop
+/// on checkpoint-sized payloads.
+///
+/// The value returned is the finalized (post-inverted) CRC, e.g.
+/// Crc32c("123456789") == 0xE3069283 (the RFC 3720 check value).
+uint32_t Crc32c(const void* data, size_t size);
+
+inline uint32_t Crc32c(std::string_view bytes) {
+  return Crc32c(bytes.data(), bytes.size());
+}
+
+/// \brief Incremental form: extends a running CRC with more bytes.
+///
+/// `crc` is the finalized value of the previous range (start from
+/// kCrc32cInit for an empty prefix); the return value equals the one-shot
+/// Crc32c over the concatenation.
+inline constexpr uint32_t kCrc32cInit = 0;
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size);
+
+}  // namespace ausdb
+
+#endif  // AUSDB_COMMON_CRC32C_H_

@@ -36,4 +36,21 @@ void FaultInjector::Reset() {
   rng_.Seed(seed_);
 }
 
+bool CrashPointInjector::AtCrashPoint(std::string_view site) {
+  ++visited_;
+  if (fired_ || visited_ != crash_at_) return false;
+  fired_ = true;
+  fired_site_ = std::string(site);
+  return true;
+}
+
+Status CrashPointInjector::CrashStatus(std::string_view site) {
+  return Status::Unavailable("simulated crash at '" + std::string(site) +
+                             "'");
+}
+
+Status CrashPointInjector::CrashIf(std::string_view site) {
+  return AtCrashPoint(site) ? CrashStatus(site) : Status::OK();
+}
+
 }  // namespace ausdb

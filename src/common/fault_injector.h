@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "src/common/rng.h"
 #include "src/common/status.h"
@@ -78,6 +79,60 @@ class FaultInjector {
   Rng rng_;
   size_t calls_ = 0;
   size_t injected_ = 0;
+};
+
+/// \brief Deterministic process-crash simulator for recovery testing.
+///
+/// Code that participates in crash-recovery testing marks each place a
+/// real process could die — between pulling tuples, halfway through a
+/// checkpoint write, after fsync but before the atomic rename — by
+/// calling CrashIf("site-label"). Every call advances a counter; the
+/// injector "crashes" exactly on the `crash_at`-th visit (1-based) by
+/// returning a non-OK Status the harness treats as process death:
+/// everything in memory is abandoned and recovery starts from disk.
+///
+/// Sweeping `crash_at` over [1, total sites] — the total is discovered by
+/// a run constructed with kNever, which visits every site without firing
+/// — proves recovery is correct no matter where the process dies. The
+/// schedule is a pure function of `crash_at`, so a failing crash point
+/// replays exactly.
+class CrashPointInjector {
+ public:
+  /// Sentinel: never crash, just count sites.
+  static constexpr size_t kNever = static_cast<size_t>(-1);
+
+  explicit CrashPointInjector(size_t crash_at = kNever)
+      : crash_at_(crash_at) {}
+
+  /// Marks one crash site. Returns OK, or the simulated-crash Status on
+  /// the `crash_at`-th call. Fires at most once; after the crash fired,
+  /// later sites return OK so recovery code can share the injector.
+  Status CrashIf(std::string_view site);
+
+  /// True on the call where CrashIf would fire (same counting and firing
+  /// bookkeeping), without building a Status — for sites that need side
+  /// effects (e.g. a torn write) before reporting the crash.
+  bool AtCrashPoint(std::string_view site);
+
+  /// Crash sites visited so far (the sweep bound when constructed with
+  /// kNever).
+  size_t sites_visited() const { return visited_; }
+
+  /// True once the injected crash fired.
+  bool fired() const { return fired_; }
+
+  /// Label of the site that fired; empty until then.
+  const std::string& fired_site() const { return fired_site_; }
+
+  /// The Status a fired site returns — kUnavailable so it is clearly
+  /// distinguishable from data errors, with the site in the message.
+  static Status CrashStatus(std::string_view site);
+
+ private:
+  size_t crash_at_;
+  size_t visited_ = 0;
+  bool fired_ = false;
+  std::string fired_site_;
 };
 
 }  // namespace ausdb

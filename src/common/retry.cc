@@ -27,11 +27,22 @@ double RetryPolicy::BackoffFor(size_t retry, Rng& rng) const {
   return rng.NextDouble(lo, hi);
 }
 
-bool RetryPolicy::ShouldRetry(const Status& status,
-                              size_t attempts_so_far) const {
+bool RetryPolicy::DeadlineExhausted(double elapsed_seconds) const {
+  return max_elapsed_seconds > 0.0 &&
+         elapsed_seconds >= max_elapsed_seconds;
+}
+
+bool RetryPolicy::ShouldRetry(const Status& status, size_t attempts_so_far,
+                              double elapsed_seconds) const {
   if (status.ok()) return false;
   if (attempts_so_far >= max_attempts) return false;
+  if (DeadlineExhausted(elapsed_seconds)) return false;
   return ClassifyStatus(status) == FailureClass::kTransient;
+}
+
+bool RetryPolicy::ShouldRetry(const Status& status,
+                              size_t attempts_so_far) const {
+  return ShouldRetry(status, attempts_so_far, 0.0);
 }
 
 }  // namespace ausdb

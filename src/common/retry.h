@@ -54,14 +54,36 @@ struct RetryPolicy {
   /// 0 disables jitter.
   double jitter_fraction = 0.25;
 
+  /// Total retry time budget in seconds across ALL attempts of one
+  /// operation; 0 disables the deadline. Attempt counting bounds how
+  /// *often* a flaky dependency is retried; this bounds how *long* —
+  /// without it, a generous attempt budget with long max backoff can
+  /// stall a pipeline for minutes on a dead feed. The elapsed time
+  /// compared against it is the accumulated scheduled backoff, so the
+  /// decision is deterministic and test-controlled rather than
+  /// wall-clock-raced. Exhausting the deadline surfaces as
+  /// kDeadlineExceeded (see SupervisedScan).
+  double max_elapsed_seconds = 0.0;
+
   /// Delay in seconds before retry number `retry` (0-based: the delay
   /// after the first failure is BackoffFor(0, rng)). Deterministic given
   /// the rng state.
   double BackoffFor(size_t retry, Rng& rng) const;
 
   /// True if `status` should be retried under this policy given that
-  /// `attempts_so_far` attempts (>= 1) have already failed.
+  /// `attempts_so_far` attempts (>= 1) have already failed and
+  /// `elapsed_seconds` of backoff have already been scheduled.
+  bool ShouldRetry(const Status& status, size_t attempts_so_far,
+                   double elapsed_seconds) const;
+
+  /// Attempt-count-only overload (no deadline pressure): equivalent to
+  /// ShouldRetry(status, attempts_so_far, 0.0).
   bool ShouldRetry(const Status& status, size_t attempts_so_far) const;
+
+  /// True when the deadline (not the attempt cap) is what forbids
+  /// another retry — the signal that the failure should surface as
+  /// kDeadlineExceeded rather than the underlying error.
+  bool DeadlineExhausted(double elapsed_seconds) const;
 };
 
 }  // namespace ausdb

@@ -26,6 +26,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Insufficient data";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
   }
   return "Unknown";
 }

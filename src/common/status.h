@@ -27,6 +27,17 @@ enum class StatusCode : int {
   /// unreachable; the operation may succeed if retried. The retry layer
   /// (src/common/retry.h) treats this code as transient by default.
   kUnavailable = 10,
+  /// Durable data failed an integrity check: bad magic, truncated file,
+  /// checksum mismatch, or a length/count field inconsistent with the
+  /// bytes actually present. Unlike kParseError (malformed *input* data),
+  /// corruption means bytes this system wrote back disagree with what it
+  /// reads now; retrying the same bytes cannot help, but an older
+  /// checkpoint generation might (see serde::CheckpointStorage).
+  kCorruption = 11,
+  /// A retry sequence exhausted its wall-clock budget
+  /// (RetryPolicy::max_elapsed_seconds) before exhausting its attempt
+  /// cap. The message carries the last underlying error.
+  kDeadlineExceeded = 12,
 };
 
 /// \brief Returns a human-readable name for a status code ("OK",
@@ -79,6 +90,12 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -106,6 +123,10 @@ class Status {
     return code_ == StatusCode::kInsufficientData;
   }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -54,6 +54,7 @@ Result<std::optional<Tuple>> PartitionedWindowAggregate::Next() {
   for (;;) {
     AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> t, child_->Next());
     if (!t.has_value()) return std::optional<Tuple>(std::nullopt);
+    ++input_consumed_;
 
     const expr::Value& key_value = t->value(key_index_);
     AUSDB_ASSIGN_OR_RETURN(std::string key,
@@ -80,15 +81,17 @@ Result<std::optional<Tuple>> PartitionedWindowAggregate::Next() {
 
 Status PartitionedWindowAggregate::Reset() {
   partitions_.clear();
+  input_consumed_ = 0;
   return child_->Reset();
 }
 
 Result<std::string> PartitionedWindowAggregate::SaveCheckpoint() const {
   serde::CheckpointWriter w;
-  w.Token("pwagg.v2");
+  w.Token("pwagg.v3");
   w.Uint(static_cast<uint64_t>(options_.kind));
   w.Uint(static_cast<uint64_t>(options_.fn));
   w.Uint(options_.window_size);
+  w.Uint(input_consumed_);
   w.Uint(partitions_.size());
   std::vector<const std::string*> keys;
   keys.reserve(partitions_.size());
@@ -118,10 +121,12 @@ Status PartitionedWindowAggregate::RestoreCheckpoint(std::string_view blob) {
   serde::CheckpointReader r(blob);
   AUSDB_ASSIGN_OR_RETURN(std::string version, r.NextToken());
   // v1 blobs predate compensated summation and carry plain sums; they
-  // restore with zero compensation.
+  // restore with zero compensation. v2 added the compensation terms;
+  // v3 added the input position (restored as zero from older blobs).
   const bool v1 = version == "pwagg.v1";
-  if (!v1 && version != "pwagg.v2") {
-    return Status::ParseError("unknown PartitionedWindowAggregate "
+  const bool v3 = version == "pwagg.v3";
+  if (!v1 && !v3 && version != "pwagg.v2") {
+    return Status::Corruption("unknown PartitionedWindowAggregate "
                               "checkpoint version '" + version + "'");
   }
   AUSDB_ASSIGN_OR_RETURN(uint64_t kind, r.NextUint());
@@ -134,7 +139,15 @@ Status PartitionedWindowAggregate::RestoreCheckpoint(std::string_view blob) {
         "checkpoint was taken from a differently configured "
         "PartitionedWindowAggregate");
   }
-  AUSDB_ASSIGN_OR_RETURN(uint64_t npartitions, r.NextUint());
+  uint64_t input_consumed = 0;
+  if (v3) {
+    AUSDB_ASSIGN_OR_RETURN(input_consumed, r.NextUint());
+  }
+  // A v1 partition is at least a key ("0:"), 2 hex doubles and a window
+  // count: >= 39 bytes. Bounding the reserve() below by what the blob
+  // can actually hold keeps a flipped count bit from driving a huge
+  // allocation.
+  AUSDB_ASSIGN_OR_RETURN(uint64_t npartitions, r.NextCount(39));
   std::unordered_map<std::string, KeyWindowState> restored;
   restored.reserve(npartitions);
   for (uint64_t p = 0; p < npartitions; ++p) {
@@ -152,7 +165,8 @@ Status PartitionedWindowAggregate::RestoreCheckpoint(std::string_view blob) {
     }
     state.sum_mean.Restore(sum_mean, comp_mean);
     state.sum_variance.Restore(sum_variance, comp_variance);
-    AUSDB_ASSIGN_OR_RETURN(uint64_t count, r.NextUint());
+    // >= 36 bytes per entry: 2 hex doubles + a uint, with separators.
+    AUSDB_ASSIGN_OR_RETURN(uint64_t count, r.NextCount(36));
     for (uint64_t i = 0; i < count; ++i) {
       WindowEntry e;
       AUSDB_ASSIGN_OR_RETURN(e.mean, r.NextDouble());
@@ -163,6 +177,7 @@ Status PartitionedWindowAggregate::RestoreCheckpoint(std::string_view blob) {
     restored.emplace(std::move(key), std::move(state));
   }
   partitions_ = std::move(restored);
+  input_consumed_ = input_consumed;
   return Status::OK();
 }
 

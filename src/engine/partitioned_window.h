@@ -36,14 +36,19 @@ class PartitionedWindowAggregate final : public Operator {
 
   /// Checkpointing serializes every partition's open window and exact
   /// running sums including the Neumaier compensation terms (keys
-  /// sorted, so equal states produce equal blobs). Writes the v2 format;
-  /// restores both v2 and legacy v1 blobs (which carried no compensation
-  /// terms — those restore with zero compensation).
+  /// sorted, so equal states produce equal blobs). Writes the v3 format
+  /// (which adds the input position); restores v3, v2 (no input
+  /// position) and legacy v1 blobs (which carried no compensation terms
+  /// either — those restore with zero compensation).
   Result<std::string> SaveCheckpoint() const override;
   Status RestoreCheckpoint(std::string_view blob) override;
 
   /// Number of distinct keys currently holding window state.
   size_t partition_count() const { return partitions_.size(); }
+
+  /// Child tuples pulled so far — the input position a re-seeked source
+  /// must resume after when restoring this operator's checkpoint.
+  uint64_t input_consumed() const { return input_consumed_; }
 
  private:
   PartitionedWindowAggregate(OperatorPtr child, size_t key_index,
@@ -56,6 +61,7 @@ class PartitionedWindowAggregate final : public Operator {
   Schema schema_;
   WindowAggregateOptions options_;
   std::unordered_map<std::string, KeyWindowState> partitions_;
+  uint64_t input_consumed_ = 0;
 };
 
 }  // namespace engine

@@ -1,0 +1,157 @@
+#include "src/engine/recovery_manager.h"
+
+#include <algorithm>
+
+#include "src/serde/checkpoint.h"
+
+namespace ausdb {
+namespace engine {
+
+namespace {
+
+constexpr std::string_view kManifestVersion = "manifest.v1";
+
+}  // namespace
+
+RecoveryManager::RecoveryManager(std::string directory,
+                                 RecoveryManagerOptions options)
+    : storage_(std::move(directory), "pipeline",
+               serde::CheckpointStorageOptions{options.keep_generations,
+                                               options.crash_points}) {}
+
+Status RecoveryManager::RegisterSource(std::string name,
+                                       ReplayableSource* source) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("source must not be null");
+  }
+  for (const auto& [existing, unused] : sources_) {
+    if (existing == name) {
+      return Status::AlreadyExists("source '" + name +
+                                   "' already registered");
+    }
+  }
+  sources_.emplace_back(std::move(name), source);
+  return Status::OK();
+}
+
+Status RecoveryManager::RegisterOperator(std::string name, Operator* op) {
+  if (op == nullptr) {
+    return Status::InvalidArgument("operator must not be null");
+  }
+  for (const auto& [existing, unused] : operators_) {
+    if (existing == name) {
+      return Status::AlreadyExists("operator '" + name +
+                                   "' already registered");
+    }
+  }
+  operators_.emplace_back(std::move(name), op);
+  return Status::OK();
+}
+
+Result<std::string> RecoveryManager::EncodeManifest(
+    uint64_t outputs_delivered) const {
+  serde::CheckpointWriter w;
+  w.Token(kManifestVersion);
+  w.Uint(outputs_delivered);
+  w.Uint(sources_.size());
+  for (const auto& [name, source] : sources_) {
+    w.Bytes(name);
+    w.Uint(source->position());
+  }
+  w.Uint(operators_.size());
+  for (const auto& [name, op] : operators_) {
+    w.Bytes(name);
+    AUSDB_ASSIGN_OR_RETURN(std::string blob, op->SaveCheckpoint());
+    w.Bytes(blob);
+  }
+  return std::move(w).Finish();
+}
+
+Result<uint64_t> RecoveryManager::Checkpoint(uint64_t outputs_delivered) {
+  AUSDB_ASSIGN_OR_RETURN(std::string manifest,
+                         EncodeManifest(outputs_delivered));
+  return storage_.Write(manifest);
+}
+
+Status RecoveryManager::ApplyManifest(std::string_view payload,
+                                      uint64_t* outputs_delivered) {
+  serde::CheckpointReader r(payload);
+  AUSDB_RETURN_NOT_OK(r.ExpectToken(kManifestVersion));
+  AUSDB_ASSIGN_OR_RETURN(*outputs_delivered, r.NextUint());
+
+  // Decode fully before touching any live object, so a manifest whose
+  // tail is unreadable does not half-apply.
+  AUSDB_ASSIGN_OR_RETURN(uint64_t nsources, r.NextCount(4));
+  std::vector<std::pair<std::string, uint64_t>> positions;
+  for (uint64_t i = 0; i < nsources; ++i) {
+    AUSDB_ASSIGN_OR_RETURN(std::string name, r.NextBytes());
+    AUSDB_ASSIGN_OR_RETURN(uint64_t position, r.NextUint());
+    positions.emplace_back(std::move(name), position);
+  }
+  AUSDB_ASSIGN_OR_RETURN(uint64_t nops, r.NextCount(4));
+  std::vector<std::pair<std::string, std::string>> blobs;
+  for (uint64_t i = 0; i < nops; ++i) {
+    AUSDB_ASSIGN_OR_RETURN(std::string name, r.NextBytes());
+    AUSDB_ASSIGN_OR_RETURN(std::string blob, r.NextBytes());
+    blobs.emplace_back(std::move(name), std::move(blob));
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("manifest has trailing tokens");
+  }
+  if (positions.size() != sources_.size() ||
+      blobs.size() != operators_.size()) {
+    return Status::InvalidArgument(
+        "manifest was taken from a differently shaped pipeline (" +
+        std::to_string(positions.size()) + " sources, " +
+        std::to_string(blobs.size()) + " operators)");
+  }
+
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    if (positions[i].first != sources_[i].first) {
+      return Status::InvalidArgument("manifest source '" +
+                                     positions[i].first +
+                                     "' does not match registered '" +
+                                     sources_[i].first + "'");
+    }
+  }
+  for (size_t i = 0; i < operators_.size(); ++i) {
+    if (blobs[i].first != operators_[i].first) {
+      return Status::InvalidArgument("manifest operator '" +
+                                     blobs[i].first +
+                                     "' does not match registered '" +
+                                     operators_[i].first + "'");
+    }
+  }
+
+  for (size_t i = 0; i < operators_.size(); ++i) {
+    AUSDB_RETURN_NOT_OK(
+        operators_[i].second->RestoreCheckpoint(blobs[i].second));
+  }
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    AUSDB_RETURN_NOT_OK(sources_[i].second->SeekTo(positions[i].second));
+  }
+  return Status::OK();
+}
+
+Result<std::optional<RecoveryManager::RecoveredState>>
+RecoveryManager::Restore() {
+  std::vector<uint64_t> generations = storage_.ListGenerations();
+  for (auto it = generations.rbegin(); it != generations.rend(); ++it) {
+    Result<std::string> payload = storage_.ReadGeneration(*it);
+    if (!payload.ok()) continue;  // torn/corrupt: fall back a generation
+    RecoveredState state;
+    state.generation = *it;
+    const Status applied =
+        ApplyManifest(payload.ValueOrDie(), &state.outputs_delivered);
+    if (applied.ok()) {
+      return std::optional<RecoveredState>(state);
+    }
+    // A manifest that decodes but does not apply (e.g. an operator blob
+    // from an incompatible configuration) falls back the same way; any
+    // later successful attempt rewrites every piece of state it touched.
+  }
+  return std::optional<RecoveredState>(std::nullopt);
+}
+
+}  // namespace engine
+}  // namespace ausdb

@@ -1,0 +1,39 @@
+#ifndef AUSDB_ENGINE_REPLAYABLE_H_
+#define AUSDB_ENGINE_REPLAYABLE_H_
+
+#include <cstdint>
+
+#include "src/engine/operator.h"
+
+namespace ausdb {
+namespace engine {
+
+/// \brief A source operator whose stream can be replayed from any
+/// position — the contract crash recovery rests on.
+///
+/// Operator checkpoints capture only operator-internal state; the input
+/// tuples a restarted pipeline feeds them must come from the source
+/// re-producing its stream. A ReplayableSource promises exactly that:
+/// after SeekTo(p), the tuples produced are bit-identical to the ones an
+/// uninterrupted run produced from position p onward — same values, same
+/// sequence numbers. Deterministic generators honor the contract by
+/// re-running their seeded generation path and discarding the first p
+/// tuples (a generator whose draws cache internal state, like the polar
+/// Gaussian sampler, cannot skip arithmetic ahead safely); file readers
+/// honor it by remembering record offsets.
+class ReplayableSource : public Operator {
+ public:
+  /// Tuples produced so far: the position to record in a checkpoint.
+  virtual uint64_t position() const = 0;
+
+  /// Rewinds/advances so the next Next() produces the tuple an
+  /// uninterrupted run would have produced as number `position`
+  /// (0-based). Seeking past the end of a bounded stream is
+  /// InvalidArgument.
+  virtual Status SeekTo(uint64_t position) = 0;
+};
+
+}  // namespace engine
+}  // namespace ausdb
+
+#endif  // AUSDB_ENGINE_REPLAYABLE_H_

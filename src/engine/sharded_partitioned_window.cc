@@ -236,7 +236,10 @@ Status ShardedPartitionedWindowAggregate::RestoreCheckpoint(
         "ShardedPartitionedWindowAggregate");
   }
   AUSDB_ASSIGN_OR_RETURN(uint64_t input_consumed, r.NextUint());
-  AUSDB_ASSIGN_OR_RETURN(uint64_t npartitions, r.NextUint());
+  // A partition is at least a key ("0:"), 4 hex doubles and a window
+  // count: >= 73 bytes. NextCount rejects counts the remaining blob
+  // cannot hold before anything is sized from them.
+  AUSDB_ASSIGN_OR_RETURN(uint64_t npartitions, r.NextCount(73));
   std::vector<std::unordered_map<std::string, KeyWindowState>> shards(
       shards_.size());
   for (uint64_t p = 0; p < npartitions; ++p) {
@@ -248,7 +251,8 @@ Status ShardedPartitionedWindowAggregate::RestoreCheckpoint(
     AUSDB_ASSIGN_OR_RETURN(double comp_variance, r.NextDouble());
     state.sum_mean.Restore(sum_mean, comp_mean);
     state.sum_variance.Restore(sum_variance, comp_variance);
-    AUSDB_ASSIGN_OR_RETURN(uint64_t count, r.NextUint());
+    // >= 36 bytes per entry: 2 hex doubles + a uint, with separators.
+    AUSDB_ASSIGN_OR_RETURN(uint64_t count, r.NextCount(36));
     for (uint64_t i = 0; i < count; ++i) {
       WindowEntry e;
       AUSDB_ASSIGN_OR_RETURN(e.mean, r.NextDouble());
@@ -259,7 +263,9 @@ Status ShardedPartitionedWindowAggregate::RestoreCheckpoint(
     shards[Fnv1a64(key) % shards.size()].emplace(std::move(key),
                                                  std::move(state));
   }
-  AUSDB_ASSIGN_OR_RETURN(uint64_t npending, r.NextUint());
+  // A pending emission is at least a tag, a key, 3 hex doubles and 3
+  // uints: >= 62 bytes.
+  AUSDB_ASSIGN_OR_RETURN(uint64_t npending, r.NextCount(62));
   std::deque<Tuple> pending;
   for (uint64_t i = 0; i < npending; ++i) {
     AUSDB_ASSIGN_OR_RETURN(uint64_t key_tag, r.NextUint());
@@ -271,7 +277,7 @@ Status ShardedPartitionedWindowAggregate::RestoreCheckpoint(
       AUSDB_ASSIGN_OR_RETURN(double kd, r.NextDouble());
       key_value = expr::Value(kd);
     } else {
-      return Status::ParseError("bad pending-emission key tag");
+      return Status::Corruption("bad pending-emission key tag");
     }
     AUSDB_ASSIGN_OR_RETURN(double mean, r.NextDouble());
     AUSDB_ASSIGN_OR_RETURN(double variance, r.NextDouble());

@@ -62,6 +62,7 @@ Result<std::optional<Tuple>> WindowAggregate::Next() {
   for (;;) {
     AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> t, child_->Next());
     if (!t.has_value()) return std::optional<Tuple>(std::nullopt);
+    ++input_consumed_;
 
     AUSDB_ASSIGN_OR_RETURN(
         WindowEntry we, WindowEntryFromValue(t->value(column_index_),
@@ -116,15 +117,17 @@ Status WindowAggregate::Reset() {
   min_deque_.clear();
   sum_mean_.Reset();
   sum_variance_.Reset();
+  input_consumed_ = 0;
   return child_->Reset();
 }
 
 Result<std::string> WindowAggregate::SaveCheckpoint() const {
   serde::CheckpointWriter w;
-  w.Token("wagg.v2");
+  w.Token("wagg.v3");
   w.Uint(static_cast<uint64_t>(options_.kind));
   w.Uint(static_cast<uint64_t>(options_.fn));
   w.Uint(options_.window_size);
+  w.Uint(input_consumed_);
   w.Double(sum_mean_.raw_sum());
   w.Double(sum_mean_.compensation());
   w.Double(sum_variance_.raw_sum());
@@ -143,10 +146,12 @@ Status WindowAggregate::RestoreCheckpoint(std::string_view blob) {
   serde::CheckpointReader r(blob);
   AUSDB_ASSIGN_OR_RETURN(std::string version, r.NextToken());
   // v1 blobs predate compensated summation and carry plain sums; they
-  // restore with zero compensation.
+  // restore with zero compensation. v2 added the compensation terms;
+  // v3 added the input position (restored as zero from older blobs).
   const bool v1 = version == "wagg.v1";
-  if (!v1 && version != "wagg.v2") {
-    return Status::ParseError("unknown WindowAggregate checkpoint "
+  const bool v3 = version == "wagg.v3";
+  if (!v1 && !v3 && version != "wagg.v2") {
+    return Status::Corruption("unknown WindowAggregate checkpoint "
                               "version '" + version + "'");
   }
   AUSDB_ASSIGN_OR_RETURN(uint64_t kind, r.NextUint());
@@ -159,6 +164,10 @@ Status WindowAggregate::RestoreCheckpoint(std::string_view blob) {
         "checkpoint was taken from a differently configured "
         "WindowAggregate");
   }
+  uint64_t input_consumed = 0;
+  if (v3) {
+    AUSDB_ASSIGN_OR_RETURN(input_consumed, r.NextUint());
+  }
   AUSDB_ASSIGN_OR_RETURN(double sum_mean, r.NextDouble());
   double comp_mean = 0.0;
   if (!v1) {
@@ -169,7 +178,9 @@ Status WindowAggregate::RestoreCheckpoint(std::string_view blob) {
   if (!v1) {
     AUSDB_ASSIGN_OR_RETURN(comp_variance, r.NextDouble());
   }
-  AUSDB_ASSIGN_OR_RETURN(uint64_t count, r.NextUint());
+  // Each entry encodes 2 hex doubles and 2 uints: >= 38 bytes with
+  // separators. NextCount rejects counts the remaining bytes cannot hold.
+  AUSDB_ASSIGN_OR_RETURN(uint64_t count, r.NextCount(38));
   window_.clear();
   min_deque_.clear();
   sum_mean_.Reset();
@@ -186,6 +197,7 @@ Status WindowAggregate::RestoreCheckpoint(std::string_view blob) {
   // accumulators so they keep their exact floating-point history.
   sum_mean_.Restore(sum_mean, comp_mean);
   sum_variance_.Restore(sum_variance, comp_variance);
+  input_consumed_ = input_consumed;
   return Status::OK();
 }
 

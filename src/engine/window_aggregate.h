@@ -72,10 +72,15 @@ class WindowAggregate final : public Operator {
   /// Checkpointing serializes the open window (entries plus the exact
   /// running sums and their Neumaier compensation terms, preserving the
   /// accumulators' floating-point history) so a restarted pipeline
-  /// resumes mid-window bit-for-bit. Writes the v2 format; restores v2
-  /// and legacy v1 blobs (no compensation terms; restored as zero).
+  /// resumes mid-window bit-for-bit. Writes the v3 format (which adds
+  /// the input position); restores v3, v2 (no input position) and legacy
+  /// v1 blobs (no compensation terms either; restored as zero).
   Result<std::string> SaveCheckpoint() const override;
   Status RestoreCheckpoint(std::string_view blob) override;
+
+  /// Child tuples pulled so far — the input position a re-seeked source
+  /// must resume after when restoring this operator's checkpoint.
+  uint64_t input_consumed() const { return input_consumed_; }
 
  private:
   WindowAggregate(OperatorPtr child, size_t column_index,
@@ -97,6 +102,7 @@ class WindowAggregate final : public Operator {
   WindowAggregateOptions options_;
 
   std::deque<Entry> window_;
+  uint64_t input_consumed_ = 0;
   /// Neumaier-compensated running sums: the evict-subtract update drifts
   /// on long mixed-magnitude streams with plain double accumulators.
   KahanSum sum_mean_;

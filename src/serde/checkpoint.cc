@@ -48,7 +48,7 @@ bool CheckpointReader::AtEnd() {
 Result<std::string> CheckpointReader::NextToken() {
   SkipWhitespace();
   if (pos_ >= blob_.size()) {
-    return Status::ParseError("checkpoint truncated: expected token");
+    return Status::Corruption("checkpoint truncated: expected token");
   }
   const size_t start = pos_;
   while (pos_ < blob_.size() && !IsSpace(blob_[pos_])) ++pos_;
@@ -60,13 +60,13 @@ Result<uint64_t> CheckpointReader::NextUint() {
   uint64_t v = 0;
   for (char c : tok) {
     if (c < '0' || c > '9') {
-      return Status::ParseError("checkpoint: '" + tok +
+      return Status::Corruption("checkpoint: '" + tok +
                                 "' is not an unsigned integer");
     }
     v = v * 10 + static_cast<uint64_t>(c - '0');
   }
   if (tok.empty()) {
-    return Status::ParseError("checkpoint: empty integer token");
+    return Status::Corruption("checkpoint: empty integer token");
   }
   return v;
 }
@@ -74,7 +74,7 @@ Result<uint64_t> CheckpointReader::NextUint() {
 Result<double> CheckpointReader::NextDouble() {
   AUSDB_ASSIGN_OR_RETURN(std::string tok, NextToken());
   if (tok.size() != 16) {
-    return Status::ParseError("checkpoint: '" + tok +
+    return Status::Corruption("checkpoint: '" + tok +
                               "' is not a 16-digit hex double");
   }
   uint64_t bits = 0;
@@ -85,7 +85,7 @@ Result<double> CheckpointReader::NextDouble() {
     } else if (c >= 'a' && c <= 'f') {
       digit = c - 'a' + 10;
     } else {
-      return Status::ParseError("checkpoint: '" + tok +
+      return Status::Corruption("checkpoint: '" + tok +
                                 "' is not a 16-digit hex double");
     }
     bits = (bits << 4) | static_cast<uint64_t>(digit);
@@ -93,6 +93,21 @@ Result<double> CheckpointReader::NextDouble() {
   double v;
   std::memcpy(&v, &bits, sizeof(v));
   return v;
+}
+
+Result<uint64_t> CheckpointReader::NextCount(size_t min_bytes_per_element) {
+  AUSDB_ASSIGN_OR_RETURN(uint64_t count, NextUint());
+  if (min_bytes_per_element == 0) min_bytes_per_element = 1;
+  // Each remaining element occupies at least min_bytes_per_element bytes
+  // of blob, so a count beyond remaining()/min implies a damaged count
+  // field; reject it before the caller sizes anything from it.
+  if (count > remaining() / min_bytes_per_element) {
+    return Status::Corruption(
+        "checkpoint: count " + std::to_string(count) +
+        " cannot fit in " + std::to_string(remaining()) +
+        " remaining bytes");
+  }
+  return count;
 }
 
 Result<std::string> CheckpointReader::NextBytes() {
@@ -105,12 +120,12 @@ Result<std::string> CheckpointReader::NextBytes() {
     any_digit = true;
   }
   if (!any_digit || pos_ >= blob_.size() || blob_[pos_] != ':') {
-    return Status::ParseError(
+    return Status::Corruption(
         "checkpoint: expected length-prefixed byte string");
   }
   ++pos_;  // ':'
   if (blob_.size() - pos_ < len) {
-    return Status::ParseError("checkpoint truncated: byte string of " +
+    return Status::Corruption("checkpoint truncated: byte string of " +
                               std::to_string(len) + " bytes");
   }
   std::string bytes(blob_.substr(pos_, len));
@@ -121,7 +136,7 @@ Result<std::string> CheckpointReader::NextBytes() {
 Status CheckpointReader::ExpectToken(std::string_view expected) {
   AUSDB_ASSIGN_OR_RETURN(std::string tok, NextToken());
   if (tok != expected) {
-    return Status::ParseError("checkpoint: expected '" +
+    return Status::Corruption("checkpoint: expected '" +
                               std::string(expected) + "', got '" + tok +
                               "'");
   }

@@ -39,7 +39,9 @@ class CheckpointWriter {
 };
 
 /// \brief Sequential reader over a CheckpointWriter blob. Every accessor
-/// fails with ParseError on malformed or truncated input.
+/// fails with StatusCode::kCorruption on malformed or truncated input —
+/// checkpoint blobs are machine-written, so any syntax error means the
+/// bytes were damaged, not that a human mistyped a query.
 class CheckpointReader {
  public:
   explicit CheckpointReader(std::string_view blob) : blob_(blob) {}
@@ -49,12 +51,25 @@ class CheckpointReader {
   Result<double> NextDouble();
   Result<std::string> NextBytes();
 
-  /// Fails with ParseError unless the next token equals `expected` —
+  /// Reads an element count that the caller is about to allocate/loop
+  /// over. Fails with kCorruption when the count is impossible: more than
+  /// remaining()/min_bytes_per_element elements cannot still be encoded
+  /// in the bytes left, so a corrupt count is rejected *before* any
+  /// allocation is sized from it. `min_bytes_per_element` is the
+  /// smallest possible encoding of one element (>= 1).
+  Result<uint64_t> NextCount(size_t min_bytes_per_element);
+
+  /// Fails with kCorruption unless the next token equals `expected` —
   /// the format/version tag check.
   Status ExpectToken(std::string_view expected);
 
   /// True when all tokens have been consumed.
   bool AtEnd();
+
+  /// Bytes not yet consumed.
+  size_t remaining() const {
+    return pos_ < blob_.size() ? blob_.size() - pos_ : 0;
+  }
 
  private:
   void SkipWhitespace();

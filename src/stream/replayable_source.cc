@@ -1,0 +1,146 @@
+#include "src/stream/replayable_source.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/dist/learner.h"
+#include "src/io/csv.h"
+#include "src/stats/random_variates.h"
+
+namespace ausdb {
+namespace stream {
+
+Result<std::unique_ptr<ReplayableKeyedGaussianSource>>
+ReplayableKeyedGaussianSource::Make(KeyedGaussianSourceOptions options) {
+  if (options.keys.empty()) {
+    return Status::InvalidArgument("keyed source needs at least one key");
+  }
+  if (options.count == 0) {
+    return Status::InvalidArgument("keyed source count must be >= 1");
+  }
+  if (options.points_per_item < 2) {
+    return Status::InvalidArgument(
+        "learning a Gaussian needs >= 2 points per tuple");
+  }
+  return std::unique_ptr<ReplayableKeyedGaussianSource>(
+      new ReplayableKeyedGaussianSource(std::move(options)));
+}
+
+ReplayableKeyedGaussianSource::ReplayableKeyedGaussianSource(
+    KeyedGaussianSourceOptions options)
+    : options_(std::move(options)), rng_(options_.seed) {
+  AUSDB_CHECK_OK(schema_.AddField({"key", engine::FieldType::kString}));
+  AUSDB_CHECK_OK(
+      schema_.AddField({"value", engine::FieldType::kUncertain}));
+}
+
+Result<std::optional<engine::Tuple>> ReplayableKeyedGaussianSource::Next() {
+  if (produced_ >= options_.count) {
+    return std::optional<engine::Tuple>(std::nullopt);
+  }
+  const size_t key_index = produced_ % options_.keys.size();
+  const double mu =
+      options_.mu + static_cast<double>(key_index) * options_.mu_step;
+  buffer_.clear();
+  for (size_t i = 0; i < options_.points_per_item; ++i) {
+    buffer_.push_back(stats::SampleNormal(rng_, mu, options_.sigma));
+  }
+  AUSDB_ASSIGN_OR_RETURN(dist::LearnedDistribution learned,
+                         dist::LearnGaussian(buffer_));
+  engine::Tuple t({expr::Value(options_.keys[key_index]),
+                   expr::Value(dist::RandomVar(learned))});
+  t.set_sequence(produced_);
+  ++produced_;
+  return std::optional<engine::Tuple>(std::move(t));
+}
+
+Status ReplayableKeyedGaussianSource::Reset() { return SeekTo(0); }
+
+Status ReplayableKeyedGaussianSource::SeekTo(uint64_t position) {
+  if (position > options_.count) {
+    return Status::InvalidArgument(
+        "cannot seek to " + std::to_string(position) + ": stream has " +
+        std::to_string(options_.count) + " tuples");
+  }
+  // Replay, don't skip: re-seed and burn the exact draws the first
+  // `position` tuples consumed, through the same sampling call sequence
+  // (SampleNormal uses the polar method, which caches a second variate
+  // inside the Rng — state only an identical call sequence reproduces).
+  rng_.Seed(options_.seed);
+  for (uint64_t i = 0; i < position; ++i) {
+    for (size_t j = 0; j < options_.points_per_item; ++j) {
+      (void)stats::SampleNormal(rng_, 0.0, 1.0);
+    }
+  }
+  produced_ = position;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<CsvReplayableSource>> CsvReplayableSource::Make(
+    const std::string& path, engine::Schema schema) {
+  AUSDB_ASSIGN_OR_RETURN(io::CsvTable table, io::ReadCsvFile(path));
+  std::vector<size_t> column_of_field;
+  for (size_t f = 0; f < schema.num_fields(); ++f) {
+    const engine::Field& field = schema.field(f);
+    if (field.type != engine::FieldType::kString &&
+        field.type != engine::FieldType::kDouble) {
+      return Status::TypeError("CSV field '" + field.name +
+                               "' must be string or double");
+    }
+    AUSDB_ASSIGN_OR_RETURN(size_t col, table.ColumnIndex(field.name));
+    column_of_field.push_back(col);
+  }
+  std::vector<engine::Tuple> rows;
+  rows.reserve(table.rows.size());
+  for (size_t r = 0; r < table.rows.size(); ++r) {
+    std::vector<expr::Value> values;
+    values.reserve(schema.num_fields());
+    for (size_t f = 0; f < schema.num_fields(); ++f) {
+      const std::string& cell = table.rows[r][column_of_field[f]];
+      if (schema.field(f).type == engine::FieldType::kString) {
+        values.emplace_back(cell);
+      } else {
+        char* end = nullptr;
+        const double d = std::strtod(cell.c_str(), &end);
+        if (end == cell.c_str() || *end != '\0') {
+          return Status::ParseError("row " + std::to_string(r + 1) +
+                                    ", column '" + schema.field(f).name +
+                                    "': '" + cell + "' is not a number");
+        }
+        values.emplace_back(d);
+      }
+    }
+    engine::Tuple t(std::move(values));
+    t.set_sequence(r);
+    rows.push_back(std::move(t));
+  }
+  return std::unique_ptr<CsvReplayableSource>(
+      new CsvReplayableSource(std::move(schema), std::move(rows)));
+}
+
+CsvReplayableSource::CsvReplayableSource(engine::Schema schema,
+                                         std::vector<engine::Tuple> rows)
+    : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+Result<std::optional<engine::Tuple>> CsvReplayableSource::Next() {
+  if (pos_ >= rows_.size()) {
+    return std::optional<engine::Tuple>(std::nullopt);
+  }
+  return std::optional<engine::Tuple>(rows_[pos_++]);
+}
+
+Status CsvReplayableSource::Reset() { return SeekTo(0); }
+
+Status CsvReplayableSource::SeekTo(uint64_t position) {
+  if (position > rows_.size()) {
+    return Status::InvalidArgument(
+        "cannot seek to " + std::to_string(position) + ": file has " +
+        std::to_string(rows_.size()) + " rows");
+  }
+  pos_ = position;
+  return Status::OK();
+}
+
+}  // namespace stream
+}  // namespace ausdb

@@ -1,0 +1,100 @@
+#ifndef AUSDB_STREAM_REPLAYABLE_SOURCE_H_
+#define AUSDB_STREAM_REPLAYABLE_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/engine/replayable.h"
+
+namespace ausdb {
+namespace stream {
+
+/// Options of ReplayableKeyedGaussianSource.
+struct KeyedGaussianSourceOptions {
+  /// Partition keys cycled round-robin; must be non-empty.
+  std::vector<std::string> keys = {"k0", "k1", "k2", "k3"};
+
+  /// Tuples produced in total. Must be > 0 (recovery needs a bounded
+  /// golden run to compare against).
+  size_t count = 1000;
+
+  /// Raw data points drawn per tuple to learn its Gaussian from.
+  size_t points_per_item = 4;
+
+  /// Mean of key i is `mu + i * mu_step`; sigma is shared.
+  double mu = 100.0;
+  double mu_step = 10.0;
+  double sigma = 5.0;
+
+  uint64_t seed = 42;
+};
+
+/// \brief Replayable synthetic stream (key:string, value:uncertain):
+/// the Section V-C learned-Gaussian stream, keyed for partitioned
+/// windows and seekable for crash recovery.
+///
+/// All randomness comes from one seeded Rng consumed on a fixed
+/// schedule (points_per_item normal draws per tuple), so SeekTo(p) can
+/// reproduce the exact stream by re-seeding and re-drawing the first p
+/// tuples' variates. The draws are replayed through the same sampling
+/// path rather than skipped arithmetically: the polar-method Gaussian
+/// sampler caches a second variate inside the Rng, so only an identical
+/// call sequence reaches an identical state.
+class ReplayableKeyedGaussianSource final : public engine::ReplayableSource {
+ public:
+  static Result<std::unique_ptr<ReplayableKeyedGaussianSource>> Make(
+      KeyedGaussianSourceOptions options = {});
+
+  const engine::Schema& schema() const override { return schema_; }
+  Result<std::optional<engine::Tuple>> Next() override;
+  Status Reset() override;
+
+  uint64_t position() const override { return produced_; }
+  Status SeekTo(uint64_t position) override;
+
+ private:
+  explicit ReplayableKeyedGaussianSource(KeyedGaussianSourceOptions options);
+
+  engine::Schema schema_;
+  KeyedGaussianSourceOptions options_;
+  Rng rng_;
+  uint64_t produced_ = 0;
+  std::vector<double> buffer_;
+};
+
+/// \brief Replayable scan over a CSV file: each schema field (kString or
+/// kDouble) names a CSV column. The table is parsed strictly up front,
+/// so position() is simply the row index and SeekTo is O(1).
+class CsvReplayableSource final : public engine::ReplayableSource {
+ public:
+  /// `schema` fields must name columns of the file's header and be
+  /// kString or kDouble.
+  static Result<std::unique_ptr<CsvReplayableSource>> Make(
+      const std::string& path, engine::Schema schema);
+
+  const engine::Schema& schema() const override { return schema_; }
+  Result<std::optional<engine::Tuple>> Next() override;
+  Status Reset() override;
+
+  uint64_t position() const override { return pos_; }
+  Status SeekTo(uint64_t position) override;
+
+  /// Rows in the file (the stream's length).
+  uint64_t row_count() const { return rows_.size(); }
+
+ private:
+  CsvReplayableSource(engine::Schema schema,
+                      std::vector<engine::Tuple> rows);
+
+  engine::Schema schema_;
+  std::vector<engine::Tuple> rows_;
+  uint64_t pos_ = 0;
+};
+
+}  // namespace stream
+}  // namespace ausdb
+
+#endif  // AUSDB_STREAM_REPLAYABLE_SOURCE_H_

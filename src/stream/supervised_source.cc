@@ -64,14 +64,27 @@ SupervisedScan::SupervisedScan(engine::OperatorPtr child,
 
 Result<std::optional<engine::Tuple>> SupervisedScan::PullWithRetry() {
   size_t attempts = 0;
+  double elapsed = 0.0;  // scheduled backoff this retry sequence
   bool restarted = false;
   for (;;) {
     Result<std::optional<engine::Tuple>> r = child_->Next();
     if (r.ok()) return r;
     ++attempts;
-    if (!options_.retry.ShouldRetry(r.status(), attempts)) {
+    if (!options_.retry.ShouldRetry(r.status(), attempts, elapsed)) {
       if (ClassifyStatus(r.status()) == FailureClass::kTransient) {
         ++counters_.gave_up;
+        // When the time budget (not the attempt cap) is what stopped the
+        // retrying, report that: the caller should know the dependency
+        // was still down after the whole wall-clock budget, and what the
+        // last underlying error was.
+        if (attempts < options_.retry.max_attempts &&
+            options_.retry.DeadlineExhausted(elapsed)) {
+          return Status::DeadlineExceeded(
+              "retry deadline of " +
+              std::to_string(options_.retry.max_elapsed_seconds) +
+              "s exhausted after " + std::to_string(attempts) +
+              " attempts; last error: " + r.status().ToString());
+        }
       }
       return r.status();
     }
@@ -83,6 +96,7 @@ Result<std::optional<engine::Tuple>> SupervisedScan::PullWithRetry() {
     }
     const double delay =
         options_.retry.BackoffFor(attempts - 1, jitter_rng_);
+    elapsed += delay;
     counters_.backoff_seconds += delay;
     if (options_.sleep) options_.sleep(delay);
     ++counters_.retries;

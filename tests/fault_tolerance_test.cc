@@ -101,6 +101,78 @@ TEST(RetryPolicyTest, ShouldRetryHonorsBudgetAndClass) {
   EXPECT_FALSE(p.ShouldRetry(Status::OK(), 1));
 }
 
+TEST(RetryPolicyTest, DeadlineBoundsTotalElapsedTime) {
+  RetryPolicy p;
+  p.max_attempts = 100;  // attempts alone would allow many more retries
+  p.max_elapsed_seconds = 1.0;
+  EXPECT_TRUE(p.ShouldRetry(Status::Unavailable("x"), 1, 0.0));
+  EXPECT_TRUE(p.ShouldRetry(Status::Unavailable("x"), 1, 0.999));
+  EXPECT_FALSE(p.ShouldRetry(Status::Unavailable("x"), 1, 1.0));
+  EXPECT_FALSE(p.ShouldRetry(Status::Unavailable("x"), 1, 5.0));
+  EXPECT_FALSE(p.DeadlineExhausted(0.999));
+  EXPECT_TRUE(p.DeadlineExhausted(1.0));
+
+  // 0 disables the deadline (the default): only attempts bound retry.
+  p.max_elapsed_seconds = 0.0;
+  EXPECT_TRUE(p.ShouldRetry(Status::Unavailable("x"), 1, 1e9));
+  EXPECT_FALSE(p.DeadlineExhausted(1e9));
+}
+
+TEST(SupervisedScanTest, DeadlineExhaustionSurfacesWithLastError) {
+  // A permanently down source: every pull fails transiently. The attempt
+  // budget is generous, so the elapsed-time deadline is what gives up.
+  auto source = std::make_unique<StreamScan>(
+      XSchema(), []() -> Result<std::optional<Tuple>> {
+        return Status::Unavailable("feed is down");
+      });
+  SupervisedScanOptions opts;
+  opts.retry.max_attempts = 1000;
+  opts.retry.initial_backoff_seconds = 0.010;
+  opts.retry.backoff_multiplier = 2.0;
+  opts.retry.max_backoff_seconds = 0.080;
+  opts.retry.jitter_fraction = 0.0;
+  opts.retry.max_elapsed_seconds = 0.200;  // exhausted after a few retries
+  SupervisedScan scan(std::move(source), opts);
+
+  auto out = engine::Collect(scan);
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsDeadlineExceeded())
+      << out.status().ToString();
+  // The deadline error carries the last underlying failure.
+  EXPECT_NE(out.status().message().find("feed is down"),
+            std::string::npos)
+      << out.status().ToString();
+  EXPECT_EQ(scan.counters().gave_up, 1u);
+  EXPECT_GE(scan.counters().backoff_seconds,
+            opts.retry.max_elapsed_seconds);
+}
+
+TEST(SupervisedScanTest, AttemptCapStillReportsUnderlyingError) {
+  // With the attempt cap binding (deadline disabled), the original
+  // Status must propagate unchanged — no DeadlineExceeded rewrite.
+  auto source = std::make_unique<StreamScan>(
+      XSchema(), []() -> Result<std::optional<Tuple>> {
+        return Status::Unavailable("feed is down");
+      });
+  SupervisedScanOptions opts;
+  opts.retry.max_attempts = 3;
+  SupervisedScan scan(std::move(source), opts);
+  auto out = engine::Collect(scan);
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsUnavailable()) << out.status().ToString();
+  EXPECT_EQ(scan.counters().gave_up, 1u);
+}
+
+TEST(RetryClassificationTest, NewCodesAreFatal) {
+  // Corruption and deadline exhaustion must not be retried: retrying
+  // cannot repair damaged bytes, and a deadline already includes all the
+  // retrying it was willing to do.
+  EXPECT_EQ(ClassifyStatus(Status::Corruption("bad checksum")),
+            FailureClass::kFatal);
+  EXPECT_EQ(ClassifyStatus(Status::DeadlineExceeded("budget spent")),
+            FailureClass::kFatal);
+}
+
 // ---------------------------------------------------------------------
 // FaultInjector
 
@@ -396,19 +468,19 @@ TEST(CheckpointSerdeTest, RoundTripsTokensAndBitExactDoubles) {
 TEST(CheckpointSerdeTest, RejectsMalformedInput) {
   serde::CheckpointReader truncated("tag");
   ASSERT_TRUE(truncated.ExpectToken("tag").ok());
-  EXPECT_TRUE(truncated.NextUint().status().IsParseError());
+  EXPECT_TRUE(truncated.NextUint().status().IsCorruption());
 
   serde::CheckpointReader wrong_tag("other");
-  EXPECT_TRUE(wrong_tag.ExpectToken("tag").IsParseError());
+  EXPECT_TRUE(wrong_tag.ExpectToken("tag").IsCorruption());
 
   serde::CheckpointReader bad_int("12x4");
-  EXPECT_TRUE(bad_int.NextUint().status().IsParseError());
+  EXPECT_TRUE(bad_int.NextUint().status().IsCorruption());
 
   serde::CheckpointReader bad_double("zz");
-  EXPECT_TRUE(bad_double.NextDouble().status().IsParseError());
+  EXPECT_TRUE(bad_double.NextDouble().status().IsCorruption());
 
   serde::CheckpointReader short_bytes("10:abc");
-  EXPECT_TRUE(short_bytes.NextBytes().status().IsParseError());
+  EXPECT_TRUE(short_bytes.NextBytes().status().IsCorruption());
 }
 
 // ---------------------------------------------------------------------
@@ -497,7 +569,7 @@ TEST(CheckpointTest, WindowAggregateRejectsMismatchedShape) {
       "avg", {.window_size = 16});  // different window size
   ASSERT_TRUE(b.ok());
   EXPECT_TRUE((*b)->RestoreCheckpoint(*blob).IsInvalidArgument());
-  EXPECT_TRUE((*b)->RestoreCheckpoint("garbage").IsParseError());
+  EXPECT_TRUE((*b)->RestoreCheckpoint("garbage").IsCorruption());
 }
 
 TEST(CheckpointTest, PartitionedWindowRoundTripsAllPartitions) {

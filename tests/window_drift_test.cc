@@ -253,7 +253,7 @@ TEST(WindowDriftTest, RejectsUnknownCheckpointVersion) {
   auto scan = std::make_unique<VectorScan>(DoubleSchema(), tuples);
   auto agg = WindowAggregate::Make(std::move(scan), "x", "sum", {});
   ASSERT_TRUE(agg.ok());
-  EXPECT_TRUE((*agg)->RestoreCheckpoint(blob).IsParseError());
+  EXPECT_TRUE((*agg)->RestoreCheckpoint(blob).IsCorruption());
 }
 
 }  // namespace
