@@ -1,0 +1,160 @@
+#ifndef AUSDB_COMMON_BOUNDED_QUEUE_H_
+#define AUSDB_COMMON_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace ausdb {
+
+/// \brief Bounded blocking FIFO connecting a producer thread to a
+/// consumer thread (the prefetch ring buffer of
+/// stream::AsyncPrefetchSource).
+///
+/// The queue is deliberately a mutex-and-condvar ring rather than a
+/// lock-free one: the elements it carries (whole tuples) cost orders of
+/// magnitude more to produce than a lock handoff, and the simple
+/// implementation is easy to prove TSan-clean. Capacity is the
+/// backpressure bound — Push blocks while the queue is full, which is
+/// what stops a fast producer from buffering an unbounded prefix of the
+/// stream.
+///
+/// Lifecycle:
+///  - Close(): producer side announces end of stream. Pop drains the
+///    remaining items, then returns kCancelled ("closed and drained").
+///  - Cancel(): consumer side aborts the transfer. Both blocked Push and
+///    blocked Pop wake immediately with kCancelled, and further calls
+///    fail fast — this is how a destructor unblocks a producer stuck on
+///    a full queue.
+///
+/// FIFO order is unconditional, which is what makes a prefetching
+/// wrapper order-deterministic: the consumer observes exactly the
+/// producer's outcome sequence, independent of timing.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  /// Enqueues `item`, blocking while the queue is full. Returns
+  /// kCancelled if the queue was cancelled (or becomes cancelled while
+  /// blocked), kInvalidArgument after Close().
+  Status Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_) {
+      return Status::InvalidArgument("BoundedQueue: Push after Close");
+    }
+    if (items_.size() >= capacity_ && !cancelled_) {
+      ++push_waits_;
+      not_full_.wait(lock, [&] {
+        return items_.size() < capacity_ || cancelled_;
+      });
+    }
+    if (cancelled_) return Status::Cancelled("BoundedQueue: cancelled");
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return Status::OK();
+  }
+
+  /// Non-blocking Push: kBackpressure when full instead of waiting.
+  Status TryPush(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cancelled_) return Status::Cancelled("BoundedQueue: cancelled");
+    if (closed_) {
+      return Status::InvalidArgument("BoundedQueue: Push after Close");
+    }
+    if (items_.size() >= capacity_) {
+      return Status::Backpressure("BoundedQueue: full");
+    }
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return Status::OK();
+  }
+
+  /// Dequeues the oldest item into `*out`, blocking while the queue is
+  /// empty. Returns kCancelled when the queue was cancelled, or when it
+  /// was closed and every item has been drained. (An out-parameter
+  /// rather than Result<T>, so T may itself be a Result.)
+  Status Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty() && !closed_ && !cancelled_) {
+      ++pop_waits_;
+      not_empty_.wait(lock, [&] {
+        return !items_.empty() || closed_ || cancelled_;
+      });
+    }
+    if (cancelled_) return Status::Cancelled("BoundedQueue: cancelled");
+    if (items_.empty()) {
+      // closed_ must hold here: the wait only returns on item/close/
+      // cancel.
+      return Status::Cancelled("BoundedQueue: closed and drained");
+    }
+    *out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return Status::OK();
+  }
+
+  /// Producer side: no more items will be pushed. Idempotent.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+  }
+
+  /// Consumer side: abandon the transfer and wake both ends. Idempotent.
+  void Cancel() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool cancelled() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cancelled_;
+  }
+
+  /// Times a Push blocked on a full queue (producer was faster than the
+  /// consumer — the backpressure path).
+  size_t push_waits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return push_waits_;
+  }
+
+  /// Times a Pop blocked on an empty queue (consumer was faster — the
+  /// prefetch did not hide the producer's latency).
+  size_t pop_waits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pop_waits_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  bool cancelled_ = false;
+  size_t push_waits_ = 0;
+  size_t pop_waits_ = 0;
+};
+
+}  // namespace ausdb
+
+#endif  // AUSDB_COMMON_BOUNDED_QUEUE_H_

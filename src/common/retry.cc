@@ -8,7 +8,11 @@ FailureClass ClassifyStatus(const Status& status) {
   switch (status.code()) {
     case StatusCode::kUnavailable:
     case StatusCode::kInternal:
+    // A full bounded buffer clears once the consumer drains it.
+    case StatusCode::kBackpressure:
       return FailureClass::kTransient;
+    // kCancelled is deliberately fatal: the consumer shut the pipeline
+    // down, so retrying would race against teardown.
     default:
       return FailureClass::kFatal;
   }

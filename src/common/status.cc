@@ -30,6 +30,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Corruption";
     case StatusCode::kDeadlineExceeded:
       return "Deadline exceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kBackpressure:
+      return "Backpressure";
   }
   return "Unknown";
 }

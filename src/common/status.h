@@ -38,6 +38,17 @@ enum class StatusCode : int {
   /// (RetryPolicy::max_elapsed_seconds) before exhausting its attempt
   /// cap. The message carries the last underlying error.
   kDeadlineExceeded = 12,
+  /// The operation was abandoned because its consumer shut down: a
+  /// bounded queue was cancelled, a prefetching source was Close()d
+  /// while the producer was still running. Unlike kUnavailable this is
+  /// not retryable — the shutdown was deliberate and the other side is
+  /// gone.
+  kCancelled = 13,
+  /// A bounded resource (ring buffer, in-flight window) is full and the
+  /// caller chose not to block. Transient by construction: draining the
+  /// consumer frees capacity, so the retry layer treats it like
+  /// kUnavailable.
+  kBackpressure = 14,
 };
 
 /// \brief Returns a human-readable name for a status code ("OK",
@@ -96,6 +107,12 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Backpressure(std::string msg) {
+    return Status(StatusCode::kBackpressure, std::move(msg));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -126,6 +143,10 @@ class Status {
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsDeadlineExceeded() const {
     return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsBackpressure() const {
+    return code_ == StatusCode::kBackpressure;
   }
 
   /// "OK" or "<code name>: <message>".

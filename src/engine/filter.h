@@ -53,6 +53,8 @@ class Filter final : public Operator {
     child_->BindThreadPool(pool);
   }
 
+  Status Close() override { return child_->Close(); }
+
   /// Number of UNSURE outcomes seen so far (kept or dropped).
   size_t unsure_count() const { return unsure_count_; }
 

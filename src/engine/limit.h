@@ -31,6 +31,8 @@ class Limit final : public Operator {
     child_->BindThreadPool(pool);
   }
 
+  Status Close() override { return child_->Close(); }
+
  private:
   OperatorPtr child_;
   size_t limit_;

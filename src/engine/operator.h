@@ -37,6 +37,16 @@ class Operator {
     return Status::NotImplemented("operator does not support Reset");
   }
 
+  /// \brief Releases external resources ahead of destruction: background
+  /// prefetch threads, sockets, file handles. Idempotent, and must be
+  /// safe to call at any point of the pull loop — including with tuples
+  /// still buffered. Operators with children forward the call so a
+  /// Close() on the plan root reaches the leaves; after Close(),
+  /// Next() on a resource-backed source fails with kCancelled.
+  /// Destructors imply Close, so calling it is only required when
+  /// resources must be released before the plan is torn down.
+  virtual Status Close() { return Status::OK(); }
+
   /// \brief Serializes this operator's mutable state (open-window
   /// accumulators, partition maps) into an opaque blob a fresh instance
   /// of the same shape can RestoreCheckpoint() from. Child operators are

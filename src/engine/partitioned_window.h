@@ -34,6 +34,8 @@ class PartitionedWindowAggregate final : public Operator {
     child_->BindThreadPool(pool);
   }
 
+  Status Close() override { return child_->Close(); }
+
   /// Checkpointing serializes every partition's open window and exact
   /// running sums including the Neumaier compensation terms (keys
   /// sorted, so equal states produce equal blobs). Writes the v3 format

@@ -45,6 +45,8 @@ class Project final : public Operator {
     child_->BindThreadPool(pool);
   }
 
+  Status Close() override { return child_->Close(); }
+
  private:
   Project(OperatorPtr child, std::vector<ProjectionItem> items,
           Schema schema, expr::EvalOptions eval_options);

@@ -55,6 +55,8 @@ class ShardedPartitionedWindowAggregate final : public Operator {
     child_->BindThreadPool(pool);
   }
 
+  Status Close() override { return child_->Close(); }
+
   /// Checkpointing covers every shard's partition states (keys globally
   /// sorted, Neumaier compensation terms included) plus the emissions
   /// already computed but not yet pulled, so a restore mid-batch resumes

@@ -34,6 +34,8 @@ class Sort final : public Operator {
     child_->BindThreadPool(pool);
   }
 
+  Status Close() override { return child_->Close(); }
+
  private:
   Sort(OperatorPtr child, size_t column_index, SortOrder order)
       : child_(std::move(child)),

@@ -48,6 +48,8 @@ class TimeWindowAggregate final : public Operator {
     child_->BindThreadPool(pool);
   }
 
+  Status Close() override { return child_->Close(); }
+
  private:
   struct Entry {
     double timestamp;

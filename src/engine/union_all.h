@@ -25,6 +25,15 @@ class UnionAll final : public Operator {
     for (auto& child : children_) child->BindThreadPool(pool);
   }
 
+  Status Close() override {
+    Status first = Status::OK();
+    for (auto& child : children_) {
+      const Status st = child->Close();
+      if (first.ok() && !st.ok()) first = st;
+    }
+    return first;
+  }
+
  private:
   explicit UnionAll(std::vector<OperatorPtr> children)
       : children_(std::move(children)) {}

@@ -69,6 +69,8 @@ class WindowAggregate final : public Operator {
     child_->BindThreadPool(pool);
   }
 
+  Status Close() override { return child_->Close(); }
+
   /// Checkpointing serializes the open window (entries plus the exact
   /// running sums and their Neumaier compensation terms, preserving the
   /// accumulators' floating-point history) so a restarted pipeline

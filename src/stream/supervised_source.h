@@ -107,6 +107,7 @@ class SupervisedScan final : public engine::Operator {
   const engine::Schema& schema() const override { return child_->schema(); }
   Result<std::optional<engine::Tuple>> Next() override;
   Status Reset() override;
+  Status Close() override { return child_->Close(); }
 
   const SupervisionCounters& counters() const { return counters_; }
   const std::deque<QuarantinedTuple>& quarantine() const {

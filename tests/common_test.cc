@@ -31,6 +31,17 @@ TEST(StatusTest, EveryCodeHasDistinctName) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kInsufficientData),
             "Insufficient data");
   EXPECT_EQ(StatusCodeToString(StatusCode::kTypeError), "Type error");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kBackpressure), "Backpressure");
+}
+
+TEST(StatusTest, ShutdownAndBackpressureCodes) {
+  const Status cancelled = Status::Cancelled("consumer gone");
+  EXPECT_TRUE(cancelled.IsCancelled());
+  EXPECT_EQ(cancelled.ToString(), "Cancelled: consumer gone");
+  const Status full = Status::Backpressure("ring full");
+  EXPECT_TRUE(full.IsBackpressure());
+  EXPECT_EQ(full.ToString(), "Backpressure: ring full");
 }
 
 TEST(StatusTest, ReturnNotOkMacroPropagates) {

@@ -59,6 +59,12 @@ TEST(RetryPolicyTest, ClassifiesTransientVsFatal) {
             FailureClass::kFatal);
   EXPECT_EQ(ClassifyStatus(Status::NotImplemented("no")),
             FailureClass::kFatal);
+  // Backpressure clears when the consumer drains; cancellation is a
+  // deliberate shutdown and must never be retried.
+  EXPECT_EQ(ClassifyStatus(Status::Backpressure("ring full")),
+            FailureClass::kTransient);
+  EXPECT_EQ(ClassifyStatus(Status::Cancelled("shutdown")),
+            FailureClass::kFatal);
 }
 
 TEST(RetryPolicyTest, BackoffGrowsAndCaps) {

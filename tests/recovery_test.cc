@@ -23,6 +23,7 @@
 #include "src/engine/sharded_partitioned_window.h"
 #include "src/serde/checkpoint.h"
 #include "src/serde/checkpoint_file.h"
+#include "src/stream/async_prefetch_source.h"
 #include "src/stream/replayable_source.h"
 
 namespace ausdb {
@@ -320,6 +321,12 @@ struct SweepConfig {
   size_t shards = 3;
   size_t batch = 16;
   size_t checkpoint_every = 16;  // delivered outputs between checkpoints
+
+  /// Wrap the source in AsyncPrefetchReplayableSource: the crash sweep
+  /// then kills the pipeline with tuples resident in the prefetch ring,
+  /// and recovery must replay the discarded residue bit-identically.
+  bool prefetch = false;
+  size_t queue_depth = 8;
 };
 
 // Bit-exact fingerprint of an output tuple (hex doubles, not decimal).
@@ -339,16 +346,31 @@ std::string Fingerprint(const Tuple& t) {
 
 // One simulated process lifetime: build the pipeline, recover from the
 // newest intact checkpoint, and run until end-of-stream or the injected
-// crash. Returns OK when the stream completed.
+// crash. Returns OK when the stream completed. With cfg.prefetch the
+// replayable source is wrapped in a prefetching source and the WRAPPER
+// is registered for recovery; `backlog_at_exit` (when non-null)
+// receives how many tuples the producer had read ahead of the consumer
+// when the lifetime ended — the ring residue a crash abandons.
 Status RunLifetime(const SweepConfig& cfg, const std::string& dir,
                    CrashPointInjector* inj,
-                   std::vector<std::string>* delivered) {
+                   std::vector<std::string>* delivered,
+                   size_t* backlog_at_exit = nullptr) {
   stream::KeyedGaussianSourceOptions sopts;
   sopts.count = cfg.count;
   sopts.points_per_item = 3;
-  AUSDB_ASSIGN_OR_RETURN(auto source_owned,
+  AUSDB_ASSIGN_OR_RETURN(auto raw_source,
                          stream::ReplayableKeyedGaussianSource::Make(sopts));
-  stream::ReplayableKeyedGaussianSource* source = source_owned.get();
+  std::unique_ptr<ReplayableSource> source_owned = std::move(raw_source);
+  stream::AsyncPrefetchReplayableSource* prefetcher = nullptr;
+  if (cfg.prefetch) {
+    stream::AsyncPrefetchOptions popts;
+    popts.queue_depth = cfg.queue_depth;
+    auto wrapped = std::make_unique<stream::AsyncPrefetchReplayableSource>(
+        std::move(source_owned), popts);
+    prefetcher = wrapped.get();
+    source_owned = std::move(wrapped);
+  }
+  ReplayableSource* source = source_owned.get();
 
   ShardedWindowOptions wopts;
   wopts.window.window_size = cfg.window;
@@ -377,53 +399,73 @@ Status RunLifetime(const SweepConfig& cfg, const std::string& dir,
   AUSDB_RETURN_NOT_OK(manager.RegisterSource("source", source));
   AUSDB_RETURN_NOT_OK(manager.RegisterOperator("spwagg", spwagg));
 
-  AUSDB_ASSIGN_OR_RETURN(auto recovered, manager.Restore());
-  const uint64_t checkpointed =
-      recovered.has_value() ? recovered->outputs_delivered : 0;
-  // The consumer can only be AHEAD of the checkpoint, never behind it
-  // (checkpoints are taken after delivery).
-  EXPECT_LE(checkpointed, delivered->size());
-  size_t overlap = delivered->size() - checkpointed;
-  uint64_t emitted = checkpointed;
+  // The pull loop runs in a lambda so the prefetcher's ring backlog can
+  // be observed after a simulated crash, before the pipeline (and its
+  // producer thread) is torn down.
+  auto run = [&]() -> Status {
+    AUSDB_ASSIGN_OR_RETURN(auto recovered, manager.Restore());
+    const uint64_t checkpointed =
+        recovered.has_value() ? recovered->outputs_delivered : 0;
+    // The consumer can only be AHEAD of the checkpoint, never behind it
+    // (checkpoints are taken after delivery).
+    EXPECT_LE(checkpointed, delivered->size());
+    size_t overlap = delivered->size() - checkpointed;
+    uint64_t emitted = checkpointed;
 
-  for (;;) {
-    AUSDB_RETURN_NOT_OK(inj->CrashIf("pre-pull"));
-    AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> t, root->Next());
-    if (!t.has_value()) break;
-    const std::string fp = Fingerprint(*t);
-    if (overlap > 0) {
-      // Re-emitted output: must be bit-identical to what was already
-      // delivered before the crash (exactly-once via dedupe-by-count).
-      EXPECT_EQ(fp, (*delivered)[delivered->size() - overlap]);
-      --overlap;
+    for (;;) {
+      AUSDB_RETURN_NOT_OK(inj->CrashIf("pre-pull"));
+      AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> t, root->Next());
+      if (!t.has_value()) break;
+      const std::string fp = Fingerprint(*t);
+      if (overlap > 0) {
+        // Re-emitted output: must be bit-identical to what was already
+        // delivered before the crash (exactly-once via dedupe-by-count).
+        EXPECT_EQ(fp, (*delivered)[delivered->size() - overlap]);
+        --overlap;
+        ++emitted;
+        continue;
+      }
+      AUSDB_RETURN_NOT_OK(inj->CrashIf("pre-deliver"));
+      delivered->push_back(fp);
       ++emitted;
-      continue;
+      AUSDB_RETURN_NOT_OK(inj->CrashIf("post-deliver"));
+      if (emitted % cfg.checkpoint_every == 0) {
+        AUSDB_RETURN_NOT_OK(
+            manager.Checkpoint(delivered->size()).status());
+      }
     }
-    AUSDB_RETURN_NOT_OK(inj->CrashIf("pre-deliver"));
-    delivered->push_back(fp);
-    ++emitted;
-    AUSDB_RETURN_NOT_OK(inj->CrashIf("post-deliver"));
-    if (emitted % cfg.checkpoint_every == 0) {
-      AUSDB_RETURN_NOT_OK(
-          manager.Checkpoint(delivered->size()).status());
+    return Status::OK();
+  };
+  const Status st = run();
+  if (backlog_at_exit != nullptr) {
+    *backlog_at_exit = 0;
+    if (prefetcher != nullptr) {
+      const stream::PrefetchStats stats = prefetcher->stats();
+      *backlog_at_exit = stats.produced - stats.delivered;
     }
   }
-  return Status::OK();
+  return st;
 }
 
 // Runs the stream to completion through as many crash/restart cycles as
 // the injector causes. Returns the delivered log.
 std::vector<std::string> RunToCompletion(const SweepConfig& cfg,
                                          const std::string& dir,
-                                         CrashPointInjector* inj) {
+                                         CrashPointInjector* inj,
+                                         bool* crashed_with_backlog =
+                                             nullptr) {
   std::vector<std::string> delivered;
   for (size_t lifetime = 0;; ++lifetime) {
     // One injected crash can interrupt at most one lifetime; the rerun
     // after it must complete.
     EXPECT_LT(lifetime, 3u) << "pipeline failed to complete after crash";
     if (lifetime >= 3) break;
-    const Status st = RunLifetime(cfg, dir, inj, &delivered);
+    size_t backlog = 0;
+    const Status st = RunLifetime(cfg, dir, inj, &delivered, &backlog);
     if (st.ok()) break;
+    if (crashed_with_backlog != nullptr && backlog > 0) {
+      *crashed_with_backlog = true;
+    }
     // The only acceptable failure is the injected crash.
     EXPECT_TRUE(inj->fired()) << st.ToString();
     EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
@@ -469,6 +511,60 @@ TEST(CrashPointSweepTest, EveryCrashPointRecoversBitIdentically) {
           << crash_at << " ('" << inj.fired_site() << "')";
     }
   }
+}
+
+// The same exhaustive sweep with async prefetching enabled: the process
+// dies with tuples resident in the prefetch ring, recovery re-seeks the
+// wrapper to the consumer-visible position, and the resumed pipeline's
+// delivered log must STILL equal the synchronous golden run bit for
+// bit — prefetching must be invisible to the recovery contract.
+TEST(CrashPointSweepTest, PrefetchedPipelineRecoversBitIdentically) {
+  SweepConfig sync_cfg;
+  SweepConfig cfg;
+  cfg.prefetch = true;
+  cfg.queue_depth = 8;
+
+  // Golden run: SYNCHRONOUS and uninterrupted — the prefetched sweep is
+  // held to the synchronous pipeline's exact output, not merely to its
+  // own uninterrupted run.
+  ScratchDir golden_dir("pfsweep_golden");
+  CrashPointInjector golden_counter(CrashPointInjector::kNever);
+  const std::vector<std::string> golden =
+      RunToCompletion(sync_cfg, golden_dir.path(), &golden_counter);
+  ASSERT_FALSE(golden.empty());
+
+  // Uninterrupted prefetched run: bit-identical to sync, same number of
+  // crash sites (sites are consumer-side, so prefetching adds none).
+  ScratchDir pf_dir("pfsweep_uncrashed");
+  CrashPointInjector counter(CrashPointInjector::kNever);
+  const std::vector<std::string> uncrashed =
+      RunToCompletion(cfg, pf_dir.path(), &counter);
+  ASSERT_EQ(uncrashed, golden);
+  const size_t total_sites = counter.sites_visited();
+  ASSERT_EQ(total_sites, golden_counter.sites_visited());
+
+  bool crashed_with_backlog = false;
+  for (size_t crash_at = 1; crash_at <= total_sites; ++crash_at) {
+    ScratchDir dir("pfsweep_" + std::to_string(crash_at));
+    CrashPointInjector inj(crash_at);
+    const std::vector<std::string> delivered =
+        RunToCompletion(cfg, dir.path(), &inj, &crashed_with_backlog);
+    ASSERT_TRUE(inj.fired()) << "crash point " << crash_at
+                             << " was never reached";
+    ASSERT_EQ(delivered.size(), golden.size())
+        << "crash at site " << crash_at << " ('" << inj.fired_site()
+        << "')";
+    for (size_t i = 0; i < golden.size(); ++i) {
+      ASSERT_EQ(delivered[i], golden[i])
+          << "output " << i << " diverged after crash at site "
+          << crash_at << " ('" << inj.fired_site() << "')";
+    }
+  }
+  // The point of the sweep: at least some crashes must have caught the
+  // ring partially full, i.e. killed tuples the producer had read ahead.
+  EXPECT_TRUE(crashed_with_backlog)
+      << "no crash ever saw a non-empty prefetch ring; the sweep did "
+         "not exercise crash-during-prefetch";
 }
 
 // Restore() must fall back to an older intact generation when the
