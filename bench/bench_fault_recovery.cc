@@ -63,16 +63,6 @@ engine::OperatorPtr WindowedPlan(engine::OperatorPtr source) {
   return std::move(*agg);
 }
 
-double MeasureTuplesPerSecond(engine::Operator& plan) {
-  stream::ThroughputMeter meter;
-  meter.Start();
-  auto count = engine::Drain(plan);
-  AUSDB_CHECK(count.ok()) << count.status().ToString();
-  meter.Count(*count);
-  meter.Stop();
-  return meter.TuplesPerSecond();
-}
-
 struct Measured {
   double rate = 0.0;
   size_t retries = 0;
@@ -87,7 +77,7 @@ Measured BestOfRuns(
   for (int rep = 0; rep < 3; ++rep) {
     stream::SupervisedScan* sup = nullptr;
     auto plan = make_plan(&sup);
-    const double rate = MeasureTuplesPerSecond(*plan);
+    const double rate = bench::MeasureTuplesPerSecond(*plan);
     const size_t retries = sup ? sup->counters().retries : 0;
     if (rate > best.rate) best = {rate, retries};
   }
@@ -108,10 +98,10 @@ int main() {
   double best_ratio = 1e9;
   for (int rep = 0; rep < 5; ++rep) {
     auto bare_plan = WindowedPlan(MakeBareSource());
-    const double bare_rate = MeasureTuplesPerSecond(*bare_plan);
+    const double bare_rate = bench::MeasureTuplesPerSecond(*bare_plan);
     auto supervised = Supervise(MakeBareSource());
     auto plan = WindowedPlan(std::move(supervised));
-    const double sup_rate = MeasureTuplesPerSecond(*plan);
+    const double sup_rate = bench::MeasureTuplesPerSecond(*plan);
     if (bare_rate > bare.rate) bare.rate = bare_rate;
     if (sup_rate > fault_free.rate) fault_free.rate = sup_rate;
     best_ratio = std::min(best_ratio, bare_rate / sup_rate);

@@ -43,13 +43,7 @@ engine::OperatorPtr MakePipeline(bool annotate,
 }
 
 double MeasureTuplesPerSecond(engine::OperatorPtr plan) {
-  stream::ThroughputMeter meter;
-  meter.Start();
-  auto count = engine::Drain(*plan);
-  AUSDB_CHECK(count.ok()) << count.status().ToString();
-  meter.Count(*count);
-  meter.Stop();
-  return meter.TuplesPerSecond();
+  return bench::MeasureTuplesPerSecond(*plan);
 }
 
 }  // namespace

@@ -12,6 +12,11 @@
 #include <string>
 #include <vector>
 
+#include "src/common/logging.h"
+#include "src/engine/executor.h"
+#include "src/engine/operator.h"
+#include "src/stream/throughput.h"
+
 namespace ausdb {
 namespace bench {
 
@@ -36,6 +41,19 @@ inline std::string FmtInt(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.0f", v);
   return buf;
+}
+
+/// Drains `plan` to completion under a ThroughputMeter and returns the
+/// measured tuples/second. The one throughput-measurement idiom shared
+/// by every figure harness.
+inline double MeasureTuplesPerSecond(engine::Operator& plan) {
+  stream::ThroughputMeter meter;
+  meter.Start();
+  auto count = engine::Drain(plan);
+  AUSDB_CHECK(count.ok()) << count.status().ToString();
+  meter.Count(*count);
+  meter.Stop();
+  return meter.TuplesPerSecond();
 }
 
 }  // namespace bench

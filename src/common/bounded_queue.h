@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "src/common/status.h"
+#include "src/obs/metrics.h"
 
 namespace ausdb {
 
@@ -45,6 +46,21 @@ class BoundedQueue {
 
   size_t capacity() const { return capacity_; }
 
+  /// Mirrors queue observability into registry-owned metrics: `depth` is
+  /// set to the current size after every push/pop, and the wait counters
+  /// are incremented alongside push_waits_/pop_waits_. Any pointer may be
+  /// null. All updates happen under the queue mutex — strictly
+  /// write-only, so binding cannot change queue behaviour. Metrics must
+  /// outlive the queue.
+  void BindMetrics(obs::Gauge* depth, obs::Counter* push_waits,
+                   obs::Counter* pop_waits) {
+    std::lock_guard<std::mutex> lock(mu_);
+    m_depth_ = depth;
+    m_push_waits_ = push_waits;
+    m_pop_waits_ = pop_waits;
+    if (m_depth_) m_depth_->Set(static_cast<int64_t>(items_.size()));
+  }
+
   /// Enqueues `item`, blocking while the queue is full. Returns
   /// kCancelled if the queue was cancelled (or becomes cancelled while
   /// blocked), kInvalidArgument after Close().
@@ -55,12 +71,14 @@ class BoundedQueue {
     }
     if (items_.size() >= capacity_ && !cancelled_) {
       ++push_waits_;
+      if (m_push_waits_) m_push_waits_->Increment();
       not_full_.wait(lock, [&] {
         return items_.size() < capacity_ || cancelled_;
       });
     }
     if (cancelled_) return Status::Cancelled("BoundedQueue: cancelled");
     items_.push_back(std::move(item));
+    if (m_depth_) m_depth_->Set(static_cast<int64_t>(items_.size()));
     not_empty_.notify_one();
     return Status::OK();
   }
@@ -76,6 +94,7 @@ class BoundedQueue {
       return Status::Backpressure("BoundedQueue: full");
     }
     items_.push_back(std::move(item));
+    if (m_depth_) m_depth_->Set(static_cast<int64_t>(items_.size()));
     not_empty_.notify_one();
     return Status::OK();
   }
@@ -88,6 +107,7 @@ class BoundedQueue {
     std::unique_lock<std::mutex> lock(mu_);
     if (items_.empty() && !closed_ && !cancelled_) {
       ++pop_waits_;
+      if (m_pop_waits_) m_pop_waits_->Increment();
       not_empty_.wait(lock, [&] {
         return !items_.empty() || closed_ || cancelled_;
       });
@@ -100,6 +120,7 @@ class BoundedQueue {
     }
     *out = std::move(items_.front());
     items_.pop_front();
+    if (m_depth_) m_depth_->Set(static_cast<int64_t>(items_.size()));
     not_full_.notify_one();
     return Status::OK();
   }
@@ -153,6 +174,9 @@ class BoundedQueue {
   bool cancelled_ = false;
   size_t push_waits_ = 0;
   size_t pop_waits_ = 0;
+  obs::Gauge* m_depth_ = nullptr;
+  obs::Counter* m_push_waits_ = nullptr;
+  obs::Counter* m_pop_waits_ = nullptr;
 };
 
 }  // namespace ausdb

@@ -1,0 +1,79 @@
+#include "src/common/logging.h"
+
+#include <mutex>
+#include <utility>
+
+namespace ausdb {
+namespace logging {
+
+namespace {
+
+/// The level gate is a relaxed atomic so the disabled-log fast path is
+/// one load with no fence; the sink swap takes a mutex (rare).
+std::atomic<int> g_min_level{static_cast<int>(Level::kWarn)};
+
+std::mutex g_sink_mu;
+Sink& GlobalSink() {
+  static Sink sink;  // empty = stderr default
+  return sink;
+}
+
+void DefaultSink(Level level, const char* file, int line,
+                 const std::string& message) {
+  std::ostringstream line_out;
+  line_out << "[" << LevelName(level) << "] " << file << ":" << line
+           << ": " << message << "\n";
+  // One preformatted write keeps concurrent log lines unmangled.
+  std::cerr << line_out.str();
+}
+
+}  // namespace
+
+void SetMinLevel(Level level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+Level MinLevel() {
+  return static_cast<Level>(g_min_level.load(std::memory_order_relaxed));
+}
+
+bool IsEnabled(Level level) {
+  return static_cast<int>(level) >=
+         g_min_level.load(std::memory_order_relaxed);
+}
+
+void SetSink(Sink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  GlobalSink() = std::move(sink);
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kInfo:
+      return "INFO";
+    case Level::kWarn:
+      return "WARN";
+    case Level::kError:
+      return "ERROR";
+    case Level::kOff:
+      return "OFF";
+  }
+  return "UNKNOWN";
+}
+
+namespace internal {
+
+LogMessage::~LogMessage() {
+  const std::string message = stream_.str();
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  const Sink& sink = GlobalSink();
+  if (sink) {
+    sink(level_, file_, line_, message);
+  } else {
+    DefaultSink(level_, file_, line_, message);
+  }
+}
+
+}  // namespace internal
+}  // namespace logging
+}  // namespace ausdb

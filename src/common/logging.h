@@ -1,11 +1,87 @@
 #ifndef AUSDB_COMMON_LOGGING_H_
 #define AUSDB_COMMON_LOGGING_H_
 
+#include <atomic>
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <sstream>
+#include <string>
 
 namespace ausdb {
+
+/// \brief Leveled runtime logging.
+///
+/// `AUSDB_LOG(INFO) << "replayed " << n << " tuples";` — the stream
+/// arguments are evaluated lazily: when the level is disabled the whole
+/// statement compiles to one relaxed atomic load and nothing to the
+/// right of the macro runs. Messages go to a pluggable sink (default:
+/// one stderr line), so tests can capture and embedded callers can
+/// redirect. Fatal diagnostics stay with AUSDB_CHECK below — AUSDB_LOG
+/// never terminates the process.
+namespace logging {
+
+enum class Level : int {
+  kInfo = 0,
+  kWarn = 1,
+  kError = 2,
+  /// Sentinel above every real level: disables all logging.
+  kOff = 3,
+};
+
+/// Receives one fully formatted message. Must be thread-safe if the
+/// program logs from multiple threads.
+using Sink = std::function<void(Level, const char* file, int line,
+                                const std::string& message)>;
+
+/// Minimum level that is emitted (default kWarn: INFO is opt-in).
+void SetMinLevel(Level level);
+Level MinLevel();
+
+/// True when `level` would currently be emitted; the macro's guard.
+bool IsEnabled(Level level);
+
+/// Replaces the sink; a null sink restores the stderr default.
+void SetSink(Sink sink);
+
+/// "INFO" / "WARN" / "ERROR".
+const char* LevelName(Level level);
+
+namespace internal {
+
+/// Accumulates one message and hands it to the sink on destruction.
+class LogMessage {
+ public:
+  LogMessage(Level level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  Level level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the ostream produced by a live LogMessage so the enabled
+/// and disabled branches of AUSDB_LOG have the same (void) type.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+/// Spelled-out severities for the AUSDB_LOG token paste.
+inline constexpr Level kLogINFO = Level::kInfo;
+inline constexpr Level kLogWARN = Level::kWarn;
+inline constexpr Level kLogERROR = Level::kError;
+
+}  // namespace internal
+}  // namespace logging
+
 namespace internal {
 
 /// \brief Terminates the process after streaming a fatal diagnostic.
@@ -29,6 +105,21 @@ class FatalLogMessage {
 
 }  // namespace internal
 }  // namespace ausdb
+
+/// \brief Leveled, lazily evaluated log statement:
+/// `AUSDB_LOG(WARN) << "quarantined tuple " << seq;`
+///
+/// The ternary keeps this a single expression (safe in unbraced if/else)
+/// and short-circuits: with the level disabled, the streamed arguments
+/// are never evaluated.
+#define AUSDB_LOG(severity)                                              \
+  !::ausdb::logging::IsEnabled(::ausdb::logging::internal::kLog##severity) \
+      ? (void)0                                                          \
+      : ::ausdb::logging::internal::Voidify() &                          \
+            ::ausdb::logging::internal::LogMessage(                      \
+                ::ausdb::logging::internal::kLog##severity, __FILE__,    \
+                __LINE__)                                                \
+                .stream()
 
 /// \brief Aborts with a diagnostic if `condition` is false.
 ///

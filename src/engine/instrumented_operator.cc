@@ -1,0 +1,64 @@
+#include "src/engine/instrumented_operator.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace ausdb {
+namespace engine {
+
+InstrumentedOperator::InstrumentedOperator(OperatorPtr child,
+                                           const std::string& op_name,
+                                           obs::MetricRegistry* registry,
+                                           const obs::Clock* clock,
+                                           uint32_t latency_sample_period)
+    : child_(std::move(child)),
+      clock_(clock),
+      latency_sample_period_(latency_sample_period) {
+  AUSDB_CHECK(child_ != nullptr);
+  AUSDB_CHECK(registry != nullptr);
+  AUSDB_CHECK(clock_ != nullptr);
+  AUSDB_CHECK(latency_sample_period_ >= 1);
+  const std::vector<obs::Label> labels = {{"operator", op_name}};
+  tuples_ = registry->GetCounter("ausdb_engine_tuples_total", labels,
+                                 "Tuples emitted by the operator.");
+  next_calls_ = registry->GetCounter("ausdb_engine_next_calls_total", labels,
+                                     "Next() pulls issued to the operator.");
+  next_errors_ =
+      registry->GetCounter("ausdb_engine_next_errors_total", labels,
+                           "Next() pulls that returned a failure Status.");
+  next_latency_ = registry->GetHistogram(
+      "ausdb_engine_next_latency_seconds", labels,
+      obs::DefaultLatencySecondsBoundaries(),
+      "Wall-clock latency of one Next() pull, in seconds.");
+}
+
+Result<std::optional<Tuple>> InstrumentedOperator::Next() {
+  next_calls_->Increment();
+  // Next() follows the single-puller volcano contract, so the sample
+  // index is a plain member. The first call is always timed.
+  const bool timed = call_index_++ % latency_sample_period_ == 0;
+  const uint64_t start = timed ? clock_->NowNanos() : 0;
+  Result<std::optional<Tuple>> result = child_->Next();
+  if (timed) {
+    next_latency_->Record(obs::NanosToSeconds(clock_->NowNanos() - start));
+  }
+  if (!result.ok()) {
+    next_errors_->Increment();
+  } else if (result.ValueOrDie().has_value()) {
+    tuples_->Increment();
+  }
+  return result;
+}
+
+OperatorPtr Instrument(OperatorPtr child, const std::string& op_name,
+                       obs::MetricRegistry* registry,
+                       const obs::Clock* clock,
+                       uint32_t latency_sample_period) {
+  if (registry == nullptr) return child;
+  return std::make_unique<InstrumentedOperator>(
+      std::move(child), op_name, registry, clock, latency_sample_period);
+}
+
+}  // namespace engine
+}  // namespace ausdb

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/logging.h"
 #include "src/serde/checkpoint.h"
 
 namespace ausdb {
@@ -11,13 +12,55 @@ namespace {
 
 constexpr std::string_view kManifestVersion = "manifest.v1";
 
+serde::CheckpointStorageOptions StorageOptions(
+    const RecoveryManagerOptions& options) {
+  serde::CheckpointStorageOptions storage;
+  storage.keep_generations = options.keep_generations;
+  storage.crash_points = options.crash_points;
+  storage.metrics = options.metrics;
+  storage.clock = options.clock;
+  return storage;
+}
+
 }  // namespace
 
 RecoveryManager::RecoveryManager(std::string directory,
                                  RecoveryManagerOptions options)
-    : storage_(std::move(directory), "pipeline",
-               serde::CheckpointStorageOptions{options.keep_generations,
-                                               options.crash_points}) {}
+    : storage_(std::move(directory), "pipeline", StorageOptions(options)),
+      options_(options) {
+  if (options_.metrics != nullptr) {
+    obs::MetricRegistry* reg = options_.metrics;
+    m_checkpoints_ =
+        reg->GetCounter("ausdb_recovery_checkpoints_total", {},
+                        "Pipeline manifests durably checkpointed.");
+    m_restores_ = reg->GetCounter(
+        "ausdb_recovery_restores_total", {},
+        "Successful pipeline restores from a manifest generation.");
+    m_restore_fallbacks_ = reg->GetCounter(
+        "ausdb_recovery_restore_fallbacks_total", {},
+        "Manifest generations skipped during restore (corrupt or "
+        "inapplicable).");
+    m_replayed_outputs_ = reg->GetCounter(
+        "ausdb_recovery_replayed_outputs_total", {},
+        "Re-emitted outputs the consumer discarded as already delivered.");
+    m_checkpoint_seconds_ = reg->GetHistogram(
+        "ausdb_recovery_checkpoint_seconds", {},
+        obs::DefaultLatencySecondsBoundaries(),
+        "End-to-end Checkpoint() latency (encode + durable write).");
+    m_restore_seconds_ = reg->GetHistogram(
+        "ausdb_recovery_restore_seconds", {},
+        obs::DefaultLatencySecondsBoundaries(),
+        "End-to-end Restore() latency across all attempted generations.");
+    m_outputs_delivered_ = reg->GetGauge(
+        "ausdb_recovery_outputs_delivered", {},
+        "Consumer delivery count recorded by the latest checkpoint or "
+        "restore.");
+  }
+}
+
+void RecoveryManager::NoteReplayedOutput(uint64_t count) {
+  if (m_replayed_outputs_) m_replayed_outputs_->Increment(count);
+}
 
 Status RecoveryManager::RegisterSource(std::string name,
                                        ReplayableSource* source) {
@@ -68,9 +111,21 @@ Result<std::string> RecoveryManager::EncodeManifest(
 }
 
 Result<uint64_t> RecoveryManager::Checkpoint(uint64_t outputs_delivered) {
+  obs::ScopedSpan span(options_.trace, options_.clock, "recovery/checkpoint");
+  const uint64_t start_nanos =
+      m_checkpoint_seconds_ ? options_.clock->NowNanos() : 0;
   AUSDB_ASSIGN_OR_RETURN(std::string manifest,
                          EncodeManifest(outputs_delivered));
-  return storage_.Write(manifest);
+  AUSDB_ASSIGN_OR_RETURN(uint64_t generation, storage_.Write(manifest));
+  if (m_checkpoint_seconds_) {
+    m_checkpoint_seconds_->Record(
+        obs::NanosToSeconds(options_.clock->NowNanos() - start_nanos));
+  }
+  if (m_checkpoints_) m_checkpoints_->Increment();
+  if (m_outputs_delivered_) {
+    m_outputs_delivered_->Set(static_cast<int64_t>(outputs_delivered));
+  }
+  return generation;
 }
 
 Status RecoveryManager::ApplyManifest(std::string_view payload,
@@ -135,22 +190,49 @@ Status RecoveryManager::ApplyManifest(std::string_view payload,
 
 Result<std::optional<RecoveryManager::RecoveredState>>
 RecoveryManager::Restore() {
+  obs::ScopedSpan span(options_.trace, options_.clock, "recovery/restore");
+  const uint64_t start_nanos =
+      m_restore_seconds_ ? options_.clock->NowNanos() : 0;
   std::vector<uint64_t> generations = storage_.ListGenerations();
+  std::optional<RecoveredState> recovered;
   for (auto it = generations.rbegin(); it != generations.rend(); ++it) {
     Result<std::string> payload = storage_.ReadGeneration(*it);
-    if (!payload.ok()) continue;  // torn/corrupt: fall back a generation
+    if (!payload.ok()) {
+      // torn/corrupt: fall back a generation
+      if (m_restore_fallbacks_) m_restore_fallbacks_->Increment();
+      AUSDB_LOG(WARN) << "manifest generation " << *it
+                      << " unreadable, falling back: "
+                      << payload.status().ToString();
+      continue;
+    }
     RecoveredState state;
     state.generation = *it;
     const Status applied =
         ApplyManifest(payload.ValueOrDie(), &state.outputs_delivered);
     if (applied.ok()) {
-      return std::optional<RecoveredState>(state);
+      recovered = state;
+      break;
     }
     // A manifest that decodes but does not apply (e.g. an operator blob
     // from an incompatible configuration) falls back the same way; any
     // later successful attempt rewrites every piece of state it touched.
+    if (m_restore_fallbacks_) m_restore_fallbacks_->Increment();
+    AUSDB_LOG(WARN) << "manifest generation " << *it
+                    << " did not apply, falling back: "
+                    << applied.ToString();
   }
-  return std::optional<RecoveredState>(std::nullopt);
+  if (m_restore_seconds_) {
+    m_restore_seconds_->Record(
+        obs::NanosToSeconds(options_.clock->NowNanos() - start_nanos));
+  }
+  if (recovered.has_value()) {
+    if (m_restores_) m_restores_->Increment();
+    if (m_outputs_delivered_) {
+      m_outputs_delivered_->Set(
+          static_cast<int64_t>(recovered->outputs_delivered));
+    }
+  }
+  return recovered;
 }
 
 }  // namespace engine

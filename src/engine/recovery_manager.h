@@ -8,6 +8,9 @@
 #include <vector>
 
 #include "src/engine/replayable.h"
+#include "src/obs/clock.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/serde/checkpoint_file.h"
 
 namespace ausdb {
@@ -20,6 +23,16 @@ struct RecoveryManagerOptions {
 
   /// Crash sites injected into checkpoint writes; nullptr in production.
   CrashPointInjector* crash_points = nullptr;
+
+  /// When non-null, checkpoint/restore activity is recorded as
+  /// `ausdb_recovery_*` metrics (and `ausdb_checkpoint_*` in the
+  /// underlying store). Write-only: recovery decisions never consult a
+  /// metric. The registry and clock must outlive the manager.
+  obs::MetricRegistry* metrics = nullptr;
+  const obs::Clock* clock = obs::SteadyClock::Instance();
+
+  /// When non-null, Checkpoint() and Restore() record spans here.
+  obs::TraceBuffer* trace = nullptr;
 };
 
 /// \brief Whole-pipeline crash recovery: one durable manifest per
@@ -91,6 +104,14 @@ class RecoveryManager {
   /// The underlying generation store (tests corrupt files through it).
   serde::CheckpointStorage& storage() { return storage_; }
 
+  /// \brief Accounting hook for the recovery contract's third leg: the
+  /// consumer calls this once per re-emitted output it discards as
+  /// already delivered (its own count minus the manifest's
+  /// `outputs_delivered`). Feeds `ausdb_recovery_replayed_outputs_total`
+  /// so a snapshot shows exactly how much replay a restore cost; no-op
+  /// without a registry.
+  void NoteReplayedOutput(uint64_t count = 1);
+
  private:
   Result<std::string> EncodeManifest(uint64_t outputs_delivered) const;
   Status ApplyManifest(std::string_view payload,
@@ -99,6 +120,16 @@ class RecoveryManager {
   serde::CheckpointStorage storage_;
   std::vector<std::pair<std::string, ReplayableSource*>> sources_;
   std::vector<std::pair<std::string, Operator*>> operators_;
+
+  RecoveryManagerOptions options_;
+  /// Registry-owned; all null when options_.metrics is null.
+  obs::Counter* m_checkpoints_ = nullptr;
+  obs::Counter* m_restores_ = nullptr;
+  obs::Counter* m_restore_fallbacks_ = nullptr;
+  obs::Counter* m_replayed_outputs_ = nullptr;
+  obs::Histogram* m_checkpoint_seconds_ = nullptr;
+  obs::Histogram* m_restore_seconds_ = nullptr;
+  obs::Gauge* m_outputs_delivered_ = nullptr;
 };
 
 }  // namespace engine

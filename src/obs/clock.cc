@@ -1,0 +1,12 @@
+#include "src/obs/clock.h"
+
+namespace ausdb {
+namespace obs {
+
+SteadyClock* SteadyClock::Instance() {
+  static SteadyClock clock;
+  return &clock;
+}
+
+}  // namespace obs
+}  // namespace ausdb

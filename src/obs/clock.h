@@ -1,0 +1,67 @@
+#ifndef AUSDB_OBS_CLOCK_H_
+#define AUSDB_OBS_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ausdb {
+namespace obs {
+
+/// \brief Injectable monotonic time source for every observability
+/// measurement (latency histograms, trace spans, throughput meters).
+///
+/// Instrumentation must never make delivered output depend on wall
+/// clock — the determinism contract says tuple sequences are
+/// bit-identical with metrics on or off — so timing is *read through*
+/// this interface and only ever *written into* metrics. Production code
+/// uses SteadyClock (std::chrono::steady_clock); tests use FakeClock to
+/// make recorded durations exact and reproducible.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic nanoseconds since an arbitrary epoch.
+  virtual uint64_t NowNanos() const = 0;
+};
+
+/// Production clock: std::chrono::steady_clock.
+class SteadyClock final : public Clock {
+ public:
+  uint64_t NowNanos() const override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  /// Process-wide instance for call sites that take a `Clock*` default.
+  static SteadyClock* Instance();
+};
+
+/// Test clock: time advances only when told to, so recorded durations
+/// are exact constants in assertions.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(uint64_t start_nanos = 0) : now_nanos_(start_nanos) {}
+
+  uint64_t NowNanos() const override { return now_nanos_; }
+
+  void AdvanceNanos(uint64_t delta) { now_nanos_ += delta; }
+  void AdvanceSeconds(double seconds) {
+    now_nanos_ += static_cast<uint64_t>(seconds * 1e9);
+  }
+  void SetNanos(uint64_t nanos) { now_nanos_ = nanos; }
+
+ private:
+  uint64_t now_nanos_;
+};
+
+/// Seconds between two NowNanos() readings.
+inline double NanosToSeconds(uint64_t nanos) {
+  return static_cast<double>(nanos) * 1e-9;
+}
+
+}  // namespace obs
+}  // namespace ausdb
+
+#endif  // AUSDB_OBS_CLOCK_H_

@@ -1,0 +1,187 @@
+#include "src/obs/exposition.h"
+
+#include <charconv>
+#include <cstdio>
+
+#include "src/common/logging.h"
+
+namespace ausdb {
+namespace obs {
+
+std::string FormatMetricValue(double v) {
+  char buf[64];
+  // std::to_chars with no precision yields the shortest decimal string
+  // that round-trips — deterministic across platforms, no locale.
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  AUSDB_CHECK(res.ec == std::errc());
+  return std::string(buf, res.ptr);
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// `{key="value",...}` or "" when the sample has no labels. `extra` is
+/// appended after the declared labels (the histogram `le` label).
+std::string LabelBlock(const Labels& labels, const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& l : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += l.key + "=\"" + EscapeLabelValue(l.value) + "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out.push_back(',');
+    out += extra;
+  }
+  out.push_back('}');
+  return out;
+}
+
+void FamilyHeader(std::string& out, const std::string& name,
+                  const std::string& help, const char* type,
+                  std::string& last_family) {
+  if (name == last_family) return;
+  last_family = name;
+  if (!help.empty()) {
+    out += "# HELP " + name + " " + help + "\n";
+  }
+  out += "# TYPE " + name + " " + std::string(type) + "\n";
+}
+
+/// JSON string escaping (quote, backslash, control characters).
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (u < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string JsonLabels(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& l : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += JsonString(l.key) + ":" + JsonString(l.value);
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string last_family;
+  for (const auto& s : snapshot.counters) {
+    FamilyHeader(out, s.key.name, s.help, "counter", last_family);
+    out += s.key.name + LabelBlock(s.key.labels) + " " +
+           std::to_string(s.value) + "\n";
+  }
+  for (const auto& s : snapshot.gauges) {
+    FamilyHeader(out, s.key.name, s.help, "gauge", last_family);
+    out += s.key.name + LabelBlock(s.key.labels) + " " +
+           std::to_string(s.value) + "\n";
+  }
+  for (const auto& s : snapshot.histograms) {
+    FamilyHeader(out, s.key.name, s.help, "histogram", last_family);
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < s.buckets.size(); ++i) {
+      cumulative += s.buckets[i];
+      const std::string le =
+          i < s.boundaries.size() ? FormatMetricValue(s.boundaries[i])
+                                  : std::string("+Inf");
+      out += s.key.name + "_bucket" +
+             LabelBlock(s.key.labels, "le=\"" + le + "\"") + " " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += s.key.name + "_sum" + LabelBlock(s.key.labels) + " " +
+           FormatMetricValue(s.sum) + "\n";
+    out += s.key.name + "_count" + LabelBlock(s.key.labels) + " " +
+           std::to_string(s.count) + "\n";
+  }
+  return out;
+}
+
+std::string ToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\":[";
+  bool first = true;
+  for (const auto& s : snapshot.counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":" + JsonString(s.key.name) +
+           ",\"labels\":" + JsonLabels(s.key.labels) +
+           ",\"value\":" + std::to_string(s.value) + "}";
+  }
+  out += "],\"gauges\":[";
+  first = true;
+  for (const auto& s : snapshot.gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":" + JsonString(s.key.name) +
+           ",\"labels\":" + JsonLabels(s.key.labels) +
+           ",\"value\":" + std::to_string(s.value) + "}";
+  }
+  out += "],\"histograms\":[";
+  first = true;
+  for (const auto& s : snapshot.histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":" + JsonString(s.key.name) +
+           ",\"labels\":" + JsonLabels(s.key.labels) + ",\"le\":[";
+    for (size_t i = 0; i < s.boundaries.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += JsonString(FormatMetricValue(s.boundaries[i]));
+    }
+    if (!s.boundaries.empty()) out.push_back(',');
+    out += "\"+Inf\"],\"buckets\":[";
+    for (size_t i = 0; i < s.buckets.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += std::to_string(s.buckets[i]);
+    }
+    out += "],\"sum\":" + FormatMetricValue(s.sum) +
+           ",\"count\":" + std::to_string(s.count) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace ausdb

@@ -1,0 +1,40 @@
+#ifndef AUSDB_OBS_EXPOSITION_H_
+#define AUSDB_OBS_EXPOSITION_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace ausdb {
+namespace obs {
+
+/// \brief Snapshot serializers. Both formats are a stable contract:
+/// metric order is (name, labels) lexicographic, numbers render via
+/// shortest-round-trip formatting, and label values are escaped — the
+/// golden-file test (tests/obs_exposition_test.cc) pins the exact bytes
+/// so drift cannot ship silently.
+
+/// Prometheus text exposition format (version 0.0.4): one `# HELP` /
+/// `# TYPE` header per family, histograms expanded into cumulative
+/// `_bucket{le=...}` series plus `_sum` / `_count`. Label values escape
+/// backslash, double-quote and newline per the format spec.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+/// JSON document: {"counters": [...], "gauges": [...],
+/// "histograms": [...]} with per-sample name/labels/value(s); histogram
+/// buckets keep the raw (non-cumulative) per-bucket counts plus an
+/// explicit upper bound list ending in "+Inf".
+std::string ToJson(const MetricsSnapshot& snapshot);
+
+/// Shortest round-trip decimal rendering of `v` ("0.25", "1e-06", ...);
+/// integral values render without a fractional part. Shared by both
+/// writers so the two formats can never disagree on a number.
+std::string FormatMetricValue(double v);
+
+/// Escapes `\`, `"` and newline for a Prometheus label value.
+std::string EscapeLabelValue(const std::string& value);
+
+}  // namespace obs
+}  // namespace ausdb
+
+#endif  // AUSDB_OBS_EXPOSITION_H_

@@ -1,0 +1,86 @@
+#ifndef AUSDB_OBS_TRACE_H_
+#define AUSDB_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/clock.h"
+
+namespace ausdb {
+namespace obs {
+
+/// One completed span: a named interval on the injected clock's
+/// timeline. Spans are pure observations — nothing in the engine ever
+/// reads them back.
+struct SpanRecord {
+  std::string name;
+  uint64_t start_nanos = 0;
+  uint64_t end_nanos = 0;
+
+  double DurationSeconds() const {
+    return NanosToSeconds(end_nanos - start_nanos);
+  }
+};
+
+/// \brief Bounded in-memory span sink. When full, the oldest span is
+/// overwritten (a flight recorder, not a log): tracing a pipeline that
+/// runs for days must cost constant memory. Thread-safe; Record is one
+/// short critical section, far off the per-tuple hot path (spans wrap
+/// checkpoint writes, restores, retry sequences — not Next()).
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(size_t capacity = 256)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void Record(SpanRecord span);
+
+  /// Spans currently retained, oldest first.
+  std::vector<SpanRecord> Spans() const;
+
+  /// Total spans ever recorded (>= Spans().size() once wrapped).
+  uint64_t recorded() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;
+  size_t next_ = 0;
+  uint64_t recorded_ = 0;
+};
+
+/// \brief RAII span: records [construction, destruction) into `buffer`
+/// using `clock`. Null buffer/clock disables recording entirely — the
+/// disabled form is two pointer checks.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceBuffer* buffer, const Clock* clock, std::string name)
+      : buffer_(buffer), clock_(clock), name_(std::move(name)) {
+    if (buffer_ != nullptr && clock_ != nullptr) {
+      start_nanos_ = clock_->NowNanos();
+    }
+  }
+
+  ~ScopedSpan() {
+    if (buffer_ != nullptr && clock_ != nullptr) {
+      buffer_->Record({std::move(name_), start_nanos_, clock_->NowNanos()});
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceBuffer* buffer_;
+  const Clock* clock_;
+  std::string name_;
+  uint64_t start_nanos_ = 0;
+};
+
+}  // namespace obs
+}  // namespace ausdb
+
+#endif  // AUSDB_OBS_TRACE_H_

@@ -10,6 +10,7 @@
 #include <filesystem>
 
 #include "src/common/crc32c.h"
+#include "src/common/logging.h"
 
 namespace ausdb {
 namespace serde {
@@ -169,7 +170,26 @@ CheckpointStorage::CheckpointStorage(std::string directory,
                                      CheckpointStorageOptions options)
     : directory_(std::move(directory)),
       prefix_(std::move(prefix)),
-      options_(options) {}
+      options_(options) {
+  if (options_.metrics != nullptr) {
+    obs::MetricRegistry* reg = options_.metrics;
+    const std::vector<obs::Label> labels = {{"store", prefix_}};
+    m_bytes_ =
+        reg->GetCounter("ausdb_checkpoint_written_bytes_total", labels,
+                        "Envelope bytes durably written (payload + header).");
+    m_generations_ =
+        reg->GetCounter("ausdb_checkpoint_generations_total", labels,
+                        "Checkpoint generations successfully written.");
+    m_write_seconds_ = reg->GetHistogram(
+        "ausdb_checkpoint_write_seconds", labels,
+        obs::DefaultLatencySecondsBoundaries(),
+        "Durable checkpoint write latency (encode + write + fsync + "
+        "rename), in seconds.");
+    m_fallbacks_ = reg->GetCounter(
+        "ausdb_checkpoint_fallbacks_total", labels,
+        "Generations skipped as corrupt/unreadable during recovery.");
+  }
+}
 
 std::string CheckpointStorage::GenerationPath(uint64_t generation) const {
   char buf[32];
@@ -217,9 +237,17 @@ Result<uint64_t> CheckpointStorage::Write(std::string_view payload) {
   const std::vector<uint64_t> existing = ListGenerations();
   const uint64_t generation = existing.empty() ? 1 : existing.back() + 1;
 
-  AUSDB_RETURN_NOT_OK(AtomicWriteFile(GenerationPath(generation),
-                                      EncodeCheckpointFile(payload),
+  const uint64_t start_nanos =
+      m_write_seconds_ ? options_.clock->NowNanos() : 0;
+  const std::string encoded = EncodeCheckpointFile(payload);
+  AUSDB_RETURN_NOT_OK(AtomicWriteFile(GenerationPath(generation), encoded,
                                       options_.crash_points));
+  if (m_write_seconds_) {
+    m_write_seconds_->Record(
+        obs::NanosToSeconds(options_.clock->NowNanos() - start_nanos));
+  }
+  if (m_bytes_) m_bytes_->Increment(encoded.size());
+  if (m_generations_) m_generations_->Increment();
 
   // Rotate: the new generation is durable, so generations beyond the
   // retention window can go. A crash between rename and this point only
@@ -264,6 +292,10 @@ Result<LoadedCheckpoint> CheckpointStorage::ReadNewestIntact() const {
       return LoadedCheckpoint{*it, std::move(payload).ValueOrDie()};
     }
     // Corrupt or vanished: fall back to the previous generation.
+    if (m_fallbacks_) m_fallbacks_->Increment();
+    AUSDB_LOG(WARN) << "checkpoint generation " << *it << " of '" << prefix_
+                    << "' unusable, falling back: "
+                    << payload.status().ToString();
   }
   return Status::NotFound("no intact checkpoint generation under '" +
                           directory_ + "' with prefix '" + prefix_ + "'");

@@ -8,6 +8,8 @@
 
 #include "src/common/fault_injector.h"
 #include "src/common/result.h"
+#include "src/obs/clock.h"
+#include "src/obs/metrics.h"
 
 namespace ausdb {
 namespace serde {
@@ -68,6 +70,14 @@ struct CheckpointStorageOptions {
 
   /// Crash sites for recovery tests; nullptr in production.
   CrashPointInjector* crash_points = nullptr;
+
+  /// When non-null, the store records `ausdb_checkpoint_*` metrics
+  /// labeled `{store=prefix}`: bytes written, write-duration histogram
+  /// (timed on `clock`), generations written, and corrupt generations
+  /// skipped by the fallback walk. Write-only; the registry and clock
+  /// must outlive the store.
+  obs::MetricRegistry* metrics = nullptr;
+  const obs::Clock* clock = obs::SteadyClock::Instance();
 };
 
 /// \brief Rotated store of checkpoint generations in one directory.
@@ -114,6 +124,12 @@ class CheckpointStorage {
   std::string directory_;
   std::string prefix_;
   CheckpointStorageOptions options_;
+
+  /// Registry-owned; all null when options_.metrics is null.
+  obs::Counter* m_bytes_ = nullptr;
+  obs::Counter* m_generations_ = nullptr;
+  obs::Histogram* m_write_seconds_ = nullptr;
+  obs::Counter* m_fallbacks_ = nullptr;
 };
 
 }  // namespace serde

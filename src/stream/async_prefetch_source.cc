@@ -6,15 +6,42 @@ namespace ausdb {
 namespace stream {
 namespace internal {
 
-PrefetchPump::PrefetchPump(engine::Operator* source, size_t queue_depth)
-    : source_(source), queue_depth_(queue_depth == 0 ? 1 : queue_depth) {}
+PrefetchPump::PrefetchPump(engine::Operator* source,
+                           const AsyncPrefetchOptions& options)
+    : source_(source),
+      queue_depth_(options.queue_depth == 0 ? 1 : options.queue_depth) {
+  if (options.metrics != nullptr) {
+    obs::MetricRegistry* reg = options.metrics;
+    const std::vector<obs::Label> labels = {
+        {"queue", options.metrics_label}};
+    m_depth_ = reg->GetGauge("ausdb_stream_prefetch_queue_depth", labels,
+                             "Outcomes resident in the prefetch ring.");
+    m_push_waits_ = reg->GetCounter(
+        "ausdb_stream_prefetch_push_waits_total", labels,
+        "Producer blocked on a full ring (backpressure).");
+    m_pop_waits_ =
+        reg->GetCounter("ausdb_stream_prefetch_pop_waits_total", labels,
+                        "Consumer blocked on an empty ring.");
+    m_produced_ =
+        reg->GetCounter("ausdb_stream_prefetch_produced_total", labels,
+                        "Tuples pulled from the wrapped source.");
+    m_delivered_ =
+        reg->GetCounter("ausdb_stream_prefetch_delivered_total", labels,
+                        "Tuples handed to the consumer.");
+    m_starts_ =
+        reg->GetCounter("ausdb_stream_prefetch_starts_total", labels,
+                        "Producer thread launches.");
+  }
+}
 
 PrefetchPump::~PrefetchPump() { Stop(); }
 
 void PrefetchPump::EnsureStarted() {
   if (started_) return;
   queue_ = std::make_unique<BoundedQueue<Outcome>>(queue_depth_);
+  queue_->BindMetrics(m_depth_, m_push_waits_, m_pop_waits_);
   ++starts_;
+  if (m_starts_) m_starts_->Increment();
   // The raw queue pointer is stable for the thread's whole lifetime:
   // queue_ is only replaced after the producer has been joined.
   producer_ = std::thread(&PrefetchPump::PumpLoop, this, queue_.get());
@@ -27,6 +54,7 @@ void PrefetchPump::PumpLoop(BoundedQueue<Outcome>* queue) {
     const bool is_end = outcome.ok() && !outcome->has_value();
     if (outcome.ok() && outcome->has_value()) {
       produced_.fetch_add(1, std::memory_order_relaxed);
+      if (m_produced_) m_produced_->Increment();
     }
     if (!queue->Push(std::move(outcome)).ok()) return;  // cancelled
     if (is_end) {
@@ -49,6 +77,7 @@ PrefetchPump::Outcome PrefetchPump::Next() {
   if (outcome.ok()) {
     if (outcome->has_value()) {
       ++delivered_;
+      if (m_delivered_) m_delivered_->Increment();
     } else {
       // The producer pushed end-of-stream and exited; joining here (a
       // finished thread, no wait) keeps the end-of-stream state fully
@@ -67,6 +96,8 @@ void PrefetchPump::Stop() {
     retired_push_waits_ += queue_->push_waits();
     retired_pop_waits_ += queue_->pop_waits();
     queue_.reset();
+    // The ring is gone; any buffered residue was discarded with it.
+    if (m_depth_) m_depth_->Set(0);
   }
   started_ = false;
   exhausted_ = false;
@@ -93,7 +124,7 @@ PrefetchStats PrefetchPump::stats() const {
 
 AsyncPrefetchSource::AsyncPrefetchSource(engine::OperatorPtr child,
                                          AsyncPrefetchOptions options)
-    : child_(std::move(child)), pump_(child_.get(), options.queue_depth) {}
+    : child_(std::move(child)), pump_(child_.get(), options) {}
 
 AsyncPrefetchSource::~AsyncPrefetchSource() { (void)Close(); }
 
@@ -130,7 +161,7 @@ void AsyncPrefetchSource::BindThreadPool(ThreadPool* pool) {
 AsyncPrefetchReplayableSource::AsyncPrefetchReplayableSource(
     std::unique_ptr<engine::ReplayableSource> child,
     AsyncPrefetchOptions options)
-    : child_(std::move(child)), pump_(child_.get(), options.queue_depth) {}
+    : child_(std::move(child)), pump_(child_.get(), options) {}
 
 AsyncPrefetchReplayableSource::~AsyncPrefetchReplayableSource() {
   (void)Close();

@@ -9,6 +9,7 @@
 
 #include "src/common/bounded_queue.h"
 #include "src/engine/replayable.h"
+#include "src/obs/metrics.h"
 
 namespace ausdb {
 namespace stream {
@@ -22,6 +23,15 @@ struct AsyncPrefetchOptions {
   /// latency. Affects timing only, never output: the delivered stream
   /// is the same at every depth.
   size_t queue_depth = 64;
+
+  /// When non-null, ring observability is mirrored into
+  /// `ausdb_stream_prefetch_*` metrics labeled `{queue=metrics_label}`:
+  /// a depth gauge plus produced/delivered/wait/start counters. Strictly
+  /// write-only — timing metrics record what happened, never steer the
+  /// pump — so the delivered stream stays bit-identical with metrics on
+  /// or off. The registry must outlive the source.
+  obs::MetricRegistry* metrics = nullptr;
+  std::string metrics_label = "prefetch";
 };
 
 /// Observability counters of a prefetching source. Timing-dependent
@@ -67,7 +77,7 @@ class PrefetchPump {
  public:
   using Outcome = Result<std::optional<engine::Tuple>>;
 
-  PrefetchPump(engine::Operator* source, size_t queue_depth);
+  PrefetchPump(engine::Operator* source, const AsyncPrefetchOptions& options);
   ~PrefetchPump();
 
   PrefetchPump(const PrefetchPump&) = delete;
@@ -104,6 +114,16 @@ class PrefetchPump {
   /// Wait counts accumulated over retired queue generations.
   size_t retired_push_waits_ = 0;
   size_t retired_pop_waits_ = 0;
+
+  /// Registry-owned metrics; all null when options.metrics was null.
+  /// The queue metrics are bound to each ring generation in
+  /// EnsureStarted(); counters are cumulative across generations.
+  obs::Gauge* m_depth_ = nullptr;
+  obs::Counter* m_push_waits_ = nullptr;
+  obs::Counter* m_pop_waits_ = nullptr;
+  obs::Counter* m_produced_ = nullptr;
+  obs::Counter* m_delivered_ = nullptr;
+  obs::Counter* m_starts_ = nullptr;
 };
 
 }  // namespace internal

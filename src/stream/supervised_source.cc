@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "src/common/logging.h"
 #include "src/dist/gaussian.h"
 
 namespace ausdb {
@@ -60,7 +61,35 @@ SupervisedScan::SupervisedScan(engine::OperatorPtr child,
                                SupervisedScanOptions options)
     : child_(std::move(child)),
       options_(std::move(options)),
-      jitter_rng_(options_.jitter_seed) {}
+      jitter_rng_(options_.jitter_seed) {
+  if (options_.metrics != nullptr) {
+    obs::MetricRegistry* reg = options_.metrics;
+    const std::vector<obs::Label> labels = {
+        {"source", options_.metrics_label}};
+    m_emitted_ =
+        reg->GetCounter("ausdb_stream_supervision_emitted_total", labels,
+                        "Valid tuples passed through the supervisor.");
+    m_degraded_ =
+        reg->GetCounter("ausdb_stream_supervision_degraded_total", labels,
+                        "Invalid tuples repaired by the degradation policy.");
+    m_quarantined_ = reg->GetCounter(
+        "ausdb_stream_supervision_quarantined_total", labels,
+        "Invalid tuples diverted to the dead-letter buffer.");
+    m_retries_ =
+        reg->GetCounter("ausdb_stream_supervision_retries_total", labels,
+                        "Retried child Next() attempts.");
+    m_restarts_ =
+        reg->GetCounter("ausdb_stream_supervision_restarts_total", labels,
+                        "Restart-callback invocations.");
+    m_gave_up_ =
+        reg->GetCounter("ausdb_stream_supervision_gave_up_total", labels,
+                        "Retry budgets exhausted (error propagated).");
+    m_backoff_ = reg->GetHistogram(
+        "ausdb_stream_supervision_backoff_seconds", labels,
+        obs::DefaultLatencySecondsBoundaries(),
+        "Scheduled retry backoff delays, in seconds (sum = total backoff).");
+  }
+}
 
 Result<std::optional<engine::Tuple>> SupervisedScan::PullWithRetry() {
   size_t attempts = 0;
@@ -73,6 +102,9 @@ Result<std::optional<engine::Tuple>> SupervisedScan::PullWithRetry() {
     if (!options_.retry.ShouldRetry(r.status(), attempts, elapsed)) {
       if (ClassifyStatus(r.status()) == FailureClass::kTransient) {
         ++counters_.gave_up;
+        if (m_gave_up_) m_gave_up_->Increment();
+        AUSDB_LOG(WARN) << "supervised scan gave up after " << attempts
+                        << " attempts: " << r.status().ToString();
         // When the time budget (not the attempt cap) is what stopped the
         // retrying, report that: the caller should know the dependency
         // was still down after the whole wall-clock budget, and what the
@@ -93,18 +125,24 @@ Result<std::optional<engine::Tuple>> SupervisedScan::PullWithRetry() {
       AUSDB_RETURN_NOT_OK(options_.restart());
       restarted = true;
       ++counters_.restarts;
+      if (m_restarts_) m_restarts_->Increment();
     }
     const double delay =
         options_.retry.BackoffFor(attempts - 1, jitter_rng_);
     elapsed += delay;
     counters_.backoff_seconds += delay;
+    if (m_backoff_) m_backoff_->Record(delay);
     if (options_.sleep) options_.sleep(delay);
     ++counters_.retries;
+    if (m_retries_) m_retries_->Increment();
   }
 }
 
 void SupervisedScan::Quarantine(engine::Tuple tuple, Status status) {
   ++counters_.quarantined;
+  if (m_quarantined_) m_quarantined_->Increment();
+  AUSDB_LOG(WARN) << "quarantined tuple seq=" << tuple.sequence() << ": "
+                  << status.ToString();
   if (options_.quarantine_capacity == 0) return;
   if (quarantine_.size() >= options_.quarantine_capacity) {
     quarantine_.pop_front();
@@ -123,6 +161,7 @@ Result<std::optional<engine::Tuple>> SupervisedScan::Next() {
             : ValidateTupleDistributions(*t, child_->schema());
     if (valid.ok()) {
       ++counters_.emitted;
+      if (m_emitted_) m_emitted_->Increment();
       return t;
     }
     if (options_.degradation) {
@@ -130,6 +169,9 @@ Result<std::optional<engine::Tuple>> SupervisedScan::Next() {
           options_.degradation(*t, valid);
       if (repaired.has_value()) {
         ++counters_.degraded;
+        if (m_degraded_) m_degraded_->Increment();
+        AUSDB_LOG(WARN) << "degraded tuple seq=" << t->sequence() << ": "
+                        << valid.ToString();
         repaired->set_sequence(t->sequence());
         return std::optional<engine::Tuple>(std::move(*repaired));
       }

@@ -8,6 +8,7 @@
 #include "src/common/fault_injector.h"
 #include "src/common/retry.h"
 #include "src/engine/operator.h"
+#include "src/obs/metrics.h"
 
 namespace ausdb {
 namespace stream {
@@ -75,6 +76,14 @@ struct SupervisedScanOptions {
 
   /// Seed of the Rng that draws backoff jitter.
   uint64_t jitter_seed = 0x5eedULL;
+
+  /// When non-null, supervision counters are mirrored into
+  /// `ausdb_stream_supervision_*` metrics labeled
+  /// `{source=metrics_label}`. Strictly write-only: the scan never reads
+  /// a metric back, so output is identical with metrics on or off. The
+  /// registry must outlive the scan.
+  obs::MetricRegistry* metrics = nullptr;
+  std::string metrics_label = "supervised_scan";
 };
 
 /// Observability counters of a SupervisedScan. The accounting invariant —
@@ -125,6 +134,16 @@ class SupervisedScan final : public engine::Operator {
   SupervisionCounters counters_;
   std::deque<QuarantinedTuple> quarantine_;
   Rng jitter_rng_;
+
+  /// Registry-owned mirrors of SupervisionCounters; all null when
+  /// options_.metrics is null.
+  obs::Counter* m_emitted_ = nullptr;
+  obs::Counter* m_degraded_ = nullptr;
+  obs::Counter* m_quarantined_ = nullptr;
+  obs::Counter* m_retries_ = nullptr;
+  obs::Counter* m_restarts_ = nullptr;
+  obs::Counter* m_gave_up_ = nullptr;
+  obs::Histogram* m_backoff_ = nullptr;
 };
 
 }  // namespace stream

@@ -1,47 +1,72 @@
 #ifndef AUSDB_STREAM_THROUGHPUT_H_
 #define AUSDB_STREAM_THROUGHPUT_H_
 
-#include <chrono>
 #include <cstddef>
+#include <cstdint>
+
+#include "src/obs/clock.h"
+#include "src/obs/metrics.h"
 
 namespace ausdb {
 namespace stream {
 
 /// \brief Wall-clock throughput meter for stream experiments
 /// (tuples/second, paper Figures 5(c) and 5(f)).
+///
+/// A thin facade over the obs layer: the count is an obs::Counter and
+/// all timing flows through an injectable obs::Clock, so benches share
+/// the engine's one time source and tests can pin elapsed time exactly
+/// with a FakeClock. A meter that was never Start()ed reports zero
+/// elapsed time and zero rate — previously Stop() without Start() read
+/// a span against the default-constructed epoch, producing a huge
+/// garbage duration.
 class ThroughputMeter {
  public:
+  explicit ThroughputMeter(const obs::Clock* clock =
+                               obs::SteadyClock::Instance())
+      : clock_(clock) {}
+
   void Start() {
-    start_ = Clock::now();
-    count_ = 0;
+    start_nanos_ = clock_->NowNanos();
+    // The obs::Counter is monotonic by contract; a new measurement span
+    // subtracts the start snapshot instead of resetting it.
+    start_count_ = count_.Value();
+    started_ = true;
     running_ = true;
   }
 
-  void Count(size_t tuples = 1) { count_ += tuples; }
+  void Count(size_t tuples = 1) { count_.Increment(tuples); }
 
   /// Stops the meter; Elapsed/TuplesPerSecond refer to the stopped span.
+  /// A Stop() without a prior Start() is ignored (there is no span).
   void Stop() {
-    end_ = Clock::now();
+    if (!started_) return;
+    end_nanos_ = clock_->NowNanos();
     running_ = false;
   }
 
   double ElapsedSeconds() const {
-    const auto end = running_ ? Clock::now() : end_;
-    return std::chrono::duration<double>(end - start_).count();
+    if (!started_) return 0.0;
+    const uint64_t end = running_ ? clock_->NowNanos() : end_nanos_;
+    return obs::NanosToSeconds(end - start_nanos_);
   }
 
-  size_t count() const { return count_; }
+  size_t count() const {
+    return static_cast<size_t>(count_.Value() - start_count_);
+  }
 
   double TuplesPerSecond() const {
     const double s = ElapsedSeconds();
-    return s > 0.0 ? static_cast<double>(count_) / s : 0.0;
+    return s > 0.0 ? static_cast<double>(count()) / s : 0.0;
   }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_{};
-  Clock::time_point end_{};
-  size_t count_ = 0;
+  const obs::Clock* clock_;
+  uint64_t start_nanos_ = 0;
+  uint64_t end_nanos_ = 0;
+  uint64_t start_count_ = 0;
+  obs::Counter count_;
+  bool started_ = false;
   bool running_ = false;
 };
 

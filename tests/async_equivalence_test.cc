@@ -12,8 +12,10 @@
 #include <gtest/gtest.h>
 
 #include "src/engine/executor.h"
+#include "src/engine/instrumented_operator.h"
 #include "src/engine/scan.h"
 #include "src/io/observation_loader.h"
+#include "src/obs/metrics.h"
 #include "src/query/planner.h"
 #include "src/serde/json_writer.h"
 #include "src/serde/table_printer.h"
@@ -80,20 +82,33 @@ class AsyncEquivalenceTest : public ::testing::Test {
                                                 data_.tuples);
   }
 
-  engine::OperatorPtr AsyncScan(size_t depth) const {
+  engine::OperatorPtr AsyncScan(size_t depth,
+                                obs::MetricRegistry* registry = nullptr)
+      const {
     stream::AsyncPrefetchOptions opts;
     opts.queue_depth = depth;
+    opts.metrics = registry;
     return stream::MakeAsyncPrefetch(SyncScan(), opts);
   }
 
-  // The equivalence harness: one synchronous golden run, then one
-  // prefetched run per queue depth, bytes compared exactly.
+  // The equivalence harness: one synchronous golden run, then per queue
+  // depth one plain prefetched run and one fully instrumented run (queue
+  // metrics plus an InstrumentedOperator wrapper), bytes compared
+  // exactly — prefetching AND observability are both invisible in the
+  // output.
   void ExpectEquivalent(const std::string& sql) {
     const std::string golden = RunQueryBytes(sql, SyncScan());
     ASSERT_NE(golden.find("row(s)"), std::string::npos) << sql;
     for (size_t depth : kDepths) {
       const std::string bytes = RunQueryBytes(sql, AsyncScan(depth));
       ASSERT_EQ(bytes, golden) << sql << " at queue depth " << depth;
+
+      obs::MetricRegistry registry;
+      const std::string instrumented = RunQueryBytes(
+          sql, engine::Instrument(AsyncScan(depth, &registry), "source",
+                                  &registry));
+      ASSERT_EQ(instrumented, golden)
+          << sql << " at queue depth " << depth << " with metrics";
     }
   }
 

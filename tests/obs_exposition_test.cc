@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/obs/exposition.h"
+#include "src/obs/metrics.h"
+
+namespace ausdb {
+namespace obs {
+namespace {
+
+/// Builds the fixed registry both golden tests render. Everything here
+/// is deterministic — values, ordering, formatting — so the goldens are
+/// exact strings, not regexes.
+MetricsSnapshot GoldenSnapshot() {
+  MetricRegistry reg;
+  reg.GetCounter("ausdb_engine_tuples_total", {{"operator", "scan"}},
+                 "Tuples emitted by the operator.")
+      ->Increment(42);
+  reg.GetCounter("ausdb_engine_tuples_total", {{"operator", "window"}})
+      ->Increment(7);
+  reg.GetGauge("ausdb_stream_prefetch_queue_depth", {{"queue", "src"}},
+               "Outcomes resident in the prefetch ring.")
+      ->Set(3);
+  Histogram* h = reg.GetHistogram("ausdb_engine_next_latency_seconds",
+                                  {{"operator", "scan"}}, {0.001, 0.01, 0.1},
+                                  "Next() latency.");
+  // Dyadic values (powers of two) sum exactly in binary floating point,
+  // so the rendered `_sum` is a stable golden string.
+  h->Record(0.0009765625);  // 2^-10: bucket le=0.001
+  h->Record(0.0078125);     // 2^-7:  bucket le=0.01
+  h->Record(0.5);           // 2^-1:  overflow
+  return reg.Snapshot();
+}
+
+TEST(ObsExpositionTest, PrometheusTextGolden) {
+  const std::string expected =
+      "# HELP ausdb_engine_tuples_total Tuples emitted by the operator.\n"
+      "# TYPE ausdb_engine_tuples_total counter\n"
+      "ausdb_engine_tuples_total{operator=\"scan\"} 42\n"
+      "ausdb_engine_tuples_total{operator=\"window\"} 7\n"
+      "# HELP ausdb_stream_prefetch_queue_depth Outcomes resident in the "
+      "prefetch ring.\n"
+      "# TYPE ausdb_stream_prefetch_queue_depth gauge\n"
+      "ausdb_stream_prefetch_queue_depth{queue=\"src\"} 3\n"
+      "# HELP ausdb_engine_next_latency_seconds Next() latency.\n"
+      "# TYPE ausdb_engine_next_latency_seconds histogram\n"
+      "ausdb_engine_next_latency_seconds_bucket{operator=\"scan\","
+      "le=\"0.001\"} 1\n"
+      "ausdb_engine_next_latency_seconds_bucket{operator=\"scan\","
+      "le=\"0.01\"} 2\n"
+      "ausdb_engine_next_latency_seconds_bucket{operator=\"scan\","
+      "le=\"0.1\"} 2\n"
+      "ausdb_engine_next_latency_seconds_bucket{operator=\"scan\","
+      "le=\"+Inf\"} 3\n"
+      "ausdb_engine_next_latency_seconds_sum{operator=\"scan\"} "
+      "0.5087890625\n"
+      "ausdb_engine_next_latency_seconds_count{operator=\"scan\"} 3\n";
+  EXPECT_EQ(ToPrometheusText(GoldenSnapshot()), expected);
+}
+
+TEST(ObsExpositionTest, JsonGolden) {
+  const std::string expected =
+      "{\"counters\":["
+      "{\"name\":\"ausdb_engine_tuples_total\","
+      "\"labels\":{\"operator\":\"scan\"},\"value\":42},"
+      "{\"name\":\"ausdb_engine_tuples_total\","
+      "\"labels\":{\"operator\":\"window\"},\"value\":7}"
+      "],\"gauges\":["
+      "{\"name\":\"ausdb_stream_prefetch_queue_depth\","
+      "\"labels\":{\"queue\":\"src\"},\"value\":3}"
+      "],\"histograms\":["
+      "{\"name\":\"ausdb_engine_next_latency_seconds\","
+      "\"labels\":{\"operator\":\"scan\"},"
+      "\"le\":[\"0.001\",\"0.01\",\"0.1\",\"+Inf\"],"
+      "\"buckets\":[1,1,0,1],\"sum\":0.5087890625,\"count\":3}"
+      "]}";
+  EXPECT_EQ(ToJson(GoldenSnapshot()), expected);
+}
+
+TEST(ObsExpositionTest, OrderingIsDeterministicAcrossRegistrationOrder) {
+  // Registering in the opposite order yields byte-identical exposition:
+  // the snapshot sorts by (name, labels).
+  MetricRegistry forward;
+  forward.GetCounter("ausdb_b_total", {{"x", "2"}})->Increment(2);
+  forward.GetCounter("ausdb_b_total", {{"x", "1"}})->Increment(1);
+  forward.GetCounter("ausdb_a_total")->Increment(3);
+
+  MetricRegistry reverse;
+  reverse.GetCounter("ausdb_a_total")->Increment(3);
+  reverse.GetCounter("ausdb_b_total", {{"x", "1"}})->Increment(1);
+  reverse.GetCounter("ausdb_b_total", {{"x", "2"}})->Increment(2);
+
+  EXPECT_EQ(ToPrometheusText(forward.Snapshot()),
+            ToPrometheusText(reverse.Snapshot()));
+  EXPECT_EQ(ToJson(forward.Snapshot()), ToJson(reverse.Snapshot()));
+}
+
+TEST(ObsExpositionTest, LabelValuesAreEscaped) {
+  MetricRegistry reg;
+  reg.GetCounter("ausdb_esc_total",
+                 {{"path", "a\\b"}, {"quote", "say \"hi\"\n"}})
+      ->Increment(1);
+  const std::string text = ToPrometheusText(reg.Snapshot());
+  EXPECT_NE(text.find("path=\"a\\\\b\""), std::string::npos) << text;
+  EXPECT_NE(text.find("quote=\"say \\\"hi\\\"\\n\""), std::string::npos)
+      << text;
+
+  const std::string json = ToJson(reg.Snapshot());
+  EXPECT_NE(json.find("\"path\":\"a\\\\b\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"quote\":\"say \\\"hi\\\"\\n\""), std::string::npos)
+      << json;
+}
+
+TEST(ObsExpositionTest, MetricValueFormattingIsShortestRoundTrip) {
+  EXPECT_EQ(FormatMetricValue(0.001), "0.001");
+  EXPECT_EQ(FormatMetricValue(1.0), "1");
+  EXPECT_EQ(FormatMetricValue(10.0), "10");
+  EXPECT_EQ(FormatMetricValue(1e-06), "1e-06");
+  EXPECT_EQ(FormatMetricValue(0.1), "0.1");
+}
+
+TEST(ObsExpositionTest, EmptySnapshotRendersEmptyStructures) {
+  MetricsSnapshot empty;
+  EXPECT_EQ(ToPrometheusText(empty), "");
+  EXPECT_EQ(ToJson(empty),
+            "{\"counters\":[],\"gauges\":[],\"histograms\":[]}");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ausdb

@@ -21,6 +21,9 @@
 #include "src/engine/project.h"
 #include "src/engine/recovery_manager.h"
 #include "src/engine/sharded_partitioned_window.h"
+#include "src/obs/exposition.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/serde/checkpoint.h"
 #include "src/serde/checkpoint_file.h"
 #include "src/stream/async_prefetch_source.h"
@@ -327,6 +330,16 @@ struct SweepConfig {
   /// and recovery must replay the discarded residue bit-identically.
   bool prefetch = false;
   size_t queue_depth = 8;
+
+  /// Instrumentation under test: when set, the RecoveryManager records
+  /// checkpoint/restore metrics and spans, and the consumer accounts
+  /// every discarded re-emitted output via NoteReplayedOutput(). The
+  /// delivered log must be byte-identical either way.
+  obs::MetricRegistry* metrics = nullptr;
+  obs::TraceBuffer* trace = nullptr;
+  /// When non-null, accumulates the overlap the consumer discarded — the
+  /// test-side ground truth the replayed-outputs counter must equal.
+  size_t* replayed_acc = nullptr;
 };
 
 // Bit-exact fingerprint of an output tuple (hex doubles, not decimal).
@@ -395,6 +408,8 @@ Status RunLifetime(const SweepConfig& cfg, const std::string& dir,
   RecoveryManagerOptions ropts;
   ropts.keep_generations = 3;
   ropts.crash_points = inj;
+  ropts.metrics = cfg.metrics;
+  ropts.trace = cfg.trace;
   RecoveryManager manager(dir, ropts);
   AUSDB_RETURN_NOT_OK(manager.RegisterSource("source", source));
   AUSDB_RETURN_NOT_OK(manager.RegisterOperator("spwagg", spwagg));
@@ -423,6 +438,8 @@ Status RunLifetime(const SweepConfig& cfg, const std::string& dir,
         EXPECT_EQ(fp, (*delivered)[delivered->size() - overlap]);
         --overlap;
         ++emitted;
+        manager.NoteReplayedOutput();
+        if (cfg.replayed_acc != nullptr) ++*cfg.replayed_acc;
         continue;
       }
       AUSDB_RETURN_NOT_OK(inj->CrashIf("pre-deliver"));
@@ -607,6 +624,147 @@ TEST(RecoveryManagerTest, FallsBackWhenNewestCheckpointCorrupted) {
   ASSERT_EQ(resumed.size(), full.size());
   for (size_t i = 0; i < full.size(); ++i) {
     ASSERT_EQ(resumed[i], full[i]) << "output " << i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Recovery observability: the same crash/recover cycle with metrics and
+// tracing enabled must (a) deliver byte-identical output and (b) report
+// a snapshot whose counters exactly match what the test itself observed
+// — non-zero checkpoint bytes and durations, generation counts, and a
+// replayed-outputs total equal to the overlap the consumer discarded.
+
+TEST(RecoveryMetricsTest, SnapshotMatchesObservedRecovery) {
+  SweepConfig golden_cfg;
+  ScratchDir golden_dir("metrics_golden");
+  CrashPointInjector golden_inj(CrashPointInjector::kNever);
+  const std::vector<std::string> golden =
+      RunToCompletion(golden_cfg, golden_dir.path(), &golden_inj);
+  ASSERT_FALSE(golden.empty());
+  const size_t total_sites = golden_inj.sites_visited();
+
+  // Crash late in the run (deep into the site list) so there are
+  // checkpoints on disk and a real overlap to replay.
+  obs::MetricRegistry registry;
+  obs::TraceBuffer trace;
+  size_t replayed = 0;
+  SweepConfig cfg;
+  cfg.metrics = &registry;
+  cfg.trace = &trace;
+  cfg.replayed_acc = &replayed;
+
+  ScratchDir dir("metrics_crash");
+  CrashPointInjector inj(total_sites * 3 / 4);
+  const std::vector<std::string> delivered =
+      RunToCompletion(cfg, dir.path(), &inj);
+  ASSERT_TRUE(inj.fired());
+  ASSERT_EQ(delivered, golden) << "instrumentation changed the output";
+  ASSERT_GT(replayed, 0u) << "crash site produced no overlap; the "
+                             "metrics assertions below would be vacuous";
+
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  uint64_t ckpt_bytes = 0, ckpt_gens = 0, restores = 0,
+           replayed_metric = 0;
+  for (const auto& c : snap.counters) {
+    if (c.key.name == "ausdb_checkpoint_written_bytes_total") {
+      ckpt_bytes = c.value;
+    }
+    if (c.key.name == "ausdb_checkpoint_generations_total") {
+      ckpt_gens = c.value;
+    }
+    if (c.key.name == "ausdb_recovery_restores_total") restores = c.value;
+    if (c.key.name == "ausdb_recovery_replayed_outputs_total") {
+      replayed_metric = c.value;
+    }
+  }
+  EXPECT_GT(ckpt_bytes, 0u);
+  EXPECT_GT(ckpt_gens, 0u);
+  EXPECT_GE(restores, 1u);
+  EXPECT_EQ(replayed_metric, replayed)
+      << "replayed-output counter diverged from the consumer's own "
+         "dedupe accounting";
+
+  uint64_t write_count = 0, ckpt_count = 0;
+  double write_sum = 0.0;
+  for (const auto& h : snap.histograms) {
+    if (h.key.name == "ausdb_checkpoint_write_seconds") {
+      write_count = h.count;
+      write_sum = h.sum;
+    }
+    if (h.key.name == "ausdb_recovery_checkpoint_seconds") {
+      ckpt_count = h.count;
+    }
+  }
+  EXPECT_EQ(write_count, ckpt_gens)
+      << "every durable write must record one duration";
+  EXPECT_GT(write_sum, 0.0) << "fsync+rename cannot take zero time";
+  EXPECT_EQ(ckpt_count, ckpt_gens);
+
+  // The gauge reflects the delivery count of the LAST checkpoint or
+  // restore; both are bounded by the full delivered log.
+  bool saw_gauge = false;
+  for (const auto& g : snap.gauges) {
+    if (g.key.name == "ausdb_recovery_outputs_delivered") {
+      saw_gauge = true;
+      EXPECT_GT(g.value, 0);
+      EXPECT_LE(g.value, static_cast<int64_t>(delivered.size()));
+    }
+  }
+  EXPECT_TRUE(saw_gauge);
+
+  // Spans: one per Checkpoint()/Restore() call, named and non-negative.
+  const std::vector<obs::SpanRecord> spans = trace.Spans();
+  ASSERT_FALSE(spans.empty());
+  size_t checkpoint_spans = 0, restore_spans = 0;
+  for (const auto& s : spans) {
+    if (s.name == "recovery/checkpoint") ++checkpoint_spans;
+    if (s.name == "recovery/restore") ++restore_spans;
+    EXPECT_GE(s.end_nanos, s.start_nanos);
+  }
+  EXPECT_GT(checkpoint_spans, 0u);
+  EXPECT_GT(restore_spans, 0u);
+
+  // The snapshot must expose cleanly in both formats (smoke; the golden
+  // strings live in obs_exposition_test).
+  EXPECT_NE(obs::ToPrometheusText(snap).find(
+                "ausdb_recovery_replayed_outputs_total"),
+            std::string::npos);
+  EXPECT_NE(obs::ToJson(snap).find("ausdb_checkpoint_write_seconds"),
+            std::string::npos);
+}
+
+// A thinned instrumented crash sweep: every 7th site (plus the last)
+// runs with metrics on, and the delivered log must stay bit-identical to
+// the golden run — the determinism contract with observability enabled.
+TEST(RecoveryMetricsTest, InstrumentedSweepStaysBitIdentical) {
+  SweepConfig golden_cfg;
+  ScratchDir golden_dir("isweep_golden");
+  CrashPointInjector counter(CrashPointInjector::kNever);
+  const std::vector<std::string> golden =
+      RunToCompletion(golden_cfg, golden_dir.path(), &counter);
+  ASSERT_FALSE(golden.empty());
+  const size_t total_sites = counter.sites_visited();
+
+  for (size_t crash_at = 1; crash_at <= total_sites;
+       crash_at = crash_at + 7 > total_sites && crash_at < total_sites
+                      ? total_sites
+                      : crash_at + 7) {
+    obs::MetricRegistry registry;
+    SweepConfig cfg;
+    cfg.metrics = &registry;
+
+    ScratchDir dir("isweep_" + std::to_string(crash_at));
+    CrashPointInjector inj(crash_at);
+    const std::vector<std::string> delivered =
+        RunToCompletion(cfg, dir.path(), &inj);
+    ASSERT_TRUE(inj.fired()) << "site " << crash_at;
+    ASSERT_EQ(delivered.size(), golden.size())
+        << "crash at site " << crash_at << " ('" << inj.fired_site()
+        << "') with metrics on";
+    for (size_t i = 0; i < golden.size(); ++i) {
+      ASSERT_EQ(delivered[i], golden[i])
+          << "output " << i << " diverged at site " << crash_at;
+    }
   }
 }
 

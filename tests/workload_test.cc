@@ -6,6 +6,7 @@
 
 #include "src/expr/analyzer.h"
 #include "src/expr/evaluator.h"
+#include "src/obs/clock.h"
 #include "src/stats/descriptive.h"
 #include "src/stats/random_variates.h"
 #include "src/stream/acquisition.h"
@@ -224,6 +225,52 @@ TEST(ThroughputMeterTest, CountsAndRates) {
   EXPECT_EQ(meter.count(), 501u);
   EXPECT_GT(meter.ElapsedSeconds(), 0.0);
   EXPECT_GT(meter.TuplesPerSecond(), 0.0);
+}
+
+TEST(ThroughputMeterTest, NeverStartedReportsZeroNotGarbage) {
+  // Regression: Stop() without Start() used to measure a span against
+  // the default-constructed epoch, yielding a huge bogus duration.
+  stream::ThroughputMeter meter;
+  meter.Count(100);
+  meter.Stop();
+  EXPECT_DOUBLE_EQ(meter.ElapsedSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.TuplesPerSecond(), 0.0);
+  EXPECT_EQ(meter.count(), 100u);
+}
+
+TEST(ThroughputMeterTest, FakeClockGivesExactRates) {
+  obs::FakeClock clock;
+  stream::ThroughputMeter meter(&clock);
+  meter.Start();
+  meter.Count(250);
+  clock.AdvanceSeconds(0.5);
+  meter.Stop();
+  EXPECT_DOUBLE_EQ(meter.ElapsedSeconds(), 0.5);
+  EXPECT_DOUBLE_EQ(meter.TuplesPerSecond(), 500.0);
+  // A clock that never advances must yield rate 0, not a division blowup.
+  meter.Start();
+  meter.Count(10);
+  meter.Stop();
+  EXPECT_DOUBLE_EQ(meter.ElapsedSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.TuplesPerSecond(), 0.0);
+}
+
+TEST(ThroughputMeterTest, RestartMeasuresANewSpan) {
+  obs::FakeClock clock;
+  stream::ThroughputMeter meter(&clock);
+  meter.Start();
+  meter.Count(100);
+  clock.AdvanceSeconds(1.0);
+  meter.Stop();
+  EXPECT_DOUBLE_EQ(meter.TuplesPerSecond(), 100.0);
+
+  meter.Start();  // new span: count and elapsed both restart
+  meter.Count(30);
+  clock.AdvanceSeconds(0.1);
+  meter.Stop();
+  EXPECT_EQ(meter.count(), 30u);
+  EXPECT_DOUBLE_EQ(meter.ElapsedSeconds(), 0.1);
+  EXPECT_DOUBLE_EQ(meter.TuplesPerSecond(), 300.0);
 }
 
 TEST(AcquisitionControllerTest, StopsWhenIntervalNarrow) {
