@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/logging.h"
@@ -55,6 +56,58 @@ inline double MeasureTuplesPerSecond(engine::Operator& plan) {
   meter.Stop();
   return meter.TuplesPerSecond();
 }
+
+/// \brief Accumulates benchmark results as rows of named numbers and
+/// serializes the repo's `BENCH_<name>.json` trajectory format:
+///
+///   {"bench": "<name>",
+///    "rows": [{"axis": 0.0, "metric": 123.4, ...}, ...]}
+///
+/// Every bench that wants its results tracked across commits builds one
+/// of these alongside its printed table and calls WriteFile at exit.
+/// Numbers are emitted with %.17g, so the file round-trips doubles and
+/// diffs cleanly when a run is bit-identical.
+class JsonResultsWriter {
+ public:
+  using Row = std::vector<std::pair<std::string, double>>;
+
+  explicit JsonResultsWriter(std::string bench)
+      : bench_(std::move(bench)) {}
+
+  void AddRow(Row row) { rows_.push_back(std::move(row)); }
+
+  std::string ToJson() const {
+    std::string out = "{\n  \"bench\": \"" + bench_ + "\",\n  \"rows\": [";
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      out += (r == 0 ? "\n" : ",\n");
+      out += "    {";
+      for (size_t c = 0; c < rows_[r].size(); ++c) {
+        if (c != 0) out += ", ";
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "\"%s\": %.17g",
+                      rows_[r][c].first.c_str(), rows_[r][c].second);
+        out += buf;
+      }
+      out += "}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+  }
+
+  /// Writes the JSON document to `path`; returns false on I/O failure.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string body = ToJson();
+    const bool ok =
+        std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    return (std::fclose(f) == 0) && ok;
+  }
+
+ private:
+  std::string bench_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace bench
 }  // namespace ausdb

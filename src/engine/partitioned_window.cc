@@ -17,6 +17,12 @@ PartitionedWindowAggregate::Make(OperatorPtr child, std::string key_column,
   if (options.window_size == 0) {
     return Status::InvalidArgument("window size must be >= 1");
   }
+  if (options.emit_revisions && options.kind == WindowKind::kTumbling) {
+    return Status::InvalidArgument(
+        "revision mode requires a sliding window: a tumbling window "
+        "resets its state at each emission, so there is no current "
+        "window left to revise");
+  }
   AUSDB_ASSIGN_OR_RETURN(size_t key_idx,
                          child->schema().IndexOf(key_column));
   const FieldType key_type = child->schema().field(key_idx).type;
@@ -36,6 +42,10 @@ PartitionedWindowAggregate::Make(OperatorPtr child, std::string key_column,
   AUSDB_RETURN_NOT_OK(out_schema.AddField({std::move(key_column), key_type}));
   AUSDB_RETURN_NOT_OK(
       out_schema.AddField({std::move(output_name), FieldType::kUncertain}));
+  if (options.emit_revisions) {
+    AUSDB_RETURN_NOT_OK(
+        out_schema.AddField({"revision", FieldType::kBool}));
+  }
   return std::unique_ptr<PartitionedWindowAggregate>(
       new PartitionedWindowAggregate(std::move(child), key_idx, agg_idx,
                                      std::move(out_schema), options));
@@ -61,8 +71,28 @@ Result<std::optional<Tuple>> PartitionedWindowAggregate::Next() {
                            PartitionKeyFromValue(key_value));
     AUSDB_ASSIGN_OR_RETURN(
         WindowEntry e, WindowEntryFromValue(t->value(agg_index_), options_));
+    e.sequence = t->sequence();
 
     KeyWindowState& state = partitions_[key];
+    if (options_.emit_revisions) {
+      bool shed = false;
+      std::optional<KeyWindowState::Emission> emission =
+          state.ObserveRevising(e, options_, &shed);
+      if (shed) ++shed_late_;
+      if (!emission.has_value()) continue;
+      dist::RandomVar rv(
+          std::make_shared<dist::GaussianDist>(
+              emission->aggregate.mean,
+              std::max(0.0, emission->aggregate.variance)),
+          emission->aggregate.df);
+      Tuple out({key_value, expr::Value(std::move(rv)),
+                 expr::Value(emission->revision)});
+      out.set_sequence(t->sequence());
+      out.set_membership_prob(t->membership_prob());
+      out.set_membership_df_n(t->membership_df_n());
+      return std::optional<Tuple>(std::move(out));
+    }
+
     std::optional<KeyWindowState::Aggregate> agg =
         state.Observe(e, options_);
     if (!agg.has_value()) continue;
@@ -82,16 +112,21 @@ Result<std::optional<Tuple>> PartitionedWindowAggregate::Next() {
 Status PartitionedWindowAggregate::Reset() {
   partitions_.clear();
   input_consumed_ = 0;
+  shed_late_ = 0;
   return child_->Reset();
 }
 
 Result<std::string> PartitionedWindowAggregate::SaveCheckpoint() const {
   serde::CheckpointWriter w;
-  w.Token("pwagg.v3");
+  w.Token("pwagg.v4");
   w.Uint(static_cast<uint64_t>(options_.kind));
   w.Uint(static_cast<uint64_t>(options_.fn));
   w.Uint(options_.window_size);
   w.Uint(input_consumed_);
+  // v4: revision-mode config echo and shed counter, then per-key
+  // bookkeeping and per-entry sequences below.
+  w.Uint(options_.emit_revisions ? 1 : 0);
+  w.Uint(shed_late_);
   w.Uint(partitions_.size());
   std::vector<const std::string*> keys;
   keys.reserve(partitions_.size());
@@ -107,11 +142,16 @@ Result<std::string> PartitionedWindowAggregate::SaveCheckpoint() const {
     w.Double(state.sum_mean.compensation());
     w.Double(state.sum_variance.raw_sum());
     w.Double(state.sum_variance.compensation());
+    w.Uint(state.any_observed ? 1 : 0);
+    w.Uint(state.max_sequence);
+    w.Uint(state.any_evicted ? 1 : 0);
+    w.Uint(state.evicted_horizon);
     w.Uint(state.window.size());
     for (const WindowEntry& e : state.window) {
       w.Double(e.mean);
       w.Double(e.variance);
       w.Uint(e.sample_size);
+      w.Uint(e.sequence);
     }
   }
   return std::move(w).Finish();
@@ -122,12 +162,19 @@ Status PartitionedWindowAggregate::RestoreCheckpoint(std::string_view blob) {
   AUSDB_ASSIGN_OR_RETURN(std::string version, r.NextToken());
   // v1 blobs predate compensated summation and carry plain sums; they
   // restore with zero compensation. v2 added the compensation terms;
-  // v3 added the input position (restored as zero from older blobs).
+  // v3 added the input position (restored as zero from older blobs);
+  // v4 added per-entry sequences and the revision-mode bookkeeping.
   const bool v1 = version == "pwagg.v1";
   const bool v3 = version == "pwagg.v3";
-  if (!v1 && !v3 && version != "pwagg.v2") {
+  const bool v4 = version == "pwagg.v4";
+  if (!v1 && !v3 && !v4 && version != "pwagg.v2") {
     return Status::Corruption("unknown PartitionedWindowAggregate "
                               "checkpoint version '" + version + "'");
+  }
+  if (!v4 && options_.emit_revisions) {
+    return Status::InvalidArgument(
+        "checkpoint predates revision mode and cannot restore into a "
+        "revision-mode PartitionedWindowAggregate");
   }
   AUSDB_ASSIGN_OR_RETURN(uint64_t kind, r.NextUint());
   AUSDB_ASSIGN_OR_RETURN(uint64_t fn, r.NextUint());
@@ -140,8 +187,19 @@ Status PartitionedWindowAggregate::RestoreCheckpoint(std::string_view blob) {
         "PartitionedWindowAggregate");
   }
   uint64_t input_consumed = 0;
-  if (v3) {
+  if (v3 || v4) {
     AUSDB_ASSIGN_OR_RETURN(input_consumed, r.NextUint());
+  }
+  uint64_t ckpt_revisions = 0;
+  uint64_t shed_late = 0;
+  if (v4) {
+    AUSDB_ASSIGN_OR_RETURN(ckpt_revisions, r.NextUint());
+    AUSDB_ASSIGN_OR_RETURN(shed_late, r.NextUint());
+  }
+  if ((ckpt_revisions != 0) != options_.emit_revisions) {
+    return Status::InvalidArgument(
+        "checkpoint was taken from a differently configured "
+        "PartitionedWindowAggregate (revision mode mismatch)");
   }
   // A v1 partition is at least a key ("0:"), 2 hex doubles and a window
   // count: >= 39 bytes. Bounding the reserve() below by what the blob
@@ -165,6 +223,14 @@ Status PartitionedWindowAggregate::RestoreCheckpoint(std::string_view blob) {
     }
     state.sum_mean.Restore(sum_mean, comp_mean);
     state.sum_variance.Restore(sum_variance, comp_variance);
+    if (v4) {
+      AUSDB_ASSIGN_OR_RETURN(uint64_t any_observed, r.NextUint());
+      state.any_observed = any_observed != 0;
+      AUSDB_ASSIGN_OR_RETURN(state.max_sequence, r.NextUint());
+      AUSDB_ASSIGN_OR_RETURN(uint64_t any_evicted, r.NextUint());
+      state.any_evicted = any_evicted != 0;
+      AUSDB_ASSIGN_OR_RETURN(state.evicted_horizon, r.NextUint());
+    }
     // >= 36 bytes per entry: 2 hex doubles + a uint, with separators.
     AUSDB_ASSIGN_OR_RETURN(uint64_t count, r.NextCount(36));
     for (uint64_t i = 0; i < count; ++i) {
@@ -172,12 +238,16 @@ Status PartitionedWindowAggregate::RestoreCheckpoint(std::string_view blob) {
       AUSDB_ASSIGN_OR_RETURN(e.mean, r.NextDouble());
       AUSDB_ASSIGN_OR_RETURN(e.variance, r.NextDouble());
       AUSDB_ASSIGN_OR_RETURN(e.sample_size, r.NextUint());
+      if (v4) {
+        AUSDB_ASSIGN_OR_RETURN(e.sequence, r.NextUint());
+      }
       state.window.push_back(e);
     }
     restored.emplace(std::move(key), std::move(state));
   }
   partitions_ = std::move(restored);
   input_consumed_ = input_consumed;
+  shed_late_ = shed_late;
   return Status::OK();
 }
 

@@ -17,7 +17,12 @@ namespace engine {
 /// Each distinct value of the key column (string or double, e.g. the
 /// Road_ID of the paper's Example 1) maintains its own count-based
 /// window; an output tuple (key, aggregate) is produced whenever some
-/// key's window emits. Schema: (key:<key type>, <output_name>:uncertain).
+/// key's window emits. Schema: (key:<key type>, <output_name>:uncertain)
+/// — plus a trailing revision:bool column when
+/// `options.emit_revisions` is set, in which case each key's window is
+/// kept sorted by source sequence and a late arrival re-emits that key's
+/// corrected current window with revision=true (see
+/// KeyWindowState::ObserveRevising).
 ///
 /// Running sums are Neumaier-compensated (see KeyWindowState), so the
 /// evict-subtract update does not drift on long streams.
@@ -38,10 +43,11 @@ class PartitionedWindowAggregate final : public Operator {
 
   /// Checkpointing serializes every partition's open window and exact
   /// running sums including the Neumaier compensation terms (keys
-  /// sorted, so equal states produce equal blobs). Writes the v3 format
-  /// (which adds the input position); restores v3, v2 (no input
-  /// position) and legacy v1 blobs (which carried no compensation terms
-  /// either — those restore with zero compensation).
+  /// sorted, so equal states produce equal blobs). Writes the v4 format
+  /// (which adds per-entry sequences and the revision-mode
+  /// bookkeeping); restores v4, v3 (no revision block), v2 (no input
+  /// position either) and legacy v1 blobs (which carried no
+  /// compensation terms either — those restore with zero compensation).
   Result<std::string> SaveCheckpoint() const override;
   Status RestoreCheckpoint(std::string_view blob) override;
 
@@ -51,6 +57,10 @@ class PartitionedWindowAggregate final : public Operator {
   /// Child tuples pulled so far — the input position a re-seeked source
   /// must resume after when restoring this operator's checkpoint.
   uint64_t input_consumed() const { return input_consumed_; }
+
+  /// Revision mode: late tuples older than every retained position of
+  /// their key's window, dropped (loudly) instead of revised.
+  uint64_t shed_late() const { return shed_late_; }
 
  private:
   PartitionedWindowAggregate(OperatorPtr child, size_t key_index,
@@ -64,6 +74,7 @@ class PartitionedWindowAggregate final : public Operator {
   WindowAggregateOptions options_;
   std::unordered_map<std::string, KeyWindowState> partitions_;
   uint64_t input_consumed_ = 0;
+  uint64_t shed_late_ = 0;
 };
 
 }  // namespace engine

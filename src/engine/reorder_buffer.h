@@ -1,0 +1,164 @@
+#ifndef AUSDB_ENGINE_REORDER_BUFFER_H_
+#define AUSDB_ENGINE_REORDER_BUFFER_H_
+
+#include <deque>
+#include <map>
+#include <string>
+
+#include "src/engine/operator.h"
+#include "src/obs/metrics.h"
+#include "src/stream/watermark.h"
+
+namespace ausdb {
+namespace engine {
+
+/// What a full ReorderBuffer does with the oldest buffered tuple.
+enum class ReorderOverflowPolicy {
+  /// Stall the watermark contract instead of dropping data: the oldest
+  /// buffered tuple is force-released early (before the watermark
+  /// passes it), counted in stats().forced_releases. Released output
+  /// stays monotone in event time, but a later in-bound straggler may
+  /// now surface as a late tuple downstream — precision is shed, data
+  /// never is.
+  kBlock,
+  /// Drop the oldest buffered tuple, counted in stats().shed. Bounded
+  /// memory at the cost of data loss — the loud (counted) variant of
+  /// what an unbounded queue would eventually do silently via OOM.
+  kShedOldest,
+};
+
+/// Options of the ReorderBuffer operator.
+struct ReorderBufferOptions {
+  /// Event-time lateness bound, in timestamp units: tuples are held
+  /// until the watermark (max observed timestamp minus this bound)
+  /// passes them. 0 degenerates to pass-through with duplicate/late
+  /// accounting only.
+  double lateness_bound = 0.0;
+
+  /// Maximum buffered tuples; 0 means unbounded. When exceeded,
+  /// `overflow` decides.
+  size_t capacity = 4096;
+
+  ReorderOverflowPolicy overflow = ReorderOverflowPolicy::kBlock;
+
+  /// Drop tuples whose sequence number was already admitted (at-least-
+  /// once upstreams re-delivering). The seen-set is pruned one lateness
+  /// bound below the watermark, so a duplicate older than
+  /// watermark - 2*bound passes through as an ordinary late tuple.
+  bool dedupe_by_sequence = false;
+
+  /// When non-null, buffer observability is mirrored into
+  /// `ausdb_engine_reorder_*` metrics labeled `{buffer=metrics_label}`.
+  /// Write-only, per the obs contract: delivered output is
+  /// bit-identical with metrics on or off.
+  obs::MetricRegistry* metrics = nullptr;
+  std::string metrics_label = "reorder";
+};
+
+/// Observability counters of a ReorderBuffer.
+struct ReorderStats {
+  size_t admitted = 0;          ///< tuples accepted from the child
+  size_t late = 0;              ///< arrived at/below the watermark, passed through
+  size_t shed = 0;              ///< dropped on overflow (kShedOldest)
+  size_t forced_releases = 0;   ///< released early on overflow (kBlock)
+  size_t duplicates = 0;        ///< dropped by sequence dedupe
+};
+
+/// \brief Bounded-lateness reorder stage: holds tuples up to the
+/// lateness bound and releases them in event-time order as the
+/// watermark advances, turning in-bound disorder back into an ordered
+/// stream before it reaches the window operators.
+///
+/// Determinism contract: release decisions are a pure function of the
+/// input tuple sequence (via WatermarkPolicy — never wall clock), so
+/// output is bit-identical across async prefetch depths, thread counts
+/// and checkpoint/restore. Ties release in (timestamp, sequence) order.
+///
+/// Tuples already at or below the watermark on arrival cannot be
+/// reordered any more; they pass through immediately (counted late) for
+/// the downstream window to revise within its allowed-lateness horizon.
+/// At end of stream the buffer flushes in event-time order.
+class ReorderBuffer final : public Operator,
+                            public stream::WatermarkProvider {
+ public:
+  static Result<std::unique_ptr<ReorderBuffer>> Make(
+      OperatorPtr child, std::string timestamp_column,
+      ReorderBufferOptions options = {});
+
+  const Schema& schema() const override { return child_->schema(); }
+  Result<std::optional<Tuple>> Next() override;
+  Status Reset() override;
+  Status Close() override { return child_->Close(); }
+  void BindThreadPool(ThreadPool* pool) override {
+    child_->BindThreadPool(pool);
+  }
+
+  /// Checkpoints the watermark state and every buffered (and released-
+  /// but-undelivered) tuple — checkpoint v4's new surface — so a crash
+  /// mid-disorder restores bit-identically. Format token "rob.v1".
+  Result<std::string> SaveCheckpoint() const override;
+  Status RestoreCheckpoint(std::string_view blob) override;
+
+  /// Output watermark downstream operators may trust: no future tuple
+  /// this buffer *releases in order* has a timestamp at or below it.
+  double CurrentWatermark() const override {
+    return watermark_.watermark();
+  }
+
+  const ReorderStats& stats() const { return stats_; }
+
+  /// Tuples currently held (excludes released-but-undelivered ones) —
+  /// the crash-point sweep asserts this is non-zero at a crash site.
+  size_t buffered_count() const { return buffer_.size(); }
+
+ private:
+  ReorderBuffer(OperatorPtr child, size_t ts_index,
+                ReorderBufferOptions options);
+
+  /// A held tuple with its precomputed release key.
+  struct Held {
+    std::pair<double, uint64_t> key;
+    Tuple tuple;
+  };
+
+  /// Inserts into buffer_ keeping (timestamp, sequence) order. Ordered
+  /// arrivals append at the back in O(1) — the hot path pays no
+  /// per-tuple node allocation, which is why this is a deque and not a
+  /// map — and in-bound disorder shifts at most O(buffered) entries.
+  void Insert(double ts, Tuple t);
+  /// Moves buffered tuples at/below the watermark into ready_.
+  void ReleaseUpToWatermark();
+  void EnforceCapacity();
+  void PruneSeen();
+  void UpdateGauges();
+
+  OperatorPtr child_;
+  size_t ts_index_;
+  ReorderBufferOptions options_;
+  stream::WatermarkPolicy watermark_;
+
+  /// Held tuples, sorted by (timestamp, sequence) — release order,
+  /// oldest at the front.
+  std::deque<Held> buffer_;
+  /// Released, awaiting delivery through Next().
+  std::deque<Tuple> ready_;
+  /// Admitted sequences (dedupe_by_sequence), with their timestamps for
+  /// watermark-based pruning.
+  std::map<uint64_t, double> seen_;
+  bool exhausted_ = false;
+  ReorderStats stats_;
+
+  /// Registry-owned metrics; all null when options_.metrics is null.
+  obs::Gauge* m_depth_ = nullptr;
+  obs::Gauge* m_watermark_milli_ = nullptr;
+  obs::Counter* m_late_ = nullptr;
+  obs::Counter* m_shed_ = nullptr;
+  obs::Counter* m_forced_ = nullptr;
+  obs::Counter* m_duplicates_ = nullptr;
+  obs::Histogram* m_lag_ = nullptr;
+};
+
+}  // namespace engine
+}  // namespace ausdb
+
+#endif  // AUSDB_ENGINE_REORDER_BUFFER_H_

@@ -42,6 +42,13 @@ ShardedPartitionedWindowAggregate::Make(OperatorPtr child,
   if (options.batch_size == 0) {
     return Status::InvalidArgument("batch_size must be >= 1");
   }
+  if (options.window.emit_revisions &&
+      options.window.kind == WindowKind::kTumbling) {
+    return Status::InvalidArgument(
+        "revision mode requires a sliding window: a tumbling window "
+        "resets its state at each emission, so there is no current "
+        "window left to revise");
+  }
   AUSDB_ASSIGN_OR_RETURN(size_t key_idx,
                          child->schema().IndexOf(key_column));
   const FieldType key_type = child->schema().field(key_idx).type;
@@ -61,6 +68,10 @@ ShardedPartitionedWindowAggregate::Make(OperatorPtr child,
   AUSDB_RETURN_NOT_OK(out_schema.AddField({std::move(key_column), key_type}));
   AUSDB_RETURN_NOT_OK(
       out_schema.AddField({std::move(output_name), FieldType::kUncertain}));
+  if (options.window.emit_revisions) {
+    AUSDB_RETURN_NOT_OK(
+        out_schema.AddField({"revision", FieldType::kBool}));
+  }
   return std::unique_ptr<ShardedPartitionedWindowAggregate>(
       new ShardedPartitionedWindowAggregate(std::move(child), key_idx,
                                             agg_idx, std::move(out_schema),
@@ -97,6 +108,7 @@ Status ShardedPartitionedWindowAggregate::FillBatch() {
     AUSDB_ASSIGN_OR_RETURN(
         WindowEntry e,
         WindowEntryFromValue(t->value(agg_index_), options_.window));
+    e.sequence = t->sequence();
     tuples.push_back(std::move(*t));
     keys.push_back(std::move(key));
     entries.push_back(e);
@@ -116,27 +128,48 @@ Status ShardedPartitionedWindowAggregate::FillBatch() {
   // thread count, which keeps the result bit-identical at any
   // parallelism (the per-key arithmetic is KeyWindowState's, the same
   // code the serial PartitionedWindowAggregate runs).
-  std::vector<std::optional<KeyWindowState::Aggregate>> emissions(
+  std::vector<std::optional<KeyWindowState::Emission>> emissions(
       tuples.size());
+  // Per-item shed flags, summed serially in phase 3 so the counter is
+  // deterministic and workers never touch shared state.
+  std::vector<uint8_t> shed(tuples.size(), 0);
+  const bool revising = options_.window.emit_revisions;
   RunChunked(pool_, num_shards, num_shards,
              [&](size_t, size_t begin, size_t end) {
                for (size_t s = begin; s < end; ++s) {
                  for (size_t i : shard_items[s]) {
                    KeyWindowState& state = shards_[s][keys[i]];
-                   emissions[i] = state.Observe(entries[i], options_.window);
+                   if (revising) {
+                     bool item_shed = false;
+                     emissions[i] = state.ObserveRevising(
+                         entries[i], options_.window, &item_shed);
+                     shed[i] = item_shed ? 1 : 0;
+                   } else {
+                     std::optional<KeyWindowState::Aggregate> agg =
+                         state.Observe(entries[i], options_.window);
+                     if (agg.has_value()) {
+                       emissions[i] =
+                           KeyWindowState::Emission{*agg, false};
+                     }
+                   }
                  }
                }
              });
 
   // Phase 3 (serial): merge emissions back in input-sequence order.
   for (size_t i = 0; i < tuples.size(); ++i) {
+    shed_late_ += shed[i];
     if (!emissions[i].has_value()) continue;
-    const KeyWindowState::Aggregate& agg = *emissions[i];
+    const KeyWindowState::Aggregate& agg = emissions[i]->aggregate;
     dist::RandomVar rv(
         std::make_shared<dist::GaussianDist>(agg.mean,
                                              std::max(0.0, agg.variance)),
         agg.df);
-    Tuple out({tuples[i].value(key_index_), expr::Value(std::move(rv))});
+    std::vector<expr::Value> values;
+    values.push_back(tuples[i].value(key_index_));
+    values.push_back(expr::Value(std::move(rv)));
+    if (revising) values.push_back(expr::Value(emissions[i]->revision));
+    Tuple out(std::move(values));
     out.set_sequence(tuples[i].sequence());
     out.set_membership_prob(tuples[i].membership_prob());
     out.set_membership_df_n(tuples[i].membership_df_n());
@@ -159,6 +192,7 @@ Status ShardedPartitionedWindowAggregate::Reset() {
   for (auto& shard : shards_) shard.clear();
   out_queue_.clear();
   input_consumed_ = 0;
+  shed_late_ = 0;
   exhausted_ = false;
   return child_->Reset();
 }
@@ -172,11 +206,15 @@ size_t ShardedPartitionedWindowAggregate::partition_count() const {
 Result<std::string> ShardedPartitionedWindowAggregate::SaveCheckpoint()
     const {
   serde::CheckpointWriter w;
-  w.Token("spwagg.v1");
+  w.Token("spwagg.v2");
   w.Uint(static_cast<uint64_t>(options_.window.kind));
   w.Uint(static_cast<uint64_t>(options_.window.fn));
   w.Uint(options_.window.window_size);
   w.Uint(input_consumed_);
+  // v2: revision-mode config echo and shed counter, then per-key
+  // bookkeeping, per-entry sequences and per-pending revision flags.
+  w.Uint(options_.window.emit_revisions ? 1 : 0);
+  w.Uint(shed_late_);
   // Keys sorted globally (shard assignment is recomputed on restore), so
   // equal states produce equal blobs regardless of shard count.
   std::map<std::string, const KeyWindowState*> sorted;
@@ -190,11 +228,16 @@ Result<std::string> ShardedPartitionedWindowAggregate::SaveCheckpoint()
     w.Double(state->sum_mean.compensation());
     w.Double(state->sum_variance.raw_sum());
     w.Double(state->sum_variance.compensation());
+    w.Uint(state->any_observed ? 1 : 0);
+    w.Uint(state->max_sequence);
+    w.Uint(state->any_evicted ? 1 : 0);
+    w.Uint(state->evicted_horizon);
     w.Uint(state->window.size());
     for (const WindowEntry& e : state->window) {
       w.Double(e.mean);
       w.Double(e.variance);
       w.Uint(e.sample_size);
+      w.Uint(e.sequence);
     }
   }
   // Pending emissions: computed from already-consumed input but not yet
@@ -214,6 +257,12 @@ Result<std::string> ShardedPartitionedWindowAggregate::SaveCheckpoint()
     w.Double(rv.Mean());
     w.Double(rv.Variance());
     w.Uint(rv.sample_size());
+    uint64_t revision = 0;
+    if (options_.window.emit_revisions) {
+      AUSDB_ASSIGN_OR_RETURN(bool rev, t.value(2).bool_value());
+      revision = rev ? 1 : 0;
+    }
+    w.Uint(revision);
     w.Uint(t.sequence());
     w.Double(t.membership_prob());
     w.Uint(t.membership_df_n());
@@ -224,7 +273,19 @@ Result<std::string> ShardedPartitionedWindowAggregate::SaveCheckpoint()
 Status ShardedPartitionedWindowAggregate::RestoreCheckpoint(
     std::string_view blob) {
   serde::CheckpointReader r(blob);
-  AUSDB_RETURN_NOT_OK(r.ExpectToken("spwagg.v1"));
+  AUSDB_ASSIGN_OR_RETURN(std::string version, r.NextToken());
+  // v2 added revision-mode bookkeeping, per-entry sequences and
+  // per-pending revision flags; v1 blobs restore with those zeroed.
+  const bool v2 = version == "spwagg.v2";
+  if (!v2 && version != "spwagg.v1") {
+    return Status::Corruption("unknown ShardedPartitionedWindowAggregate "
+                              "checkpoint version '" + version + "'");
+  }
+  if (!v2 && options_.window.emit_revisions) {
+    return Status::InvalidArgument(
+        "checkpoint predates revision mode and cannot restore into a "
+        "revision-mode ShardedPartitionedWindowAggregate");
+  }
   AUSDB_ASSIGN_OR_RETURN(uint64_t kind, r.NextUint());
   AUSDB_ASSIGN_OR_RETURN(uint64_t fn, r.NextUint());
   AUSDB_ASSIGN_OR_RETURN(uint64_t window_size, r.NextUint());
@@ -236,6 +297,17 @@ Status ShardedPartitionedWindowAggregate::RestoreCheckpoint(
         "ShardedPartitionedWindowAggregate");
   }
   AUSDB_ASSIGN_OR_RETURN(uint64_t input_consumed, r.NextUint());
+  uint64_t ckpt_revisions = 0;
+  uint64_t shed_late = 0;
+  if (v2) {
+    AUSDB_ASSIGN_OR_RETURN(ckpt_revisions, r.NextUint());
+    AUSDB_ASSIGN_OR_RETURN(shed_late, r.NextUint());
+  }
+  if ((ckpt_revisions != 0) != options_.window.emit_revisions) {
+    return Status::InvalidArgument(
+        "checkpoint was taken from a differently configured "
+        "ShardedPartitionedWindowAggregate (revision mode mismatch)");
+  }
   // A partition is at least a key ("0:"), 4 hex doubles and a window
   // count: >= 73 bytes. NextCount rejects counts the remaining blob
   // cannot hold before anything is sized from them.
@@ -251,6 +323,14 @@ Status ShardedPartitionedWindowAggregate::RestoreCheckpoint(
     AUSDB_ASSIGN_OR_RETURN(double comp_variance, r.NextDouble());
     state.sum_mean.Restore(sum_mean, comp_mean);
     state.sum_variance.Restore(sum_variance, comp_variance);
+    if (v2) {
+      AUSDB_ASSIGN_OR_RETURN(uint64_t any_observed, r.NextUint());
+      state.any_observed = any_observed != 0;
+      AUSDB_ASSIGN_OR_RETURN(state.max_sequence, r.NextUint());
+      AUSDB_ASSIGN_OR_RETURN(uint64_t any_evicted, r.NextUint());
+      state.any_evicted = any_evicted != 0;
+      AUSDB_ASSIGN_OR_RETURN(state.evicted_horizon, r.NextUint());
+    }
     // >= 36 bytes per entry: 2 hex doubles + a uint, with separators.
     AUSDB_ASSIGN_OR_RETURN(uint64_t count, r.NextCount(36));
     for (uint64_t i = 0; i < count; ++i) {
@@ -258,6 +338,9 @@ Status ShardedPartitionedWindowAggregate::RestoreCheckpoint(
       AUSDB_ASSIGN_OR_RETURN(e.mean, r.NextDouble());
       AUSDB_ASSIGN_OR_RETURN(e.variance, r.NextDouble());
       AUSDB_ASSIGN_OR_RETURN(e.sample_size, r.NextUint());
+      if (v2) {
+        AUSDB_ASSIGN_OR_RETURN(e.sequence, r.NextUint());
+      }
       state.window.push_back(e);
     }
     shards[Fnv1a64(key) % shards.size()].emplace(std::move(key),
@@ -282,12 +365,22 @@ Status ShardedPartitionedWindowAggregate::RestoreCheckpoint(
     AUSDB_ASSIGN_OR_RETURN(double mean, r.NextDouble());
     AUSDB_ASSIGN_OR_RETURN(double variance, r.NextDouble());
     AUSDB_ASSIGN_OR_RETURN(uint64_t df, r.NextUint());
+    uint64_t revision = 0;
+    if (v2) {
+      AUSDB_ASSIGN_OR_RETURN(revision, r.NextUint());
+    }
     AUSDB_ASSIGN_OR_RETURN(uint64_t sequence, r.NextUint());
     AUSDB_ASSIGN_OR_RETURN(double membership_prob, r.NextDouble());
     AUSDB_ASSIGN_OR_RETURN(uint64_t membership_df_n, r.NextUint());
     dist::RandomVar rv(std::make_shared<dist::GaussianDist>(mean, variance),
                        df);
-    Tuple out({std::move(key_value), expr::Value(std::move(rv))});
+    std::vector<expr::Value> values;
+    values.push_back(std::move(key_value));
+    values.push_back(expr::Value(std::move(rv)));
+    if (options_.window.emit_revisions) {
+      values.push_back(expr::Value(revision != 0));
+    }
+    Tuple out(std::move(values));
     out.set_sequence(sequence);
     out.set_membership_prob(membership_prob);
     out.set_membership_df_n(membership_df_n);
@@ -296,6 +389,7 @@ Status ShardedPartitionedWindowAggregate::RestoreCheckpoint(
   shards_ = std::move(shards);
   out_queue_ = std::move(pending);
   input_consumed_ = input_consumed;
+  shed_late_ = shed_late;
   exhausted_ = false;
   return Status::OK();
 }

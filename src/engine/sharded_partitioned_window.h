@@ -41,6 +41,11 @@ struct ShardedWindowOptions {
 /// KeyWindowState arithmetic in input order and emissions are re-merged
 /// by input position. Bind a pool via BindThreadPool (or
 /// engine::ParallelCollect) to actually fan batches out.
+///
+/// With `options.window.emit_revisions` the schema gains a trailing
+/// revision:bool column and each key's window revises on late (by
+/// sequence) arrivals exactly as the serial operator does — the contract
+/// extends to revision outputs and the shed_late() count.
 class ShardedPartitionedWindowAggregate final : public Operator {
  public:
   static Result<std::unique_ptr<ShardedPartitionedWindowAggregate>> Make(
@@ -72,6 +77,10 @@ class ShardedPartitionedWindowAggregate final : public Operator {
   /// must resume after when restoring this operator's checkpoint.
   uint64_t input_consumed() const { return input_consumed_; }
 
+  /// Revision mode: late tuples older than every retained position of
+  /// their key's window, dropped (loudly) instead of revised.
+  uint64_t shed_late() const { return shed_late_; }
+
  private:
   ShardedPartitionedWindowAggregate(OperatorPtr child, size_t key_index,
                                     size_t agg_index, Schema out_schema,
@@ -91,6 +100,7 @@ class ShardedPartitionedWindowAggregate final : public Operator {
   std::vector<std::unordered_map<std::string, KeyWindowState>> shards_;
   std::deque<Tuple> out_queue_;
   uint64_t input_consumed_ = 0;
+  uint64_t shed_late_ = 0;
   bool exhausted_ = false;
 };
 

@@ -1,9 +1,11 @@
 #include "src/engine/time_window_aggregate.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "src/dist/gaussian.h"
+#include "src/serde/checkpoint.h"
 
 namespace ausdb {
 namespace engine {
@@ -12,8 +14,24 @@ Result<std::unique_ptr<TimeWindowAggregate>> TimeWindowAggregate::Make(
     OperatorPtr child, std::string timestamp_column,
     std::string value_column, std::string output_name,
     TimeWindowOptions options) {
-  if (!(options.duration > 0.0)) {
+  if (!(options.duration > 0.0) || !std::isfinite(options.duration)) {
     return Status::InvalidArgument("window duration must be > 0");
+  }
+  if (!std::isfinite(options.allowed_lateness) ||
+      options.allowed_lateness < 0.0) {
+    return Status::InvalidArgument(
+        "allowed lateness must be finite and >= 0");
+  }
+  if (options.allowed_lateness > 0.0 && !options.emit_revisions) {
+    return Status::InvalidArgument(
+        "allowed_lateness requires emit_revisions: without revision "
+        "outputs a late tuple could only corrupt already-emitted "
+        "windows silently");
+  }
+  if (options.emit_revisions && options.require_ordered) {
+    return Status::InvalidArgument(
+        "revision mode consumes out-of-order input; set "
+        "require_ordered=false");
   }
   AUSDB_ASSIGN_OR_RETURN(size_t ts_idx,
                          child->schema().IndexOf(timestamp_column));
@@ -32,6 +50,12 @@ Result<std::unique_ptr<TimeWindowAggregate>> TimeWindowAggregate::Make(
   Schema out_schema;
   AUSDB_RETURN_NOT_OK(
       out_schema.AddField({std::move(output_name), FieldType::kUncertain}));
+  if (options.emit_revisions) {
+    AUSDB_RETURN_NOT_OK(
+        out_schema.AddField({"window_end", FieldType::kDouble}));
+    AUSDB_RETURN_NOT_OK(
+        out_schema.AddField({"revision", FieldType::kBool}));
+  }
   return std::unique_ptr<TimeWindowAggregate>(
       new TimeWindowAggregate(std::move(child), ts_idx, value_idx,
                               std::move(out_schema), options));
@@ -48,22 +72,12 @@ TimeWindowAggregate::TimeWindowAggregate(OperatorPtr child,
       schema_(std::move(out_schema)),
       options_(options) {}
 
-Result<std::optional<Tuple>> TimeWindowAggregate::Next() {
-  AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> t, child_->Next());
-  if (!t.has_value()) return std::optional<Tuple>(std::nullopt);
-
-  AUSDB_ASSIGN_OR_RETURN(double ts, t->value(ts_index_).AsDouble());
-  if (options_.require_ordered && ts < last_timestamp_) {
-    return Status::InvalidArgument(
-        "out-of-order timestamp " + std::to_string(ts) + " after " +
-        std::to_string(last_timestamp_) +
-        " (set require_ordered=false to accept)");
-  }
-  last_timestamp_ = std::max(last_timestamp_, ts);
-
-  const expr::Value& v = t->value(value_index_);
+Result<TimeWindowAggregate::Entry> TimeWindowAggregate::ExtractEntry(
+    const Tuple& t, double ts) const {
+  const expr::Value& v = t.value(value_index_);
   Entry e;
   e.timestamp = ts;
+  e.sequence = t.sequence();
   if (v.is_random_var()) {
     AUSDB_ASSIGN_OR_RETURN(dist::RandomVar rv, v.random_var());
     if (!rv.is_certain() &&
@@ -82,6 +96,34 @@ Result<std::optional<Tuple>> TimeWindowAggregate::Next() {
     e.variance = 0.0;
     e.sample_size = dist::RandomVar::kCertainSampleSize;
   }
+  return e;
+}
+
+Result<std::optional<Tuple>> TimeWindowAggregate::Next() {
+  if (options_.emit_revisions) return NextRevising();
+  return NextLegacy();
+}
+
+Result<std::optional<Tuple>> TimeWindowAggregate::NextLegacy() {
+  AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> t, child_->Next());
+  if (!t.has_value()) return std::optional<Tuple>(std::nullopt);
+  ++input_consumed_;
+
+  AUSDB_ASSIGN_OR_RETURN(double ts, t->value(ts_index_).AsDouble());
+  if (!std::isfinite(ts)) {
+    return Status::InvalidArgument(
+        "non-finite window timestamp " + std::to_string(ts) +
+        " (event time must be a finite double)");
+  }
+  if (options_.require_ordered && ts < last_timestamp_) {
+    return Status::InvalidArgument(
+        "out-of-order timestamp " + std::to_string(ts) + " after " +
+        std::to_string(last_timestamp_) +
+        " (set require_ordered=false to accept)");
+  }
+  last_timestamp_ = std::max(last_timestamp_, ts);
+
+  AUSDB_ASSIGN_OR_RETURN(Entry e, ExtractEntry(*t, ts));
 
   // Insert keeping the deque ordered by timestamp (out-of-order inputs
   // land near the back).
@@ -122,10 +164,243 @@ Result<std::optional<Tuple>> TimeWindowAggregate::Next() {
   return std::optional<Tuple>(std::move(out));
 }
 
+void TimeWindowAggregate::InsertSorted(const Entry& e) {
+  auto pos = window_.end();
+  while (pos != window_.begin()) {
+    const Entry& prev = *(pos - 1);
+    if (prev.timestamp < e.timestamp ||
+        (prev.timestamp == e.timestamp && prev.sequence <= e.sequence)) {
+      break;
+    }
+    --pos;
+  }
+  window_.insert(pos, e);
+}
+
+TimeWindowAggregate::Output TimeWindowAggregate::ComputeWindow(
+    double window_end, bool revision, const Tuple& trigger) const {
+  const double lo = window_end - options_.duration;
+  double sum_mean = 0.0, sum_variance = 0.0;
+  size_t df = dist::RandomVar::kCertainSampleSize;
+  size_t count = 0;
+  for (const Entry& entry : window_) {
+    if (entry.timestamp <= lo) continue;
+    if (entry.timestamp > window_end) break;
+    sum_mean += entry.mean;
+    sum_variance += entry.variance;
+    df = std::min(df, entry.sample_size);
+    ++count;
+  }
+  const double w = static_cast<double>(count);
+  double mean = sum_mean;
+  double variance = sum_variance;
+  if (options_.fn == WindowAggFn::kAvg && count > 0) {
+    mean /= w;
+    variance /= w * w;
+  }
+  Output o;
+  o.window_end = window_end;
+  o.mean = mean;
+  o.variance = variance;
+  o.df = df;
+  o.revision = revision;
+  o.sequence = trigger.sequence();
+  o.membership_prob = trigger.membership_prob();
+  o.membership_df_n = trigger.membership_df_n();
+  return o;
+}
+
+Tuple TimeWindowAggregate::MaterializeOutput(const Output& o) const {
+  dist::RandomVar agg(
+      std::make_shared<dist::GaussianDist>(o.mean,
+                                           std::max(0.0, o.variance)),
+      o.df);
+  Tuple out({expr::Value(std::move(agg)), expr::Value(o.window_end),
+             expr::Value(o.revision)});
+  out.set_sequence(o.sequence);
+  out.set_membership_prob(o.membership_prob);
+  out.set_membership_df_n(o.membership_df_n);
+  return out;
+}
+
+Result<std::optional<Tuple>> TimeWindowAggregate::NextRevising() {
+  for (;;) {
+    if (!pending_.empty()) {
+      Tuple out = MaterializeOutput(pending_.front());
+      pending_.pop_front();
+      return std::optional<Tuple>(std::move(out));
+    }
+    AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> t, child_->Next());
+    if (!t.has_value()) return std::optional<Tuple>(std::nullopt);
+    ++input_consumed_;
+
+    AUSDB_ASSIGN_OR_RETURN(double ts, t->value(ts_index_).AsDouble());
+    if (!std::isfinite(ts)) {
+      return Status::InvalidArgument(
+          "non-finite window timestamp " + std::to_string(ts) +
+          " (event time must be a finite double)");
+    }
+
+    if (ts >= last_timestamp_ || window_.empty()) {
+      // In-order arrival: advance the horizon, retire what can no
+      // longer be revised, emit this window.
+      AUSDB_ASSIGN_OR_RETURN(Entry e, ExtractEntry(*t, ts));
+      last_timestamp_ = std::max(last_timestamp_, ts);
+      InsertSorted(e);
+      const double horizon = last_timestamp_ - options_.allowed_lateness;
+      const double retention = horizon - options_.duration;
+      while (!window_.empty() &&
+             window_.front().timestamp <= retention) {
+        window_.pop_front();
+      }
+      while (!emitted_ends_.empty() && emitted_ends_.front() <= horizon &&
+             emitted_ends_.front() < ts) {
+        emitted_ends_.pop_front();
+      }
+      pending_.push_back(ComputeWindow(ts, /*revision=*/false, *t));
+      if (emitted_ends_.empty() || emitted_ends_.back() != ts) {
+        emitted_ends_.push_back(ts);
+      }
+      continue;
+    }
+
+    // Late arrival.
+    const double horizon = last_timestamp_ - options_.allowed_lateness;
+    if (ts <= horizon) {
+      ++shed_late_;
+      continue;
+    }
+    AUSDB_ASSIGN_OR_RETURN(Entry e, ExtractEntry(*t, ts));
+    InsertSorted(e);
+    // Re-emit every already-emitted window this straggler falls into —
+    // ends in [ts, ts + duration) — plus the straggler's own window end
+    // if it was never emitted, all ascending so downstream folds see
+    // revisions in event-time order.
+    bool own_end_known = false;
+    for (double end : emitted_ends_) {
+      if (end < ts) continue;
+      if (end >= ts + options_.duration) break;
+      if (end == ts) own_end_known = true;
+    }
+    if (!own_end_known) {
+      auto pos = emitted_ends_.begin();
+      while (pos != emitted_ends_.end() && *pos < ts) ++pos;
+      emitted_ends_.insert(pos, ts);
+    }
+    for (double end : emitted_ends_) {
+      if (end < ts) continue;
+      if (end >= ts + options_.duration) break;
+      pending_.push_back(ComputeWindow(end, /*revision=*/true, *t));
+    }
+  }
+}
+
 Status TimeWindowAggregate::Reset() {
   window_.clear();
+  emitted_ends_.clear();
+  pending_.clear();
   last_timestamp_ = -std::numeric_limits<double>::infinity();
+  input_consumed_ = 0;
+  shed_late_ = 0;
   return child_->Reset();
+}
+
+Result<std::string> TimeWindowAggregate::SaveCheckpoint() const {
+  serde::CheckpointWriter w;
+  w.Token("twagg.v1");
+  w.Uint(static_cast<uint64_t>(options_.fn));
+  w.Double(options_.duration);
+  w.Uint(options_.require_ordered ? 1 : 0);
+  w.Uint(options_.emit_revisions ? 1 : 0);
+  w.Double(options_.allowed_lateness);
+  w.Double(last_timestamp_);
+  w.Uint(input_consumed_);
+  w.Uint(shed_late_);
+  w.Uint(window_.size());
+  for (const Entry& e : window_) {
+    w.Double(e.timestamp);
+    w.Double(e.mean);
+    w.Double(e.variance);
+    w.Uint(e.sample_size);
+    w.Uint(e.sequence);
+  }
+  w.Uint(emitted_ends_.size());
+  for (double end : emitted_ends_) w.Double(end);
+  w.Uint(pending_.size());
+  for (const Output& o : pending_) {
+    w.Double(o.window_end);
+    w.Double(o.mean);
+    w.Double(o.variance);
+    w.Uint(o.df);
+    w.Uint(o.revision ? 1 : 0);
+    w.Uint(o.sequence);
+    w.Double(o.membership_prob);
+    w.Uint(o.membership_df_n);
+  }
+  return std::move(w).Finish();
+}
+
+Status TimeWindowAggregate::RestoreCheckpoint(std::string_view blob) {
+  serde::CheckpointReader r(blob);
+  AUSDB_RETURN_NOT_OK(r.ExpectToken("twagg.v1"));
+  AUSDB_ASSIGN_OR_RETURN(uint64_t fn, r.NextUint());
+  AUSDB_ASSIGN_OR_RETURN(double duration, r.NextDouble());
+  AUSDB_ASSIGN_OR_RETURN(uint64_t require_ordered, r.NextUint());
+  AUSDB_ASSIGN_OR_RETURN(uint64_t emit_revisions, r.NextUint());
+  AUSDB_ASSIGN_OR_RETURN(double allowed_lateness, r.NextDouble());
+  if (fn != static_cast<uint64_t>(options_.fn) ||
+      duration != options_.duration ||
+      (require_ordered != 0) != options_.require_ordered ||
+      (emit_revisions != 0) != options_.emit_revisions ||
+      allowed_lateness != options_.allowed_lateness) {
+    return Status::InvalidArgument(
+        "checkpoint was taken from a differently configured "
+        "TimeWindowAggregate");
+  }
+  AUSDB_ASSIGN_OR_RETURN(double last_timestamp, r.NextDouble());
+  AUSDB_ASSIGN_OR_RETURN(uint64_t input_consumed, r.NextUint());
+  AUSDB_ASSIGN_OR_RETURN(uint64_t shed_late, r.NextUint());
+  // Each entry is 3 hex doubles + 2 uints: >= 40 bytes with separators.
+  AUSDB_ASSIGN_OR_RETURN(uint64_t count, r.NextCount(40));
+  std::deque<Entry> window;
+  for (uint64_t i = 0; i < count; ++i) {
+    Entry e;
+    AUSDB_ASSIGN_OR_RETURN(e.timestamp, r.NextDouble());
+    AUSDB_ASSIGN_OR_RETURN(e.mean, r.NextDouble());
+    AUSDB_ASSIGN_OR_RETURN(e.variance, r.NextDouble());
+    AUSDB_ASSIGN_OR_RETURN(e.sample_size, r.NextUint());
+    AUSDB_ASSIGN_OR_RETURN(e.sequence, r.NextUint());
+    window.push_back(e);
+  }
+  AUSDB_ASSIGN_OR_RETURN(uint64_t ends_count, r.NextCount(17));
+  std::deque<double> ends;
+  for (uint64_t i = 0; i < ends_count; ++i) {
+    AUSDB_ASSIGN_OR_RETURN(double end, r.NextDouble());
+    ends.push_back(end);
+  }
+  // Each pending output: 4 hex doubles + 4 uints: >= 60 bytes.
+  AUSDB_ASSIGN_OR_RETURN(uint64_t pending_count, r.NextCount(60));
+  std::deque<Output> pending;
+  for (uint64_t i = 0; i < pending_count; ++i) {
+    Output o;
+    AUSDB_ASSIGN_OR_RETURN(o.window_end, r.NextDouble());
+    AUSDB_ASSIGN_OR_RETURN(o.mean, r.NextDouble());
+    AUSDB_ASSIGN_OR_RETURN(o.variance, r.NextDouble());
+    AUSDB_ASSIGN_OR_RETURN(o.df, r.NextUint());
+    AUSDB_ASSIGN_OR_RETURN(uint64_t revision, r.NextUint());
+    o.revision = revision != 0;
+    AUSDB_ASSIGN_OR_RETURN(o.sequence, r.NextUint());
+    AUSDB_ASSIGN_OR_RETURN(o.membership_prob, r.NextDouble());
+    AUSDB_ASSIGN_OR_RETURN(o.membership_df_n, r.NextUint());
+    pending.push_back(o);
+  }
+  window_ = std::move(window);
+  emitted_ends_ = std::move(ends);
+  pending_ = std::move(pending);
+  last_timestamp_ = last_timestamp;
+  input_consumed_ = input_consumed;
+  shed_late_ = shed_late;
+  return Status::OK();
 }
 
 }  // namespace engine

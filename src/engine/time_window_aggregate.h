@@ -27,13 +27,38 @@ struct TimeWindowOptions {
   /// Require non-decreasing timestamps (stream order). When false,
   /// out-of-order tuples are accepted and evicted by value.
   bool require_ordered = true;
+
+  /// Event-time revision mode: emit (agg, window_end, revision) tuples,
+  /// and accept late tuples up to `allowed_lateness` behind the max
+  /// observed timestamp by re-emitting every already-emitted window the
+  /// straggler falls into with corrected mean/variance/sample_size and
+  /// revision=true. Requires require_ordered=false. Downstream folds by
+  /// window_end keeping the last output: after all revisions, the fold
+  /// is byte-identical to what in-order delivery would have produced.
+  bool emit_revisions = false;
+
+  /// Lateness horizon of revision mode, in timestamp units: a tuple
+  /// more than this behind the max observed timestamp is shed (counted
+  /// in shed_late()), because the entries needed to revise its windows
+  /// have already been retired. Only meaningful with emit_revisions.
+  double allowed_lateness = 0.0;
 };
 
 /// \brief Time-based (RANGE) sliding-window aggregate over one uncertain
 /// column: the duration-based sibling of the count-based WindowAggregate.
 ///
 /// The timestamp column must be a deterministic double. One output tuple
-/// is produced per input, with schema (<output_name>:uncertain).
+/// is produced per input, with schema (<output_name>:uncertain) — or, in
+/// revision mode, (<output_name>:uncertain, window_end:double,
+/// revision:bool), where a late arrival additionally re-emits each
+/// affected window.
+///
+/// Determinism contract (revision mode): the window entry set is kept
+/// sorted by (timestamp, sequence) and every emission recomputes its
+/// aggregate by one scan over that ordering, so an output for window
+/// end W depends only on the *set* of entries in (W-duration, W] —
+/// never on arrival order — and revision folds are bit-identical across
+/// disorder within the lateness bound.
 class TimeWindowAggregate final : public Operator {
  public:
   static Result<std::unique_ptr<TimeWindowAggregate>> Make(
@@ -50,17 +75,54 @@ class TimeWindowAggregate final : public Operator {
 
   Status Close() override { return child_->Close(); }
 
+  /// Checkpoints the open window, the revisable-window bookkeeping and
+  /// any undelivered revision outputs (format token "twagg.v1") so a
+  /// restored pipeline resumes bit-for-bit mid-disorder.
+  Result<std::string> SaveCheckpoint() const override;
+  Status RestoreCheckpoint(std::string_view blob) override;
+
+  /// Child tuples pulled so far — the input position a re-seeked source
+  /// must resume after when restoring this operator's checkpoint.
+  uint64_t input_consumed() const { return input_consumed_; }
+
+  /// Late tuples beyond the allowed-lateness horizon, dropped.
+  uint64_t shed_late() const { return shed_late_; }
+
  private:
   struct Entry {
     double timestamp;
     double mean;
     double variance;
     size_t sample_size;
+    uint64_t sequence;
+  };
+
+  /// One computed (possibly revision) output awaiting delivery.
+  struct Output {
+    double window_end;
+    double mean;
+    double variance;
+    size_t df;
+    bool revision;
+    uint64_t sequence;
+    double membership_prob;
+    size_t membership_df_n;
   };
 
   TimeWindowAggregate(OperatorPtr child, size_t ts_index,
                       size_t value_index, Schema out_schema,
                       TimeWindowOptions options);
+
+  Result<std::optional<Tuple>> NextLegacy();
+  Result<std::optional<Tuple>> NextRevising();
+  Result<Entry> ExtractEntry(const Tuple& t, double ts) const;
+  /// Inserts keeping window_ sorted by (timestamp, sequence).
+  void InsertSorted(const Entry& e);
+  /// Aggregate over entries with timestamp in (end - duration, end],
+  /// scanned in the deque's (timestamp, sequence) order.
+  Output ComputeWindow(double window_end, bool revision,
+                       const Tuple& trigger) const;
+  Tuple MaterializeOutput(const Output& o) const;
 
   OperatorPtr child_;
   size_t ts_index_;
@@ -69,6 +131,13 @@ class TimeWindowAggregate final : public Operator {
   TimeWindowOptions options_;
   std::deque<Entry> window_;
   double last_timestamp_ = -std::numeric_limits<double>::infinity();
+  uint64_t input_consumed_ = 0;
+  uint64_t shed_late_ = 0;
+  /// Revision mode: distinct emitted window ends still inside the
+  /// allowed-lateness horizon (ascending), and computed outputs not yet
+  /// delivered through Next().
+  std::deque<double> emitted_ends_;
+  std::deque<Output> pending_;
 };
 
 }  // namespace engine

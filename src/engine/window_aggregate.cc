@@ -15,6 +15,12 @@ Result<std::unique_ptr<WindowAggregate>> WindowAggregate::Make(
   if (options.window_size == 0) {
     return Status::InvalidArgument("window size must be >= 1");
   }
+  if (options.emit_revisions && options.kind == WindowKind::kTumbling) {
+    return Status::InvalidArgument(
+        "revision mode requires a sliding window: a tumbling window "
+        "resets its state at each emission, so there is no current "
+        "window left to revise");
+  }
   AUSDB_ASSIGN_OR_RETURN(size_t idx, child->schema().IndexOf(column));
   const FieldType type = child->schema().field(idx).type;
   if (type != FieldType::kUncertain && type != FieldType::kDouble) {
@@ -24,6 +30,10 @@ Result<std::unique_ptr<WindowAggregate>> WindowAggregate::Make(
   Schema out_schema;
   AUSDB_RETURN_NOT_OK(
       out_schema.AddField({std::move(output_name), FieldType::kUncertain}));
+  if (options.emit_revisions) {
+    AUSDB_RETURN_NOT_OK(
+        out_schema.AddField({"revision", FieldType::kBool}));
+  }
   return std::unique_ptr<WindowAggregate>(new WindowAggregate(
       std::move(child), idx, std::move(out_schema), options));
 }
@@ -34,7 +44,13 @@ WindowAggregate::WindowAggregate(OperatorPtr child, size_t column_index,
     : child_(std::move(child)),
       column_index_(column_index),
       schema_(std::move(out_schema)),
-      options_(options) {}
+      options_(options) {
+  if (options_.emit_revisions) {
+    revising_ = std::make_unique<KeyWindowState>();
+  }
+}
+
+WindowAggregate::~WindowAggregate() = default;
 
 void WindowAggregate::Push(const Entry& e) {
   window_.push_back(e);
@@ -67,8 +83,29 @@ Result<std::optional<Tuple>> WindowAggregate::Next() {
     AUSDB_ASSIGN_OR_RETURN(
         WindowEntry we, WindowEntryFromValue(t->value(column_index_),
                                              options_));
+    we.sequence = t->sequence();
+
+    if (options_.emit_revisions) {
+      bool shed = false;
+      std::optional<KeyWindowState::Emission> emission =
+          revising_->ObserveRevising(we, options_, &shed);
+      if (shed) ++shed_late_;
+      if (!emission.has_value()) continue;
+      dist::RandomVar agg(
+          std::make_shared<dist::GaussianDist>(
+              emission->aggregate.mean,
+              std::max(0.0, emission->aggregate.variance)),
+          emission->aggregate.df);
+      Tuple out({expr::Value(std::move(agg)),
+                 expr::Value(emission->revision)});
+      out.set_sequence(t->sequence());
+      out.set_membership_prob(t->membership_prob());
+      out.set_membership_df_n(t->membership_df_n());
+      return std::optional<Tuple>(std::move(out));
+    }
+
     Entry e;
-    e.sequence = t->sequence();
+    e.sequence = we.sequence;
     e.mean = we.mean;
     e.variance = we.variance;
     e.sample_size = we.sample_size;
@@ -118,12 +155,14 @@ Status WindowAggregate::Reset() {
   sum_mean_.Reset();
   sum_variance_.Reset();
   input_consumed_ = 0;
+  shed_late_ = 0;
+  if (revising_ != nullptr) *revising_ = KeyWindowState{};
   return child_->Reset();
 }
 
 Result<std::string> WindowAggregate::SaveCheckpoint() const {
   serde::CheckpointWriter w;
-  w.Token("wagg.v3");
+  w.Token("wagg.v4");
   w.Uint(static_cast<uint64_t>(options_.kind));
   w.Uint(static_cast<uint64_t>(options_.fn));
   w.Uint(options_.window_size);
@@ -132,13 +171,36 @@ Result<std::string> WindowAggregate::SaveCheckpoint() const {
   w.Double(sum_mean_.compensation());
   w.Double(sum_variance_.raw_sum());
   w.Double(sum_variance_.compensation());
-  w.Uint(window_.size());
-  for (const Entry& e : window_) {
-    w.Double(e.mean);
-    w.Double(e.variance);
-    w.Uint(e.sample_size);
-    w.Uint(e.sequence);
+  // In revision mode the legacy accumulators above stay zero (every
+  // emission is a scratch scan) and the live window is the
+  // sequence-sorted one.
+  const std::deque<WindowEntry>* rwin =
+      revising_ != nullptr ? &revising_->window : nullptr;
+  if (rwin != nullptr) {
+    w.Uint(rwin->size());
+    for (const WindowEntry& e : *rwin) {
+      w.Double(e.mean);
+      w.Double(e.variance);
+      w.Uint(e.sample_size);
+      w.Uint(e.sequence);
+    }
+  } else {
+    w.Uint(window_.size());
+    for (const Entry& e : window_) {
+      w.Double(e.mean);
+      w.Double(e.variance);
+      w.Uint(e.sample_size);
+      w.Uint(e.sequence);
+    }
   }
+  // v4 trailing block: revision-mode bookkeeping (all zero when the
+  // operator runs without revisions).
+  w.Uint(options_.emit_revisions ? 1 : 0);
+  w.Uint(revising_ != nullptr && revising_->any_observed ? 1 : 0);
+  w.Uint(revising_ != nullptr ? revising_->max_sequence : 0);
+  w.Uint(revising_ != nullptr && revising_->any_evicted ? 1 : 0);
+  w.Uint(revising_ != nullptr ? revising_->evicted_horizon : 0);
+  w.Uint(shed_late_);
   return std::move(w).Finish();
 }
 
@@ -147,12 +209,19 @@ Status WindowAggregate::RestoreCheckpoint(std::string_view blob) {
   AUSDB_ASSIGN_OR_RETURN(std::string version, r.NextToken());
   // v1 blobs predate compensated summation and carry plain sums; they
   // restore with zero compensation. v2 added the compensation terms;
-  // v3 added the input position (restored as zero from older blobs).
+  // v3 added the input position (restored as zero from older blobs);
+  // v4 added the revision-mode bookkeeping block.
   const bool v1 = version == "wagg.v1";
   const bool v3 = version == "wagg.v3";
-  if (!v1 && !v3 && version != "wagg.v2") {
+  const bool v4 = version == "wagg.v4";
+  if (!v1 && !v3 && !v4 && version != "wagg.v2") {
     return Status::Corruption("unknown WindowAggregate checkpoint "
                               "version '" + version + "'");
+  }
+  if (!v4 && options_.emit_revisions) {
+    return Status::InvalidArgument(
+        "checkpoint predates revision mode and cannot restore into a "
+        "revision-mode WindowAggregate");
   }
   AUSDB_ASSIGN_OR_RETURN(uint64_t kind, r.NextUint());
   AUSDB_ASSIGN_OR_RETURN(uint64_t fn, r.NextUint());
@@ -165,7 +234,7 @@ Status WindowAggregate::RestoreCheckpoint(std::string_view blob) {
         "WindowAggregate");
   }
   uint64_t input_consumed = 0;
-  if (v3) {
+  if (v3 || v4) {
     AUSDB_ASSIGN_OR_RETURN(input_consumed, r.NextUint());
   }
   AUSDB_ASSIGN_OR_RETURN(double sum_mean, r.NextDouble());
@@ -185,19 +254,58 @@ Status WindowAggregate::RestoreCheckpoint(std::string_view blob) {
   min_deque_.clear();
   sum_mean_.Reset();
   sum_variance_.Reset();
+  std::deque<WindowEntry> rwin;
   for (uint64_t i = 0; i < count; ++i) {
     Entry e;
     AUSDB_ASSIGN_OR_RETURN(e.mean, r.NextDouble());
     AUSDB_ASSIGN_OR_RETURN(e.variance, r.NextDouble());
     AUSDB_ASSIGN_OR_RETURN(e.sample_size, r.NextUint());
     AUSDB_ASSIGN_OR_RETURN(e.sequence, r.NextUint());
-    Push(e);  // rebuilds min_deque_
+    if (options_.emit_revisions) {
+      WindowEntry we;
+      we.mean = e.mean;
+      we.variance = e.variance;
+      we.sample_size = e.sample_size;
+      we.sequence = e.sequence;
+      rwin.push_back(we);
+    } else {
+      Push(e);  // rebuilds min_deque_
+    }
   }
-  // Push() resummed the entries; overwrite with the checkpointed
-  // accumulators so they keep their exact floating-point history.
-  sum_mean_.Restore(sum_mean, comp_mean);
-  sum_variance_.Restore(sum_variance, comp_variance);
+  uint64_t ckpt_revisions = 0;
+  uint64_t any_observed = 0;
+  uint64_t max_sequence = 0;
+  uint64_t any_evicted = 0;
+  uint64_t evicted_horizon = 0;
+  uint64_t shed_late = 0;
+  if (v4) {
+    AUSDB_ASSIGN_OR_RETURN(ckpt_revisions, r.NextUint());
+    AUSDB_ASSIGN_OR_RETURN(any_observed, r.NextUint());
+    AUSDB_ASSIGN_OR_RETURN(max_sequence, r.NextUint());
+    AUSDB_ASSIGN_OR_RETURN(any_evicted, r.NextUint());
+    AUSDB_ASSIGN_OR_RETURN(evicted_horizon, r.NextUint());
+    AUSDB_ASSIGN_OR_RETURN(shed_late, r.NextUint());
+  }
+  if ((ckpt_revisions != 0) != options_.emit_revisions) {
+    return Status::InvalidArgument(
+        "checkpoint was taken from a differently configured "
+        "WindowAggregate (revision mode mismatch)");
+  }
+  if (options_.emit_revisions) {
+    *revising_ = KeyWindowState{};
+    revising_->window = std::move(rwin);
+    revising_->any_observed = any_observed != 0;
+    revising_->max_sequence = max_sequence;
+    revising_->any_evicted = any_evicted != 0;
+    revising_->evicted_horizon = evicted_horizon;
+  } else {
+    // Push() resummed the entries; overwrite with the checkpointed
+    // accumulators so they keep their exact floating-point history.
+    sum_mean_.Restore(sum_mean, comp_mean);
+    sum_variance_.Restore(sum_variance, comp_variance);
+  }
   input_consumed_ = input_consumed;
+  shed_late_ = shed_late;
   return Status::OK();
 }
 

@@ -1,7 +1,9 @@
 #ifndef AUSDB_ENGINE_WINDOW_AGGREGATE_H_
 #define AUSDB_ENGINE_WINDOW_AGGREGATE_H_
 
+#include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 
 #include "src/common/math_util.h"
@@ -9,6 +11,8 @@
 
 namespace ausdb {
 namespace engine {
+
+struct KeyWindowState;
 
 /// Aggregate function of a sliding window.
 enum class WindowAggFn {
@@ -44,6 +48,16 @@ struct WindowAggregateOptions {
   /// sizes streams use. When false (the default), non-Gaussian inputs
   /// are a NotImplemented error.
   bool allow_clt_approximation = false;
+
+  /// Event-order revision mode (sliding windows only): the schema gains
+  /// a trailing revision:bool column, the window is kept sorted by the
+  /// source-assigned sequence number, and a tuple arriving with a
+  /// sequence below the max seen is folded into the current window,
+  /// re-emitting it with corrected mean/variance/sample_size and
+  /// revision=true. Stragglers older than every retained position are
+  /// shed (counted): only the current window is ever revised — the
+  /// bounded-memory contract of count-based lateness.
+  bool emit_revisions = false;
 };
 
 /// \brief Count-based sliding-window aggregate over one uncertain column
@@ -57,10 +71,14 @@ struct WindowAggregateOptions {
 class WindowAggregate final : public Operator {
  public:
   /// `column` must exist in the child schema and be kUncertain or
-  /// kDouble. `output_name` names the single output field.
+  /// kDouble. `output_name` names the single output field. With
+  /// `options.emit_revisions` the schema is (<output_name>:uncertain,
+  /// revision:bool).
   static Result<std::unique_ptr<WindowAggregate>> Make(
       OperatorPtr child, std::string column, std::string output_name,
       WindowAggregateOptions options = {});
+
+  ~WindowAggregate() override;
 
   const Schema& schema() const override { return schema_; }
   Result<std::optional<Tuple>> Next() override;
@@ -74,15 +92,20 @@ class WindowAggregate final : public Operator {
   /// Checkpointing serializes the open window (entries plus the exact
   /// running sums and their Neumaier compensation terms, preserving the
   /// accumulators' floating-point history) so a restarted pipeline
-  /// resumes mid-window bit-for-bit. Writes the v3 format (which adds
-  /// the input position); restores v3, v2 (no input position) and legacy
-  /// v1 blobs (no compensation terms either; restored as zero).
+  /// resumes mid-window bit-for-bit. Writes the v4 format (which adds
+  /// the revision-mode bookkeeping); restores v4, v3 (no revision
+  /// block), v2 (no input position either) and legacy v1 blobs (no
+  /// compensation terms either; restored as zero).
   Result<std::string> SaveCheckpoint() const override;
   Status RestoreCheckpoint(std::string_view blob) override;
 
   /// Child tuples pulled so far — the input position a re-seeked source
   /// must resume after when restoring this operator's checkpoint.
   uint64_t input_consumed() const { return input_consumed_; }
+
+  /// Revision mode: late tuples older than every retained window
+  /// position, dropped (loudly) instead of revised.
+  uint64_t shed_late() const { return shed_late_; }
 
  private:
   WindowAggregate(OperatorPtr child, size_t column_index,
@@ -112,6 +135,12 @@ class WindowAggregate final : public Operator {
   /// Monotonic (non-decreasing sample_size) deque of window entries used
   /// to answer "min sample size in window" in O(1) amortized.
   std::deque<Entry> min_deque_;
+  /// Revision-mode state (sequence-sorted window, scratch-scan sums) —
+  /// the same KeyWindowState arithmetic the partitioned operators run;
+  /// null unless options_.emit_revisions. Incomplete here to avoid a
+  /// header cycle with window_state.h.
+  std::unique_ptr<KeyWindowState> revising_;
+  uint64_t shed_late_ = 0;
 };
 
 }  // namespace engine

@@ -82,5 +82,77 @@ std::optional<KeyWindowState::Aggregate> KeyWindowState::Observe(
   return agg;
 }
 
+KeyWindowState::Aggregate KeyWindowState::ScratchAggregate(
+    const WindowAggregateOptions& options) const {
+  double sum_m = 0.0, sum_v = 0.0;
+  Aggregate agg;
+  agg.df = dist::RandomVar::kCertainSampleSize;
+  for (const WindowEntry& entry : window) {
+    sum_m += entry.mean;
+    sum_v += entry.variance;
+    agg.df = std::min(agg.df, entry.sample_size);
+  }
+  const double w = static_cast<double>(window.size());
+  agg.mean = sum_m;
+  agg.variance = sum_v;
+  if (options.fn == WindowAggFn::kAvg && !window.empty()) {
+    agg.mean /= w;
+    agg.variance /= w * w;
+  }
+  return agg;
+}
+
+std::optional<KeyWindowState::Emission> KeyWindowState::ObserveRevising(
+    const WindowEntry& e, const WindowAggregateOptions& options,
+    bool* shed_late) {
+  if (shed_late != nullptr) *shed_late = false;
+  const bool late = any_observed && e.sequence < max_sequence;
+
+  if (!late) {
+    any_observed = true;
+    max_sequence = e.sequence;
+    window.push_back(e);
+    if (window.size() > options.window_size) {
+      evicted_horizon = window.front().sequence;
+      any_evicted = true;
+      window.pop_front();
+    }
+    if (window.size() < options.window_size && !options.emit_partial) {
+      return std::nullopt;
+    }
+    return Emission{ScratchAggregate(options), /*revision=*/false};
+  }
+
+  // Late arrival: only the *current* window is revisable (bounded
+  // memory). Entries at/below the eviction horizon have slid past.
+  if (any_evicted && e.sequence <= evicted_horizon) {
+    if (shed_late != nullptr) *shed_late = true;
+    return std::nullopt;
+  }
+  auto pos = window.end();
+  while (pos != window.begin() && (pos - 1)->sequence > e.sequence) {
+    --pos;
+  }
+  window.insert(pos, e);
+  if (window.size() > options.window_size) {
+    const uint64_t displaced = window.front().sequence;
+    evicted_horizon = displaced;
+    any_evicted = true;
+    window.pop_front();
+    if (displaced == e.sequence) {
+      // The straggler was older than everything retained: displaced
+      // right back out, no state change to re-emit.
+      if (shed_late != nullptr) *shed_late = true;
+      return std::nullopt;
+    }
+  }
+  if (window.size() < options.window_size && !options.emit_partial) {
+    // Nothing was emitted for this span yet; the late entry simply
+    // joins the still-filling window.
+    return std::nullopt;
+  }
+  return Emission{ScratchAggregate(options), /*revision=*/true};
+}
+
 }  // namespace engine
 }  // namespace ausdb

@@ -14,11 +14,14 @@ namespace ausdb {
 namespace engine {
 
 /// One window element: the moments and d.f. sample size extracted from an
-/// input value (paper Lemma 3 propagates the minimum sample size).
+/// input value (paper Lemma 3 propagates the minimum sample size), plus
+/// the source-assigned arrival sequence — the event-order key revision
+/// mode sorts and dedupes by.
 struct WindowEntry {
   double mean = 0.0;
   double variance = 0.0;
   size_t sample_size = 0;
+  uint64_t sequence = 0;
 };
 
 /// \brief Extracts a WindowEntry from an aggregate-column value.
@@ -64,6 +67,41 @@ struct KeyWindowState {
   /// returns the aggregate when this arrival produces an emission.
   std::optional<Aggregate> Observe(const WindowEntry& e,
                                    const WindowAggregateOptions& options);
+
+  /// One revision-mode emission: the (possibly corrected) current-window
+  /// aggregate, flagged when it replaces an earlier emission.
+  struct Emission {
+    Aggregate aggregate;
+    bool revision = false;
+  };
+
+  /// \brief Revision-mode (sliding-only) variant of Observe: the window
+  /// is kept sorted by sequence, an in-order entry emits normally
+  /// (revision=false), and a late entry — sequence below the max seen —
+  /// is inserted in place and re-emits the corrected current window
+  /// (revision=true). A late entry older than every retained position
+  /// (at/below the eviction horizon, or displaced right back out of a
+  /// full window) is shed: `shed_late` is set and nothing is emitted —
+  /// the bounded-memory contract only ever revises the *current*
+  /// window, never windows already slid past.
+  ///
+  /// Determinism: every emission recomputes sums by one scan over the
+  /// sequence-sorted window (never the incremental accumulators), so an
+  /// emission depends only on the entry *set* — a late arrival folds to
+  /// the same bits as in-order delivery of the same entries.
+  std::optional<Emission> ObserveRevising(
+      const WindowEntry& e, const WindowAggregateOptions& options,
+      bool* shed_late);
+
+  /// Revision-mode bookkeeping (unused by plain Observe).
+  uint64_t max_sequence = 0;
+  bool any_observed = false;
+  uint64_t evicted_horizon = 0;
+  bool any_evicted = false;
+
+ private:
+  /// Plain-double scan over the current window in deque order.
+  Aggregate ScratchAggregate(const WindowAggregateOptions& options) const;
 };
 
 }  // namespace engine

@@ -1,0 +1,33 @@
+#include "src/hypothesis/drift_test.h"
+
+#include "src/stats/ks_test.h"
+
+namespace ausdb {
+namespace hypothesis {
+
+Result<DriftTestResult> KsDriftTest(std::span<const double> window,
+                                    const dist::Distribution& reference,
+                                    double significance,
+                                    size_t min_window) {
+  if (!(significance > 0.0 && significance < 1.0)) {
+    return Status::InvalidArgument(
+        "drift significance must be in (0, 1)");
+  }
+  DriftTestResult result;
+  if (window.size() < min_window) {
+    result.outcome = TestOutcome::kUnsure;
+    return result;
+  }
+  AUSDB_ASSIGN_OR_RETURN(
+      stats::KsResult ks,
+      stats::KsTestAgainstCdf(
+          window, [&reference](double x) { return reference.Cdf(x); }));
+  result.statistic = ks.statistic;
+  result.p_value = ks.p_value;
+  result.outcome = ks.p_value < significance ? TestOutcome::kTrue
+                                             : TestOutcome::kFalse;
+  return result;
+}
+
+}  // namespace hypothesis
+}  // namespace ausdb

@@ -1,0 +1,40 @@
+#ifndef AUSDB_HYPOTHESIS_DRIFT_TEST_H_
+#define AUSDB_HYPOTHESIS_DRIFT_TEST_H_
+
+#include <span>
+
+#include "src/common/result.h"
+#include "src/dist/distribution.h"
+#include "src/hypothesis/test_types.h"
+
+namespace ausdb {
+namespace hypothesis {
+
+/// Outcome of one goodness-of-fit drift check.
+struct DriftTestResult {
+  /// KS statistic of the fresh window against the reference CDF.
+  double statistic = 0.0;
+  /// Asymptotic p-value under H0: "the window was drawn from the
+  /// reference distribution".
+  double p_value = 1.0;
+  /// kTrue = drift (H0 rejected at `significance`), kFalse = no
+  /// evidence of drift, kUnsure = window smaller than `min_window`.
+  TestOutcome outcome = TestOutcome::kUnsure;
+};
+
+/// \brief One-sample KS goodness-of-fit drift test: has the stream
+/// moved away from a previously learned distribution?
+///
+/// This is the hypothesis-test face of model staleness (the same
+/// three-state significance idiom as the paper's predicates): H0 is
+/// "the learned model still fits", and a small p-value is evidence the
+/// distribution drifted. Deterministic — a pure function of the inputs.
+Result<DriftTestResult> KsDriftTest(std::span<const double> window,
+                                    const dist::Distribution& reference,
+                                    double significance,
+                                    size_t min_window = 2);
+
+}  // namespace hypothesis
+}  // namespace ausdb
+
+#endif  // AUSDB_HYPOTHESIS_DRIFT_TEST_H_

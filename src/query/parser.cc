@@ -438,6 +438,18 @@ Result<SelectItem> Parser::ParseSelectItem(ParsedQuery* q, size_t index) {
       }
       AUSDB_RETURN_NOT_OK(ExpectKeyword("ON"));
       AUSDB_ASSIGN_OR_RETURN(spec.range_column, ExpectIdentifier());
+      if (AcceptKeyword("WITHIN")) {
+        AUSDB_ASSIGN_OR_RETURN(spec.within_bound, ExpectNumber());
+        if (!(spec.within_bound > 0.0)) {
+          return Status::ParseError("window WITHIN bound must be > 0");
+        }
+      }
+      if (AcceptKeyword("LATENESS")) {
+        AUSDB_ASSIGN_OR_RETURN(spec.lateness, ExpectNumber());
+        if (!(spec.lateness > 0.0)) {
+          return Status::ParseError("window LATENESS must be > 0");
+        }
+      }
       AUSDB_RETURN_NOT_OK(ExpectSymbol(")"));
     } else {
       AUSDB_RETURN_NOT_OK(ExpectKeyword("ROWS"));

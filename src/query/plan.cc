@@ -26,6 +26,12 @@ std::string ParsedQuery::ToString() const {
     if (window_agg->is_time_based()) {
       os << "RANGE " << window_agg->range_duration << " ON "
          << window_agg->range_column;
+      if (window_agg->within_bound > 0.0) {
+        os << " WITHIN " << window_agg->within_bound;
+      }
+      if (window_agg->lateness > 0.0) {
+        os << " LATENESS " << window_agg->lateness;
+      }
     } else {
       os << "ROWS " << window_agg->rows
          << (window_agg->kind == engine::WindowKind::kTumbling

@@ -22,8 +22,12 @@ struct SelectItem {
 
 /// A window aggregate in the SELECT list:
 ///   AVG(col) OVER (ROWS n [TUMBLE])        -- count-based
-///   AVG(col) OVER (RANGE d ON ts_col)      -- time-based
-/// (and likewise for SUM).
+///   AVG(col) OVER (RANGE d ON ts_col [WITHIN b] [LATENESS l])
+///                                          -- time-based, event-time
+/// (and likewise for SUM). WITHIN b buffers out-of-order tuples up to b
+/// time units behind the watermark and releases them in event-time
+/// order; LATENESS l additionally accepts tuples up to l behind the
+/// watermark by re-emitting the affected windows as revisions.
 struct WindowSpec {
   engine::WindowAggFn fn = engine::WindowAggFn::kAvg;
   std::string column;
@@ -33,6 +37,11 @@ struct WindowSpec {
   /// Time-based form: duration > 0 with the ordering column.
   double range_duration = 0.0;
   std::string range_column;
+  /// WITHIN bound (reorder-buffer lateness bound); 0 = no reordering.
+  double within_bound = 0.0;
+  /// LATENESS horizon (revision mode); 0 = late tuples are an error or
+  /// evicted per the operator's ordering mode.
+  double lateness = 0.0;
   std::string alias;
 
   bool is_time_based() const { return range_duration > 0.0; }

@@ -3,6 +3,7 @@
 #include "src/engine/limit.h"
 #include "src/engine/partitioned_window.h"
 #include "src/engine/project.h"
+#include "src/engine/reorder_buffer.h"
 #include "src/engine/sort.h"
 #include "src/engine/time_window_aggregate.h"
 #include "src/engine/window_aggregate.h"
@@ -41,9 +42,32 @@ Result<engine::OperatorPtr> BuildPlan(const ParsedQuery& query,
         return Status::NotImplemented(
             "GROUP BY with RANGE windows is not supported yet");
       }
+      // WITHIN: reorder in-bound disorder back into event-time order
+      // before the window sees it.
+      if (spec.within_bound > 0.0) {
+        engine::ReorderBufferOptions ro = options.reorder;
+        ro.lateness_bound = spec.within_bound;
+        AUSDB_ASSIGN_OR_RETURN(
+            std::unique_ptr<engine::ReorderBuffer> reorder,
+            engine::ReorderBuffer::Make(std::move(plan), spec.range_column,
+                                        ro));
+        plan = std::move(reorder);
+      }
       engine::TimeWindowOptions two;
       two.duration = spec.range_duration;
       two.fn = spec.fn;
+      if (spec.lateness > 0.0) {
+        // LATENESS: accept post-watermark stragglers by re-emitting the
+        // affected windows as revisions.
+        two.require_ordered = false;
+        two.emit_revisions = true;
+        two.allowed_lateness = spec.lateness;
+      } else if (spec.within_bound > 0.0) {
+        // A reorder stage passes beyond-bound stragglers through
+        // (counted late) rather than dropping them; value-based
+        // eviction absorbs them instead of failing the query.
+        two.require_ordered = false;
+      }
       AUSDB_ASSIGN_OR_RETURN(
           std::unique_ptr<engine::TimeWindowAggregate> agg,
           engine::TimeWindowAggregate::Make(std::move(plan),

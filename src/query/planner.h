@@ -7,6 +7,7 @@
 #include "src/engine/accuracy_annotator.h"
 #include "src/engine/filter.h"
 #include "src/engine/operator.h"
+#include "src/engine/reorder_buffer.h"
 #include "src/query/plan.h"
 
 namespace ausdb {
@@ -17,6 +18,10 @@ struct PlannerOptions {
   engine::FilterOptions filter;
   engine::AccuracyAnnotatorOptions annotator;
   expr::EvalOptions eval;
+  /// Base configuration of the ReorderBuffer a WITHIN clause inserts
+  /// (capacity, overflow policy, metrics); the clause's bound overrides
+  /// lateness_bound.
+  engine::ReorderBufferOptions reorder;
 };
 
 /// \brief Turns a parsed query plus its input stream into an executable

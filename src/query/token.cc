@@ -18,7 +18,8 @@ const std::unordered_set<std::string>& Keywords() {
       "ANALYTICAL",        "BOOTSTRAP",           "CONFIDENCE",
       "SQRT",   "ABS",     "SQUARE", "SQRT_ABS",  "MEAN_CI", "VAR_CI",
       "BIN_CI", "TRUE",    "FALSE",  "GROUP",     "BY",      "TUMBLE",
-      "ORDER",  "ASC",     "DESC",   "LIMIT",     "RANGE",   "ON"};
+      "ORDER",  "ASC",     "DESC",   "LIMIT",     "RANGE",   "ON",
+      "WITHIN", "LATENESS"};
   return *kKeywords;
 }
 

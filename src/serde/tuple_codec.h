@@ -1,0 +1,34 @@
+#ifndef AUSDB_SERDE_TUPLE_CODEC_H_
+#define AUSDB_SERDE_TUPLE_CODEC_H_
+
+#include "src/engine/tuple.h"
+#include "src/serde/checkpoint.h"
+
+namespace ausdb {
+namespace serde {
+
+/// \brief Bit-exact tuple (de)serialization on top of the checkpoint
+/// token stream, for operators that must checkpoint *buffered input
+/// tuples* (the ReorderBuffer's in-flight set) rather than derived
+/// accumulators.
+///
+/// Covered: null/bool/double/string values, point-mass and Gaussian
+/// RandomVars (with d.f. sample size), plus the tuple's sequence number
+/// and membership probability/d.f. Saving a tuple outside this subset —
+/// non-Gaussian distributions, retained raw samples, accuracy
+/// annotations — fails with NotImplemented rather than dropping fields
+/// silently: a checkpoint that forgets state cannot honor the bit-exact
+/// restore contract. Buffering operators sit upstream of annotation, so
+/// the subset covers every tuple they legitimately hold.
+
+/// Appends `tuple` to `w`. See above for the supported subset.
+Status WriteTupleCheckpoint(CheckpointWriter& w, const engine::Tuple& tuple);
+
+/// Reads one WriteTupleCheckpoint() tuple; kCorruption on malformed
+/// input.
+Result<engine::Tuple> ReadTupleCheckpoint(CheckpointReader& r);
+
+}  // namespace serde
+}  // namespace ausdb
+
+#endif  // AUSDB_SERDE_TUPLE_CODEC_H_

@@ -124,7 +124,9 @@ PrefetchStats PrefetchPump::stats() const {
 
 AsyncPrefetchSource::AsyncPrefetchSource(engine::OperatorPtr child,
                                          AsyncPrefetchOptions options)
-    : child_(std::move(child)), pump_(child_.get(), options) {}
+    : child_(std::move(child)), pump_(child_.get(), options) {
+  watermark_.Configure(options, child_->schema());
+}
 
 AsyncPrefetchSource::~AsyncPrefetchSource() { (void)Close(); }
 
@@ -132,7 +134,10 @@ Result<std::optional<engine::Tuple>> AsyncPrefetchSource::Next() {
   if (closed_) {
     return Status::Cancelled("AsyncPrefetchSource: Next after Close");
   }
-  return pump_.Next();
+  AUSDB_RETURN_NOT_OK(watermark_.status);
+  AUSDB_ASSIGN_OR_RETURN(std::optional<engine::Tuple> t, pump_.Next());
+  if (t.has_value()) watermark_.Observe(*t);
+  return std::optional<engine::Tuple>(std::move(t));
 }
 
 Status AsyncPrefetchSource::Reset() {
@@ -140,6 +145,7 @@ Status AsyncPrefetchSource::Reset() {
     return Status::Cancelled("AsyncPrefetchSource: Reset after Close");
   }
   pump_.Stop();
+  watermark_.policy.Reset();
   return child_->Reset();
 }
 
@@ -161,7 +167,9 @@ void AsyncPrefetchSource::BindThreadPool(ThreadPool* pool) {
 AsyncPrefetchReplayableSource::AsyncPrefetchReplayableSource(
     std::unique_ptr<engine::ReplayableSource> child,
     AsyncPrefetchOptions options)
-    : child_(std::move(child)), pump_(child_.get(), options) {}
+    : child_(std::move(child)), pump_(child_.get(), options) {
+  watermark_.Configure(options, child_->schema());
+}
 
 AsyncPrefetchReplayableSource::~AsyncPrefetchReplayableSource() {
   (void)Close();
@@ -173,8 +181,12 @@ AsyncPrefetchReplayableSource::Next() {
     return Status::Cancelled(
         "AsyncPrefetchReplayableSource: Next after Close");
   }
+  AUSDB_RETURN_NOT_OK(watermark_.status);
   AUSDB_ASSIGN_OR_RETURN(std::optional<engine::Tuple> t, pump_.Next());
-  if (t.has_value()) ++delivered_;
+  if (t.has_value()) {
+    ++delivered_;
+    watermark_.Observe(*t);
+  }
   return std::optional<engine::Tuple>(std::move(t));
 }
 
@@ -186,6 +198,7 @@ Status AsyncPrefetchReplayableSource::Reset() {
   pump_.Stop();
   AUSDB_RETURN_NOT_OK(child_->Reset());
   delivered_ = 0;
+  watermark_.policy.Reset();
   return Status::OK();
 }
 
@@ -211,6 +224,8 @@ Status AsyncPrefetchReplayableSource::SeekTo(uint64_t position) {
   pump_.Stop();
   AUSDB_RETURN_NOT_OK(child_->SeekTo(position));
   delivered_ = position;
+  // The replay will re-advance the watermark deterministically.
+  watermark_.policy.Reset();
   return Status::OK();
 }
 

@@ -1,0 +1,148 @@
+#include "src/stream/drift_detector.h"
+
+#include <utility>
+
+#include "src/hypothesis/drift_test.h"
+
+namespace ausdb {
+namespace stream {
+
+DriftDetector::DriftDetector(DriftDetectorOptions options)
+    : options_(std::move(options)) {
+  if (options_.reference_size == 0) options_.reference_size = 1;
+  if (options_.window_size == 0) options_.window_size = 1;
+  if (options_.check_every == 0) options_.check_every = 1;
+  if (options_.patience == 0) options_.patience = 1;
+  if (options_.metrics != nullptr) {
+    const obs::Labels labels = {{"detector", options_.metrics_label}};
+    m_drifted_ = options_.metrics->GetGauge(
+        "ausdb_stream_drift_latched", labels,
+        "1 while the learned model is considered stale");
+    m_statistic_micro_ = options_.metrics->GetGauge(
+        "ausdb_stream_drift_ks_statistic_micro", labels,
+        "Last KS statistic against the reference, in micro-units");
+    m_p_value_micro_ = options_.metrics->GetGauge(
+        "ausdb_stream_drift_p_value_micro", labels,
+        "Last KS p-value against the reference, in micro-units");
+    m_checks_ = options_.metrics->GetCounter(
+        "ausdb_stream_drift_checks_total", labels,
+        "KS drift checks run");
+    m_drift_events_ = options_.metrics->GetCounter(
+        "ausdb_stream_drift_events_total", labels,
+        "Times the detector latched drift");
+  }
+}
+
+void DriftDetector::UpdateMetrics() {
+  if (m_drifted_ != nullptr) m_drifted_->Set(drifted_ ? 1 : 0);
+  if (m_statistic_micro_ != nullptr && last_statistic_.has_value()) {
+    m_statistic_micro_->Set(
+        static_cast<int64_t>(*last_statistic_ * 1e6));
+  }
+  if (m_p_value_micro_ != nullptr && last_p_value_.has_value()) {
+    m_p_value_micro_->Set(static_cast<int64_t>(*last_p_value_ * 1e6));
+  }
+}
+
+Status DriftDetector::LearnReference(const std::vector<double>& sample) {
+  AUSDB_ASSIGN_OR_RETURN(dist::LearnedDistribution learned,
+                         dist::LearnHistogram(sample, options_.learn));
+  reference_ = std::static_pointer_cast<const dist::HistogramDist>(
+      learned.distribution);
+  return Status::OK();
+}
+
+Status DriftDetector::Observe(double value) {
+  ++observations_;
+  if (reference_ == nullptr) {
+    head_.push_back(value);
+    if (head_.size() >= options_.reference_size) {
+      AUSDB_RETURN_NOT_OK(LearnReference(head_));
+      head_.clear();
+      head_.shrink_to_fit();
+    }
+    return Status::OK();
+  }
+
+  window_.push_back(value);
+  if (window_.size() > options_.window_size) window_.pop_front();
+  if (window_.size() < options_.window_size) return Status::OK();
+  if (++since_check_ < options_.check_every) return Status::OK();
+  since_check_ = 0;
+
+  std::vector<double> sample(window_.begin(), window_.end());
+  AUSDB_ASSIGN_OR_RETURN(
+      hypothesis::DriftTestResult result,
+      hypothesis::KsDriftTest(sample, *reference_,
+                              options_.significance));
+  ++checks_run_;
+  if (m_checks_ != nullptr) m_checks_->Increment();
+  last_statistic_ = result.statistic;
+  last_p_value_ = result.p_value;
+  if (result.outcome == hypothesis::TestOutcome::kTrue) {
+    ++consecutive_rejections_;
+    if (!drifted_ && consecutive_rejections_ >= options_.patience) {
+      drifted_ = true;
+      ++drift_events_;
+      if (m_drift_events_ != nullptr) m_drift_events_->Increment();
+    }
+  } else {
+    consecutive_rejections_ = 0;
+  }
+  UpdateMetrics();
+  return Status::OK();
+}
+
+Status DriftDetector::Relearn() {
+  if (window_.empty()) {
+    return Status::InsufficientData(
+        "cannot relearn a drift reference from an empty window");
+  }
+  std::vector<double> sample(window_.begin(), window_.end());
+  AUSDB_RETURN_NOT_OK(LearnReference(sample));
+  drifted_ = false;
+  consecutive_rejections_ = 0;
+  UpdateMetrics();
+  return Status::OK();
+}
+
+void DriftDetector::Reset() {
+  head_.clear();
+  window_.clear();
+  reference_ = nullptr;
+  observations_ = 0;
+  since_check_ = 0;
+  consecutive_rejections_ = 0;
+  drifted_ = false;
+  last_statistic_.reset();
+  last_p_value_.reset();
+  UpdateMetrics();
+}
+
+TupleValidator MakeDriftQuarantineValidator(
+    std::shared_ptr<DriftDetector> detector, std::string column) {
+  return [detector = std::move(detector), column = std::move(column)](
+             const engine::Tuple& tuple,
+             const engine::Schema& schema) -> Status {
+    AUSDB_ASSIGN_OR_RETURN(size_t idx, schema.IndexOf(column));
+    const expr::Value& v = tuple.value(idx);
+    double observed = 0.0;
+    if (v.is_random_var()) {
+      AUSDB_ASSIGN_OR_RETURN(dist::RandomVar rv, v.random_var());
+      observed = rv.Mean();
+    } else {
+      AUSDB_ASSIGN_OR_RETURN(observed, v.AsDouble());
+    }
+    AUSDB_RETURN_NOT_OK(detector->Observe(observed));
+    if (detector->drifted()) {
+      return Status::InsufficientData(
+          "distribution drift detected on column '" + column +
+          "': learned model is stale (KS p=" +
+          std::to_string(detector->last_p_value().value_or(0.0)) + ")");
+    }
+    return Status::OK();
+  };
+}
+
+}  // namespace stream
+}  // namespace ausdb

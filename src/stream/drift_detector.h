@@ -1,0 +1,136 @@
+#ifndef AUSDB_STREAM_DRIFT_DETECTOR_H_
+#define AUSDB_STREAM_DRIFT_DETECTOR_H_
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/dist/histogram.h"
+#include "src/dist/learner.h"
+#include "src/obs/metrics.h"
+#include "src/stream/supervised_source.h"
+
+namespace ausdb {
+namespace stream {
+
+/// Options of a DriftDetector.
+struct DriftDetectorOptions {
+  /// Observations used to learn the reference histogram; the detector
+  /// reports kUnsure (and never drift) until the reference exists.
+  size_t reference_size = 256;
+
+  /// Trailing window tested against the reference.
+  size_t window_size = 128;
+
+  /// Run the KS check every this many observations (after the window
+  /// has filled); checking on every tuple would multiply-count the same
+  /// evidence.
+  size_t check_every = 32;
+
+  /// H0-rejection significance of one KS check.
+  double significance = 0.01;
+
+  /// Consecutive rejecting checks required before the detector declares
+  /// drift — one unlucky window at significance 0.01 is expected every
+  /// 100 checks; `patience` of them back to back is not.
+  size_t patience = 2;
+
+  /// How the reference histogram is learned.
+  dist::HistogramLearnOptions learn;
+
+  /// When non-null, detector state is mirrored into
+  /// `ausdb_stream_drift_*` metrics labeled `{detector=metrics_label}`.
+  /// Write-only (obs contract): detection decisions never read metrics.
+  obs::MetricRegistry* metrics = nullptr;
+  std::string metrics_label = "drift";
+};
+
+/// \brief Windowed distribution-drift detector over one numeric stream
+/// column: learns a reference histogram from the stream's head, then
+/// repeatedly KS-tests the trailing window against it (via
+/// hypothesis::KsDriftTest) and latches `drifted()` after `patience`
+/// consecutive rejections.
+///
+/// Deterministic: decisions are a pure function of the observed value
+/// sequence. The detector is passive — it never blocks a tuple itself;
+/// MakeDriftQuarantineValidator() turns its latched state into a
+/// SupervisedScan validator so the existing degradation/quarantine path
+/// diverts tuples while the learned model is stale.
+class DriftDetector {
+ public:
+  explicit DriftDetector(DriftDetectorOptions options = {});
+
+  /// Feeds one observation; runs a KS check when one is due. Returns a
+  /// non-OK status only on internal failure (degenerate reference
+  /// sample), which callers may treat as "cannot monitor".
+  Status Observe(double value);
+
+  /// True while the model is considered stale (latched after `patience`
+  /// consecutive rejections; cleared by Relearn() or Reset()).
+  bool drifted() const { return drifted_; }
+
+  /// Most recent KS statistic / p-value; nullopt before the first
+  /// check.
+  std::optional<double> last_statistic() const { return last_statistic_; }
+  std::optional<double> last_p_value() const { return last_p_value_; }
+
+  /// The learned reference, once `reference_size` observations arrived.
+  const std::shared_ptr<const dist::HistogramDist>& reference() const {
+    return reference_;
+  }
+
+  size_t observations() const { return observations_; }
+  size_t checks_run() const { return checks_run_; }
+  size_t drift_events() const { return drift_events_; }
+
+  /// Discards the stale reference and relearns it from the current
+  /// trailing window — the "quarantine the stale model, adopt the new
+  /// regime" recovery action. Clears the drift latch.
+  Status Relearn();
+
+  /// Forgets everything (stream Reset).
+  void Reset();
+
+ private:
+  Status LearnReference(const std::vector<double>& sample);
+  void UpdateMetrics();
+
+  DriftDetectorOptions options_;
+  std::vector<double> head_;
+  std::deque<double> window_;
+  std::shared_ptr<const dist::HistogramDist> reference_;
+  size_t observations_ = 0;
+  size_t since_check_ = 0;
+  size_t consecutive_rejections_ = 0;
+  size_t checks_run_ = 0;
+  size_t drift_events_ = 0;
+  bool drifted_ = false;
+  std::optional<double> last_statistic_;
+  std::optional<double> last_p_value_;
+
+  /// Registry-owned metrics; null when options_.metrics is null.
+  obs::Gauge* m_drifted_ = nullptr;
+  obs::Gauge* m_statistic_micro_ = nullptr;
+  obs::Gauge* m_p_value_micro_ = nullptr;
+  obs::Counter* m_checks_ = nullptr;
+  obs::Counter* m_drift_events_ = nullptr;
+};
+
+/// \brief Bridges drift detection into the SupervisedScan degradation
+/// path: the returned validator feeds `column` of every tuple to the
+/// detector and rejects tuples (kInsufficientData — accuracy cannot be
+/// derived from a stale model) while `detector->drifted()` holds, so
+/// the scan degrades or quarantines them instead of the stale model
+/// silently poisoning downstream confidence intervals.
+///
+/// Uncertain fields contribute their mean; deterministic doubles
+/// contribute themselves. Non-numeric columns fail validation outright.
+TupleValidator MakeDriftQuarantineValidator(
+    std::shared_ptr<DriftDetector> detector, std::string column);
+
+}  // namespace stream
+}  // namespace ausdb
+
+#endif  // AUSDB_STREAM_DRIFT_DETECTOR_H_

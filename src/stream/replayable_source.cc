@@ -1,5 +1,7 @@
 #include "src/stream/replayable_source.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <utility>
 
@@ -74,6 +76,87 @@ Status ReplayableKeyedGaussianSource::SeekTo(uint64_t position) {
     }
   }
   produced_ = position;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ReplayableEventTimeSource>>
+ReplayableEventTimeSource::Make(EventTimeSourceOptions options) {
+  if (options.count == 0) {
+    return Status::InvalidArgument("event-time source count must be >= 1");
+  }
+  if (!std::isfinite(options.time_step) || options.time_step <= 0.0) {
+    return Status::InvalidArgument(
+        "event-time source time_step must be finite and > 0");
+  }
+  if (!std::isfinite(options.start_time)) {
+    return Status::InvalidArgument(
+        "event-time source start_time must be finite");
+  }
+  if (options.points_per_item < 2) {
+    return Status::InvalidArgument(
+        "learning a Gaussian needs >= 2 points per tuple");
+  }
+  engine::Schema schema;
+  AUSDB_RETURN_NOT_OK(schema.AddField({"ts", engine::FieldType::kDouble}));
+  AUSDB_RETURN_NOT_OK(
+      schema.AddField({"value", engine::FieldType::kUncertain}));
+
+  Rng rng(options.seed);
+  std::vector<engine::Tuple> tuples;
+  tuples.reserve(options.count);
+  std::vector<double> points;
+  for (size_t i = 0; i < options.count; ++i) {
+    const double ts =
+        options.start_time + static_cast<double>(i) * options.time_step;
+    points.clear();
+    for (size_t j = 0; j < options.points_per_item; ++j) {
+      points.push_back(stats::SampleNormal(rng, options.mu, options.sigma));
+    }
+    AUSDB_ASSIGN_OR_RETURN(dist::LearnedDistribution learned,
+                           dist::LearnGaussian(points));
+    engine::Tuple t({expr::Value(ts), expr::Value(dist::RandomVar(learned))});
+    t.set_sequence(i);
+    tuples.push_back(std::move(t));
+  }
+
+  // Bake in bounded disorder: shuffle within disjoint blocks of
+  // max_displacement + 1, so |delivery index - event index| never
+  // exceeds max_displacement. Deterministic — the same seed always
+  // yields the same delivery order.
+  if (options.max_displacement > 0) {
+    const size_t block = options.max_displacement + 1;
+    for (size_t begin = 0; begin < tuples.size(); begin += block) {
+      const size_t end = std::min(begin + block, tuples.size());
+      for (size_t i = end - 1; i > begin; --i) {
+        const size_t j = begin + rng.NextBelow(i - begin + 1);
+        std::swap(tuples[i], tuples[j]);
+      }
+    }
+  }
+  return std::unique_ptr<ReplayableEventTimeSource>(
+      new ReplayableEventTimeSource(std::move(schema), std::move(tuples)));
+}
+
+ReplayableEventTimeSource::ReplayableEventTimeSource(
+    engine::Schema schema, std::vector<engine::Tuple> tuples)
+    : schema_(std::move(schema)), tuples_(std::move(tuples)) {}
+
+Result<std::optional<engine::Tuple>> ReplayableEventTimeSource::Next() {
+  if (pos_ >= tuples_.size()) {
+    return std::optional<engine::Tuple>(std::nullopt);
+  }
+  return std::optional<engine::Tuple>(tuples_[pos_++]);
+}
+
+Status ReplayableEventTimeSource::Reset() { return SeekTo(0); }
+
+Status ReplayableEventTimeSource::SeekTo(uint64_t position) {
+  if (position > tuples_.size()) {
+    return Status::InvalidArgument(
+        "cannot seek to " + std::to_string(position) + ": stream has " +
+        std::to_string(tuples_.size()) + " tuples");
+  }
+  pos_ = position;
   return Status::OK();
 }
 

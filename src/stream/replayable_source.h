@@ -65,6 +65,60 @@ class ReplayableKeyedGaussianSource final : public engine::ReplayableSource {
   std::vector<double> buffer_;
 };
 
+/// Options of ReplayableEventTimeSource.
+struct EventTimeSourceOptions {
+  /// Tuples produced in total; must be > 0.
+  size_t count = 1000;
+
+  /// Event time of tuple i (in original order) is
+  /// `start_time + i * time_step`; time_step must be finite and > 0.
+  double start_time = 0.0;
+  double time_step = 1.0;
+
+  /// Bounded disorder baked into the delivery order: the event-ordered
+  /// stream is cut into blocks of `max_displacement + 1` tuples and each
+  /// block is shuffled with the seeded Rng, so no tuple is displaced by
+  /// more than max_displacement positions. 0 = delivered in event order.
+  size_t max_displacement = 0;
+
+  /// Raw data points drawn per tuple to learn its Gaussian from (>= 2).
+  size_t points_per_item = 4;
+  double mu = 100.0;
+  double sigma = 5.0;
+
+  uint64_t seed = 42;
+};
+
+/// \brief Replayable timestamped stream (ts:double, value:uncertain)
+/// with deterministic bounded disorder, for event-time tests and the
+/// reorder-buffer crash sweep.
+///
+/// The whole stream — values AND delivery order — is materialized at
+/// Make() from the seed, so position() is the delivery index and SeekTo
+/// is O(1). Each tuple's sequence() is its ORIGINAL event-order index
+/// (timestamps are monotone in sequence, not in delivery order), which
+/// is what the ReorderBuffer keys dedupe and release ordering on.
+class ReplayableEventTimeSource final : public engine::ReplayableSource {
+ public:
+  static Result<std::unique_ptr<ReplayableEventTimeSource>> Make(
+      EventTimeSourceOptions options = {});
+
+  const engine::Schema& schema() const override { return schema_; }
+  Result<std::optional<engine::Tuple>> Next() override;
+  Status Reset() override;
+
+  uint64_t position() const override { return pos_; }
+  Status SeekTo(uint64_t position) override;
+
+ private:
+  ReplayableEventTimeSource(engine::Schema schema,
+                            std::vector<engine::Tuple> tuples);
+
+  engine::Schema schema_;
+  std::vector<engine::Tuple> tuples_;
+  uint64_t pos_ = 0;
+};
+
 /// \brief Replayable scan over a CSV file: each schema field (kString or
 /// kDouble) names a CSV column. The table is parsed strictly up front,
 /// so position() is simply the row index and SeekTo is O(1).

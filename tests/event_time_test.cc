@@ -1,0 +1,1047 @@
+// Event-time robustness: the WatermarkPolicy, the bounded-lateness
+// ReorderBuffer, late-tuple revision in the time- and count-based window
+// aggregates (with checkpoint v4 round trips), watermark plumbing
+// through the stream sources, distribution-drift quarantine, and the
+// AQL WITHIN/LATENESS surface.
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/thread_pool.h"
+#include "src/dist/gaussian.h"
+#include "src/engine/executor.h"
+#include "src/engine/partitioned_window.h"
+#include "src/engine/reorder_buffer.h"
+#include "src/engine/scan.h"
+#include "src/engine/sharded_partitioned_window.h"
+#include "src/engine/time_window_aggregate.h"
+#include "src/engine/window_aggregate.h"
+#include "src/obs/metrics.h"
+#include "src/query/parser.h"
+#include "src/query/planner.h"
+#include "src/serde/checkpoint.h"
+#include "src/serde/json_writer.h"
+#include "src/stream/async_prefetch_source.h"
+#include "src/stream/drift_detector.h"
+#include "src/stream/replayable_source.h"
+#include "src/stream/supervised_source.h"
+#include "src/stream/watermark.h"
+
+namespace ausdb {
+namespace {
+
+using engine::Collect;
+using engine::FieldType;
+using engine::OperatorPtr;
+using engine::ParallelCollect;
+using engine::ReorderBuffer;
+using engine::ReorderBufferOptions;
+using engine::ReorderOverflowPolicy;
+using engine::Schema;
+using engine::TimeWindowAggregate;
+using engine::TimeWindowOptions;
+using engine::Tuple;
+using engine::VectorScan;
+using engine::WindowAggregate;
+using engine::WindowAggregateOptions;
+using engine::WindowKind;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Schema TsSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddField({"ts", FieldType::kDouble}).ok());
+  EXPECT_TRUE(s.AddField({"x", FieldType::kUncertain}).ok());
+  return s;
+}
+
+// Timestamped tuple whose sequence is its event-order index.
+Tuple TsTuple(double ts, double mean, uint64_t seq, size_t n = 10) {
+  Tuple t({expr::Value(ts),
+           expr::Value(dist::RandomVar(
+               std::make_shared<dist::GaussianDist>(mean, 1.0), n))});
+  t.set_sequence(seq);
+  return t;
+}
+
+// Event-ordered stream ts = 0, 1, ..., count-1 with value mean 10*ts.
+std::vector<Tuple> OrderedStream(size_t count) {
+  std::vector<Tuple> tuples;
+  for (size_t i = 0; i < count; ++i) {
+    tuples.push_back(TsTuple(static_cast<double>(i), 10.0 * i, i));
+  }
+  return tuples;
+}
+
+// Deterministic bounded disorder: blocks of `block` tuples are rotated
+// left by one, so displacement is at most block-1 positions.
+std::vector<Tuple> RotateBlocks(std::vector<Tuple> tuples, size_t block) {
+  for (size_t start = 0; start + block <= tuples.size(); start += block) {
+    std::rotate(tuples.begin() + start, tuples.begin() + start + 1,
+                tuples.begin() + start + block);
+  }
+  return tuples;
+}
+
+std::unique_ptr<VectorScan> Scan(std::vector<Tuple> tuples) {
+  return std::make_unique<VectorScan>(TsSchema(), std::move(tuples));
+}
+
+// VectorScan stamps delivery-order sequences over its tuples; this scan
+// preserves the sequences already set, which is the identity the
+// sequence-disorder tests manipulate.
+class PreservingScan final : public engine::Operator {
+ public:
+  PreservingScan(Schema schema, std::vector<Tuple> tuples)
+      : schema_(std::move(schema)), tuples_(std::move(tuples)) {}
+  const Schema& schema() const override { return schema_; }
+  Result<std::optional<Tuple>> Next() override {
+    if (pos_ >= tuples_.size()) return std::optional<Tuple>(std::nullopt);
+    return std::optional<Tuple>(tuples_[pos_++]);
+  }
+  Status Reset() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+  size_t pos_ = 0;
+};
+
+double TsOf(const Tuple& t) { return *t.value(0).double_value(); }
+
+// ---------------------------------------------------------------------
+// WatermarkPolicy
+
+TEST(WatermarkPolicyTest, PureFunctionOfObservedTimestamps) {
+  stream::WatermarkPolicy wm(stream::WatermarkPolicyOptions{5.0});
+  EXPECT_EQ(wm.watermark(), -kInf);
+  EXPECT_FALSE(wm.has_observation());
+  EXPECT_FALSE(wm.IsLate(-1e300));  // nothing is late before data
+
+  EXPECT_TRUE(wm.Observe(10.0));
+  EXPECT_DOUBLE_EQ(wm.watermark(), 5.0);
+  EXPECT_DOUBLE_EQ(wm.max_timestamp(), 10.0);
+  EXPECT_TRUE(wm.IsLate(5.0));    // at the watermark = late
+  EXPECT_FALSE(wm.IsLate(5.5));   // strictly above = in bound
+
+  // Non-advancing and non-finite observations change nothing.
+  EXPECT_FALSE(wm.Observe(8.0));
+  EXPECT_FALSE(wm.Observe(std::nan("")));
+  EXPECT_FALSE(wm.Observe(kInf));
+  EXPECT_DOUBLE_EQ(wm.watermark(), 5.0);
+
+  wm.RestoreFromMaxTimestamp(20.0);
+  EXPECT_DOUBLE_EQ(wm.watermark(), 15.0);
+  wm.Reset();
+  EXPECT_EQ(wm.watermark(), -kInf);
+}
+
+// ---------------------------------------------------------------------
+// ReorderBuffer
+
+TEST(ReorderBufferTest, RestoresEventTimeOrderWithinBound) {
+  // Displacement <= 2 positions (step 1): bound 3 covers it strictly.
+  auto disordered = RotateBlocks(OrderedStream(9), 3);
+  ReorderBufferOptions opts;
+  opts.lateness_bound = 3.0;
+  auto rb = ReorderBuffer::Make(Scan(disordered), "ts", opts);
+  ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+  auto out = Collect(**rb);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 9u);
+  for (size_t i = 0; i < out->size(); ++i) {
+    EXPECT_DOUBLE_EQ(TsOf((*out)[i]), static_cast<double>(i));
+  }
+  EXPECT_EQ((*rb)->stats().admitted, 9u);
+  EXPECT_EQ((*rb)->stats().late, 0u);
+  EXPECT_EQ((*rb)->stats().shed, 0u);
+}
+
+TEST(ReorderBufferTest, ZeroBoundDegeneratesToPassThrough) {
+  auto disordered = RotateBlocks(OrderedStream(6), 3);
+  auto rb = ReorderBuffer::Make(Scan(disordered), "ts", {});
+  ASSERT_TRUE(rb.ok());
+  auto out = Collect(**rb);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 6u);
+  // Arrival order preserved; the out-of-order tuples are counted late.
+  for (size_t i = 0; i < out->size(); ++i) {
+    EXPECT_DOUBLE_EQ(TsOf((*out)[i]), TsOf(disordered[i]));
+  }
+  EXPECT_GT((*rb)->stats().late, 0u);
+}
+
+TEST(ReorderBufferTest, BeyondBoundStragglerPassesThroughCountedLate) {
+  std::vector<Tuple> tuples = {TsTuple(0, 0, 0), TsTuple(10, 100, 1),
+                               TsTuple(2, 20, 2)};
+  ReorderBufferOptions opts;
+  opts.lateness_bound = 1.0;
+  auto rb = ReorderBuffer::Make(Scan(tuples), "ts", opts);
+  ASSERT_TRUE(rb.ok());
+  auto out = Collect(**rb);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 3u);
+  // ts=2 arrives below the watermark (9): it cannot be reordered and is
+  // handed through for the downstream lateness horizon to deal with.
+  EXPECT_DOUBLE_EQ(TsOf((*out)[0]), 0.0);
+  EXPECT_DOUBLE_EQ(TsOf((*out)[1]), 2.0);
+  EXPECT_DOUBLE_EQ(TsOf((*out)[2]), 10.0);
+  EXPECT_EQ((*rb)->stats().late, 1u);
+}
+
+TEST(ReorderBufferTest, DedupeBySequenceDropsRedeliveries) {
+  std::vector<Tuple> tuples = {TsTuple(0, 0, 0), TsTuple(1, 10, 1),
+                               TsTuple(1, 10, 1), TsTuple(2, 20, 2)};
+  ReorderBufferOptions opts;
+  opts.lateness_bound = 1.0;
+  opts.dedupe_by_sequence = true;
+  auto rb = ReorderBuffer::Make(
+      std::make_unique<PreservingScan>(TsSchema(), tuples), "ts", opts);
+  ASSERT_TRUE(rb.ok());
+  auto out = Collect(**rb);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 3u);
+  EXPECT_EQ((*rb)->stats().duplicates, 1u);
+}
+
+TEST(ReorderBufferTest, ShedOldestBoundsMemoryLoudly) {
+  // Bound so large nothing is released before end of stream.
+  ReorderBufferOptions opts;
+  opts.lateness_bound = 100.0;
+  opts.capacity = 2;
+  opts.overflow = ReorderOverflowPolicy::kShedOldest;
+  auto rb = ReorderBuffer::Make(Scan(OrderedStream(5)), "ts", opts);
+  ASSERT_TRUE(rb.ok());
+  auto out = Collect(**rb);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);
+  EXPECT_DOUBLE_EQ(TsOf((*out)[0]), 3.0);
+  EXPECT_DOUBLE_EQ(TsOf((*out)[1]), 4.0);
+  EXPECT_EQ((*rb)->stats().shed, 3u);
+}
+
+TEST(ReorderBufferTest, BlockOverflowForcesEarlyReleaseNeverDrops) {
+  ReorderBufferOptions opts;
+  opts.lateness_bound = 100.0;
+  opts.capacity = 2;
+  opts.overflow = ReorderOverflowPolicy::kBlock;
+  auto rb = ReorderBuffer::Make(Scan(OrderedStream(5)), "ts", opts);
+  ASSERT_TRUE(rb.ok());
+  auto out = Collect(**rb);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 5u);
+  for (size_t i = 0; i < out->size(); ++i) {
+    EXPECT_DOUBLE_EQ(TsOf((*out)[i]), static_cast<double>(i));
+  }
+  EXPECT_EQ((*rb)->stats().forced_releases, 3u);
+  EXPECT_EQ((*rb)->stats().shed, 0u);
+}
+
+TEST(ReorderBufferTest, OutputIdenticalWithMetricsOn) {
+  auto disordered = RotateBlocks(OrderedStream(12), 3);
+  ReorderBufferOptions plain;
+  plain.lateness_bound = 3.0;
+  auto rb1 = ReorderBuffer::Make(Scan(disordered), "ts", plain);
+  ASSERT_TRUE(rb1.ok());
+  auto out1 = Collect(**rb1);
+  ASSERT_TRUE(out1.ok());
+
+  obs::MetricRegistry registry;
+  ReorderBufferOptions instrumented = plain;
+  instrumented.metrics = &registry;
+  auto rb2 = ReorderBuffer::Make(Scan(disordered), "ts", instrumented);
+  ASSERT_TRUE(rb2.ok());
+  auto out2 = Collect(**rb2);
+  ASSERT_TRUE(out2.ok());
+
+  ASSERT_EQ(out1->size(), out2->size());
+  const Schema& schema = (*rb1)->schema();
+  for (size_t i = 0; i < out1->size(); ++i) {
+    EXPECT_EQ(serde::ToJson((*out1)[i], schema),
+              serde::ToJson((*out2)[i], schema));
+  }
+}
+
+TEST(ReorderBufferTest, CheckpointRoundTripMidDisorder) {
+  const auto disordered = RotateBlocks(OrderedStream(9), 3);
+  ReorderBufferOptions opts;
+  opts.lateness_bound = 3.0;
+
+  // Golden uninterrupted run.
+  auto golden_rb = ReorderBuffer::Make(Scan(disordered), "ts", opts);
+  ASSERT_TRUE(golden_rb.ok());
+  auto golden = Collect(**golden_rb);
+  ASSERT_TRUE(golden.ok());
+  ASSERT_EQ(golden->size(), 9u);
+
+  // Pull two tuples, snapshot mid-disorder with a non-empty buffer.
+  auto rb1 = ReorderBuffer::Make(Scan(disordered), "ts", opts);
+  ASSERT_TRUE(rb1.ok());
+  std::vector<Tuple> head;
+  for (int i = 0; i < 2; ++i) {
+    auto t = (*rb1)->Next();
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE(t->has_value());
+    head.push_back(**t);
+  }
+  ASSERT_GT((*rb1)->buffered_count(), 0u);
+  auto blob = (*rb1)->SaveCheckpoint();
+  ASSERT_TRUE(blob.ok()) << blob.status().ToString();
+
+  // Resume: a fresh buffer over the unconsumed input suffix.
+  const size_t consumed = (*rb1)->stats().admitted;
+  std::vector<Tuple> rest(disordered.begin() + consumed,
+                          disordered.end());
+  auto rb2 = ReorderBuffer::Make(Scan(std::move(rest)), "ts", opts);
+  ASSERT_TRUE(rb2.ok());
+  ASSERT_TRUE((*rb2)->RestoreCheckpoint(*blob).ok());
+  auto tail = Collect(**rb2);
+  ASSERT_TRUE(tail.ok());
+
+  std::vector<Tuple> resumed = head;
+  resumed.insert(resumed.end(), tail->begin(), tail->end());
+  ASSERT_EQ(resumed.size(), golden->size());
+  const Schema& schema = (*golden_rb)->schema();
+  for (size_t i = 0; i < resumed.size(); ++i) {
+    EXPECT_EQ(serde::ToJson(resumed[i], schema),
+              serde::ToJson((*golden)[i], schema))
+        << "tuple " << i;
+  }
+}
+
+TEST(ReorderBufferTest, RejectsBadConfig) {
+  EXPECT_FALSE(ReorderBuffer::Make(Scan({}), "no_such_column", {}).ok());
+  ReorderBufferOptions negative;
+  negative.lateness_bound = -1.0;
+  EXPECT_FALSE(ReorderBuffer::Make(Scan({}), "ts", negative).ok());
+}
+
+// ---------------------------------------------------------------------
+// TimeWindowAggregate: non-finite timestamps (S1) and the existing
+// out-of-order eviction path (S2)
+
+TEST(TimeWindowGuardTest, RejectsNonFiniteTimestampOrdered) {
+  for (double bad : {std::nan(""), kInf, -kInf}) {
+    std::vector<Tuple> tuples = {TsTuple(0, 1, 0), TsTuple(bad, 2, 1)};
+    auto agg = TimeWindowAggregate::Make(Scan(tuples), "ts", "x", "a", {});
+    ASSERT_TRUE(agg.ok());
+    EXPECT_TRUE(Collect(**agg).status().IsInvalidArgument())
+        << "timestamp " << bad;
+  }
+}
+
+TEST(TimeWindowGuardTest, RejectsNonFiniteTimestampUnordered) {
+  TimeWindowOptions lax;
+  lax.require_ordered = false;
+  for (double bad : {std::nan(""), kInf, -kInf}) {
+    std::vector<Tuple> tuples = {TsTuple(5, 1, 0), TsTuple(bad, 2, 1)};
+    auto agg =
+        TimeWindowAggregate::Make(Scan(tuples), "ts", "x", "a", lax);
+    ASSERT_TRUE(agg.ok());
+    EXPECT_TRUE(Collect(**agg).status().IsInvalidArgument())
+        << "timestamp " << bad;
+  }
+}
+
+TEST(TimeWindowGuardTest, RejectsNonFiniteTimestampRevising) {
+  TimeWindowOptions rev;
+  rev.require_ordered = false;
+  rev.emit_revisions = true;
+  rev.allowed_lateness = 10.0;
+  std::vector<Tuple> tuples = {TsTuple(5, 1, 0), TsTuple(std::nan(""), 2, 1)};
+  auto agg = TimeWindowAggregate::Make(Scan(tuples), "ts", "x", "a", rev);
+  ASSERT_TRUE(agg.ok());
+  EXPECT_TRUE(Collect(**agg).status().IsInvalidArgument());
+}
+
+TEST(TimeWindowBoundaryTest, OutOfOrderEvictionByValue) {
+  // require_ordered=false: the straggler joins the window it belongs
+  // to; later watermark advance evicts by value, not arrival order.
+  TimeWindowOptions lax;
+  lax.require_ordered = false;
+  lax.duration = 4.0;
+  std::vector<Tuple> tuples = {TsTuple(5, 10, 0), TsTuple(3, 20, 1),
+                               TsTuple(12, 30, 2)};
+  auto agg = TimeWindowAggregate::Make(Scan(tuples), "ts", "x", "a", lax);
+  ASSERT_TRUE(agg.ok());
+  auto out = Collect(**agg);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 3u);
+  // ts=5: {10}; ts=3 joins (1,5]: {10,20}; ts=12 evicts both: {30}.
+  EXPECT_DOUBLE_EQ((*out)[0].value(0).random_var()->Mean(), 10.0);
+  EXPECT_DOUBLE_EQ((*out)[1].value(0).random_var()->Mean(), 15.0);
+  EXPECT_DOUBLE_EQ((*out)[2].value(0).random_var()->Mean(), 30.0);
+}
+
+TEST(TimeWindowBoundaryTest, HalfOpenIntervalAtExactDuplicates) {
+  // Window is (t - duration, t]: the tuple exactly at t - duration is
+  // excluded, and exact-duplicate timestamps all belong to the window.
+  TimeWindowOptions opts;
+  opts.duration = 10.0;
+  std::vector<Tuple> tuples = {TsTuple(0, 100, 0), TsTuple(5, 10, 1),
+                               TsTuple(5, 20, 2), TsTuple(10, 30, 3)};
+  auto agg = TimeWindowAggregate::Make(Scan(tuples), "ts", "x", "a", opts);
+  ASSERT_TRUE(agg.ok());
+  auto out = Collect(**agg);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 4u);
+  // At the duplicate ts=5 both entries and ts=0 are in (-5, 5].
+  EXPECT_DOUBLE_EQ((*out)[2].value(0).random_var()->Mean(), 130.0 / 3.0);
+  // At ts=10 the boundary tuple ts=0 is excluded from (0, 10].
+  EXPECT_DOUBLE_EQ((*out)[3].value(0).random_var()->Mean(), 20.0);
+}
+
+// ---------------------------------------------------------------------
+// TimeWindowAggregate revision mode
+
+// Folds a revision-mode output stream by window end, keeping the last
+// value JSON per end — the downstream consumer contract.
+std::map<double, std::string> FoldByWindowEnd(
+    const std::vector<Tuple>& outputs) {
+  std::map<double, std::string> fold;
+  for (const Tuple& t : outputs) {
+    fold[*t.value(1).double_value()] = serde::ToJson(t.value(0));
+  }
+  return fold;
+}
+
+TEST(TimeWindowRevisionTest, RevisionFoldMatchesInOrderDelivery) {
+  const auto ordered = OrderedStream(20);
+  const auto disordered = RotateBlocks(ordered, 3);
+
+  TimeWindowOptions rev;
+  rev.duration = 5.0;
+  rev.require_ordered = false;
+  rev.emit_revisions = true;
+  rev.allowed_lateness = 5.0;
+
+  auto agg_a = TimeWindowAggregate::Make(Scan(ordered), "ts", "x", "a", rev);
+  ASSERT_TRUE(agg_a.ok()) << agg_a.status().ToString();
+  auto out_a = Collect(**agg_a);
+  ASSERT_TRUE(out_a.ok());
+  for (const Tuple& t : *out_a) {
+    EXPECT_FALSE(*t.value(2).bool_value()) << "in-order run revised";
+  }
+
+  auto agg_b =
+      TimeWindowAggregate::Make(Scan(disordered), "ts", "x", "a", rev);
+  ASSERT_TRUE(agg_b.ok());
+  auto out_b = Collect(**agg_b);
+  ASSERT_TRUE(out_b.ok());
+  EXPECT_EQ((*agg_b)->shed_late(), 0u);
+  bool any_revision = false;
+  for (const Tuple& t : *out_b) {
+    any_revision = any_revision || *t.value(2).bool_value();
+  }
+  EXPECT_TRUE(any_revision) << "disorder produced no revisions";
+
+  const auto fold_a = FoldByWindowEnd(*out_a);
+  const auto fold_b = FoldByWindowEnd(*out_b);
+  ASSERT_EQ(fold_a.size(), fold_b.size());
+  for (const auto& [end, json] : fold_a) {
+    auto it = fold_b.find(end);
+    ASSERT_NE(it, fold_b.end()) << "window end " << end << " missing";
+    EXPECT_EQ(it->second, json) << "window end " << end;
+  }
+}
+
+TEST(TimeWindowRevisionTest, BeyondHorizonStragglerIsShed) {
+  TimeWindowOptions rev;
+  rev.duration = 2.0;
+  rev.require_ordered = false;
+  rev.emit_revisions = true;
+  rev.allowed_lateness = 3.0;
+  // ts=1 arrives 9 behind the max timestamp: beyond the horizon.
+  std::vector<Tuple> tuples = {TsTuple(0, 0, 0), TsTuple(10, 100, 1),
+                               TsTuple(1, 10, 2)};
+  auto agg = TimeWindowAggregate::Make(Scan(tuples), "ts", "x", "a", rev);
+  ASSERT_TRUE(agg.ok());
+  auto out = Collect(**agg);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);  // no revision for the shed straggler
+  EXPECT_EQ((*agg)->shed_late(), 1u);
+}
+
+TEST(TimeWindowRevisionTest, RequiresSlidingSemanticsConfig) {
+  TimeWindowOptions rev;
+  rev.emit_revisions = true;
+  rev.require_ordered = true;  // contradiction: revisions imply disorder
+  EXPECT_FALSE(
+      TimeWindowAggregate::Make(Scan({}), "ts", "x", "a", rev).ok());
+  TimeWindowOptions bad_lateness;
+  bad_lateness.require_ordered = false;
+  bad_lateness.emit_revisions = true;
+  bad_lateness.allowed_lateness = -1.0;
+  EXPECT_FALSE(
+      TimeWindowAggregate::Make(Scan({}), "ts", "x", "a", bad_lateness)
+          .ok());
+}
+
+TEST(TimeWindowRevisionTest, CheckpointResumesMidRevision) {
+  const auto disordered = RotateBlocks(OrderedStream(18), 3);
+  TimeWindowOptions rev;
+  rev.duration = 5.0;
+  rev.require_ordered = false;
+  rev.emit_revisions = true;
+  rev.allowed_lateness = 5.0;
+
+  auto golden_agg =
+      TimeWindowAggregate::Make(Scan(disordered), "ts", "x", "a", rev);
+  ASSERT_TRUE(golden_agg.ok());
+  auto golden = Collect(**golden_agg);
+  ASSERT_TRUE(golden.ok());
+
+  auto agg1 =
+      TimeWindowAggregate::Make(Scan(disordered), "ts", "x", "a", rev);
+  ASSERT_TRUE(agg1.ok());
+  std::vector<Tuple> head;
+  for (int i = 0; i < 7; ++i) {
+    auto t = (*agg1)->Next();
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE(t->has_value());
+    head.push_back(**t);
+  }
+  auto blob = (*agg1)->SaveCheckpoint();
+  ASSERT_TRUE(blob.ok());
+
+  const size_t consumed = (*agg1)->input_consumed();
+  std::vector<Tuple> rest(disordered.begin() + consumed,
+                          disordered.end());
+  auto agg2 =
+      TimeWindowAggregate::Make(Scan(std::move(rest)), "ts", "x", "a", rev);
+  ASSERT_TRUE(agg2.ok());
+  ASSERT_TRUE((*agg2)->RestoreCheckpoint(*blob).ok());
+  auto tail = Collect(**agg2);
+  ASSERT_TRUE(tail.ok());
+
+  std::vector<Tuple> resumed = head;
+  resumed.insert(resumed.end(), tail->begin(), tail->end());
+  ASSERT_EQ(resumed.size(), golden->size());
+  const Schema& schema = (*golden_agg)->schema();
+  for (size_t i = 0; i < resumed.size(); ++i) {
+    EXPECT_EQ(serde::ToJson(resumed[i], schema),
+              serde::ToJson((*golden)[i], schema))
+        << "output " << i;
+  }
+
+  // A checkpoint from a differently configured aggregate is rejected.
+  TimeWindowOptions other = rev;
+  other.allowed_lateness = 7.0;
+  auto agg3 = TimeWindowAggregate::Make(Scan({}), "ts", "x", "a", other);
+  ASSERT_TRUE(agg3.ok());
+  EXPECT_TRUE((*agg3)->RestoreCheckpoint(*blob).IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------
+// Count-based windows: revision mode and checkpoint v4
+
+Schema KeyedSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddField({"key", FieldType::kString}).ok());
+  EXPECT_TRUE(s.AddField({"x", FieldType::kUncertain}).ok());
+  return s;
+}
+
+Tuple KeyedTuple(const std::string& key, double mean, uint64_t seq) {
+  Tuple t({expr::Value(key),
+           expr::Value(dist::RandomVar(
+               std::make_shared<dist::GaussianDist>(mean, 1.0), 10))});
+  t.set_sequence(seq);
+  return t;
+}
+
+Schema ValueSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddField({"x", FieldType::kUncertain}).ok());
+  return s;
+}
+
+Tuple ValueTuple(double mean, uint64_t seq) {
+  Tuple t({expr::Value(dist::RandomVar(
+      std::make_shared<dist::GaussianDist>(mean, 1.0), 10))});
+  t.set_sequence(seq);
+  return t;
+}
+
+TEST(CountWindowRevisionTest, LateArrivalRevisesCurrentWindow) {
+  // Sequences 0,1,3 then late 2: the straggler lands inside the
+  // retained window [1,3] and displaces 1, so {2,3} is re-emitted.
+  std::vector<Tuple> tuples = {ValueTuple(10, 0), ValueTuple(20, 1),
+                               ValueTuple(40, 3), ValueTuple(30, 2)};
+  WindowAggregateOptions opts;
+  opts.window_size = 2;
+  opts.emit_revisions = true;
+  auto agg = WindowAggregate::Make(
+      std::make_unique<PreservingScan>(ValueSchema(), tuples), "x", "a", opts);
+  ASSERT_TRUE(agg.ok()) << agg.status().ToString();
+  auto out = Collect(**agg);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 3u);
+  EXPECT_DOUBLE_EQ((*out)[0].value(0).random_var()->Mean(), 15.0);
+  EXPECT_FALSE(*(*out)[0].value(1).bool_value());
+  EXPECT_DOUBLE_EQ((*out)[1].value(0).random_var()->Mean(), 30.0);
+  EXPECT_FALSE(*(*out)[1].value(1).bool_value());
+  EXPECT_DOUBLE_EQ((*out)[2].value(0).random_var()->Mean(), 35.0);
+  EXPECT_TRUE(*(*out)[2].value(1).bool_value());
+  EXPECT_EQ((*agg)->shed_late(), 0u);
+}
+
+TEST(CountWindowRevisionTest, StragglerBelowEvictionHorizonIsShed) {
+  // After 0,1,2,3 with window 2 the horizon is 1; a redelivered 0 has
+  // slid past and is shed, not revised.
+  std::vector<Tuple> tuples = {ValueTuple(10, 0), ValueTuple(20, 1),
+                               ValueTuple(30, 2), ValueTuple(40, 3),
+                               ValueTuple(10, 0)};
+  WindowAggregateOptions opts;
+  opts.window_size = 2;
+  opts.emit_revisions = true;
+  auto agg = WindowAggregate::Make(
+      std::make_unique<PreservingScan>(ValueSchema(), tuples), "x", "a", opts);
+  ASSERT_TRUE(agg.ok());
+  auto out = Collect(**agg);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 3u);
+  EXPECT_EQ((*agg)->shed_late(), 1u);
+}
+
+TEST(CountWindowRevisionTest, RevisionModeRejectsTumblingWindows) {
+  WindowAggregateOptions opts;
+  opts.window_size = 2;
+  opts.kind = WindowKind::kTumbling;
+  opts.emit_revisions = true;
+  EXPECT_FALSE(WindowAggregate::Make(
+                   std::make_unique<PreservingScan>(ValueSchema(),
+                                                std::vector<Tuple>{}),
+                   "x", "a", opts)
+                   .ok());
+}
+
+// The same disordered keyed stream through the serial and the sharded
+// partitioned operators, at several shard/thread counts: revision
+// outputs must be bit-identical everywhere.
+TEST(CountWindowRevisionTest, ShardedMatchesSerialUnderDisorder) {
+  std::vector<Tuple> tuples;
+  const std::vector<std::string> keys = {"k0", "k1", "k2"};
+  for (uint64_t i = 0; i < 30; ++i) {
+    tuples.push_back(
+        KeyedTuple(keys[i % keys.size()], 10.0 * i, i));
+  }
+  // Swap within blocks so per-key sequences arrive out of order.
+  tuples = RotateBlocks(std::move(tuples), 5);
+
+  WindowAggregateOptions wo;
+  wo.window_size = 3;
+  wo.emit_revisions = true;
+
+  auto serial = engine::PartitionedWindowAggregate::Make(
+      std::make_unique<PreservingScan>(KeyedSchema(), tuples), "key", "x",
+      "a", wo);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  auto golden = Collect(**serial);
+  ASSERT_TRUE(golden.ok()) << golden.status().ToString();
+  ASSERT_FALSE(golden->empty());
+  bool any_revision = false;
+  for (const Tuple& t : *golden) {
+    any_revision = any_revision || *t.value(2).bool_value();
+  }
+  EXPECT_TRUE(any_revision);
+
+  const Schema& schema = (*serial)->schema();
+  for (size_t shards : {1u, 4u}) {
+    for (size_t threads : {1u, 4u}) {
+      engine::ShardedWindowOptions so;
+      so.window = wo;
+      so.num_shards = shards;
+      so.batch_size = 7;
+      auto sharded = engine::ShardedPartitionedWindowAggregate::Make(
+          std::make_unique<PreservingScan>(KeyedSchema(), tuples), "key",
+          "x", "a", so);
+      ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+      ThreadPool pool(threads);
+      auto out = ParallelCollect(**sharded, pool);
+      ASSERT_TRUE(out.ok()) << out.status().ToString();
+      ASSERT_EQ(out->size(), golden->size())
+          << shards << " shards, " << threads << " threads";
+      for (size_t i = 0; i < out->size(); ++i) {
+        ASSERT_EQ(serde::ToJson((*out)[i], schema),
+                  serde::ToJson((*golden)[i], schema))
+            << "output " << i << " at " << shards << " shards, "
+            << threads << " threads";
+      }
+      EXPECT_EQ((*sharded)->shed_late(), 0u);
+    }
+  }
+}
+
+TEST(CountWindowRevisionTest, CheckpointV4RoundTrip) {
+  std::vector<Tuple> tuples = {ValueTuple(10, 0), ValueTuple(20, 1),
+                               ValueTuple(40, 3), ValueTuple(30, 2),
+                               ValueTuple(50, 4), ValueTuple(60, 5)};
+  WindowAggregateOptions opts;
+  opts.window_size = 2;
+  opts.emit_revisions = true;
+
+  auto golden_agg = WindowAggregate::Make(
+      std::make_unique<PreservingScan>(ValueSchema(), tuples), "x", "a", opts);
+  ASSERT_TRUE(golden_agg.ok());
+  auto golden = Collect(**golden_agg);
+  ASSERT_TRUE(golden.ok());
+
+  auto agg1 = WindowAggregate::Make(
+      std::make_unique<PreservingScan>(ValueSchema(), tuples), "x", "a", opts);
+  ASSERT_TRUE(agg1.ok());
+  std::vector<Tuple> head;
+  for (int i = 0; i < 2; ++i) {
+    auto t = (*agg1)->Next();
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE(t->has_value());
+    head.push_back(**t);
+  }
+  auto blob = (*agg1)->SaveCheckpoint();
+  ASSERT_TRUE(blob.ok());
+
+  const size_t consumed = (*agg1)->input_consumed();
+  std::vector<Tuple> rest(tuples.begin() + consumed, tuples.end());
+  auto agg2 = WindowAggregate::Make(
+      std::make_unique<PreservingScan>(ValueSchema(), std::move(rest)), "x",
+      "a", opts);
+  ASSERT_TRUE(agg2.ok());
+  ASSERT_TRUE((*agg2)->RestoreCheckpoint(*blob).ok());
+  auto tail = Collect(**agg2);
+  ASSERT_TRUE(tail.ok());
+
+  std::vector<Tuple> resumed = head;
+  resumed.insert(resumed.end(), tail->begin(), tail->end());
+  ASSERT_EQ(resumed.size(), golden->size());
+  const Schema& schema = (*golden_agg)->schema();
+  for (size_t i = 0; i < resumed.size(); ++i) {
+    EXPECT_EQ(serde::ToJson(resumed[i], schema),
+              serde::ToJson((*golden)[i], schema));
+  }
+}
+
+TEST(CountWindowRevisionTest, RevisionFlagMismatchRejected) {
+  // A non-revision checkpoint cannot restore into a revision-mode
+  // operator (and vice versa) — the window bookkeeping differs.
+  WindowAggregateOptions plain;
+  plain.window_size = 2;
+  auto agg_plain = WindowAggregate::Make(
+      std::make_unique<PreservingScan>(ValueSchema(),
+                                   std::vector<Tuple>{ValueTuple(1, 0)}),
+      "x", "a", plain);
+  ASSERT_TRUE(agg_plain.ok());
+  ASSERT_TRUE(Collect(**agg_plain).ok());
+  auto blob = (*agg_plain)->SaveCheckpoint();
+  ASSERT_TRUE(blob.ok());
+
+  WindowAggregateOptions rev = plain;
+  rev.emit_revisions = true;
+  auto agg_rev = WindowAggregate::Make(
+      std::make_unique<PreservingScan>(ValueSchema(), std::vector<Tuple>{}),
+      "x", "a", rev);
+  ASSERT_TRUE(agg_rev.ok());
+  EXPECT_TRUE((*agg_rev)->RestoreCheckpoint(*blob).IsInvalidArgument());
+}
+
+TEST(CountWindowRevisionTest, PreRevisionBlobRejectedIntoRevisionMode) {
+  // A hand-crafted wagg.v3 blob (no revision block) restores fine into
+  // a legacy operator but is refused by a revision-mode one.
+  serde::CheckpointWriter w;
+  w.Token("wagg.v3");
+  w.Uint(static_cast<uint64_t>(WindowKind::kSliding));
+  w.Uint(static_cast<uint64_t>(engine::WindowAggFn::kAvg));
+  w.Uint(2);  // window_size
+  w.Uint(0);  // input_consumed
+  w.Double(0.0);
+  w.Double(0.0);
+  w.Double(0.0);
+  w.Double(0.0);
+  w.Uint(0);  // entries
+  const std::string blob = std::move(w).Finish();
+
+  WindowAggregateOptions plain;
+  plain.window_size = 2;
+  auto agg_plain = WindowAggregate::Make(
+      std::make_unique<PreservingScan>(ValueSchema(), std::vector<Tuple>{}),
+      "x", "a", plain);
+  ASSERT_TRUE(agg_plain.ok());
+  EXPECT_TRUE((*agg_plain)->RestoreCheckpoint(blob).ok());
+
+  WindowAggregateOptions rev = plain;
+  rev.emit_revisions = true;
+  auto agg_rev = WindowAggregate::Make(
+      std::make_unique<PreservingScan>(ValueSchema(), std::vector<Tuple>{}),
+      "x", "a", rev);
+  ASSERT_TRUE(agg_rev.ok());
+  EXPECT_TRUE((*agg_rev)->RestoreCheckpoint(blob).IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------
+// Watermark plumbing through the stream sources
+
+TEST(SourceWatermarkTest, SupervisedScanTracksConfiguredColumn) {
+  stream::SupervisedScanOptions opts;
+  opts.watermark_column = "ts";
+  opts.watermark_bound = 2.0;
+  stream::SupervisedScan scan(Scan(OrderedStream(10)), opts);
+  EXPECT_EQ(scan.CurrentWatermark(), -kInf);
+  ASSERT_TRUE(Collect(scan).ok());
+  EXPECT_DOUBLE_EQ(scan.CurrentWatermark(), 7.0);
+}
+
+TEST(SourceWatermarkTest, SupervisedScanRejectsUnknownColumn) {
+  stream::SupervisedScanOptions opts;
+  opts.watermark_column = "no_such_column";
+  stream::SupervisedScan scan(Scan(OrderedStream(3)), opts);
+  EXPECT_FALSE(Collect(scan).ok());
+}
+
+TEST(SourceWatermarkTest, PrefetchWatermarkIsConsumerSide) {
+  for (size_t depth : {1u, 2u, 64u}) {
+    stream::AsyncPrefetchOptions opts;
+    opts.queue_depth = depth;
+    opts.watermark_column = "ts";
+    opts.watermark_bound = 3.0;
+    stream::AsyncPrefetchSource source(Scan(OrderedStream(20)), opts);
+    EXPECT_EQ(source.CurrentWatermark(), -kInf) << "depth " << depth;
+    // After exactly 5 deliveries the watermark is a pure function of
+    // the delivered prefix, regardless of producer read-ahead.
+    for (int i = 0; i < 5; ++i) {
+      auto t = source.Next();
+      ASSERT_TRUE(t.ok());
+      ASSERT_TRUE(t->has_value());
+    }
+    EXPECT_DOUBLE_EQ(source.CurrentWatermark(), 1.0) << "depth " << depth;
+    ASSERT_TRUE(Collect(source).ok());
+    EXPECT_DOUBLE_EQ(source.CurrentWatermark(), 16.0)
+        << "depth " << depth;
+  }
+}
+
+TEST(SourceWatermarkTest, EventTimeSourceHasBoundedDisorder) {
+  stream::EventTimeSourceOptions opts;
+  opts.count = 64;
+  opts.max_displacement = 3;
+  auto source = stream::ReplayableEventTimeSource::Make(opts);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  auto out = Collect(**source);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 64u);
+  bool any_disorder = false;
+  for (size_t i = 0; i < out->size(); ++i) {
+    const Tuple& t = (*out)[i];
+    // Timestamp is monotone in sequence and displacement is bounded.
+    EXPECT_DOUBLE_EQ(TsOf(t), static_cast<double>(t.sequence()));
+    const double displacement =
+        std::abs(static_cast<double>(i) -
+                 static_cast<double>(t.sequence()));
+    EXPECT_LE(displacement, 3.0) << "delivery position " << i;
+    any_disorder = any_disorder || t.sequence() != i;
+  }
+  EXPECT_TRUE(any_disorder);
+
+  // Replay from the start is bit-identical (same baked ordering).
+  ASSERT_TRUE((*source)->SeekTo(0).ok());
+  auto replay = Collect(**source);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->size(), out->size());
+  const Schema& schema = (*source)->schema();
+  for (size_t i = 0; i < out->size(); ++i) {
+    EXPECT_EQ(serde::ToJson((*replay)[i], schema),
+              serde::ToJson((*out)[i], schema));
+    EXPECT_EQ((*replay)[i].sequence(), (*out)[i].sequence());
+  }
+}
+
+// ---------------------------------------------------------------------
+// Drift detection and quarantine
+
+TEST(DriftDetectorTest, LatchesAfterPatienceAndRelearns) {
+  stream::DriftDetectorOptions opts;
+  opts.reference_size = 128;
+  opts.window_size = 64;
+  opts.check_every = 16;
+  opts.patience = 2;
+  stream::DriftDetector detector(opts);
+
+  // Reference regime: a deterministic ramp over [50, 82).
+  for (int i = 0; i < 128; ++i) {
+    ASSERT_TRUE(detector.Observe(50.0 + (i % 32)).ok());
+  }
+  EXPECT_FALSE(detector.drifted());
+
+  // Same regime continues: no drift however long it runs.
+  for (int i = 0; i < 128; ++i) {
+    ASSERT_TRUE(detector.Observe(50.0 + (i % 32)).ok());
+  }
+  EXPECT_FALSE(detector.drifted());
+  EXPECT_GT(detector.checks_run(), 0u);
+
+  // Regime shift far outside the reference support.
+  for (int i = 0; i < 128; ++i) {
+    ASSERT_TRUE(detector.Observe(200.0 + (i % 32)).ok());
+  }
+  EXPECT_TRUE(detector.drifted());
+  EXPECT_GE(detector.drift_events(), 1u);
+  ASSERT_TRUE(detector.last_p_value().has_value());
+  EXPECT_LT(*detector.last_p_value(), opts.significance);
+
+  // Relearning from the trailing window adopts the new regime.
+  ASSERT_TRUE(detector.Relearn().ok());
+  EXPECT_FALSE(detector.drifted());
+  for (int i = 0; i < 128; ++i) {
+    ASSERT_TRUE(detector.Observe(200.0 + (i % 32)).ok());
+  }
+  EXPECT_FALSE(detector.drifted());
+}
+
+TEST(DriftDetectorTest, QuarantinesThroughSupervisedScan) {
+  auto detector = std::make_shared<stream::DriftDetector>([] {
+    stream::DriftDetectorOptions o;
+    o.reference_size = 64;
+    o.window_size = 32;
+    o.check_every = 8;
+    o.patience = 1;
+    return o;
+  }());
+
+  // 128 reference-regime tuples, then 64 shifted ones.
+  std::vector<Tuple> tuples;
+  uint64_t seq = 0;
+  for (int i = 0; i < 128; ++i) {
+    tuples.push_back(TsTuple(seq, 50.0 + (i % 32), seq));
+    ++seq;
+  }
+  for (int i = 0; i < 64; ++i) {
+    tuples.push_back(TsTuple(seq, 200.0 + (i % 32), seq));
+    ++seq;
+  }
+
+  stream::SupervisedScanOptions opts;
+  opts.validator = stream::MakeDriftQuarantineValidator(detector, "x");
+  stream::SupervisedScan scan(Scan(tuples), opts);
+  auto out = Collect(scan);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+  EXPECT_TRUE(detector->drifted());
+  EXPECT_GT(scan.counters().quarantined, 0u);
+  EXPECT_EQ(scan.counters().emitted + scan.counters().quarantined,
+            tuples.size());
+  EXPECT_EQ(out->size(), scan.counters().emitted);
+  for (const auto& q : scan.quarantine()) {
+    EXPECT_TRUE(q.status.IsInsufficientData());
+  }
+}
+
+// ---------------------------------------------------------------------
+// AQL surface: WITHIN ... LATENESS ...
+
+TEST(QueryEventTimeTest, ParsesWithinAndLateness) {
+  auto q = query::Parse(
+      "SELECT AVG(x) OVER (RANGE 10 ON ts WITHIN 5 LATENESS 20) AS a "
+      "FROM s");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_TRUE(q->window_agg.has_value());
+  EXPECT_DOUBLE_EQ(q->window_agg->range_duration, 10.0);
+  EXPECT_EQ(q->window_agg->range_column, "ts");
+  EXPECT_DOUBLE_EQ(q->window_agg->within_bound, 5.0);
+  EXPECT_DOUBLE_EQ(q->window_agg->lateness, 20.0);
+
+  const std::string rendered = q->ToString();
+  EXPECT_NE(rendered.find("WITHIN 5"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("LATENESS 20"), std::string::npos) << rendered;
+  // The rendering reparses to the same spec.
+  auto q2 = query::Parse(rendered);
+  ASSERT_TRUE(q2.ok()) << rendered;
+  EXPECT_DOUBLE_EQ(q2->window_agg->within_bound, 5.0);
+  EXPECT_DOUBLE_EQ(q2->window_agg->lateness, 20.0);
+
+  // Each clause is independently optional.
+  auto only_within =
+      query::Parse("SELECT AVG(x) OVER (RANGE 10 ON ts WITHIN 5) AS a "
+                   "FROM s");
+  ASSERT_TRUE(only_within.ok());
+  EXPECT_DOUBLE_EQ(only_within->window_agg->lateness, 0.0);
+
+  EXPECT_FALSE(query::Parse(
+                   "SELECT AVG(x) OVER (RANGE 10 ON ts WITHIN 0) AS a "
+                   "FROM s")
+                   .ok());
+  EXPECT_FALSE(query::Parse(
+                   "SELECT AVG(x) OVER (RANGE 10 ON ts LATENESS 0) AS a "
+                   "FROM s")
+                   .ok());
+}
+
+TEST(QueryEventTimeTest, WithinClauseAbsorbsInBoundDisorder) {
+  const auto ordered = OrderedStream(16);
+  const auto disordered = RotateBlocks(ordered, 3);
+
+  auto golden_plan = query::PlanQuery(
+      "SELECT AVG(x) OVER (RANGE 4 ON ts) AS a FROM s", Scan(ordered));
+  ASSERT_TRUE(golden_plan.ok()) << golden_plan.status().ToString();
+  auto golden = Collect(**golden_plan);
+  ASSERT_TRUE(golden.ok());
+
+  auto plan = query::PlanQuery(
+      "SELECT AVG(x) OVER (RANGE 4 ON ts WITHIN 3) AS a FROM s",
+      Scan(disordered));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto out = Collect(**plan);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+  ASSERT_EQ(out->size(), golden->size());
+  const Schema& schema = (*golden_plan)->schema();
+  for (size_t i = 0; i < out->size(); ++i) {
+    EXPECT_EQ(serde::ToJson((*out)[i], schema),
+              serde::ToJson((*golden)[i], schema))
+        << "output " << i;
+  }
+}
+
+TEST(QueryEventTimeTest, LatenessClauseRevisesStragglers) {
+  const auto ordered = OrderedStream(16);
+  const auto disordered = RotateBlocks(ordered, 3);
+  const std::string sql =
+      "SELECT AVG(x) OVER (RANGE 4 ON ts WITHIN 1 LATENESS 6) AS a "
+      "FROM s";
+
+  auto golden_plan = query::PlanQuery(sql, Scan(ordered));
+  ASSERT_TRUE(golden_plan.ok()) << golden_plan.status().ToString();
+  auto golden = Collect(**golden_plan);
+  ASSERT_TRUE(golden.ok());
+
+  auto plan = query::PlanQuery(sql, Scan(disordered));
+  ASSERT_TRUE(plan.ok());
+  auto out = Collect(**plan);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+  // WITHIN 1 cannot absorb displacement 2, so stragglers reach the
+  // window late and the LATENESS horizon revises them: the folds agree.
+  bool any_revision = false;
+  for (const Tuple& t : *out) {
+    any_revision = any_revision || *t.value(2).bool_value();
+  }
+  EXPECT_TRUE(any_revision);
+  const auto fold_golden = FoldByWindowEnd(*golden);
+  const auto fold_out = FoldByWindowEnd(*out);
+  ASSERT_EQ(fold_golden.size(), fold_out.size());
+  for (const auto& [end, json] : fold_golden) {
+    auto it = fold_out.find(end);
+    ASSERT_NE(it, fold_out.end()) << "window end " << end;
+    EXPECT_EQ(it->second, json) << "window end " << end;
+  }
+}
+
+}  // namespace
+}  // namespace ausdb
