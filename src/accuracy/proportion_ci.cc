@@ -80,5 +80,41 @@ Result<ConfidenceInterval> ProportionInterval(double p, size_t n,
   return WilsonProportionInterval(p, n, confidence);
 }
 
+Status ProportionIntervalsMany(std::span<const double> ps, size_t n,
+                               double confidence,
+                               std::span<ConfidenceInterval> out) {
+  if (ps.empty()) return Status::OK();
+  AUSDB_RETURN_NOT_OK(ValidateProportionArgs(ps[0], n, confidence));
+  // Loop-invariant pieces of both interval formulas, hoisted. CachedZ
+  // memoizes, but the map probe per bin still dominates a 3-multiply
+  // interval body.
+  const double z = CachedZ(confidence);
+  const double nn = static_cast<double>(n);
+  const double z2 = z * z;
+  const double wilson_denom = 1.0 + z2 / nn;
+  for (size_t i = 0; i < ps.size(); ++i) {
+    const double p = ps[i];
+    if (!(p >= 0.0 && p <= 1.0)) {
+      return Status::InvalidArgument("proportion must be in [0,1]");
+    }
+    ConfidenceInterval& ci = out[i];
+    ci.confidence = confidence;
+    if (nn * p >= 4.0 && nn * (1.0 - p) >= 4.0) {
+      // Wald — identical expression to WaldProportionInterval.
+      const double half = z * std::sqrt(p * (1.0 - p) / nn);
+      ci.lo = Clamp(p - half, 0.0, 1.0);
+      ci.hi = Clamp(p + half, 0.0, 1.0);
+    } else {
+      // Wilson — identical expression to WilsonProportionInterval.
+      const double center = p + z2 / (2.0 * nn);
+      const double half =
+          z * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn));
+      ci.lo = Clamp((center - half) / wilson_denom, 0.0, 1.0);
+      ci.hi = Clamp((center + half) / wilson_denom, 0.0, 1.0);
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace accuracy
 }  // namespace ausdb

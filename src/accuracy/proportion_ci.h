@@ -2,6 +2,7 @@
 #define AUSDB_ACCURACY_PROPORTION_CI_H_
 
 #include <cstddef>
+#include <span>
 
 #include "src/accuracy/confidence_interval.h"
 #include "src/common/result.h"
@@ -35,6 +36,19 @@ Result<ConfidenceInterval> ProportionInterval(double p, size_t n,
 
 /// True iff the Lemma 1 normal-approximation condition holds.
 bool WaldConditionHolds(double p, size_t n);
+
+/// \brief Lemma 1 over a whole histogram: one ProportionInterval per bin
+/// height in `ps`, written to `out[i]` (out.size() must be >= ps.size()).
+///
+/// Byte-identical to calling ProportionInterval per element — identical
+/// Wald/Wilson dispatch and expressions — but the z percentile is hoisted
+/// out of the loop and the per-bin arithmetic runs over the contiguous
+/// bin-height array with no Result boxing per element. Fails on the first
+/// invalid bin height (same validation as the scalar call), leaving `out`
+/// unspecified.
+Status ProportionIntervalsMany(std::span<const double> ps, size_t n,
+                               double confidence,
+                               std::span<ConfidenceInterval> out);
 
 }  // namespace accuracy
 }  // namespace ausdb

@@ -5,22 +5,26 @@
 #include <vector>
 
 #include "src/common/thread_pool.h"
+#include "src/dist/kernels.h"
 
 namespace ausdb {
 namespace dist {
 
 namespace {
 
-struct PointMass {
-  double value;
-  double mass;
+// Discretized histogram in struct-of-arrays layout: parallel value/mass
+// columns feed the deposit kernel as contiguous spans.
+struct PointCloud {
+  std::vector<double> values;
+  std::vector<double> masses;
 };
 
 // Uniform bin mass split into `s` equal point masses at subcell
 // midpoints.
-std::vector<PointMass> Discretize(const HistogramDist& h, size_t s) {
-  std::vector<PointMass> points;
-  points.reserve(h.bin_count() * s);
+PointCloud Discretize(const HistogramDist& h, size_t s) {
+  PointCloud points;
+  points.values.reserve(h.bin_count() * s);
+  points.masses.reserve(h.bin_count() * s);
   for (size_t i = 0; i < h.bin_count(); ++i) {
     const double lo = h.edges()[i];
     const double width = h.BinWidth(i);
@@ -29,7 +33,8 @@ std::vector<PointMass> Discretize(const HistogramDist& h, size_t s) {
       const double mid =
           lo + width * (static_cast<double>(k) + 0.5) /
                    static_cast<double>(s);
-      points.push_back({mid, mass});
+      points.values.push_back(mid);
+      points.masses.push_back(mass);
     }
   }
   return points;
@@ -91,31 +96,23 @@ Result<HistogramDist> ConvolveHistograms(const HistogramDist& x,
   // result's mean exact and halves the CDF discretization bias of
   // nearest-bin assignment. The outer-point loop is tiled into chunks
   // whose boundaries depend only on the input size; each chunk deposits
-  // into a private accumulator and the partials are merged in chunk
-  // order, so the result is bit-identical at any thread count
-  // (including the no-pool serial path).
-  const size_t num_chunks = DeterministicChunkCount(px.size());
+  // into a private accumulator via the two-pass CicDepositTiled kernel
+  // (index/weight computation vectorizes, the scatter replays in scalar
+  // order) and the partials are merged in chunk order, so the result is
+  // bit-identical at any thread count (including the no-pool serial
+  // path).
+  const size_t num_chunks = DeterministicChunkCount(px.values.size());
   std::vector<std::vector<double>> partials(num_chunks);
-  RunChunked(options.pool, px.size(), num_chunks,
+  RunChunked(options.pool, px.values.size(), num_chunks,
              [&](size_t chunk, size_t begin, size_t end) {
                std::vector<double>& probs = partials[chunk];
                probs.assign(bins, 0.0);
-               for (size_t ai = begin; ai < end; ++ai) {
-                 const PointMass& a = px[ai];
-                 for (const PointMass& b : py) {
-                   const double v = a.value + b.value;
-                   const double m = a.mass * b.mass;
-                   // p in [0, bins-1] up to rounding; clamp the spill.
-                   const double p = std::clamp(
-                       (v - lo) * inv_step, 0.0,
-                       static_cast<double>(bins - 1));
-                   const size_t i0 =
-                       std::min(static_cast<size_t>(p), bins - 2);
-                   const double frac = p - static_cast<double>(i0);
-                   probs[i0] += m * (1.0 - frac);
-                   probs[i0 + 1] += m * frac;
-                 }
-               }
+               CicDepositTiled(
+                   std::span<const double>(px.values)
+                       .subspan(begin, end - begin),
+                   std::span<const double>(px.masses)
+                       .subspan(begin, end - begin),
+                   py.values, py.masses, lo, inv_step, probs);
              });
 
   std::vector<double> probs(bins, 0.0);

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "src/common/math_util.h"
+#include "src/dist/kernels.h"
 
 namespace ausdb {
 namespace dist {
@@ -82,11 +83,26 @@ double HistogramDist::Cdf(double x) const {
   return below + probs_[bin] * frac;
 }
 
+void HistogramDist::CdfMany(std::span<const double> xs,
+                            std::span<double> out) const {
+  HistogramCdfMany(edges_, probs_, cum_, xs, out);
+}
+
+size_t HistogramDist::SampleBin(double u) const {
+  // upper_bound (first cum > u), not lower_bound (first cum >= u): a
+  // draw landing exactly on a cumulative boundary — u == 0.0 with a
+  // zero-probability head bin, or u == cum_[i] below a zero-probability
+  // interior bin — must select the next bin that carries mass. A
+  // zero-mass bin has cum_[i] == cum_[i-1], so upper_bound skips the
+  // whole run of them; lower_bound stopped at the first, returning a
+  // value from a bin the distribution assigns probability zero.
+  const auto it = std::upper_bound(cum_.begin(), cum_.end(), u);
+  return std::min(static_cast<size_t>(it - cum_.begin()),
+                  probs_.size() - 1);
+}
+
 double HistogramDist::Sample(Rng& rng) const {
-  const double u = rng.NextDouble();
-  const auto it = std::lower_bound(cum_.begin(), cum_.end(), u);
-  const size_t bin = std::min(static_cast<size_t>(it - cum_.begin()),
-                              probs_.size() - 1);
+  const size_t bin = SampleBin(rng.NextDouble());
   return edges_[bin] + BinWidth(bin) * rng.NextDouble();
 }
 

@@ -33,6 +33,10 @@ class HistogramDist final : public Distribution {
   double Mean() const override;
   double Variance() const override;
   double Cdf(double x) const override;
+  /// Evaluates the CDF at each `xs[i]` into `out[i]` (out.size() must be
+  /// >= xs.size()). Byte-identical to per-element Cdf() calls; runs the
+  /// branchless flat-array kernel, skipping per-call virtual dispatch.
+  void CdfMany(std::span<const double> xs, std::span<double> out) const;
   double Sample(Rng& rng) const override;
   std::string ToString() const override;
   std::shared_ptr<Distribution> Clone() const override;
@@ -56,6 +60,16 @@ class HistogramDist final : public Distribution {
   /// first/last bin. Returns npos (== bin_count()) only for an empty
   /// histogram, which Make() forbids.
   size_t BinIndex(double x) const;
+
+  /// Index of the bin the inverse-CDF transform selects for a uniform
+  /// draw u in [0, 1): the first bin whose cumulative mass strictly
+  /// exceeds u. Zero-probability bins are never selected — a draw
+  /// landing exactly on a cumulative boundary (u == 0.0 under a
+  /// zero-probability head bin, u == cum[i] under a zero-probability
+  /// interior run) skips the whole zero run to the next bin carrying
+  /// mass. Sample() is SampleBin(u) plus a uniform position inside the
+  /// bin.
+  size_t SampleBin(double u) const;
 
   /// A copy with the same edges but different probabilities (validated the
   /// same way as Make).

@@ -1,0 +1,54 @@
+#ifndef AUSDB_DIST_KERNELS_H_
+#define AUSDB_DIST_KERNELS_H_
+
+#include <cstddef>
+#include <span>
+
+namespace ausdb {
+namespace dist {
+
+/// \brief Flat-array inner loops of the histogram hot paths.
+///
+/// Each kernel is the vectorization-friendly form of an existing scalar
+/// loop and is REQUIRED to produce byte-identical doubles: same
+/// floating-point expressions, same evaluation order, same rounding. The
+/// speedup comes from removing virtual dispatch, hoisting loop-invariant
+/// loads, and arranging the work as contiguous passes the compiler can
+/// auto-vectorize — never from algebraic rewrites. bench_micro_ops gates
+/// each kernel against an inlined replica of its scalar seed loop.
+
+/// Evaluates the histogram CDF at each `xs[i]` into `out[i]`.
+///
+/// `edges` are the b+1 ascending bin edges, `probs` the b bin masses,
+/// `cum` the inclusive prefix sums with cum.back() == 1.0 — exactly the
+/// members of HistogramDist. Result is byte-identical to calling
+/// HistogramDist::Cdf per element: the bin search is a branchless binary
+/// search with the same upper_bound semantics, and the interpolation is
+/// the identical expression `below + probs[bin] * ((x - e_lo) / width)`.
+/// `out.size()` must be >= `xs.size()`.
+void HistogramCdfMany(std::span<const double> edges,
+                      std::span<const double> probs,
+                      std::span<const double> cum,
+                      std::span<const double> xs, std::span<double> out);
+
+/// Cloud-in-cell deposit of the pairwise sum cloud {a_i + b_j} weighted
+/// by {a_mass_i * b_mass_j} onto the regular grid starting at `lo` with
+/// spacing `1/inv_step`, accumulating into `probs` (bins = probs.size(),
+/// must be >= 2).
+///
+/// Two-pass tiling: pass 1 computes indices and split weights for a tile
+/// of b-points into flat scratch arrays (auto-vectorizable — no memory
+/// dependences), pass 2 scatters them in the original (a-major, b-minor)
+/// order, so every floating-point add hits each accumulator in exactly
+/// the order of the scalar seed loop and the deposited grid is
+/// byte-identical.
+void CicDepositTiled(std::span<const double> a_values,
+                     std::span<const double> a_masses,
+                     std::span<const double> b_values,
+                     std::span<const double> b_masses, double lo,
+                     double inv_step, std::span<double> probs);
+
+}  // namespace dist
+}  // namespace ausdb
+
+#endif  // AUSDB_DIST_KERNELS_H_

@@ -43,45 +43,68 @@ Result<accuracy::AccuracyInfo> AccuracyAnnotator::Annotate(
       options_.confidence, rng_, edges);
 }
 
-Result<std::optional<Tuple>> AccuracyAnnotator::Next() {
-  if (!resolved_) {
-    if (options_.columns.empty()) {
-      for (size_t i = 0; i < schema().num_fields(); ++i) {
-        if (schema().field(i).type == FieldType::kUncertain) {
-          column_indices_.push_back(i);
-        }
-      }
-    } else {
-      for (const auto& name : options_.columns) {
-        AUSDB_ASSIGN_OR_RETURN(size_t idx, schema().IndexOf(name));
-        column_indices_.push_back(idx);
+Status AccuracyAnnotator::ResolveColumns() {
+  if (resolved_) return Status::OK();
+  if (options_.columns.empty()) {
+    for (size_t i = 0; i < schema().num_fields(); ++i) {
+      if (schema().field(i).type == FieldType::kUncertain) {
+        column_indices_.push_back(i);
       }
     }
-    resolved_ = true;
+  } else {
+    for (const auto& name : options_.columns) {
+      AUSDB_ASSIGN_OR_RETURN(size_t idx, schema().IndexOf(name));
+      column_indices_.push_back(idx);
+    }
   }
+  resolved_ = true;
+  return Status::OK();
+}
 
-  AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> t, child_->Next());
-  if (!t.has_value()) return std::optional<Tuple>(std::nullopt);
-
+Status AccuracyAnnotator::AnnotateTuple(Tuple& t) {
   for (size_t idx : column_indices_) {
-    const expr::Value& v = t->value(idx);
+    const expr::Value& v = t.value(idx);
     if (!v.is_random_var()) continue;
     AUSDB_ASSIGN_OR_RETURN(dist::RandomVar rv, v.random_var());
     if (rv.is_certain()) continue;
     AUSDB_ASSIGN_OR_RETURN(accuracy::AccuracyInfo info, Annotate(rv));
-    t->set_accuracy(idx, std::move(info));
+    t.set_accuracy(idx, std::move(info));
   }
 
   if (options_.annotate_membership &&
-      t->membership_df_n() != dist::RandomVar::kCertainSampleSize) {
+      t.membership_df_n() != dist::RandomVar::kCertainSampleSize) {
     AUSDB_ASSIGN_OR_RETURN(
         accuracy::ConfidenceInterval ci,
         accuracy::TupleProbabilityInterval(
-            t->membership_prob(), t->membership_df_n(),
+            t.membership_prob(), t.membership_df_n(),
             options_.confidence));
-    t->set_membership_ci(ci);
+    t.set_membership_ci(ci);
   }
+  return Status::OK();
+}
+
+Result<std::optional<Tuple>> AccuracyAnnotator::Next() {
+  AUSDB_RETURN_NOT_OK(ResolveColumns());
+  AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> t, child_->Next());
+  if (!t.has_value()) return std::optional<Tuple>(std::nullopt);
+  AUSDB_RETURN_NOT_OK(AnnotateTuple(*t));
   return t;
+}
+
+Status AccuracyAnnotator::NextBatch(size_t max_n, TupleBatch& out) {
+  out.Clear();
+  if (max_n == 0) {
+    return Status::InvalidArgument("batch size must be >= 1");
+  }
+  AUSDB_RETURN_NOT_OK(ResolveColumns());
+  AUSDB_RETURN_NOT_OK(child_->NextBatch(max_n, out));
+  // Rows are annotated in arrival order: the bootstrap path draws from
+  // rng_, so the per-tuple draw sequence must match the scalar path.
+  for (Tuple& t : out.rows()) {
+    AUSDB_RETURN_NOT_OK(AnnotateTuple(t));
+  }
+  out.InvalidateColumns();
+  return Status::OK();
 }
 
 Status AccuracyAnnotator::Reset() { return child_->Reset(); }

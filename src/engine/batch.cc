@@ -1,0 +1,45 @@
+#include "src/engine/batch.h"
+
+namespace ausdb {
+namespace engine {
+
+Status TupleBatch::GatherColumns(const Schema& schema) {
+  if (gathered_) return Status::OK();
+  // Reuse slice storage across batches: rebuild the field list only when
+  // the schema shape changed (operators pull one schema for life).
+  size_t slot = 0;
+  for (size_t f = 0; f < schema.num_fields(); ++f) {
+    if (schema.field(f).type != FieldType::kDouble) continue;
+    if (slot >= slices_.size()) slices_.push_back({f, {}});
+    slices_[slot].field_index = f;
+    std::vector<double>& out = slices_[slot].values;
+    out.clear();
+    out.reserve(rows_.size());
+    for (const Tuple& t : rows_) {
+      if (f >= t.num_values()) {
+        return Status::TypeError(
+            "tuple narrower than schema while gathering column " +
+            schema.field(f).name);
+      }
+      AUSDB_ASSIGN_OR_RETURN(double v, t.value(f).AsDouble());
+      out.push_back(v);
+    }
+    ++slot;
+  }
+  slices_.resize(slot);
+  gathered_ = true;
+  return Status::OK();
+}
+
+std::span<const double> TupleBatch::Column(size_t field_index) const {
+  if (!gathered_) return {};
+  for (const Slice& s : slices_) {
+    if (s.field_index == field_index) {
+      return std::span<const double>(s.values);
+    }
+  }
+  return {};
+}
+
+}  // namespace engine
+}  // namespace ausdb

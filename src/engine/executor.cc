@@ -1,5 +1,7 @@
 #include "src/engine/executor.h"
 
+#include <algorithm>
+
 #include "src/common/thread_pool.h"
 
 namespace ausdb {
@@ -26,6 +28,48 @@ Result<std::vector<Tuple>> ParallelCollect(Operator& root,
                                            ThreadPool& pool) {
   ScopedPoolBinding binding(root, pool);
   return Collect(root);
+}
+
+size_t DeterministicBatchSize(const Operator& plan) {
+  // ~4096 values per batch keeps a morsel inside L2 for typical tuple
+  // widths; the clamp bounds dispatch amortization (lower) and batch
+  // memory (upper). Depends only on the plan's output schema.
+  const size_t fields = std::max<size_t>(1, plan.schema().num_fields());
+  const size_t rows = 4096 / fields;
+  return std::clamp(rows, kMinBatchRows, kMaxBatchRows);
+}
+
+Result<std::vector<Tuple>> BatchCollect(Operator& root) {
+  const size_t batch_size = DeterministicBatchSize(root);
+  std::vector<Tuple> out;
+  TupleBatch batch;
+  for (;;) {
+    AUSDB_RETURN_NOT_OK(root.NextBatch(batch_size, batch));
+    if (batch.empty()) return out;
+    for (Tuple& t : batch.rows()) out.push_back(std::move(t));
+  }
+}
+
+Result<size_t> BatchDrain(Operator& root) {
+  const size_t batch_size = DeterministicBatchSize(root);
+  size_t count = 0;
+  TupleBatch batch;
+  for (;;) {
+    AUSDB_RETURN_NOT_OK(root.NextBatch(batch_size, batch));
+    if (batch.empty()) return count;
+    count += batch.size();
+  }
+}
+
+Result<std::vector<Tuple>> ParallelBatchCollect(Operator& root,
+                                                ThreadPool& pool) {
+  ScopedPoolBinding binding(root, pool);
+  return BatchCollect(root);
+}
+
+Result<size_t> ParallelBatchDrain(Operator& root, ThreadPool& pool) {
+  ScopedPoolBinding binding(root, pool);
+  return BatchDrain(root);
 }
 
 Result<size_t> ParallelDrain(Operator& root, ThreadPool& pool) {

@@ -20,6 +20,33 @@ Result<size_t> Drain(Operator& root);
 /// \brief Pulls at most `limit` tuples.
 Result<std::vector<Tuple>> CollectLimit(Operator& root, size_t limit);
 
+/// \brief The executor's batch size for `plan`: a pure function of the
+/// plan shape (its output schema width), never of timing or machine —
+/// the same determinism rule the chunked parallel layer follows. Wide
+/// schemas get smaller batches so a batch stays cache-resident; the
+/// result is always in [kMinBatchRows, kMaxBatchRows].
+size_t DeterministicBatchSize(const Operator& plan);
+
+inline constexpr size_t kMinBatchRows = 64;
+inline constexpr size_t kMaxBatchRows = 1024;
+
+/// \brief Collect driven through NextBatch at DeterministicBatchSize:
+/// byte-identical output to Collect (the batch contract), one virtual
+/// dispatch per batch instead of per tuple.
+Result<std::vector<Tuple>> BatchCollect(Operator& root);
+
+/// \brief Drain variant of BatchCollect.
+Result<size_t> BatchDrain(Operator& root);
+
+/// \brief BatchCollect with `pool` bound to the plan for the duration of
+/// the drain (see ParallelCollect); batched + parallel output is still
+/// bit-identical to plain Collect.
+Result<std::vector<Tuple>> ParallelBatchCollect(Operator& root,
+                                                ThreadPool& pool);
+
+/// \brief Drain variant of ParallelBatchCollect.
+Result<size_t> ParallelBatchDrain(Operator& root, ThreadPool& pool);
+
 /// \brief Collect with `pool` bound to the plan for the duration of the
 /// drain: parallel-aware operators (e.g.
 /// ShardedPartitionedWindowAggregate) fan their work across the pool's

@@ -48,6 +48,10 @@ class Filter final : public Operator {
 
   const Schema& schema() const override { return child_->schema(); }
   Result<std::optional<Tuple>> Next() override;
+  /// Native batch pull: one child batch per iteration, the predicate
+  /// evaluated over the rows in arrival order — same evaluator state
+  /// sequence, hence byte-identical output to the scalar path.
+  Status NextBatch(size_t max_n, TupleBatch& out) override;
   Status Reset() override;
   void BindThreadPool(ThreadPool* pool) override {
     child_->BindThreadPool(pool);
@@ -59,7 +63,13 @@ class Filter final : public Operator {
   size_t unsure_count() const { return unsure_count_; }
 
  private:
+  /// The per-tuple decision shared by Next and NextBatch: evaluates the
+  /// predicate against `t`, folds membership probability / significance
+  /// into it, and returns whether the tuple survives.
+  Result<bool> ApplyOne(Tuple& t);
+
   OperatorPtr child_;
+  TupleBatch input_;  // scratch child batch, reused across pulls
   expr::ExprPtr predicate_;
   FilterOptions options_;
   expr::Evaluator evaluator_;

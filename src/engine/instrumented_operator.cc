@@ -51,6 +51,22 @@ Result<std::optional<Tuple>> InstrumentedOperator::Next() {
   return result;
 }
 
+Status InstrumentedOperator::NextBatch(size_t max_n, TupleBatch& out) {
+  next_calls_->Increment();
+  const bool timed = call_index_++ % latency_sample_period_ == 0;
+  const uint64_t start = timed ? clock_->NowNanos() : 0;
+  Status status = child_->NextBatch(max_n, out);
+  if (timed) {
+    next_latency_->Record(obs::NanosToSeconds(clock_->NowNanos() - start));
+  }
+  if (!status.ok()) {
+    next_errors_->Increment();
+  } else {
+    tuples_->Increment(static_cast<uint64_t>(out.size()));
+  }
+  return status;
+}
+
 OperatorPtr Instrument(OperatorPtr child, const std::string& op_name,
                        obs::MetricRegistry* registry,
                        const obs::Clock* clock,

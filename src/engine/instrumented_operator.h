@@ -54,6 +54,10 @@ class InstrumentedOperator final : public Operator {
 
   const Schema& schema() const override { return child_->schema(); }
   Result<std::optional<Tuple>> Next() override;
+  /// Forwards to the child's native batch path; one pull attempt is
+  /// counted per batch and `tuples_total` advances by the batch size, so
+  /// throughput metrics stay comparable across scalar and batched runs.
+  Status NextBatch(size_t max_n, TupleBatch& out) override;
   Status Reset() override { return child_->Reset(); }
   Status Close() override { return child_->Close(); }
   Result<std::string> SaveCheckpoint() const override {

@@ -1,0 +1,22 @@
+#include "src/engine/operator.h"
+
+namespace ausdb {
+namespace engine {
+
+Status Operator::NextBatch(size_t max_n, TupleBatch& out) {
+  out.Clear();
+  if (max_n == 0) {
+    return Status::InvalidArgument("batch size must be >= 1");
+  }
+  // Default fallback: a batch is just max_n scalar pulls, so operators
+  // without a native batched path keep their exact scalar semantics.
+  for (size_t i = 0; i < max_n; ++i) {
+    AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> t, Next());
+    if (!t.has_value()) break;
+    out.rows().push_back(std::move(*t));
+  }
+  return Status::OK();
+}
+
+}  // namespace engine
+}  // namespace ausdb

@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "src/common/result.h"
+#include "src/engine/batch.h"
 #include "src/engine/schema.h"
 #include "src/engine/tuple.h"
 
@@ -30,6 +31,22 @@ class Operator {
 
   /// Produces the next tuple, or nullopt when the stream is exhausted.
   virtual Result<std::optional<Tuple>> Next() = 0;
+
+  /// \brief Produces up to `max_n` tuples into `out` (cleared first); an
+  /// empty batch means end of stream. `max_n` must be >= 1.
+  ///
+  /// The batch contract: pulling a plan through NextBatch yields the
+  /// byte-identical tuple sequence as pulling it through Next(), at any
+  /// batch size — batching amortizes per-tuple virtual dispatch and
+  /// exposes flat arrays to the dist/accuracy kernels, but is invisible
+  /// in the output, the same determinism invariant the parallel, async,
+  /// obs, and event-time layers already enforce. The default
+  /// implementation loops Next(), so every operator supports batch pulls;
+  /// hot-chain operators (Scan, Filter, Project, window aggregates,
+  /// AccuracyAnnotator) override it natively. An operator that buffers
+  /// input (window, filter) may pull its child in batches of its own
+  /// sizing; only the *output* sequence is contractual.
+  virtual Status NextBatch(size_t max_n, TupleBatch& out);
 
   /// Rewinds the operator (and its children) for a fresh pass, where
   /// supported. Default: NotImplemented.

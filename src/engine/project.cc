@@ -88,11 +88,8 @@ Project::Project(OperatorPtr child, std::vector<ProjectionItem> items,
       schema_(std::move(schema)),
       evaluator_(eval_options) {}
 
-Result<std::optional<Tuple>> Project::Next() {
-  AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> t, child_->Next());
-  if (!t.has_value()) return std::optional<Tuple>(std::nullopt);
-
-  const expr::Row row = t->AsRow(child_->schema());
+Result<Tuple> Project::ProjectOne(const Tuple& t) {
+  const expr::Row row = t.AsRow(child_->schema());
   std::vector<expr::Value> out_values;
   out_values.reserve(items_.size());
   for (const auto& item : items_) {
@@ -101,13 +98,34 @@ Result<std::optional<Tuple>> Project::Next() {
     out_values.push_back(std::move(v));
   }
   Tuple out(std::move(out_values));
-  out.set_membership_prob(t->membership_prob());
-  out.set_membership_df_n(t->membership_df_n());
-  out.set_sequence(t->sequence());
-  if (t->significance().has_value()) {
-    out.set_significance(*t->significance());
+  out.set_membership_prob(t.membership_prob());
+  out.set_membership_df_n(t.membership_df_n());
+  out.set_sequence(t.sequence());
+  if (t.significance().has_value()) {
+    out.set_significance(*t.significance());
   }
+  return out;
+}
+
+Result<std::optional<Tuple>> Project::Next() {
+  AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> t, child_->Next());
+  if (!t.has_value()) return std::optional<Tuple>(std::nullopt);
+  AUSDB_ASSIGN_OR_RETURN(Tuple out, ProjectOne(*t));
   return std::optional<Tuple>(std::move(out));
+}
+
+Status Project::NextBatch(size_t max_n, TupleBatch& out) {
+  out.Clear();
+  if (max_n == 0) {
+    return Status::InvalidArgument("batch size must be >= 1");
+  }
+  AUSDB_RETURN_NOT_OK(child_->NextBatch(max_n, input_));
+  out.rows().reserve(input_.size());
+  for (const Tuple& t : input_.rows()) {
+    AUSDB_ASSIGN_OR_RETURN(Tuple projected, ProjectOne(t));
+    out.rows().push_back(std::move(projected));
+  }
+  return Status::OK();
 }
 
 Status Project::Reset() { return child_->Reset(); }

@@ -40,6 +40,9 @@ class Project final : public Operator {
 
   const Schema& schema() const override { return schema_; }
   Result<std::optional<Tuple>> Next() override;
+  /// Native batch pull: child batch in, items evaluated row-major in
+  /// arrival order (same evaluator state sequence as the scalar path).
+  Status NextBatch(size_t max_n, TupleBatch& out) override;
   Status Reset() override;
   void BindThreadPool(ThreadPool* pool) override {
     child_->BindThreadPool(pool);
@@ -51,7 +54,11 @@ class Project final : public Operator {
   Project(OperatorPtr child, std::vector<ProjectionItem> items,
           Schema schema, expr::EvalOptions eval_options);
 
+  /// Evaluates the SELECT list against one input row.
+  Result<Tuple> ProjectOne(const Tuple& t);
+
   OperatorPtr child_;
+  TupleBatch input_;  // scratch child batch, reused across pulls
   std::vector<ProjectionItem> items_;
   Schema schema_;
   expr::Evaluator evaluator_;

@@ -1,5 +1,7 @@
 #include "src/engine/scan.h"
 
+#include <algorithm>
+
 namespace ausdb {
 namespace engine {
 
@@ -13,6 +15,20 @@ VectorScan::VectorScan(Schema schema, std::vector<Tuple> tuples)
 Result<std::optional<Tuple>> VectorScan::Next() {
   if (pos_ >= tuples_.size()) return std::optional<Tuple>(std::nullopt);
   return std::optional<Tuple>(tuples_[pos_++]);
+}
+
+Status VectorScan::NextBatch(size_t max_n, TupleBatch& out) {
+  out.Clear();
+  if (max_n == 0) {
+    return Status::InvalidArgument("batch size must be >= 1");
+  }
+  const size_t n = std::min(max_n, tuples_.size() - pos_);
+  out.rows().reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.rows().push_back(tuples_[pos_ + i]);
+  }
+  pos_ += n;
+  return Status::OK();
 }
 
 Status VectorScan::Reset() {
@@ -29,6 +45,20 @@ Result<std::optional<Tuple>> StreamScan::Next() {
     t->set_sequence(next_sequence_++);
   }
   return t;
+}
+
+Status StreamScan::NextBatch(size_t max_n, TupleBatch& out) {
+  out.Clear();
+  if (max_n == 0) {
+    return Status::InvalidArgument("batch size must be >= 1");
+  }
+  for (size_t i = 0; i < max_n; ++i) {
+    AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> t, generator_());
+    if (!t.has_value()) break;
+    t->set_sequence(next_sequence_++);
+    out.rows().push_back(std::move(*t));
+  }
+  return Status::OK();
 }
 
 }  // namespace engine

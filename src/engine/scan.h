@@ -16,6 +16,9 @@ class VectorScan final : public Operator {
 
   const Schema& schema() const override { return schema_; }
   Result<std::optional<Tuple>> Next() override;
+  /// Native batch pull: copies the next run of tuples in one pass (no
+  /// per-tuple virtual dispatch).
+  Status NextBatch(size_t max_n, TupleBatch& out) override;
   Status Reset() override;
 
  private:
@@ -36,6 +39,9 @@ class StreamScan final : public Operator {
 
   const Schema& schema() const override { return schema_; }
   Result<std::optional<Tuple>> Next() override;
+  /// Native batch pull: one generator call per tuple still, but a single
+  /// operator dispatch per batch.
+  Status NextBatch(size_t max_n, TupleBatch& out) override;
 
  private:
   Schema schema_;

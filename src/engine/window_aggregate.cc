@@ -43,6 +43,8 @@ WindowAggregate::WindowAggregate(OperatorPtr child, size_t column_index,
                                  WindowAggregateOptions options)
     : child_(std::move(child)),
       column_index_(column_index),
+      column_is_double_(child_->schema().field(column_index).type ==
+                        FieldType::kDouble),
       schema_(std::move(out_schema)),
       options_(options) {
   if (options_.emit_revisions) {
@@ -74,6 +76,73 @@ void WindowAggregate::PopFront() {
   window_.pop_front();
 }
 
+Result<std::optional<Tuple>> WindowAggregate::StepEntry(
+    const WindowEntry& we, const Tuple& t) {
+  if (options_.emit_revisions) {
+    bool shed = false;
+    std::optional<KeyWindowState::Emission> emission =
+        revising_->ObserveRevising(we, options_, &shed);
+    if (shed) ++shed_late_;
+    if (!emission.has_value()) return std::optional<Tuple>(std::nullopt);
+    dist::RandomVar agg(
+        std::make_shared<dist::GaussianDist>(
+            emission->aggregate.mean,
+            std::max(0.0, emission->aggregate.variance)),
+        emission->aggregate.df);
+    Tuple out({expr::Value(std::move(agg)),
+               expr::Value(emission->revision)});
+    out.set_sequence(t.sequence());
+    out.set_membership_prob(t.membership_prob());
+    out.set_membership_df_n(t.membership_df_n());
+    return std::optional<Tuple>(std::move(out));
+  }
+
+  Entry e;
+  e.sequence = we.sequence;
+  e.mean = we.mean;
+  e.variance = we.variance;
+  e.sample_size = we.sample_size;
+
+  Push(e);
+  if (options_.kind == WindowKind::kTumbling) {
+    // Tumbling: emit only when the window fills, then start over.
+    if (window_.size() < options_.window_size) {
+      return std::optional<Tuple>(std::nullopt);
+    }
+  } else {
+    if (window_.size() > options_.window_size) PopFront();
+    if (window_.size() < options_.window_size &&
+        !options_.emit_partial) {
+      return std::optional<Tuple>(std::nullopt);
+    }
+  }
+
+  const double w = static_cast<double>(window_.size());
+  double mean = sum_mean_.Get();
+  double variance = sum_variance_.Get();
+  if (options_.fn == WindowAggFn::kAvg) {
+    mean /= w;
+    variance /= w * w;
+  }
+  const size_t df = min_deque_.front().sample_size;
+
+  dist::RandomVar agg(
+      std::make_shared<dist::GaussianDist>(mean,
+                                           std::max(0.0, variance)),
+      df);
+  Tuple out({expr::Value(std::move(agg))});
+  out.set_sequence(t.sequence());
+  out.set_membership_prob(t.membership_prob());
+  out.set_membership_df_n(t.membership_df_n());
+  if (options_.kind == WindowKind::kTumbling) {
+    window_.clear();
+    min_deque_.clear();
+    sum_mean_.Reset();
+    sum_variance_.Reset();
+  }
+  return std::optional<Tuple>(std::move(out));
+}
+
 Result<std::optional<Tuple>> WindowAggregate::Next() {
   for (;;) {
     AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> t, child_->Next());
@@ -84,68 +153,47 @@ Result<std::optional<Tuple>> WindowAggregate::Next() {
         WindowEntry we, WindowEntryFromValue(t->value(column_index_),
                                              options_));
     we.sequence = t->sequence();
+    AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> out, StepEntry(we, *t));
+    if (out.has_value()) return out;
+  }
+}
 
-    if (options_.emit_revisions) {
-      bool shed = false;
-      std::optional<KeyWindowState::Emission> emission =
-          revising_->ObserveRevising(we, options_, &shed);
-      if (shed) ++shed_late_;
-      if (!emission.has_value()) continue;
-      dist::RandomVar agg(
-          std::make_shared<dist::GaussianDist>(
-              emission->aggregate.mean,
-              std::max(0.0, emission->aggregate.variance)),
-          emission->aggregate.df);
-      Tuple out({expr::Value(std::move(agg)),
-                 expr::Value(emission->revision)});
-      out.set_sequence(t->sequence());
-      out.set_membership_prob(t->membership_prob());
-      out.set_membership_df_n(t->membership_df_n());
-      return std::optional<Tuple>(std::move(out));
+Status WindowAggregate::NextBatch(size_t max_n, TupleBatch& out) {
+  out.Clear();
+  if (max_n == 0) {
+    return Status::InvalidArgument("batch size must be >= 1");
+  }
+  for (;;) {
+    AUSDB_RETURN_NOT_OK(child_->NextBatch(max_n, input_));
+    if (input_.empty()) return Status::OK();
+
+    // Columnar entry extraction: a deterministic double column arrives
+    // as one contiguous slice — the window entries {v, 0, certain} come
+    // out of a flat array pass instead of per-row Value dispatch.
+    std::span<const double> slice;
+    if (column_is_double_ && !options_.emit_revisions) {
+      AUSDB_RETURN_NOT_OK(input_.GatherColumns(child_->schema()));
+      slice = input_.Column(column_index_);
     }
 
-    Entry e;
-    e.sequence = we.sequence;
-    e.mean = we.mean;
-    e.variance = we.variance;
-    e.sample_size = we.sample_size;
-
-    Push(e);
-    if (options_.kind == WindowKind::kTumbling) {
-      // Tumbling: emit only when the window fills, then start over.
-      if (window_.size() < options_.window_size) continue;
-    } else {
-      if (window_.size() > options_.window_size) PopFront();
-      if (window_.size() < options_.window_size &&
-          !options_.emit_partial) {
-        continue;
+    for (size_t i = 0; i < input_.size(); ++i) {
+      const Tuple& t = input_.rows()[i];
+      ++input_consumed_;
+      WindowEntry we;
+      if (i < slice.size()) {
+        we.mean = slice[i];
+        we.variance = 0.0;
+        we.sample_size = dist::RandomVar::kCertainSampleSize;
+      } else {
+        AUSDB_ASSIGN_OR_RETURN(
+            we, WindowEntryFromValue(t.value(column_index_), options_));
       }
+      we.sequence = t.sequence();
+      AUSDB_ASSIGN_OR_RETURN(std::optional<Tuple> emission,
+                             StepEntry(we, t));
+      if (emission.has_value()) out.rows().push_back(std::move(*emission));
     }
-
-    const double w = static_cast<double>(window_.size());
-    double mean = sum_mean_.Get();
-    double variance = sum_variance_.Get();
-    if (options_.fn == WindowAggFn::kAvg) {
-      mean /= w;
-      variance /= w * w;
-    }
-    const size_t df = min_deque_.front().sample_size;
-
-    dist::RandomVar agg(
-        std::make_shared<dist::GaussianDist>(mean,
-                                             std::max(0.0, variance)),
-        df);
-    Tuple out({expr::Value(std::move(agg))});
-    out.set_sequence(t->sequence());
-    out.set_membership_prob(t->membership_prob());
-    out.set_membership_df_n(t->membership_df_n());
-    if (options_.kind == WindowKind::kTumbling) {
-      window_.clear();
-      min_deque_.clear();
-      sum_mean_.Reset();
-      sum_variance_.Reset();
-    }
-    return std::optional<Tuple>(std::move(out));
+    if (!out.empty()) return Status::OK();
   }
 }
 

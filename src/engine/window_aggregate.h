@@ -13,6 +13,7 @@ namespace ausdb {
 namespace engine {
 
 struct KeyWindowState;
+struct WindowEntry;
 
 /// Aggregate function of a sliding window.
 enum class WindowAggFn {
@@ -82,6 +83,12 @@ class WindowAggregate final : public Operator {
 
   const Schema& schema() const override { return schema_; }
   Result<std::optional<Tuple>> Next() override;
+  /// Native batch pull. For a deterministic (kDouble) aggregate column
+  /// the window entries are extracted from the batch's gathered column
+  /// slice — a flat array pass — instead of per-row Value dispatch; the
+  /// entry values are identical by construction, so output stays
+  /// byte-identical to the scalar path.
+  Status NextBatch(size_t max_n, TupleBatch& out) override;
   Status Reset() override;
   void BindThreadPool(ThreadPool* pool) override {
     child_->BindThreadPool(pool);
@@ -121,10 +128,19 @@ class WindowAggregate final : public Operator {
   void Push(const Entry& e);
   void PopFront();
 
+  /// Feeds one extracted window entry (sequence already set) carrying
+  /// `t`'s provenance through the window; returns the emission this
+  /// arrival produces, if any. Shared by Next and NextBatch — the single
+  /// floating-point update sequence both paths execute.
+  Result<std::optional<Tuple>> StepEntry(const WindowEntry& we,
+                                         const Tuple& t);
+
   OperatorPtr child_;
   size_t column_index_;
+  bool column_is_double_ = false;
   Schema schema_;
   WindowAggregateOptions options_;
+  TupleBatch input_;  // scratch child batch, reused across pulls
 
   std::deque<Entry> window_;
   uint64_t input_consumed_ = 0;

@@ -1,0 +1,191 @@
+// Edge-semantics regression tests for HistogramDist: bins are half-open
+// [e_i, e_{i+1}), Make() enforces the 1e-9 normalization tolerance
+// exactly, inverse-CDF sampling never selects a zero-probability bin,
+// and the batched CdfMany kernel is byte-identical to scalar Cdf over
+// adversarial inputs.
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/dist/histogram.h"
+#include "src/dist/kernels.h"
+
+namespace ausdb {
+namespace dist {
+namespace {
+
+Result<HistogramDist> UnitHistogram() {
+  // Four bins over [0, 4) with probabilities 0.1, 0.2, 0.3, 0.4.
+  return HistogramDist::Make({0.0, 1.0, 2.0, 3.0, 4.0},
+                             {0.1, 0.2, 0.3, 0.4});
+}
+
+TEST(HistogramEdgeTest, CdfAtExactBinEdges) {
+  auto h = UnitHistogram();
+  ASSERT_TRUE(h.ok());
+  // Bins are half-open [e_i, e_{i+1}): the CDF at an interior edge is the
+  // cumulative mass strictly below it, with zero fraction of the bin the
+  // edge opens.
+  EXPECT_EQ(h->Cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h->Cdf(1.0), 0.1);
+  EXPECT_DOUBLE_EQ(h->Cdf(2.0), 0.1 + 0.2);
+  EXPECT_DOUBLE_EQ(h->Cdf(3.0), 0.1 + 0.2 + 0.3);
+  // The top edge is outside the support (right-open): CDF saturates.
+  EXPECT_EQ(h->Cdf(4.0), 1.0);
+  // Just below an edge the value still belongs to the lower bin.
+  const double below2 = std::nextafter(2.0, 0.0);
+  EXPECT_LT(h->Cdf(below2), h->Cdf(2.0));
+  // Just above an edge the interpolation starts from the edge's bin.
+  const double above2 = std::nextafter(2.0, 4.0);
+  EXPECT_GT(h->Cdf(above2), h->Cdf(2.0));
+}
+
+TEST(HistogramEdgeTest, BinIndexAtExactBinEdges) {
+  auto h = UnitHistogram();
+  ASSERT_TRUE(h.ok());
+  // An interior edge belongs to the bin it opens (half-open intervals).
+  EXPECT_EQ(h->BinIndex(0.0), 0u);
+  EXPECT_EQ(h->BinIndex(1.0), 1u);
+  EXPECT_EQ(h->BinIndex(2.0), 2u);
+  EXPECT_EQ(h->BinIndex(3.0), 3u);
+  EXPECT_EQ(h->BinIndex(std::nextafter(1.0, 0.0)), 0u);
+  // Out-of-range clamps, including the right-open top edge.
+  EXPECT_EQ(h->BinIndex(-5.0), 0u);
+  EXPECT_EQ(h->BinIndex(4.0), 3u);
+  EXPECT_EQ(h->BinIndex(100.0), 3u);
+}
+
+TEST(HistogramEdgeTest, MakeAtNormalizationToleranceBoundary) {
+  // Exactly representable deviations around the 1e-9 tolerance: a total
+  // of 1 ± 2^-31 (~4.66e-10) is inside and accepted (then renormalized
+  // exactly); 1 ± 2^-29 (~1.86e-9) is outside and rejected.
+  const double inside = std::ldexp(1.0, -31);
+  const double outside = std::ldexp(1.0, -29);
+  EXPECT_TRUE(
+      HistogramDist::Make({0.0, 1.0, 2.0}, {0.5, 0.5 + inside}).ok());
+  EXPECT_TRUE(
+      HistogramDist::Make({0.0, 1.0, 2.0}, {0.5, 0.5 - inside}).ok());
+  EXPECT_FALSE(
+      HistogramDist::Make({0.0, 1.0, 2.0}, {0.5, 0.5 + outside}).ok());
+  EXPECT_FALSE(
+      HistogramDist::Make({0.0, 1.0, 2.0}, {0.5, 0.5 - outside}).ok());
+
+  // Accepted masses are renormalized exactly: the CDF saturates at 1.
+  auto h = HistogramDist::Make({0.0, 1.0, 2.0}, {0.5, 0.5 + inside});
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->Cdf(2.0), 1.0);
+}
+
+TEST(HistogramEdgeTest, SampleBinSkipsZeroProbabilityHeadBin) {
+  // Zero-probability head bin: cum = {0, 0.5, 1}. A draw of exactly
+  // u == 0.0 used to select bin 0 (lower_bound stopping at cum == u) and
+  // return a value from a bin the distribution assigns mass zero.
+  auto h = HistogramDist::Make({0.0, 1.0, 2.0, 3.0}, {0.0, 0.5, 0.5});
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->SampleBin(0.0), 1u);
+  EXPECT_EQ(h->SampleBin(0.25), 1u);
+  EXPECT_EQ(h->SampleBin(0.5), 2u);
+  EXPECT_EQ(h->SampleBin(std::nextafter(1.0, 0.0)), 2u);
+
+  // A whole head run of zero bins is skipped at once.
+  auto run = HistogramDist::Make({0.0, 1.0, 2.0, 3.0}, {0.0, 0.0, 1.0});
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->SampleBin(0.0), 2u);
+}
+
+TEST(HistogramEdgeTest, SampleBinSkipsZeroProbabilityInteriorBin) {
+  // Interior zero bin: cum = {0.5, 0.5, 1}. A boundary draw u == 0.5
+  // must land in bin 2, never in the zero-mass bin 1.
+  auto h = HistogramDist::Make({0.0, 1.0, 2.0, 3.0}, {0.5, 0.0, 0.5});
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->SampleBin(0.5), 2u);
+  EXPECT_EQ(h->SampleBin(std::nextafter(0.5, 0.0)), 0u);
+  for (size_t bin : {h->SampleBin(0.0), h->SampleBin(0.25),
+                     h->SampleBin(0.75), h->SampleBin(0.999)}) {
+    EXPECT_NE(bin, 1u);
+  }
+}
+
+TEST(HistogramEdgeTest, SamplesNeverLandInZeroMassBins) {
+  auto h = HistogramDist::Make({0.0, 1.0, 2.0, 3.0, 4.0},
+                               {0.0, 0.5, 0.0, 0.5});
+  ASSERT_TRUE(h.ok());
+  Rng rng(20260808);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = h->Sample(rng);
+    const bool in_mass_bin =
+        (v >= 1.0 && v < 2.0) || (v >= 3.0 && v < 4.0);
+    ASSERT_TRUE(in_mass_bin) << "sample " << v << " in a zero-mass bin";
+  }
+}
+
+// CdfMany must agree with scalar Cdf to the last bit over adversarial
+// inputs: exact edges, values straddling edges by one ulp, denormals,
+// out-of-range values, and uneven bin widths.
+TEST(HistogramEdgeTest, CdfManyByteIdenticalToScalarCdf) {
+  auto h = HistogramDist::Make(
+      {-3.0, -1.0, -1e-300, 4.5e-320, 0.5, 2.0, 7.0},
+      {0.05, 0.2, 0.05, 0.3, 0.15, 0.25});
+  ASSERT_TRUE(h.ok());
+
+  std::vector<double> xs;
+  for (double e : h->edges()) {
+    xs.push_back(e);
+    xs.push_back(std::nextafter(e, -1e30));
+    xs.push_back(std::nextafter(e, 1e30));
+  }
+  // Denormals and signed zeros around the denormal-scale bin edge.
+  xs.push_back(0.0);
+  xs.push_back(-0.0);
+  xs.push_back(std::numeric_limits<double>::denorm_min());
+  xs.push_back(-std::numeric_limits<double>::denorm_min());
+  xs.push_back(4.9e-324);
+  xs.push_back(1e-320);
+  // Out of range on both sides.
+  xs.push_back(-1e30);
+  xs.push_back(1e30);
+  // A dense sweep across the support.
+  Rng rng(99);
+  for (int i = 0; i < 4096; ++i) {
+    xs.push_back(rng.NextDouble(-3.5, 7.5));
+  }
+
+  std::vector<double> batched(xs.size());
+  h->CdfMany(xs, batched);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double scalar = h->Cdf(xs[i]);
+    // Bitwise comparison: 0.0 == -0.0 under operator== but the contract
+    // is byte identity.
+    EXPECT_EQ(std::signbit(batched[i]), std::signbit(scalar))
+        << "x=" << xs[i];
+    EXPECT_EQ(batched[i], scalar) << "x=" << xs[i];
+  }
+}
+
+// The raw kernel entry point, driven directly with the histogram's own
+// arrays (what the batched operators do), matches too.
+TEST(HistogramEdgeTest, RawKernelMatchesMemberCdf) {
+  auto h = UnitHistogram();
+  ASSERT_TRUE(h.ok());
+  std::vector<double> cum(h->bin_count());
+  double acc = 0.0;
+  for (size_t i = 0; i < h->bin_count(); ++i) {
+    acc += h->probs()[i];
+    cum[i] = acc;
+  }
+  cum.back() = 1.0;
+  std::vector<double> xs = {-1.0, 0.0, 0.25, 1.0, 1.75, 3.999, 4.0, 9.0};
+  std::vector<double> out(xs.size());
+  HistogramCdfMany(h->edges(), h->probs(), cum, xs, out);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(out[i], h->Cdf(xs[i])) << "x=" << xs[i];
+  }
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace ausdb

@@ -9,6 +9,7 @@
 #include "src/engine/sort.h"
 #include "src/query/parser.h"
 #include "src/query/planner.h"
+#include "src/stream/async_prefetch_source.h"
 
 namespace ausdb {
 namespace engine {
@@ -52,6 +53,106 @@ TEST(LimitTest, ZeroAndOversized) {
   auto scan2 = std::make_unique<VectorScan>(MakeSchema(), MakeTuples());
   Limit big(std::move(scan2), 100);
   EXPECT_EQ(Collect(big)->size(), 3u);
+}
+
+// Pass-through wrapper that records lifecycle calls — the probe sits
+// under the prefetch source so a Close() propagating down the whole
+// chain is observable.
+class CloseProbe final : public Operator {
+ public:
+  explicit CloseProbe(OperatorPtr child, size_t* closes, size_t* resets)
+      : child_(std::move(child)), closes_(closes), resets_(resets) {}
+
+  const Schema& schema() const override { return child_->schema(); }
+  Result<std::optional<Tuple>> Next() override { return child_->Next(); }
+  Status Reset() override {
+    ++*resets_;
+    return child_->Reset();
+  }
+  Status Close() override {
+    ++*closes_;
+    return child_->Close();
+  }
+
+ private:
+  OperatorPtr child_;
+  size_t* closes_;
+  size_t* resets_;
+};
+
+// The close-at-cap contract: once the cap is hit the child is Close()d
+// immediately — a prefetching source must stop its producer thread while
+// the query is still running, not at plan teardown — exactly once.
+TEST(LimitTest, ClosesPrefetchingChildAtCap) {
+  size_t closes = 0;
+  size_t resets = 0;
+  auto probe = std::make_unique<CloseProbe>(
+      std::make_unique<VectorScan>(MakeSchema(), MakeTuples()), &closes,
+      &resets);
+  stream::AsyncPrefetchOptions popts;
+  popts.queue_depth = 2;
+  auto source = stream::MakeAsyncPrefetch(std::move(probe), popts);
+  auto* source_raw =
+      static_cast<stream::AsyncPrefetchSource*>(source.get());
+
+  Limit limit(std::move(source), 2);
+  auto out = Collect(limit);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);
+  // The cap closed the chain during the run: the probe under the
+  // prefetch source saw exactly one Close, and the producer is down.
+  EXPECT_EQ(closes, 1u);
+  EXPECT_GE(source_raw->stats().starts, 1u);
+
+  // Draining past end of stream is idempotent: no second Close.
+  auto extra = limit.Next();
+  ASSERT_TRUE(extra.ok());
+  EXPECT_FALSE(extra->has_value());
+  EXPECT_EQ(closes, 1u);
+
+  // Close is terminal for a prefetch source; Reset after the cap must
+  // fail loudly (surfacing the child's error), never restart silently.
+  EXPECT_FALSE(limit.Reset().ok());
+  EXPECT_EQ(resets, 0u);  // the source refused before reaching the probe
+}
+
+// Against a resettable child the close-at-cap is rearmed by Reset: the
+// capped result is reproducible and each run closes exactly once.
+TEST(LimitTest, ResetAfterCapRearmsResettableChild) {
+  size_t closes = 0;
+  size_t resets = 0;
+  auto probe = std::make_unique<CloseProbe>(
+      std::make_unique<VectorScan>(MakeSchema(), MakeTuples()), &closes,
+      &resets);
+  Limit limit(std::move(probe), 2);
+  auto out = Collect(limit);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);
+  EXPECT_EQ(closes, 1u);
+
+  ASSERT_TRUE(limit.Reset().ok());
+  EXPECT_EQ(resets, 1u);
+  auto again = Collect(limit);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->size(), 2u);
+  EXPECT_EQ(closes, 2u);
+}
+
+// Batched pulls hit the same close-at-cap path.
+TEST(LimitTest, BatchPullClosesChildAtCap) {
+  size_t closes = 0;
+  size_t resets = 0;
+  auto probe = std::make_unique<CloseProbe>(
+      std::make_unique<VectorScan>(MakeSchema(), MakeTuples()), &closes,
+      &resets);
+  Limit limit(std::move(probe), 2);
+  TupleBatch batch;
+  ASSERT_TRUE(limit.NextBatch(16, batch).ok());
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(closes, 1u);
+  ASSERT_TRUE(limit.NextBatch(16, batch).ok());
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(closes, 1u);
 }
 
 TEST(SortTest, NumericAscending) {
