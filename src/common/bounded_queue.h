@@ -47,17 +47,21 @@ class BoundedQueue {
   size_t capacity() const { return capacity_; }
 
   /// Mirrors queue observability into registry-owned metrics: `depth` is
-  /// set to the current size after every push/pop, and the wait counters
-  /// are incremented alongside push_waits_/pop_waits_. Any pointer may be
-  /// null. All updates happen under the queue mutex — strictly
-  /// write-only, so binding cannot change queue behaviour. Metrics must
-  /// outlive the queue.
+  /// set to the current size after every push/pop, the wait counters are
+  /// incremented alongside push_waits_/pop_waits_, and `try_rejections`
+  /// counts TryPush calls refused with kBackpressure (the shed signal
+  /// non-blocking producers act on). Any pointer may be null. All
+  /// updates happen under the queue mutex — strictly write-only, so
+  /// binding cannot change queue behaviour. Metrics must outlive the
+  /// queue.
   void BindMetrics(obs::Gauge* depth, obs::Counter* push_waits,
-                   obs::Counter* pop_waits) {
+                   obs::Counter* pop_waits,
+                   obs::Counter* try_rejections = nullptr) {
     std::lock_guard<std::mutex> lock(mu_);
     m_depth_ = depth;
     m_push_waits_ = push_waits;
     m_pop_waits_ = pop_waits;
+    m_try_rejections_ = try_rejections;
     if (m_depth_) m_depth_->Set(static_cast<int64_t>(items_.size()));
   }
 
@@ -91,6 +95,8 @@ class BoundedQueue {
       return Status::InvalidArgument("BoundedQueue: Push after Close");
     }
     if (items_.size() >= capacity_) {
+      ++try_push_rejections_;
+      if (m_try_rejections_) m_try_rejections_->Increment();
       return Status::Backpressure("BoundedQueue: full");
     }
     items_.push_back(std::move(item));
@@ -164,6 +170,13 @@ class BoundedQueue {
     return pop_waits_;
   }
 
+  /// Times TryPush returned kBackpressure on a full queue (the
+  /// non-blocking shed path).
+  size_t try_push_rejections() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return try_push_rejections_;
+  }
+
  private:
   const size_t capacity_;
   mutable std::mutex mu_;
@@ -174,9 +187,11 @@ class BoundedQueue {
   bool cancelled_ = false;
   size_t push_waits_ = 0;
   size_t pop_waits_ = 0;
+  size_t try_push_rejections_ = 0;
   obs::Gauge* m_depth_ = nullptr;
   obs::Counter* m_push_waits_ = nullptr;
   obs::Counter* m_pop_waits_ = nullptr;
+  obs::Counter* m_try_rejections_ = nullptr;
 };
 
 }  // namespace ausdb

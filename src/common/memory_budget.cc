@@ -1,0 +1,67 @@
+#include "src/common/memory_budget.h"
+
+namespace ausdb {
+
+Status MemoryBudget::TryReserve(size_t bytes, std::string_view component) {
+  size_t current = used_.load(std::memory_order_relaxed);
+  for (;;) {
+    const size_t next = current + bytes;
+    if (next < current /* overflow */ ||
+        (limit_ != 0 && next > limit_)) {
+      rejections_.fetch_add(1, std::memory_order_relaxed);
+      if (m_rejections_ != nullptr) m_rejections_->Increment();
+      return Status::ResourceExhausted(
+          std::string(component) + ": memory budget exhausted (used " +
+          std::to_string(current) + " + " + std::to_string(bytes) +
+          " > limit " + std::to_string(limit_) + " bytes)");
+    }
+    if (used_.compare_exchange_weak(current, next,
+                                    std::memory_order_relaxed)) {
+      if (m_used_ != nullptr) m_used_->Set(static_cast<int64_t>(next));
+      return Status::OK();
+    }
+  }
+}
+
+void MemoryBudget::Release(size_t bytes) {
+  size_t current = used_.load(std::memory_order_relaxed);
+  for (;;) {
+    const size_t next = current >= bytes ? current - bytes : 0;
+    if (used_.compare_exchange_weak(current, next,
+                                    std::memory_order_relaxed)) {
+      if (m_used_ != nullptr) m_used_->Set(static_cast<int64_t>(next));
+      return;
+    }
+  }
+}
+
+double MemoryBudget::FillFraction() const {
+  if (limit_ == 0) return 0.0;
+  return static_cast<double>(used()) / static_cast<double>(limit_);
+}
+
+void MemoryBudget::BindMetrics(obs::Gauge* used, obs::Gauge* limit,
+                               obs::Counter* rejections) {
+  m_used_ = used;
+  m_limit_ = limit;
+  m_rejections_ = rejections;
+  if (m_used_ != nullptr) m_used_->Set(static_cast<int64_t>(this->used()));
+  if (m_limit_ != nullptr) m_limit_->Set(static_cast<int64_t>(limit_));
+}
+
+void MemoryBudget::RegisterMetrics(obs::MetricRegistry& registry,
+                                   const std::string& label) {
+  const obs::Labels labels = {{"plan", label}};
+  BindMetrics(
+      registry.GetGauge("ausdb_common_memory_budget_used_bytes", labels,
+                        "Bytes currently reserved against the plan's "
+                        "memory budget"),
+      registry.GetGauge("ausdb_common_memory_budget_limit_bytes", labels,
+                        "Configured byte limit of the plan's memory "
+                        "budget (0 = unlimited)"),
+      registry.GetCounter(
+          "ausdb_common_memory_budget_rejections_total", labels,
+          "Reservations refused with kResourceExhausted"));
+}
+
+}  // namespace ausdb

@@ -1,0 +1,87 @@
+#ifndef AUSDB_COMMON_MEMORY_BUDGET_H_
+#define AUSDB_COMMON_MEMORY_BUDGET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/obs/metrics.h"
+
+namespace ausdb {
+
+/// \brief Per-plan byte budget for operator-held state (reorder buffers,
+/// prefetch rings, window accumulators).
+///
+/// The engine's buffering operators each bound their own element counts,
+/// but element counts do not bound bytes — a tuple carrying a retained
+/// bootstrap sample is three orders of magnitude bigger than a bare
+/// double. A MemoryBudget turns "the process got OOM-killed" into the
+/// loud, attributable Status the overload governor can act on:
+/// TryReserve() fails with kResourceExhausted *before* the allocation
+/// happens, naming the component that asked.
+///
+/// Accounting is cooperative and approximate (Tuple::ApproxBytes), which
+/// is the right trade: the budget exists to catch runaway buffering an
+/// order of magnitude before the kernel does, not to replace malloc.
+///
+/// Thread safety: reserve/release are lock-free CAS updates, so sharded
+/// operators on pool workers can charge one plan-wide budget. The data
+/// path only ever *writes* the budget; the single sanctioned reader is
+/// the overload governor, which samples used()/limit() at its
+/// deterministic decision epochs (see src/govern/signals.h).
+class MemoryBudget {
+ public:
+  /// `limit_bytes` == 0 means unlimited (accounting only).
+  explicit MemoryBudget(size_t limit_bytes) : limit_(limit_bytes) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// Reserves `bytes` against the budget, or fails with
+  /// kResourceExhausted (naming `component`) when the reservation would
+  /// cross the limit. Never partially reserves.
+  Status TryReserve(size_t bytes, std::string_view component);
+
+  /// Returns a reservation. Releasing more than was reserved clamps to
+  /// zero (operators estimate, and a clamped release must not poison the
+  /// budget forever).
+  void Release(size_t bytes);
+
+  size_t used() const { return used_.load(std::memory_order_relaxed); }
+  size_t limit() const { return limit_; }
+
+  /// used / limit in [0, 1]; 0.0 when unlimited. The governor's memory
+  /// pressure signal.
+  double FillFraction() const;
+
+  /// Times TryReserve refused a reservation.
+  size_t rejections() const {
+    return rejections_.load(std::memory_order_relaxed);
+  }
+
+  /// Mirrors the budget into registry-owned metrics (any pointer may be
+  /// null): `used`/`limit` gauges track bytes, `rejections` counts
+  /// refused reservations. Write-only per the obs contract; the metrics
+  /// must outlive the budget.
+  void BindMetrics(obs::Gauge* used, obs::Gauge* limit,
+                   obs::Counter* rejections);
+
+  /// Convenience: registers the standard `ausdb_common_memory_budget_*`
+  /// family labeled `{plan=label}` in `registry` and binds it.
+  void RegisterMetrics(obs::MetricRegistry& registry,
+                       const std::string& label);
+
+ private:
+  const size_t limit_;
+  std::atomic<size_t> used_{0};
+  std::atomic<size_t> rejections_{0};
+  obs::Gauge* m_used_ = nullptr;
+  obs::Gauge* m_limit_ = nullptr;
+  obs::Counter* m_rejections_ = nullptr;
+};
+
+}  // namespace ausdb
+
+#endif  // AUSDB_COMMON_MEMORY_BUDGET_H_

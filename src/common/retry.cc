@@ -10,9 +10,14 @@ FailureClass ClassifyStatus(const Status& status) {
     case StatusCode::kInternal:
     // A full bounded buffer clears once the consumer drains it.
     case StatusCode::kBackpressure:
+    // An admission-control rejection clears once observed pressure
+    // relaxes below the governor's re-admission threshold.
+    case StatusCode::kOverloaded:
       return FailureClass::kTransient;
     // kCancelled is deliberately fatal: the consumer shut the pipeline
-    // down, so retrying would race against teardown.
+    // down, so retrying would race against teardown. kResourceExhausted
+    // is fatal too: a budget does not free itself, some operator must
+    // release state first.
     default:
       return FailureClass::kFatal;
   }

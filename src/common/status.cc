@@ -34,6 +34,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kBackpressure:
       return "Backpressure";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

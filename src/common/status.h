@@ -49,6 +49,20 @@ enum class StatusCode : int {
   /// consumer frees capacity, so the retry layer treats it like
   /// kUnavailable.
   kBackpressure = 14,
+  /// A per-plan resource budget (memory, allocation quota) would be
+  /// exceeded by admitting more state. Unlike kBackpressure this is not
+  /// a momentary full ring but an accounting limit the operator refuses
+  /// to cross — the loud alternative to an OOM kill. Fatal to the retry
+  /// layer: replaying the same admission against the same budget cannot
+  /// succeed until an operator explicitly releases state.
+  kResourceExhausted = 15,
+  /// The overload governor refused to admit new work: the engine is past
+  /// its accuracy floor, so shedding more precision would produce
+  /// intervals it is not willing to vouch for, and admission control is
+  /// the remaining relief valve. Transient by construction — the
+  /// governor re-admits as soon as observed pressure relaxes — so the
+  /// retry layer backs off and re-offers, exactly like kBackpressure.
+  kOverloaded = 16,
 };
 
 /// \brief Returns a human-readable name for a status code ("OK",
@@ -113,6 +127,12 @@ class Status {
   static Status Backpressure(std::string msg) {
     return Status(StatusCode::kBackpressure, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -148,6 +168,10 @@ class Status {
   bool IsBackpressure() const {
     return code_ == StatusCode::kBackpressure;
   }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

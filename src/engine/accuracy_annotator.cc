@@ -1,7 +1,10 @@
 #include "src/engine/accuracy_annotator.h"
 
+#include <algorithm>
+
 #include "src/bootstrap/bootstrap_accuracy.h"
 #include "src/dist/histogram.h"
+#include "src/govern/precision.h"
 
 namespace ausdb {
 namespace engine {
@@ -12,9 +15,26 @@ AccuracyAnnotator::AccuracyAnnotator(OperatorPtr child,
       options_(std::move(options)),
       rng_(options_.seed) {}
 
+const govern::RungSpec* AccuracyAnnotator::RungSpecFor(
+    const Tuple& t) const {
+  if (options_.ladder == nullptr || t.precision_rung() == 0) {
+    return nullptr;
+  }
+  const auto& rungs = options_.ladder->rungs;
+  if (rungs.empty()) return nullptr;
+  const govern::RungSpec& spec =
+      rungs[std::min<size_t>(t.precision_rung(), rungs.size() - 1)];
+  return spec.IsNeutral() ? nullptr : &spec;
+}
+
 Result<accuracy::AccuracyInfo> AccuracyAnnotator::Annotate(
-    const dist::RandomVar& rv) {
-  if (options_.method == accuracy::AccuracyMethod::kAnalytical) {
+    const dist::RandomVar& rv, const govern::RungSpec* spec) {
+  // A force_analytical rung swaps bootstrap for the Lemma 1-3 closed
+  // forms — the ladder's cheap-math escape hatch under overload.
+  const bool analytical =
+      options_.method == accuracy::AccuracyMethod::kAnalytical ||
+      (spec != nullptr && spec->force_analytical);
+  if (analytical) {
     return accuracy::AnalyticalAccuracy(rv, options_.confidence);
   }
 
@@ -30,17 +50,28 @@ Result<accuracy::AccuracyInfo> AccuracyAnnotator::Annotate(
     return Status::InsufficientData(
         "cannot bootstrap a deterministic field");
   }
+  const size_t resamples =
+      spec == nullptr ? options_.bootstrap_resamples
+                      : govern::EffectiveResamples(
+                            options_.bootstrap_resamples,
+                            spec->sample_scale);
   const auto& raw = rv.raw_sample();
   if (raw != nullptr && raw->size() >= 2 * n) {
     // The evaluator retained the Monte Carlo value sequence: feed it to
-    // the algorithm directly (Section III-B, first category).
-    return bootstrap::BootstrapAccuracyInfo(*raw, n, options_.confidence,
+    // the algorithm directly (Section III-B, first category). Under a
+    // degraded rung only a prefix covering the effective resamples is
+    // examined — that is the work actually shed.
+    std::span<const double> values(*raw);
+    if (spec != nullptr) {
+      values = values.first(
+          std::min(values.size(), std::max(2 * n, n * resamples)));
+    }
+    return bootstrap::BootstrapAccuracyInfo(values, n, options_.confidence,
                                             edges);
   }
   // Second category: sample a fresh sequence from the distribution.
   return bootstrap::BootstrapAccuracyFromDistribution(
-      *rv.distribution(), n, options_.bootstrap_resamples,
-      options_.confidence, rng_, edges);
+      *rv.distribution(), n, resamples, options_.confidence, rng_, edges);
 }
 
 Status AccuracyAnnotator::ResolveColumns() {
@@ -62,22 +93,38 @@ Status AccuracyAnnotator::ResolveColumns() {
 }
 
 Status AccuracyAnnotator::AnnotateTuple(Tuple& t) {
+  const govern::RungSpec* spec = RungSpecFor(t);
   for (size_t idx : column_indices_) {
     const expr::Value& v = t.value(idx);
     if (!v.is_random_var()) continue;
     AUSDB_ASSIGN_OR_RETURN(dist::RandomVar rv, v.random_var());
     if (rv.is_certain()) continue;
-    AUSDB_ASSIGN_OR_RETURN(accuracy::AccuracyInfo info, Annotate(rv));
+    if (spec != nullptr) {
+      // Degrade first, then write back: the tuple must carry exactly
+      // the (coarsened, provenance-reduced) variable its intervals are
+      // derived from — never a full-precision claim on shed work.
+      AUSDB_ASSIGN_OR_RETURN(rv, govern::DegradeRandomVar(rv, *spec));
+      t.values()[idx] = expr::Value(rv);
+    }
+    AUSDB_ASSIGN_OR_RETURN(accuracy::AccuracyInfo info,
+                           Annotate(rv, spec));
     t.set_accuracy(idx, std::move(info));
   }
 
   if (options_.annotate_membership &&
       t.membership_df_n() != dist::RandomVar::kCertainSampleSize) {
+    // Rung-scaled membership provenance widens the tuple-probability
+    // interval the same way it widens the field intervals.
+    size_t membership_n = t.membership_df_n();
+    if (spec != nullptr) {
+      membership_n =
+          govern::EffectiveSampleSize(membership_n, spec->sample_scale);
+      t.set_membership_df_n(membership_n);
+    }
     AUSDB_ASSIGN_OR_RETURN(
         accuracy::ConfidenceInterval ci,
         accuracy::TupleProbabilityInterval(
-            t.membership_prob(), t.membership_df_n(),
-            options_.confidence));
+            t.membership_prob(), membership_n, options_.confidence));
     t.set_membership_ci(ci);
   }
   return Status::OK();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "src/serde/checkpoint.h"
@@ -58,6 +59,10 @@ ReorderBuffer::ReorderBuffer(OperatorPtr child, size_t ts_index,
     m_duplicates_ = options_.metrics->GetCounter(
         "ausdb_engine_reorder_duplicates_total", labels,
         "Tuples dropped by sequence-number dedupe");
+    m_early_ = options_.metrics->GetCounter(
+        "ausdb_engine_reorder_governed_early_release_total", labels,
+        "Tuples released before the true watermark because a governed "
+        "rung shortened the hold horizon");
     m_lag_ = options_.metrics->GetHistogram(
         "ausdb_engine_reorder_event_time_lag", labels,
         obs::DefaultEventTimeLagBoundaries(),
@@ -76,8 +81,34 @@ void ReorderBuffer::UpdateGauges() {
   }
 }
 
-void ReorderBuffer::Insert(double ts, Tuple t) {
-  Held held{{ts, t.sequence()}, std::move(t)};
+ReorderBuffer::~ReorderBuffer() {
+  // Hand every outstanding charge back so a torn-down plan leaves the
+  // budget balanced for its successors.
+  for (Held& held : buffer_) ReleaseCharge(held);
+}
+
+double ReorderBuffer::LatenessScaleFor(uint32_t rung) const {
+  if (options_.ladder == nullptr || rung == 0) return 1.0;
+  const auto& rungs = options_.ladder->rungs;
+  if (rungs.empty()) return 1.0;
+  return rungs[std::min<size_t>(rung, rungs.size() - 1)].lateness_scale;
+}
+
+double ReorderBuffer::EffectiveWatermark() const {
+  const double wm = watermark_.watermark();
+  if (!has_horizon_floor_) return wm;
+  return std::max(wm, horizon_floor_);
+}
+
+void ReorderBuffer::ReleaseCharge(Held& held) {
+  if (held.bytes != 0 && options_.memory_budget != nullptr) {
+    options_.memory_budget->Release(held.bytes);
+  }
+  held.bytes = 0;
+}
+
+void ReorderBuffer::Insert(double ts, Tuple t, size_t bytes) {
+  Held held{{ts, t.sequence()}, std::move(t), bytes};
   if (buffer_.empty() || !(held.key < buffer_.back().key)) {
     buffer_.push_back(std::move(held));
     return;
@@ -92,7 +123,16 @@ void ReorderBuffer::Insert(double ts, Tuple t) {
 
 void ReorderBuffer::ReleaseUpToWatermark() {
   const double wm = watermark_.watermark();
-  while (!buffer_.empty() && buffer_.front().key.first <= wm) {
+  const double eff = EffectiveWatermark();
+  while (!buffer_.empty() && buffer_.front().key.first <= eff) {
+    if (buffer_.front().key.first > wm) {
+      // Released ahead of the true watermark: the governed horizon cut
+      // the hold short. A straggler this release outruns will surface
+      // late downstream — precision shed, data kept.
+      ++stats_.early_releases;
+      if (m_early_ != nullptr) m_early_->Increment();
+    }
+    ReleaseCharge(buffer_.front());
     ready_.push_back(std::move(buffer_.front().tuple));
     buffer_.pop_front();
   }
@@ -101,6 +141,7 @@ void ReorderBuffer::ReleaseUpToWatermark() {
 void ReorderBuffer::EnforceCapacity() {
   if (options_.capacity == 0) return;
   while (buffer_.size() > options_.capacity) {
+    ReleaseCharge(buffer_.front());
     if (options_.overflow == ReorderOverflowPolicy::kShedOldest) {
       buffer_.pop_front();
       ++stats_.shed;
@@ -139,6 +180,7 @@ Result<std::optional<Tuple>> ReorderBuffer::Next() {
         // End of stream: flush everything still held, in event-time
         // order.
         for (Held& held : buffer_) {
+          ReleaseCharge(held);
           ready_.push_back(std::move(held.tuple));
         }
         buffer_.clear();
@@ -171,16 +213,37 @@ Result<std::optional<Tuple>> ReorderBuffer::Next() {
         ts < watermark_.max_timestamp()) {
       m_lag_->Record(watermark_.max_timestamp() - ts);
     }
-    if (watermark_.IsLate(ts)) {
-      // Beyond the reorder horizon: cannot be put back in order here;
-      // the downstream window's allowed-lateness revision path owns it.
+    if (watermark_.IsLate(ts) ||
+        (has_horizon_floor_ && ts <= horizon_floor_)) {
+      // Beyond the reorder horizon (true or governed): cannot be put
+      // back in order here; the downstream window's allowed-lateness
+      // revision path owns it.
       ++stats_.late;
       if (m_late_ != nullptr) m_late_->Increment();
       UpdateGauges();
       return std::optional<Tuple>(std::move(*t));
     }
-    Insert(ts, std::move(*t));
-    if (watermark_.Observe(ts)) {
+    size_t charged = 0;
+    if (options_.memory_budget != nullptr) {
+      charged = t->ApproxBytes();
+      AUSDB_RETURN_NOT_OK(
+          options_.memory_budget->TryReserve(charged, "reorder"));
+    }
+    // A governed rung shrinks this tuple's hold horizon; the floor it
+    // sets is a pure function of the stamped tuple sequence, so release
+    // decisions stay deterministic.
+    bool floor_advanced = false;
+    const double scale = LatenessScaleFor(t->precision_rung());
+    if (scale < 1.0) {
+      const double floor = ts - options_.lateness_bound * scale;
+      if (!has_horizon_floor_ || floor > horizon_floor_) {
+        has_horizon_floor_ = true;
+        horizon_floor_ = floor;
+        floor_advanced = true;
+      }
+    }
+    Insert(ts, std::move(*t), charged);
+    if (watermark_.Observe(ts) || floor_advanced) {
       ReleaseUpToWatermark();
       if (options_.dedupe_by_sequence) PruneSeen();
     }
@@ -190,19 +253,27 @@ Result<std::optional<Tuple>> ReorderBuffer::Next() {
 }
 
 Status ReorderBuffer::Reset() {
+  for (Held& held : buffer_) ReleaseCharge(held);
   buffer_.clear();
   ready_.clear();
   seen_.clear();
   watermark_.Reset();
   exhausted_ = false;
   stats_ = ReorderStats{};
+  has_horizon_floor_ = false;
+  horizon_floor_ = 0.0;
   UpdateGauges();
   return child_->Reset();
 }
 
 Result<std::string> ReorderBuffer::SaveCheckpoint() const {
   serde::CheckpointWriter w;
-  w.Token("rob.v1");
+  // Ungoverned buffers keep writing the legacy "rob.v1" record
+  // byte-for-byte; a bound ladder adds the governed horizon floor,
+  // without which a restore would replay release decisions at the full
+  // horizon and diverge.
+  const bool governed = options_.ladder != nullptr;
+  w.Token(governed ? "rob.v2" : "rob.v1");
   w.Double(watermark_.max_timestamp());
   w.Uint(exhausted_ ? 1 : 0);
   w.Uint(stats_.admitted);
@@ -210,6 +281,11 @@ Result<std::string> ReorderBuffer::SaveCheckpoint() const {
   w.Uint(stats_.shed);
   w.Uint(stats_.forced_releases);
   w.Uint(stats_.duplicates);
+  if (governed) {
+    w.Uint(stats_.early_releases);
+    w.Uint(has_horizon_floor_ ? 1 : 0);
+    w.Double(has_horizon_floor_ ? horizon_floor_ : 0.0);
+  }
   w.Uint(buffer_.size());
   for (const Held& held : buffer_) {
     AUSDB_RETURN_NOT_OK(serde::WriteTupleCheckpoint(w, held.tuple));
@@ -228,7 +304,11 @@ Result<std::string> ReorderBuffer::SaveCheckpoint() const {
 
 Status ReorderBuffer::RestoreCheckpoint(std::string_view blob) {
   serde::CheckpointReader r(blob);
-  AUSDB_RETURN_NOT_OK(r.ExpectToken("rob.v1"));
+  AUSDB_ASSIGN_OR_RETURN(std::string_view tag, r.NextToken());
+  if (tag != "rob.v1" && tag != "rob.v2") {
+    return Status::Corruption("unknown reorder-checkpoint tag");
+  }
+  const bool governed_blob = tag == "rob.v2";
   AUSDB_ASSIGN_OR_RETURN(double max_ts, r.NextDouble());
   AUSDB_ASSIGN_OR_RETURN(uint64_t exhausted, r.NextUint());
   ReorderStats stats;
@@ -237,6 +317,14 @@ Status ReorderBuffer::RestoreCheckpoint(std::string_view blob) {
   AUSDB_ASSIGN_OR_RETURN(stats.shed, r.NextUint());
   AUSDB_ASSIGN_OR_RETURN(stats.forced_releases, r.NextUint());
   AUSDB_ASSIGN_OR_RETURN(stats.duplicates, r.NextUint());
+  bool has_floor = false;
+  double floor = 0.0;
+  if (governed_blob) {
+    AUSDB_ASSIGN_OR_RETURN(stats.early_releases, r.NextUint());
+    AUSDB_ASSIGN_OR_RETURN(uint64_t has_floor_raw, r.NextUint());
+    has_floor = has_floor_raw != 0;
+    AUSDB_ASSIGN_OR_RETURN(floor, r.NextDouble());
+  }
   // The smallest buffered tuple encodes the "tup" header plus counts:
   // >= 16 bytes with separators.
   AUSDB_ASSIGN_OR_RETURN(uint64_t buffered, r.NextCount(16));
@@ -271,12 +359,29 @@ Status ReorderBuffer::RestoreCheckpoint(std::string_view blob) {
     AUSDB_ASSIGN_OR_RETURN(double ts, r.NextDouble());
     seen.emplace(seq, ts);
   }
+  // Swap the restored buffer in charge-coherently: hand back what the
+  // old buffer held, then charge every restored tuple.
+  if (options_.memory_budget != nullptr) {
+    for (Held& held : buffer_) ReleaseCharge(held);
+    for (size_t i = 0; i < buffer.size(); ++i) {
+      buffer[i].bytes = buffer[i].tuple.ApproxBytes();
+      Status st =
+          options_.memory_budget->TryReserve(buffer[i].bytes, "reorder");
+      if (!st.ok()) {
+        buffer[i].bytes = 0;
+        for (size_t j = 0; j < i; ++j) ReleaseCharge(buffer[j]);
+        return st;
+      }
+    }
+  }
   buffer_ = std::move(buffer);
   ready_ = std::move(ready_q);
   seen_ = std::move(seen);
   watermark_.RestoreFromMaxTimestamp(max_ts);
   exhausted_ = exhausted != 0;
   stats_ = stats;
+  has_horizon_floor_ = has_floor;
+  horizon_floor_ = floor;
   UpdateGauges();
   return Status::OK();
 }

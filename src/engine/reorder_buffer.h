@@ -3,9 +3,12 @@
 
 #include <deque>
 #include <map>
+#include <memory>
 #include <string>
 
+#include "src/common/memory_budget.h"
 #include "src/engine/operator.h"
+#include "src/govern/ladder.h"
 #include "src/obs/metrics.h"
 #include "src/stream/watermark.h"
 
@@ -53,6 +56,25 @@ struct ReorderBufferOptions {
   /// bit-identical with metrics on or off.
   obs::MetricRegistry* metrics = nullptr;
   std::string metrics_label = "reorder";
+
+  /// \brief Degradation ladder shared with the plan's GovernorGate.
+  ///
+  /// When set, a tuple stamped with precision rung k shrinks the hold
+  /// horizon to lateness_bound * rungs[k].lateness_scale: the buffer
+  /// releases earlier under pressure, so stragglers beyond the
+  /// shortened horizon surface as *late* tuples for the downstream
+  /// window's allowed-lateness revision path — precision is shed
+  /// (coarser real-time answer, more revisions), data never is. The
+  /// effective horizon is a pure function of the stamped tuple
+  /// sequence, preserving the determinism contract. Null ignores rung
+  /// stamps.
+  std::shared_ptr<const govern::LadderPolicy> ladder;
+
+  /// \brief Per-plan memory budget this buffer charges its held tuples
+  /// against (Tuple::ApproxBytes). A refused reservation surfaces as a
+  /// loud kResourceExhausted from Next() instead of unbounded growth.
+  /// Null disables charging. Must outlive the operator.
+  MemoryBudget* memory_budget = nullptr;
 };
 
 /// Observability counters of a ReorderBuffer.
@@ -62,6 +84,9 @@ struct ReorderStats {
   size_t shed = 0;              ///< dropped on overflow (kShedOldest)
   size_t forced_releases = 0;   ///< released early on overflow (kBlock)
   size_t duplicates = 0;        ///< dropped by sequence dedupe
+  /// Released before the true watermark because a governed rung
+  /// shortened the hold horizon.
+  size_t early_releases = 0;
 };
 
 /// \brief Bounded-lateness reorder stage: holds tuples up to the
@@ -95,15 +120,19 @@ class ReorderBuffer final : public Operator,
 
   /// Checkpoints the watermark state and every buffered (and released-
   /// but-undelivered) tuple — checkpoint v4's new surface — so a crash
-  /// mid-disorder restores bit-identically. Format token "rob.v1".
+  /// mid-disorder restores bit-identically. Format token "rob.v1";
+  /// governed buffers (a ladder is bound) write "rob.v2", which adds
+  /// the governed horizon floor — restoring a governed buffer at full
+  /// horizon would change release decisions. Restore accepts both.
   Result<std::string> SaveCheckpoint() const override;
   Status RestoreCheckpoint(std::string_view blob) override;
 
+  ~ReorderBuffer() override;
+
   /// Output watermark downstream operators may trust: no future tuple
   /// this buffer *releases in order* has a timestamp at or below it.
-  double CurrentWatermark() const override {
-    return watermark_.watermark();
-  }
+  /// Governed early releases raise it past the policy watermark.
+  double CurrentWatermark() const override { return EffectiveWatermark(); }
 
   const ReorderStats& stats() const { return stats_; }
 
@@ -111,21 +140,41 @@ class ReorderBuffer final : public Operator,
   /// the crash-point sweep asserts this is non-zero at a crash site.
   size_t buffered_count() const { return buffer_.size(); }
 
+  /// Tuples released but not yet delivered through Next() — together
+  /// with buffered_count() this closes the accounting invariant:
+  /// admitted == delivered + late + shed + duplicates-excluded +
+  /// buffered + pending at every point of the pull loop.
+  size_t pending_release_count() const { return ready_.size(); }
+
  private:
   ReorderBuffer(OperatorPtr child, size_t ts_index,
                 ReorderBufferOptions options);
 
-  /// A held tuple with its precomputed release key.
+  /// A held tuple with its precomputed release key and the bytes it
+  /// charged against the memory budget (0 when uncharged).
   struct Held {
     std::pair<double, uint64_t> key;
     Tuple tuple;
+    size_t bytes = 0;
   };
+
+  /// The hold-horizon scale of a stamped precision rung (1.0 when
+  /// ungoverned).
+  double LatenessScaleFor(uint32_t rung) const;
+
+  /// The watermark release decisions actually use: the policy
+  /// watermark, raised by the governed horizon floor when a ladder is
+  /// bound.
+  double EffectiveWatermark() const;
+
+  /// Returns budget bytes charged for `held` (buffer exit).
+  void ReleaseCharge(Held& held);
 
   /// Inserts into buffer_ keeping (timestamp, sequence) order. Ordered
   /// arrivals append at the back in O(1) — the hot path pays no
   /// per-tuple node allocation, which is why this is a deque and not a
   /// map — and in-bound disorder shifts at most O(buffered) entries.
-  void Insert(double ts, Tuple t);
+  void Insert(double ts, Tuple t, size_t bytes);
   /// Moves buffered tuples at/below the watermark into ready_.
   void ReleaseUpToWatermark();
   void EnforceCapacity();
@@ -148,6 +197,13 @@ class ReorderBuffer final : public Operator,
   bool exhausted_ = false;
   ReorderStats stats_;
 
+  /// Governed horizon floor: max over admitted tuples of
+  /// ts - lateness_bound * scale(rung). -inf until a governed tuple
+  /// arrives; never above the policy's max-timestamp watermark path
+  /// for rung-0 traffic, so ungoverned behavior is unchanged.
+  bool has_horizon_floor_ = false;
+  double horizon_floor_ = 0.0;
+
   /// Registry-owned metrics; all null when options_.metrics is null.
   obs::Gauge* m_depth_ = nullptr;
   obs::Gauge* m_watermark_milli_ = nullptr;
@@ -155,6 +211,7 @@ class ReorderBuffer final : public Operator,
   obs::Counter* m_shed_ = nullptr;
   obs::Counter* m_forced_ = nullptr;
   obs::Counter* m_duplicates_ = nullptr;
+  obs::Counter* m_early_ = nullptr;
   obs::Histogram* m_lag_ = nullptr;
 };
 

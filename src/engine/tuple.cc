@@ -12,6 +12,40 @@ void Tuple::set_accuracy(size_t i, accuracy::AccuracyInfo info) {
   accuracy_[i] = std::move(info);
 }
 
+size_t Tuple::ApproxBytes() const {
+  size_t bytes = sizeof(Tuple);
+  for (const expr::Value& v : values_) {
+    bytes += sizeof(expr::Value);
+    switch (v.type()) {
+      case expr::ValueType::kString: {
+        auto s = v.string_value();
+        if (s.ok()) bytes += s->size();
+        break;
+      }
+      case expr::ValueType::kRandomVar: {
+        auto rv = v.random_var();
+        if (!rv.ok()) break;
+        // The distribution object itself plus any retained raw sample —
+        // the raw sample is what dominates bootstrap-carrying tuples.
+        bytes += 64;
+        if (rv->raw_sample() != nullptr) {
+          bytes += rv->raw_sample()->size() * sizeof(double);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  for (const auto& acc : accuracy_) {
+    if (acc.has_value()) {
+      bytes += sizeof(accuracy::AccuracyInfo) +
+               acc->bin_cis.size() * sizeof(accuracy::ConfidenceInterval);
+    }
+  }
+  return bytes;
+}
+
 std::string Tuple::ToString() const {
   std::ostringstream os;
   os << "[";

@@ -74,6 +74,23 @@ class Tuple {
   uint64_t sequence() const { return sequence_; }
   void set_sequence(uint64_t s) { sequence_ = s; }
 
+  /// \brief Degradation-ladder rung this tuple was admitted under
+  /// (govern::GovernorGate stamps it at the source; 0 = full precision).
+  ///
+  /// The stamp travels *with* the tuple rather than living in shared
+  /// state so every downstream precision decision — annotator sample
+  /// counts, reorder horizons — is a pure function of the tuple itself,
+  /// independent of pipeline buffering, prefetch depth or thread count.
+  /// That is what keeps governed output bit-identical across runs.
+  uint32_t precision_rung() const { return precision_rung_; }
+  void set_precision_rung(uint32_t rung) { precision_rung_ = rung; }
+
+  /// Approximate heap + inline footprint in bytes, for cooperative
+  /// MemoryBudget accounting by buffering operators. An estimate by
+  /// design (container slack and allocator overhead are not modeled);
+  /// deterministic for a given tuple value.
+  size_t ApproxBytes() const;
+
   /// View of this tuple as an evaluator row over `schema`.
   expr::Row AsRow(const Schema& schema) const {
     return expr::Row{&schema.names(), &values_};
@@ -89,6 +106,7 @@ class Tuple {
   std::vector<std::optional<accuracy::AccuracyInfo>> accuracy_;
   std::optional<hypothesis::TestOutcome> significance_;
   uint64_t sequence_ = 0;
+  uint32_t precision_rung_ = 0;
 };
 
 }  // namespace engine

@@ -1,0 +1,135 @@
+#include "src/govern/governor.h"
+
+#include <algorithm>
+
+namespace ausdb {
+namespace govern {
+
+OverloadGovernor::OverloadGovernor(GovernorOptions options)
+    : options_(std::move(options)) {
+  if (!options_.ladder.Validate().ok()) {
+    // Direct construction clamps to the validated default; callers that
+    // want the error surfaced go through GovernorGate::Make.
+    options_.ladder = LadderPolicy::Default();
+  }
+  if (options_.epoch_interval == 0) options_.epoch_interval = 1;
+  if (options_.breaker_trip_epochs == 0) options_.breaker_trip_epochs = 1;
+  if (options_.breaker_cooldown_epochs == 0) {
+    options_.breaker_cooldown_epochs = 1;
+  }
+  max_rung_ = options_.ladder.MaxUsableRung();
+  if (options_.metrics != nullptr) {
+    const obs::Labels labels = {{"plan", options_.metrics_label}};
+    obs::MetricRegistry* reg = options_.metrics;
+    m_rung_ = reg->GetGauge("ausdb_govern_rung", labels,
+                            "Current degradation-ladder rung (0 = full "
+                            "precision)");
+    m_pressure_milli_ = reg->GetGauge(
+        "ausdb_govern_pressure_milli", labels,
+        "Last observed overload pressure, in thousandths (1000 = at "
+        "capacity)");
+    m_escalations_ = reg->GetCounter(
+        "ausdb_govern_escalations_total", labels,
+        "Rung escalations (precision shed one step)");
+    m_relaxations_ = reg->GetCounter(
+        "ausdb_govern_relaxations_total", labels,
+        "Rung relaxations (precision restored one step)");
+    m_refusals_ = reg->GetCounter(
+        "ausdb_govern_refusal_epochs_total", labels,
+        "Epochs spent refusing admission at the accuracy floor");
+    m_breaker_trips_ = reg->GetCounter(
+        "ausdb_govern_breaker_trips_total", labels,
+        "Circuit-breaker trips (persistent overload quarantines)");
+  }
+}
+
+const RungSpec& OverloadGovernor::rung_spec(size_t rung) const {
+  const auto& rungs = options_.ladder.rungs;
+  return rungs[std::min(rung, rungs.size() - 1)];
+}
+
+void OverloadGovernor::MoveTo(size_t rung, uint64_t epoch) {
+  transitions_.push_back({epoch, decision_.rung, rung});
+  decision_.rung = rung;
+  if (m_rung_ != nullptr) m_rung_->Set(static_cast<int64_t>(rung));
+}
+
+GovernorDecision OverloadGovernor::Observe(const SignalSnapshot& snap) {
+  ++stats_.epochs;
+  const double pressure = Pressure(snap);
+  if (m_pressure_milli_ != nullptr) {
+    m_pressure_milli_->Set(static_cast<int64_t>(pressure * 1000.0));
+  }
+
+  // An open breaker counts down in epochs; every other input is
+  // ignored until the cooldown elapses (the quarantined operator is
+  // not trusted to recover just because one snapshot looked calm).
+  if (breaker_open_remaining_ > 0) {
+    --breaker_open_remaining_;
+    if (breaker_open_remaining_ == 0) {
+      // Half-open: re-admit at the current (deepest) rung. Pressure
+      // still pinned past the floor will re-refuse and re-trip.
+      decision_.breaker_open = false;
+      decision_.admit = true;
+      refusing_streak_ = 0;
+      pending_move_ = LadderMove::kHold;
+      dwell_ = 0;
+    }
+    return decision_;
+  }
+
+  const LadderMove move = ClassifyPressure(options_.ladder, pressure);
+  if (move != pending_move_) {
+    pending_move_ = move;
+    dwell_ = 1;
+  } else {
+    ++dwell_;
+  }
+
+  switch (move) {
+    case LadderMove::kHold:
+      decision_.admit = true;
+      refusing_streak_ = 0;
+      break;
+    case LadderMove::kEscalate:
+      if (dwell_ >= options_.ladder.dwell_epochs) {
+        if (decision_.rung < max_rung_) {
+          MoveTo(decision_.rung + 1, snap.epoch);
+          ++stats_.escalations;
+          if (m_escalations_ != nullptr) m_escalations_->Increment();
+          dwell_ = 0;
+        } else {
+          // Past the floor: refuse new work rather than degrade below
+          // the accuracy the engine is willing to vouch for.
+          decision_.admit = false;
+          ++stats_.refusal_epochs;
+          if (m_refusals_ != nullptr) m_refusals_->Increment();
+          ++refusing_streak_;
+          if (refusing_streak_ >= options_.breaker_trip_epochs) {
+            decision_.breaker_open = true;
+            breaker_open_remaining_ = options_.breaker_cooldown_epochs;
+            ++stats_.breaker_trips;
+            if (m_breaker_trips_ != nullptr) {
+              m_breaker_trips_->Increment();
+            }
+            refusing_streak_ = 0;
+          }
+        }
+      }
+      break;
+    case LadderMove::kRelax:
+      decision_.admit = true;
+      refusing_streak_ = 0;
+      if (dwell_ >= options_.ladder.dwell_epochs && decision_.rung > 0) {
+        MoveTo(decision_.rung - 1, snap.epoch);
+        ++stats_.relaxations;
+        if (m_relaxations_ != nullptr) m_relaxations_->Increment();
+        dwell_ = 0;
+      }
+      break;
+  }
+  return decision_;
+}
+
+}  // namespace govern
+}  // namespace ausdb

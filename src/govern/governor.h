@@ -1,0 +1,139 @@
+#ifndef AUSDB_GOVERN_GOVERNOR_H_
+#define AUSDB_GOVERN_GOVERNOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/govern/ladder.h"
+#include "src/govern/signals.h"
+#include "src/obs/metrics.h"
+
+namespace ausdb {
+namespace govern {
+
+/// Options of the OverloadGovernor.
+struct GovernorOptions {
+  LadderPolicy ladder = LadderPolicy::Default();
+
+  /// Next() calls per decision epoch at the GovernorGate. Decisions
+  /// happen only at these boundaries, so the rung sequence is a pure
+  /// function of the (call count, snapshot sequence) — never of a
+  /// timer.
+  size_t epoch_interval = 256;
+
+  /// Circuit breaker: consecutive epochs spent in admission control
+  /// (pressure pinned past the floor) before the operator is declared
+  /// persistently overloaded and quarantined.
+  size_t breaker_trip_epochs = 8;
+
+  /// Epochs the breaker stays open before re-closing (half-open probe).
+  /// During an open breaker the gate fails with kUnavailable, which the
+  /// wrapping SupervisedScan retries with backoff and — if the overload
+  /// persists through its retry budget — surfaces through its existing
+  /// give-up/quarantine path.
+  size_t breaker_cooldown_epochs = 16;
+
+  /// When non-null, governor observability is mirrored into
+  /// `ausdb_govern_*` metrics labeled `{plan=metrics_label}`.
+  /// Write-only per the obs contract.
+  obs::MetricRegistry* metrics = nullptr;
+  std::string metrics_label = "plan";
+};
+
+/// What the gate does until the next epoch boundary.
+struct GovernorDecision {
+  size_t rung = 0;
+  /// False = admission control: reject new work with kOverloaded.
+  bool admit = true;
+  /// True = circuit breaker open: the operator is quarantined
+  /// (kUnavailable) until the cooldown elapses.
+  bool breaker_open = false;
+};
+
+/// One rung change, for the determinism harness's transition log.
+struct RungTransition {
+  uint64_t epoch = 0;
+  size_t from = 0;
+  size_t to = 0;
+
+  bool operator==(const RungTransition& other) const = default;
+};
+
+/// Counters of governor activity.
+struct GovernorStats {
+  uint64_t epochs = 0;
+  size_t escalations = 0;
+  size_t relaxations = 0;
+  /// Epochs spent refusing admission (pressure past the floor).
+  size_t refusal_epochs = 0;
+  size_t breaker_trips = 0;
+};
+
+/// \brief The engine-wide overload governor: maps observed pressure
+/// through the degradation ladder, with hysteresis, an accuracy floor,
+/// admission control past the floor, and a circuit breaker for
+/// persistent overload.
+///
+/// Determinism contract: Observe() is called once per decision epoch
+/// and its result depends only on (snapshot, current rung, dwell
+/// counters) — all integer state advanced by epochs, never wall clock.
+/// Two runs fed the same snapshot sequence produce the same decision
+/// sequence, which the scripted-load harness asserts literally via
+/// transitions().
+class OverloadGovernor {
+ public:
+  /// Invalid options (see LadderPolicy::Validate) are reported by
+  /// returning the error from Validate(); callers that construct
+  /// directly get the policy clamped to a validated default.
+  explicit OverloadGovernor(GovernorOptions options);
+
+  /// Feeds the epoch's signal snapshot; returns the decision in force
+  /// until the next epoch.
+  GovernorDecision Observe(const SignalSnapshot& snap);
+
+  const GovernorDecision& decision() const { return decision_; }
+  const GovernorStats& stats() const { return stats_; }
+  const GovernorOptions& options() const { return options_; }
+
+  /// The spec of `rung` (clamped to the ladder).
+  const RungSpec& rung_spec(size_t rung) const;
+
+  /// Every rung change so far, in epoch order — the harness's
+  /// determinism witness.
+  const std::vector<RungTransition>& transitions() const {
+    return transitions_;
+  }
+
+ private:
+  void MoveTo(size_t rung, uint64_t epoch);
+
+  GovernorOptions options_;
+  size_t max_rung_ = 0;  ///< deepest rung the accuracy floor permits
+  GovernorDecision decision_;
+  GovernorStats stats_;
+  std::vector<RungTransition> transitions_;
+
+  /// Consecutive epochs the pressure classification has pointed the
+  /// same way (reset on any change of direction).
+  LadderMove pending_move_ = LadderMove::kHold;
+  size_t dwell_ = 0;
+
+  /// Consecutive refusal epochs (breaker trip counter) and remaining
+  /// open epochs.
+  size_t refusing_streak_ = 0;
+  size_t breaker_open_remaining_ = 0;
+
+  /// Registry-owned metrics; null when options_.metrics is null.
+  obs::Gauge* m_rung_ = nullptr;
+  obs::Gauge* m_pressure_milli_ = nullptr;
+  obs::Counter* m_escalations_ = nullptr;
+  obs::Counter* m_relaxations_ = nullptr;
+  obs::Counter* m_refusals_ = nullptr;
+  obs::Counter* m_breaker_trips_ = nullptr;
+};
+
+}  // namespace govern
+}  // namespace ausdb
+
+#endif  // AUSDB_GOVERN_GOVERNOR_H_

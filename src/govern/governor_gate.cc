@@ -1,0 +1,81 @@
+#include "src/govern/governor_gate.h"
+
+#include <utility>
+
+namespace ausdb {
+namespace govern {
+
+Result<std::unique_ptr<GovernorGate>> GovernorGate::Make(
+    engine::OperatorPtr child, std::unique_ptr<SignalSource> signals,
+    GovernorOptions options) {
+  if (child == nullptr) {
+    return Status::InvalidArgument("GovernorGate needs a child operator");
+  }
+  if (signals == nullptr) {
+    return Status::InvalidArgument("GovernorGate needs a signal source");
+  }
+  Status valid = options.ladder.Validate();
+  if (!valid.ok()) return valid;
+  return std::unique_ptr<GovernorGate>(new GovernorGate(
+      std::move(child), std::move(signals), std::move(options)));
+}
+
+GovernorGate::GovernorGate(engine::OperatorPtr child,
+                           std::unique_ptr<SignalSource> signals,
+                           GovernorOptions options)
+    : child_(std::move(child)),
+      signals_(std::move(signals)),
+      options_(options),
+      governor_(std::move(options)) {}
+
+Result<std::optional<engine::Tuple>> GovernorGate::Next() {
+  // Tick before handling, so the very first pull runs under a decision
+  // (epoch 0) and every pull thereafter is governed by the decision of
+  // the epoch it falls into. Refused pulls advance the call count too —
+  // otherwise a refusing gate would never reach its next epoch and
+  // could not re-admit.
+  if (calls_ % governor_.options().epoch_interval == 0) {
+    decision_ = governor_.Observe(signals_->Snapshot(next_epoch_));
+    ++next_epoch_;
+  }
+  ++calls_;
+
+  if (decision_.breaker_open) {
+    ++rejected_unavailable_;
+    return Status::Unavailable(
+        "governor circuit open: operator quarantined for persistent "
+        "overload");
+  }
+  if (!decision_.admit) {
+    ++rejected_overloaded_;
+    return Status::Overloaded(
+        "governor admission control: pressure past the accuracy floor");
+  }
+
+  AUSDB_ASSIGN_OR_RETURN(std::optional<engine::Tuple> pulled,
+                         child_->Next());
+  if (pulled.has_value()) {
+    pulled->set_precision_rung(static_cast<uint32_t>(decision_.rung));
+    ++admitted_;
+  }
+  return pulled;
+}
+
+Status GovernorGate::Reset() {
+  Status st = child_->Reset();
+  if (!st.ok()) return st;
+  // A reset replays the stream from the top; the governor must replay
+  // its decisions from epoch 0 too, or the rerun would start on
+  // whatever rung the first pass ended on and diverge.
+  governor_ = OverloadGovernor(options_);
+  decision_ = GovernorDecision{};
+  calls_ = 0;
+  next_epoch_ = 0;
+  rejected_overloaded_ = 0;
+  rejected_unavailable_ = 0;
+  admitted_ = 0;
+  return Status::OK();
+}
+
+}  // namespace govern
+}  // namespace ausdb

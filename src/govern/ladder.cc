@@ -1,0 +1,92 @@
+#include "src/govern/ladder.h"
+
+#include <cmath>
+#include <string>
+
+namespace ausdb {
+namespace govern {
+
+LadderPolicy LadderPolicy::Default() {
+  LadderPolicy policy;
+  policy.rungs = {
+      // Rung 0: full precision.
+      {1.0, 1, false, 1.0},
+      // Rung 1: halve Monte Carlo / bootstrap effort.
+      {0.5, 1, false, 1.0},
+      // Rung 2: also halve histogram resolution.
+      {0.5, 2, false, 1.0},
+      // Rung 3: quarter effort and switch bootstrap -> Lemma 1-3.
+      {0.25, 2, true, 1.0},
+      // Rung 4: also halve the reorder hold horizon.
+      {0.25, 4, true, 0.5},
+  };
+  return policy;
+}
+
+Status LadderPolicy::Validate() const {
+  if (rungs.empty()) {
+    return Status::InvalidArgument("ladder needs at least rung 0");
+  }
+  if (!rungs.front().IsNeutral()) {
+    return Status::InvalidArgument(
+        "ladder rung 0 must be full precision (neutral)");
+  }
+  for (size_t i = 0; i < rungs.size(); ++i) {
+    const RungSpec& r = rungs[i];
+    if (!(r.sample_scale > 0.0) || r.sample_scale > 1.0 ||
+        !std::isfinite(r.sample_scale)) {
+      return Status::InvalidArgument(
+          "rung " + std::to_string(i) + ": sample_scale must be in (0, 1]");
+    }
+    if (r.histogram_merge == 0) {
+      return Status::InvalidArgument(
+          "rung " + std::to_string(i) + ": histogram_merge must be >= 1");
+    }
+    if (!(r.lateness_scale > 0.0) || r.lateness_scale > 1.0 ||
+        !std::isfinite(r.lateness_scale)) {
+      return Status::InvalidArgument(
+          "rung " + std::to_string(i) +
+          ": lateness_scale must be in (0, 1]");
+    }
+    if (i > 0) {
+      const RungSpec& prev = rungs[i - 1];
+      if (r.sample_scale > prev.sample_scale ||
+          r.histogram_merge < prev.histogram_merge ||
+          (prev.force_analytical && !r.force_analytical) ||
+          r.lateness_scale > prev.lateness_scale) {
+        return Status::InvalidArgument(
+            "rung " + std::to_string(i) +
+            " sheds less precision than rung " + std::to_string(i - 1) +
+            " (the ladder must be monotone)");
+      }
+    }
+  }
+  if (!(escalate_at > relax_at)) {
+    return Status::InvalidArgument(
+        "escalate_at must exceed relax_at (the hysteresis band)");
+  }
+  if (dwell_epochs == 0) {
+    return Status::InvalidArgument("dwell_epochs must be >= 1");
+  }
+  if (!(accuracy_floor > 0.0) || accuracy_floor > 1.0) {
+    return Status::InvalidArgument("accuracy_floor must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+size_t LadderPolicy::MaxUsableRung() const {
+  size_t deepest = 0;
+  for (size_t i = 0; i < rungs.size(); ++i) {
+    if (rungs[i].sample_scale >= accuracy_floor) deepest = i;
+  }
+  return deepest;
+}
+
+LadderMove ClassifyPressure(const LadderPolicy& policy, double pressure) {
+  if (pressure >= policy.escalate_at) return LadderMove::kEscalate;
+  if (pressure <= policy.relax_at) return LadderMove::kRelax;
+  return LadderMove::kHold;
+}
+
+}  // namespace govern
+}  // namespace ausdb

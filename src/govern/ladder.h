@@ -1,0 +1,113 @@
+#ifndef AUSDB_GOVERN_LADDER_H_
+#define AUSDB_GOVERN_LADDER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ausdb {
+namespace govern {
+
+/// \brief One rung of the degradation ladder: the precision the engine
+/// runs at while overloaded. Rung 0 is always full precision; higher
+/// rungs shed precision, never tuples.
+///
+/// A rung is *applied* downstream by the operators that own each knob —
+/// the AccuracyAnnotator scales its bootstrap/Monte Carlo effort and
+/// coarsens histograms, the ReorderBuffer shortens its hold horizon —
+/// keyed off the rung stamp the GovernorGate put on each tuple. Every
+/// knob has an honest re-annotation story: reduced effort shows up as a
+/// reduced effective sample size (and merged bins), so the Lemma 1-3 /
+/// bootstrap interval machinery derives the *wider* interval the cheaper
+/// computation actually supports.
+struct RungSpec {
+  /// Multiplier in (0, 1] on Monte Carlo / bootstrap sample counts and
+  /// on the de facto sample size the accuracy intervals are derived
+  /// from. 1.0 = full precision.
+  double sample_scale = 1.0;
+
+  /// Histogram coarsening factor: adjacent-bin merge width (1 = full
+  /// resolution, 2 = halve the bins, ...). Merged bins carry the summed
+  /// mass, so the distribution stays normalized and the per-bin Lemma 1
+  /// intervals are computed over the coarser representation.
+  size_t histogram_merge = 1;
+
+  /// Replace the bootstrap path with the analytical Lemma 1-3 closed
+  /// forms — the cheap path of the paper's Figure 5(a) tradeoff.
+  bool force_analytical = false;
+
+  /// Multiplier in (0, 1] on the `WITHIN` reorder hold horizon: under
+  /// pressure the buffer releases earlier, spending less memory and
+  /// latency on reordering. Stragglers that would have been reordered
+  /// surface as late tuples for the window's `LATENESS` revision path —
+  /// the real-time answer is coarser (more revisions), but no tuple is
+  /// dropped.
+  double lateness_scale = 1.0;
+
+  /// True iff this rung changes nothing (rung 0's required shape).
+  bool IsNeutral() const {
+    return sample_scale == 1.0 && histogram_merge == 1 &&
+           !force_analytical && lateness_scale == 1.0;
+  }
+};
+
+/// \brief The full ladder plus the thresholds that move the engine along
+/// it.
+///
+/// Determinism contract: the ladder itself is immutable after
+/// construction, and every decision made from it is a pure function of
+/// (pressure snapshot, current rung, dwell count) — see
+/// OverloadGovernor. Nothing here reads a clock.
+struct LadderPolicy {
+  /// rungs[0] must be neutral; each later rung should shed at least as
+  /// much as its predecessor (Validate checks monotonicity).
+  std::vector<RungSpec> rungs;
+
+  /// Escalate one rung when pressure >= escalate_at for dwell_epochs
+  /// consecutive decision epochs.
+  double escalate_at = 0.85;
+
+  /// Relax one rung when pressure <= relax_at for dwell_epochs
+  /// consecutive decision epochs. Must be < escalate_at — the gap is
+  /// the hysteresis band that stops the ladder from thrashing on a
+  /// pressure signal hovering at a threshold.
+  double relax_at = 0.45;
+
+  /// Consecutive epochs a side of the hysteresis band must hold before
+  /// the rung moves. Counted in decision epochs, never wall time.
+  size_t dwell_epochs = 2;
+
+  /// The accuracy floor: rungs whose sample_scale is below this are
+  /// unreachable. When pressure calls for escalation past the last
+  /// permitted rung, the governor switches to admission control
+  /// (kOverloaded at the source) instead of degrading further — the
+  /// engine refuses to produce intervals it is not willing to vouch
+  /// for.
+  double accuracy_floor = 0.2;
+
+  /// The default five-rung ladder: halve sampling effort, coarsen
+  /// histograms, drop to the analytical path, then shorten reorder
+  /// horizons; floor at 1/4 of full sampling effort.
+  static LadderPolicy Default();
+
+  Status Validate() const;
+
+  /// Index of the deepest rung the accuracy floor permits.
+  size_t MaxUsableRung() const;
+};
+
+/// What the pressure signal asks of the ladder this epoch — the pure
+/// classification at the heart of the decision function.
+enum class LadderMove {
+  kHold,      ///< inside the hysteresis band
+  kEscalate,  ///< pressure at/above escalate_at
+  kRelax,     ///< pressure at/below relax_at
+};
+
+LadderMove ClassifyPressure(const LadderPolicy& policy, double pressure);
+
+}  // namespace govern
+}  // namespace ausdb
+
+#endif  // AUSDB_GOVERN_LADDER_H_

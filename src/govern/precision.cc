@@ -1,0 +1,67 @@
+#include "src/govern/precision.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace ausdb {
+namespace govern {
+
+size_t EffectiveSampleSize(size_t n, double scale) {
+  if (n == dist::RandomVar::kCertainSampleSize) return n;
+  const double scaled = std::floor(static_cast<double>(n) * scale);
+  return std::max<size_t>(2, static_cast<size_t>(scaled));
+}
+
+size_t EffectiveResamples(size_t r, double scale) {
+  const double scaled = std::floor(static_cast<double>(r) * scale);
+  return std::max<size_t>(2, static_cast<size_t>(scaled));
+}
+
+Result<dist::HistogramDist> CoarsenHistogram(const dist::HistogramDist& h,
+                                             size_t merge) {
+  if (merge <= 1 || h.bin_count() <= 1) {
+    return dist::HistogramDist::Make(h.edges(), h.probs());
+  }
+  std::vector<double> edges;
+  std::vector<double> probs;
+  edges.reserve(h.bin_count() / merge + 2);
+  probs.reserve(h.bin_count() / merge + 1);
+  for (size_t i = 0; i < h.bin_count(); i += merge) {
+    const size_t end = std::min(i + merge, h.bin_count());
+    edges.push_back(h.edges()[i]);
+    double mass = 0.0;
+    for (size_t j = i; j < end; ++j) mass += h.BinProb(j);
+    probs.push_back(mass);
+  }
+  edges.push_back(h.edges().back());
+  return dist::HistogramDist::Make(std::move(edges), std::move(probs));
+}
+
+Result<dist::RandomVar> DegradeRandomVar(const dist::RandomVar& rv,
+                                         const RungSpec& spec) {
+  if (rv.is_certain() || spec.IsNeutral()) return rv;
+  dist::DistributionPtr d = rv.distribution();
+  if (spec.histogram_merge > 1 &&
+      d->kind() == dist::DistributionKind::kHistogram) {
+    const auto& h = static_cast<const dist::HistogramDist&>(*d);
+    if (h.bin_count() > 1) {
+      AUSDB_ASSIGN_OR_RETURN(dist::HistogramDist coarse,
+                             CoarsenHistogram(h, spec.histogram_merge));
+      d = std::make_shared<dist::HistogramDist>(std::move(coarse));
+    }
+  }
+  dist::RandomVar degraded(
+      std::move(d), EffectiveSampleSize(rv.sample_size(),
+                                        spec.sample_scale));
+  // Keep the retained raw sample: the bootstrap path reads a prefix of
+  // it sized by the effective (n, r), so holding the pointer costs
+  // nothing and loses nothing.
+  degraded.set_raw_sample(rv.raw_sample());
+  return degraded;
+}
+
+}  // namespace govern
+}  // namespace ausdb

@@ -1,0 +1,47 @@
+#ifndef AUSDB_GOVERN_PRECISION_H_
+#define AUSDB_GOVERN_PRECISION_H_
+
+#include <cstddef>
+
+#include "src/common/result.h"
+#include "src/dist/histogram.h"
+#include "src/dist/random_var.h"
+#include "src/govern/ladder.h"
+
+namespace ausdb {
+namespace govern {
+
+/// \brief The rung-scaled de facto sample size: floor(n * scale),
+/// clamped to >= 2 (Lemma 2 needs n >= 2). Deterministic values
+/// (kCertainSampleSize) pass through untouched — certainty cannot be
+/// shed.
+size_t EffectiveSampleSize(size_t n, double scale);
+
+/// The rung-scaled bootstrap resample count: floor(r * scale), clamped
+/// to >= 2 (a percentile needs at least two resamples).
+size_t EffectiveResamples(size_t r, double scale);
+
+/// \brief Coarsens a histogram by merging each run of `merge` adjacent
+/// bins into one (the last run may be shorter): kept edges are every
+/// merge-th original edge plus the last, and each merged bin's mass is
+/// the sum of its parts. merge <= 1 returns the input unchanged.
+Result<dist::HistogramDist> CoarsenHistogram(const dist::HistogramDist& h,
+                                             size_t merge);
+
+/// \brief Applies a rung's precision shedding to an uncertain value:
+/// histogram distributions are coarsened by `spec.histogram_merge`, and
+/// the de facto sample size is scaled by `spec.sample_scale`.
+///
+/// This is the honesty half of the degradation ladder: the degraded
+/// variable is written back into the tuple, so the reduced provenance
+/// flows through the existing Lemma 1-3 / bootstrap machinery and the
+/// annotated intervals come out wider — the tuple carries exactly the
+/// precision its intervals vouch for, never a full-precision claim on
+/// shed work.
+Result<dist::RandomVar> DegradeRandomVar(const dist::RandomVar& rv,
+                                         const RungSpec& spec);
+
+}  // namespace govern
+}  // namespace ausdb
+
+#endif  // AUSDB_GOVERN_PRECISION_H_

@@ -7,6 +7,7 @@
 #include "src/engine/sort.h"
 #include "src/engine/time_window_aggregate.h"
 #include "src/engine/window_aggregate.h"
+#include "src/govern/governor_gate.h"
 #include "src/query/parser.h"
 
 namespace ausdb {
@@ -19,6 +20,25 @@ Result<engine::OperatorPtr> BuildPlan(const ParsedQuery& query,
     return Status::InvalidArgument("plan needs a source operator");
   }
   engine::OperatorPtr plan = std::move(source);
+
+  // One ladder instance shared by every governed stage of this plan,
+  // so the rung a tuple is stamped with at the gate means the same
+  // thing at the reorder horizon and in the accuracy annotation.
+  std::shared_ptr<const govern::LadderPolicy> ladder;
+  if (options.govern.enabled) {
+    if (options.govern.signals == nullptr) {
+      return Status::InvalidArgument(
+          "governed plan needs a signal-source factory");
+    }
+    ladder = std::make_shared<const govern::LadderPolicy>(
+        options.govern.governor.ladder);
+    AUSDB_ASSIGN_OR_RETURN(
+        std::unique_ptr<govern::GovernorGate> gate,
+        govern::GovernorGate::Make(std::move(plan),
+                                   options.govern.signals(),
+                                   options.govern.governor));
+    plan = std::move(gate);
+  }
 
   if (query.where != nullptr) {
     engine::FilterOptions fo = options.filter;
@@ -47,6 +67,10 @@ Result<engine::OperatorPtr> BuildPlan(const ParsedQuery& query,
       if (spec.within_bound > 0.0) {
         engine::ReorderBufferOptions ro = options.reorder;
         ro.lateness_bound = spec.within_bound;
+        if (ladder != nullptr) {
+          ro.ladder = ladder;
+          ro.memory_budget = options.govern.memory_budget;
+        }
         AUSDB_ASSIGN_OR_RETURN(
             std::unique_ptr<engine::ReorderBuffer> reorder,
             engine::ReorderBuffer::Make(std::move(plan), spec.range_column,
@@ -131,6 +155,7 @@ Result<engine::OperatorPtr> BuildPlan(const ParsedQuery& query,
     engine::AccuracyAnnotatorOptions ao = options.annotator;
     ao.method = query.accuracy->method;
     ao.confidence = query.accuracy->confidence;
+    if (ladder != nullptr) ao.ladder = ladder;
     plan = std::make_unique<engine::AccuracyAnnotator>(std::move(plan), ao);
   }
   return plan;

@@ -1,17 +1,46 @@
 #ifndef AUSDB_QUERY_PLANNER_H_
 #define AUSDB_QUERY_PLANNER_H_
 
+#include <functional>
+#include <memory>
 #include <string_view>
 
+#include "src/common/memory_budget.h"
 #include "src/common/result.h"
 #include "src/engine/accuracy_annotator.h"
 #include "src/engine/filter.h"
 #include "src/engine/operator.h"
 #include "src/engine/reorder_buffer.h"
+#include "src/govern/governor.h"
+#include "src/govern/signals.h"
 #include "src/query/plan.h"
 
 namespace ausdb {
 namespace query {
+
+/// \brief Per-plan overload-governor wiring. When enabled, the planner
+/// inserts a GovernorGate directly above the source (admission control
+/// happens before any work is invested in a tuple) and shares one
+/// degradation ladder between the gate, the WITHIN reorder stage, and
+/// the accuracy annotator — the same rung stamp a tuple picks up at the
+/// gate is what shortens its hold horizon and widens its intervals
+/// downstream.
+struct GovernorConfig {
+  bool enabled = false;
+
+  /// Ladder, epoch interval, breaker thresholds, metrics.
+  govern::GovernorOptions governor;
+
+  /// Factory for the gate's signal source — LiveSignalSource over the
+  /// plan's queues/budget in production, a scripted injector in
+  /// harnesses. Required when enabled (each plan needs its own
+  /// instance).
+  std::function<std::unique_ptr<govern::SignalSource>()> signals;
+
+  /// Per-plan memory budget the WITHIN reorder stage charges held
+  /// tuples against. Null disables charging. Must outlive the plan.
+  MemoryBudget* memory_budget = nullptr;
+};
 
 /// Plan-construction knobs.
 struct PlannerOptions {
@@ -22,6 +51,9 @@ struct PlannerOptions {
   /// (capacity, overflow policy, metrics); the clause's bound overrides
   /// lateness_bound.
   engine::ReorderBufferOptions reorder;
+  /// Overload governor wiring; disabled by default (plans are built
+  /// exactly as before — no gate, no ladder, no budget charging).
+  GovernorConfig govern;
 };
 
 /// \brief Turns a parsed query plus its input stream into an executable

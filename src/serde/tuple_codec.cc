@@ -1,5 +1,6 @@
 #include "src/serde/tuple_codec.h"
 
+#include <limits>
 #include <memory>
 
 #include "src/dist/gaussian.h"
@@ -122,7 +123,17 @@ Status WriteTupleCheckpoint(CheckpointWriter& w,
           "tuple checkpoint cannot carry accuracy annotations");
     }
   }
-  w.Token("tup");
+  // Rung-0 tuples keep the original "tup" record byte-for-byte, so
+  // ungoverned plans' checkpoints are unchanged; a non-zero precision
+  // rung (stamped by govern::GovernorGate) upgrades the record to "tu2"
+  // — dropping the stamp would silently restore a degraded tuple at
+  // full precision, breaking the bit-exact restore contract.
+  if (tuple.precision_rung() != 0) {
+    w.Token("tu2");
+    w.Uint(tuple.precision_rung());
+  } else {
+    w.Token("tup");
+  }
   w.Uint(tuple.sequence());
   w.Double(tuple.membership_prob());
   w.Uint(tuple.membership_df_n());
@@ -134,7 +145,19 @@ Status WriteTupleCheckpoint(CheckpointWriter& w,
 }
 
 Result<engine::Tuple> ReadTupleCheckpoint(CheckpointReader& r) {
-  AUSDB_RETURN_NOT_OK(r.ExpectToken("tup"));
+  AUSDB_ASSIGN_OR_RETURN(std::string tag, r.NextToken());
+  uint64_t precision_rung = 0;
+  if (tag == "tu2") {
+    AUSDB_ASSIGN_OR_RETURN(precision_rung, r.NextUint());
+    if (precision_rung > std::numeric_limits<uint32_t>::max()) {
+      return Status::Corruption("tuple checkpoint precision rung " +
+                                std::to_string(precision_rung) +
+                                " out of range");
+    }
+  } else if (tag != "tup") {
+    return Status::Corruption("unknown tuple-checkpoint tag '" + tag +
+                              "'");
+  }
   AUSDB_ASSIGN_OR_RETURN(uint64_t sequence, r.NextUint());
   AUSDB_ASSIGN_OR_RETURN(double membership_prob, r.NextDouble());
   AUSDB_ASSIGN_OR_RETURN(uint64_t membership_df_n, r.NextUint());
@@ -150,6 +173,7 @@ Result<engine::Tuple> ReadTupleCheckpoint(CheckpointReader& r) {
   t.set_sequence(sequence);
   t.set_membership_prob(membership_prob);
   t.set_membership_df_n(static_cast<size_t>(membership_df_n));
+  t.set_precision_rung(static_cast<uint32_t>(precision_rung));
   return t;
 }
 

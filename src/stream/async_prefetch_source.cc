@@ -22,6 +22,9 @@ PrefetchPump::PrefetchPump(engine::Operator* source,
     m_pop_waits_ =
         reg->GetCounter("ausdb_stream_prefetch_pop_waits_total", labels,
                         "Consumer blocked on an empty ring.");
+    m_try_rejections_ = reg->GetCounter(
+        "ausdb_stream_prefetch_try_rejections_total", labels,
+        "Non-blocking TryPush refused on a full ring (shed signal).");
     m_produced_ =
         reg->GetCounter("ausdb_stream_prefetch_produced_total", labels,
                         "Tuples pulled from the wrapped source.");
@@ -39,7 +42,8 @@ PrefetchPump::~PrefetchPump() { Stop(); }
 void PrefetchPump::EnsureStarted() {
   if (started_) return;
   queue_ = std::make_unique<BoundedQueue<Outcome>>(queue_depth_);
-  queue_->BindMetrics(m_depth_, m_push_waits_, m_pop_waits_);
+  queue_->BindMetrics(m_depth_, m_push_waits_, m_pop_waits_,
+                      m_try_rejections_);
   ++starts_;
   if (m_starts_) m_starts_->Increment();
   // The raw queue pointer is stable for the thread's whole lifetime:

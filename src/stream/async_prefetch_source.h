@@ -159,6 +159,7 @@ class PrefetchPump {
   obs::Gauge* m_depth_ = nullptr;
   obs::Counter* m_push_waits_ = nullptr;
   obs::Counter* m_pop_waits_ = nullptr;
+  obs::Counter* m_try_rejections_ = nullptr;
   obs::Counter* m_produced_ = nullptr;
   obs::Counter* m_delivered_ = nullptr;
   obs::Counter* m_starts_ = nullptr;

@@ -17,6 +17,7 @@
 
 #include "src/common/bounded_queue.h"
 #include "src/common/fault_injector.h"
+#include "src/obs/metrics.h"
 #include "src/dist/gaussian.h"
 #include "src/engine/executor.h"
 #include "src/engine/scan.h"
@@ -125,6 +126,71 @@ TEST(BoundedQueueTest, CancelUnblocksBlockedConsumer) {
     q.Cancel();
     consumer.join();
     EXPECT_GE(q.pop_waits(), 1u);
+  });
+}
+
+TEST(BoundedQueueTest, TryPushOnClosedAndCancelledRings) {
+  // A closed ring refuses TryPush the same way it refuses Push — the
+  // stream has ended, backpressure is not the reason.
+  BoundedQueue<int> closed(2);
+  closed.Close();
+  EXPECT_TRUE(closed.TryPush(1).IsInvalidArgument());
+  EXPECT_EQ(closed.try_push_rejections(), 0u)
+      << "a closed ring is not a backpressure event";
+
+  // A cancelled ring fails fast with kCancelled, even when full.
+  BoundedQueue<int> cancelled(1);
+  ASSERT_TRUE(cancelled.TryPush(1).ok());
+  cancelled.Cancel();
+  EXPECT_TRUE(cancelled.TryPush(2).IsCancelled());
+  EXPECT_EQ(cancelled.try_push_rejections(), 0u);
+}
+
+TEST(BoundedQueueTest, TryPushRejectionCountAndMetricsMirror) {
+  obs::MetricRegistry registry;
+  obs::Gauge* depth = registry.GetGauge("q_depth");
+  obs::Counter* rejections = registry.GetCounter("q_try_rejections");
+  BoundedQueue<int> q(2);
+  q.BindMetrics(depth, nullptr, nullptr, rejections);
+  ASSERT_TRUE(q.TryPush(1).ok());
+  ASSERT_TRUE(q.TryPush(2).ok());
+  EXPECT_TRUE(q.TryPush(3).IsBackpressure());
+  EXPECT_TRUE(q.TryPush(4).IsBackpressure());
+  EXPECT_EQ(q.try_push_rejections(), 2u);
+  EXPECT_EQ(rejections->Value(), 2u)
+      << "the shed signal must be visible to the governor's obs reader";
+  EXPECT_EQ(depth->Value(), 2);
+  int v = 0;
+  ASSERT_TRUE(q.Pop(&v).ok());
+  EXPECT_EQ(depth->Value(), 1);
+  // Refusals are non-destructive: the ring still carries exactly what
+  // was accepted, in order.
+  EXPECT_TRUE(q.TryPush(5).ok());
+  ASSERT_TRUE(q.Pop(&v).ok());
+  EXPECT_EQ(v, 2);
+  ASSERT_TRUE(q.Pop(&v).ok());
+  EXPECT_EQ(v, 5);
+}
+
+TEST(BoundedQueueTest, TryPushInterleavedWithBlockingPush) {
+  RunWithWatchdog("trypush vs blocked push", [] {
+    BoundedQueue<int> q(1);
+    ASSERT_TRUE(q.Push(1).ok());  // ring now full
+    std::thread producer([&q] {
+      EXPECT_TRUE(q.Push(2).ok());  // blocks until the consumer drains
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    // The non-blocking producer is refused while the blocking one
+    // waits — TryPush must not jump the queue or wedge the waiter.
+    EXPECT_TRUE(q.TryPush(99).IsBackpressure());
+    EXPECT_GE(q.try_push_rejections(), 1u);
+    int v = 0;
+    ASSERT_TRUE(q.Pop(&v).ok());
+    EXPECT_EQ(v, 1);
+    producer.join();  // the blocked Push completed after the drain
+    ASSERT_TRUE(q.Pop(&v).ok());
+    EXPECT_EQ(v, 2) << "the blocked producer's item, not the refused one";
+    EXPECT_EQ(q.size(), 0u);
   });
 }
 

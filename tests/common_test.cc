@@ -44,6 +44,22 @@ TEST(StatusTest, ShutdownAndBackpressureCodes) {
   EXPECT_EQ(full.ToString(), "Backpressure: ring full");
 }
 
+TEST(StatusTest, OverloadCodes) {
+  // The governor's two refusal shapes: a blown per-plan budget (fatal —
+  // a budget does not free itself) and admission control (transient —
+  // pressure relaxes).
+  const Status budget = Status::ResourceExhausted("reorder: budget");
+  EXPECT_TRUE(budget.IsResourceExhausted());
+  EXPECT_EQ(budget.ToString(), "Resource exhausted: reorder: budget");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "Resource exhausted");
+
+  const Status refused = Status::Overloaded("past the accuracy floor");
+  EXPECT_TRUE(refused.IsOverloaded());
+  EXPECT_EQ(refused.ToString(), "Overloaded: past the accuracy floor");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOverloaded), "Overloaded");
+}
+
 TEST(StatusTest, ReturnNotOkMacroPropagates) {
   auto fails = []() -> Status { return Status::NotFound("x"); };
   auto wrapper = [&]() -> Status {

@@ -14,8 +14,10 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/memory_budget.h"
 #include "src/common/thread_pool.h"
 #include "src/dist/gaussian.h"
+#include "src/govern/ladder.h"
 #include "src/engine/executor.h"
 #include "src/engine/partitioned_window.h"
 #include "src/engine/reorder_buffer.h"
@@ -245,6 +247,145 @@ TEST(ReorderBufferTest, BlockOverflowForcesEarlyReleaseNeverDrops) {
   }
   EXPECT_EQ((*rb)->stats().forced_releases, 3u);
   EXPECT_EQ((*rb)->stats().shed, 0u);
+}
+
+// Pulls the buffer dry one tuple at a time, asserting the conservation
+// law at every step: every admitted tuple is delivered, still buffered,
+// awaiting delivery, or (kShedOldest only) loudly counted shed.
+void DrainCheckingAccounting(ReorderBuffer& rb, size_t expect_delivered,
+                             size_t expect_shed) {
+  size_t delivered = 0;
+  for (;;) {
+    auto t = rb.Next();
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    if (!t->has_value()) break;
+    ++delivered;
+    const engine::ReorderStats& s = rb.stats();
+    ASSERT_EQ(s.admitted, delivered + rb.buffered_count() +
+                              rb.pending_release_count() + s.shed)
+        << "accounting broke after tuple " << delivered << " (late=" << s.late
+        << " forced=" << s.forced_releases << ")";
+  }
+  EXPECT_EQ(delivered, expect_delivered);
+  EXPECT_EQ(rb.stats().shed, expect_shed);
+}
+
+TEST(ReorderBufferTest, AccountingClosesUnderSustainedShedOverflow) {
+  // A lateness bound so wide nothing releases naturally, a tiny
+  // capacity, and thirty tuples: the buffer sheds continuously, and the
+  // invariant must hold at every single delivery checkpoint.
+  ReorderBufferOptions opts;
+  opts.lateness_bound = 1000.0;
+  opts.capacity = 3;
+  opts.overflow = ReorderOverflowPolicy::kShedOldest;
+  auto rb = ReorderBuffer::Make(Scan(OrderedStream(30)), "ts", opts);
+  ASSERT_TRUE(rb.ok());
+  DrainCheckingAccounting(**rb, /*expect_delivered=*/3,
+                          /*expect_shed=*/27);
+  EXPECT_EQ((*rb)->stats().admitted, 30u);
+}
+
+TEST(ReorderBufferTest, AccountingClosesUnderSustainedBlockOverflow) {
+  ReorderBufferOptions opts;
+  opts.lateness_bound = 1000.0;
+  opts.capacity = 3;
+  opts.overflow = ReorderOverflowPolicy::kBlock;
+  auto rb = ReorderBuffer::Make(Scan(OrderedStream(30)), "ts", opts);
+  ASSERT_TRUE(rb.ok());
+  DrainCheckingAccounting(**rb, /*expect_delivered=*/30,
+                          /*expect_shed=*/0);
+  EXPECT_EQ((*rb)->stats().admitted, 30u);
+  EXPECT_EQ((*rb)->stats().forced_releases, 27u);
+}
+
+TEST(ReorderBufferTest, GovernedRungShortensHoldHorizon) {
+  // Rung-stamped tuples shrink the hold horizon (deepest default rung:
+  // half the bound). Releases happen before the true watermark —
+  // counted early — but every tuple still arrives.
+  auto ladder = std::make_shared<const govern::LadderPolicy>(
+      govern::LadderPolicy::Default());
+  std::vector<Tuple> tuples = RotateBlocks(OrderedStream(12), 3);
+  for (Tuple& t : tuples) {
+    t.set_precision_rung(
+        static_cast<uint32_t>(ladder->rungs.size() - 1));
+  }
+  ReorderBufferOptions opts;
+  opts.lateness_bound = 4.0;
+  opts.ladder = ladder;
+  auto rb = ReorderBuffer::Make(
+      std::make_unique<PreservingScan>(TsSchema(), tuples), "ts", opts);
+  ASSERT_TRUE(rb.ok());
+  auto out = Collect(**rb);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 12u) << "a shortened horizon drops nothing";
+  EXPECT_GT((*rb)->stats().early_releases, 0u);
+  EXPECT_EQ((*rb)->stats().shed, 0u);
+}
+
+TEST(ReorderBufferTest, UngovernedTrafficIgnoresTheLadder) {
+  // Rung-0 tuples through a ladder-bound buffer must behave exactly as
+  // if no ladder were configured — byte for byte.
+  const auto disordered = RotateBlocks(OrderedStream(12), 3);
+  ReorderBufferOptions plain;
+  plain.lateness_bound = 3.0;
+  auto rb1 = ReorderBuffer::Make(Scan(disordered), "ts", plain);
+  ASSERT_TRUE(rb1.ok());
+  auto out1 = Collect(**rb1);
+  ASSERT_TRUE(out1.ok());
+
+  ReorderBufferOptions governed = plain;
+  governed.ladder = std::make_shared<const govern::LadderPolicy>(
+      govern::LadderPolicy::Default());
+  auto rb2 = ReorderBuffer::Make(Scan(disordered), "ts", governed);
+  ASSERT_TRUE(rb2.ok());
+  auto out2 = Collect(**rb2);
+  ASSERT_TRUE(out2.ok());
+
+  ASSERT_EQ(out1->size(), out2->size());
+  const Schema& schema = (*rb1)->schema();
+  for (size_t i = 0; i < out1->size(); ++i) {
+    EXPECT_EQ(serde::ToJson((*out1)[i], schema),
+              serde::ToJson((*out2)[i], schema));
+  }
+  EXPECT_EQ((*rb2)->stats().early_releases, 0u);
+}
+
+TEST(ReorderBufferTest, ChargesHeldTuplesAgainstMemoryBudget) {
+  // An ample budget: every held tuple is charged while buffered and
+  // every charge is handed back by end of stream.
+  MemoryBudget budget(1 << 20);
+  ReorderBufferOptions opts;
+  opts.lateness_bound = 3.0;
+  opts.memory_budget = &budget;
+  auto rb = ReorderBuffer::Make(Scan(RotateBlocks(OrderedStream(9), 3)),
+                                "ts", opts);
+  ASSERT_TRUE(rb.ok());
+  auto first = (*rb)->Next();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->has_value());
+  EXPECT_GT(budget.used(), 0u) << "held tuples must be charged";
+  auto rest = Collect(**rb);
+  ASSERT_TRUE(rest.ok());
+  EXPECT_EQ(rest->size(), 8u);
+  EXPECT_EQ(budget.used(), 0u)
+      << "every buffer exit must release its charge";
+  EXPECT_EQ(budget.rejections(), 0u);
+}
+
+TEST(ReorderBufferTest, BudgetExhaustionIsLoudNotSilent) {
+  // A budget too small for even one held tuple: the buffer refuses with
+  // kResourceExhausted instead of growing past its allowance.
+  MemoryBudget budget(8);
+  ReorderBufferOptions opts;
+  opts.lateness_bound = 100.0;  // everything would be held
+  opts.memory_budget = &budget;
+  auto rb = ReorderBuffer::Make(Scan(OrderedStream(5)), "ts", opts);
+  ASSERT_TRUE(rb.ok());
+  auto t = (*rb)->Next();
+  ASSERT_FALSE(t.ok());
+  EXPECT_TRUE(t.status().IsResourceExhausted()) << t.status().ToString();
+  EXPECT_GE(budget.rejections(), 1u);
+  EXPECT_EQ(budget.used(), 0u) << "a refused reservation charges nothing";
 }
 
 TEST(ReorderBufferTest, OutputIdenticalWithMetricsOn) {

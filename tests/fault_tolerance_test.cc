@@ -179,6 +179,64 @@ TEST(RetryClassificationTest, NewCodesAreFatal) {
             FailureClass::kFatal);
 }
 
+TEST(RetryClassificationTest, OverloadCodesSplitByRecoverability) {
+  // Governor admission rejections are transient: pressure relaxes, and
+  // the refused pull will be admitted at a later epoch. A blown memory
+  // budget is fatal to the pull: the budget does not free itself, so
+  // the supervisor must surface it, not spin on it.
+  EXPECT_EQ(ClassifyStatus(Status::Overloaded("admission control")),
+            FailureClass::kTransient);
+  EXPECT_EQ(ClassifyStatus(Status::Backpressure("ring full")),
+            FailureClass::kTransient);
+  EXPECT_EQ(ClassifyStatus(Status::ResourceExhausted("budget spent")),
+            FailureClass::kFatal);
+}
+
+TEST(RetryPolicyTest, DeadlineExhaustedBoundariesAreExact) {
+  RetryPolicy p;
+  p.max_attempts = 1000;
+  p.max_elapsed_seconds = 0.5;
+  // The decision flips exactly at the deadline — elapsed time is
+  // accumulated scheduled backoff, so the boundary is deterministic,
+  // not a wall-clock race.
+  EXPECT_FALSE(p.DeadlineExhausted(0.0));
+  EXPECT_FALSE(p.DeadlineExhausted(std::nextafter(0.5, 0.0)));
+  EXPECT_TRUE(p.DeadlineExhausted(0.5));
+  EXPECT_TRUE(p.DeadlineExhausted(std::nextafter(0.5, 1.0)));
+  // ShouldRetry and DeadlineExhausted agree at the boundary: whenever
+  // the deadline forbids a retry of a transient error, it also claims
+  // responsibility for the give-up.
+  EXPECT_TRUE(p.ShouldRetry(Status::Overloaded("x"), 1,
+                            std::nextafter(0.5, 0.0)));
+  EXPECT_FALSE(p.ShouldRetry(Status::Overloaded("x"), 1, 0.5));
+}
+
+TEST(SupervisedScanTest, RidesOutTransientOverload) {
+  // A source refusing admission a few times before each tuple: the
+  // supervisor retries kOverloaded like any transient fault, and the
+  // full stream arrives.
+  size_t pulls = 0;
+  size_t emitted = 0;
+  auto source = std::make_unique<StreamScan>(
+      XSchema(), [&]() -> Result<std::optional<Tuple>> {
+        if (++pulls % 3 != 0) {
+          return Status::Overloaded("governor admission control");
+        }
+        if (emitted >= 5) return std::optional<Tuple>(std::nullopt);
+        return std::optional<Tuple>(XTuple(static_cast<double>(emitted++)));
+      });
+  SupervisedScanOptions opts;
+  opts.retry.max_attempts = 10;
+  opts.retry.initial_backoff_seconds = 0.0;
+  opts.retry.jitter_fraction = 0.0;
+  SupervisedScan scan(std::move(source), opts);
+  auto out = engine::Collect(scan);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->size(), 5u) << "admission control delays, never drops";
+  EXPECT_GE(scan.counters().retries, 10u);
+  EXPECT_EQ(scan.counters().gave_up, 0u);
+}
+
 // ---------------------------------------------------------------------
 // FaultInjector
 

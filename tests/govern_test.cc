@@ -1,0 +1,728 @@
+// Overload governor layer: the degradation ladder and its validation,
+// pressure signals, the epoch-driven governor state machine (hysteresis,
+// accuracy floor, admission control, circuit breaker), the scripted
+// overload injector, precision shedding (effective sample sizes,
+// histogram coarsening, honest re-annotation), per-plan memory budgets,
+// and the GovernorGate operator.
+
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/memory_budget.h"
+#include "src/common/retry.h"
+#include "src/dist/gaussian.h"
+#include "src/dist/histogram.h"
+#include "src/engine/accuracy_annotator.h"
+#include "src/engine/executor.h"
+#include "src/engine/scan.h"
+#include "src/govern/governor.h"
+#include "src/govern/governor_gate.h"
+#include "src/govern/ladder.h"
+#include "src/govern/overload_injector.h"
+#include "src/govern/precision.h"
+#include "src/govern/signals.h"
+#include "src/obs/metrics.h"
+#include "src/query/planner.h"
+#include "src/serde/checkpoint.h"
+#include "src/serde/tuple_codec.h"
+#include "src/stream/supervised_source.h"
+
+namespace ausdb {
+namespace govern {
+namespace {
+
+using engine::Collect;
+using engine::FieldType;
+using engine::Schema;
+using engine::Tuple;
+using engine::VectorScan;
+
+Schema XSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddField({"x", FieldType::kUncertain}).ok());
+  return s;
+}
+
+Tuple XTuple(double mean, size_t n = 100) {
+  return Tuple({expr::Value(dist::RandomVar(
+      std::make_shared<dist::GaussianDist>(mean, 1.0), n))});
+}
+
+std::vector<Tuple> XStream(size_t count) {
+  std::vector<Tuple> tuples;
+  for (size_t i = 0; i < count; ++i) {
+    tuples.push_back(XTuple(static_cast<double>(i)));
+  }
+  return tuples;
+}
+
+SignalSnapshot QueueSnapshot(double fill, uint64_t epoch = 0) {
+  SignalSnapshot snap;
+  snap.epoch = epoch;
+  snap.queue_capacity = 1000;
+  snap.queue_depth = static_cast<size_t>(fill * 1000);
+  return snap;
+}
+
+// ---------------------------------------------------------------------
+// LadderPolicy
+
+TEST(LadderPolicyTest, DefaultValidatesAndIsMonotone) {
+  const LadderPolicy policy = LadderPolicy::Default();
+  EXPECT_TRUE(policy.Validate().ok());
+  ASSERT_GE(policy.rungs.size(), 2u);
+  EXPECT_TRUE(policy.rungs.front().IsNeutral());
+  for (size_t i = 1; i < policy.rungs.size(); ++i) {
+    EXPECT_LE(policy.rungs[i].sample_scale,
+              policy.rungs[i - 1].sample_scale);
+    EXPECT_GE(policy.rungs[i].histogram_merge,
+              policy.rungs[i - 1].histogram_merge);
+  }
+}
+
+TEST(LadderPolicyTest, RejectsNonNeutralRungZero) {
+  LadderPolicy policy = LadderPolicy::Default();
+  policy.rungs[0].sample_scale = 0.5;
+  const Status st = policy.Validate();
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+}
+
+TEST(LadderPolicyTest, RejectsNonMonotoneShedding) {
+  LadderPolicy policy = LadderPolicy::Default();
+  // Rung 2 sheds less sampling effort than rung 1: not a ladder.
+  policy.rungs[1].sample_scale = 0.25;
+  policy.rungs[2].sample_scale = 0.75;
+  EXPECT_TRUE(policy.Validate().IsInvalidArgument());
+}
+
+TEST(LadderPolicyTest, RejectsInvertedHysteresisBand) {
+  LadderPolicy policy = LadderPolicy::Default();
+  policy.escalate_at = 0.4;
+  policy.relax_at = 0.6;
+  EXPECT_TRUE(policy.Validate().IsInvalidArgument());
+}
+
+TEST(LadderPolicyTest, AccuracyFloorBoundsUsableRungs) {
+  LadderPolicy policy = LadderPolicy::Default();
+  // Floor at 0.5: the 0.25-scale rungs are out of bounds.
+  policy.accuracy_floor = 0.5;
+  ASSERT_TRUE(policy.Validate().ok());
+  EXPECT_EQ(policy.MaxUsableRung(), 2u);
+  policy.accuracy_floor = 0.2;
+  EXPECT_EQ(policy.MaxUsableRung(), 4u);
+  policy.accuracy_floor = 1.0;
+  EXPECT_EQ(policy.MaxUsableRung(), 0u);
+}
+
+TEST(LadderPolicyTest, ClassifyPressureUsesHysteresisBand) {
+  const LadderPolicy policy = LadderPolicy::Default();  // 0.85 / 0.45
+  EXPECT_EQ(ClassifyPressure(policy, 0.9), LadderMove::kEscalate);
+  EXPECT_EQ(ClassifyPressure(policy, 0.85), LadderMove::kEscalate);
+  EXPECT_EQ(ClassifyPressure(policy, 0.6), LadderMove::kHold);
+  EXPECT_EQ(ClassifyPressure(policy, 0.45), LadderMove::kRelax);
+  EXPECT_EQ(ClassifyPressure(policy, 0.0), LadderMove::kRelax);
+}
+
+// ---------------------------------------------------------------------
+// Pressure signals
+
+TEST(PressureTest, UnboundComponentsReadZero) {
+  const SignalSnapshot empty;
+  EXPECT_DOUBLE_EQ(QueuePressure(empty), 0.0);
+  EXPECT_DOUBLE_EQ(MemoryPressure(empty), 0.0);
+  EXPECT_DOUBLE_EQ(LatencyPressure(empty), 0.0);
+  EXPECT_DOUBLE_EQ(Pressure(empty), 0.0);
+}
+
+TEST(PressureTest, OverallPressureIsTheWorstComponent) {
+  SignalSnapshot snap;
+  snap.queue_capacity = 100;
+  snap.queue_depth = 30;
+  snap.memory_limit_bytes = 1000;
+  snap.memory_used_bytes = 900;
+  snap.latency_slo_seconds = 0.010;
+  snap.sampled_latency_seconds = 0.005;
+  EXPECT_DOUBLE_EQ(QueuePressure(snap), 0.3);
+  EXPECT_DOUBLE_EQ(MemoryPressure(snap), 0.9);
+  EXPECT_DOUBLE_EQ(LatencyPressure(snap), 0.5);
+  EXPECT_DOUBLE_EQ(Pressure(snap), 0.9);
+}
+
+TEST(PressureTest, LatencyPressureClampsAtTwiceSlo) {
+  SignalSnapshot snap;
+  snap.latency_slo_seconds = 0.001;
+  snap.sampled_latency_seconds = 1.0;  // 1000x the SLO
+  EXPECT_DOUBLE_EQ(LatencyPressure(snap), 2.0);
+}
+
+// ---------------------------------------------------------------------
+// MemoryBudget
+
+TEST(MemoryBudgetTest, ReserveReleaseAccounting) {
+  MemoryBudget budget(1000);
+  EXPECT_TRUE(budget.TryReserve(400, "reorder").ok());
+  EXPECT_TRUE(budget.TryReserve(600, "window").ok());
+  EXPECT_EQ(budget.used(), 1000u);
+  EXPECT_DOUBLE_EQ(budget.FillFraction(), 1.0);
+  budget.Release(600);
+  EXPECT_EQ(budget.used(), 400u);
+  budget.Release(1000000);  // over-release clamps, never wraps
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(MemoryBudgetTest, RefusesPastLimitLoudly) {
+  MemoryBudget budget(1000);
+  ASSERT_TRUE(budget.TryReserve(900, "reorder").ok());
+  const Status st = budget.TryReserve(200, "reorder");
+  EXPECT_TRUE(st.IsResourceExhausted()) << st.ToString();
+  EXPECT_NE(st.message().find("reorder"), std::string::npos)
+      << "refusal must name the component: " << st.message();
+  // A refused reservation reserves nothing.
+  EXPECT_EQ(budget.used(), 900u);
+  EXPECT_EQ(budget.rejections(), 1u);
+  // The failure is fatal for the retry layer: a budget does not free
+  // itself, so retrying cannot help.
+  EXPECT_EQ(ClassifyStatus(st), FailureClass::kFatal);
+}
+
+TEST(MemoryBudgetTest, ZeroLimitMeansUnlimitedAccounting) {
+  MemoryBudget budget(0);
+  EXPECT_TRUE(budget.TryReserve(1ull << 40, "anything").ok());
+  EXPECT_DOUBLE_EQ(budget.FillFraction(), 0.0);
+}
+
+TEST(MemoryBudgetTest, MirrorsIntoRegistryMetrics) {
+  obs::MetricRegistry registry;
+  MemoryBudget budget(500);
+  budget.RegisterMetrics(registry, "plan7");
+  ASSERT_TRUE(budget.TryReserve(200, "reorder").ok());
+  EXPECT_FALSE(budget.TryReserve(400, "reorder").ok());
+  const obs::Labels labels = {{"plan", "plan7"}};
+  EXPECT_EQ(registry
+                .GetGauge("ausdb_common_memory_budget_used_bytes", labels)
+                ->Value(),
+            200);
+  EXPECT_EQ(registry
+                .GetGauge("ausdb_common_memory_budget_limit_bytes", labels)
+                ->Value(),
+            500);
+  EXPECT_EQ(
+      registry
+          .GetCounter("ausdb_common_memory_budget_rejections_total", labels)
+          ->Value(),
+      1u);
+}
+
+// ---------------------------------------------------------------------
+// OverloadInjector
+
+TEST(OverloadInjectorTest, SnapshotIsAPureFunctionOfEpoch) {
+  OverloadInjector injector(OverloadInjector::SpikeScript(4, 4));
+  for (uint64_t epoch : {0ull, 3ull, 5ull, 11ull, 100ull}) {
+    const SignalSnapshot a = injector.Snapshot(epoch);
+    const SignalSnapshot b = injector.Snapshot(epoch);
+    EXPECT_EQ(a.queue_depth, b.queue_depth);
+    EXPECT_EQ(a.backpressure_events, b.backpressure_events);
+    EXPECT_EQ(a.shed_tuples, b.shed_tuples);
+    EXPECT_DOUBLE_EQ(a.sampled_latency_seconds, b.sampled_latency_seconds);
+  }
+}
+
+TEST(OverloadInjectorTest, PhasesAdvanceAndLastPhaseHolds) {
+  OverloadInjector injector(OverloadInjector::SpikeScript(4, 4, 10.0));
+  EXPECT_EQ(injector.scripted_epochs(), 12u);
+  const double calm = Pressure(injector.Snapshot(0));
+  const double spike = Pressure(injector.Snapshot(5));
+  const double after = Pressure(injector.Snapshot(9));
+  const double held = Pressure(injector.Snapshot(1000));
+  EXPECT_LT(calm, 0.45);
+  EXPECT_GE(spike, 0.85) << "a 10x spike must demand escalation";
+  EXPECT_DOUBLE_EQ(after, calm);
+  EXPECT_DOUBLE_EQ(held, calm) << "epochs past the script hold the last "
+                                  "phase";
+}
+
+TEST(OverloadInjectorTest, CumulativeCountersAccrueMonotonically) {
+  OverloadInjector injector(OverloadInjector::SaturationScript(8));
+  uint64_t last = 0;
+  for (uint64_t epoch = 0; epoch < 20; ++epoch) {
+    const SignalSnapshot snap = injector.Snapshot(epoch);
+    EXPECT_GT(snap.backpressure_events, last);
+    last = snap.backpressure_events;
+  }
+}
+
+// ---------------------------------------------------------------------
+// OverloadGovernor
+
+GovernorOptions FastOptions() {
+  GovernorOptions options;
+  options.ladder.dwell_epochs = 2;
+  options.breaker_trip_epochs = 3;
+  options.breaker_cooldown_epochs = 4;
+  return options;
+}
+
+TEST(GovernorTest, HoldsRungZeroUnderCalm) {
+  OverloadGovernor governor(FastOptions());
+  for (uint64_t e = 0; e < 50; ++e) {
+    const GovernorDecision d = governor.Observe(QueueSnapshot(0.1, e));
+    EXPECT_EQ(d.rung, 0u);
+    EXPECT_TRUE(d.admit);
+  }
+  EXPECT_TRUE(governor.transitions().empty());
+}
+
+TEST(GovernorTest, EscalatesOnlyAfterDwellEpochs) {
+  OverloadGovernor governor(FastOptions());
+  EXPECT_EQ(governor.Observe(QueueSnapshot(0.95, 0)).rung, 0u)
+      << "one hot epoch must not move the rung (dwell = 2)";
+  EXPECT_EQ(governor.Observe(QueueSnapshot(0.95, 1)).rung, 1u);
+  EXPECT_EQ(governor.stats().escalations, 1u);
+}
+
+TEST(GovernorTest, HysteresisBandHoldsTheRung) {
+  OverloadGovernor governor(FastOptions());
+  governor.Observe(QueueSnapshot(0.95, 0));
+  governor.Observe(QueueSnapshot(0.95, 1));
+  ASSERT_EQ(governor.decision().rung, 1u);
+  // Pressure falls into the band between relax_at and escalate_at: the
+  // rung must hold — no flapping.
+  for (uint64_t e = 2; e < 20; ++e) {
+    EXPECT_EQ(governor.Observe(QueueSnapshot(0.6, e)).rung, 1u);
+  }
+  EXPECT_EQ(governor.stats().relaxations, 0u);
+}
+
+TEST(GovernorTest, RelaxesStepwiseAfterDwell) {
+  OverloadGovernor governor(FastOptions());
+  uint64_t epoch = 0;
+  for (; epoch < 6; ++epoch) governor.Observe(QueueSnapshot(0.95, epoch));
+  const size_t peak = governor.decision().rung;
+  ASSERT_GE(peak, 2u);
+  governor.Observe(QueueSnapshot(0.1, epoch++));
+  EXPECT_EQ(governor.decision().rung, peak) << "relax also dwells";
+  governor.Observe(QueueSnapshot(0.1, epoch++));
+  EXPECT_EQ(governor.decision().rung, peak - 1);
+  while (governor.decision().rung > 0) {
+    governor.Observe(QueueSnapshot(0.1, epoch++));
+    ASSERT_LT(epoch, 100u) << "relaxation must reach rung 0";
+  }
+  EXPECT_EQ(governor.stats().relaxations, peak);
+}
+
+TEST(GovernorTest, RefusesAdmissionAtTheFloorThenTripsBreaker) {
+  GovernorOptions options = FastOptions();
+  options.ladder.accuracy_floor = 0.5;  // only rungs 0-2 usable
+  OverloadGovernor governor(options);
+  uint64_t epoch = 0;
+  // Saturation: climb to the deepest usable rung.
+  while (governor.decision().rung < 2) {
+    governor.Observe(QueueSnapshot(1.0, epoch++));
+    ASSERT_LT(epoch, 100u);
+  }
+  // Pressure stays pinned: the governor must refuse admission rather
+  // than degrade past the floor...
+  while (governor.decision().admit) {
+    governor.Observe(QueueSnapshot(1.0, epoch++));
+    ASSERT_LT(epoch, 100u);
+  }
+  EXPECT_EQ(governor.decision().rung, 2u)
+      << "the floor is never crossed, even refusing";
+  EXPECT_GT(governor.stats().refusal_epochs, 0u);
+  // ...and after breaker_trip_epochs of refusal, quarantine.
+  while (!governor.decision().breaker_open) {
+    governor.Observe(QueueSnapshot(1.0, epoch++));
+    ASSERT_LT(epoch, 100u);
+  }
+  EXPECT_EQ(governor.stats().breaker_trips, 1u);
+}
+
+TEST(GovernorTest, BreakerCooldownElapsesAndReadmits) {
+  GovernorOptions options = FastOptions();
+  options.ladder.accuracy_floor = 1.0;  // rung 0 only: trips quickly
+  OverloadGovernor governor(options);
+  uint64_t epoch = 0;
+  while (!governor.decision().breaker_open) {
+    governor.Observe(QueueSnapshot(1.0, epoch++));
+    ASSERT_LT(epoch, 100u);
+  }
+  // While open, even calm snapshots are ignored (cooldown counts down).
+  for (size_t i = 0; i + 1 < options.breaker_cooldown_epochs; ++i) {
+    const GovernorDecision d = governor.Observe(QueueSnapshot(0.0, epoch++));
+    EXPECT_TRUE(d.breaker_open);
+    EXPECT_FALSE(d.admit);
+  }
+  // Cooldown elapses: half-open re-admission.
+  const GovernorDecision d = governor.Observe(QueueSnapshot(0.0, epoch++));
+  EXPECT_FALSE(d.breaker_open);
+  EXPECT_TRUE(d.admit);
+}
+
+TEST(GovernorTest, DecisionSequenceIsDeterministic) {
+  // Two governors fed the same snapshot script must log identical
+  // transition sequences — the harness's core witness.
+  OverloadInjector script_a(OverloadInjector::SpikeScript(3, 6, 10.0));
+  OverloadInjector script_b(OverloadInjector::SpikeScript(3, 6, 10.0));
+  OverloadGovernor a(FastOptions());
+  OverloadGovernor b(FastOptions());
+  for (uint64_t e = 0; e < 40; ++e) {
+    a.Observe(script_a.Snapshot(e));
+    b.Observe(script_b.Snapshot(e));
+  }
+  ASSERT_FALSE(a.transitions().empty()) << "the spike must move the rung";
+  EXPECT_EQ(a.transitions(), b.transitions());
+  EXPECT_EQ(a.decision().rung, b.decision().rung);
+}
+
+// ---------------------------------------------------------------------
+// Precision shedding
+
+TEST(PrecisionTest, EffectiveSampleSizeScalesAndClamps) {
+  EXPECT_EQ(EffectiveSampleSize(100, 1.0), 100u);
+  EXPECT_EQ(EffectiveSampleSize(100, 0.5), 50u);
+  EXPECT_EQ(EffectiveSampleSize(100, 0.25), 25u);
+  EXPECT_EQ(EffectiveSampleSize(3, 0.25), 2u) << "Lemma 2 needs n >= 2";
+  EXPECT_EQ(EffectiveSampleSize(dist::RandomVar::kCertainSampleSize, 0.25),
+            dist::RandomVar::kCertainSampleSize)
+      << "certainty cannot be shed";
+  EXPECT_EQ(EffectiveResamples(20, 0.25), 5u);
+  EXPECT_EQ(EffectiveResamples(4, 0.1), 2u);
+}
+
+TEST(PrecisionTest, CoarsenHistogramPreservesMassAndRange) {
+  auto h = dist::HistogramDist::Make({0, 1, 2, 3, 4, 5, 6},
+                                     {0.1, 0.2, 0.1, 0.3, 0.2, 0.1});
+  ASSERT_TRUE(h.ok());
+  auto coarse = CoarsenHistogram(*h, 2);
+  ASSERT_TRUE(coarse.ok()) << coarse.status().ToString();
+  ASSERT_EQ(coarse->bin_count(), 3u);
+  EXPECT_DOUBLE_EQ(coarse->edges().front(), 0.0);
+  EXPECT_DOUBLE_EQ(coarse->edges().back(), 6.0);
+  EXPECT_NEAR(coarse->BinProb(0), 0.3, 1e-12);
+  EXPECT_NEAR(coarse->BinProb(1), 0.4, 1e-12);
+  EXPECT_NEAR(coarse->BinProb(2), 0.3, 1e-12);
+}
+
+TEST(PrecisionTest, CoarsenHandlesRaggedTailAndNeutralMerge) {
+  auto h = dist::HistogramDist::Make({0, 1, 2, 3, 4, 5},
+                                     {0.2, 0.2, 0.2, 0.2, 0.2});
+  ASSERT_TRUE(h.ok());
+  auto coarse = CoarsenHistogram(*h, 3);
+  ASSERT_TRUE(coarse.ok());
+  ASSERT_EQ(coarse->bin_count(), 2u);  // 3 + 2 (ragged tail)
+  EXPECT_NEAR(coarse->BinProb(0), 0.6, 1e-12);
+  EXPECT_NEAR(coarse->BinProb(1), 0.4, 1e-12);
+  auto same = CoarsenHistogram(*h, 1);
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(same->bin_count(), 5u);
+}
+
+TEST(PrecisionTest, DegradedAnnotationIsHonestlyWider) {
+  // The tentpole's honesty requirement, in one assertion: a degraded
+  // tuple's confidence interval must be wider than the full-precision
+  // one — reduced effort may never masquerade as full accuracy.
+  dist::RandomVar rv(std::make_shared<dist::GaussianDist>(5.0, 2.0), 400);
+  RungSpec deep = LadderPolicy::Default().rungs.back();
+  auto degraded = DegradeRandomVar(rv, deep);
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_EQ(degraded->sample_size(), 100u);
+
+  auto full = accuracy::AnalyticalAccuracy(rv, 0.95);
+  auto shed = accuracy::AnalyticalAccuracy(*degraded, 0.95);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(shed.ok());
+  ASSERT_TRUE(full->mean_ci.has_value());
+  ASSERT_TRUE(shed->mean_ci.has_value());
+  EXPECT_GT(shed->mean_ci->Length(), full->mean_ci->Length());
+  ASSERT_TRUE(full->variance_ci.has_value());
+  ASSERT_TRUE(shed->variance_ci.has_value());
+  EXPECT_GT(shed->variance_ci->Length(), full->variance_ci->Length());
+}
+
+TEST(PrecisionTest, DegradeCoarsensHistogramVariables) {
+  auto h = dist::HistogramDist::Make({0, 1, 2, 3, 4},
+                                     {0.25, 0.25, 0.25, 0.25});
+  ASSERT_TRUE(h.ok());
+  dist::RandomVar rv(std::make_shared<dist::HistogramDist>(*std::move(h)),
+                     80);
+  RungSpec spec;
+  spec.sample_scale = 0.5;
+  spec.histogram_merge = 2;
+  auto degraded = DegradeRandomVar(rv, spec);
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_EQ(degraded->sample_size(), 40u);
+  const auto& coarse =
+      static_cast<const dist::HistogramDist&>(*degraded->distribution());
+  EXPECT_EQ(coarse.bin_count(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Tuple precision-rung stamp serde
+
+TEST(PrecisionRungSerdeTest, RungRoundTripsAndLegacyStaysByteIdentical) {
+  Tuple plain = XTuple(1.0);
+  serde::CheckpointWriter w0;
+  ASSERT_TRUE(serde::WriteTupleCheckpoint(w0, plain).ok());
+  const std::string legacy = std::move(w0).Finish();
+  // Rung 0 writes the legacy "tup" record byte for byte: pre-governor
+  // checkpoints stay restorable and vice versa.
+  EXPECT_NE(legacy.find("tup"), std::string::npos);
+  EXPECT_EQ(legacy.find("tu2"), std::string::npos);
+
+  Tuple stamped = XTuple(1.0);
+  stamped.set_precision_rung(3);
+  serde::CheckpointWriter w1;
+  ASSERT_TRUE(serde::WriteTupleCheckpoint(w1, stamped).ok());
+  const std::string governed = std::move(w1).Finish();
+  EXPECT_NE(governed.find("tu2"), std::string::npos);
+
+  serde::CheckpointReader r(governed);
+  auto restored = serde::ReadTupleCheckpoint(r);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->precision_rung(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// GovernorGate
+
+TEST(GovernorGateTest, RejectsMalformedLadder) {
+  GovernorOptions options;
+  options.ladder.rungs.clear();
+  auto gate = GovernorGate::Make(
+      std::make_unique<VectorScan>(XSchema(), XStream(4)),
+      std::make_unique<OverloadInjector>(OverloadInjector::CalmScript(4)),
+      options);
+  EXPECT_FALSE(gate.ok());
+  EXPECT_TRUE(gate.status().IsInvalidArgument());
+}
+
+TEST(GovernorGateTest, StampsTheEpochRungOnAdmittedTuples) {
+  GovernorOptions options = FastOptions();
+  options.epoch_interval = 4;
+  auto gate = GovernorGate::Make(
+      std::make_unique<VectorScan>(XSchema(), XStream(32)),
+      std::make_unique<OverloadInjector>(
+          OverloadInjector::SaturationScript(64)),
+      options);
+  ASSERT_TRUE(gate.ok());
+  std::vector<uint32_t> rungs;
+  for (;;) {
+    auto t = (*gate)->Next();
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    if (!t->has_value()) break;
+    rungs.push_back((*t)->precision_rung());
+  }
+  ASSERT_EQ(rungs.size(), 32u);
+  EXPECT_EQ(rungs.front(), 0u);
+  EXPECT_GT(rungs.back(), 0u) << "sustained saturation must escalate";
+  // The rung changes only at epoch boundaries: within an epoch of 4
+  // pulls the stamp is constant.
+  for (size_t i = 0; i < rungs.size(); i += 4) {
+    for (size_t j = i + 1; j < i + 4; ++j) {
+      EXPECT_EQ(rungs[j], rungs[i]) << "mid-epoch rung change at " << j;
+    }
+  }
+  EXPECT_EQ((*gate)->admitted(), 32u);
+}
+
+TEST(GovernorGateTest, RefusalSurfacesAsTransientOverloaded) {
+  GovernorOptions options = FastOptions();
+  options.epoch_interval = 2;
+  options.ladder.accuracy_floor = 1.0;  // rung 0 only: refuse fast
+  options.breaker_trip_epochs = 1000;   // keep the breaker out of this
+  auto gate = GovernorGate::Make(
+      std::make_unique<VectorScan>(XSchema(), XStream(64)),
+      std::make_unique<OverloadInjector>(
+          OverloadInjector::SaturationScript(64)),
+      options);
+  ASSERT_TRUE(gate.ok());
+  Status refusal = Status::OK();
+  for (size_t i = 0; i < 64 && refusal.ok(); ++i) {
+    auto t = (*gate)->Next();
+    if (!t.ok()) refusal = t.status();
+  }
+  ASSERT_TRUE(refusal.IsOverloaded()) << refusal.ToString();
+  // Admission rejections are transient for the retry layer: pressure
+  // relaxes, unlike a bad plan.
+  EXPECT_EQ(ClassifyStatus(refusal), FailureClass::kTransient);
+  EXPECT_GT((*gate)->rejected_overloaded(), 0u);
+}
+
+TEST(GovernorGateTest, BreakerSurfacesAsUnavailableForSupervision) {
+  GovernorOptions options = FastOptions();
+  options.epoch_interval = 1;
+  options.ladder.accuracy_floor = 1.0;
+  options.breaker_trip_epochs = 2;
+  options.breaker_cooldown_epochs = 1000;
+  auto gate = GovernorGate::Make(
+      std::make_unique<VectorScan>(XSchema(), XStream(64)),
+      std::make_unique<OverloadInjector>(
+          OverloadInjector::SaturationScript(64)),
+      options);
+  ASSERT_TRUE(gate.ok());
+  Status failure = Status::OK();
+  for (size_t i = 0; i < 64 && failure.ok(); ++i) {
+    auto t = (*gate)->Next();
+    if (!t.ok()) failure = t.status();
+    if (failure.IsOverloaded()) failure = Status::OK();  // pre-trip phase
+  }
+  ASSERT_TRUE(failure.IsUnavailable()) << failure.ToString();
+  EXPECT_GT((*gate)->rejected_unavailable(), 0u);
+  EXPECT_EQ((*gate)->governor().stats().breaker_trips, 1u);
+}
+
+TEST(GovernorGateTest, SupervisedScanRetriesThroughAdmissionControl) {
+  // The full admission-control loop: a SupervisedScan above the gate
+  // retries kOverloaded pulls (they are transient), and once the spike
+  // script relaxes, every tuple is delivered — load shedding at the
+  // source without data loss above it.
+  GovernorOptions options = FastOptions();
+  options.epoch_interval = 2;
+  options.ladder.accuracy_floor = 1.0;
+  options.breaker_trip_epochs = 1000;
+  auto gate = GovernorGate::Make(
+      std::make_unique<VectorScan>(XSchema(), XStream(16)),
+      std::make_unique<OverloadInjector>(
+          OverloadInjector::SpikeScript(2, 6, 10.0)),
+      options);
+  ASSERT_TRUE(gate.ok());
+
+  stream::SupervisedScanOptions sopts;
+  sopts.retry.max_attempts = 200;
+  sopts.retry.jitter_fraction = 0.0;
+  sopts.retry.initial_backoff_seconds = 0.0;
+  stream::SupervisedScan supervised(std::move(*gate), sopts);
+  auto out = Collect(supervised);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->size(), 16u) << "admission control delays, never drops";
+  EXPECT_GT(supervised.counters().retries, 0u)
+      << "the spike must actually have refused some pulls";
+}
+
+TEST(GovernorGateTest, ResetReplaysDecisionsFromEpochZero) {
+  GovernorOptions options = FastOptions();
+  options.epoch_interval = 4;
+  auto gate = GovernorGate::Make(
+      std::make_unique<VectorScan>(XSchema(), XStream(32)),
+      std::make_unique<OverloadInjector>(
+          OverloadInjector::SpikeScript(2, 4, 10.0)),
+      options);
+  ASSERT_TRUE(gate.ok());
+  auto first = Collect(**gate);
+  ASSERT_TRUE(first.ok());
+  const auto transitions = (*gate)->governor().transitions();
+  ASSERT_TRUE((*gate)->Reset().ok());
+  auto second = Collect(**gate);
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(first->size(), second->size());
+  EXPECT_EQ((*gate)->governor().transitions(), transitions)
+      << "a reset run must replay the same decision sequence";
+  for (size_t i = 0; i < first->size(); ++i) {
+    EXPECT_EQ((*first)[i].precision_rung(), (*second)[i].precision_rung());
+  }
+}
+
+// ---------------------------------------------------------------------
+// Governed annotation through the operator
+
+TEST(GovernedAnnotatorTest, StampedTuplesGetWiderIntervalsThanRungZero) {
+  auto ladder =
+      std::make_shared<const LadderPolicy>(LadderPolicy::Default());
+
+  auto annotate_at = [&](uint32_t rung) -> accuracy::ConfidenceInterval {
+    std::vector<Tuple> tuples = {XTuple(5.0, 400)};
+    tuples[0].set_precision_rung(rung);
+    engine::AccuracyAnnotatorOptions aopts;
+    aopts.ladder = ladder;
+    // PreservingScan semantics: VectorScan stamps sequences but keeps
+    // the rung, which travels inside the tuple.
+    engine::AccuracyAnnotator annotator(
+        std::make_unique<VectorScan>(XSchema(), std::move(tuples)), aopts);
+    auto out = Collect(annotator);
+    EXPECT_TRUE(out.ok());
+    EXPECT_EQ(out->size(), 1u);
+    const auto& info = (*out)[0].accuracy()[0];
+    EXPECT_TRUE(info.has_value());
+    EXPECT_TRUE(info->mean_ci.has_value());
+    return *info->mean_ci;
+  };
+
+  const auto full = annotate_at(0);
+  const auto shed = annotate_at(4);
+  EXPECT_GT(shed.Length(), full.Length())
+      << "degraded tuples must carry honestly wider intervals";
+}
+
+// ---------------------------------------------------------------------
+// Planner wiring
+
+Schema TsSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddField({"ts", FieldType::kDouble}).ok());
+  EXPECT_TRUE(s.AddField({"x", FieldType::kUncertain}).ok());
+  return s;
+}
+
+std::vector<Tuple> TsStream(size_t count) {
+  std::vector<Tuple> tuples;
+  for (size_t i = 0; i < count; ++i) {
+    tuples.push_back(
+        Tuple({expr::Value(static_cast<double>(i)),
+               expr::Value(dist::RandomVar(
+                   std::make_shared<dist::GaussianDist>(10.0 * i, 1.0),
+                   100))}));
+  }
+  return tuples;
+}
+
+TEST(GovernedPlannerTest, RequiresASignalFactoryWhenEnabled) {
+  query::PlannerOptions popts;
+  popts.govern.enabled = true;  // no signals factory
+  auto plan = query::PlanQuery(
+      "SELECT x FROM s", std::make_unique<VectorScan>(XSchema(), XStream(4)),
+      popts);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_TRUE(plan.status().IsInvalidArgument());
+}
+
+TEST(GovernedPlannerTest, SharesTheLadderAcrossGateReorderAndAnnotator) {
+  // A full governed AQL plan under sustained saturation: the gate
+  // escalates, tuples pick up rung stamps at the source, the WITHIN
+  // reorder stage releases on the shortened horizon, and the annotated
+  // aggregate is still produced — the query keeps answering at 10x
+  // load, with honest (wider) intervals instead of dropped data.
+  MemoryBudget budget(1 << 20);
+  query::PlannerOptions popts;
+  popts.govern.enabled = true;
+  popts.govern.governor.epoch_interval = 4;
+  popts.govern.governor.ladder.dwell_epochs = 1;
+  popts.govern.signals = [] {
+    return std::make_unique<OverloadInjector>(
+        OverloadInjector::SpikeScript(2, 4, 10.0));
+  };
+  popts.govern.memory_budget = &budget;
+  auto plan = query::PlanQuery(
+      "SELECT AVG(x) OVER (RANGE 4 ON ts WITHIN 3 LATENESS 6) AS a "
+      "FROM s WITH ACCURACY ANALYTICAL CONFIDENCE 0.95",
+      std::make_unique<VectorScan>(TsSchema(), TsStream(48)), popts);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto out = Collect(**plan);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_FALSE(out->empty());
+  EXPECT_EQ(budget.used(), 0u)
+      << "the reorder stage must hand every governed charge back";
+  // Ungoverned default: the same query builds exactly as before.
+  auto plain = query::PlanQuery(
+      "SELECT AVG(x) OVER (RANGE 4 ON ts WITHIN 3) AS a FROM s",
+      std::make_unique<VectorScan>(TsSchema(), TsStream(48)));
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+}
+
+}  // namespace
+}  // namespace govern
+}  // namespace ausdb
