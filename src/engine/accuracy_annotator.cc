@@ -28,11 +28,16 @@ const govern::RungSpec* AccuracyAnnotator::RungSpecFor(
 }
 
 Result<accuracy::AccuracyInfo> AccuracyAnnotator::Annotate(
-    const dist::RandomVar& rv, const govern::RungSpec* spec) {
-  // A force_analytical rung swaps bootstrap for the Lemma 1-3 closed
-  // forms — the ladder's cheap-math escape hatch under overload.
+    const dist::RandomVar& rv, const govern::RungSpec* spec,
+    const govern::MethodSpec* chosen) {
+  // Baseline method: the cost model's choice when a chooser is wired,
+  // the fixed option otherwise. A force_analytical rung swaps bootstrap
+  // for the Lemma 1-3 closed forms either way — the ladder's cheap-math
+  // escape hatch under overload always overrides downward.
+  const accuracy::AccuracyMethod base_method =
+      chosen != nullptr ? chosen->method : options_.method;
   const bool analytical =
-      options_.method == accuracy::AccuracyMethod::kAnalytical ||
+      base_method == accuracy::AccuracyMethod::kAnalytical ||
       (spec != nullptr && spec->force_analytical);
   if (analytical) {
     return accuracy::AnalyticalAccuracy(rv, options_.confidence);
@@ -50,11 +55,14 @@ Result<accuracy::AccuracyInfo> AccuracyAnnotator::Annotate(
     return Status::InsufficientData(
         "cannot bootstrap a deterministic field");
   }
+  const size_t base_resamples =
+      chosen != nullptr && chosen->is_bootstrap()
+          ? chosen->bootstrap_resamples
+          : options_.bootstrap_resamples;
   const size_t resamples =
-      spec == nullptr ? options_.bootstrap_resamples
-                      : govern::EffectiveResamples(
-                            options_.bootstrap_resamples,
-                            spec->sample_scale);
+      spec == nullptr ? base_resamples
+                      : govern::EffectiveResamples(base_resamples,
+                                                   spec->sample_scale);
   const auto& raw = rv.raw_sample();
   if (raw != nullptr && raw->size() >= 2 * n) {
     // The evaluator retained the Monte Carlo value sequence: feed it to
@@ -94,11 +102,31 @@ Status AccuracyAnnotator::ResolveColumns() {
 
 Status AccuracyAnnotator::AnnotateTuple(Tuple& t) {
   const govern::RungSpec* spec = RungSpecFor(t);
+  // Snapshot the chooser's spec once per tuple so an epoch boundary
+  // crossed mid-tuple cannot split one tuple across two configurations.
+  govern::MethodSpec chosen;
+  const bool has_chooser = options_.chooser != nullptr;
+  if (has_chooser) chosen = options_.chooser->current();
+  // Workload feedback accumulated from the variables actually
+  // annotated: de facto provenance is the minimum over fields (the
+  // Lemma 3 combination rule), dispersion and bin count the maximum
+  // (conservative — the widest field dominates the target check).
+  govern::WindowObservation obs;
+  bool observed = false;
   for (size_t idx : column_indices_) {
     const expr::Value& v = t.value(idx);
     if (!v.is_random_var()) continue;
     AUSDB_ASSIGN_OR_RETURN(dist::RandomVar rv, v.random_var());
     if (rv.is_certain()) continue;
+    if (has_chooser && chosen.histogram_merge > 1) {
+      // The chooser's coarsening is applied exactly like a rung's: the
+      // merged histogram is written back so the tuple carries the
+      // representation its per-bin intervals describe.
+      govern::RungSpec merge_only;
+      merge_only.histogram_merge = chosen.histogram_merge;
+      AUSDB_ASSIGN_OR_RETURN(rv, govern::DegradeRandomVar(rv, merge_only));
+      t.values()[idx] = expr::Value(rv);
+    }
     if (spec != nullptr) {
       // Degrade first, then write back: the tuple must carry exactly
       // the (coarsened, provenance-reduced) variable its intervals are
@@ -106,9 +134,30 @@ Status AccuracyAnnotator::AnnotateTuple(Tuple& t) {
       AUSDB_ASSIGN_OR_RETURN(rv, govern::DegradeRandomVar(rv, *spec));
       t.values()[idx] = expr::Value(rv);
     }
-    AUSDB_ASSIGN_OR_RETURN(accuracy::AccuracyInfo info,
-                           Annotate(rv, spec));
+    const size_t n = rv.sample_size();
+    if (n != dist::RandomVar::kCertainSampleSize) {
+      obs.cardinality = observed ? std::min(obs.cardinality, n) : n;
+      obs.dispersion =
+          observed ? std::max(obs.dispersion, rv.StdDev()) : rv.StdDev();
+      if (!observed) obs.histogram_bins = 0;
+      if (rv.distribution()->kind() == dist::DistributionKind::kHistogram) {
+        obs.histogram_bins = std::max(
+            obs.histogram_bins,
+            static_cast<const dist::HistogramDist&>(*rv.distribution())
+                .bin_count());
+      }
+      observed = true;
+    }
+    AUSDB_ASSIGN_OR_RETURN(
+        accuracy::AccuracyInfo info,
+        Annotate(rv, spec, has_chooser ? &chosen : nullptr));
     t.set_accuracy(idx, std::move(info));
+  }
+  if (has_chooser && observed) {
+    // Content-derived feedback only (cardinality, dispersion, bins) —
+    // never wall time — so recalibration epochs tick identically across
+    // threads, metrics settings, and repetitions.
+    options_.chooser->Observe(obs);
   }
 
   if (options_.annotate_membership &&

@@ -1,0 +1,296 @@
+#ifndef AUSDB_GOVERN_COST_MODEL_H_
+#define AUSDB_GOVERN_COST_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/accuracy/accuracy_info.h"
+#include "src/common/result.h"
+#include "src/obs/metrics.h"
+
+namespace ausdb {
+namespace govern {
+
+/// \brief One annotation configuration the steady-state chooser can put
+/// in force: the estimation method plus its effort knobs. The shape
+/// mirrors a degradation-ladder RungSpec on purpose — the chooser and
+/// the overload governor actuate the same surface, so a chosen spec and
+/// a pressure rung compose by simply taking the cheaper side of every
+/// knob (the governor always overrides *downward*; see
+/// AccuracyAnnotator).
+struct MethodSpec {
+  accuracy::AccuracyMethod method = accuracy::AccuracyMethod::kAnalytical;
+
+  /// Bootstrap only: number of d.f. resamples r. 0 for analytical.
+  size_t bootstrap_resamples = 0;
+
+  /// Histogram coarsening factor applied before annotation (1 = full
+  /// resolution), the same knob as RungSpec::histogram_merge.
+  size_t histogram_merge = 1;
+
+  /// Provenance multiplier in (0, 1]. The chooser always emits 1.0 —
+  /// shedding provenance never helps *meet* an accuracy target — but
+  /// the field exists so a spec composes with a RungSpec and so the
+  /// ladder's accuracy floor bounds both actuators the same way.
+  double sample_scale = 1.0;
+
+  bool is_bootstrap() const {
+    return method == accuracy::AccuracyMethod::kBootstrap;
+  }
+
+  /// Canonical byte-stable rendering, e.g. "analytical/merge1" or
+  /// "bootstrap(r=50)/merge2". The determinism harness compares decision
+  /// logs through this string.
+  std::string ToString() const;
+
+  bool operator==(const MethodSpec& other) const = default;
+};
+
+/// \brief A user-stated steady-state accuracy target:
+/// `WITH ACCURACY <epsilon> [CONFIDENCE <c>]` asks for mean-interval
+/// half-width at most `epsilon` at confidence `c`, for the cheapest
+/// price the engine can predict. Alternatively (or additionally) a
+/// per-tuple cost budget caps the spend — the latency-SLO form.
+struct AccuracyTarget {
+  /// Maximum acceptable mean-CI half-width, in value units. 0 = no
+  /// half-width constraint (cost budget only).
+  double epsilon = 0.0;
+
+  /// Confidence level the intervals must hold at, in (0, 1).
+  double confidence = 0.9;
+
+  /// Optional per-tuple budget in cost-table work units; 0 = unbounded.
+  /// With both constraints set, epsilon is a hard floor and the budget
+  /// trims effort above it; with only a budget, the chooser maximizes
+  /// predicted accuracy within the budget.
+  double cost_budget = 0.0;
+
+  Status Validate() const;
+};
+
+/// \brief The deterministic per-epoch workload estimate the predictions
+/// consume: everything here is derived from observed tuple *content*
+/// (d.f. cardinality, dispersion, bin counts), never from timing, so
+/// identical streams produce identical estimates on any machine.
+struct WindowObservation {
+  /// Observed (de facto) sample size n of annotated fields.
+  size_t cardinality = 50;
+
+  /// Observed dispersion s (standard deviation) of annotated fields.
+  double dispersion = 1.0;
+
+  /// Histogram bin count of annotated fields; 0 = non-histogram.
+  size_t histogram_bins = 0;
+};
+
+/// \brief Calibrated per-operator cost table, in abstract work units
+/// (relative costs of the annotation paths, not wall time — decisions
+/// made from wall time would break bit-identical replay, so unit costs
+/// are measured offline by bench_accuracy_target and baked in; the
+/// *workload* half of the prediction recalibrates online from observed
+/// tuples).
+struct CostTable {
+  /// Fixed cost of one analytical (Lemma 1-3) annotation.
+  double analytical_base = 1.0;
+
+  /// Cost per histogram bin interval (Lemma 1 / per-bin percentile).
+  double per_bin = 0.05;
+
+  /// Fixed cost of entering the bootstrap path.
+  double bootstrap_base = 4.0;
+
+  /// Cost per drawn/examined bootstrap value (n_eff * r of them).
+  double per_resample_value = 0.02;
+
+  static CostTable Default() { return {}; }
+
+  Status Validate() const;
+};
+
+/// \brief Predicted mean-interval half-width of `spec` on workload
+/// `obs` at `confidence` — the accuracy model.
+///
+///  * analytical: t_{(1-c)/2, n-1} * s / sqrt(n) (z for n >= 30),
+///    exactly Lemma 2's interval arithmetic;
+///  * bootstrap: z_{(1-c)/2} * s / sqrt(n) inflated by
+///    (1 + 2/sqrt(r)) — the percentile estimate over r resamples
+///    carries quantile noise that decays like 1/sqrt(r);
+///  * histogram coarsening adds s * (merge - 1) / bins of resolution
+///    slack, so tighter targets force finer histograms.
+///
+/// The prediction is intentionally conservative: the conformance
+/// harness (tests/accuracy_conformance_test.cc) checks the *empirical*
+/// coverage of every selectable spec, which is what makes this model
+/// trustworthy rather than just plausible.
+double PredictHalfWidth(const MethodSpec& spec, const WindowObservation& obs,
+                        double confidence);
+
+/// Predicted per-tuple work units of `spec` on workload `obs`.
+double PredictCost(const MethodSpec& spec, const WindowObservation& obs,
+                   const CostTable& table);
+
+/// \brief Fewest bootstrap resamples whose percentile interval can hold
+/// confidence c within the conformance harness's tolerance: ten
+/// resamples beyond each (1±c)/2 cut, i.e. r >= 20/(1-c). The weaker
+/// interior-order-statistic minimum (r >= 2/(1-c)) is necessary but
+/// empirically insufficient — the harness measured it at 0.80 coverage
+/// against a 0.90 target. Candidates below this bound are never
+/// selectable, no matter what the cost table says.
+size_t MinConformingResamples(double confidence);
+
+/// Options of the MethodChooser.
+struct ChooserOptions {
+  CostTable table;
+
+  /// Candidate bootstrap resample counts, ascending. Candidates below
+  /// MinConformingResamples(target.confidence) are skipped — at the
+  /// default 0.9 confidence that leaves {200, 400}.
+  std::vector<size_t> resample_candidates = {20, 50, 100, 200, 400};
+
+  /// Candidate histogram coarsening factors, ascending from 1.
+  std::vector<size_t> merge_candidates = {1, 2, 4};
+
+  /// The ladder's accuracy floor: the chooser never emits a spec whose
+  /// sample_scale is below it (trivially satisfied by the chooser's
+  /// fixed 1.0, but kept so a caller wiring a governed plan can assert
+  /// both actuators share one floor).
+  double accuracy_floor = 0.2;
+
+  /// Observe() calls per recalibration epoch. Epochs tick on pull
+  /// counts, never wall clock — the determinism contract.
+  size_t epoch_interval = 256;
+
+  /// Plan-time workload estimate, used for the initial choice before
+  /// any tuple has been observed.
+  WindowObservation prior;
+
+  /// When non-null, chooser observability is mirrored into
+  /// `ausdb_cost_*` metrics labeled `{plan=metrics_label}`. Write-only
+  /// per the obs contract: the data path never reads a metric back.
+  obs::MetricRegistry* metrics = nullptr;
+  std::string metrics_label = "plan";
+};
+
+/// \brief The steady-state accuracy-target cost model: picks the
+/// cheapest annotation configuration predicted to meet a stated
+/// accuracy target (or the most accurate one inside a cost budget),
+/// and recalibrates its workload estimate from observed tuples on
+/// pull-count epochs.
+///
+/// Decision function (pure, exhaustively enumerated):
+///   1. enumerate candidates in a fixed order — analytical, then
+///      bootstrap by ascending r, each at every merge factor;
+///   2. drop candidates that cannot conform (r below the interior-
+///      quantile minimum for the target confidence);
+///   3. feasible = predicted half-width <= epsilon (when epsilon > 0)
+///      and predicted cost <= budget (when budget > 0);
+///   4. among feasible candidates: with an epsilon goal pick minimal
+///      predicted cost, then minimal half-width, then lowest
+///      enumeration index; with a budget-only goal (the latency-SLO
+///      form) pick minimal half-width, then minimal cost — the most
+///      accurate answer the budget affords;
+///   5. with no feasible candidate: an epsilon goal falls back to the
+///      most accurate candidate (ignoring cost) — the engine never
+///      silently serves an interval looser than the best it can
+///      afford; a budget-only goal falls back to the cheapest
+///      candidate, overshooting an unaffordable budget by the minimum
+///      possible.
+///
+/// Monotonicity follows from (3)-(4): tightening epsilon only shrinks
+/// the feasible set, so the chosen predicted cost — and, because cost
+/// is strictly increasing in the bootstrap sample budget — the chosen
+/// effort never decreases. tests/cost_model_test.cc asserts this over
+/// target sweeps.
+///
+/// Determinism contract: Choose() is a pure function of (target,
+/// observation, options); Observe() advances integer state by call
+/// counts only. Two runs fed the same tuple stream produce
+/// byte-identical decision logs across thread counts and metrics
+/// on/off, which the conformance and property harnesses assert
+/// literally.
+class MethodChooser {
+ public:
+  explicit MethodChooser(ChooserOptions options);
+
+  /// Sets (or replaces) the target and re-chooses immediately from the
+  /// current workload estimate. kInvalidArgument on a malformed target.
+  Status SetTarget(const AccuracyTarget& target);
+
+  const AccuracyTarget& target() const { return target_; }
+
+  /// The spec currently in force.
+  const MethodSpec& current() const { return current_; }
+
+  /// The pure decision function (steps 1-5 above).
+  static MethodSpec Choose(const AccuracyTarget& target,
+                           const WindowObservation& obs,
+                           const ChooserOptions& options);
+
+  /// Every spec Choose() may return for `target` under `options`, in
+  /// enumeration order — the conformance harness tests exactly this
+  /// set, so a new candidate cannot ship without a coverage gate.
+  static std::vector<MethodSpec> SelectableSpecs(
+      const AccuracyTarget& target, const ChooserOptions& options);
+
+  /// Feeds one observed tuple's workload. Every epoch_interval calls
+  /// the running estimate replaces the previous epoch's and the spec
+  /// is re-chosen. Estimates are plain means over the epoch — derived
+  /// from tuple content, never timing.
+  void Observe(const WindowObservation& obs);
+
+  /// One (re)choice, for the determinism harness's decision log.
+  struct Decision {
+    uint64_t epoch = 0;
+    MethodSpec spec;
+
+    bool operator==(const Decision& other) const = default;
+  };
+
+  /// Every choice so far (including the initial one), in epoch order.
+  const std::vector<Decision>& decisions() const { return decisions_; }
+
+  /// The decision log rendered canonically, one line per decision —
+  /// what the cross-thread determinism tests compare byte-for-byte.
+  std::string DecisionLogString() const;
+
+  /// Current workload estimate (prior until the first epoch completes).
+  const WindowObservation& estimate() const { return estimate_; }
+
+  const ChooserOptions& options() const { return options_; }
+  uint64_t observed_tuples() const { return observed_; }
+  uint64_t epochs() const { return epochs_; }
+
+ private:
+  void RecordDecision(const MethodSpec& spec);
+
+  ChooserOptions options_;
+  AccuracyTarget target_;
+  MethodSpec current_;
+  WindowObservation estimate_;
+  std::vector<Decision> decisions_;
+
+  uint64_t observed_ = 0;  ///< Observe() calls, ever
+  uint64_t epochs_ = 0;    ///< recalibration epochs completed
+
+  // Accumulators of the in-flight epoch.
+  uint64_t acc_count_ = 0;
+  double acc_cardinality_ = 0.0;
+  double acc_dispersion_ = 0.0;
+  double acc_bins_ = 0.0;
+
+  // Registry-owned metrics; null when options_.metrics is null.
+  obs::Counter* m_decisions_ = nullptr;
+  obs::Counter* m_recalibrations_ = nullptr;
+  obs::Counter* m_method_flips_ = nullptr;
+  obs::Gauge* m_selected_method_ = nullptr;
+  obs::Gauge* m_selected_resamples_ = nullptr;
+  obs::Gauge* m_predicted_cost_milli_ = nullptr;
+  obs::Gauge* m_predicted_halfwidth_milli_ = nullptr;
+};
+
+}  // namespace govern
+}  // namespace ausdb
+
+#endif  // AUSDB_GOVERN_COST_MODEL_H_

@@ -10,14 +10,18 @@ namespace ausdb {
 namespace govern {
 
 size_t EffectiveSampleSize(size_t n, double scale) {
-  if (n == dist::RandomVar::kCertainSampleSize) return n;
+  if (n == dist::RandomVar::kCertainSampleSize || n <= 2) return n;
   const double scaled = std::floor(static_cast<double>(n) * scale);
-  return std::max<size_t>(2, static_cast<size_t>(scaled));
+  // Floor at 2 (one degree of freedom for the variance lemmas) but
+  // never above n: degradation must not fabricate provenance the field
+  // never had.
+  return std::max<size_t>(2, std::min(n, static_cast<size_t>(scaled)));
 }
 
 size_t EffectiveResamples(size_t r, double scale) {
+  if (r <= 2) return r;
   const double scaled = std::floor(static_cast<double>(r) * scale);
-  return std::max<size_t>(2, static_cast<size_t>(scaled));
+  return std::max<size_t>(2, std::min(r, static_cast<size_t>(scaled)));
 }
 
 Result<dist::HistogramDist> CoarsenHistogram(const dist::HistogramDist& h,

@@ -12,13 +12,15 @@ namespace ausdb {
 namespace govern {
 
 /// \brief The rung-scaled de facto sample size: floor(n * scale),
-/// clamped to >= 2 (Lemma 2 needs n >= 2). Deterministic values
-/// (kCertainSampleSize) pass through untouched — certainty cannot be
-/// shed.
+/// clamped into [2, n] (Lemma 2 needs n >= 2; degradation never
+/// *raises* provenance — an input already at n <= 2 passes through).
+/// Deterministic values (kCertainSampleSize) pass through untouched —
+/// certainty cannot be shed.
 size_t EffectiveSampleSize(size_t n, double scale);
 
 /// The rung-scaled bootstrap resample count: floor(r * scale), clamped
-/// to >= 2 (a percentile needs at least two resamples).
+/// into [2, r] (a percentile needs at least two resamples; scaling
+/// never adds work).
 size_t EffectiveResamples(size_t r, double scale);
 
 /// \brief Coarsens a histogram by merging each run of `merge` adjacent

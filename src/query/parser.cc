@@ -547,9 +547,28 @@ Result<ParsedQuery> Parser::ParseQuery() {
       clause.method = accuracy::AccuracyMethod::kBootstrap;
     } else if (AcceptKeyword("ANALYTICAL")) {
       clause.method = accuracy::AccuracyMethod::kAnalytical;
+    } else if (Peek().type == TokenType::kNumber) {
+      // The accuracy-target form: WITH ACCURACY <eps> asks the cost
+      // model for the cheapest method meeting half-width <= eps.
+      const double eps = Consume().number;
+      if (!(eps > 0.0)) {
+        return Status::ParseError(
+            "ACCURACY target must be a positive half-width, got " +
+            std::to_string(eps));
+      }
+      clause.epsilon = eps;
+    } else {
+      return Error(
+          "expected ANALYTICAL, BOOTSTRAP or a numeric accuracy target "
+          "after WITH ACCURACY");
     }
     if (AcceptKeyword("CONFIDENCE")) {
       AUSDB_ASSIGN_OR_RETURN(clause.confidence, ExpectNumber());
+      if (!(clause.confidence > 0.0) || !(clause.confidence < 1.0)) {
+        return Status::ParseError(
+            "CONFIDENCE must be strictly between 0 and 1, got " +
+            std::to_string(clause.confidence));
+      }
     }
     q.accuracy = clause;
   }

@@ -38,8 +38,12 @@ namespace query {
 ///                MEAN_CI(x, c) VAR_CI(x, c) BIN_CI(x, i, c)
 ///                PROB '(' pred ')'
 ///   cmp        : < <= > >= = <>
-///   with_accuracy : WITH ACCURACY (ANALYTICAL|BOOTSTRAP)
+///   with_accuracy : WITH ACCURACY (ANALYTICAL|BOOTSTRAP|number)
 ///                   [CONFIDENCE number]
+///                   -- the numeric form states a target half-width
+///                   -- (must be > 0); CONFIDENCE must lie in (0, 1).
+///                   -- The planner's cost model then picks the
+///                   -- cheapest method predicted to meet the target.
 ///
 /// The significance-test operator strings are '<', '>' and '<>'.
 Result<ParsedQuery> Parse(std::string_view input);

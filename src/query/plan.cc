@@ -56,11 +56,15 @@ std::string ParsedQuery::ToString() const {
     os << " LIMIT " << *limit;
   }
   if (accuracy.has_value()) {
-    os << " WITH ACCURACY "
-       << (accuracy->method == accuracy::AccuracyMethod::kAnalytical
-               ? "ANALYTICAL"
-               : "BOOTSTRAP")
-       << " CONFIDENCE " << accuracy->confidence;
+    os << " WITH ACCURACY ";
+    if (accuracy->epsilon.has_value()) {
+      os << *accuracy->epsilon;
+    } else {
+      os << (accuracy->method == accuracy::AccuracyMethod::kAnalytical
+                 ? "ANALYTICAL"
+                 : "BOOTSTRAP");
+    }
+    os << " CONFIDENCE " << accuracy->confidence;
   }
   return os.str();
 }

@@ -47,10 +47,19 @@ struct WindowSpec {
   bool is_time_based() const { return range_duration > 0.0; }
 };
 
-/// WITH ACCURACY [ANALYTICAL | BOOTSTRAP] [CONFIDENCE c].
+/// WITH ACCURACY (ANALYTICAL | BOOTSTRAP | eps) [CONFIDENCE c].
+///
+/// The named forms pin the estimation method; the numeric form states a
+/// *target* — a maximum mean-interval half-width `eps` at confidence
+/// `c` — and leaves the method to the planner's steady-state cost model
+/// (src/govern/cost_model.h), which picks the cheapest configuration
+/// predicted to meet it.
 struct AccuracyClause {
   accuracy::AccuracyMethod method = accuracy::AccuracyMethod::kAnalytical;
   double confidence = 0.9;
+  /// The accuracy-target form; nullopt for the named-method forms.
+  /// Always > 0 when set (the parser rejects the rest).
+  std::optional<double> epsilon;
 };
 
 /// ORDER BY column [ASC|DESC].

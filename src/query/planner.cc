@@ -153,8 +153,34 @@ Result<engine::OperatorPtr> BuildPlan(const ParsedQuery& query,
 
   if (query.accuracy.has_value()) {
     engine::AccuracyAnnotatorOptions ao = options.annotator;
-    ao.method = query.accuracy->method;
     ao.confidence = query.accuracy->confidence;
+    if (query.accuracy->epsilon.has_value()) {
+      // Accuracy-target form: the cost model chooses the method at plan
+      // time from the prior workload estimate, then keeps re-choosing
+      // on pull-count epochs inside the annotator. The governor still
+      // overrides downward per rung stamp, and when the plan is
+      // governed the chooser inherits the ladder's accuracy floor so
+      // one bound limits both actuators.
+      govern::AccuracyTarget target;
+      target.epsilon = *query.accuracy->epsilon;
+      target.confidence = query.accuracy->confidence;
+      std::shared_ptr<govern::MethodChooser> chooser =
+          options.cost_model.instance;
+      if (chooser == nullptr) {
+        govern::ChooserOptions copts = options.cost_model.chooser;
+        if (ladder != nullptr) copts.accuracy_floor = ladder->accuracy_floor;
+        chooser = std::make_shared<govern::MethodChooser>(std::move(copts));
+      }
+      AUSDB_RETURN_NOT_OK(chooser->SetTarget(target));
+      const govern::MethodSpec& spec = chooser->current();
+      ao.method = spec.method;
+      if (spec.is_bootstrap()) {
+        ao.bootstrap_resamples = spec.bootstrap_resamples;
+      }
+      ao.chooser = std::move(chooser);
+    } else {
+      ao.method = query.accuracy->method;
+    }
     if (ladder != nullptr) ao.ladder = ladder;
     plan = std::make_unique<engine::AccuracyAnnotator>(std::move(plan), ao);
   }

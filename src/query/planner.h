@@ -11,6 +11,7 @@
 #include "src/engine/filter.h"
 #include "src/engine/operator.h"
 #include "src/engine/reorder_buffer.h"
+#include "src/govern/cost_model.h"
 #include "src/govern/governor.h"
 #include "src/govern/signals.h"
 #include "src/query/plan.h"
@@ -42,6 +43,26 @@ struct GovernorConfig {
   MemoryBudget* memory_budget = nullptr;
 };
 
+/// \brief Steady-state cost-model wiring. When a query states an
+/// accuracy *target* (`WITH ACCURACY <eps> [CONFIDENCE <c>]`), the
+/// planner builds a govern::MethodChooser, makes the plan-time choice
+/// from `chooser.prior`, configures the AccuracyAnnotator with the
+/// chosen method, and hands the chooser to the annotator for
+/// pull-count-epoch recalibration. Queries that pin a method
+/// (ANALYTICAL / BOOTSTRAP) never involve the chooser.
+struct CostModelConfig {
+  /// Cost table, candidate lattice, prior workload estimate, epoch
+  /// interval, metrics. When the plan is governed, the planner aligns
+  /// `chooser.accuracy_floor` with the ladder's floor so both
+  /// actuators honor one bound.
+  govern::ChooserOptions chooser;
+
+  /// When non-null, the planner uses (and re-targets) this instance
+  /// instead of building one — harnesses inspect its decision log
+  /// through the shared pointer after the run.
+  std::shared_ptr<govern::MethodChooser> instance;
+};
+
 /// Plan-construction knobs.
 struct PlannerOptions {
   engine::FilterOptions filter;
@@ -54,6 +75,9 @@ struct PlannerOptions {
   /// Overload governor wiring; disabled by default (plans are built
   /// exactly as before — no gate, no ladder, no budget charging).
   GovernorConfig govern;
+  /// Steady-state accuracy-target cost model; only consulted when the
+  /// query states a numeric accuracy target.
+  CostModelConfig cost_model;
 };
 
 /// \brief Turns a parsed query plus its input stream into an executable

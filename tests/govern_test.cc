@@ -422,6 +422,75 @@ TEST(PrecisionTest, CoarsenHandlesRaggedTailAndNeutralMerge) {
   EXPECT_EQ(same->bin_count(), 5u);
 }
 
+TEST(PrecisionTest, EffectiveCountsNeverExceedTheInput) {
+  // Degradation must not fabricate provenance: the scaled count is
+  // clamped into [2, n], and inputs already at or below the floor pass
+  // through untouched (a field with n=1 never claims n=2).
+  EXPECT_EQ(EffectiveSampleSize(1, 0.5), 1u);
+  EXPECT_EQ(EffectiveSampleSize(2, 0.1), 2u);
+  EXPECT_EQ(EffectiveSampleSize(3, 1.0), 3u);
+  EXPECT_EQ(EffectiveSampleSize(100, 2.0), 100u)
+      << "a scale above 1 must not raise the sample size";
+  EXPECT_EQ(EffectiveResamples(1, 0.5), 1u);
+  EXPECT_EQ(EffectiveResamples(2, 0.01), 2u);
+  EXPECT_EQ(EffectiveResamples(20, 2.0), 20u);
+  for (size_t n : {1u, 2u, 3u, 5u, 31u, 1000u}) {
+    for (double scale : {0.01, 0.25, 0.5, 0.99, 1.0}) {
+      EXPECT_LE(EffectiveSampleSize(n, scale), n) << n << "*" << scale;
+      EXPECT_LE(EffectiveResamples(n, scale), n) << n << "*" << scale;
+    }
+  }
+}
+
+TEST(PrecisionTest, CoarsenSingleBinIsIdentity) {
+  auto h = dist::HistogramDist::Make({2.0, 7.0}, {1.0});
+  ASSERT_TRUE(h.ok());
+  for (size_t merge : {1u, 2u, 7u}) {
+    auto coarse = CoarsenHistogram(*h, merge);
+    ASSERT_TRUE(coarse.ok()) << "merge=" << merge;
+    ASSERT_EQ(coarse->bin_count(), 1u);
+    EXPECT_DOUBLE_EQ(coarse->edges().front(), 2.0);
+    EXPECT_DOUBLE_EQ(coarse->edges().back(), 7.0);
+    EXPECT_DOUBLE_EQ(coarse->BinProb(0), 1.0);
+  }
+}
+
+TEST(PrecisionTest, CoarsenOddBinCountKeepsTotalMassAndRange) {
+  auto h = dist::HistogramDist::Make({0, 1, 2, 3, 4, 5, 6, 7},
+                                     {0.05, 0.1, 0.15, 0.2, 0.2, 0.2, 0.1});
+  ASSERT_TRUE(h.ok());
+  for (size_t merge : {2u, 3u, 4u, 7u, 9u}) {
+    auto coarse = CoarsenHistogram(*h, merge);
+    ASSERT_TRUE(coarse.ok()) << "merge=" << merge;
+    EXPECT_EQ(coarse->bin_count(), (7u + merge - 1) / merge);
+    EXPECT_DOUBLE_EQ(coarse->edges().front(), 0.0);
+    EXPECT_DOUBLE_EQ(coarse->edges().back(), 7.0);
+    double mass = 0.0;
+    for (size_t i = 0; i < coarse->bin_count(); ++i) {
+      mass += coarse->BinProb(i);
+    }
+    EXPECT_NEAR(mass, 1.0, 1e-12) << "merge=" << merge;
+  }
+}
+
+TEST(PrecisionTest, CoarsenPreservesZeroMassBins) {
+  // Empty bins must merge without perturbing their neighbors' mass —
+  // a zero-probability region stays exactly zero, not epsilon.
+  auto h = dist::HistogramDist::Make({0, 1, 2, 3, 4, 5, 6},
+                                     {0.5, 0.0, 0.0, 0.0, 0.0, 0.5});
+  ASSERT_TRUE(h.ok());
+  auto coarse = CoarsenHistogram(*h, 2);
+  ASSERT_TRUE(coarse.ok());
+  ASSERT_EQ(coarse->bin_count(), 3u);
+  EXPECT_DOUBLE_EQ(coarse->BinProb(0), 0.5);
+  EXPECT_DOUBLE_EQ(coarse->BinProb(1), 0.0);
+  EXPECT_DOUBLE_EQ(coarse->BinProb(2), 0.5);
+  auto all = CoarsenHistogram(*h, 6);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->bin_count(), 1u);
+  EXPECT_DOUBLE_EQ(all->BinProb(0), 1.0);
+}
+
 TEST(PrecisionTest, DegradedAnnotationIsHonestlyWider) {
   // The tentpole's honesty requirement, in one assertion: a degraded
   // tuple's confidence interval must be wider than the full-precision

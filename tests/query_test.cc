@@ -175,6 +175,95 @@ TEST(ParserTest, AccuracyClause) {
   ASSERT_TRUE(q2.ok());
   EXPECT_EQ(q2->accuracy->method, accuracy::AccuracyMethod::kAnalytical);
   EXPECT_DOUBLE_EQ(q2->accuracy->confidence, 0.9);
+  EXPECT_FALSE(q2->accuracy->epsilon.has_value())
+      << "a pinned method never involves the cost model";
+}
+
+TEST(ParserTest, AccuracyTargetClause) {
+  // The numeric form states a target half-width; the method is left to
+  // the planner's cost model.
+  auto q = Parse("SELECT x FROM s WITH ACCURACY 0.25 CONFIDENCE 0.95");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_TRUE(q->accuracy.has_value());
+  ASSERT_TRUE(q->accuracy->epsilon.has_value());
+  EXPECT_DOUBLE_EQ(*q->accuracy->epsilon, 0.25);
+  EXPECT_DOUBLE_EQ(q->accuracy->confidence, 0.95);
+
+  auto q2 = Parse("SELECT x FROM s WITH ACCURACY 1.5");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_DOUBLE_EQ(*q2->accuracy->epsilon, 1.5);
+  EXPECT_DOUBLE_EQ(q2->accuracy->confidence, 0.9) << "default confidence";
+}
+
+TEST(ParserTest, AccuracyTargetComposesWithEventTimeClauses) {
+  auto q = Parse(
+      "SELECT AVG(x) OVER (RANGE 10 ON ts WITHIN 2 LATENESS 5) FROM s "
+      "WITH ACCURACY 0.3 CONFIDENCE 0.99");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_TRUE(q->window_agg.has_value());
+  EXPECT_DOUBLE_EQ(q->window_agg->within_bound, 2.0);
+  EXPECT_DOUBLE_EQ(q->window_agg->lateness, 5.0);
+  ASSERT_TRUE(q->accuracy.has_value());
+  EXPECT_DOUBLE_EQ(*q->accuracy->epsilon, 0.3);
+  EXPECT_DOUBLE_EQ(q->accuracy->confidence, 0.99);
+}
+
+TEST(ParserTest, AccuracyTargetRejectsMalformedInput) {
+  // Missing operand after WITH ACCURACY.
+  EXPECT_TRUE(Parse("SELECT x FROM s WITH ACCURACY")
+                  .status()
+                  .IsParseError());
+  // An unknown method keyword is not silently treated as a target.
+  EXPECT_TRUE(Parse("SELECT x FROM s WITH ACCURACY APPROXIMATE")
+                  .status()
+                  .IsParseError());
+  // A target half-width must be strictly positive.
+  EXPECT_TRUE(Parse("SELECT x FROM s WITH ACCURACY 0")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(Parse("SELECT x FROM s WITH ACCURACY -0.5")
+                  .status()
+                  .IsParseError());
+  // CONFIDENCE needs a number, strictly inside (0, 1).
+  EXPECT_TRUE(Parse("SELECT x FROM s WITH ACCURACY 0.5 CONFIDENCE")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(Parse("SELECT x FROM s WITH ACCURACY 0.5 CONFIDENCE 1")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(Parse("SELECT x FROM s WITH ACCURACY 0.5 CONFIDENCE 0")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(Parse("SELECT x FROM s WITH ACCURACY 0.5 CONFIDENCE 1.5")
+                  .status()
+                  .IsParseError());
+  // Out-of-range confidence is rejected for pinned methods too.
+  EXPECT_TRUE(
+      Parse("SELECT x FROM s WITH ACCURACY ANALYTICAL CONFIDENCE 2")
+          .status()
+          .IsParseError());
+  // The rejection is loud about what went wrong, not a generic error.
+  // (A leading '-' is lexed as an operator token, so the zero form is
+  // the one that reaches the positivity check.)
+  const Status s = Parse("SELECT x FROM s WITH ACCURACY 0").status();
+  EXPECT_NE(s.ToString().find("positive"), std::string::npos)
+      << s.ToString();
+  const Status c =
+      Parse("SELECT x FROM s WITH ACCURACY 0.5 CONFIDENCE 1.5").status();
+  EXPECT_NE(c.ToString().find("CONFIDENCE"), std::string::npos)
+      << c.ToString();
+}
+
+TEST(ParserTest, AccuracyTargetRoundTripsThroughToString) {
+  const std::string sql =
+      "SELECT x FROM s WITH ACCURACY 0.25 CONFIDENCE 0.95";
+  auto q = Parse(sql);
+  ASSERT_TRUE(q.ok());
+  auto q2 = Parse(q->ToString());
+  ASSERT_TRUE(q2.ok()) << "rendered: " << q->ToString();
+  EXPECT_EQ(q->ToString(), q2->ToString());
+  ASSERT_TRUE(q2->accuracy->epsilon.has_value());
+  EXPECT_DOUBLE_EQ(*q2->accuracy->epsilon, 0.25);
 }
 
 TEST(ParserTest, AccuracyProjections) {
