@@ -12,6 +12,12 @@
 // Try (from the repository root, after generating a demo file):
 //   build/examples/example_aql_shell /tmp/delays.csv road_id delay
 //     "SELECT road_id FROM t WHERE PTEST(delay > 50, 0.66, 0.05)"
+//
+// Queries may carry an EXPLAIN or EXPLAIN ANALYZE prefix: EXPLAIN
+// prints the chosen plan (with the cost model's method choice and
+// predictions for accuracy-target queries) without running it;
+// EXPLAIN ANALYZE runs the query and appends the per-operator
+// profile after the result table.
 
 #include <cstdio>
 #include <iostream>
@@ -20,6 +26,8 @@
 #include "src/engine/executor.h"
 #include "src/engine/scan.h"
 #include "src/io/observation_loader.h"
+#include "src/query/explain.h"
+#include "src/query/parser.h"
 #include "src/query/planner.h"
 #include "src/serde/json_writer.h"
 #include "src/serde/table_printer.h"
@@ -30,8 +38,49 @@ namespace {
 
 int RunQuery(const io::LoadedObservations& data,
              const std::string& sql) {
-  auto plan = query::PlanQuery(
-      sql, std::make_unique<engine::VectorScan>(data.schema, data.tuples));
+  auto stmt = query::ParseStatement(sql);
+  if (!stmt.ok()) {
+    std::fprintf(stderr, "error: %s\n", stmt.status().ToString().c_str());
+    return 1;
+  }
+  auto source =
+      std::make_unique<engine::VectorScan>(data.schema, data.tuples);
+
+  if (stmt->kind == query::StatementKind::kExplain) {
+    auto rendering = query::ExplainPlan(stmt->query);
+    if (!rendering.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   rendering.status().ToString().c_str());
+      return 1;
+    }
+    std::cout << *rendering;
+    return 0;
+  }
+
+  if (stmt->kind == query::StatementKind::kExplainAnalyze) {
+    auto analyzed = query::ExplainAnalyze(stmt->query, std::move(source));
+    if (!analyzed.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   analyzed.status().ToString().c_str());
+      return 1;
+    }
+    // Rebuild the (cheap, unexecuted) plan only to recover the output
+    // schema for the table printer; the rows themselves came from the
+    // profiled run above.
+    auto plan = query::BuildPlan(
+        stmt->query, std::make_unique<engine::VectorScan>(data.schema,
+                                                          data.tuples));
+    if (!plan.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   plan.status().ToString().c_str());
+      return 1;
+    }
+    serde::PrintTable(std::cout, (*plan)->schema(), analyzed->rows);
+    std::cout << analyzed->report;
+    return 0;
+  }
+
+  auto plan = query::BuildPlan(stmt->query, std::move(source));
   if (!plan.ok()) {
     std::fprintf(stderr, "error: %s\n", plan.status().ToString().c_str());
     return 1;

@@ -13,7 +13,23 @@ AccuracyAnnotator::AccuracyAnnotator(OperatorPtr child,
                                      AccuracyAnnotatorOptions options)
     : child_(std::move(child)),
       options_(std::move(options)),
-      rng_(options_.seed) {}
+      rng_(options_.seed) {
+  if (options_.metrics != nullptr) {
+    const obs::Labels labels = {{"plan", options_.metrics_label}};
+    m_halfwidth_ = options_.metrics->GetHistogram(
+        "ausdb_accuracy_halfwidth", labels,
+        obs::DefaultHalfWidthBoundaries(),
+        "Delivered mean-CI half-widths, in value units (the accuracy "
+        "ledger)");
+    m_annotated_ = options_.metrics->GetCounter(
+        "ausdb_accuracy_annotated_fields_total", labels,
+        "Uncertain fields annotated with accuracy information");
+    m_target_misses_ = options_.metrics->GetCounter(
+        "ausdb_accuracy_target_miss_total", labels,
+        "Mean intervals delivered wider than the declared WITH ACCURACY "
+        "epsilon");
+  }
+}
 
 const govern::RungSpec* AccuracyAnnotator::RungSpecFor(
     const Tuple& t) const {
@@ -151,6 +167,22 @@ Status AccuracyAnnotator::AnnotateTuple(Tuple& t) {
     AUSDB_ASSIGN_OR_RETURN(
         accuracy::AccuracyInfo info,
         Annotate(rv, spec, has_chooser ? &chosen : nullptr));
+    if (m_annotated_ != nullptr) {
+      m_annotated_->Increment();
+      if (info.mean_ci.has_value()) {
+        const double half = info.mean_ci->Length() / 2.0;
+        m_halfwidth_->Record(half);
+        // The ledger's promise check: a delivered interval wider than
+        // the declared epsilon is a target miss. Budget-only targets
+        // (epsilon 0) promise no width; the chooser's default
+        // (no SetTarget yet) epsilon is unbounded and never misses.
+        const double eps =
+            has_chooser ? options_.chooser->target().epsilon : 0.0;
+        if (eps > 0.0 && half > eps) {
+          m_target_misses_->Increment();
+        }
+      }
+    }
     t.set_accuracy(idx, std::move(info));
   }
   if (has_chooser && observed) {

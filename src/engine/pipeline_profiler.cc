@@ -1,0 +1,128 @@
+#include "src/engine/pipeline_profiler.h"
+
+#include <utility>
+
+#include "src/obs/exposition.h"
+
+namespace ausdb {
+namespace engine {
+
+size_t PipelineProfile::AddOperator(std::string name) {
+  slots_.push_back(OperatorProfile{std::move(name)});
+  return slots_.size() - 1;
+}
+
+std::string PipelineProfile::CountersJson() const {
+  std::string out = "{\"operators\":[";
+  bool first = true;
+  for (const OperatorProfile& s : slots_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":" + obs::JsonEscape(s.name) +
+           ",\"next_calls\":" + std::to_string(s.next_calls) +
+           ",\"batch_calls\":" + std::to_string(s.batch_calls) +
+           ",\"tuples\":" + std::to_string(s.tuples) +
+           ",\"errors\":" + std::to_string(s.errors) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string PipelineProfile::ReportString() const {
+  std::string out;
+  // Root first: slot order is bottom-up, so walk it backwards and
+  // compute each stage's selectivity against the slot feeding it.
+  for (size_t i = slots_.size(); i-- > 0;) {
+    const OperatorProfile& s = slots_[i];
+    out += s.name + ": tuples=" + std::to_string(s.tuples) +
+           " next_calls=" + std::to_string(s.next_calls) +
+           " batch_calls=" + std::to_string(s.batch_calls) +
+           " errors=" + std::to_string(s.errors);
+    if (i > 0 && slots_[i - 1].tuples > 0) {
+      out += " selectivity=" +
+             obs::FormatMetricValue(
+                 static_cast<double>(s.tuples) /
+                 static_cast<double>(slots_[i - 1].tuples));
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string PipelineProfile::LatencyAnnexString() const {
+  std::string out =
+      "-- latency annex (sampled wall clock, non-deterministic) --\n";
+  for (size_t i = slots_.size(); i-- > 0;) {
+    const OperatorProfile& s = slots_[i];
+    out += s.name + ": samples=" + std::to_string(s.latency_samples);
+    if (s.latency_samples > 0) {
+      out += " mean=" +
+             obs::FormatMetricValue(obs::NanosToSeconds(
+                 s.sampled_nanos / s.latency_samples)) +
+             "s";
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+ProfiledOperator::ProfiledOperator(OperatorPtr child,
+                                   PipelineProfile* profile, size_t slot,
+                                   const obs::Clock* clock,
+                                   uint32_t latency_sample_period)
+    : child_(std::move(child)),
+      profile_(profile),
+      slot_(slot),
+      clock_(clock),
+      latency_sample_period_(
+          latency_sample_period == 0 ? 1 : latency_sample_period) {}
+
+Result<std::optional<Tuple>> ProfiledOperator::Next() {
+  OperatorProfile& s = profile_->slot(slot_);
+  ++s.next_calls;
+  const bool sample =
+      clock_ != nullptr && (call_index_++ % latency_sample_period_) == 0;
+  const uint64_t start = sample ? clock_->NowNanos() : 0;
+  Result<std::optional<Tuple>> result = child_->Next();
+  if (sample) {
+    s.sampled_nanos += clock_->NowNanos() - start;
+    ++s.latency_samples;
+  }
+  if (!result.ok()) {
+    ++s.errors;
+  } else if (result.ValueOrDie().has_value()) {
+    ++s.tuples;
+  }
+  return result;
+}
+
+Status ProfiledOperator::NextBatch(size_t max_n, TupleBatch& out) {
+  OperatorProfile& s = profile_->slot(slot_);
+  ++s.batch_calls;
+  const bool sample =
+      clock_ != nullptr && (call_index_++ % latency_sample_period_) == 0;
+  const uint64_t start = sample ? clock_->NowNanos() : 0;
+  const Status status = child_->NextBatch(max_n, out);
+  if (sample) {
+    s.sampled_nanos += clock_->NowNanos() - start;
+    ++s.latency_samples;
+  }
+  if (!status.ok()) {
+    ++s.errors;
+  } else {
+    s.tuples += out.size();
+  }
+  return status;
+}
+
+OperatorPtr Profile(OperatorPtr child, const std::string& op_name,
+                    PipelineProfile* profile, const obs::Clock* clock,
+                    uint32_t latency_sample_period) {
+  if (profile == nullptr) return child;
+  const size_t slot = profile->AddOperator(op_name);
+  return std::make_unique<ProfiledOperator>(std::move(child), profile, slot,
+                                            clock, latency_sample_period);
+}
+
+}  // namespace engine
+}  // namespace ausdb

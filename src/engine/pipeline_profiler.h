@@ -1,0 +1,137 @@
+#ifndef AUSDB_ENGINE_PIPELINE_PROFILER_H_
+#define AUSDB_ENGINE_PIPELINE_PROFILER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/engine/operator.h"
+#include "src/obs/clock.h"
+
+namespace ausdb {
+namespace engine {
+
+/// \brief Per-operator counters accumulated by a Profile() wrapper.
+///
+/// The first block is the determinism contract of EXPLAIN ANALYZE:
+/// every field is advanced only by pull events (calls, emitted tuples,
+/// failed pulls) — pure functions of the delivered tuple sequence, so
+/// two runs of the same pipeline produce identical counters across
+/// thread counts, prefetch depths, batch sizes of *this* operator's
+/// consumer, and metrics on/off.
+///
+/// The latency fields are the clearly-separated non-deterministic
+/// annex: wall-clock samples on the injected obs::Clock, taken once
+/// every `latency_sample_period` pulls. They never appear in
+/// CountersJson()/ReportString(); LatencyAnnexString() renders them
+/// behind an explicit "non-deterministic" banner.
+struct OperatorProfile {
+  std::string name;
+  uint64_t next_calls = 0;   ///< scalar pull attempts
+  uint64_t batch_calls = 0;  ///< batch pull attempts
+  uint64_t tuples = 0;       ///< tuples emitted (batch rows included)
+  uint64_t errors = 0;       ///< failed pulls (non-OK status)
+
+  // --- non-deterministic annex (sampled wall clock) ---
+  uint64_t latency_samples = 0;
+  uint64_t sampled_nanos = 0;
+};
+
+/// \brief The accumulator shared by every Profile() wrapper of one
+/// pipeline: one slot per wrapped operator, registered bottom-up as the
+/// planner builds the chain, so slot i's input is slot i-1's output and
+/// per-stage selectivity is tuples[i] / tuples[i-1].
+///
+/// Not thread-safe by design: the Volcano pull loop drives the whole
+/// operator chain from the single consumer thread (intra-operator
+/// parallelism lives *below* the operator API), so plain counters
+/// suffice and the profiled hot path stays a handful of increments.
+class PipelineProfile {
+ public:
+  /// Registers one operator slot; returns its index. Call in
+  /// bottom-up (leaf to root) pipeline order.
+  size_t AddOperator(std::string name);
+
+  OperatorProfile& slot(size_t index) { return slots_[index]; }
+  const std::vector<OperatorProfile>& operators() const { return slots_; }
+
+  /// \brief Byte-deterministic JSON of the deterministic counters only:
+  ///   {"operators":[{"name":"source","next_calls":N,"batch_calls":N,
+  ///    "tuples":N,"errors":N},...]}
+  /// The EXPLAIN ANALYZE determinism harness compares this string
+  /// across thread counts, prefetch depths, and metrics settings.
+  std::string CountersJson() const;
+
+  /// Deterministic one-line-per-operator report, root first, with
+  /// per-stage selectivity (tuples out / tuples in from the slot
+  /// below). Numbers render via obs::FormatMetricValue.
+  std::string ReportString() const;
+
+  /// The non-deterministic annex: sampled Next() latency per operator.
+  /// Kept out of every deterministic rendering above.
+  std::string LatencyAnnexString() const;
+
+ private:
+  std::vector<OperatorProfile> slots_;
+};
+
+/// \brief The EXPLAIN ANALYZE operator wrapper: forwards the child's
+/// outcome bit-for-bit (tuples, errors, end-of-stream, checkpoints)
+/// while accumulating its slot in a PipelineProfile. The sibling of
+/// InstrumentedOperator with a per-query accumulator instead of a
+/// process-wide registry — the two compose (a plan can be both
+/// instrumented and profiled) because both are write-only wrappers.
+class ProfiledOperator final : public Operator {
+ public:
+  /// Latency is sampled once every this many pulls by default — same
+  /// budget reasoning as InstrumentedOperator.
+  static constexpr uint32_t kDefaultLatencySamplePeriod = 16;
+
+  /// `profile` must outlive the operator; `slot` is the index returned
+  /// by PipelineProfile::AddOperator. A null `clock` disables the
+  /// latency annex entirely (counters still accumulate).
+  ProfiledOperator(OperatorPtr child, PipelineProfile* profile, size_t slot,
+                   const obs::Clock* clock = nullptr,
+                   uint32_t latency_sample_period =
+                       kDefaultLatencySamplePeriod);
+
+  const Schema& schema() const override { return child_->schema(); }
+  Result<std::optional<Tuple>> Next() override;
+  /// Forwards the child's native batch path; one batch_call per pull,
+  /// `tuples` advances by the batch size.
+  Status NextBatch(size_t max_n, TupleBatch& out) override;
+  Status Reset() override { return child_->Reset(); }
+  Status Close() override { return child_->Close(); }
+  Result<std::string> SaveCheckpoint() const override {
+    return child_->SaveCheckpoint();
+  }
+  Status RestoreCheckpoint(std::string_view blob) override {
+    return child_->RestoreCheckpoint(blob);
+  }
+  void BindThreadPool(ThreadPool* pool) override {
+    child_->BindThreadPool(pool);
+  }
+
+ private:
+  OperatorPtr child_;
+  PipelineProfile* profile_;
+  const size_t slot_;
+  const obs::Clock* clock_;
+  const uint32_t latency_sample_period_;
+  uint64_t call_index_ = 0;
+};
+
+/// Registers `op_name` in `profile` and wraps `child` when `profile` is
+/// non-null; returns the child untouched (zero overhead, identical
+/// object) when profiling is off.
+OperatorPtr Profile(OperatorPtr child, const std::string& op_name,
+                    PipelineProfile* profile,
+                    const obs::Clock* clock = nullptr,
+                    uint32_t latency_sample_period =
+                        ProfiledOperator::kDefaultLatencySamplePeriod);
+
+}  // namespace engine
+}  // namespace ausdb
+
+#endif  // AUSDB_ENGINE_PIPELINE_PROFILER_H_

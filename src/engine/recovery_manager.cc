@@ -125,6 +125,11 @@ Result<uint64_t> RecoveryManager::Checkpoint(uint64_t outputs_delivered) {
   if (m_outputs_delivered_) {
     m_outputs_delivered_->Set(static_cast<int64_t>(outputs_delivered));
   }
+  if (options_.journal != nullptr) {
+    options_.journal->Append(
+        obs::EventType::kCheckpoint, generation, "recovery",
+        std::to_string(outputs_delivered) + " outputs delivered");
+  }
   return generation;
 }
 
@@ -230,6 +235,13 @@ RecoveryManager::Restore() {
     if (m_outputs_delivered_) {
       m_outputs_delivered_->Set(
           static_cast<int64_t>(recovered->outputs_delivered));
+    }
+    if (options_.journal != nullptr) {
+      options_.journal->Append(
+          obs::EventType::kRestore, recovered->generation, "recovery",
+          "resumed after " +
+              std::to_string(recovered->outputs_delivered) +
+              " delivered outputs");
     }
   }
   return recovered;

@@ -9,6 +9,7 @@
 
 #include "src/engine/replayable.h"
 #include "src/obs/clock.h"
+#include "src/obs/event_journal.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/serde/checkpoint_file.h"
@@ -33,6 +34,11 @@ struct RecoveryManagerOptions {
 
   /// When non-null, Checkpoint() and Restore() record spans here.
   obs::TraceBuffer* trace = nullptr;
+
+  /// When non-null, each successful Checkpoint() (kCheckpoint) and
+  /// Restore() (kRestore) is journaled with the checkpoint generation
+  /// as logical time. Write-only per the obs contract.
+  obs::EventJournal* journal = nullptr;
 };
 
 /// \brief Whole-pipeline crash recovery: one durable manifest per

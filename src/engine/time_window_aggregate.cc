@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/dist/gaussian.h"
+#include "src/obs/exposition.h"
 #include "src/serde/checkpoint.h"
 
 namespace ausdb {
@@ -287,10 +288,19 @@ Result<std::optional<Tuple>> TimeWindowAggregate::NextRevising() {
       while (pos != emitted_ends_.end() && *pos < ts) ++pos;
       emitted_ends_.insert(pos, ts);
     }
+    size_t revised = 0;
     for (double end : emitted_ends_) {
       if (end < ts) continue;
       if (end >= ts + options_.duration) break;
       pending_.push_back(ComputeWindow(end, /*revision=*/true, *t));
+      ++revised;
+    }
+    if (options_.journal != nullptr && revised > 0) {
+      // FormatMetricValue keeps the event-time detail byte-stable.
+      options_.journal->Append(
+          obs::EventType::kLateRevision, input_consumed_, "time_window",
+          "late tuple at t=" + obs::FormatMetricValue(ts) + " revised " +
+              std::to_string(revised) + " window(s)");
     }
   }
 }

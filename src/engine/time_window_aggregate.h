@@ -7,6 +7,7 @@
 
 #include "src/engine/operator.h"
 #include "src/engine/window_aggregate.h"
+#include "src/obs/event_journal.h"
 
 namespace ausdb {
 namespace engine {
@@ -42,6 +43,11 @@ struct TimeWindowOptions {
   /// in shed_late()), because the entries needed to revise its windows
   /// have already been retired. Only meaningful with emit_revisions.
   double allowed_lateness = 0.0;
+
+  /// When non-null, each late arrival that forces window re-emissions
+  /// is journaled as kLateRevision with the input-tuple count as
+  /// logical time. Write-only per the obs contract.
+  obs::EventJournal* journal = nullptr;
 };
 
 /// \brief Time-based (RANGE) sliding-window aggregate over one uncertain

@@ -263,7 +263,13 @@ void MethodChooser::RecordDecision(const MethodSpec& spec) {
   const accuracy::AccuracyMethod previous_method = current_.method;
   // Like the governor's transition log, only *changes* are recorded —
   // the log stays proportional to real decisions, not epochs.
-  if (changed) decisions_.push_back({epochs_, spec});
+  if (changed) {
+    decisions_.push_back({epochs_, spec});
+    if (options_.journal != nullptr) {
+      options_.journal->Append(obs::EventType::kCostRechoice, epochs_,
+                               "cost_model", spec.ToString());
+    }
+  }
   current_ = spec;
   if (m_decisions_ != nullptr) {
     m_decisions_->Increment();

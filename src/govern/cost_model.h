@@ -8,6 +8,7 @@
 
 #include "src/accuracy/accuracy_info.h"
 #include "src/common/result.h"
+#include "src/obs/event_journal.h"
 #include "src/obs/metrics.h"
 
 namespace ausdb {
@@ -171,6 +172,12 @@ struct ChooserOptions {
   /// per the obs contract: the data path never reads a metric back.
   obs::MetricRegistry* metrics = nullptr;
   std::string metrics_label = "plan";
+
+  /// When non-null, every spec *change* (the same changes-only rule as
+  /// the decision log) is journaled as kCostRechoice with the
+  /// recalibration epoch as logical time and MethodSpec::ToString() as
+  /// the detail. Write-only per the obs contract.
+  obs::EventJournal* journal = nullptr;
 };
 
 /// \brief The steady-state accuracy-target cost model: picks the

@@ -18,6 +18,7 @@ OverloadGovernor::OverloadGovernor(GovernorOptions options)
     options_.breaker_cooldown_epochs = 1;
   }
   max_rung_ = options_.ladder.MaxUsableRung();
+  stats_.rung_epochs.assign(options_.ladder.rungs.size(), 0);
   if (options_.metrics != nullptr) {
     const obs::Labels labels = {{"plan", options_.metrics_label}};
     obs::MetricRegistry* reg = options_.metrics;
@@ -40,6 +41,14 @@ OverloadGovernor::OverloadGovernor(GovernorOptions options)
     m_breaker_trips_ = reg->GetCounter(
         "ausdb_govern_breaker_trips_total", labels,
         "Circuit-breaker trips (persistent overload quarantines)");
+    m_rung_epochs_.reserve(options_.ladder.rungs.size());
+    for (size_t r = 0; r < options_.ladder.rungs.size(); ++r) {
+      obs::Labels rung_labels = labels;
+      rung_labels.push_back({"rung", std::to_string(r)});
+      m_rung_epochs_.push_back(reg->GetCounter(
+          "ausdb_govern_rung_epochs_total", rung_labels,
+          "Decision epochs spent at each degradation-ladder rung"));
+    }
   }
 }
 
@@ -56,6 +65,14 @@ void OverloadGovernor::MoveTo(size_t rung, uint64_t epoch) {
 
 GovernorDecision OverloadGovernor::Observe(const SignalSnapshot& snap) {
   ++stats_.epochs;
+  // Occupancy is charged to the rung in force when the epoch begins —
+  // the rung the epoch's tuples actually executed under.
+  if (decision_.rung < stats_.rung_epochs.size()) {
+    ++stats_.rung_epochs[decision_.rung];
+    if (decision_.rung < m_rung_epochs_.size()) {
+      m_rung_epochs_[decision_.rung]->Increment();
+    }
+  }
   const double pressure = Pressure(snap);
   if (m_pressure_milli_ != nullptr) {
     m_pressure_milli_->Set(static_cast<int64_t>(pressure * 1000.0));
@@ -74,6 +91,11 @@ GovernorDecision OverloadGovernor::Observe(const SignalSnapshot& snap) {
       refusing_streak_ = 0;
       pending_move_ = LadderMove::kHold;
       dwell_ = 0;
+      if (options_.journal != nullptr) {
+        options_.journal->Append(
+            obs::EventType::kBreakerReclose, snap.epoch, "governor",
+            "half-open re-admit at rung " + std::to_string(decision_.rung));
+      }
     }
     return decision_;
   }
@@ -94,9 +116,16 @@ GovernorDecision OverloadGovernor::Observe(const SignalSnapshot& snap) {
     case LadderMove::kEscalate:
       if (dwell_ >= options_.ladder.dwell_epochs) {
         if (decision_.rung < max_rung_) {
+          const size_t from = decision_.rung;
           MoveTo(decision_.rung + 1, snap.epoch);
           ++stats_.escalations;
           if (m_escalations_ != nullptr) m_escalations_->Increment();
+          if (options_.journal != nullptr) {
+            options_.journal->Append(
+                obs::EventType::kRungEscalation, snap.epoch, "governor",
+                "rung " + std::to_string(from) + " -> " +
+                    std::to_string(decision_.rung));
+          }
           dwell_ = 0;
         } else {
           // Past the floor: refuse new work rather than degrade below
@@ -112,6 +141,14 @@ GovernorDecision OverloadGovernor::Observe(const SignalSnapshot& snap) {
             if (m_breaker_trips_ != nullptr) {
               m_breaker_trips_->Increment();
             }
+            if (options_.journal != nullptr) {
+              options_.journal->Append(
+                  obs::EventType::kBreakerTrip, snap.epoch, "governor",
+                  "after " +
+                      std::to_string(options_.breaker_trip_epochs) +
+                      " refusal epochs at rung " +
+                      std::to_string(decision_.rung));
+            }
             refusing_streak_ = 0;
           }
         }
@@ -121,9 +158,16 @@ GovernorDecision OverloadGovernor::Observe(const SignalSnapshot& snap) {
       decision_.admit = true;
       refusing_streak_ = 0;
       if (dwell_ >= options_.ladder.dwell_epochs && decision_.rung > 0) {
+        const size_t from = decision_.rung;
         MoveTo(decision_.rung - 1, snap.epoch);
         ++stats_.relaxations;
         if (m_relaxations_ != nullptr) m_relaxations_->Increment();
+        if (options_.journal != nullptr) {
+          options_.journal->Append(
+              obs::EventType::kRungRelaxation, snap.epoch, "governor",
+              "rung " + std::to_string(from) + " -> " +
+                  std::to_string(decision_.rung));
+        }
         dwell_ = 0;
       }
       break;

@@ -7,6 +7,7 @@
 
 #include "src/govern/ladder.h"
 #include "src/govern/signals.h"
+#include "src/obs/event_journal.h"
 #include "src/obs/metrics.h"
 
 namespace ausdb {
@@ -39,6 +40,12 @@ struct GovernorOptions {
   /// Write-only per the obs contract.
   obs::MetricRegistry* metrics = nullptr;
   std::string metrics_label = "plan";
+
+  /// When non-null, every rung transition and breaker state change is
+  /// journaled (kRungEscalation / kRungRelaxation / kBreakerTrip /
+  /// kBreakerReclose) with the decision epoch as logical time.
+  /// Write-only per the obs contract.
+  obs::EventJournal* journal = nullptr;
 };
 
 /// What the gate does until the next epoch boundary.
@@ -68,6 +75,10 @@ struct GovernorStats {
   /// Epochs spent refusing admission (pressure past the floor).
   size_t refusal_epochs = 0;
   size_t breaker_trips = 0;
+  /// Epochs spent at each ladder rung (indexed by rung, sized to the
+  /// ladder). Sums to `epochs`; the accuracy ledger reads this to show
+  /// how much of a run actually executed at degraded precision.
+  std::vector<uint64_t> rung_epochs;
 };
 
 /// \brief The engine-wide overload governor: maps observed pressure
@@ -131,6 +142,10 @@ class OverloadGovernor {
   obs::Counter* m_relaxations_ = nullptr;
   obs::Counter* m_refusals_ = nullptr;
   obs::Counter* m_breaker_trips_ = nullptr;
+  /// Per-rung epoch occupancy, resolved once at construction (one
+  /// counter per ladder rung, labeled {plan,rung}) so the per-epoch
+  /// tick is a single pointer increment.
+  std::vector<obs::Counter*> m_rung_epochs_;
 };
 
 }  // namespace govern

@@ -38,6 +38,28 @@ std::string EscapeLabelValue(const std::string& value) {
   return out;
 }
 
+std::string JsonEscape(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (u < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
 namespace {
 
 /// `{key="value",...}` or "" when the sample has no labels. `extra` is
@@ -70,36 +92,13 @@ void FamilyHeader(std::string& out, const std::string& name,
   out += "# TYPE " + name + " " + std::string(type) + "\n";
 }
 
-/// JSON string escaping (quote, backslash, control characters).
-std::string JsonString(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    const unsigned char u = static_cast<unsigned char>(c);
-    if (c == '"') {
-      out += "\\\"";
-    } else if (c == '\\') {
-      out += "\\\\";
-    } else if (c == '\n') {
-      out += "\\n";
-    } else if (u < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", u);
-      out += buf;
-    } else {
-      out.push_back(c);
-    }
-  }
-  out.push_back('"');
-  return out;
-}
-
 std::string JsonLabels(const Labels& labels) {
   std::string out = "{";
   bool first = true;
   for (const auto& l : labels) {
     if (!first) out.push_back(',');
     first = false;
-    out += JsonString(l.key) + ":" + JsonString(l.value);
+    out += JsonEscape(l.key) + ":" + JsonEscape(l.value);
   }
   out.push_back('}');
   return out;
@@ -146,7 +145,7 @@ std::string ToJson(const MetricsSnapshot& snapshot) {
   for (const auto& s : snapshot.counters) {
     if (!first) out.push_back(',');
     first = false;
-    out += "{\"name\":" + JsonString(s.key.name) +
+    out += "{\"name\":" + JsonEscape(s.key.name) +
            ",\"labels\":" + JsonLabels(s.key.labels) +
            ",\"value\":" + std::to_string(s.value) + "}";
   }
@@ -155,7 +154,7 @@ std::string ToJson(const MetricsSnapshot& snapshot) {
   for (const auto& s : snapshot.gauges) {
     if (!first) out.push_back(',');
     first = false;
-    out += "{\"name\":" + JsonString(s.key.name) +
+    out += "{\"name\":" + JsonEscape(s.key.name) +
            ",\"labels\":" + JsonLabels(s.key.labels) +
            ",\"value\":" + std::to_string(s.value) + "}";
   }
@@ -164,11 +163,11 @@ std::string ToJson(const MetricsSnapshot& snapshot) {
   for (const auto& s : snapshot.histograms) {
     if (!first) out.push_back(',');
     first = false;
-    out += "{\"name\":" + JsonString(s.key.name) +
+    out += "{\"name\":" + JsonEscape(s.key.name) +
            ",\"labels\":" + JsonLabels(s.key.labels) + ",\"le\":[";
     for (size_t i = 0; i < s.boundaries.size(); ++i) {
       if (i > 0) out.push_back(',');
-      out += JsonString(FormatMetricValue(s.boundaries[i]));
+      out += JsonEscape(FormatMetricValue(s.boundaries[i]));
     }
     if (!s.boundaries.empty()) out.push_back(',');
     out += "\"+Inf\"],\"buckets\":[";

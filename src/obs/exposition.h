@@ -34,6 +34,13 @@ std::string FormatMetricValue(double v);
 /// Escapes `\`, `"` and newline for a Prometheus label value.
 std::string EscapeLabelValue(const std::string& value);
 
+/// Quoted JSON string rendering of `s` (quote, backslash, newline and
+/// control characters escaped; other bytes pass through, so UTF-8
+/// sequences survive verbatim). Shared by the metrics JSON writer and
+/// the event-journal exposition so the two can never disagree on
+/// escaping.
+std::string JsonEscape(const std::string& s);
+
 }  // namespace obs
 }  // namespace ausdb
 

@@ -68,6 +68,11 @@ std::vector<double> DefaultEventTimeLagBoundaries() {
   return {1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0, 1000.0};
 }
 
+std::vector<double> DefaultHalfWidthBoundaries() {
+  return {1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 0.5, 1.0, 5.0, 10.0,
+          50.0, 100.0};
+}
+
 namespace {
 
 Labels SortedLabels(Labels labels) {

@@ -114,6 +114,11 @@ std::vector<double> DefaultSizeBytesBoundaries();
 /// histogram, whose unit is whatever the stream's timestamp column uses.
 std::vector<double> DefaultEventTimeLagBoundaries();
 
+/// Default delivered-CI half-width boundaries (value units): 1e-4 .. 100,
+/// half-decades. Used by the accuracy ledger's per-query half-width
+/// histogram, compared against the declared `WITH ACCURACY` epsilon.
+std::vector<double> DefaultHalfWidthBoundaries();
+
 /// One metric's identity inside a registry: name plus sorted labels.
 struct MetricKey {
   std::string name;

@@ -35,5 +35,27 @@ uint64_t TraceBuffer::recorded() const {
   return recorded_;
 }
 
+uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_ - ring_.size();
+}
+
+TraceSnapshot TraceBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSnapshot snap;
+  snap.recorded = recorded_;
+  snap.dropped = recorded_ - ring_.size();
+  snap.capacity = capacity_;
+  snap.spans.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    snap.spans = ring_;
+  } else {
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      snap.spans.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return snap;
+}
+
 }  // namespace obs
 }  // namespace ausdb

@@ -24,6 +24,17 @@ struct SpanRecord {
   }
 };
 
+/// One coherent view of a TraceBuffer: the retained spans plus the
+/// overflow accounting that says how much history the ring has already
+/// shed. `dropped` makes ring overflow loud — a dashboard that only
+/// looked at Spans() would silently under-report a busy pipeline.
+struct TraceSnapshot {
+  std::vector<SpanRecord> spans;  ///< oldest first
+  uint64_t recorded = 0;          ///< total spans ever recorded
+  uint64_t dropped = 0;           ///< spans lost to ring overflow
+  size_t capacity = 0;
+};
+
 /// \brief Bounded in-memory span sink. When full, the oldest span is
 /// overwritten (a flight recorder, not a log): tracing a pipeline that
 /// runs for days must cost constant memory. Thread-safe; Record is one
@@ -41,6 +52,13 @@ class TraceBuffer {
 
   /// Total spans ever recorded (>= Spans().size() once wrapped).
   uint64_t recorded() const;
+
+  /// Spans lost to ring overflow (recorded() - retained).
+  uint64_t dropped() const;
+
+  /// Spans + overflow counters read under one lock acquisition, so the
+  /// numbers are mutually consistent even while writers are appending.
+  TraceSnapshot Snapshot() const;
 
   size_t capacity() const { return capacity_; }
 

@@ -1,0 +1,187 @@
+#include "src/query/explain.h"
+
+#include <utility>
+
+#include "src/engine/executor.h"
+#include "src/obs/exposition.h"
+
+namespace ausdb {
+namespace query {
+
+namespace {
+
+const char* FnName(engine::WindowAggFn fn) {
+  return fn == engine::WindowAggFn::kAvg ? "avg" : "sum";
+}
+
+/// One plan stage, rendered. Stages are gathered bottom-up (the order
+/// BuildPlan constructs them and the profiler numbers its slots), then
+/// printed root-first with two-space nesting.
+std::string RenderTree(const std::vector<std::string>& bottom_up) {
+  std::string out;
+  std::string indent;
+  for (size_t i = bottom_up.size(); i-- > 0;) {
+    out += indent + bottom_up[i] + "\n";
+    indent += "  ";
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> ExplainPlan(const ParsedQuery& query,
+                                const PlannerOptions& options) {
+  // Mirror BuildPlan's rejections so EXPLAIN never renders a plan the
+  // planner would refuse to build.
+  const bool star =
+      query.select.size() == 1 && query.select.front().is_star;
+  const bool has_items = !query.select.empty() && !star;
+  if (query.window_agg.has_value() && has_items) {
+    return Status::NotImplemented(
+        "a window aggregate cannot be combined with other SELECT items");
+  }
+  if (!query.window_agg.has_value() && !query.group_by.empty()) {
+    return Status::NotImplemented(
+        "GROUP BY currently requires a window aggregate in the SELECT "
+        "list");
+  }
+  if (options.govern.enabled && options.govern.signals == nullptr) {
+    return Status::InvalidArgument(
+        "governed plan needs a signal-source factory");
+  }
+
+  std::vector<std::string> stages;
+  stages.push_back("source: " + query.from);
+
+  if (options.govern.enabled) {
+    const govern::GovernorOptions& gov = options.govern.governor;
+    stages.push_back(
+        "governor_gate: rungs=" +
+        std::to_string(gov.ladder.rungs.size()) +
+        " floor=" + obs::FormatMetricValue(gov.ladder.accuracy_floor) +
+        " epoch_interval=" + std::to_string(gov.epoch_interval) +
+        " breaker_trip=" + std::to_string(gov.breaker_trip_epochs) +
+        " cooldown=" + std::to_string(gov.breaker_cooldown_epochs));
+  }
+
+  if (query.where != nullptr) {
+    stages.push_back("filter: " + query.where->ToString());
+  }
+
+  if (query.window_agg.has_value()) {
+    const WindowSpec& spec = *query.window_agg;
+    if (spec.is_time_based()) {
+      if (!query.group_by.empty()) {
+        return Status::NotImplemented(
+            "GROUP BY with RANGE windows is not supported yet");
+      }
+      if (spec.within_bound > 0.0) {
+        stages.push_back(
+            "reorder: within=" +
+            obs::FormatMetricValue(spec.within_bound) + " on " +
+            spec.range_column);
+      }
+      std::string line = "window: " + std::string(FnName(spec.fn)) + "(" +
+                         spec.column + ") range=" +
+                         obs::FormatMetricValue(spec.range_duration) +
+                         " on " + spec.range_column;
+      if (spec.lateness > 0.0) {
+        line += " lateness=" + obs::FormatMetricValue(spec.lateness);
+      }
+      line += " as " + spec.alias;
+      stages.push_back(std::move(line));
+    } else {
+      std::string line = "window: " + std::string(FnName(spec.fn)) + "(" +
+                         spec.column +
+                         ") rows=" + std::to_string(spec.rows);
+      if (spec.kind == engine::WindowKind::kTumbling) line += " tumble";
+      if (!query.group_by.empty()) line += " group_by=" + query.group_by;
+      line += " as " + spec.alias;
+      stages.push_back(std::move(line));
+    }
+  } else if (has_items) {
+    std::string line = "project: ";
+    bool first = true;
+    for (const auto& item : query.select) {
+      if (item.is_star) {
+        return Status::NotImplemented(
+            "SELECT * cannot be combined with other items");
+      }
+      if (!first) line += ", ";
+      first = false;
+      line += item.alias;
+    }
+    stages.push_back(std::move(line));
+  }
+
+  if (query.order_by.has_value()) {
+    stages.push_back(
+        "sort: " + query.order_by->column +
+        (query.order_by->order == engine::SortOrder::kDescending
+             ? " desc"
+             : " asc"));
+  }
+
+  if (query.limit.has_value()) {
+    stages.push_back("limit: " + std::to_string(*query.limit));
+  }
+
+  if (query.accuracy.has_value()) {
+    std::string line = "annotator: confidence=" +
+                       obs::FormatMetricValue(query.accuracy->confidence);
+    if (query.accuracy->epsilon.has_value()) {
+      // The accuracy-target form: show the spec the cost model would
+      // put in force at plan time, plus its predictions, through the
+      // chooser's pure decision function — EXPLAIN mutates nothing.
+      const govern::ChooserOptions& copts =
+          options.cost_model.instance != nullptr
+              ? options.cost_model.instance->options()
+              : options.cost_model.chooser;
+      govern::AccuracyTarget target;
+      target.epsilon = *query.accuracy->epsilon;
+      target.confidence = query.accuracy->confidence;
+      const govern::MethodSpec spec =
+          govern::MethodChooser::Choose(target, copts.prior, copts);
+      line += " target_eps=" + obs::FormatMetricValue(target.epsilon) +
+              " chosen=" + spec.ToString() + " predicted_cost=" +
+              obs::FormatMetricValue(
+                  govern::PredictCost(spec, copts.prior, copts.table)) +
+              " predicted_halfwidth=" +
+              obs::FormatMetricValue(govern::PredictHalfWidth(
+                  spec, copts.prior, target.confidence));
+    } else {
+      line += std::string(" method=") +
+              (query.accuracy->method ==
+                       accuracy::AccuracyMethod::kAnalytical
+                   ? "analytical"
+                   : "bootstrap");
+    }
+    stages.push_back(std::move(line));
+  }
+
+  return RenderTree(stages);
+}
+
+Result<ExplainAnalyzeResult> ExplainAnalyze(const ParsedQuery& query,
+                                            engine::OperatorPtr source,
+                                            const PlannerOptions& options) {
+  engine::PipelineProfile profile;
+  PlannerOptions popts = options;
+  popts.profiler.profile = &profile;
+  AUSDB_ASSIGN_OR_RETURN(engine::OperatorPtr plan,
+                         BuildPlan(query, std::move(source), popts));
+
+  ExplainAnalyzeResult out;
+  AUSDB_ASSIGN_OR_RETURN(out.rows, engine::Collect(*plan));
+  AUSDB_ASSIGN_OR_RETURN(std::string plan_text,
+                         ExplainPlan(query, options));
+  out.report = plan_text + "-- profile --\n" + profile.ReportString();
+  out.counters_json = profile.CountersJson();
+  if (options.profiler.clock != nullptr) {
+    out.latency_annex = profile.LatencyAnnexString();
+  }
+  return out;
+}
+
+}  // namespace query
+}  // namespace ausdb

@@ -1,0 +1,65 @@
+#ifndef AUSDB_QUERY_EXPLAIN_H_
+#define AUSDB_QUERY_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/engine/tuple.h"
+#include "src/query/planner.h"
+
+namespace ausdb {
+namespace query {
+
+/// \brief Renders the plan the planner would build for `query` under
+/// `options`, one stage per line, root first — the `EXPLAIN <query>`
+/// surface.
+///
+/// Each line names the stage (the same names the pipeline profiler
+/// uses, so EXPLAIN and EXPLAIN ANALYZE join trivially) and its
+/// configuration; for an accuracy-target query the chosen MethodSpec
+/// plus its predicted cost and half-width from the CostTable are shown,
+/// computed through the chooser's *pure* decision function on the prior
+/// workload estimate — EXPLAIN never mutates a shared chooser and never
+/// runs the plan.
+///
+/// The rendering is byte-deterministic (numbers via
+/// obs::FormatMetricValue) and pinned by a golden-file test; plan
+/// shape or cost-model drift cannot ship silently.
+Result<std::string> ExplainPlan(const ParsedQuery& query,
+                                const PlannerOptions& options = {});
+
+/// What ExplainAnalyze() returns.
+struct ExplainAnalyzeResult {
+  /// Byte-deterministic report: the ExplainPlan rendering followed by
+  /// per-operator profile counters (tuple counts, pull counts,
+  /// selectivities). Identical across thread counts, prefetch depths,
+  /// and metrics on/off — the acceptance harness compares it literally.
+  std::string report;
+
+  /// The deterministic profile counters alone, as JSON
+  /// (PipelineProfile::CountersJson()).
+  std::string counters_json;
+
+  /// The delivered output, byte-identical to an unprofiled run of the
+  /// same query (profiling is a write-only wrapper).
+  std::vector<engine::Tuple> rows;
+
+  /// Sampled wall-clock annex (empty unless options.profiler.clock was
+  /// set) — the only non-deterministic part, never mixed into `report`.
+  std::string latency_annex;
+};
+
+/// \brief Runs `query` over `source` with every stage profiled — the
+/// `EXPLAIN ANALYZE <query>` surface. `options.profiler.profile` is
+/// supplied internally; `options.profiler.clock` (off by default)
+/// enables the latency annex.
+Result<ExplainAnalyzeResult> ExplainAnalyze(const ParsedQuery& query,
+                                            engine::OperatorPtr source,
+                                            const PlannerOptions& options =
+                                                {});
+
+}  // namespace query
+}  // namespace ausdb
+
+#endif  // AUSDB_QUERY_EXPLAIN_H_

@@ -16,6 +16,7 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
+  Result<ParsedStatement> ParseStatement();
   Result<ParsedQuery> ParseQuery();
   Result<ExprPtr> ParsePredicateOnly();
   Result<ExprPtr> ParseExpressionOnly();
@@ -489,6 +490,19 @@ Result<SelectItem> Parser::ParseSelectItem(ParsedQuery* q, size_t index) {
   return item;
 }
 
+Result<ParsedStatement> Parser::ParseStatement() {
+  ParsedStatement stmt;
+  if (AcceptKeyword("EXPLAIN")) {
+    stmt.kind = AcceptKeyword("ANALYZE") ? StatementKind::kExplainAnalyze
+                                         : StatementKind::kExplain;
+  }
+  // The inner query parses under exactly the same grammar — EXPLAIN
+  // wraps a valid query or fails with the query's own parse error,
+  // never a silent acceptance of a malformed statement.
+  AUSDB_ASSIGN_OR_RETURN(stmt.query, ParseQuery());
+  return stmt;
+}
+
 Result<ParsedQuery> Parser::ParseQuery() {
   ParsedQuery q;
   AUSDB_RETURN_NOT_OK(ExpectKeyword("SELECT"));
@@ -601,6 +615,12 @@ Result<ParsedQuery> Parse(std::string_view input) {
   AUSDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
   Parser parser(std::move(tokens));
   return parser.ParseQuery();
+}
+
+Result<ParsedStatement> ParseStatement(std::string_view input) {
+  AUSDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
 }
 
 Result<expr::ExprPtr> ParsePredicate(std::string_view input) {

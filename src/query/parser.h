@@ -48,6 +48,11 @@ namespace query {
 /// The significance-test operator strings are '<', '>' and '<>'.
 Result<ParsedQuery> Parse(std::string_view input);
 
+/// Parses one top-level statement: [EXPLAIN [ANALYZE]] query. The
+/// EXPLAIN prefix changes only the statement kind; a malformed inner
+/// query fails with the same kParseError it would fail with alone.
+Result<ParsedStatement> ParseStatement(std::string_view input);
+
 /// Parses a standalone predicate (for programmatic WHERE construction).
 Result<expr::ExprPtr> ParsePredicate(std::string_view input);
 

@@ -69,5 +69,17 @@ std::string ParsedQuery::ToString() const {
   return os.str();
 }
 
+std::string ParsedStatement::ToString() const {
+  switch (kind) {
+    case StatementKind::kQuery:
+      return query.ToString();
+    case StatementKind::kExplain:
+      return "EXPLAIN " + query.ToString();
+    case StatementKind::kExplainAnalyze:
+      return "EXPLAIN ANALYZE " + query.ToString();
+  }
+  return query.ToString();
+}
+
 }  // namespace query
 }  // namespace ausdb

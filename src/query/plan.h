@@ -87,6 +87,27 @@ struct ParsedQuery {
   std::string ToString() const;
 };
 
+/// What a top-level AQL statement asks for.
+enum class StatementKind {
+  kQuery,           ///< run the query, deliver tuples
+  kExplain,         ///< render the chosen plan, run nothing
+  kExplainAnalyze,  ///< run profiled, deliver tuples + the profile
+};
+
+/// \brief One parsed top-level statement: an optional EXPLAIN
+/// [ANALYZE] prefix around a query. The prefix never changes how the
+/// inner query parses — a malformed query under EXPLAIN fails with the
+/// same loud kParseError it would fail with alone.
+struct ParsedStatement {
+  StatementKind kind = StatementKind::kQuery;
+  ParsedQuery query;
+
+  /// Canonical rendering: the EXPLAIN [ANALYZE] prefix plus
+  /// ParsedQuery::ToString(). Re-parsing the rendering yields an equal
+  /// statement (the round-trip the parser tests assert).
+  std::string ToString() const;
+};
+
 }  // namespace query
 }  // namespace ausdb
 

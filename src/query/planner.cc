@@ -21,6 +21,17 @@ Result<engine::OperatorPtr> BuildPlan(const ParsedQuery& query,
   }
   engine::OperatorPtr plan = std::move(source);
 
+  // EXPLAIN ANALYZE: every stage built below is wrapped bottom-up, so
+  // the profile's slot order mirrors the pipeline and per-stage
+  // selectivity falls out of adjacent slots.
+  const auto profiled = [&options](engine::OperatorPtr op,
+                                   const char* name) {
+    return engine::Profile(std::move(op), name, options.profiler.profile,
+                           options.profiler.clock,
+                           options.profiler.latency_sample_period);
+  };
+  plan = profiled(std::move(plan), "source");
+
   // One ladder instance shared by every governed stage of this plan,
   // so the rung a tuple is stamped with at the gate means the same
   // thing at the reorder horizon and in the accuracy annotation.
@@ -32,12 +43,13 @@ Result<engine::OperatorPtr> BuildPlan(const ParsedQuery& query,
     }
     ladder = std::make_shared<const govern::LadderPolicy>(
         options.govern.governor.ladder);
+    govern::GovernorOptions gov = options.govern.governor;
+    if (gov.journal == nullptr) gov.journal = options.journal;
     AUSDB_ASSIGN_OR_RETURN(
         std::unique_ptr<govern::GovernorGate> gate,
         govern::GovernorGate::Make(std::move(plan),
-                                   options.govern.signals(),
-                                   options.govern.governor));
-    plan = std::move(gate);
+                                   options.govern.signals(), gov));
+    plan = profiled(std::move(gate), "governor_gate");
   }
 
   if (query.where != nullptr) {
@@ -45,6 +57,7 @@ Result<engine::OperatorPtr> BuildPlan(const ParsedQuery& query,
     fo.eval = options.eval;
     plan = std::make_unique<engine::Filter>(std::move(plan), query.where,
                                             fo);
+    plan = profiled(std::move(plan), "filter");
   }
 
   const bool star =
@@ -75,11 +88,12 @@ Result<engine::OperatorPtr> BuildPlan(const ParsedQuery& query,
             std::unique_ptr<engine::ReorderBuffer> reorder,
             engine::ReorderBuffer::Make(std::move(plan), spec.range_column,
                                         ro));
-        plan = std::move(reorder);
+        plan = profiled(std::move(reorder), "reorder");
       }
       engine::TimeWindowOptions two;
       two.duration = spec.range_duration;
       two.fn = spec.fn;
+      two.journal = options.journal;
       if (spec.lateness > 0.0) {
         // LATENESS: accept post-watermark stragglers by re-emitting the
         // affected windows as revisions.
@@ -97,7 +111,7 @@ Result<engine::OperatorPtr> BuildPlan(const ParsedQuery& query,
           engine::TimeWindowAggregate::Make(std::move(plan),
                                             spec.range_column, spec.column,
                                             spec.alias, two));
-      plan = std::move(agg);
+      plan = profiled(std::move(agg), "window");
     } else {
       engine::WindowAggregateOptions wo;
       wo.window_size = spec.rows;
@@ -109,13 +123,13 @@ Result<engine::OperatorPtr> BuildPlan(const ParsedQuery& query,
             engine::PartitionedWindowAggregate::Make(
                 std::move(plan), query.group_by, spec.column, spec.alias,
                 wo));
-        plan = std::move(agg);
+        plan = profiled(std::move(agg), "window");
       } else {
         AUSDB_ASSIGN_OR_RETURN(
             std::unique_ptr<engine::WindowAggregate> agg,
             engine::WindowAggregate::Make(std::move(plan), spec.column,
                                           spec.alias, wo));
-        plan = std::move(agg);
+        plan = profiled(std::move(agg), "window");
       }
     }
   } else if (!query.group_by.empty()) {
@@ -136,7 +150,7 @@ Result<engine::OperatorPtr> BuildPlan(const ParsedQuery& query,
         std::unique_ptr<engine::Project> project,
         engine::Project::Make(std::move(plan), std::move(items),
                               options.eval));
-    plan = std::move(project);
+    plan = profiled(std::move(project), "project");
   }
 
   if (query.order_by.has_value()) {
@@ -144,11 +158,12 @@ Result<engine::OperatorPtr> BuildPlan(const ParsedQuery& query,
         std::unique_ptr<engine::Sort> sort,
         engine::Sort::Make(std::move(plan), query.order_by->column,
                            query.order_by->order));
-    plan = std::move(sort);
+    plan = profiled(std::move(sort), "sort");
   }
 
   if (query.limit.has_value()) {
     plan = std::make_unique<engine::Limit>(std::move(plan), *query.limit);
+    plan = profiled(std::move(plan), "limit");
   }
 
   if (query.accuracy.has_value()) {
@@ -169,6 +184,7 @@ Result<engine::OperatorPtr> BuildPlan(const ParsedQuery& query,
       if (chooser == nullptr) {
         govern::ChooserOptions copts = options.cost_model.chooser;
         if (ladder != nullptr) copts.accuracy_floor = ladder->accuracy_floor;
+        if (copts.journal == nullptr) copts.journal = options.journal;
         chooser = std::make_shared<govern::MethodChooser>(std::move(copts));
       }
       AUSDB_RETURN_NOT_OK(chooser->SetTarget(target));
@@ -183,6 +199,7 @@ Result<engine::OperatorPtr> BuildPlan(const ParsedQuery& query,
     }
     if (ladder != nullptr) ao.ladder = ladder;
     plan = std::make_unique<engine::AccuracyAnnotator>(std::move(plan), ao);
+    plan = profiled(std::move(plan), "annotator");
   }
   return plan;
 }

@@ -10,10 +10,12 @@
 #include "src/engine/accuracy_annotator.h"
 #include "src/engine/filter.h"
 #include "src/engine/operator.h"
+#include "src/engine/pipeline_profiler.h"
 #include "src/engine/reorder_buffer.h"
 #include "src/govern/cost_model.h"
 #include "src/govern/governor.h"
 #include "src/govern/signals.h"
+#include "src/obs/event_journal.h"
 #include "src/query/plan.h"
 
 namespace ausdb {
@@ -63,6 +65,19 @@ struct CostModelConfig {
   std::shared_ptr<govern::MethodChooser> instance;
 };
 
+/// \brief EXPLAIN ANALYZE wiring: when `profile` is non-null the
+/// planner wraps every stage it builds (bottom-up: source first) in a
+/// ProfiledOperator accumulating into `profile`, so per-stage tuple
+/// counts and selectivities come out of the run. A null `clock` keeps
+/// the profiled run free of wall-clock reads entirely (the
+/// deterministic default); a real clock adds the sampled latency annex.
+struct ProfilerConfig {
+  engine::PipelineProfile* profile = nullptr;
+  const obs::Clock* clock = nullptr;
+  uint32_t latency_sample_period =
+      engine::ProfiledOperator::kDefaultLatencySamplePeriod;
+};
+
 /// Plan-construction knobs.
 struct PlannerOptions {
   engine::FilterOptions filter;
@@ -78,6 +93,12 @@ struct PlannerOptions {
   /// Steady-state accuracy-target cost model; only consulted when the
   /// query states a numeric accuracy target.
   CostModelConfig cost_model;
+  /// When non-null, every journaling component the planner builds
+  /// (governor, cost-model chooser, revision-mode window) appends its
+  /// decisions here. Write-only per the obs contract.
+  obs::EventJournal* journal = nullptr;
+  /// Per-operator profiling (EXPLAIN ANALYZE); off by default.
+  ProfilerConfig profiler;
 };
 
 /// \brief Turns a parsed query plus its input stream into an executable

@@ -19,7 +19,7 @@ const std::unordered_set<std::string>& Keywords() {
       "SQRT",   "ABS",     "SQUARE", "SQRT_ABS",  "MEAN_CI", "VAR_CI",
       "BIN_CI", "TRUE",    "FALSE",  "GROUP",     "BY",      "TUMBLE",
       "ORDER",  "ASC",     "DESC",   "LIMIT",     "RANGE",   "ON",
-      "WITHIN", "LATENESS"};
+      "WITHIN", "LATENESS", "EXPLAIN", "ANALYZE"};
   return *kKeywords;
 }
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/hypothesis/drift_test.h"
+#include "src/obs/exposition.h"
 
 namespace ausdb {
 namespace stream {
@@ -85,6 +86,14 @@ Status DriftDetector::Observe(double value) {
       drifted_ = true;
       ++drift_events_;
       if (m_drift_events_ != nullptr) m_drift_events_->Increment();
+      if (options_.journal != nullptr) {
+        // FormatMetricValue keeps the detail byte-stable across runs.
+        options_.journal->Append(
+            obs::EventType::kDriftQuarantine, observations_,
+            "drift." + options_.metrics_label,
+            "ks=" + obs::FormatMetricValue(result.statistic) +
+                " p=" + obs::FormatMetricValue(result.p_value));
+      }
     }
   } else {
     consecutive_rejections_ = 0;
@@ -102,6 +111,13 @@ Status DriftDetector::Relearn() {
   AUSDB_RETURN_NOT_OK(LearnReference(sample));
   drifted_ = false;
   consecutive_rejections_ = 0;
+  if (options_.journal != nullptr) {
+    options_.journal->Append(
+        obs::EventType::kDriftRelearn, observations_,
+        "drift." + options_.metrics_label,
+        "reference relearned from " + std::to_string(sample.size()) +
+            " trailing observations");
+  }
   UpdateMetrics();
   return Status::OK();
 }

@@ -9,6 +9,7 @@
 
 #include "src/dist/histogram.h"
 #include "src/dist/learner.h"
+#include "src/obs/event_journal.h"
 #include "src/obs/metrics.h"
 #include "src/stream/supervised_source.h"
 
@@ -45,6 +46,11 @@ struct DriftDetectorOptions {
   /// Write-only (obs contract): detection decisions never read metrics.
   obs::MetricRegistry* metrics = nullptr;
   std::string metrics_label = "drift";
+
+  /// When non-null, the drift latch (kDriftQuarantine) and Relearn()
+  /// (kDriftRelearn) are journaled with the observation count as
+  /// logical time. Write-only per the obs contract.
+  obs::EventJournal* journal = nullptr;
 };
 
 /// \brief Windowed distribution-drift detector over one numeric stream

@@ -1,0 +1,299 @@
+// The EXPLAIN surface: statement parsing ([EXPLAIN [ANALYZE]] query,
+// loud parse errors for malformed inner queries), byte-deterministic
+// golden renderings of ExplainPlan, the accuracy-target annotator line
+// showing the cost model's plan-time choice and predictions, and
+// EXPLAIN ANALYZE's profiled execution (delivered rows identical to the
+// unprofiled run; counters and report deterministic).
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/dist/gaussian.h"
+#include "src/engine/executor.h"
+#include "src/engine/scan.h"
+#include "src/govern/cost_model.h"
+#include "src/obs/exposition.h"
+#include "src/query/explain.h"
+#include "src/query/parser.h"
+#include "src/query/planner.h"
+#include "src/serde/json_writer.h"
+#include "src/stream/sources.h"
+
+namespace ausdb {
+namespace query {
+namespace {
+
+// ---------------------------------------------------------------------
+// Statement parsing: [EXPLAIN [ANALYZE]] query
+
+TEST(ParseStatementTest, PlainQueryKeepsKindQuery) {
+  auto stmt = ParseStatement("SELECT x FROM s");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->kind, StatementKind::kQuery);
+  EXPECT_EQ(stmt->query.from, "s");
+}
+
+TEST(ParseStatementTest, ExplainPrefixSetsKind) {
+  auto stmt = ParseStatement("EXPLAIN SELECT x FROM s WHERE x > 1");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->kind, StatementKind::kExplain);
+  ASSERT_NE(stmt->query.where, nullptr);
+  EXPECT_EQ(stmt->query.where->ToString(), "(x > 1)");
+}
+
+TEST(ParseStatementTest, ExplainAnalyzePrefixSetsKind) {
+  auto stmt = ParseStatement("explain analyze SELECT * FROM s");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->kind, StatementKind::kExplainAnalyze);
+}
+
+TEST(ParseStatementTest, MalformedInnerQueryFailsLoudly) {
+  // EXPLAIN wraps a valid query or fails with the inner query's own
+  // parse error — never a silent acceptance of a malformed statement.
+  EXPECT_TRUE(ParseStatement("EXPLAIN").status().IsParseError());
+  EXPECT_TRUE(ParseStatement("EXPLAIN ANALYZE").status().IsParseError());
+  EXPECT_TRUE(
+      ParseStatement("EXPLAIN SELECT FROM s").status().IsParseError());
+  EXPECT_TRUE(ParseStatement("EXPLAIN ANALYZE SELECT x FROM")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(ParseStatement("EXPLAIN SELECT x FROM s garbage")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(ParseStatement("EXPLAIN EXPLAIN SELECT x FROM s")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(ParseStatement("EXPLAIN SELECT x FROM s WITH ACCURACY 0")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(ParseStatementTest, ToStringRoundTrips) {
+  const std::vector<std::string> inputs = {
+      "SELECT road_id FROM roads WHERE delay > 50 PROB 0.66",
+      "EXPLAIN SELECT road_id FROM roads WHERE delay > 50",
+      "EXPLAIN ANALYZE SELECT AVG(x) OVER (ROWS 100) AS a FROM s "
+      "WITH ACCURACY ANALYTICAL",
+  };
+  for (const std::string& sql : inputs) {
+    auto stmt = ParseStatement(sql);
+    ASSERT_TRUE(stmt.ok()) << sql << ": " << stmt.status().ToString();
+    auto again = ParseStatement(stmt->ToString());
+    ASSERT_TRUE(again.ok()) << stmt->ToString() << ": "
+                            << again.status().ToString();
+    EXPECT_EQ(again->kind, stmt->kind) << sql;
+    EXPECT_EQ(again->ToString(), stmt->ToString()) << sql;
+  }
+}
+
+// ---------------------------------------------------------------------
+// ExplainPlan golden renderings
+
+Result<ParsedQuery> MustParse(const std::string& sql) { return Parse(sql); }
+
+TEST(ExplainPlanTest, SimpleSelectGolden) {
+  auto q = MustParse("SELECT road_id FROM roads WHERE delay > 50");
+  ASSERT_TRUE(q.ok());
+  auto text = ExplainPlan(*q);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_EQ(*text,
+            "project: road_id\n"
+            "  filter: (delay > 50)\n"
+            "    source: roads\n");
+}
+
+TEST(ExplainPlanTest, PinnedMethodSortLimitGolden) {
+  auto q = MustParse(
+      "SELECT x FROM s ORDER BY x DESC LIMIT 5 "
+      "WITH ACCURACY ANALYTICAL CONFIDENCE 0.95");
+  ASSERT_TRUE(q.ok());
+  auto text = ExplainPlan(*q);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_EQ(*text,
+            "annotator: confidence=0.95 method=analytical\n"
+            "  limit: 5\n"
+            "    sort: x desc\n"
+            "      project: x\n"
+            "        source: s\n");
+}
+
+TEST(ExplainPlanTest, EventTimeWindowGolden) {
+  auto q = MustParse(
+      "SELECT AVG(x) OVER (RANGE 10 ON ts WITHIN 5 LATENESS 20) AS a "
+      "FROM s");
+  ASSERT_TRUE(q.ok());
+  auto text = ExplainPlan(*q);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_EQ(*text,
+            "window: avg(x) range=10 on ts lateness=20 as a\n"
+            "  reorder: within=5 on ts\n"
+            "    source: s\n");
+}
+
+TEST(ExplainPlanTest, GovernedPlanGolden) {
+  auto q = MustParse("SELECT * FROM s");
+  ASSERT_TRUE(q.ok());
+  PlannerOptions options;
+  options.govern.enabled = true;
+  // EXPLAIN renders the wiring without instantiating a signal source.
+  options.govern.signals = []() -> std::unique_ptr<govern::SignalSource> {
+    return nullptr;
+  };
+  auto text = ExplainPlan(*q, options);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_EQ(*text,
+            "governor_gate: rungs=5 floor=0.2 epoch_interval=256 "
+            "breaker_trip=8 cooldown=16\n"
+            "  source: s\n");
+}
+
+TEST(ExplainPlanTest, AccuracyTargetShowsChosenSpecAndPredictions) {
+  auto q = MustParse("SELECT x FROM s WITH ACCURACY 0.25 CONFIDENCE 0.9");
+  ASSERT_TRUE(q.ok());
+  auto text = ExplainPlan(*q);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+
+  // The annotator line must show exactly the spec the pure decision
+  // function chooses from the default prior, with its predictions
+  // rendered through the same byte-stable formatter.
+  const govern::ChooserOptions copts;
+  govern::AccuracyTarget target;
+  target.epsilon = 0.25;
+  target.confidence = 0.9;
+  const govern::MethodSpec spec =
+      govern::MethodChooser::Choose(target, copts.prior, copts);
+  const std::string expected =
+      "annotator: confidence=0.9 target_eps=0.25 chosen=" +
+      spec.ToString() + " predicted_cost=" +
+      obs::FormatMetricValue(
+          govern::PredictCost(spec, copts.prior, copts.table)) +
+      " predicted_halfwidth=" +
+      obs::FormatMetricValue(
+          govern::PredictHalfWidth(spec, copts.prior, target.confidence)) +
+      "\n  project: x\n    source: s\n";
+  EXPECT_EQ(*text, expected);
+}
+
+TEST(ExplainPlanTest, ExplainDoesNotMutateASharedChooser) {
+  auto q = MustParse("SELECT x FROM s WITH ACCURACY 0.05 CONFIDENCE 0.9");
+  ASSERT_TRUE(q.ok());
+  PlannerOptions options;
+  options.cost_model.instance =
+      std::make_shared<govern::MethodChooser>(govern::ChooserOptions{});
+  const size_t decisions_before =
+      options.cost_model.instance->decisions().size();
+  const govern::AccuracyTarget target_before =
+      options.cost_model.instance->target();
+  auto text = ExplainPlan(*q, options);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_EQ(options.cost_model.instance->decisions().size(),
+            decisions_before);
+  EXPECT_EQ(options.cost_model.instance->target().epsilon,
+            target_before.epsilon);
+}
+
+TEST(ExplainPlanTest, MirrorsPlannerRejections) {
+  // EXPLAIN must never render a plan the planner would refuse to build.
+  auto mixed =
+      MustParse("SELECT road_id, AVG(delay) OVER (ROWS 2) FROM roads");
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_TRUE(ExplainPlan(*mixed).status().IsNotImplemented());
+
+  auto governed = MustParse("SELECT x FROM s");
+  ASSERT_TRUE(governed.ok());
+  PlannerOptions options;
+  options.govern.enabled = true;  // no signal factory
+  EXPECT_TRUE(ExplainPlan(*governed, options).status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------
+// EXPLAIN ANALYZE
+
+TEST(ExplainAnalyzeTest, DeliversUnprofiledOutputWithProfile) {
+  const auto make_source = [] {
+    return stream::MakeLearnedGaussianSource("x", 200, 20, 10.0, 2.0, 99);
+  };
+  const std::string sql =
+      "SELECT AVG(x) OVER (ROWS 100) AS a FROM s "
+      "WITH ACCURACY ANALYTICAL";
+  auto q = Parse(sql);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+  // Reference: the unprofiled plan over an identically-seeded source.
+  auto plain = BuildPlan(*q, make_source());
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  auto expected = engine::Collect(**plain);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  auto analyzed = ExplainAnalyze(*q, make_source());
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+
+  // Profiling is a write-only wrapper: delivered output byte-identical.
+  const engine::Schema& schema = (*plain)->schema();
+  ASSERT_EQ(analyzed->rows.size(), expected->size());
+  for (size_t i = 0; i < expected->size(); ++i) {
+    EXPECT_EQ(serde::ToJson(analyzed->rows[i], schema),
+              serde::ToJson((*expected)[i], schema));
+  }
+
+  // The report joins the plan rendering with the profile block.
+  EXPECT_EQ(analyzed->report.find("annotator: confidence=0.9"), 0u)
+      << analyzed->report;
+  EXPECT_NE(analyzed->report.find("-- profile --"), std::string::npos);
+  EXPECT_NE(analyzed->report.find("window"), std::string::npos);
+  // No clock injected: the non-deterministic annex stays empty.
+  EXPECT_TRUE(analyzed->latency_annex.empty());
+
+  // The counters are exact functions of the delivered tuple stream:
+  // 200 source tuples become 101 windows become 101 annotated rows.
+  EXPECT_EQ(analyzed->counters_json,
+            "{\"operators\":["
+            "{\"name\":\"source\",\"next_calls\":201,\"batch_calls\":0,"
+            "\"tuples\":200,\"errors\":0},"
+            "{\"name\":\"window\",\"next_calls\":102,\"batch_calls\":0,"
+            "\"tuples\":101,\"errors\":0},"
+            "{\"name\":\"annotator\",\"next_calls\":102,\"batch_calls\":0,"
+            "\"tuples\":101,\"errors\":0}"
+            "]}");
+}
+
+TEST(ExplainAnalyzeTest, ReportIsIdenticalAcrossRepetitions) {
+  const std::string sql =
+      "SELECT road_id FROM roads WHERE MTEST(delay, '>', 50, 0.05)";
+  auto q = Parse(sql);
+  ASSERT_TRUE(q.ok());
+  const auto road_source = [] {
+    engine::Schema schema;
+    EXPECT_TRUE(
+        schema.AddField({"road_id", engine::FieldType::kString}).ok());
+    EXPECT_TRUE(
+        schema.AddField({"delay", engine::FieldType::kUncertain}).ok());
+    std::vector<engine::Tuple> tuples;
+    auto add = [&](const std::string& id, double mean, double var,
+                   size_t n) {
+      tuples.emplace_back(std::vector<expr::Value>{
+          expr::Value(id),
+          expr::Value(dist::RandomVar(
+              std::make_shared<dist::GaussianDist>(mean, var), n))});
+    };
+    add("r_fast", 30.0, 16.0, 50);
+    add("r_slow", 70.0, 16.0, 40);
+    return std::make_unique<engine::VectorScan>(std::move(schema),
+                                                std::move(tuples));
+  };
+
+  auto first = ExplainAnalyze(*q, road_source());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = ExplainAnalyze(*q, road_source());
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(first->report, second->report);
+  EXPECT_EQ(first->counters_json, second->counters_json);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace ausdb

@@ -17,11 +17,14 @@
 #include "src/common/thread_pool.h"
 #include "src/engine/executor.h"
 #include "src/engine/instrumented_operator.h"
+#include "src/engine/pipeline_profiler.h"
 #include "src/engine/scan.h"
 #include "src/engine/sharded_partitioned_window.h"
 #include "src/io/observation_loader.h"
+#include "src/obs/event_journal.h"
 #include "src/obs/exposition.h"
 #include "src/obs/metrics.h"
+#include "src/query/parser.h"
 #include "src/query/planner.h"
 #include "src/serde/json_writer.h"
 #include "src/stats/random_variates.h"
@@ -216,6 +219,106 @@ TEST_F(InstrumentationEquivalenceTest,
   }
   EXPECT_EQ(emitted, raw->counters().emitted);
   EXPECT_EQ(emitted, data_.tuples.size());
+}
+
+// ---------------------------------------------------------------------
+// EXPLAIN ANALYZE determinism: the profiled pipeline's delivered output
+// is byte-identical to the unprofiled run, and the profiler counters
+// and event-journal JSON are byte-identical across thread counts
+// {1, 4} x prefetch depths {1, 2, 64} x metrics on/off.
+
+TEST_F(InstrumentationEquivalenceTest,
+       ProfilerCountersAndJournalBitIdenticalAcrossConfigs) {
+  const std::string sql =
+      "SELECT * FROM t WHERE delay > 50 WITH ACCURACY 0.05 CONFIDENCE 0.9";
+  auto parsed = query::Parse(sql);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  const auto bytes_of = [](const std::vector<engine::Tuple>& rows,
+                           const engine::Schema& schema) {
+    std::ostringstream out;
+    for (const auto& t : rows) {
+      out << serde::ToJson(t, schema) << "\n";
+      out << "seq=" << t.sequence() << "\n";
+    }
+    return out.str();
+  };
+
+  // Golden: unprofiled, unjournaled, metrics off, plain Collect.
+  auto plain = query::BuildPlan(*parsed, Scan());
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  auto reference = engine::Collect(**plain);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  const std::string golden = bytes_of(*reference, (*plain)->schema());
+  ASSERT_FALSE(golden.empty());
+
+  std::string golden_counters, golden_journal, golden_report;
+  for (size_t threads : kThreadCounts) {
+    for (size_t depth : kDepths) {
+      for (bool metrics_on : {false, true}) {
+        const std::string cfg = std::to_string(threads) + " threads, depth " +
+                                std::to_string(depth) +
+                                (metrics_on ? ", metrics on" : ", metrics off");
+        obs::MetricRegistry registry;
+        obs::EventJournal journal(64);
+        engine::PipelineProfile profile;
+
+        query::PlannerOptions popts;
+        popts.profiler.profile = &profile;
+        popts.journal = &journal;
+        if (metrics_on) popts.annotator.metrics = &registry;
+
+        stream::AsyncPrefetchOptions pre;
+        pre.queue_depth = depth;
+        if (metrics_on) pre.metrics = &registry;
+
+        auto plan = query::BuildPlan(
+            *parsed, stream::MakeAsyncPrefetch(Scan(), pre), popts);
+        ASSERT_TRUE(plan.ok()) << cfg << ": " << plan.status().ToString();
+        ThreadPool pool(threads);
+        auto rows = engine::ParallelCollect(**plan, pool);
+        ASSERT_TRUE(rows.ok()) << cfg << ": " << rows.status().ToString();
+
+        // Delivered output: byte-identical to the unprofiled run.
+        EXPECT_EQ(bytes_of(*rows, (*plan)->schema()), golden) << cfg;
+
+        // Profiler counters, report and journal: byte-identical across
+        // every configuration (pull-count determinism, no wall clock).
+        if (golden_counters.empty()) {
+          golden_counters = profile.CountersJson();
+          golden_journal = journal.ToJson();
+          golden_report = profile.ReportString();
+          ASSERT_NE(golden_counters.find("\"name\":\"annotator\""),
+                    std::string::npos)
+              << golden_counters;
+          ASSERT_GT(journal.recorded(), 0u)
+              << "cost model must journal its plan-time choice";
+        } else {
+          EXPECT_EQ(profile.CountersJson(), golden_counters) << cfg;
+          EXPECT_EQ(journal.ToJson(), golden_journal) << cfg;
+          EXPECT_EQ(profile.ReportString(), golden_report) << cfg;
+        }
+
+        // No clock was injected: the non-deterministic annex records no
+        // samples in any configuration.
+        for (const auto& op : profile.operators()) {
+          EXPECT_EQ(op.latency_samples, 0u) << cfg << " " << op.name;
+        }
+
+        // Metrics on: the accuracy ledger counted every annotated field
+        // without perturbing any of the bytes above.
+        if (metrics_on) {
+          uint64_t annotated = 0;
+          for (const auto& c : registry.Snapshot().counters) {
+            if (c.key.name == "ausdb_accuracy_annotated_fields_total") {
+              annotated = c.value;
+            }
+          }
+          EXPECT_GT(annotated, 0u) << cfg;
+        }
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------

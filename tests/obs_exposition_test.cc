@@ -127,6 +127,65 @@ TEST(ObsExpositionTest, EmptySnapshotRendersEmptyStructures) {
             "{\"counters\":[],\"gauges\":[],\"histograms\":[]}");
 }
 
+// ---------------------------------------------------------------------
+// Escaping kernels
+
+TEST(ObsEscapeTest, EscapeLabelValueEdgeCases) {
+  // The Prometheus text format escapes exactly backslash, double quote
+  // and newline inside label values — nothing else.
+  EXPECT_EQ(EscapeLabelValue(""), "");
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(EscapeLabelValue("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(EscapeLabelValue("\\\"\n"), "\\\\\\\"\\n");
+  // UTF-8 bytes pass through untouched (both formats are byte-oriented).
+  EXPECT_EQ(EscapeLabelValue("caf\xc3\xa9"), "caf\xc3\xa9");
+  // Tabs and other controls are not special in the text format.
+  EXPECT_EQ(EscapeLabelValue("a\tb"), "a\tb");
+}
+
+TEST(ObsEscapeTest, JsonEscapeEdgeCases) {
+  // JsonEscape returns a complete quoted JSON string.
+  EXPECT_EQ(JsonEscape(""), "\"\"");
+  EXPECT_EQ(JsonEscape("plain"), "\"plain\"");
+  EXPECT_EQ(JsonEscape("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(JsonEscape("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(JsonEscape("line1\nline2"), "\"line1\\nline2\"");
+  // Control bytes below 0x20 render as \u escapes.
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\"\\u0001\"");
+  EXPECT_EQ(JsonEscape(std::string("a\x1f" "b")), "\"a\\u001fb\"");
+  EXPECT_EQ(JsonEscape("a\tb"), "\"a\\u0009b\"");
+  EXPECT_EQ(JsonEscape("a\rb"), "\"a\\u000db\"");
+  // UTF-8 multibyte sequences pass through byte for byte.
+  EXPECT_EQ(JsonEscape("caf\xc3\xa9"), "\"caf\xc3\xa9\"");
+  EXPECT_EQ(JsonEscape("\xe6\xbc\xa2"), "\"\xe6\xbc\xa2\"");
+}
+
+TEST(ObsEscapeTest, EdgeCaseLabelsRoundTripBothGoldens) {
+  // One metric whose labels hold every awkward byte class; both
+  // renderings are pinned as exact strings so an escaping change
+  // cannot ship silently.
+  MetricRegistry reg;
+  reg.GetCounter("ausdb_esc_total", {{"empty", ""},
+                                     {"nl", "a\nb"},
+                                     {"q", "\"x\""},
+                                     {"slash", "c:\\tmp"},
+                                     {"utf8", "caf\xc3\xa9"}})
+      ->Increment(1);
+  EXPECT_EQ(ToPrometheusText(reg.Snapshot()),
+            "# TYPE ausdb_esc_total counter\n"
+            "ausdb_esc_total{empty=\"\",nl=\"a\\nb\",q=\"\\\"x\\\"\","
+            "slash=\"c:\\\\tmp\",utf8=\"caf\xc3\xa9\"} 1\n");
+  EXPECT_EQ(ToJson(reg.Snapshot()),
+            "{\"counters\":["
+            "{\"name\":\"ausdb_esc_total\","
+            "\"labels\":{\"empty\":\"\",\"nl\":\"a\\nb\","
+            "\"q\":\"\\\"x\\\"\",\"slash\":\"c:\\\\tmp\","
+            "\"utf8\":\"caf\xc3\xa9\"},\"value\":1}"
+            "],\"gauges\":[],\"histograms\":[]}");
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace ausdb
